@@ -1,0 +1,169 @@
+"""Table I(a): execution times of TAMP and Stemming on Berkeley data.
+
+Paper rows (C++ on a 3.06 GHz Pentium 4):
+
+    TAMP picture            TAMP animation                 Stemming
+    routes  time            events  timerange   time       events  timerange  time
+    230k    1.8 s           1k      423 s       0.5 s      12k     189 s      8.6 s
+    115k    1.6 s           10k     36 min      1.1 s      57k     882 s      9.5 s
+    23k     0.5 s           100k    7.6 h       9 s        330k    16.3 min   17.3 s
+                            1000k   33.6 h      78 s
+
+We regenerate the same rows with this implementation (pure Python on the
+host machine). The claim under test is the *scaling shape*: picture time
+~linear in routes, animation time dominated by event count, Stemming
+growing mildly with event-group size.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    BERKELEY_PROFILE,
+    record_row,
+    scaled,
+    stream_for,
+    subset_rex,
+)
+from repro.net.prefix import format_address
+from repro.stemming.stemmer import Stemmer
+from repro.tamp.animate import animate_stream
+from repro.tamp.graph import TampGraph
+from repro.tamp.prune import prune_flat
+from repro.tamp.tree import TampTree
+
+PICTURE_ROWS = [(230_000, 1.8), (115_000, 1.6), (23_000, 0.5)]
+ANIMATION_ROWS = [
+    (1_000, 423.0, 0.5),
+    (10_000, 36 * 60.0, 1.1),
+    (100_000, 7.6 * 3600.0, 9.0),
+    (1_000_000, 33.6 * 3600.0, 78.0),
+]
+STEMMING_ROWS = [
+    (12_000, 189.0, 8.6),
+    (57_000, 882.0, 9.5),
+    (330_000, 16.3 * 60.0, 17.3),
+]
+
+
+def build_picture(rex) -> TampGraph:
+    trees = [
+        TampTree.from_routes(
+            format_address(peer),
+            rex.rib(peer).routes(),
+            include_prefix_leaves=True,
+        )
+        for peer in rex.peers()
+    ]
+    graph = TampGraph.merge(trees, site_name="Berkeley")
+    return prune_flat(graph)
+
+
+@pytest.mark.parametrize("n_routes,paper_seconds", PICTURE_ROWS)
+def test_tamp_picture(benchmark, berkeley_rex, n_routes, paper_seconds):
+    n = scaled(n_routes)
+    rex = subset_rex(berkeley_rex, n, BERKELEY_PROFILE)
+    assert rex.route_count() == n
+    graph = benchmark.pedantic(
+        build_picture, args=(rex,), rounds=1, iterations=1
+    )
+    assert graph.total_prefixes() > 0
+    record_row(
+        "table1a_picture",
+        f"routes={n:>8}  paper={paper_seconds:>5.1f}s"
+        f"  measured={benchmark.stats.stats.mean:>7.2f}s",
+    )
+
+
+@pytest.mark.parametrize("n_events,timerange,paper_seconds", ANIMATION_ROWS)
+def test_tamp_animation(
+    benchmark, berkeley_rex, n_events, timerange, paper_seconds
+):
+    n = scaled(n_events)
+    stream = stream_for(berkeley_rex, n, timerange, seed=41)
+    baseline = list(berkeley_rex.all_routes())
+
+    def load_baseline():
+        # The paper times from "the current state of the system": table
+        # rebuild is excluded, so the baseline loads in setup.
+        from repro.tamp.incremental import IncrementalTamp
+
+        tamp = IncrementalTamp("Berkeley")
+        tamp.load_routes(baseline)
+        return (stream,), {"tamp": tamp}
+
+    animation = benchmark.pedantic(
+        animate_stream, setup=load_baseline, rounds=1, iterations=1
+    )
+    assert animation.frame_count == 750
+    record_row(
+        "table1a_animation",
+        f"events={n:>8}  timerange={timerange:>9.0f}s"
+        f"  paper={paper_seconds:>5.1f}s"
+        f"  measured={benchmark.stats.stats.mean:>7.2f}s",
+    )
+
+
+@pytest.mark.parametrize("n_events,timerange,paper_seconds", STEMMING_ROWS)
+def test_stemming(benchmark, berkeley_rex, n_events, timerange, paper_seconds):
+    n = scaled(n_events)
+    stream = stream_for(berkeley_rex, n, timerange, seed=43)
+    stemmer = Stemmer(max_components=8)
+    result = benchmark.pedantic(
+        stemmer.decompose, args=(stream,), rounds=1, iterations=1
+    )
+    assert result.components, "event spike must decompose into components"
+    record_row(
+        "table1a_stemming",
+        f"events={n:>8}  timerange={timerange:>9.0f}s"
+        f"  paper={paper_seconds:>5.1f}s"
+        f"  measured={benchmark.stats.stats.mean:>7.2f}s"
+        f"  components={len(result.components)}",
+    )
+
+
+def test_scaling_shape(benchmark, berkeley_rex):
+    """The qualitative Table I claims, asserted:
+
+    * picture time grows with route count,
+    * Stemming grows sublinearly vs. event count (deduplication).
+
+    Wrapped in a single benchmark so the check runs under
+    ``--benchmark-only`` alongside the row benchmarks.
+    """
+    import time
+
+    def timed(fn, *args, **kwargs):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        return time.perf_counter() - t0
+
+    measurements = {}
+
+    def run_shape_probe():
+        small = subset_rex(berkeley_rex, scaled(23_000), BERKELEY_PROFILE)
+        large = subset_rex(berkeley_rex, scaled(230_000), BERKELEY_PROFILE)
+        measurements["pic_small"] = timed(build_picture, small)
+        measurements["pic_large"] = timed(build_picture, large)
+        stream_small = stream_for(berkeley_rex, scaled(12_000), 189.0, seed=47)
+        stream_large = stream_for(
+            berkeley_rex, scaled(120_000), 1890.0, seed=48
+        )
+        stemmer = Stemmer(max_components=4)
+        measurements["stem_small"] = timed(stemmer.decompose, stream_small)
+        measurements["stem_large"] = timed(stemmer.decompose, stream_large)
+
+    benchmark.pedantic(run_shape_probe, rounds=1, iterations=1)
+    assert measurements["pic_large"] > measurements["pic_small"]
+    # Stemming must stay far from quadratic: the per-event cost of a
+    # 10x-larger group may grow at most ~3x (constant-factor noise on
+    # the small probe included).
+    per_event_small = measurements["stem_small"] / max(scaled(12_000), 1)
+    per_event_large = measurements["stem_large"] / max(scaled(120_000), 1)
+    assert per_event_large < 3 * max(per_event_small, 1e-9)
+    record_row(
+        "table1a_shape",
+        f"picture {scaled(23_000)}r={measurements['pic_small']:.2f}s"
+        f" {scaled(230_000)}r={measurements['pic_large']:.2f}s |"
+        f" stemming {scaled(12_000)}e={measurements['stem_small']:.2f}s"
+        f" {scaled(120_000)}e={measurements['stem_large']:.2f}s",
+    )

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network access, so PEP 660 editable installs (which build a wheel) fail.
+Keeping a setup.py lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which needs neither wheel nor the network.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Operator-facing analysis: rate plots, incident reports, case studies.
+
+This layer glues the core algorithms into the workflows of Section IV:
+bin a stream into the Figure 8 event-rate view, decompose it with
+Stemming, illustrate components with TAMP, and emit a report a network
+operator can act on.
+"""
+
+from repro.analysis.report import IncidentReport, diagnose
+from repro.analysis.case_studies import (
+    CaseStudyResult,
+    run_all,
+    run_backdoor_routes,
+    run_community_mistag,
+    run_customer_flap,
+    run_full_table_hijack,
+    run_load_balance_check,
+    run_max_prefix_leak,
+    run_med_oscillation,
+    run_route_leak,
+)
+
+__all__ = [
+    "IncidentReport",
+    "diagnose",
+    "CaseStudyResult",
+    "run_all",
+    "run_load_balance_check",
+    "run_backdoor_routes",
+    "run_community_mistag",
+    "run_route_leak",
+    "run_customer_flap",
+    "run_med_oscillation",
+    "run_full_table_hijack",
+    "run_max_prefix_leak",
+]

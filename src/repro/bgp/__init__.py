@@ -1,0 +1,46 @@
+"""The BGP substrate: RIBs, route selection, policy, sessions, speakers.
+
+This package implements enough of BGP-4 (RFC 4271) semantics to reproduce
+the paper's case studies: per-peer Adj-RIB-In and a Loc-RIB, the full
+decision process (including the MED comparison rules behind RFC 3345
+persistent oscillation), a route-map policy engine, a session state machine
+with hold timers and max-prefix limits, and a :class:`BGPRouter` speaker
+that composes them and supports route reflection.
+"""
+
+from repro.bgp.errors import BGPError, PolicyError, SessionError
+from repro.bgp.rib import AdjRibIn, LocRib, Route
+from repro.bgp.decision import DecisionProcess, RouteSource
+from repro.bgp.policy import (
+    MatchCommunity,
+    MatchNeighborAS,
+    MatchPrefixList,
+    Policy,
+    PolicyAction,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.bgp.session import BGPSession, SessionState
+from repro.bgp.router import BGPRouter, Neighbor
+
+__all__ = [
+    "BGPError",
+    "PolicyError",
+    "SessionError",
+    "AdjRibIn",
+    "LocRib",
+    "Route",
+    "DecisionProcess",
+    "RouteSource",
+    "Policy",
+    "PolicyAction",
+    "RouteMap",
+    "RouteMapClause",
+    "MatchCommunity",
+    "MatchNeighborAS",
+    "MatchPrefixList",
+    "BGPSession",
+    "SessionState",
+    "BGPRouter",
+    "Neighbor",
+]

@@ -1,0 +1,247 @@
+"""The BGP decision process (best-path selection).
+
+Implements the standard elimination sequence: LOCAL_PREF, AS-path length,
+ORIGIN, MED, EBGP-over-IBGP, IGP cost to the NEXT_HOP, then router-id and
+peer-address tie-breaks.
+
+MED needs care because it is only comparable between routes learned from
+the *same neighboring AS*. That restriction breaks total ordering over a
+mixed candidate set and is the root cause of the persistent route
+oscillation of RFC 3345 that the paper's Figure 3 animates. We implement
+both evaluation modes real routers offer:
+
+* ``deterministic_med=True`` — group candidates by neighbor AS, eliminate
+  MED-inferior routes inside each group, then compare group winners. This
+  restores a deterministic outcome.
+* ``deterministic_med=False`` (default) — a full pairwise elimination
+  pass. Unlike the grouped mode it lets a MED-eliminated route's other
+  qualities go unused, but it is still order-independent.
+* ``sequential_med=True`` — the old-IOS algorithm: walk the candidates in
+  arrival order keeping a running best, comparing each pair with MED
+  applied only when comparable. This is genuinely **order-dependent**
+  (see ``tests/bgp/test_decision.py::TestSequentialMed`` for a triple of
+  routes whose winner changes with arrival order) and is the lack of
+  total ordering behind RFC 3345's persistent oscillation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.bgp.rib import Route
+
+#: Returns the IGP cost from this router to a nexthop address, or None if
+#: the nexthop is unreachable (which disqualifies the route entirely).
+IgpCostFn = Callable[[int], Optional[int]]
+
+_INFINITE_COST = 1 << 62
+
+
+@dataclass(frozen=True, slots=True)
+class RouteSource:
+    """A candidate route plus the session facts the decision process needs.
+
+    *peer_router_id* and *peer_address* identify the speaker the route came
+    from; *is_ebgp* is True when the session crosses an AS boundary.
+    """
+
+    route: Route
+    is_ebgp: bool
+    peer_router_id: int
+    peer_address: int
+
+    @property
+    def neighbor_as(self) -> Optional[int]:
+        return self.route.attributes.as_path.neighbor_as
+
+
+@dataclass(slots=True)
+class DecisionProcess:
+    """Configurable best-path selection.
+
+    *compare_med_always* corresponds to ``bgp always-compare-med``;
+    *med_missing_as_worst* to ``bgp bestpath med missing-as-worst``.
+    """
+
+    compare_med_always: bool = False
+    deterministic_med: bool = False
+    sequential_med: bool = False
+    med_missing_as_worst: bool = False
+    igp_cost: IgpCostFn = field(default=lambda nexthop: 0)
+
+    def select(
+        self, candidates: Sequence[RouteSource]
+    ) -> Optional[RouteSource]:
+        """Pick the best route among *candidates*, or None if none usable.
+
+        Candidates whose NEXT_HOP is unreachable by IGP are excluded, per
+        RFC 4271 section 9.1.2.
+        """
+        usable = [c for c in candidates if self._nexthop_cost(c) is not None]
+        if not usable:
+            return None
+        if len(usable) == 1:
+            return usable[0]
+        if self.sequential_med:
+            return self._select_sequential(usable)
+        if self.deterministic_med:
+            usable = self._deterministic_med_survivors(usable)
+        survivors = usable
+        for stage in (
+            self._by_local_pref,
+            self._by_path_length,
+            self._by_origin,
+            self._by_med,
+            self._by_ebgp,
+            self._by_igp_cost,
+        ):
+            survivors = stage(survivors)
+            if len(survivors) == 1:
+                return survivors[0]
+        return min(survivors, key=self._final_tiebreak_key)
+
+    @staticmethod
+    def _final_tiebreak_key(source: RouteSource) -> tuple[int, int, int]:
+        """RFC 4456 §9 tie-break: lowest ORIGINATOR_ID (falling back to
+        the peer's router id), then shortest CLUSTER_LIST, then lowest
+        peer address.
+
+        Using the originator rather than the advertising reflector is
+        what keeps a reflector mesh stable: with the plain router-id rule
+        two reflectors can each prefer the other's reflection of the same
+        route and oscillate forever.
+        """
+        attrs = source.route.attributes
+        originator = (
+            attrs.originator_id
+            if attrs.originator_id is not None
+            else source.peer_router_id
+        )
+        return (originator, len(attrs.cluster_list), source.peer_address)
+
+    def _select_sequential(
+        self, candidates: list[RouteSource]
+    ) -> RouteSource:
+        """Old-IOS evaluation: running best in arrival order.
+
+        Because MED only applies between same-neighbor-AS pairs, the
+        pairwise relation is not transitive, and the running-best walk
+        inherits that: the winner can depend on arrival order. Real
+        routers walk their table newest-first, which is how two route
+        reflectors end up disagreeing forever (RFC 3345).
+        """
+        best = candidates[0]
+        for challenger in candidates[1:]:
+            if self._pairwise_better(challenger, best):
+                best = challenger
+        return best
+
+    def _pairwise_better(self, a: RouteSource, b: RouteSource) -> bool:
+        """True if *a* beats *b* head to head."""
+        ka = a.route.attributes
+        kb = b.route.attributes
+        if ka.local_pref != kb.local_pref:
+            return ka.local_pref > kb.local_pref
+        if len(ka.as_path) != len(kb.as_path):
+            return len(ka.as_path) < len(kb.as_path)
+        if ka.origin != kb.origin:
+            return ka.origin < kb.origin
+        if self._med_comparable(a, b) and self.med_of(a) != self.med_of(b):
+            return self.med_of(a) < self.med_of(b)
+        if a.is_ebgp != b.is_ebgp:
+            return a.is_ebgp
+        cost_a = self._nexthop_cost(a)
+        cost_b = self._nexthop_cost(b)
+        if cost_a != cost_b:
+            return (cost_a if cost_a is not None else _INFINITE_COST) < (
+                cost_b if cost_b is not None else _INFINITE_COST
+            )
+        return self._final_tiebreak_key(a) < self._final_tiebreak_key(b)
+
+    def med_of(self, source: RouteSource) -> int:
+        """The effective MED, applying the missing-MED convention."""
+        med = source.route.attributes.med
+        if med is None:
+            return _INFINITE_COST if self.med_missing_as_worst else 0
+        return med
+
+    def _nexthop_cost(self, source: RouteSource) -> Optional[int]:
+        return self.igp_cost(source.route.attributes.nexthop)
+
+    @staticmethod
+    def _by_local_pref(survivors: list[RouteSource]) -> list[RouteSource]:
+        best = max(s.route.attributes.local_pref for s in survivors)
+        return [s for s in survivors if s.route.attributes.local_pref == best]
+
+    @staticmethod
+    def _by_path_length(survivors: list[RouteSource]) -> list[RouteSource]:
+        best = min(len(s.route.attributes.as_path) for s in survivors)
+        return [s for s in survivors if len(s.route.attributes.as_path) == best]
+
+    @staticmethod
+    def _by_origin(survivors: list[RouteSource]) -> list[RouteSource]:
+        best = min(s.route.attributes.origin for s in survivors)
+        return [s for s in survivors if s.route.attributes.origin == best]
+
+    def _by_med(self, survivors: list[RouteSource]) -> list[RouteSource]:
+        """Pairwise MED elimination in list order.
+
+        Route *a* eliminates *b* when both are MED-comparable (same
+        neighbor AS, or ``always-compare-med``) and *a*'s MED is lower.
+        This is intentionally order-dependent when ``deterministic_med``
+        is off — see the module docstring.
+        """
+        eliminated = [False] * len(survivors)
+        for i, a in enumerate(survivors):
+            if eliminated[i]:
+                continue
+            for j, b in enumerate(survivors):
+                if i == j or eliminated[j]:
+                    continue
+                if not self._med_comparable(a, b):
+                    continue
+                if self.med_of(a) < self.med_of(b):
+                    eliminated[j] = True
+        remaining = [
+            s for s, gone in zip(survivors, eliminated) if not gone
+        ]
+        return remaining or survivors
+
+    def _med_comparable(self, a: RouteSource, b: RouteSource) -> bool:
+        if self.compare_med_always:
+            return True
+        return (
+            a.neighbor_as is not None
+            and a.neighbor_as == b.neighbor_as
+        )
+
+    def _deterministic_med_survivors(
+        self, candidates: list[RouteSource]
+    ) -> list[RouteSource]:
+        """Keep only the MED-best candidate(s) within each neighbor AS."""
+        groups: dict[Optional[int], list[RouteSource]] = {}
+        for candidate in candidates:
+            groups.setdefault(candidate.neighbor_as, []).append(candidate)
+        survivors: list[RouteSource] = []
+        for neighbor_as, group in groups.items():
+            if neighbor_as is None:
+                survivors.extend(group)
+                continue
+            best = min(self.med_of(c) for c in group)
+            survivors.extend(c for c in group if self.med_of(c) == best)
+        return survivors
+
+    @staticmethod
+    def _by_ebgp(survivors: list[RouteSource]) -> list[RouteSource]:
+        ebgp = [s for s in survivors if s.is_ebgp]
+        return ebgp or survivors
+
+    def _by_igp_cost(self, survivors: list[RouteSource]) -> list[RouteSource]:
+        costs = [self._nexthop_cost(s) for s in survivors]
+        best = min(cost for cost in costs if cost is not None)
+        return [
+            s
+            for s, cost in zip(survivors, costs)
+            if cost == best
+        ]

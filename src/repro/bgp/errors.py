@@ -1,0 +1,13 @@
+"""Exception hierarchy for the BGP substrate."""
+
+
+class BGPError(Exception):
+    """Base class for all BGP substrate errors."""
+
+
+class SessionError(BGPError):
+    """A BGP session operation was invalid in the current state."""
+
+
+class PolicyError(BGPError):
+    """A routing policy is malformed or referenced an unknown object."""

@@ -1,0 +1,341 @@
+"""Routing policy: match conditions, actions, route-maps.
+
+An AS realizes its business relationships by configuring policies on its
+routers (Section I of the paper). We model the policy vocabulary the case
+studies need: prefix-list and community matching, LOCAL_PREF / MED /
+community-rewriting actions, and route-maps composed of permit/deny
+clauses evaluated first-match. The config-language compiler in
+:mod:`repro.config` produces these objects from IOS-like text; Section
+III-D.1's policy correlation consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Optional, Protocol
+
+from repro.bgp.errors import PolicyError
+from repro.net.attributes import Community, PathAttributes
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyContext:
+    """Session facts available to match conditions.
+
+    *neighbor_as* is the AS of the peer the route is being imported from /
+    exported to; *peer_address* its session address.
+    """
+
+    neighbor_as: int = 0
+    peer_address: int = 0
+
+
+class MatchCondition(Protocol):
+    """One predicate of a route-map clause."""
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        """True if the route satisfies this condition."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixListEntry:
+    """One line of an ip prefix-list: a prefix with optional le/ge bounds.
+
+    With no bounds the entry matches exactly. ``le``/``ge`` extend the
+    match to more-specific routes whose length falls in range, as on real
+    routers.
+    """
+
+    prefix: Prefix
+    ge: Optional[int] = None
+    le: Optional[int] = None
+
+    def matches(self, candidate: Prefix) -> bool:
+        if self.ge is None and self.le is None:
+            return candidate == self.prefix
+        if not self.prefix.contains(candidate):
+            return False
+        low = self.ge if self.ge is not None else self.prefix.length
+        high = self.le if self.le is not None else 32
+        return low <= candidate.length <= high
+
+
+@dataclass(frozen=True, slots=True)
+class MatchPrefixList:
+    """Matches when the route's prefix hits any entry of the list."""
+
+    entries: tuple[PrefixListEntry, ...]
+
+    @classmethod
+    def exact(cls, prefixes: Iterable[Prefix]) -> "MatchPrefixList":
+        return cls(tuple(PrefixListEntry(p) for p in prefixes))
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        return any(entry.matches(prefix) for entry in self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class MatchCommunity:
+    """Matches when the route carries any (or, if require_all, every) tag."""
+
+    communities: frozenset[Community]
+    require_all: bool = False
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        if self.require_all:
+            return self.communities <= attrs.communities
+        return bool(self.communities & attrs.communities)
+
+
+@dataclass(frozen=True, slots=True)
+class MatchNeighborAS:
+    """Matches routes imported from / exported to a given neighbor AS."""
+
+    asn: int
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        return context.neighbor_as == self.asn
+
+
+@dataclass(frozen=True, slots=True)
+class MatchASInPath:
+    """Matches routes whose AS path traverses *asn*."""
+
+    asn: int
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        return self.asn in attrs.as_path
+
+
+def compile_as_path_regex(pattern: str):
+    """Compile an IOS-style AS-path regex to a Python matcher.
+
+    Router regexes match against the path rendered as space-separated AS
+    numbers. The one IOS-specific token is ``_`` (underscore), which
+    matches any delimiter: start of string, end of string, or the space
+    between ASes. Everything else passes through as ordinary regex
+    syntax. ``^$`` therefore matches the empty (locally originated) path
+    and ``_701_`` matches AS 701 anywhere in the path.
+    """
+    import re
+
+    translated = []
+    index = 0
+    while index < len(pattern):
+        char = pattern[index]
+        if char == "_":
+            translated.append(r"(?:^|$|\s)")
+        elif char == "\\" and index + 1 < len(pattern):
+            translated.append(pattern[index : index + 2])
+            index += 1
+        else:
+            translated.append(char)
+        index += 1
+    try:
+        return re.compile("".join(translated))
+    except re.error as exc:
+        raise PolicyError(f"bad as-path regex {pattern!r}: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class MatchASPathRegex:
+    """Matches routes whose AS path satisfies an IOS-style regex.
+
+    The heavy hammer of operational policy: "deny everything that
+    transited AS X", "permit only my customers' originations", etc.
+    """
+
+    pattern: str
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        matcher = _regex_cache_get(self.pattern)
+        return matcher.search(str(attrs.as_path)) is not None
+
+
+@lru_cache(maxsize=1024)
+def _regex_cache_get(pattern: str):
+    return compile_as_path_regex(pattern)
+
+
+@dataclass(frozen=True, slots=True)
+class MatchLocallyOriginated:
+    """Matches routes with an empty AS path (originated by this AS).
+
+    Enterprises export only these to avoid becoming transit (Section
+    III-D.1).
+    """
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        return len(attrs.as_path) == 0
+
+
+class PolicyAction(Protocol):
+    """One attribute rewrite of a permit clause."""
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class SetLocalPref:
+    value: int
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.replace(local_pref=self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class SetMED:
+    value: Optional[int]
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.replace(med=self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class AddCommunity:
+    community: Community
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.add_community(self.community)
+
+
+@dataclass(frozen=True, slots=True)
+class RemoveCommunity:
+    community: Community
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.remove_community(self.community)
+
+
+@dataclass(frozen=True, slots=True)
+class ClearCommunities:
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.replace(communities=frozenset())
+
+
+@dataclass(frozen=True, slots=True)
+class PrependASPath:
+    asn: int
+    count: int = 1
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.replace(as_path=attrs.as_path.prepend(self.asn, self.count))
+
+
+@dataclass(frozen=True, slots=True)
+class SetNexthop:
+    address: int
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.replace(nexthop=self.address)
+
+
+@dataclass(frozen=True, slots=True)
+class RouteMapClause:
+    """One permit/deny clause: all matches must hold; actions apply on permit.
+
+    A clause with no match conditions matches everything, as on real
+    routers.
+    """
+
+    permit: bool = True
+    matches: tuple[MatchCondition, ...] = ()
+    actions: tuple[PolicyAction, ...] = ()
+
+    def matches_route(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        return all(m.matches(prefix, attrs, context) for m in self.matches)
+
+    def apply_actions(self, attrs: PathAttributes) -> PathAttributes:
+        for action in self.actions:
+            attrs = action.apply(attrs)
+        return attrs
+
+
+@dataclass(frozen=True, slots=True)
+class RouteMap:
+    """A named sequence of clauses, evaluated first-match.
+
+    Router semantics: the first matching clause decides. If no clause
+    matches, the route is denied (implicit deny at the end).
+    """
+
+    name: str
+    clauses: tuple[RouteMapClause, ...] = ()
+
+    def apply(
+        self,
+        prefix: Prefix,
+        attrs: PathAttributes,
+        context: PolicyContext = PolicyContext(),
+    ) -> Optional[PathAttributes]:
+        """Rewritten attributes on permit, None on deny."""
+        for clause in self.clauses:
+            if clause.matches_route(prefix, attrs, context):
+                if not clause.permit:
+                    return None
+                return clause.apply_actions(attrs)
+        return None
+
+
+PERMIT_ALL = RouteMap("permit-all", (RouteMapClause(permit=True),))
+
+
+@dataclass(slots=True)
+class Policy:
+    """The import/export policy attached to one neighbor.
+
+    *max_prefixes* mirrors the max-prefix-limit safeguard from the route
+    leak war story in Section I: when a peer announces more prefixes than
+    the limit, the session is torn down.
+    """
+
+    import_map: RouteMap = PERMIT_ALL
+    export_map: RouteMap = PERMIT_ALL
+    max_prefixes: Optional[int] = None
+
+    def import_route(
+        self,
+        prefix: Prefix,
+        attrs: PathAttributes,
+        context: PolicyContext = PolicyContext(),
+    ) -> Optional[PathAttributes]:
+        return self.import_map.apply(prefix, attrs, context)
+
+    def export_route(
+        self,
+        prefix: Prefix,
+        attrs: PathAttributes,
+        context: PolicyContext = PolicyContext(),
+    ) -> Optional[PathAttributes]:
+        return self.export_map.apply(prefix, attrs, context)
+
+
+def community_list(*tags: str) -> frozenset[Community]:
+    """Convenience: parse community text into a frozen set.
+
+    >>> sorted(str(c) for c in community_list("11423:65300", "11423:65350"))
+    ['11423:65300', '11423:65350']
+    """
+    if not tags:
+        raise PolicyError("community list needs at least one tag")
+    return frozenset(Community.parse(tag) for tag in tags)

@@ -1,0 +1,171 @@
+"""Routing Information Bases.
+
+A BGP speaker keeps one Adj-RIB-In per peer (routes as received, after
+import policy) and a Loc-RIB (the selected best route per prefix plus the
+candidate set). The REX collector in Section II of the paper relies on the
+Adj-RIB-In to recover the attributes of withdrawn routes, since withdrawals
+on the wire carry only the prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.net.attributes import PathAttributes
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A route: a prefix with attributes, remembered with its source peer.
+
+    *peer* is the 32-bit address of the session the route arrived on (0 for
+    locally originated routes).
+    """
+
+    prefix: Prefix
+    attributes: PathAttributes
+    peer: int = 0
+
+    @property
+    def nexthop(self) -> int:
+        return self.attributes.nexthop
+
+
+class AdjRibIn:
+    """Routes received from one peer, keyed by prefix.
+
+    This is deliberately a plain dict rather than a trie: the hot
+    operations are exact-prefix insert/replace/remove driven by UPDATE
+    messages, and iteration for table dumps. Trie queries (longest match,
+    covered sets) belong to analysis layers that build their own index.
+    """
+
+    __slots__ = ("peer", "_routes")
+
+    def __init__(self, peer: int) -> None:
+        self.peer = peer
+        self._routes: dict[Prefix, PathAttributes] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+    def get(self, prefix: Prefix) -> Optional[PathAttributes]:
+        """Attributes currently held for *prefix*, or None."""
+        return self._routes.get(prefix)
+
+    def announce(
+        self, prefix: Prefix, attributes: PathAttributes
+    ) -> Optional[PathAttributes]:
+        """Install or replace the route for *prefix*.
+
+        Returns the attributes that were displaced (an implicit withdrawal,
+        in protocol terms), or None if the prefix was previously absent.
+        """
+        previous = self._routes.get(prefix)
+        self._routes[prefix] = attributes
+        return previous
+
+    def withdraw(self, prefix: Prefix) -> Optional[PathAttributes]:
+        """Remove the route for *prefix*.
+
+        Returns the withdrawn attributes — exactly the augmentation the
+        REX collector performs — or None if the peer never announced it.
+        """
+        return self._routes.pop(prefix, None)
+
+    def clear(self) -> list[Route]:
+        """Drop everything (session loss). Returns the routes removed."""
+        removed = [
+            Route(prefix, attrs, self.peer)
+            for prefix, attrs in self._routes.items()
+        ]
+        self._routes.clear()
+        return removed
+
+    def routes(self) -> Iterator[Route]:
+        """Yield the current contents as :class:`Route` values."""
+        for prefix, attrs in self._routes.items():
+            yield Route(prefix, attrs, self.peer)
+
+    def prefixes(self) -> Iterator[Prefix]:
+        yield from self._routes
+
+
+class LocRib:
+    """The local RIB: per prefix, the chosen best route and all candidates.
+
+    Candidates are kept because TAMP maps *sets of routes*, not just best
+    paths, and because the decision process needs the full candidate set
+    on every change.
+    """
+
+    __slots__ = ("_best", "_candidates")
+
+    def __init__(self) -> None:
+        self._best: dict[Prefix, Route] = {}
+        self._candidates: dict[Prefix, dict[int, Route]] = {}
+
+    def __len__(self) -> int:
+        """Number of prefixes with a selected best route."""
+        return len(self._best)
+
+    @property
+    def route_count(self) -> int:
+        """Total candidate routes across all prefixes (paper's 'routes')."""
+        return sum(len(c) for c in self._candidates.values())
+
+    def add_candidate(self, route: Route) -> None:
+        """Install *route* as the candidate from its peer."""
+        self._candidates.setdefault(route.prefix, {})[route.peer] = route
+
+    def remove_candidate(self, prefix: Prefix, peer: int) -> Optional[Route]:
+        """Remove the candidate for *prefix* learned from *peer*."""
+        candidates = self._candidates.get(prefix)
+        if not candidates:
+            return None
+        removed = candidates.pop(peer, None)
+        if not candidates:
+            del self._candidates[prefix]
+        return removed
+
+    def candidates(self, prefix: Prefix) -> list[Route]:
+        """All candidate routes for *prefix* (order unspecified)."""
+        return list(self._candidates.get(prefix, {}).values())
+
+    def set_best(self, route: Route) -> Optional[Route]:
+        """Record *route* as best for its prefix; returns the previous best."""
+        return self._best_swap(route.prefix, route)
+
+    def clear_best(self, prefix: Prefix) -> Optional[Route]:
+        """Remove the best route for *prefix*; returns what was there."""
+        return self._best_swap(prefix, None)
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        return self._best.get(prefix)
+
+    def best_routes(self) -> Iterator[Route]:
+        """Yield the selected best route for every prefix."""
+        yield from self._best.values()
+
+    def all_routes(self) -> Iterator[Route]:
+        """Yield every candidate route for every prefix."""
+        for candidates in self._candidates.values():
+            yield from candidates.values()
+
+    def prefixes(self) -> Iterator[Prefix]:
+        yield from self._best
+
+    def _best_swap(
+        self, prefix: Prefix, route: Optional[Route]
+    ) -> Optional[Route]:
+        previous = self._best.get(prefix)
+        if route is None:
+            self._best.pop(prefix, None)
+        else:
+            self._best[prefix] = route
+        return previous

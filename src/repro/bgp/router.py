@@ -1,0 +1,495 @@
+"""A BGP speaker.
+
+:class:`BGPRouter` composes everything in this package: per-neighbor
+sessions and Adj-RIB-Ins, import/export policy, the decision process, and
+route reflection. It is message-driven and deterministic — every call takes
+the current time and returns the updates to send — so the discrete-event
+simulator can schedule propagation however a scenario requires.
+
+Propagation semantics implemented (the ones the paper's incidents hinge on):
+
+* EBGP export prepends the local AS, rewrites NEXT_HOP to the session
+  address, and strips LOCAL_PREF and MED (unless export policy re-sets
+  them).
+* IBGP speakers do not relay IBGP-learned routes — unless configured as a
+  route reflector, which reflects client routes to everyone and non-client
+  routes to clients, stamping ORIGINATOR_ID and CLUSTER_LIST.
+* A session loss withdraws everything learned from that peer and triggers
+  best-path reruns, which is exactly how "the most minor connectivity
+  change produces hundreds of BGP messages".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.bgp.decision import DecisionProcess, RouteSource
+from repro.bgp.errors import BGPError
+from repro.bgp.policy import Policy, PolicyContext
+from repro.bgp.rib import AdjRibIn, LocRib, Route
+from repro.bgp.session import BGPSession
+from repro.net.aspath import ASPath
+from repro.net.attributes import DEFAULT_LOCAL_PREF, Origin, PathAttributes
+from repro.net.message import Announcement, BGPUpdate, Withdrawal
+from repro.net.prefix import Prefix
+
+#: Sentinel peer address for locally originated routes.
+LOCAL_PEER = 0
+
+
+@dataclass(slots=True)
+class Neighbor:
+    """Everything the router tracks about one peering."""
+
+    address: int
+    asn: int
+    router_id: int
+    session: BGPSession
+    policy: Policy = field(default_factory=Policy)
+    is_rr_client: bool = False
+    nexthop_self: bool = False
+    adj_rib_in: AdjRibIn = field(init=False)
+    adj_rib_out: dict[Prefix, PathAttributes] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.adj_rib_in = AdjRibIn(self.address)
+
+    @property
+    def is_ebgp(self) -> bool:
+        return self.session.is_ebgp
+
+    def context(self) -> PolicyContext:
+        return PolicyContext(neighbor_as=self.asn, peer_address=self.address)
+
+
+class BGPRouter:
+    """One BGP speaker in a simulated network.
+
+    *cluster_id* defaults to the router id; setting *route_reflector* makes
+    IBGP neighbors flagged ``is_rr_client`` reflection clients.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        asn: int,
+        router_id: int,
+        address: int,
+        decision: Optional[DecisionProcess] = None,
+        route_reflector: bool = False,
+        cluster_id: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.asn = asn
+        self.router_id = router_id
+        self.address = address
+        self.decision = decision if decision is not None else DecisionProcess()
+        self.route_reflector = route_reflector
+        self.cluster_id = cluster_id if cluster_id is not None else router_id
+        self.loc_rib = LocRib()
+        self.neighbors: dict[int, Neighbor] = {}
+        self._local_routes: dict[Prefix, PathAttributes] = {}
+
+    # ------------------------------------------------------------------
+    # Topology wiring
+    # ------------------------------------------------------------------
+
+    def add_neighbor(
+        self,
+        address: int,
+        asn: int,
+        router_id: int,
+        policy: Optional[Policy] = None,
+        is_rr_client: bool = False,
+        nexthop_self: bool = False,
+        hold_time: Optional[float] = 90.0,
+        max_prefixes: Optional[int] = None,
+    ) -> Neighbor:
+        """Configure a peering with the speaker at *address*."""
+        if address in self.neighbors:
+            raise BGPError(f"{self.name}: duplicate neighbor {address:#x}")
+        session = BGPSession(
+            local_address=self.address,
+            peer_address=address,
+            peer_asn=asn,
+            local_asn=self.asn,
+            hold_time=hold_time,
+            max_prefixes=max_prefixes,
+        )
+        neighbor = Neighbor(
+            address=address,
+            asn=asn,
+            router_id=router_id,
+            session=session,
+            policy=policy if policy is not None else Policy(),
+            is_rr_client=is_rr_client,
+            nexthop_self=nexthop_self,
+        )
+        self.neighbors[address] = neighbor
+        return neighbor
+
+    def neighbor(self, address: int) -> Neighbor:
+        try:
+            return self.neighbors[address]
+        except KeyError:
+            raise BGPError(
+                f"{self.name}: no neighbor at address {address:#x}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Local origination
+    # ------------------------------------------------------------------
+
+    def originate(
+        self,
+        prefix: Prefix,
+        med: Optional[int] = None,
+        communities: Iterable = (),
+        now: float = 0.0,
+    ) -> list[tuple[int, BGPUpdate]]:
+        """Originate *prefix* locally (empty AS path, self nexthop).
+
+        Returns the updates to send to peers.
+        """
+        attrs = PathAttributes(
+            nexthop=self.address,
+            as_path=ASPath(),
+            origin=Origin.IGP,
+            med=med,
+            communities=communities,
+        )
+        self._local_routes[prefix] = attrs
+        self.loc_rib.add_candidate(Route(prefix, attrs, LOCAL_PEER))
+        return self._reselect(prefix, now)
+
+    def withdraw_origination(
+        self, prefix: Prefix, now: float = 0.0
+    ) -> list[tuple[int, BGPUpdate]]:
+        """Stop originating *prefix*."""
+        if prefix not in self._local_routes:
+            raise BGPError(f"{self.name}: {prefix} is not locally originated")
+        del self._local_routes[prefix]
+        self.loc_rib.remove_candidate(prefix, LOCAL_PEER)
+        return self._reselect(prefix, now)
+
+    # ------------------------------------------------------------------
+    # Message processing
+    # ------------------------------------------------------------------
+
+    def receive_update(
+        self, from_address: int, update: BGPUpdate, now: float = 0.0
+    ) -> list[tuple[int, BGPUpdate]]:
+        """Process an UPDATE from a peer; return updates to propagate.
+
+        Withdrawals are processed before announcements, matching the wire
+        format's field order.
+        """
+        neighbor = self.neighbor(from_address)
+        if not neighbor.session.is_established:
+            # Messages racing a session teardown are dropped, as a real
+            # speaker drops data on a closed TCP connection.
+            return []
+        touched: list[Prefix] = []
+        for withdrawal in update.withdrawals:
+            if self._apply_withdrawal(neighbor, withdrawal):
+                touched.append(withdrawal.prefix)
+        announced = 0
+        for announcement in update.announcements:
+            outcome = self._apply_announcement(neighbor, announcement)
+            if outcome is not None:
+                touched.append(announcement.prefix)
+                announced += outcome
+        outgoing: list[tuple[int, BGPUpdate]] = []
+        if announced and neighbor.session.note_prefixes(announced, now):
+            # Max-prefix tripped: the whole session collapses and takes
+            # every route from this peer with it.
+            outgoing.extend(self._flush_peer(neighbor, now))
+            return outgoing
+        for prefix in touched:
+            outgoing.extend(self._reselect(prefix, now))
+        return _merge_updates(outgoing)
+
+    def session_up(
+        self, peer_address: int, now: float = 0.0
+    ) -> list[tuple[int, BGPUpdate]]:
+        """Bring the session up and send our full table to that peer."""
+        neighbor = self.neighbor(peer_address)
+        if not neighbor.session.is_established:
+            neighbor.session.establish_directly(now)
+        announcements: list[Announcement] = []
+        for route in self.loc_rib.best_routes():
+            attrs = self._export_route(neighbor, route)
+            if attrs is None:
+                continue
+            neighbor.adj_rib_out[route.prefix] = attrs
+            announcements.append(Announcement(route.prefix, attrs))
+        if not announcements:
+            return []
+        return [(peer_address, BGPUpdate(announcements=tuple(announcements)))]
+
+    def session_down(
+        self, peer_address: int, now: float = 0.0
+    ) -> list[tuple[int, BGPUpdate]]:
+        """Tear the session down; withdraw everything learned from it."""
+        neighbor = self.neighbor(peer_address)
+        neighbor.session.close(now)
+        return self._flush_peer(neighbor, now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def best_route(self, prefix: Prefix) -> Optional[Route]:
+        return self.loc_rib.best(prefix)
+
+    def table_size(self) -> int:
+        """Number of prefixes with a selected route ('show ip bgp' lines)."""
+        return len(self.loc_rib)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _apply_withdrawal(self, neighbor: Neighbor, withdrawal: Withdrawal) -> bool:
+        removed = neighbor.adj_rib_in.withdraw(withdrawal.prefix)
+        if removed is None:
+            return False
+        neighbor.session.note_withdrawn(1)
+        self.loc_rib.remove_candidate(withdrawal.prefix, neighbor.address)
+        return True
+
+    def _apply_announcement(
+        self, neighbor: Neighbor, announcement: Announcement
+    ) -> Optional[int]:
+        """Install one announcement.
+
+        Returns None if the route was rejected, else the number of *new*
+        prefixes this added to the session count (0 for a replacement).
+        """
+        prefix, attrs = announcement.prefix, announcement.attributes
+        if neighbor.is_ebgp and attrs.as_path.has_loop(self.asn):
+            return None
+        if not neighbor.is_ebgp and attrs.originator_id == self.router_id:
+            # Reflection loop prevention: our own originated route came back.
+            return None
+        if not neighbor.is_ebgp and self.cluster_id in attrs.cluster_list:
+            return None
+        if neighbor.is_ebgp:
+            # LOCAL_PREF is not valid across AS boundaries; reset before
+            # import policy, which may assign one.
+            attrs = attrs.replace(local_pref=DEFAULT_LOCAL_PREF)
+        imported = neighbor.policy.import_route(
+            prefix, attrs, neighbor.context()
+        )
+        previous = neighbor.adj_rib_in.get(prefix)
+        if imported is None:
+            # Filtered by import policy. If we previously held this route,
+            # that is an implicit withdrawal.
+            if previous is not None:
+                neighbor.adj_rib_in.withdraw(prefix)
+                neighbor.session.note_withdrawn(1)
+                self.loc_rib.remove_candidate(prefix, neighbor.address)
+                return 0
+            return None
+        neighbor.adj_rib_in.announce(prefix, imported)
+        self.loc_rib.add_candidate(Route(prefix, imported, neighbor.address))
+        return 0 if previous is not None else 1
+
+    def _reselect(
+        self, prefix: Prefix, now: float
+    ) -> list[tuple[int, BGPUpdate]]:
+        """Re-run best-path selection for *prefix*; propagate any change."""
+        sources = [
+            self._route_source(route)
+            for route in self.loc_rib.candidates(prefix)
+        ]
+        best = self.decision.select(sources)
+        previous = self.loc_rib.best(prefix)
+        if best is None:
+            if previous is None:
+                return []
+            self.loc_rib.clear_best(prefix)
+            return self._propagate_withdrawal(prefix, previous)
+        if previous is not None and previous == best.route:
+            return []
+        self.loc_rib.set_best(best.route)
+        return self._propagate_best(best.route, previous)
+
+    def _route_source(self, route: Route) -> RouteSource:
+        if route.peer == LOCAL_PEER:
+            return RouteSource(
+                route=route,
+                is_ebgp=False,
+                peer_router_id=self.router_id,
+                peer_address=self.address,
+            )
+        neighbor = self.neighbor(route.peer)
+        return RouteSource(
+            route=route,
+            is_ebgp=neighbor.is_ebgp,
+            peer_router_id=neighbor.router_id,
+            peer_address=neighbor.address,
+        )
+
+    def _propagate_best(
+        self, best: Route, previous: Optional[Route]
+    ) -> list[tuple[int, BGPUpdate]]:
+        outgoing: list[tuple[int, BGPUpdate]] = []
+        for neighbor in self.neighbors.values():
+            if not neighbor.session.is_established:
+                continue
+            attrs = self._export_route(neighbor, best)
+            previously_sent = best.prefix in neighbor.adj_rib_out
+            if attrs is None:
+                if previously_sent:
+                    del neighbor.adj_rib_out[best.prefix]
+                    outgoing.append(
+                        (
+                            neighbor.address,
+                            BGPUpdate.withdraw([best.prefix]),
+                        )
+                    )
+                continue
+            if previously_sent and neighbor.adj_rib_out[best.prefix] == attrs:
+                continue
+            neighbor.adj_rib_out[best.prefix] = attrs
+            outgoing.append(
+                (
+                    neighbor.address,
+                    BGPUpdate(
+                        announcements=(Announcement(best.prefix, attrs),)
+                    ),
+                )
+            )
+        return outgoing
+
+    def _propagate_withdrawal(
+        self, prefix: Prefix, previous: Route
+    ) -> list[tuple[int, BGPUpdate]]:
+        outgoing: list[tuple[int, BGPUpdate]] = []
+        for neighbor in self.neighbors.values():
+            if prefix in neighbor.adj_rib_out:
+                del neighbor.adj_rib_out[prefix]
+                if neighbor.session.is_established:
+                    outgoing.append(
+                        (neighbor.address, BGPUpdate.withdraw([prefix]))
+                    )
+        return outgoing
+
+    def _export_route(
+        self, neighbor: Neighbor, route: Route
+    ) -> Optional[PathAttributes]:
+        """Attributes to announce to *neighbor*, or None if not exported."""
+        if route.peer == neighbor.address:
+            # Never echo a route back to the peer that taught it to us.
+            return None
+        if not self._may_relay(neighbor, route):
+            return None
+        attrs = route.attributes
+        if neighbor.is_ebgp:
+            attrs = attrs.replace(
+                as_path=attrs.as_path.prepend(self.asn),
+                nexthop=self.address,
+                local_pref=DEFAULT_LOCAL_PREF,
+                med=None,
+                originator_id=None,
+                cluster_list=(),
+            )
+        else:
+            if neighbor.nexthop_self:
+                attrs = attrs.replace(nexthop=self.address)
+            attrs = self._reflection_attrs(attrs, route)
+        exported = neighbor.policy.export_route(
+            route.prefix, attrs, neighbor.context()
+        )
+        return exported
+
+    def _may_relay(self, neighbor: Neighbor, route: Route) -> bool:
+        """IBGP relay rules, including route reflection."""
+        if route.peer == LOCAL_PEER:
+            return True
+        learned_from = self.neighbor(route.peer)
+        if learned_from.is_ebgp or neighbor.is_ebgp:
+            return True
+        # IBGP-learned route toward an IBGP peer: only a route reflector
+        # may relay, and only client→all or all→client.
+        if not self.route_reflector:
+            return False
+        return learned_from.is_rr_client or neighbor.is_rr_client
+
+    def _reflection_attrs(
+        self, attrs: PathAttributes, route: Route
+    ) -> PathAttributes:
+        if not self.route_reflector or route.peer == LOCAL_PEER:
+            return attrs
+        learned_from = self.neighbor(route.peer)
+        if learned_from.is_ebgp:
+            return attrs
+        originator = (
+            attrs.originator_id
+            if attrs.originator_id is not None
+            else learned_from.router_id
+        )
+        return attrs.replace(
+            originator_id=originator,
+            cluster_list=(self.cluster_id,) + attrs.cluster_list,
+        )
+
+    def _flush_peer(
+        self, neighbor: Neighbor, now: float
+    ) -> list[tuple[int, BGPUpdate]]:
+        """Remove all state learned from a dead peer; propagate fallout."""
+        removed = neighbor.adj_rib_in.clear()
+        neighbor.adj_rib_out.clear()
+        outgoing: list[tuple[int, BGPUpdate]] = []
+        for route in removed:
+            self.loc_rib.remove_candidate(route.prefix, neighbor.address)
+            outgoing.extend(self._reselect(route.prefix, now))
+        return _merge_updates(outgoing)
+
+
+def _merge_updates(
+    outgoing: list[tuple[int, BGPUpdate]]
+) -> list[tuple[int, BGPUpdate]]:
+    """Coalesce per-prefix updates to the same peer into larger UPDATEs.
+
+    Preserves per-peer ordering (withdrawal/announcement interleaving is
+    kept by flushing whenever the message kind flips), which matters to
+    receivers that process messages sequentially.
+    """
+    merged: list[tuple[int, BGPUpdate]] = []
+    pending: dict[int, tuple[list[Withdrawal], list[Announcement]]] = {}
+    order: list[int] = []
+
+    def flush(address: int) -> None:
+        withdrawals, announcements = pending.pop(address)
+        merged.append(
+            (
+                address,
+                BGPUpdate(
+                    withdrawals=tuple(withdrawals),
+                    announcements=tuple(announcements),
+                ),
+            )
+        )
+        order.remove(address)
+
+    for address, update in outgoing:
+        if address not in pending:
+            pending[address] = ([], [])
+            order.append(address)
+        withdrawals, announcements = pending[address]
+        # BGP UPDATEs carry withdrawals before announcements; a withdrawal
+        # arriving after we queued announcements must not be reordered in
+        # front of them.
+        if update.withdrawals and announcements:
+            flush(address)
+            pending[address] = ([], [])
+            order.append(address)
+            withdrawals, announcements = pending[address]
+        withdrawals.extend(update.withdrawals)
+        announcements.extend(update.announcements)
+    for address in list(order):
+        flush(address)
+    return merged

@@ -1,0 +1,171 @@
+"""The BGP session state machine.
+
+A trimmed-down RFC 4271 FSM: Idle → Connect → OpenSent → Established, with
+hold-timer expiry, administrative resets, and the max-prefix safeguard.
+Session flaps are the engine behind several case studies — the continuous
+customer flapping of Figure 9 is nothing but this FSM cycling once a
+minute — so state transitions are recorded with timestamps for analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bgp.errors import SessionError
+from repro.net.message import NotificationCode
+
+
+class SessionState(enum.Enum):
+    IDLE = "idle"
+    CONNECT = "connect"
+    OPEN_SENT = "open-sent"
+    ESTABLISHED = "established"
+
+
+@dataclass(frozen=True, slots=True)
+class SessionTransition:
+    """One recorded state change, for flap analysis."""
+
+    time: float
+    old_state: SessionState
+    new_state: SessionState
+    reason: str = ""
+
+
+class BGPSession:
+    """One side of a BGP peering.
+
+    The session is clock-driven: callers pass the current time into every
+    method, which keeps the FSM deterministic under the discrete-event
+    simulator. *hold_time* of None disables hold-timer expiry (useful for
+    passive collector peerings that should never flap on their own).
+    """
+
+    def __init__(
+        self,
+        local_address: int,
+        peer_address: int,
+        peer_asn: int,
+        local_asn: int,
+        hold_time: Optional[float] = 90.0,
+        max_prefixes: Optional[int] = None,
+    ) -> None:
+        self.local_address = local_address
+        self.peer_address = peer_address
+        self.peer_asn = peer_asn
+        self.local_asn = local_asn
+        self.hold_time = hold_time
+        self.max_prefixes = max_prefixes
+        self.state = SessionState.IDLE
+        self.prefix_count = 0
+        self.last_keepalive = 0.0
+        self.transitions: list[SessionTransition] = []
+        self.flap_count = 0
+
+    @property
+    def is_established(self) -> bool:
+        return self.state is SessionState.ESTABLISHED
+
+    @property
+    def is_ebgp(self) -> bool:
+        return self.local_asn != self.peer_asn
+
+    def start(self, now: float) -> None:
+        """Begin connecting (administrative up)."""
+        if self.state is not SessionState.IDLE:
+            raise SessionError(f"cannot start session in state {self.state}")
+        self._transition(now, SessionState.CONNECT, "admin up")
+
+    def open_sent(self, now: float) -> None:
+        """TCP connected; OPEN exchanged."""
+        if self.state is not SessionState.CONNECT:
+            raise SessionError(f"cannot send OPEN in state {self.state}")
+        self._transition(now, SessionState.OPEN_SENT, "open sent")
+
+    def establish(self, now: float) -> None:
+        """OPEN confirmed; session up."""
+        if self.state is not SessionState.OPEN_SENT:
+            raise SessionError(f"cannot establish in state {self.state}")
+        self.last_keepalive = now
+        self.prefix_count = 0
+        self._transition(now, SessionState.ESTABLISHED, "established")
+
+    def establish_directly(self, now: float) -> None:
+        """Shortcut through Connect/OpenSent for simulation setup."""
+        if self.state is not SessionState.IDLE:
+            raise SessionError(f"cannot establish in state {self.state}")
+        self.start(now)
+        self.open_sent(now)
+        self.establish(now)
+
+    def keepalive(self, now: float) -> None:
+        """Record a received KEEPALIVE (refreshes the hold timer)."""
+        if not self.is_established:
+            raise SessionError("keepalive on a session that is not up")
+        self.last_keepalive = now
+
+    def check_hold_timer(self, now: float) -> bool:
+        """Tear the session down if the hold timer expired.
+
+        Returns True if the session was closed by this check.
+        """
+        if not self.is_established or self.hold_time is None:
+            return False
+        if now - self.last_keepalive > self.hold_time:
+            self.close(now, NotificationCode.HOLD_TIMER_EXPIRED)
+            return True
+        return False
+
+    def note_prefixes(self, count: int, now: float) -> bool:
+        """Account for *count* newly announced prefixes.
+
+        Enforces the max-prefix limit: returns True if the limit tripped
+        and the session was closed (the ISP-A/ISP-B leak incident from
+        Section I).
+        """
+        if not self.is_established:
+            raise SessionError("prefixes on a session that is not up")
+        self.prefix_count += count
+        if (
+            self.max_prefixes is not None
+            and self.prefix_count > self.max_prefixes
+        ):
+            self.close(now, NotificationCode.MAX_PREFIX_EXCEEDED)
+            return True
+        return False
+
+    def note_withdrawn(self, count: int) -> None:
+        """Account for withdrawn prefixes."""
+        self.prefix_count = max(0, self.prefix_count - count)
+
+    def close(
+        self,
+        now: float,
+        code: NotificationCode = NotificationCode.CEASE,
+    ) -> None:
+        """Tear the session down (notification sent or received)."""
+        if self.state is SessionState.IDLE:
+            return
+        if self.state is SessionState.ESTABLISHED:
+            self.flap_count += 1
+        self._transition(now, SessionState.IDLE, code.value)
+        self.prefix_count = 0
+
+    def flap(self, down_at: float, up_at: float) -> None:
+        """Convenience: close and immediately re-establish.
+
+        The Figure 9 customer dropped and re-established its session about
+        once a minute for 1.5 months; scenarios drive that with this call.
+        """
+        if up_at < down_at:
+            raise SessionError("session cannot come up before it went down")
+        self.close(down_at)
+        self.establish_directly(up_at)
+
+    def _transition(self, now: float, new_state: SessionState, reason: str) -> None:
+        self.transitions.append(
+            SessionTransition(now, self.state, new_state, reason)
+        )
+        self.state = new_state

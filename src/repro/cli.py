@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Four subcommands cover the operator workflows the paper describes:
+
+* ``repro demo`` — build the simulated Berkeley site, inject a chosen
+  incident, and print the diagnosis (a self-contained tour).
+* ``repro diagnose EVENTS.jsonl`` — run event-rate + Stemming + TAMP
+  over a recorded event stream.
+* ``repro render EVENTS.jsonl -o out.svg`` — draw the TAMP picture of
+  the routes announced in a stream.
+* ``repro rate EVENTS.jsonl`` — print the Figure 8 style rate series.
+
+Event files are either the JSONL format of
+:meth:`repro.collector.stream.EventStream.save` or MRT archives
+(RouteViews-style ``.mrt``/``.bz2``-decompressed update files are
+detected by extension and loaded through :mod:`repro.mrt`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.report import diagnose
+from repro.collector.rates import bin_events
+from repro.collector.stream import EventStream
+from repro.stemming.stemmer import Stemmer
+from repro.tamp.incremental import IncrementalTamp
+from repro.tamp.prune import prune_flat
+from repro.tamp.render import render_ascii, render_svg
+
+DEMO_SCENARIOS = ("route-leak", "backdoor", "session-reset", "med-oscillation",
+                  "customer-flap")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TAMP + Stemming BGP anomaly detection (DSN 2005 repro)",
+    )
+    sub = parser.add_subparsers(required=True)
+
+    demo = sub.add_parser("demo", help="simulate an incident and diagnose it")
+    demo.add_argument(
+        "scenario",
+        choices=DEMO_SCENARIOS,
+        nargs="?",
+        default="route-leak",
+    )
+    demo.add_argument(
+        "--prefixes", type=int, default=800,
+        help="Berkeley table size (default 800)",
+    )
+    demo.add_argument(
+        "--save", type=Path, default=None,
+        help="also save the incident's event stream as JSONL",
+    )
+    demo.set_defaults(handler=cmd_demo)
+
+    diag = sub.add_parser("diagnose", help="diagnose a JSONL event stream")
+    diag.add_argument("events", type=Path)
+    diag.add_argument(
+        "--components", type=int, default=8,
+        help="maximum components to extract (default 8)",
+    )
+    diag.set_defaults(handler=cmd_diagnose)
+
+    render = sub.add_parser("render", help="TAMP picture of a stream")
+    render.add_argument("events", type=Path)
+    render.add_argument("-o", "--output", type=Path, default=None,
+                        help="write SVG here (default: ASCII to stdout)")
+    render.add_argument("--threshold", type=float, default=0.05,
+                        help="prune threshold (default 0.05)")
+    render.set_defaults(handler=cmd_render)
+
+    rate = sub.add_parser("rate", help="event-rate series of a stream")
+    rate.add_argument("events", type=Path)
+    rate.add_argument("--bins", type=int, default=50)
+    rate.set_defaults(handler=cmd_rate)
+
+    animate = sub.add_parser(
+        "animate", help="SMIL-animated SVG of a stream (plays in a browser)"
+    )
+    animate.add_argument("events", type=Path)
+    animate.add_argument("-o", "--output", type=Path, required=True)
+    animate.add_argument(
+        "--duration", type=float, default=30.0,
+        help="play duration in seconds (default 30, per the paper)",
+    )
+    animate.add_argument(
+        "--fps", type=int, default=25,
+        help="frames per second (default 25, per the paper)",
+    )
+    animate.set_defaults(handler=cmd_animate)
+    return parser
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.simulator import scenarios
+    from repro.simulator.workloads import BerkeleySite
+
+    if args.scenario in ("route-leak", "backdoor", "session-reset"):
+        print(f"building Berkeley site ({args.prefixes} prefixes)...")
+        site = BerkeleySite(n_prefixes=args.prefixes)
+        incident = {
+            "route-leak": lambda: scenarios.route_leak(site),
+            "backdoor": lambda: scenarios.backdoor_routes(site),
+            "session-reset": lambda: scenarios.session_reset(site),
+        }[args.scenario]()
+    elif args.scenario == "med-oscillation":
+        print("building the Figure 3 MED-oscillation lab...")
+        incident = scenarios.med_oscillation(flap_count=100)
+    else:
+        from repro.simulator.workloads import IspAnonSite
+
+        print("building ISP-Anon core (8 reflectors)...")
+        isp = IspAnonSite(n_reflectors=8, n_prefixes=400)
+        incident = scenarios.customer_flap(isp, flap_count=10)
+    print(f"incident '{incident.name}': {len(incident.stream)} events")
+    print()
+    report = diagnose(incident.stream)
+    print(report.to_text())
+    if args.save is not None:
+        incident.stream.save(args.save)
+        print(f"\nevent stream saved to {args.save}")
+    return 0
+
+
+def _load_stream(path: Path) -> EventStream:
+    """Load events from JSONL or (by extension) an MRT updates file."""
+    if path.suffix.lower() in (".mrt", ".dump", ".bgp4mp"):
+        from repro.mrt.loader import load_updates
+
+        return load_updates(path)
+    return EventStream.load(path)
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    stream = _load_stream(args.events)
+    report = diagnose(stream, stemmer=Stemmer(max_components=args.components))
+    print(report.to_text())
+    return 0
+
+
+def _stream_graph(stream: EventStream):
+    tamp = IncrementalTamp("stream")
+    tamp.apply_all(stream)
+    return tamp.graph
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    stream = _load_stream(args.events)
+    graph = prune_flat(_stream_graph(stream), args.threshold)
+    if args.output is None:
+        print(render_ascii(graph))
+    else:
+        args.output.write_text(
+            render_svg(graph, title=str(args.events.name))
+        )
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_rate(args: argparse.Namespace) -> int:
+    stream = _load_stream(args.events)
+    if not len(stream):
+        print("empty stream")
+        return 0
+    bin_seconds = max(1.0, stream.timerange / args.bins)
+    series = bin_events(stream, bin_seconds)
+    peak = max(series.counts) if series.counts else 1
+    for index, count in enumerate(series.counts):
+        bar = "#" * round(40 * count / max(peak, 1))
+        print(f"{series.bin_start(index):>12.1f}s {count:>8} {bar}")
+    print(
+        f"peak {series.peak()[1]} at t={series.peak()[0]:.1f}s,"
+        f" grass level {series.grass_level():.1f},"
+        f" spikes at {series.spikes()}"
+    )
+    return 0
+
+
+def cmd_animate(args: argparse.Namespace) -> int:
+    from repro.tamp.animate import animate_stream
+    from repro.tamp.svg_animation import render_svg_animation
+
+    stream = _load_stream(args.events)
+    animation = animate_stream(
+        stream, play_duration=args.duration, fps=args.fps
+    )
+    args.output.write_text(
+        render_svg_animation(animation, title=str(args.events.name))
+    )
+    changed = len(animation.frames_with_changes())
+    print(
+        f"wrote {args.output}: {animation.frame_count} frames"
+        f" ({changed} with changes), timerange"
+        f" {animation.timerange:.1f}s -> {args.duration:.0f}s play"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

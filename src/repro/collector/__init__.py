@@ -1,0 +1,24 @@
+"""The passive route collector and its event stream.
+
+Section II of the paper: the Route Explorer (REX) IBGP-peers passively
+with a site's BGP edge routers (or an ISP's route reflectors), so it sees
+exactly what interior routers see. Raw UPDATE messages are insufficient
+for analysis — withdrawals carry no attributes — so REX keeps an
+Adj-RIB-In per peer and augments each withdrawal with the attributes of
+the route being withdrawn. The result is the *event stream* every
+algorithm in this reproduction consumes.
+"""
+
+from repro.collector.events import BGPEvent, EventKind
+from repro.collector.stream import EventStream
+from repro.collector.rex import RouteExplorer
+from repro.collector.rates import EventRateSeries, bin_events
+
+__all__ = [
+    "BGPEvent",
+    "EventKind",
+    "EventStream",
+    "RouteExplorer",
+    "EventRateSeries",
+    "bin_events",
+]

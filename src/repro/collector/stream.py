@@ -1,0 +1,161 @@
+"""Event streams: ordered collections of BGP events.
+
+The stream is the interface between data collection and analysis: TAMP
+animations replay one, Stemming decomposes one, and the Figure 8 event-rate
+plot bins one. Streams support time slicing, predicate filtering, merging
+and JSONL persistence.
+"""
+
+from __future__ import annotations
+
+import bisect
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.collector.events import BGPEvent
+from repro.net.attributes import Community
+from repro.net.prefix import Prefix
+
+
+class EventStream:
+    """A time-ordered sequence of :class:`BGPEvent`.
+
+    Events may be appended out of order; the stream sorts lazily on first
+    read access and stays sorted until the next append. Sorting is stable,
+    so simultaneous events keep arrival order — which matters when a
+    withdrawal and re-announcement share a timestamp.
+    """
+
+    def __init__(self, events: Iterable[BGPEvent] = ()) -> None:
+        self._events: list[BGPEvent] = list(events)
+        self._sorted = False
+        self._ensure_sorted()
+
+    # ------------------------------------------------------------------
+    # Collection basics
+    # ------------------------------------------------------------------
+
+    def append(self, event: BGPEvent) -> None:
+        if self._sorted and self._events and event.timestamp < self._events[-1].timestamp:
+            self._sorted = False
+        self._events.append(event)
+
+    def extend(self, events: Iterable[BGPEvent]) -> None:
+        for event in events:
+            self.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[BGPEvent]:
+        self._ensure_sorted()
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> BGPEvent:
+        self._ensure_sorted()
+        return self._events[index]
+
+    # ------------------------------------------------------------------
+    # Time properties
+    # ------------------------------------------------------------------
+
+    @property
+    def start_time(self) -> Optional[float]:
+        self._ensure_sorted()
+        return self._events[0].timestamp if self._events else None
+
+    @property
+    def end_time(self) -> Optional[float]:
+        self._ensure_sorted()
+        return self._events[-1].timestamp if self._events else None
+
+    @property
+    def timerange(self) -> float:
+        """Seconds between first and last event (the paper's 'timerange')."""
+        if not self._events:
+            return 0.0
+        self._ensure_sorted()
+        return self._events[-1].timestamp - self._events[0].timestamp
+
+    # ------------------------------------------------------------------
+    # Slicing and filtering
+    # ------------------------------------------------------------------
+
+    def between(self, start: float, end: float) -> "EventStream":
+        """Events with start ≤ timestamp < end."""
+        self._ensure_sorted()
+        keys = [e.timestamp for e in self._events]
+        lo = bisect.bisect_left(keys, start)
+        hi = bisect.bisect_left(keys, end)
+        return EventStream(self._events[lo:hi])
+
+    def filter(self, predicate: Callable[[BGPEvent], bool]) -> "EventStream":
+        return EventStream(e for e in self if predicate(e))
+
+    def for_peer(self, peer: int) -> "EventStream":
+        return self.filter(lambda e: e.peer == peer)
+
+    def for_prefix(self, prefix: Prefix) -> "EventStream":
+        return self.filter(lambda e: e.prefix == prefix)
+
+    def for_prefixes(self, prefixes: set[Prefix]) -> "EventStream":
+        return self.filter(lambda e: e.prefix in prefixes)
+
+    def with_community(self, community: Community) -> "EventStream":
+        return self.filter(lambda e: community in e.attributes.communities)
+
+    def traversing_as(self, asn: int) -> "EventStream":
+        return self.filter(lambda e: asn in e.attributes.as_path)
+
+    def merged_with(self, other: "EventStream") -> "EventStream":
+        return EventStream(list(self) + list(other))
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def prefixes(self) -> set[Prefix]:
+        return {e.prefix for e in self._events}
+
+    def peers(self) -> set[int]:
+        return {e.peer for e in self._events}
+
+    def nexthops(self) -> set[int]:
+        return {e.attributes.nexthop for e in self._events}
+
+    def announce_count(self) -> int:
+        return sum(1 for e in self._events if not e.is_withdrawal)
+
+    def withdraw_count(self) -> int:
+        return sum(1 for e in self._events if e.is_withdrawal)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the stream as JSONL."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self:
+                handle.write(event.to_json())
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EventStream":
+        """Read a JSONL stream written by :meth:`save`."""
+        events = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(BGPEvent.from_json(line))
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._events.sort(key=lambda e: e.timestamp)
+            self._sorted = True

@@ -1,0 +1,64 @@
+"""Router configuration files: a mini IOS dialect, parser and compiler.
+
+Section III-D.1 of the paper integrates router configuration files into
+anomaly diagnosis: routing policies live in configs, are invisible in BGP
+events, and explain incidents like Berkeley's LOCAL_PREF 80/70 split keyed
+on CalREN community tags. This package parses an IOS-like configuration
+language and compiles it into the policy objects of :mod:`repro.bgp`, so
+Stemming components can be correlated against the *intended* policy
+(:mod:`repro.integrate.policy`).
+
+Supported statements::
+
+    ip prefix-list NAME [seq N] (permit|deny) A.B.C.D/L [ge N] [le N]
+    ip community-list [standard] NAME (permit|deny) ASN:VAL...
+    route-map NAME (permit|deny) SEQ
+      match community NAME
+      match ip address prefix-list NAME
+      match as-path contains ASN
+      match local-origin
+      set local-preference N
+      set metric N
+      set community A:B [additive]
+      set comm-list NAME delete
+      set as-path prepend ASN [ASN ...]
+      set ip next-hop A.B.C.D
+    router bgp ASN
+      bgp router-id A.B.C.D
+      bgp cluster-id A.B.C.D
+      bgp always-compare-med
+      bgp deterministic-med
+      bgp bestpath med missing-as-worst
+      neighbor A.B.C.D remote-as ASN
+      neighbor A.B.C.D route-map NAME (in|out)
+      neighbor A.B.C.D maximum-prefix N
+      neighbor A.B.C.D route-reflector-client
+      neighbor A.B.C.D next-hop-self
+      network A.B.C.D/L
+"""
+
+from repro.config.parser import ConfigParseError, parse_config
+from repro.config.compiler import CompiledConfig, compile_config
+from repro.config.render import render_config
+from repro.config.ast_nodes import (
+    BgpSection,
+    CommunityListLine,
+    ConfigFile,
+    NeighborDirective,
+    PrefixListLine,
+    RouteMapEntry,
+)
+
+__all__ = [
+    "parse_config",
+    "compile_config",
+    "render_config",
+    "ConfigParseError",
+    "CompiledConfig",
+    "ConfigFile",
+    "PrefixListLine",
+    "CommunityListLine",
+    "RouteMapEntry",
+    "BgpSection",
+    "NeighborDirective",
+]

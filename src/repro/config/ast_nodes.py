@@ -1,0 +1,126 @@
+"""AST node types for the mini IOS configuration language.
+
+The parser produces these; the compiler turns them into
+:mod:`repro.bgp.policy` objects. Keeping an explicit AST (rather than
+compiling during the parse) lets the Section III-D.1 correlation engine
+point at the *configuration line* responsible for a routing behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.attributes import Community
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixListLine:
+    """One ``ip prefix-list`` statement."""
+
+    name: str
+    sequence: int
+    permit: bool
+    prefix: Prefix
+    ge: Optional[int] = None
+    le: Optional[int] = None
+    line_number: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CommunityListLine:
+    """One ``ip community-list`` statement."""
+
+    name: str
+    permit: bool
+    communities: tuple[Community, ...]
+    line_number: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class AsPathListLine:
+    """One ``ip as-path access-list`` statement (IOS-style regex)."""
+
+    name: str
+    permit: bool
+    regex: str
+    line_number: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class MatchDirective:
+    """A ``match`` line inside a route-map entry.
+
+    *kind* is one of ``community``, ``prefix-list``, ``as-path-contains``,
+    ``local-origin``; *argument* is the referenced name/ASN (empty for
+    ``local-origin``).
+    """
+
+    kind: str
+    argument: str = ""
+    line_number: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SetDirective:
+    """A ``set`` line inside a route-map entry.
+
+    *kind* is one of ``local-preference``, ``metric``, ``community``,
+    ``comm-list-delete``, ``prepend``, ``next-hop``; *arguments* the raw
+    tokens after the keyword.
+    """
+
+    kind: str
+    arguments: tuple[str, ...] = ()
+    line_number: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class RouteMapEntry:
+    """One ``route-map NAME permit/deny SEQ`` block."""
+
+    name: str
+    permit: bool
+    sequence: int
+    matches: tuple[MatchDirective, ...] = ()
+    sets: tuple[SetDirective, ...] = ()
+    line_number: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborDirective:
+    """One ``neighbor`` line inside ``router bgp``."""
+
+    address: int
+    kind: str  # remote-as | route-map-in | route-map-out | maximum-prefix
+    #          | route-reflector-client | next-hop-self
+    argument: str = ""
+    line_number: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BgpSection:
+    """The ``router bgp ASN`` block."""
+
+    asn: int
+    router_id: Optional[int] = None
+    cluster_id: Optional[int] = None
+    always_compare_med: bool = False
+    deterministic_med: bool = False
+    med_missing_as_worst: bool = False
+    networks: tuple[Prefix, ...] = ()
+    neighbors: tuple[NeighborDirective, ...] = ()
+    line_number: int = 0
+
+
+@dataclass(slots=True)
+class ConfigFile:
+    """A whole parsed configuration."""
+
+    hostname: str = ""
+    prefix_lists: list[PrefixListLine] = field(default_factory=list)
+    community_lists: list[CommunityListLine] = field(default_factory=list)
+    as_path_lists: list[AsPathListLine] = field(default_factory=list)
+    route_maps: list[RouteMapEntry] = field(default_factory=list)
+    bgp: Optional[BgpSection] = None

@@ -1,0 +1,417 @@
+"""Compile a parsed configuration into live policy objects.
+
+The compiler resolves name references (route-maps pointing at community-
+and prefix-lists), checks them, and emits :mod:`repro.bgp.policy` objects
+plus the per-neighbor settings a :class:`repro.bgp.router.BGPRouter`
+needs. It also keeps a reverse index from each compiled policy effect back
+to its source line, which the Section III-D.1 correlation uses to answer
+"which configuration line caused this behaviour?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bgp.decision import DecisionProcess
+from repro.bgp.errors import PolicyError
+from repro.bgp.policy import (
+    AddCommunity,
+    MatchASInPath,
+    MatchLocallyOriginated,
+    Policy,
+    PolicyContext,
+    PrefixListEntry,
+    PrependASPath,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+    SetMED,
+    SetNexthop,
+    compile_as_path_regex,
+)
+from repro.config.ast_nodes import (
+    ConfigFile,
+    MatchDirective,
+    RouteMapEntry,
+    SetDirective,
+)
+from repro.net.attributes import Community, PathAttributes
+from repro.net.prefix import Prefix, parse_address
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledPrefixList:
+    """An ordered permit/deny prefix list (first match decides).
+
+    Implements the :class:`repro.bgp.policy.MatchCondition` protocol: the
+    route "matches" when the first hitting line is a permit. No hit means
+    no match (IOS's implicit deny).
+    """
+
+    name: str
+    lines: tuple[tuple[bool, PrefixListEntry], ...]
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        for permit, entry in self.lines:
+            if entry.matches(prefix):
+                return permit
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledCommunityList:
+    """An ordered permit/deny community list (first match decides)."""
+
+    name: str
+    lines: tuple[tuple[bool, frozenset[Community]], ...]
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        for permit, communities in self.lines:
+            if communities & attrs.communities:
+                return permit
+        return False
+
+    def all_tags(self) -> frozenset[Community]:
+        """Every community named on a permit line (for comm-list delete)."""
+        tags: set[Community] = set()
+        for permit, communities in self.lines:
+            if permit:
+                tags |= communities
+        return frozenset(tags)
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledAsPathList:
+    """An ordered permit/deny as-path access-list (first match decides)."""
+
+    name: str
+    lines: tuple[tuple[bool, str], ...]  # (permit, regex)
+
+    def matches(
+        self, prefix: Prefix, attrs: PathAttributes, context: PolicyContext
+    ) -> bool:
+        rendered = str(attrs.as_path)
+        for permit, regex in self.lines:
+            if compile_as_path_regex(regex).search(rendered) is not None:
+                return permit
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class DeleteCommunityList:
+    """The ``set comm-list NAME delete`` action."""
+
+    communities: frozenset[Community]
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.replace(communities=attrs.communities - self.communities)
+
+
+@dataclass(frozen=True, slots=True)
+class SetCommunities:
+    """``set community ...`` without ``additive`` replaces all tags."""
+
+    communities: frozenset[Community]
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.replace(communities=self.communities)
+
+
+@dataclass(slots=True)
+class CompiledNeighbor:
+    """Per-neighbor settings extracted from ``neighbor`` lines."""
+
+    address: int
+    remote_as: Optional[int] = None
+    policy: Policy = field(default_factory=Policy)
+    import_map_name: str = ""
+    export_map_name: str = ""
+    max_prefixes: Optional[int] = None
+    is_rr_client: bool = False
+    nexthop_self: bool = False
+
+
+@dataclass(slots=True)
+class CompiledConfig:
+    """Everything a router (or a policy correlator) needs from one config."""
+
+    hostname: str
+    asn: int
+    router_id: Optional[int]
+    cluster_id: Optional[int]
+    decision: DecisionProcess
+    prefix_lists: dict[str, CompiledPrefixList]
+    community_lists: dict[str, CompiledCommunityList]
+    as_path_lists: dict[str, CompiledAsPathList]
+    route_maps: dict[str, RouteMap]
+    neighbors: dict[int, CompiledNeighbor]
+    networks: tuple[Prefix, ...]
+    #: route-map name → list of (sequence, source line number)
+    source_lines: dict[str, list[tuple[int, int]]]
+
+    def neighbor(self, address_text: str) -> CompiledNeighbor:
+        return self.neighbors[parse_address(address_text)]
+
+
+def compile_config(config: ConfigFile) -> CompiledConfig:
+    """Compile *config*; raises :class:`PolicyError` on dangling names."""
+    prefix_lists = _compile_prefix_lists(config)
+    community_lists = _compile_community_lists(config)
+    as_path_lists = _compile_as_path_lists(config)
+    route_maps, source_lines = _compile_route_maps(
+        config, prefix_lists, community_lists, as_path_lists
+    )
+    if config.bgp is None:
+        raise PolicyError("configuration has no router bgp section")
+    neighbors = _compile_neighbors(config, route_maps)
+    decision = DecisionProcess(
+        compare_med_always=config.bgp.always_compare_med,
+        deterministic_med=config.bgp.deterministic_med,
+        med_missing_as_worst=config.bgp.med_missing_as_worst,
+    )
+    return CompiledConfig(
+        hostname=config.hostname,
+        asn=config.bgp.asn,
+        router_id=config.bgp.router_id,
+        cluster_id=config.bgp.cluster_id,
+        decision=decision,
+        prefix_lists=prefix_lists,
+        community_lists=community_lists,
+        as_path_lists=as_path_lists,
+        route_maps=route_maps,
+        neighbors=neighbors,
+        networks=config.bgp.networks,
+        source_lines=source_lines,
+    )
+
+
+def _compile_prefix_lists(config: ConfigFile) -> dict[str, CompiledPrefixList]:
+    grouped: dict[str, list] = {}
+    for line in config.prefix_lists:
+        grouped.setdefault(line.name, []).append(line)
+    compiled = {}
+    for name, lines in grouped.items():
+        lines.sort(key=lambda l: l.sequence)
+        compiled[name] = CompiledPrefixList(
+            name=name,
+            lines=tuple(
+                (
+                    line.permit,
+                    PrefixListEntry(line.prefix, ge=line.ge, le=line.le),
+                )
+                for line in lines
+            ),
+        )
+    return compiled
+
+
+def _compile_community_lists(
+    config: ConfigFile,
+) -> dict[str, CompiledCommunityList]:
+    grouped: dict[str, list] = {}
+    for line in config.community_lists:
+        grouped.setdefault(line.name, []).append(line)
+    return {
+        name: CompiledCommunityList(
+            name=name,
+            lines=tuple(
+                (line.permit, frozenset(line.communities)) for line in lines
+            ),
+        )
+        for name, lines in grouped.items()
+    }
+
+
+def _compile_as_path_lists(
+    config: ConfigFile,
+) -> dict[str, CompiledAsPathList]:
+    grouped: dict[str, list] = {}
+    for line in config.as_path_lists:
+        grouped.setdefault(line.name, []).append(line)
+    return {
+        name: CompiledAsPathList(
+            name=name,
+            lines=tuple((line.permit, line.regex) for line in lines),
+        )
+        for name, lines in grouped.items()
+    }
+
+
+def _compile_route_maps(
+    config: ConfigFile,
+    prefix_lists: dict[str, CompiledPrefixList],
+    community_lists: dict[str, CompiledCommunityList],
+    as_path_lists: dict[str, CompiledAsPathList],
+) -> tuple[dict[str, RouteMap], dict[str, list[tuple[int, int]]]]:
+    grouped: dict[str, list[RouteMapEntry]] = {}
+    for entry in config.route_maps:
+        grouped.setdefault(entry.name, []).append(entry)
+    route_maps: dict[str, RouteMap] = {}
+    source_lines: dict[str, list[tuple[int, int]]] = {}
+    for name, entries in grouped.items():
+        entries.sort(key=lambda e: e.sequence)
+        sequences = [e.sequence for e in entries]
+        if len(set(sequences)) != len(sequences):
+            raise PolicyError(f"route-map {name}: duplicate sequence numbers")
+        clauses = tuple(
+            RouteMapClause(
+                permit=entry.permit,
+                matches=tuple(
+                    _compile_match(
+                        name, m, prefix_lists, community_lists, as_path_lists
+                    )
+                    for m in entry.matches
+                ),
+                actions=tuple(
+                    _compile_set(name, s, community_lists) for s in entry.sets
+                ),
+            )
+            for entry in entries
+        )
+        route_maps[name] = RouteMap(name, clauses)
+        source_lines[name] = [(e.sequence, e.line_number) for e in entries]
+    return route_maps, source_lines
+
+
+def _compile_match(
+    map_name: str,
+    match: MatchDirective,
+    prefix_lists: dict[str, CompiledPrefixList],
+    community_lists: dict[str, CompiledCommunityList],
+    as_path_lists: dict[str, CompiledAsPathList],
+):
+    if match.kind == "community":
+        try:
+            return community_lists[match.argument]
+        except KeyError:
+            raise PolicyError(
+                f"route-map {map_name}: unknown community-list"
+                f" {match.argument!r}"
+            ) from None
+    if match.kind == "prefix-list":
+        try:
+            return prefix_lists[match.argument]
+        except KeyError:
+            raise PolicyError(
+                f"route-map {map_name}: unknown prefix-list"
+                f" {match.argument!r}"
+            ) from None
+    if match.kind == "as-path-contains":
+        return MatchASInPath(int(match.argument))
+    if match.kind == "as-path-list":
+        try:
+            return as_path_lists[match.argument]
+        except KeyError:
+            raise PolicyError(
+                f"route-map {map_name}: unknown as-path access-list"
+                f" {match.argument!r}"
+            ) from None
+    if match.kind == "local-origin":
+        return MatchLocallyOriginated()
+    raise PolicyError(f"route-map {map_name}: unknown match kind {match.kind}")
+
+
+def _compile_set(
+    map_name: str,
+    directive: SetDirective,
+    community_lists: dict[str, CompiledCommunityList],
+):
+    kind, args = directive.kind, directive.arguments
+    if kind == "local-preference":
+        return SetLocalPref(int(args[0]))
+    if kind == "metric":
+        return SetMED(int(args[0]))
+    if kind == "community":
+        additive = args[-1] == "additive"
+        tags = args[:-1] if additive else args
+        communities = frozenset(Community.parse(tag) for tag in tags)
+        if additive:
+            if len(communities) == 1:
+                return AddCommunity(next(iter(communities)))
+            return _AddCommunities(communities)
+        return SetCommunities(communities)
+    if kind == "comm-list-delete":
+        try:
+            clist = community_lists[args[0]]
+        except KeyError:
+            raise PolicyError(
+                f"route-map {map_name}: unknown community-list {args[0]!r}"
+            ) from None
+        return DeleteCommunityList(clist.all_tags())
+    if kind == "prepend":
+        asns = [int(a) for a in args]
+        if len(set(asns)) != 1:
+            # Mixed-AS prepending is legal IOS; model it as a chain.
+            return _PrependChain(tuple(asns))
+        return PrependASPath(asns[0], count=len(asns))
+    if kind == "next-hop":
+        return SetNexthop(parse_address(args[0]))
+    raise PolicyError(f"route-map {map_name}: unknown set kind {kind}")
+
+
+@dataclass(frozen=True, slots=True)
+class _AddCommunities:
+    communities: frozenset[Community]
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        return attrs.replace(communities=attrs.communities | self.communities)
+
+
+@dataclass(frozen=True, slots=True)
+class _PrependChain:
+    asns: tuple[int, ...]
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        path = attrs.as_path
+        for asn in reversed(self.asns):
+            path = path.prepend(asn)
+        return attrs.replace(as_path=path)
+
+
+def _compile_neighbors(
+    config: ConfigFile, route_maps: dict[str, RouteMap]
+) -> dict[int, CompiledNeighbor]:
+    assert config.bgp is not None
+    neighbors: dict[int, CompiledNeighbor] = {}
+    for directive in config.bgp.neighbors:
+        neighbor = neighbors.setdefault(
+            directive.address, CompiledNeighbor(directive.address)
+        )
+        if directive.kind == "remote-as":
+            neighbor.remote_as = int(directive.argument)
+        elif directive.kind in ("route-map-in", "route-map-out"):
+            try:
+                route_map = route_maps[directive.argument]
+            except KeyError:
+                raise PolicyError(
+                    f"neighbor {directive.address:#x}: unknown route-map"
+                    f" {directive.argument!r}"
+                ) from None
+            if directive.kind == "route-map-in":
+                neighbor.policy.import_map = route_map
+                neighbor.import_map_name = directive.argument
+            else:
+                neighbor.policy.export_map = route_map
+                neighbor.export_map_name = directive.argument
+        elif directive.kind == "maximum-prefix":
+            neighbor.max_prefixes = int(directive.argument)
+            neighbor.policy.max_prefixes = neighbor.max_prefixes
+        elif directive.kind == "route-reflector-client":
+            neighbor.is_rr_client = True
+        elif directive.kind == "next-hop-self":
+            neighbor.nexthop_self = True
+        else:
+            raise PolicyError(
+                f"unknown neighbor directive kind {directive.kind!r}"
+            )
+    for address, neighbor in neighbors.items():
+        if neighbor.remote_as is None:
+            raise PolicyError(
+                f"neighbor {address:#x} has no remote-as configured"
+            )
+    return neighbors

@@ -1,0 +1,437 @@
+"""Parser for the mini IOS configuration dialect.
+
+IOS configs are line-oriented: top-level statements start in column zero,
+block bodies are indented one space, ``!`` introduces comments and section
+separators. The parser is a single forward pass with one line of
+lookbehind state (the open block), which matches how the real language
+works and keeps error messages precise (every error carries its line
+number).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.ast_nodes import (
+    BgpSection,
+    CommunityListLine,
+    ConfigFile,
+    MatchDirective,
+    NeighborDirective,
+    PrefixListLine,
+    RouteMapEntry,
+    SetDirective,
+)
+from repro.net.attributes import Community
+from repro.net.prefix import Prefix, PrefixError, parse_address
+
+
+class ConfigParseError(ValueError):
+    """A malformed configuration line; carries the 1-based line number."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def parse_config(text: str) -> ConfigFile:
+    """Parse configuration *text* into a :class:`ConfigFile` AST."""
+    return _Parser(text).parse()
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.lines = text.splitlines()
+        self.config = ConfigFile()
+        # Open-block state: exactly one of these is non-None at a time.
+        self._route_map: Optional[dict] = None
+        self._bgp: Optional[dict] = None
+
+    def parse(self) -> ConfigFile:
+        for index, raw in enumerate(self.lines, start=1):
+            line = raw.rstrip()
+            stripped = line.strip()
+            if not stripped or stripped.startswith("!"):
+                self._close_blocks()
+                continue
+            indented = line[0].isspace()
+            if indented:
+                self._parse_block_line(index, stripped)
+            else:
+                self._close_blocks()
+                self._parse_top_level(index, stripped)
+        self._close_blocks()
+        return self.config
+
+    # ------------------------------------------------------------------
+    # Top-level statements
+    # ------------------------------------------------------------------
+
+    def _parse_top_level(self, index: int, line: str) -> None:
+        tokens = line.split()
+        head = tokens[0]
+        if head == "hostname":
+            self._expect(index, len(tokens) == 2, "hostname takes one name")
+            self.config.hostname = tokens[1]
+        elif head == "ip" and len(tokens) > 1 and tokens[1] == "prefix-list":
+            self.config.prefix_lists.append(
+                self._parse_prefix_list(index, tokens[2:])
+            )
+        elif head == "ip" and len(tokens) > 1 and tokens[1] == "community-list":
+            self.config.community_lists.append(
+                self._parse_community_list(index, tokens[2:])
+            )
+        elif head == "ip" and tokens[1:3] == ["as-path", "access-list"]:
+            self.config.as_path_lists.append(
+                self._parse_as_path_list(index, tokens[3:])
+            )
+        elif head == "route-map":
+            self._open_route_map(index, tokens[1:])
+        elif head == "router" and tokens[1:2] == ["bgp"]:
+            self._open_bgp(index, tokens[2:])
+        else:
+            raise ConfigParseError(index, f"unknown statement {head!r}")
+
+    def _parse_prefix_list(self, index: int, tokens: list[str]) -> PrefixListLine:
+        self._expect(index, len(tokens) >= 3, "truncated prefix-list")
+        name = tokens[0]
+        rest = tokens[1:]
+        sequence = 0
+        if rest[0] == "seq":
+            self._expect(index, len(rest) >= 3, "seq needs a number")
+            self._expect(index, rest[1].isdigit(), "seq must be numeric")
+            sequence = int(rest[1])
+            rest = rest[2:]
+        self._expect(
+            index,
+            rest[0] in ("permit", "deny"),
+            "prefix-list needs permit or deny",
+        )
+        permit = rest[0] == "permit"
+        self._expect(index, len(rest) >= 2, "prefix-list needs a prefix")
+        prefix = self._parse_prefix(index, rest[1])
+        ge = le = None
+        tail = rest[2:]
+        while tail:
+            self._expect(
+                index,
+                len(tail) >= 2 and tail[0] in ("ge", "le") and tail[1].isdigit(),
+                f"bad prefix-list suffix {' '.join(tail)!r}",
+            )
+            if tail[0] == "ge":
+                ge = int(tail[1])
+            else:
+                le = int(tail[1])
+            tail = tail[2:]
+        return PrefixListLine(
+            name=name,
+            sequence=sequence,
+            permit=permit,
+            prefix=prefix,
+            ge=ge,
+            le=le,
+            line_number=index,
+        )
+
+    def _parse_community_list(
+        self, index: int, tokens: list[str]
+    ) -> CommunityListLine:
+        if tokens and tokens[0] in ("standard", "expanded"):
+            tokens = tokens[1:]
+        self._expect(index, len(tokens) >= 3, "truncated community-list")
+        name = tokens[0]
+        self._expect(
+            index,
+            tokens[1] in ("permit", "deny"),
+            "community-list needs permit or deny",
+        )
+        permit = tokens[1] == "permit"
+        communities = tuple(
+            self._parse_community(index, tag) for tag in tokens[2:]
+        )
+        return CommunityListLine(
+            name=name, permit=permit, communities=communities, line_number=index
+        )
+
+    def _parse_as_path_list(self, index: int, tokens: list[str]):
+        from repro.config.ast_nodes import AsPathListLine
+
+        self._expect(
+            index,
+            len(tokens) >= 3 and tokens[1] in ("permit", "deny"),
+            "ip as-path access-list NAME permit|deny REGEX",
+        )
+        name = tokens[0]
+        permit = tokens[1] == "permit"
+        regex = " ".join(tokens[2:])
+        # Validate the regex eagerly so the error names the config line.
+        from repro.bgp.policy import compile_as_path_regex
+        from repro.bgp.errors import PolicyError
+
+        try:
+            compile_as_path_regex(regex)
+        except PolicyError as exc:
+            raise ConfigParseError(index, str(exc)) from exc
+        return AsPathListLine(
+            name=name, permit=permit, regex=regex, line_number=index
+        )
+
+    def _open_route_map(self, index: int, tokens: list[str]) -> None:
+        self._expect(
+            index,
+            len(tokens) == 3
+            and tokens[1] in ("permit", "deny")
+            and tokens[2].isdigit(),
+            "route-map needs: NAME permit|deny SEQ",
+        )
+        self._route_map = {
+            "name": tokens[0],
+            "permit": tokens[1] == "permit",
+            "sequence": int(tokens[2]),
+            "matches": [],
+            "sets": [],
+            "line_number": index,
+        }
+
+    def _open_bgp(self, index: int, tokens: list[str]) -> None:
+        self._expect(
+            index,
+            len(tokens) == 1 and tokens[0].isdigit(),
+            "router bgp needs an AS number",
+        )
+        self._expect(
+            index, self.config.bgp is None, "duplicate router bgp section"
+        )
+        self._bgp = {
+            "asn": int(tokens[0]),
+            "router_id": None,
+            "cluster_id": None,
+            "always_compare_med": False,
+            "deterministic_med": False,
+            "med_missing_as_worst": False,
+            "networks": [],
+            "neighbors": [],
+            "line_number": index,
+        }
+
+    # ------------------------------------------------------------------
+    # Block bodies
+    # ------------------------------------------------------------------
+
+    def _parse_block_line(self, index: int, line: str) -> None:
+        if self._route_map is not None:
+            self._parse_route_map_line(index, line)
+        elif self._bgp is not None:
+            self._parse_bgp_line(index, line)
+        else:
+            raise ConfigParseError(index, "indented line outside any block")
+
+    def _parse_route_map_line(self, index: int, line: str) -> None:
+        tokens = line.split()
+        assert self._route_map is not None
+        if tokens[0] == "match":
+            self._route_map["matches"].append(
+                self._parse_match(index, tokens[1:])
+            )
+        elif tokens[0] == "set":
+            self._route_map["sets"].append(self._parse_set(index, tokens[1:]))
+        else:
+            raise ConfigParseError(
+                index, f"unknown route-map directive {tokens[0]!r}"
+            )
+
+    def _parse_match(self, index: int, tokens: list[str]) -> MatchDirective:
+        self._expect(index, bool(tokens), "empty match")
+        if tokens[0] == "community":
+            self._expect(index, len(tokens) == 2, "match community NAME")
+            return MatchDirective("community", tokens[1], index)
+        if tokens[:3] == ["ip", "address", "prefix-list"]:
+            self._expect(
+                index, len(tokens) == 4, "match ip address prefix-list NAME"
+            )
+            return MatchDirective("prefix-list", tokens[3], index)
+        if tokens[:2] == ["as-path", "contains"]:
+            self._expect(
+                index,
+                len(tokens) == 3 and tokens[2].isdigit(),
+                "match as-path contains ASN",
+            )
+            return MatchDirective("as-path-contains", tokens[2], index)
+        if tokens[0] == "as-path":
+            self._expect(index, len(tokens) == 2, "match as-path LIST-NAME")
+            return MatchDirective("as-path-list", tokens[1], index)
+        if tokens == ["local-origin"]:
+            return MatchDirective("local-origin", "", index)
+        raise ConfigParseError(index, f"unknown match {' '.join(tokens)!r}")
+
+    def _parse_set(self, index: int, tokens: list[str]) -> SetDirective:
+        self._expect(index, bool(tokens), "empty set")
+        if tokens[0] == "local-preference":
+            self._expect(
+                index,
+                len(tokens) == 2 and tokens[1].isdigit(),
+                "set local-preference N",
+            )
+            return SetDirective("local-preference", (tokens[1],), index)
+        if tokens[0] == "metric":
+            self._expect(
+                index,
+                len(tokens) == 2 and tokens[1].isdigit(),
+                "set metric N",
+            )
+            return SetDirective("metric", (tokens[1],), index)
+        if tokens[0] == "community":
+            self._expect(index, len(tokens) >= 2, "set community A:B")
+            tags = tokens[1:]
+            additive = tags[-1] == "additive"
+            if additive:
+                tags = tags[:-1]
+            self._expect(index, bool(tags), "set community needs a tag")
+            for tag in tags:
+                self._parse_community(index, tag)
+            return SetDirective(
+                "community",
+                tuple(tags) + (("additive",) if additive else ()),
+                index,
+            )
+        if tokens[0] == "comm-list":
+            self._expect(
+                index,
+                len(tokens) == 3 and tokens[2] == "delete",
+                "set comm-list NAME delete",
+            )
+            return SetDirective("comm-list-delete", (tokens[1],), index)
+        if tokens[:2] == ["as-path", "prepend"]:
+            self._expect(
+                index,
+                len(tokens) >= 3 and all(t.isdigit() for t in tokens[2:]),
+                "set as-path prepend ASN...",
+            )
+            return SetDirective("prepend", tuple(tokens[2:]), index)
+        if tokens[:2] == ["ip", "next-hop"]:
+            self._expect(index, len(tokens) == 3, "set ip next-hop A.B.C.D")
+            self._parse_address(index, tokens[2])
+            return SetDirective("next-hop", (tokens[2],), index)
+        raise ConfigParseError(index, f"unknown set {' '.join(tokens)!r}")
+
+    def _parse_bgp_line(self, index: int, line: str) -> None:
+        tokens = line.split()
+        assert self._bgp is not None
+        if tokens[:2] == ["bgp", "router-id"]:
+            self._expect(index, len(tokens) == 3, "bgp router-id A.B.C.D")
+            self._bgp["router_id"] = self._parse_address(index, tokens[2])
+        elif tokens[:2] == ["bgp", "cluster-id"]:
+            self._expect(index, len(tokens) == 3, "bgp cluster-id A.B.C.D")
+            self._bgp["cluster_id"] = self._parse_address(index, tokens[2])
+        elif tokens == ["bgp", "always-compare-med"]:
+            self._bgp["always_compare_med"] = True
+        elif tokens == ["bgp", "deterministic-med"]:
+            self._bgp["deterministic_med"] = True
+        elif tokens == ["bgp", "bestpath", "med", "missing-as-worst"]:
+            self._bgp["med_missing_as_worst"] = True
+        elif tokens[0] == "network":
+            self._expect(index, len(tokens) == 2, "network A.B.C.D/L")
+            self._bgp["networks"].append(self._parse_prefix(index, tokens[1]))
+        elif tokens[0] == "neighbor":
+            self._bgp["neighbors"].append(
+                self._parse_neighbor(index, tokens[1:])
+            )
+        else:
+            raise ConfigParseError(
+                index, f"unknown router bgp directive {' '.join(tokens)!r}"
+            )
+
+    def _parse_neighbor(self, index: int, tokens: list[str]) -> NeighborDirective:
+        self._expect(index, len(tokens) >= 2, "truncated neighbor line")
+        address = self._parse_address(index, tokens[0])
+        directive = tokens[1]
+        if directive == "remote-as":
+            self._expect(
+                index,
+                len(tokens) == 3 and tokens[2].isdigit(),
+                "neighbor A.B.C.D remote-as ASN",
+            )
+            return NeighborDirective(address, "remote-as", tokens[2], index)
+        if directive == "route-map":
+            self._expect(
+                index,
+                len(tokens) == 4 and tokens[3] in ("in", "out"),
+                "neighbor A.B.C.D route-map NAME in|out",
+            )
+            kind = "route-map-in" if tokens[3] == "in" else "route-map-out"
+            return NeighborDirective(address, kind, tokens[2], index)
+        if directive == "maximum-prefix":
+            self._expect(
+                index,
+                len(tokens) == 3 and tokens[2].isdigit(),
+                "neighbor A.B.C.D maximum-prefix N",
+            )
+            return NeighborDirective(
+                address, "maximum-prefix", tokens[2], index
+            )
+        if directive == "route-reflector-client":
+            self._expect(index, len(tokens) == 2, "trailing tokens")
+            return NeighborDirective(
+                address, "route-reflector-client", "", index
+            )
+        if directive == "next-hop-self":
+            self._expect(index, len(tokens) == 2, "trailing tokens")
+            return NeighborDirective(address, "next-hop-self", "", index)
+        raise ConfigParseError(
+            index, f"unknown neighbor directive {directive!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _close_blocks(self) -> None:
+        if self._route_map is not None:
+            data = self._route_map
+            self.config.route_maps.append(
+                RouteMapEntry(
+                    name=data["name"],
+                    permit=data["permit"],
+                    sequence=data["sequence"],
+                    matches=tuple(data["matches"]),
+                    sets=tuple(data["sets"]),
+                    line_number=data["line_number"],
+                )
+            )
+            self._route_map = None
+        if self._bgp is not None:
+            data = self._bgp
+            self.config.bgp = BgpSection(
+                asn=data["asn"],
+                router_id=data["router_id"],
+                cluster_id=data["cluster_id"],
+                always_compare_med=data["always_compare_med"],
+                deterministic_med=data["deterministic_med"],
+                med_missing_as_worst=data["med_missing_as_worst"],
+                networks=tuple(data["networks"]),
+                neighbors=tuple(data["neighbors"]),
+                line_number=data["line_number"],
+            )
+            self._bgp = None
+
+    def _expect(self, index: int, condition: bool, message: str) -> None:
+        if not condition:
+            raise ConfigParseError(index, message)
+
+    def _parse_prefix(self, index: int, text: str) -> Prefix:
+        try:
+            return Prefix.parse(text)
+        except PrefixError as exc:
+            raise ConfigParseError(index, str(exc)) from exc
+
+    def _parse_address(self, index: int, text: str) -> int:
+        try:
+            return parse_address(text)
+        except PrefixError as exc:
+            raise ConfigParseError(index, str(exc)) from exc
+
+    def _parse_community(self, index: int, text: str) -> Community:
+        try:
+            return Community.parse(text)
+        except ValueError as exc:
+            raise ConfigParseError(index, str(exc)) from exc

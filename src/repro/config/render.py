@@ -1,0 +1,141 @@
+"""Render a parsed configuration back to text.
+
+The inverse of :func:`repro.config.parser.parse_config`: useful for
+emitting the configurations the workload builders construct, for
+normalizing operator input, and for round-trip testing the parser
+(``render(parse(render(parse(t)))) == render(parse(t))``).
+"""
+
+from __future__ import annotations
+
+from repro.config.ast_nodes import (
+    AsPathListLine,
+    BgpSection,
+    CommunityListLine,
+    ConfigFile,
+    MatchDirective,
+    NeighborDirective,
+    PrefixListLine,
+    RouteMapEntry,
+    SetDirective,
+)
+from repro.net.prefix import format_address
+
+
+def render_config(config: ConfigFile) -> str:
+    """Serialize *config* in the dialect :func:`parse_config` accepts."""
+    blocks: list[str] = []
+    if config.hostname:
+        blocks.append(f"hostname {config.hostname}")
+    for line in config.prefix_lists:
+        blocks.append(_prefix_list(line))
+    for line in config.community_lists:
+        blocks.append(_community_list(line))
+    for line in config.as_path_lists:
+        blocks.append(_as_path_list(line))
+    for entry in config.route_maps:
+        blocks.append(_route_map(entry))
+    if config.bgp is not None:
+        blocks.append(_bgp(config.bgp))
+    return "\n".join(blocks) + "\n"
+
+
+def _prefix_list(line: PrefixListLine) -> str:
+    parts = [f"ip prefix-list {line.name}"]
+    if line.sequence:
+        parts.append(f"seq {line.sequence}")
+    parts.append("permit" if line.permit else "deny")
+    parts.append(str(line.prefix))
+    if line.ge is not None:
+        parts.append(f"ge {line.ge}")
+    if line.le is not None:
+        parts.append(f"le {line.le}")
+    return " ".join(parts)
+
+
+def _community_list(line: CommunityListLine) -> str:
+    action = "permit" if line.permit else "deny"
+    tags = " ".join(str(c) for c in line.communities)
+    return f"ip community-list standard {line.name} {action} {tags}"
+
+
+def _as_path_list(line: AsPathListLine) -> str:
+    action = "permit" if line.permit else "deny"
+    return f"ip as-path access-list {line.name} {action} {line.regex}"
+
+
+def _route_map(entry: RouteMapEntry) -> str:
+    action = "permit" if entry.permit else "deny"
+    lines = [f"route-map {entry.name} {action} {entry.sequence}"]
+    for match in entry.matches:
+        lines.append(f" {_match(match)}")
+    for directive in entry.sets:
+        lines.append(f" {_set(directive)}")
+    return "\n".join(lines)
+
+
+def _match(match: MatchDirective) -> str:
+    if match.kind == "community":
+        return f"match community {match.argument}"
+    if match.kind == "prefix-list":
+        return f"match ip address prefix-list {match.argument}"
+    if match.kind == "as-path-contains":
+        return f"match as-path contains {match.argument}"
+    if match.kind == "as-path-list":
+        return f"match as-path {match.argument}"
+    if match.kind == "local-origin":
+        return "match local-origin"
+    raise ValueError(f"unknown match kind {match.kind!r}")
+
+
+def _set(directive: SetDirective) -> str:
+    kind, args = directive.kind, directive.arguments
+    if kind == "local-preference":
+        return f"set local-preference {args[0]}"
+    if kind == "metric":
+        return f"set metric {args[0]}"
+    if kind == "community":
+        return "set community " + " ".join(args)
+    if kind == "comm-list-delete":
+        return f"set comm-list {args[0]} delete"
+    if kind == "prepend":
+        return "set as-path prepend " + " ".join(args)
+    if kind == "next-hop":
+        return f"set ip next-hop {args[0]}"
+    raise ValueError(f"unknown set kind {kind!r}")
+
+
+def _bgp(section: BgpSection) -> str:
+    lines = [f"router bgp {section.asn}"]
+    if section.router_id is not None:
+        lines.append(f" bgp router-id {format_address(section.router_id)}")
+    if section.cluster_id is not None:
+        lines.append(f" bgp cluster-id {format_address(section.cluster_id)}")
+    if section.always_compare_med:
+        lines.append(" bgp always-compare-med")
+    if section.deterministic_med:
+        lines.append(" bgp deterministic-med")
+    if section.med_missing_as_worst:
+        lines.append(" bgp bestpath med missing-as-worst")
+    for network in section.networks:
+        lines.append(f" network {network}")
+    for neighbor in section.neighbors:
+        lines.append(f" {_neighbor(neighbor)}")
+    return "\n".join(lines)
+
+
+def _neighbor(directive: NeighborDirective) -> str:
+    address = format_address(directive.address)
+    if directive.kind == "remote-as":
+        return f"neighbor {address} remote-as {directive.argument}"
+    if directive.kind == "route-map-in":
+        return f"neighbor {address} route-map {directive.argument} in"
+    if directive.kind == "route-map-out":
+        return f"neighbor {address} route-map {directive.argument} out"
+    if directive.kind == "maximum-prefix":
+        return f"neighbor {address} maximum-prefix {directive.argument}"
+    if directive.kind == "route-reflector-client":
+        return f"neighbor {address} route-reflector-client"
+    if directive.kind == "next-hop-self":
+        return f"neighbor {address} next-hop-self"
+    raise ValueError(f"unknown neighbor kind {directive.kind!r}")

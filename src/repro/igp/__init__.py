@@ -1,0 +1,26 @@
+"""The IGP substrate: link-state routing inside an AS.
+
+The paper's networks run OSPF (Berkeley, four areas) and ISIS (ISP-Anon).
+For our purposes both reduce to the same thing: a link-state database built
+from LSAs, Dijkstra SPF over it, and a stream of LSA events whose volume is
+orders of magnitude below BGP's — which is what makes the Section III-D.3
+drill-down (temporally joining LSAs with a BGP incident) practical.
+
+The BGP decision process consumes :meth:`IGPTopology.cost_fn`, closing the
+loop where an IGP metric change makes a router re-select its BGP best
+route.
+"""
+
+from repro.igp.lsa import LinkStateAd, Link
+from repro.igp.database import LinkStateDatabase
+from repro.igp.spf import ShortestPaths, spf
+from repro.igp.topology import IGPTopology
+
+__all__ = [
+    "Link",
+    "LinkStateAd",
+    "LinkStateDatabase",
+    "ShortestPaths",
+    "spf",
+    "IGPTopology",
+]

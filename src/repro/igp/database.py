@@ -1,0 +1,80 @@
+"""The link-state database.
+
+Stores the newest LSA per originating router and exposes the implied
+directed graph. SPF runs over a snapshot of this graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.igp.lsa import LinkStateAd
+
+
+class LinkStateDatabase:
+    """Newest-LSA-wins store, per origin router.
+
+    ``apply`` returns True when the database actually changed, so callers
+    (the collector, the BGP re-selection hook) can skip work on duplicate
+    floods — routers re-flood identical LSAs constantly in real networks.
+    """
+
+    def __init__(self) -> None:
+        self._lsas: dict[str, LinkStateAd] = {}
+
+    def __len__(self) -> int:
+        return len(self._lsas)
+
+    def __contains__(self, origin: str) -> bool:
+        return origin in self._lsas
+
+    def get(self, origin: str) -> Optional[LinkStateAd]:
+        return self._lsas.get(origin)
+
+    def apply(self, lsa: LinkStateAd) -> bool:
+        """Install *lsa* if it is news. Returns True if the LSDB changed."""
+        current = self._lsas.get(lsa.origin)
+        if current is not None:
+            if lsa.sequence < current.sequence:
+                return False
+            if lsa.sequence == current.sequence:
+                # Same sequence: re-flood of a known LSA, not a change.
+                return False
+        if not lsa.links:
+            # Empty link set retracts the router entirely.
+            if current is None:
+                return False
+            del self._lsas[lsa.origin]
+            return True
+        self._lsas[lsa.origin] = lsa
+        return True
+
+    def routers(self) -> Iterator[str]:
+        yield from self._lsas
+
+    def edges(self) -> Iterator[tuple[str, str, int]]:
+        """Yield (origin, neighbor, metric) for every link in the LSDB."""
+        for lsa in self._lsas.values():
+            for link in lsa.links:
+                yield lsa.origin, link.neighbor, link.metric
+
+    def graph(self) -> dict[str, list[tuple[str, int]]]:
+        """Adjacency-list snapshot: origin → [(neighbor, metric), …].
+
+        Only links whose *both* endpoints advertise each other are treated
+        as usable, matching OSPF's two-way connectivity check. Links to
+        pseudo-nodes (origins that advertise nothing) are kept, since stub
+        networks never advertise back.
+        """
+        adjacency: dict[str, list[tuple[str, int]]] = {
+            origin: [] for origin in self._lsas
+        }
+        for origin, lsa in self._lsas.items():
+            for link in lsa.links:
+                peer = self._lsas.get(link.neighbor)
+                if peer is not None and not any(
+                    back.neighbor == origin for back in peer.links
+                ):
+                    continue  # one-way report; fails the two-way check
+                adjacency[origin].append((link.neighbor, link.metric))
+        return adjacency

@@ -1,0 +1,47 @@
+"""Link-state advertisements.
+
+An LSA describes one router's links: the neighbor each link reaches and
+its metric. Routers flood LSAs on any topology change; the database keeps
+the newest sequence number per originating router, exactly like OSPF's
+LSDB aging rules (minus actual aging, which no case study needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A directed adjacency from the LSA's origin to *neighbor*.
+
+    *neighbor* is a router name; *metric* the IGP cost of the link.
+    Stub networks are modeled as links to a pseudo-node named after the
+    prefix, which is all SPF needs.
+    """
+
+    neighbor: str
+    metric: int
+
+    def __post_init__(self) -> None:
+        if self.metric < 0:
+            raise ValueError(f"negative IGP metric {self.metric}")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkStateAd:
+    """One flooded LSA: the full current link set of *origin*.
+
+    A higher *sequence* replaces any older LSA from the same origin. An
+    LSA with no links retracts the router (it has left the topology).
+    """
+
+    origin: str
+    links: tuple[Link, ...]
+    sequence: int
+    timestamp: float = 0.0
+    area: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise ValueError(f"negative LSA sequence {self.sequence}")

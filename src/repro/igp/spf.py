@@ -1,0 +1,74 @@
+"""Shortest-path-first computation.
+
+Plain Dijkstra over the LSDB snapshot. Returns distances and first hops,
+which is what a router needs: the IGP cost to a BGP NEXT_HOP (decision
+step) and the interface traffic would leave on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class ShortestPaths:
+    """SPF result from one root: cost and first hop per destination."""
+
+    root: str
+    distance: Mapping[str, int]
+    first_hop: Mapping[str, str]
+
+    def cost(self, destination: str) -> Optional[int]:
+        """IGP cost to *destination*, or None if unreachable."""
+        return self.distance.get(destination)
+
+    def next_hop(self, destination: str) -> Optional[str]:
+        """The neighbor traffic to *destination* leaves through."""
+        return self.first_hop.get(destination)
+
+    def reachable(self, destination: str) -> bool:
+        return destination in self.distance
+
+
+def spf(
+    graph: Mapping[str, list[tuple[str, int]]], root: str
+) -> ShortestPaths:
+    """Dijkstra from *root* over an adjacency-list *graph*.
+
+    Ties between equal-cost paths are broken toward the lexicographically
+    smaller first hop so results are deterministic (real routers do ECMP;
+    none of the reproduced incidents depend on it).
+    """
+    if root not in graph:
+        return ShortestPaths(root, {}, {})
+    distance: dict[str, int] = {root: 0}
+    first_hop: dict[str, str] = {}
+    # Heap entries: (cost, first-hop tiebreak, node, first hop from root).
+    heap: list[tuple[int, str, str, Optional[str]]] = [(0, "", root, None)]
+    settled: set[str] = set()
+    while heap:
+        cost, _, node, hop = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if hop is not None:
+            first_hop[node] = hop
+        for neighbor, metric in graph.get(node, ()):
+            next_cost = cost + metric
+            known = distance.get(neighbor)
+            if known is not None and known < next_cost:
+                continue
+            next_hop_name = hop if hop is not None else neighbor
+            if known is None or next_cost < known:
+                distance[neighbor] = next_cost
+                heapq.heappush(
+                    heap, (next_cost, next_hop_name, neighbor, next_hop_name)
+                )
+            elif known == next_cost and neighbor not in settled:
+                # Equal-cost path: push so the smaller first hop wins.
+                heapq.heappush(
+                    heap, (next_cost, next_hop_name, neighbor, next_hop_name)
+                )
+    return ShortestPaths(root, distance, first_hop)

@@ -1,0 +1,155 @@
+"""A managed IGP topology.
+
+:class:`IGPTopology` is the operator-level view: named routers with
+addresses, bidirectional links with metrics, and mutation operations
+(metric change, link failure/restore) that flood the corresponding LSAs.
+All floods are recorded as an LSA event stream — the low-volume data
+source Section III-D.3 joins against BGP incidents — and the topology
+hands the BGP decision process a cost function over nexthop addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.bgp.decision import IgpCostFn
+from repro.igp.database import LinkStateDatabase
+from repro.igp.lsa import Link, LinkStateAd
+from repro.igp.spf import ShortestPaths, spf
+
+
+class IGPTopology:
+    """Routers, links, LSA flooding and SPF, under one roof."""
+
+    def __init__(self) -> None:
+        self.database = LinkStateDatabase()
+        self.events: list[LinkStateAd] = []
+        self._links: dict[str, dict[str, int]] = {}
+        self._addresses: dict[int, str] = {}
+        self._sequence: dict[str, int] = {}
+        self._spf_cache: dict[str, ShortestPaths] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_router(self, name: str, addresses: Iterable[int] = ()) -> None:
+        """Register *name*, owning the given interface addresses."""
+        if name in self._links:
+            raise ValueError(f"duplicate IGP router {name}")
+        self._links[name] = {}
+        for address in addresses:
+            self.add_address(name, address)
+
+    def add_address(self, name: str, address: int) -> None:
+        """Assign an interface *address* to router *name*."""
+        if name not in self._links:
+            raise ValueError(f"unknown IGP router {name}")
+        owner = self._addresses.get(address)
+        if owner is not None and owner != name:
+            raise ValueError(
+                f"address {address:#x} already owned by {owner}"
+            )
+        self._addresses[address] = name
+
+    def add_link(self, a: str, b: str, metric: int, now: float = 0.0) -> None:
+        """Create the bidirectional link a↔b and flood both LSAs."""
+        for name in (a, b):
+            if name not in self._links:
+                raise ValueError(f"unknown IGP router {name}")
+        if a == b:
+            raise ValueError(f"self-link on {a}")
+        self._links[a][b] = metric
+        self._links[b][a] = metric
+        self._flood(a, now)
+        self._flood(b, now)
+
+    # ------------------------------------------------------------------
+    # Mutation (each floods LSAs)
+    # ------------------------------------------------------------------
+
+    def set_metric(self, a: str, b: str, metric: int, now: float = 0.0) -> None:
+        """Change the metric of link a↔b (both directions)."""
+        self._require_link(a, b)
+        self._links[a][b] = metric
+        self._links[b][a] = metric
+        self._flood(a, now)
+        self._flood(b, now)
+
+    def fail_link(self, a: str, b: str, now: float = 0.0) -> None:
+        """Take link a↔b down."""
+        self._require_link(a, b)
+        del self._links[a][b]
+        del self._links[b][a]
+        self._flood(a, now)
+        self._flood(b, now)
+
+    def restore_link(self, a: str, b: str, metric: int, now: float = 0.0) -> None:
+        """Bring link a↔b back with *metric*."""
+        self.add_link(a, b, metric, now)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def routers(self) -> Iterator[str]:
+        yield from self._links
+
+    def link_metric(self, a: str, b: str) -> Optional[int]:
+        return self._links.get(a, {}).get(b)
+
+    def shortest_paths(self, root: str) -> ShortestPaths:
+        cached = self._spf_cache.get(root)
+        if cached is None:
+            cached = spf(self.database.graph(), root)
+            self._spf_cache[root] = cached
+        return cached
+
+    def cost_between(self, a: str, b: str) -> Optional[int]:
+        """IGP cost from router *a* to router *b*, or None if unreachable."""
+        return self.shortest_paths(a).cost(b)
+
+    def router_for_address(self, address: int) -> Optional[str]:
+        return self._addresses.get(address)
+
+    def cost_fn(self, root: str) -> IgpCostFn:
+        """A nexthop-address cost function for *root*'s BGP decision.
+
+        Addresses not owned by any IGP router resolve to cost 0 — they are
+        outside the IGP (a directly connected EBGP peer) and always
+        reachable, matching how routers treat connected nexthops.
+        """
+
+        def cost(nexthop: int) -> Optional[int]:
+            owner = self._addresses.get(nexthop)
+            if owner is None:
+                return 0
+            if owner == root:
+                return 0
+            return self.shortest_paths(root).cost(owner)
+
+        return cost
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require_link(self, a: str, b: str) -> None:
+        if b not in self._links.get(a, {}):
+            raise ValueError(f"no link between {a} and {b}")
+
+    def _flood(self, origin: str, now: float) -> None:
+        sequence = self._sequence.get(origin, 0) + 1
+        self._sequence[origin] = sequence
+        lsa = LinkStateAd(
+            origin=origin,
+            links=tuple(
+                Link(neighbor, metric)
+                for neighbor, metric in sorted(self._links[origin].items())
+            ),
+            sequence=sequence,
+            timestamp=now,
+        )
+        if self.database.apply(lsa):
+            self.events.append(lsa)
+            self._spf_cache.clear()

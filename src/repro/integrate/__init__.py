@@ -1,0 +1,26 @@
+"""Integrating additional data sources into anomaly diagnosis.
+
+Section III-D of the paper: BGP events alone cannot explain everything.
+Three integrations close the gaps:
+
+* :mod:`repro.integrate.policy` — correlate Stemming components with
+  routing policies parsed from router configurations (D.1), pinpointing
+  the configuration lines behind a behaviour.
+* :mod:`repro.integrate.traffic` — weight TAMP and Stemming by traffic
+  volume (D.2), ranking incidents by impact.
+* :mod:`repro.integrate.igp` — temporally join the (low-volume) IGP LSA
+  stream with a BGP incident (D.3) to test whether an interior routing
+  change is the root cause.
+"""
+
+from repro.integrate.policy import PolicyCorrelation, correlate_policies
+from repro.integrate.traffic import weighted_site_view
+from repro.integrate.igp import IgpCorrelation, correlate_igp
+
+__all__ = [
+    "PolicyCorrelation",
+    "correlate_policies",
+    "weighted_site_view",
+    "IgpCorrelation",
+    "correlate_igp",
+]

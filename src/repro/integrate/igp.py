@@ -1,0 +1,102 @@
+"""IGP drill-down (Section III-D.3).
+
+BGP best-route selection depends on IGP reachability and cost to the
+NEXT_HOP, so an interior link event can masquerade as a BGP incident.
+LSA volume is orders of magnitude below BGP volume, which makes the
+join cheap: take the Stemming component's time window, pull the LSAs in
+(a slack around) it, and flag those whose endpoints relate to the
+component's nexthops. The paper did this drill-down manually in REX; we
+automate it, which Section III-D.3 lists as work in progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.igp.lsa import LinkStateAd
+from repro.igp.topology import IGPTopology
+from repro.stemming.stemmer import Component
+
+
+@dataclass(frozen=True)
+class IgpCorrelation:
+    """The D.3 report: interior events plausibly behind a BGP component."""
+
+    component: Component
+    #: LSAs inside the component's (padded) time window.
+    window_lsas: tuple[LinkStateAd, ...]
+    #: The subset whose origin router owns / neighbors a nexthop of the
+    #: component's routes — the actual suspects.
+    implicated: tuple[LinkStateAd, ...]
+    window: tuple[float, float]
+
+    @property
+    def is_igp_rooted(self) -> bool:
+        """True when interior routing plausibly caused the component."""
+        return bool(self.implicated)
+
+    def summary(self) -> str:
+        start, end = self.window
+        lines = [
+            f"component at {self.component.location}: window"
+            f" [{start:.1f}, {end:.1f}] contains {len(self.window_lsas)}"
+            f" LSAs, {len(self.implicated)} implicated"
+        ]
+        for lsa in self.implicated:
+            links = ", ".join(
+                f"{link.neighbor}:{link.metric}" for link in lsa.links
+            )
+            lines.append(
+                f"  t={lsa.timestamp:.1f} {lsa.origin} -> [{links}]"
+            )
+        return "\n".join(lines)
+
+
+def correlate_igp(
+    component: Component,
+    topology: IGPTopology,
+    slack_seconds: float = 30.0,
+    lsas: Optional[Iterable[LinkStateAd]] = None,
+) -> IgpCorrelation:
+    """Join *component* with the LSA stream of *topology*.
+
+    *slack_seconds* pads the component's event window on both sides: IGP
+    convergence precedes the BGP fallout, and timestamps from separate
+    collectors skew. An explicit *lsas* iterable overrides the topology's
+    recorded stream (useful for replayed data).
+    """
+    if slack_seconds < 0:
+        raise ValueError("slack must be non-negative")
+    events = component.events
+    start = (events.start_time or 0.0) - slack_seconds
+    end = (events.end_time or 0.0) + slack_seconds
+    stream = list(lsas) if lsas is not None else list(topology.events)
+    in_window = tuple(
+        lsa for lsa in stream if start <= lsa.timestamp <= end
+    )
+    suspects = _nexthop_routers(component, topology)
+    implicated = tuple(
+        lsa
+        for lsa in in_window
+        if lsa.origin in suspects
+        or any(link.neighbor in suspects for link in lsa.links)
+    )
+    return IgpCorrelation(
+        component=component,
+        window_lsas=in_window,
+        implicated=implicated,
+        window=(start, end),
+    )
+
+
+def _nexthop_routers(
+    component: Component, topology: IGPTopology
+) -> set[str]:
+    """IGP routers owning the nexthop addresses of the component's routes."""
+    routers: set[str] = set()
+    for event in component.events:
+        owner = topology.router_for_address(event.attributes.nexthop)
+        if owner is not None:
+            routers.add(owner)
+    return routers

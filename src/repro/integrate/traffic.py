@@ -1,0 +1,68 @@
+"""Traffic-weighted site views (Section III-D.2 glue).
+
+Binds the traffic substrate to the core algorithms: a volume table from
+flow records, a traffic-weighted TAMP view, and a traffic-weighted
+stemmer, all from one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.net.prefix import Prefix
+from repro.stemming.weighted import TrafficWeightedStemmer
+from repro.tamp.graph import TampGraph
+from repro.tamp.tree import Edge
+from repro.traffic.flows import FlowCollector
+from repro.traffic.volume import VolumeTable, edge_volumes, imbalance_report
+
+
+@dataclass(frozen=True)
+class WeightedSiteView:
+    """A routing graph with both prefix-count and volume weights."""
+
+    graph: TampGraph
+    volumes: VolumeTable
+    by_edge: Mapping[Edge, float]
+
+    def volume_fraction(self, edge: Edge) -> float:
+        """The edge's share of total site traffic.
+
+        Normalized by total prefix volume, not by the sum over edges —
+        a route's volume traverses every edge of its path, so summing
+        edges would double count.
+        """
+        total = self.volumes.total()
+        if total == 0:
+            return 0.0
+        return self.by_edge.get(edge, 0.0) / total
+
+    def stemmer(self, **kwargs) -> TrafficWeightedStemmer:
+        """A stemmer ranking components by traffic impact."""
+        return TrafficWeightedStemmer(
+            volumes=self.volumes.as_mapping(), **kwargs
+        )
+
+    def imbalance(self, edges: list[Edge]) -> list[dict]:
+        return imbalance_report(self.graph, self.volumes, edges)
+
+
+def weighted_site_view(
+    graph: TampGraph,
+    flows: FlowCollector | Mapping[Prefix, float],
+) -> WeightedSiteView:
+    """Join a TAMP *graph* with traffic from *flows*.
+
+    *flows* is either a :class:`FlowCollector` (volumes are aggregated
+    from its records) or a plain prefix→volume mapping.
+    """
+    if isinstance(flows, FlowCollector):
+        volumes = VolumeTable(flows.volume_by_prefix())
+    else:
+        volumes = VolumeTable(flows)
+    return WeightedSiteView(
+        graph=graph,
+        volumes=volumes,
+        by_edge=edge_volumes(graph, volumes),
+    )

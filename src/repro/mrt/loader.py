@@ -1,0 +1,201 @@
+"""High-level MRT ↔ analysis-object conversion.
+
+``load_updates`` turns a RouteViews-style updates file into the
+:class:`repro.collector.stream.EventStream` the algorithms consume — by
+replaying the wire messages through a :class:`RouteExplorer`, so
+withdrawals get the Section II attribute augmentation exactly as they
+would from a live feed. ``load_rib`` turns a TABLE_DUMP_V2 snapshot into
+a populated collector (the TAMP picture input). The ``dump_*`` writers
+are the inverse: simulated incidents exported for other tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import BinaryIO, Iterable, Optional
+
+from repro.bgp.rib import Route
+from repro.collector.events import BGPEvent
+from repro.collector.rex import RouteExplorer
+from repro.collector.stream import EventStream
+from repro.mrt.bgp_codec import (
+    decode_attributes,
+    decode_prefix,
+    decode_update,
+    encode_attributes,
+    encode_prefix,
+    encode_update,
+)
+from repro.mrt.records import (
+    SUBTYPE_BGP4MP_MESSAGE_AS4,
+    SUBTYPE_PEER_INDEX_TABLE,
+    SUBTYPE_RIB_IPV4_UNICAST,
+    TYPE_BGP4MP_ET,
+    TYPE_TABLE_DUMP_V2,
+    Bgp4mpMessage,
+    MRTError,
+    MRTRecord,
+    PeerEntry,
+    RibEntry,
+    decode_bgp4mp,
+    decode_peer_index,
+    decode_rib_ipv4,
+    encode_bgp4mp,
+    encode_peer_index,
+    encode_rib_ipv4,
+    read_records,
+    write_records,
+)
+from repro.net.message import BGPUpdate
+from repro.net.prefix import Prefix
+
+
+def load_updates(
+    source: str | Path | BinaryIO,
+    rex: Optional[RouteExplorer] = None,
+    strict: bool = False,
+) -> EventStream:
+    """Read a BGP4MP updates file into an event stream.
+
+    Messages replay through *rex* (a fresh collector by default) so
+    withdrawal augmentation applies; withdrawals for routes the file
+    never announced are dropped, exactly as a collector mid-stream would
+    drop them (``rex.dropped_withdrawals`` counts them). With *strict*
+    undecodable records raise; by default they are skipped — archives
+    contain state changes and unsupported AFIs.
+    """
+    if rex is None:
+        rex = RouteExplorer("mrt")
+    for record in read_records(source):
+        if not record.is_bgp4mp_update:
+            continue
+        try:
+            envelope = decode_bgp4mp(record.payload)
+            decoded = decode_update(envelope.bgp_message)
+        except (MRTError, ValueError):
+            if strict:
+                raise
+            continue
+        rex.observe(envelope.peer_address, decoded.update, record.timestamp)
+    return rex.events
+
+
+def dump_updates(
+    events: Iterable[BGPEvent],
+    destination: str | Path | BinaryIO,
+    local_as: int = 0,
+    local_address: int = 0,
+) -> int:
+    """Write events as a BGP4MP_ET updates file. Returns records written.
+
+    Each event becomes one UPDATE (withdrawals lose their augmented
+    attributes on the wire, as real BGP does — loading the file back
+    re-augments them through the collector).
+    """
+    def generate():
+        for event in events:
+            if event.is_withdrawal:
+                update = BGPUpdate.withdraw([event.prefix])
+            else:
+                update = BGPUpdate.announce([event.prefix], event.attributes)
+            envelope = Bgp4mpMessage(
+                peer_as=event.attributes.as_path.neighbor_as or 0,
+                local_as=local_as,
+                interface_index=0,
+                peer_address=event.peer,
+                local_address=local_address,
+                bgp_message=encode_update(update),
+            )
+            yield MRTRecord(
+                timestamp=event.timestamp,
+                type=TYPE_BGP4MP_ET,
+                subtype=SUBTYPE_BGP4MP_MESSAGE_AS4,
+                payload=encode_bgp4mp(envelope),
+            )
+
+    return write_records(generate(), destination)
+
+
+def load_rib(
+    source: str | Path | BinaryIO,
+    rex: Optional[RouteExplorer] = None,
+    strict: bool = False,
+) -> RouteExplorer:
+    """Read a TABLE_DUMP_V2 snapshot into a populated collector."""
+    if rex is None:
+        rex = RouteExplorer("mrt-rib")
+    peers: list[PeerEntry] = []
+    for record in read_records(source):
+        if record.is_peer_index:
+            _, peers = decode_peer_index(record.payload)
+            for peer in peers:
+                rex.peer_with(peer.address)
+            continue
+        if not record.is_rib_entry:
+            continue
+        try:
+            _, prefix_wire, entries = decode_rib_ipv4(record.payload)
+            prefix, _ = decode_prefix(prefix_wire, 0)
+        except (MRTError, ValueError):
+            if strict:
+                raise
+            continue
+        for entry in entries:
+            if entry.peer_index >= len(peers):
+                if strict:
+                    raise MRTError(
+                        f"peer index {entry.peer_index} out of range"
+                    )
+                continue
+            attrs, _ = decode_attributes(entry.attributes)
+            if attrs is None:
+                continue
+            peer = peers[entry.peer_index]
+            rex.peer_with(peer.address)
+            rex.rib(peer.address).announce(prefix, attrs)
+    return rex
+
+
+def dump_rib(
+    rex: RouteExplorer,
+    destination: str | Path | BinaryIO,
+    collector_id: int = 0,
+    timestamp: float = 0.0,
+) -> int:
+    """Write a collector's tables as a TABLE_DUMP_V2 snapshot."""
+    peer_addresses = sorted(rex.peers())
+    peers = [
+        PeerEntry(bgp_id=address, address=address, asn=0)
+        for address in peer_addresses
+    ]
+    index_of = {address: i for i, address in enumerate(peer_addresses)}
+
+    def generate():
+        yield MRTRecord(
+            timestamp=timestamp,
+            type=TYPE_TABLE_DUMP_V2,
+            subtype=SUBTYPE_PEER_INDEX_TABLE,
+            payload=encode_peer_index(collector_id, peers),
+        )
+        by_prefix: dict[Prefix, list[Route]] = {}
+        for route in rex.all_routes():
+            by_prefix.setdefault(route.prefix, []).append(route)
+        for sequence, prefix in enumerate(sorted(by_prefix)):
+            entries = [
+                RibEntry(
+                    peer_index=index_of[route.peer],
+                    originated_time=int(timestamp),
+                    attributes=encode_attributes(route.attributes),
+                )
+                for route in by_prefix[prefix]
+            ]
+            yield MRTRecord(
+                timestamp=timestamp,
+                type=TYPE_TABLE_DUMP_V2,
+                subtype=SUBTYPE_RIB_IPV4_UNICAST,
+                payload=encode_rib_ipv4(
+                    sequence, encode_prefix(prefix), entries
+                ),
+            )
+
+    return write_records(generate(), destination)

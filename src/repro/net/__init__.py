@@ -1,0 +1,28 @@
+"""Network primitives shared by every other subsystem.
+
+This package defines the vocabulary of inter-domain routing used throughout
+the reproduction: IPv4 prefixes and a radix trie over them, AS paths,
+BGP path attributes, and the BGP message model. Everything here is a plain
+value type with no protocol behaviour; protocol dynamics live in
+:mod:`repro.bgp` and :mod:`repro.simulator`.
+"""
+
+from repro.net.prefix import Prefix, PrefixError
+from repro.net.trie import PrefixTrie
+from repro.net.aspath import ASPath, ASPathError
+from repro.net.attributes import Origin, Community, PathAttributes
+from repro.net.message import Announcement, Withdrawal, BGPUpdate
+
+__all__ = [
+    "Prefix",
+    "PrefixError",
+    "PrefixTrie",
+    "ASPath",
+    "ASPathError",
+    "Origin",
+    "Community",
+    "PathAttributes",
+    "Announcement",
+    "Withdrawal",
+    "BGPUpdate",
+]

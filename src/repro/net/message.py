@@ -1,0 +1,103 @@
+"""The BGP message model.
+
+BGP speakers exchange UPDATE messages carrying announcements (prefixes plus
+a shared attribute bundle) and withdrawals (bare prefixes — the protocol
+does *not* echo the withdrawn attributes, which is exactly the gap the REX
+collector fills in Section II by consulting its per-peer AdjRibIn). Session
+management messages (OPEN / KEEPALIVE / NOTIFICATION) are modeled minimally:
+the simulator needs them to drive the session FSM, not their wire format.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.net.attributes import PathAttributes
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class Announcement:
+    """A route announcement: one prefix with its path attributes."""
+
+    prefix: Prefix
+    attributes: PathAttributes
+
+
+@dataclass(frozen=True, slots=True)
+class Withdrawal:
+    """A route withdrawal: just the prefix, as on the wire."""
+
+    prefix: Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class BGPUpdate:
+    """One UPDATE message: withdrawals plus announcements.
+
+    A single UPDATE may withdraw many prefixes and announce many prefixes
+    sharing one attribute bundle; we keep per-prefix announcements for
+    simplicity since the collector flattens them into per-prefix events
+    anyway.
+    """
+
+    withdrawals: tuple[Withdrawal, ...] = ()
+    announcements: tuple[Announcement, ...] = ()
+
+    @classmethod
+    def announce(
+        cls, prefixes: Iterable[Prefix], attributes: PathAttributes
+    ) -> "BGPUpdate":
+        """Build an UPDATE announcing *prefixes* with shared attributes."""
+        return cls(
+            announcements=tuple(Announcement(p, attributes) for p in prefixes)
+        )
+
+    @classmethod
+    def withdraw(cls, prefixes: Iterable[Prefix]) -> "BGPUpdate":
+        """Build an UPDATE withdrawing *prefixes*."""
+        return cls(withdrawals=tuple(Withdrawal(p) for p in prefixes))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.withdrawals and not self.announcements
+
+    def __len__(self) -> int:
+        """Number of per-prefix routing changes carried."""
+        return len(self.withdrawals) + len(self.announcements)
+
+
+class NotificationCode(enum.Enum):
+    """Why a session was torn down. Subset relevant to the case studies."""
+
+    CEASE = "cease"
+    MAX_PREFIX_EXCEEDED = "max-prefix-exceeded"
+    HOLD_TIMER_EXPIRED = "hold-timer-expired"
+    FSM_ERROR = "fsm-error"
+
+
+@dataclass(frozen=True, slots=True)
+class OpenMessage:
+    """Session OPEN: identifies the speaker."""
+
+    asn: int
+    router_id: int
+    hold_time: float = 90.0
+
+
+@dataclass(frozen=True, slots=True)
+class KeepaliveMessage:
+    """Refreshes the hold timer."""
+
+
+@dataclass(frozen=True, slots=True)
+class NotificationMessage:
+    """Terminates the session with a cause."""
+
+    code: NotificationCode
+    detail: str = ""
+
+
+SessionMessage = OpenMessage | KeepaliveMessage | NotificationMessage

@@ -1,0 +1,180 @@
+"""A binary radix trie keyed by IPv4 prefixes.
+
+RIB lookups need longest-prefix match (to route an address) and covered /
+covering queries (to find all more- or less-specific prefixes of a target,
+which route-hijack checks rely on). A path-compressed binary trie gives all
+three in O(32) node visits.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.net.prefix import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("prefix", "value", "has_value", "left", "right")
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self.value: Optional[V] = None
+        self.has_value = False
+        self.left: Optional[_Node[V]] = None
+        self.right: Optional[_Node[V]] = None
+
+
+def _bit_at(network: int, position: int) -> int:
+    """The bit of *network* at *position* (0 = most significant)."""
+    return (network >> (31 - position)) & 1
+
+
+class PrefixTrie(Generic[V]):
+    """Map from :class:`Prefix` to arbitrary values with radix queries.
+
+    Supports exact ``get``/``insert``/``delete``, longest-prefix match on
+    addresses, and iteration over covered (more specific) and covering
+    (less specific) prefixes.
+
+    >>> trie = PrefixTrie()
+    >>> trie.insert(Prefix.parse("10.0.0.0/8"), "a")
+    >>> trie.insert(Prefix.parse("10.1.0.0/16"), "b")
+    >>> trie.longest_match_address(Prefix.parse("10.1.2.3/32").network)[1]
+    'b'
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node(Prefix(0, 0))
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._find_exact(prefix)
+        return node is not None and node.has_value
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at *prefix*."""
+        node = self._root
+        while node.prefix.length < prefix.length:
+            bit = _bit_at(prefix.network, node.prefix.length)
+            child = node.right if bit else node.left
+            if child is None:
+                child = _Node(self._child_prefix(node, bit))
+                if bit:
+                    node.right = child
+                else:
+                    node.left = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        """The value stored exactly at *prefix*, or *default*."""
+        node = self._find_exact(prefix)
+        if node is None or not node.has_value:
+            return default
+        return node.value
+
+    def delete(self, prefix: Prefix) -> bool:
+        """Remove the value at *prefix*; returns True if one was present.
+
+        Structural nodes are left in place; the trie is write-heavy in the
+        collector and pruning interior nodes buys little.
+        """
+        node = self._find_exact(prefix)
+        if node is None or not node.has_value:
+            return False
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        return True
+
+    def longest_match(self, prefix: Prefix) -> Optional[tuple[Prefix, V]]:
+        """The most specific stored prefix that covers *prefix*."""
+        best: Optional[tuple[Prefix, V]] = None
+        node: Optional[_Node[V]] = self._root
+        while node is not None and node.prefix.length <= prefix.length:
+            if not node.prefix.contains(prefix):
+                break
+            if node.has_value:
+                best = (node.prefix, node.value)  # type: ignore[arg-type]
+            if node.prefix.length == prefix.length:
+                break
+            bit = _bit_at(prefix.network, node.prefix.length)
+            node = node.right if bit else node.left
+        return best
+
+    def longest_match_address(self, address: int) -> Optional[tuple[Prefix, V]]:
+        """The most specific stored prefix covering a 32-bit *address*."""
+        return self.longest_match(Prefix(address, 32))
+
+    def covered(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        """Yield stored (prefix, value) pairs equal to or inside *prefix*."""
+        node = self._descend_to(prefix)
+        if node is None:
+            return
+        yield from self._walk(node)
+
+    def covering(self, prefix: Prefix) -> Iterator[tuple[Prefix, V]]:
+        """Yield stored pairs that contain *prefix*, shortest first."""
+        node: Optional[_Node[V]] = self._root
+        while node is not None and node.prefix.length <= prefix.length:
+            if not node.prefix.contains(prefix):
+                return
+            if node.has_value:
+                yield node.prefix, node.value  # type: ignore[misc]
+            if node.prefix.length == prefix.length:
+                return
+            bit = _bit_at(prefix.network, node.prefix.length)
+            node = node.right if bit else node.left
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """Yield all stored (prefix, value) pairs in trie order."""
+        yield from self._walk(self._root)
+
+    def keys(self) -> Iterator[Prefix]:
+        for prefix, _ in self.items():
+            yield prefix
+
+    @staticmethod
+    def _child_prefix(node: _Node[V], bit: int) -> Prefix:
+        length = node.prefix.length + 1
+        network = node.prefix.network
+        if bit:
+            network |= 1 << (32 - length)
+        return Prefix(network, length)
+
+    def _find_exact(self, prefix: Prefix) -> Optional[_Node[V]]:
+        node: Optional[_Node[V]] = self._root
+        while node is not None and node.prefix.length < prefix.length:
+            bit = _bit_at(prefix.network, node.prefix.length)
+            node = node.right if bit else node.left
+        if node is not None and node.prefix == prefix:
+            return node
+        return None
+
+    def _descend_to(self, prefix: Prefix) -> Optional[_Node[V]]:
+        node: Optional[_Node[V]] = self._root
+        while node is not None and node.prefix.length < prefix.length:
+            bit = _bit_at(prefix.network, node.prefix.length)
+            node = node.right if bit else node.left
+        if node is not None and prefix.contains(node.prefix):
+            return node
+        return None
+
+    def _walk(self, node: _Node[V]) -> Iterator[tuple[Prefix, V]]:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.has_value:
+                yield current.prefix, current.value  # type: ignore[misc]
+            if current.right is not None:
+                stack.append(current.right)
+            if current.left is not None:
+                stack.append(current.left)

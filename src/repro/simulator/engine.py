@@ -1,0 +1,89 @@
+"""The discrete-event engine.
+
+A classic calendar queue: callbacks scheduled at absolute times, executed
+in time order with FIFO tie-breaking (a monotone sequence number), so runs
+are fully deterministic. All randomness in workloads comes from explicitly
+seeded :class:`random.Random` instances, never from the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+Callback = Callable[[], None]
+
+
+class Engine:
+    """Priority-queue scheduler with a virtual clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._sequence = 0
+        self._queue: list[tuple[float, int, Callback]] = []
+        self.executed = 0
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    def schedule_at(self, when: float, callback: Callback) -> None:
+        """Run *callback* at absolute virtual time *when*."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        heapq.heappush(self._queue, (when, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_after(self, delay: float, callback: Callback) -> None:
+        """Run *callback* after *delay* seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Execute the earliest queued event. Returns False when empty."""
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        self._now = when
+        self.executed += 1
+        callback()
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or *max_events* executed).
+
+        Returns the number of events executed by this call. The cap is a
+        guard against livelock: a persistently oscillating scenario never
+        drains its queue, by design.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def run_until(self, deadline: float) -> int:
+        """Run events with time ≤ *deadline*; advance the clock to it.
+
+        Returns the number of events executed.
+        """
+        if deadline < self._now:
+            raise ValueError(
+                f"deadline {deadline} before current time {self._now}"
+            )
+        executed = 0
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+            executed += 1
+        self._now = deadline
+        return executed

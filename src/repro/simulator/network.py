@@ -1,0 +1,281 @@
+"""A simulated network of BGP speakers under one engine.
+
+:class:`Network` owns the routers, the links between them (with delay),
+the passive collector attachments, and the plumbing that turns a router's
+"updates to send" into scheduled deliveries. It also supports *feed
+injection*: crafting UPDATE messages that appear to come from an external
+peer (the Internet beyond the site's border), which is how workloads
+replay Internet-scale routing into a site without simulating the whole
+Internet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.bgp.policy import Policy
+from repro.bgp.router import BGPRouter
+from repro.collector.rex import RouteExplorer
+from repro.net.message import BGPUpdate
+from repro.simulator.engine import Engine
+
+DEFAULT_LINK_DELAY = 0.01
+
+
+class Network:
+    """Routers + links + collectors, driven by a shared engine."""
+
+    def __init__(self, engine: Optional[Engine] = None) -> None:
+        self.engine = engine if engine is not None else Engine()
+        self.routers: dict[int, BGPRouter] = {}
+        self.by_name: dict[str, BGPRouter] = {}
+        self._delays: dict[tuple[int, int], float] = {}
+        self._collectors: dict[int, RouteExplorer] = {}
+        self._external_peers: dict[int, str] = {}
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    def add_router(
+        self,
+        name: str,
+        asn: int,
+        address: int,
+        **kwargs,
+    ) -> BGPRouter:
+        if name in self.by_name:
+            raise ValueError(f"duplicate router name {name}")
+        if address in self.routers:
+            raise ValueError(f"duplicate router address {address:#x}")
+        router = BGPRouter(
+            name=name,
+            asn=asn,
+            router_id=len(self.routers) + 1,
+            address=address,
+            **kwargs,
+        )
+        self.routers[address] = router
+        self.by_name[name] = router
+        return router
+
+    def router(self, name: str) -> BGPRouter:
+        try:
+            return self.by_name[name]
+        except KeyError:
+            raise KeyError(f"no router named {name}") from None
+
+    def connect(
+        self,
+        a: BGPRouter,
+        b: BGPRouter,
+        a_policy: Optional[Policy] = None,
+        b_policy: Optional[Policy] = None,
+        a_sees_client: bool = False,
+        b_sees_client: bool = False,
+        a_nexthop_self: bool = False,
+        b_nexthop_self: bool = False,
+        a_max_prefixes: Optional[int] = None,
+        b_max_prefixes: Optional[int] = None,
+        delay: float = DEFAULT_LINK_DELAY,
+        established: bool = True,
+    ) -> None:
+        """Create the peering a↔b; bring the session up unless told not to."""
+        a.add_neighbor(
+            b.address, b.asn, b.router_id, policy=a_policy,
+            is_rr_client=a_sees_client, nexthop_self=a_nexthop_self,
+            max_prefixes=a_max_prefixes,
+        )
+        b.add_neighbor(
+            a.address, a.asn, a.router_id, policy=b_policy,
+            is_rr_client=b_sees_client, nexthop_self=b_nexthop_self,
+            max_prefixes=b_max_prefixes,
+        )
+        self._delays[(a.address, b.address)] = delay
+        self._delays[(b.address, a.address)] = delay
+        if established:
+            out_a = a.session_up(b.address, self.engine.now)
+            out_b = b.session_up(a.address, self.engine.now)
+            self.dispatch(a, out_a)
+            self.dispatch(b, out_b)
+
+    def add_external_peer(
+        self,
+        router: BGPRouter,
+        address: int,
+        asn: int,
+        policy: Optional[Policy] = None,
+        max_prefixes: Optional[int] = None,
+        is_rr_client: bool = False,
+        name: str = "",
+    ) -> None:
+        """Register an *injected* peer: a border neighbor whose messages
+        are scripted by the workload rather than produced by a simulated
+        router. The session starts established. With *is_rr_client* the
+        peer plays an IBGP access router hanging off a route reflector."""
+        router.add_neighbor(
+            address,
+            asn,
+            router_id=address,
+            policy=policy,
+            max_prefixes=max_prefixes,
+            is_rr_client=is_rr_client,
+        )
+        router.neighbor(address).session.establish_directly(self.engine.now)
+        self._external_peers[address] = name or f"external-{address:#x}"
+
+    # ------------------------------------------------------------------
+    # Collector attachment
+    # ------------------------------------------------------------------
+
+    def attach_collector(
+        self,
+        rex: RouteExplorer,
+        router: BGPRouter,
+        rex_address: int,
+        as_rr_client: bool = True,
+        delay: float = DEFAULT_LINK_DELAY,
+    ) -> None:
+        """Passively IBGP-peer *rex* with *router*.
+
+        The router is given an IBGP neighbor for REX (flagged as a
+        reflection client so route reflectors relay their IBGP-learned
+        routes, matching how REX peers with an ISP's core). Deliveries to
+        the REX address are turned into ``rex.observe`` calls instead of
+        router message processing.
+        """
+        if rex_address in self.routers:
+            raise ValueError("collector address collides with a router")
+        router.add_neighbor(
+            rex_address,
+            router.asn,
+            router_id=rex_address,
+            is_rr_client=as_rr_client,
+        )
+        rex.peer_with(router.address)
+        self._collectors[rex_address] = rex
+        self._delays[(router.address, rex_address)] = delay
+        out = router.session_up(rex_address, self.engine.now)
+        self.dispatch(router, out)
+
+    # ------------------------------------------------------------------
+    # Driving the simulation
+    # ------------------------------------------------------------------
+
+    def inject(
+        self,
+        router: BGPRouter,
+        from_address: int,
+        update: BGPUpdate,
+        at: Optional[float] = None,
+    ) -> None:
+        """Schedule delivery of a crafted *update* to *router* as if sent
+        by the external peer at *from_address*."""
+        when = at if at is not None else self.engine.now
+        self.engine.schedule_at(
+            when, lambda: self._deliver(from_address, router.address, update)
+        )
+
+    def originate(
+        self,
+        router: BGPRouter,
+        prefixes,
+        at: Optional[float] = None,
+        **kwargs,
+    ) -> None:
+        """Schedule local origination of *prefixes* at *router*."""
+        when = at if at is not None else self.engine.now
+
+        def fire() -> None:
+            for prefix in prefixes:
+                out = router.originate(prefix, now=self.engine.now, **kwargs)
+                self.dispatch(router, out)
+
+        self.engine.schedule_at(when, fire)
+
+    def fail_session(
+        self, a: BGPRouter, b_address: int, at: Optional[float] = None
+    ) -> None:
+        """Schedule an administrative session teardown of a↔b.
+
+        Both sides drop their state; withdrawals propagate from each.
+        """
+        when = at if at is not None else self.engine.now
+
+        def fire() -> None:
+            out_a = a.session_down(b_address, self.engine.now)
+            self.dispatch(a, out_a)
+            other = self.routers.get(b_address)
+            if other is not None:
+                out_b = other.session_down(a.address, self.engine.now)
+                self.dispatch(other, out_b)
+
+        self.engine.schedule_at(when, fire)
+
+    def restore_session(
+        self, a: BGPRouter, b_address: int, at: Optional[float] = None
+    ) -> None:
+        """Schedule re-establishment of a↔b with full table exchange."""
+        when = at if at is not None else self.engine.now
+
+        def fire() -> None:
+            other = self.routers.get(b_address)
+            # Bring both FSMs up before either side's table is pumped, as
+            # the real protocol's OPEN/OPEN-confirm exchange guarantees.
+            out_a = a.session_up(b_address, self.engine.now)
+            out_b = (
+                other.session_up(a.address, self.engine.now)
+                if other is not None
+                else []
+            )
+            self.dispatch(a, out_a)
+            if other is not None:
+                self.dispatch(other, out_b)
+
+        self.engine.schedule_at(when, fire)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run the engine until quiescent (BGP convergence)."""
+        return self.engine.run(max_events)
+
+    def run_until(self, deadline: float) -> int:
+        return self.engine.run_until(deadline)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def dispatch(
+        self, sender: BGPRouter, outgoing: Iterable[tuple[int, BGPUpdate]]
+    ) -> None:
+        """Schedule delivery of a router's outgoing updates over its links.
+
+        Public because scenario code that drives a router directly (e.g.
+        tearing down an external session) must hand the fallout back to
+        the network.
+        """
+        for to_address, update in outgoing:
+            delay = self._delays.get(
+                (sender.address, to_address), DEFAULT_LINK_DELAY
+            )
+            self.engine.schedule_after(
+                delay,
+                lambda f=sender.address, t=to_address, u=update: self._deliver(
+                    f, t, u
+                ),
+            )
+
+    def _deliver(self, from_address: int, to_address: int, update: BGPUpdate) -> None:
+        self.messages_delivered += 1
+        collector = self._collectors.get(to_address)
+        if collector is not None:
+            collector.observe(from_address, update, self.engine.now)
+            return
+        receiver = self.routers.get(to_address)
+        if receiver is None:
+            # Updates to external (scripted) peers vanish into the void:
+            # the script decides what, if anything, comes back.
+            return
+        out = receiver.receive_update(from_address, update, self.engine.now)
+        self.dispatch(receiver, out)

@@ -1,0 +1,460 @@
+"""Synthetic collector views and event generators at published scale.
+
+Simulating a 67-reflector full mesh carrying 1.5 million routes through
+pure-Python BGP speakers is computationally out of reach (hundreds of
+millions of route operations). But the paper's Table I doesn't measure
+router dynamics — it measures the TAMP and Stemming *algorithms* on the
+collector's data: RIB snapshots and event streams. This module generates
+that collector-side view directly, calibrated to the published inventory
+(ISP-Anon: ~9150 nexthops, ~850 neighbor ASes, ~200k prefixes, 1.5M
+routes; Berkeley: 13 nexthops, ~12.6k prefixes, ~23k routes), and event
+streams with the published shapes (session-reset spikes, leak storms,
+low-grade oscillation grass).
+
+The small-scale :class:`repro.simulator.workloads.IspAnonSite` retains
+full router dynamics for the correctness-critical case studies; this
+module exists purely so the benchmarks can run at paper scale. See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.collector.events import BGPEvent, EventKind
+from repro.collector.rex import RouteExplorer
+from repro.collector.stream import EventStream
+from repro.net.aspath import ASPath
+from repro.net.attributes import PathAttributes
+from repro.net.message import BGPUpdate
+from repro.net.prefix import Prefix, parse_address
+from repro.simulator.workloads import synthetic_prefixes
+
+
+@dataclass(frozen=True, slots=True)
+class ViewProfile:
+    """Inventory targets for a synthetic collector view."""
+
+    name: str
+    peer_count: int  # IBGP peers REX holds (edge routers / reflectors)
+    nexthop_count: int  # distinct BGP nexthops
+    neighbor_as_count: int  # distinct first-hop ASes
+    origin_as_count: int  # distinct originating ASes
+    mean_path_length: int  # AS hops per route (before origin)
+
+
+#: Section II inventory, August 2003.
+BERKELEY_PROFILE = ViewProfile(
+    name="berkeley",
+    peer_count=4,
+    nexthop_count=13,
+    neighbor_as_count=3,  # CalREN's ASes dominate a single-provider site
+    origin_as_count=400,
+    mean_path_length=3,
+)
+
+#: Section II inventory, late June 2002.
+ISP_ANON_PROFILE = ViewProfile(
+    name="isp-anon",
+    peer_count=67,
+    nexthop_count=9150,
+    neighbor_as_count=850,
+    origin_as_count=316,
+    mean_path_length=3,
+)
+
+_PEER_BASE = parse_address("10.200.0.1")
+_NEXTHOP_BASE = parse_address("10.64.0.1")
+
+
+def _peer_address(index: int) -> int:
+    return _PEER_BASE + (index << 8)
+
+
+def _nexthop_address(index: int) -> int:
+    return _NEXTHOP_BASE + index
+
+
+def populate_view(
+    rex: RouteExplorer,
+    n_routes: int,
+    profile: ViewProfile = ISP_ANON_PROFILE,
+    routes_per_prefix: float = 7.5,
+    seed: int = 2002,
+) -> list[Prefix]:
+    """Fill *rex* with *n_routes* routes matching *profile*'s inventory.
+
+    Routes per prefix follow the ISP pattern: each prefix is reachable
+    through several peers/nexthops (multi-homing plus the reflector mesh),
+    averaging *routes_per_prefix*. Returns the prefix universe.
+
+    Deterministic for a given *seed*.
+    """
+    rng = random.Random(seed)
+    n_prefixes = max(1, int(n_routes / routes_per_prefix))
+    prefixes = synthetic_prefixes(n_prefixes)
+    attrs_pool = _attribute_pool(profile, rng)
+    routes_placed = 0
+    prefix_index = 0
+    skips = 0
+    used_peers: list[set[int]] = [set() for _ in prefixes]
+    batch: dict[int, list[tuple[Prefix, PathAttributes]]] = {}
+    while routes_placed < n_routes:
+        slot = prefix_index % n_prefixes
+        prefix = prefixes[slot]
+        prefix_index += 1
+        available = [
+            p for p in range(profile.peer_count) if p not in used_peers[slot]
+        ]
+        if not available:
+            skips += 1
+            if skips >= n_prefixes:
+                raise ValueError(
+                    f"cannot place {n_routes} routes over {n_prefixes}"
+                    f" prefixes x {profile.peer_count} peers"
+                )
+            continue
+        skips = 0
+        copies = min(
+            n_routes - routes_placed,
+            max(1, int(rng.gauss(routes_per_prefix, routes_per_prefix / 3))),
+            len(available),
+        )
+        for peer_index in rng.sample(available, copies):
+            attrs = rng.choice(attrs_pool)
+            batch.setdefault(peer_index, []).append((prefix, attrs))
+            used_peers[slot].add(peer_index)
+            routes_placed += 1
+    for peer_index, entries in batch.items():
+        peer = _peer_address(peer_index)
+        rex.peer_with(peer)
+        rib = rex.rib(peer)
+        for prefix, attrs in entries:
+            rib.announce(prefix, attrs)
+    # The RIBs are written directly rather than through rex.observe so
+    # table population does not pollute rex.events; the view represents
+    # converged state, not an incident.
+    return prefixes
+
+
+def _attribute_pool(
+    profile: ViewProfile, rng: random.Random
+) -> list[PathAttributes]:
+    """A pool of shared attribute bundles matching the profile counts.
+
+    Sharing bundles keeps 1.5M-route views affordable: routes reference a
+    few thousand distinct attribute objects, exactly like a real RIB where
+    most routes reuse common paths.
+    """
+    pool_size = max(profile.nexthop_count, profile.neighbor_as_count, 64)
+    pool: list[PathAttributes] = []
+    for i in range(pool_size):
+        nexthop = _nexthop_address(i % profile.nexthop_count)
+        neighbor_as = 100 + (i % profile.neighbor_as_count)
+        origin_as = 40000 + rng.randrange(profile.origin_as_count)
+        middle = [
+            200 + rng.randrange(900)
+            for _ in range(max(0, profile.mean_path_length - 2))
+        ]
+        pool.append(
+            PathAttributes(
+                nexthop=nexthop,
+                as_path=ASPath([neighbor_as, *middle, origin_as]),
+            )
+        )
+    return pool
+
+
+# ----------------------------------------------------------------------
+# Event-stream generators (the Table I / Figure 8 shapes)
+# ----------------------------------------------------------------------
+
+
+def session_reset_events(
+    rex: RouteExplorer,
+    peer_index: int,
+    start: float,
+    convergence_seconds: float,
+    seed: int = 7,
+) -> EventStream:
+    """A session reset at one peer: mass withdrawal, then re-announcement.
+
+    This is the canonical event spike: every route learned from the peer
+    is withdrawn, then (after the session re-establishes) re-announced.
+    Withdrawal and re-announcement times are spread over
+    *convergence_seconds*, matching BGP's bursty convergence.
+    """
+    rng = random.Random(seed)
+    peer = _peer_address(peer_index)
+    routes = list(rex.rib(peer).routes())
+    events = EventStream()
+    for route in routes:
+        when = start + rng.uniform(0, convergence_seconds / 2)
+        events.append(
+            BGPEvent(when, EventKind.WITHDRAW, peer, route.prefix, route.attributes)
+        )
+    reup = start + convergence_seconds / 2
+    for route in routes:
+        when = reup + rng.uniform(0, convergence_seconds / 2)
+        events.append(
+            BGPEvent(when, EventKind.ANNOUNCE, peer, route.prefix, route.attributes)
+        )
+    return events
+
+
+def path_exploration_events(
+    prefixes: list[Prefix],
+    peer_index: int,
+    failed_edge: tuple[int, int],
+    alternates: list[ASPath],
+    start: float,
+    spread_seconds: float,
+    seed: int = 13,
+) -> EventStream:
+    """A failure beyond *failed_edge*: per-prefix path exploration.
+
+    Each prefix is withdrawn (old path crossing the failed AS edge), then
+    re-announced over a sequence of alternate paths — BGP's notorious
+    exploration of invalid paths before convergence.
+    """
+    rng = random.Random(seed)
+    peer = _peer_address(peer_index)
+    nexthop = _nexthop_address(peer_index)
+    upstream, downstream = failed_edge
+    events = EventStream()
+    for i, prefix in enumerate(prefixes):
+        origin = 40000 + (i % 300)
+        dead_path = ASPath([upstream, downstream, origin])
+        t = start + rng.uniform(0, spread_seconds / 4)
+        events.append(
+            BGPEvent(
+                t,
+                EventKind.WITHDRAW,
+                peer,
+                prefix,
+                PathAttributes(nexthop=nexthop, as_path=dead_path),
+            )
+        )
+        explore_count = rng.randrange(1, max(2, len(alternates) + 1))
+        for step in range(explore_count):
+            alternate = alternates[step % len(alternates)]
+            t += rng.uniform(0, spread_seconds / (2 * max(1, explore_count)))
+            events.append(
+                BGPEvent(
+                    t,
+                    EventKind.ANNOUNCE,
+                    peer,
+                    prefix,
+                    PathAttributes(
+                        nexthop=nexthop,
+                        as_path=ASPath(
+                            list(alternate.sequence) + [origin]
+                        ),
+                    ),
+                )
+            )
+    return events
+
+
+def oscillation_events(
+    prefix: Prefix,
+    peer_indices: list[int],
+    paths: list[ASPath],
+    start: float,
+    duration: float,
+    period: float,
+) -> EventStream:
+    """Persistent route oscillation on one prefix (Figures 3 and 9 shape).
+
+    Each *period*, every peer withdraws the prefix and re-announces it on
+    the next path in its rotation. Event volume is 2 events per peer per
+    period — the "grass" that hides serious problems from rate-based
+    detectors.
+    """
+    if period <= 0:
+        raise ValueError("oscillation period must be positive")
+    events = EventStream()
+    t = start
+    cycle = 0
+    while t < start + duration:
+        for k, peer_index in enumerate(peer_indices):
+            peer = _peer_address(peer_index)
+            nexthop = _nexthop_address(peer_index)
+            old = paths[(cycle + k) % len(paths)]
+            new = paths[(cycle + k + 1) % len(paths)]
+            events.append(
+                BGPEvent(
+                    t,
+                    EventKind.WITHDRAW,
+                    peer,
+                    prefix,
+                    PathAttributes(nexthop=nexthop, as_path=old),
+                )
+            )
+            events.append(
+                BGPEvent(
+                    t + period / 2,
+                    EventKind.ANNOUNCE,
+                    peer,
+                    prefix,
+                    PathAttributes(nexthop=nexthop, as_path=new),
+                )
+            )
+        cycle += 1
+        t += period
+    return events
+
+
+def background_churn_events(
+    prefixes: list[Prefix],
+    peer_count: int,
+    start: float,
+    duration: float,
+    events_per_second: float,
+    seed: int = 99,
+) -> EventStream:
+    """Uncorrelated low-rate churn: the noise floor under every analysis.
+
+    Random prefixes flap at random peers with diverse paths — no shared
+    structure for Stemming to find, which is precisely what makes it good
+    background for detection tests.
+    """
+    rng = random.Random(seed)
+    events = EventStream()
+    count = int(duration * events_per_second)
+    for _ in range(count):
+        t = start + rng.uniform(0, duration)
+        prefix = rng.choice(prefixes)
+        peer_index = rng.randrange(peer_count)
+        origin = 40000 + rng.randrange(300)
+        path = ASPath([100 + rng.randrange(850), 200 + rng.randrange(900), origin])
+        kind = EventKind.WITHDRAW if rng.random() < 0.5 else EventKind.ANNOUNCE
+        events.append(
+            BGPEvent(
+                t,
+                kind,
+                _peer_address(peer_index),
+                prefix,
+                PathAttributes(
+                    nexthop=_nexthop_address(peer_index), as_path=path
+                ),
+            )
+        )
+    return events
+
+
+def sized_event_stream(
+    rex: RouteExplorer,
+    count: int,
+    timerange: float,
+    start: float = 0.0,
+    seed: int = 31,
+) -> EventStream:
+    """Exactly *count* events spanning exactly *timerange* seconds.
+
+    Used by the Table I benchmarks, whose rows fix both the event count
+    and the timerange. The mix mirrors real spikes: ~40% session-reset
+    churn (withdraw + re-announce of routes from one peer), ~30%
+    persistent oscillation on a handful of prefixes (the dominant source
+    of volume in real groups — the paper's Figure 3 oscillation alone was
+    95% of the ISP's BGP traffic, endlessly repeating the same few
+    sequences), ~20% path exploration after an AS-edge failure, ~10%
+    uncorrelated background. The first and last events are pinned to the
+    window edges so the stream's timerange is exact.
+    """
+    if count < 2:
+        raise ValueError("need at least two events to span a timerange")
+    rng = random.Random(seed)
+    peers = rex.peers()
+    if not peers:
+        raise ValueError("collector holds no routes to churn")
+    reset_peer = peers[0]
+    routes = list(rex.rib(reset_peer).routes())
+    if not routes:
+        raise ValueError("reset peer has an empty table")
+    events: list[BGPEvent] = []
+    oscillation_target = int(count * 0.3)
+    oscillating = routes[: max(1, min(3, len(routes)))]
+    slot = 0
+    while len(events) < oscillation_target:
+        route = oscillating[slot % len(oscillating)]
+        t = start + (slot / max(1, oscillation_target)) * timerange
+        kind = EventKind.WITHDRAW if slot % 2 else EventKind.ANNOUNCE
+        events.append(
+            BGPEvent(t, kind, reset_peer, route.prefix, route.attributes)
+        )
+        slot += 1
+    reset_target = len(events) + int(count * 0.4)
+    index = 0
+    while len(events) < reset_target:
+        route = routes[index % len(routes)]
+        t = start + rng.uniform(0, timerange)
+        events.append(
+            BGPEvent(
+                t, EventKind.WITHDRAW, reset_peer, route.prefix, route.attributes
+            )
+        )
+        if len(events) < reset_target:
+            events.append(
+                BGPEvent(
+                    min(start + timerange, t + rng.uniform(1.0, 30.0)),
+                    EventKind.ANNOUNCE,
+                    reset_peer,
+                    route.prefix,
+                    route.attributes,
+                )
+            )
+        index += 1
+    explore_target = int(count * 0.2)
+    explore_prefixes = [r.prefix for r in routes[: max(1, explore_target // 3)]]
+    exploration = path_exploration_events(
+        explore_prefixes,
+        peer_index=1 % len(peers),
+        failed_edge=(209, 7018),
+        alternates=[ASPath([209, 1239]), ASPath([209, 701, 1299])],
+        start=start,
+        spread_seconds=timerange,
+        seed=seed + 1,
+    )
+    events.extend(list(exploration)[:explore_target])
+    churn_needed = count - len(events)
+    if churn_needed > 0:
+        # Over-generate slightly, then trim: int() truncation in the
+        # churn generator must not leave the stream short.
+        churn = background_churn_events(
+            [r.prefix for r in routes[:200]],
+            peer_count=len(peers),
+            start=start,
+            duration=timerange,
+            events_per_second=(churn_needed + 2) / timerange,
+            seed=seed + 2,
+        )
+        events.extend(list(churn)[:churn_needed])
+    events = events[:count]
+    if len(events) < count:
+        raise AssertionError("sized stream generation fell short")
+    # Pin the window edges for an exact timerange.
+    events.sort(key=lambda e: e.timestamp)
+    first, last = events[0], events[-1]
+    events[0] = BGPEvent(start, first.kind, first.peer, first.prefix,
+                         first.attributes)
+    events[-1] = BGPEvent(start + timerange, last.kind, last.peer,
+                          last.prefix, last.attributes)
+    return EventStream(events)
+
+
+def replay_into(rex: RouteExplorer, events: EventStream) -> EventStream:
+    """Replay a synthetic stream through REX's augmentation machinery.
+
+    Useful when a test wants collector semantics (withdrawal
+    augmentation, RIB maintenance) applied to generated events. Returns
+    the stream REX recorded.
+    """
+    for event in events:
+        if event.is_withdrawal:
+            update = BGPUpdate.withdraw([event.prefix])
+        else:
+            update = BGPUpdate.announce([event.prefix], event.attributes)
+        rex.observe(event.peer, update, event.timestamp)
+    return rex.events

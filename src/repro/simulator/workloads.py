@@ -1,0 +1,617 @@
+"""Workload builders: the paper's two vantage points.
+
+:class:`BerkeleySite` reproduces the U.C. Berkeley deployment of Section
+II: four BGP edge routers behind CalREN (AS 11423), with the commodity
+Internet arriving through QWest (AS 209), Internet2 through Abilene, and
+CENIC regional routes — including the community tags (11423:65350 for ISP
+routes, 11423:65300 otherwise) that Berkeley's rate-limiting policies key
+on. Edge router policies are built from actual configuration text and
+compiled through :mod:`repro.config`, so the case-study incidents emerge
+from genuine route-map mechanics.
+
+:class:`IspAnonSite` reproduces the Tier-1 deployment: a route-reflector
+core observed by REX, fed by injected access routers, with hundreds of
+neighbor ASes.
+
+Both builders are scale-parameterized: unit tests run at a few hundred
+prefixes, benchmarks at the published scale (12,600 prefixes for
+Berkeley; 200k prefixes / 1.5M routes for ISP-Anon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collector.rex import RouteExplorer
+from repro.config.compiler import compile_config
+from repro.config.parser import parse_config
+from repro.net.aspath import ASPath
+from repro.net.attributes import Community, PathAttributes
+from repro.collector.stream import EventStream
+from repro.net.message import Announcement, BGPUpdate
+from repro.net.prefix import Prefix, cidr_cover, parse_address
+from repro.simulator.network import Network
+
+# ----------------------------------------------------------------------
+# Berkeley constants (Section II / IV)
+# ----------------------------------------------------------------------
+
+AS_BERKELEY = 25
+AS_CALREN = 11423
+AS_CALREN2 = 11422  # secondary CalREN AS, pre-consolidation
+AS_QWEST = 209
+AS_ABILENE = 11537
+AS_CENIC = 2152
+AS_LOS_NETTOS = 226
+AS_KDDI = 2516
+AS_ATT = 7018
+AS_LEVEL3 = 3356
+
+#: The 6-AS-hop leaked path of Figure 7: Packet Clearing House, Alpha NAP,
+#: San Diego Supercomputing Center, CENIC, then Level3.
+LEAK_PATH_ASES = (AS_CALREN, AS_CALREN2, 10927, 1909, 195, AS_CENIC, AS_LEVEL3)
+
+#: Tier-1 transit providers seen beyond QWest in Berkeley's table.
+TIER1_POOL = (701, 1239, 3561, 7018, 2914, 3356, 6461, 1299)
+
+COMM_ISP = Community(AS_CALREN, 65350)  # commodity Internet routes
+COMM_OTHER = Community(AS_CALREN, 65300)  # Internet2 / CalREN members
+COMM_CENIC_LAAP = Community(AS_CENIC, 65297)  # Figure 6's mis-tagged value
+
+EDGE_13 = "128.32.1.3"
+EDGE_200 = "128.32.1.200"
+EDGE_222 = "128.32.1.222"
+RL_66 = "128.32.0.66"  # rate limiter nexthop A (edge 1.3)
+RL_70 = "128.32.0.70"  # rate limiter nexthop B (edge 1.3)
+NH_90 = "128.32.0.90"  # non-rate-limited nexthop (edge 1.200)
+NH_BACKDOOR = "169.229.0.157"  # Figure 5 backdoor nexthop (edge 1.222)
+CALREN_FEED_13 = "128.32.0.1"  # injected CalREN peer toward 1.3
+CALREN_FEED_200 = "128.32.0.2"  # injected CalREN peer toward 1.200
+ATT_FEED_222 = "169.229.0.1"  # injected AT&T backdoor peer toward 1.222
+REX_ADDRESS = "128.32.255.1"
+
+#: Fractions of the advertised prefix space, chosen to reproduce the
+#: published picture: rate limiter .66 carries 78% and .70 carries 5%
+#: (the Section IV-A misconfiguration; the intent was an even split of
+#: the commodity space), Abilene ~6%, CENIC regional routes the rest.
+FRACTION_COMMODITY_66 = 0.78
+FRACTION_COMMODITY_70 = 0.05
+FRACTION_INTERNET2 = 0.06
+FRACTION_CENIC = 0.11
+#: Within the CENIC/LAAP-tagged routes, the Figure 6 mis-tag split.
+FRACTION_LAAP_LOS_NETTOS = 0.32  # correctly tagged
+# remaining 68% arrive from KDDI, incorrectly carrying the LAAP tag
+
+
+@dataclass(slots=True)
+class RouteFamily:
+    """A group of prefixes sharing one attribute bundle from the feed.
+
+    Families keep full-table injection cheap (one UPDATE per family) and
+    give scenarios stable handles ("the commodity routes on the lower
+    half") to manipulate.
+    """
+
+    name: str
+    klass: str  # commodity-66 | commodity-70 | internet2 | cenic-ln | cenic-kddi
+    prefixes: list[Prefix]
+    as_path: ASPath
+    communities: frozenset[Community]
+
+    def announcement(self, nexthop: int) -> BGPUpdate:
+        attrs = PathAttributes(
+            nexthop=nexthop,
+            as_path=self.as_path,
+            communities=self.communities,
+        )
+        return BGPUpdate.announce(self.prefixes, attrs)
+
+    def withdrawal(self) -> BGPUpdate:
+        return BGPUpdate.withdraw(self.prefixes)
+
+
+def _family_partition(total: int) -> dict[str, int]:
+    """Prefix counts per class, honouring the published fractions."""
+    n66 = round(total * FRACTION_COMMODITY_66)
+    n70 = round(total * FRACTION_COMMODITY_70)
+    n_i2 = round(total * FRACTION_INTERNET2)
+    n_cenic = total - n66 - n70 - n_i2
+    n_ln = round(n_cenic * FRACTION_LAAP_LOS_NETTOS)
+    return {
+        "commodity-66": n66,
+        "commodity-70": n70,
+        "internet2": n_i2,
+        "cenic-ln": n_ln,
+        "cenic-kddi": n_cenic - n_ln,
+    }
+
+
+#: Base of the synthetic prefix universe. Successive /24s from here.
+PREFIX_UNIVERSE_BASE = parse_address("64.0.0.0")
+
+
+def synthetic_prefixes(count: int, offset: int = 0) -> list[Prefix]:
+    """Deterministic /24s: the i-th prefix of the universe."""
+    return [
+        Prefix(PREFIX_UNIVERSE_BASE + (offset + i) * 256, 24)
+        for i in range(count)
+    ]
+
+
+class BerkeleySite:
+    """The Berkeley vantage point, ready for scenarios.
+
+    After construction the site is converged: the full table has been
+    injected from CalREN and propagated to REX. ``site.rex.events``
+    contains the initial announcements; scenarios usually snapshot or
+    clear it before injecting their incident.
+    """
+
+    def __init__(self, n_prefixes: int = 1200) -> None:
+        if n_prefixes < 100:
+            raise ValueError("Berkeley workload needs at least 100 prefixes")
+        self.n_prefixes = n_prefixes
+        self.network = Network()
+        self.rex = RouteExplorer("berkeley-rex")
+        self.families = self._build_families(n_prefixes)
+        self._build_routers()
+        self.announce_full_table()
+
+    # ------------------------------------------------------------------
+    # Universe
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _build_families(total: int) -> list[RouteFamily]:
+        counts = _family_partition(total)
+        families: list[RouteFamily] = []
+        offset = 0
+        # Commodity prefixes occupy one contiguous run so the edge
+        # router's "split the space in half" prefix-lists can cover them
+        # with CIDR ranges, exactly like Berkeley's misconfigured split.
+        for klass in ("commodity-66", "commodity-70"):
+            count = counts[klass]
+            per_tier1 = max(1, count // len(TIER1_POOL))
+            taken = 0
+            for slot, tier1 in enumerate(TIER1_POOL):
+                size = min(per_tier1, count - taken)
+                if slot == len(TIER1_POOL) - 1:
+                    size = count - taken
+                if size <= 0:
+                    break
+                origin = 20000 + slot + (0 if klass == "commodity-66" else 50)
+                families.append(
+                    RouteFamily(
+                        name=f"{klass}-via-{tier1}",
+                        klass=klass,
+                        prefixes=synthetic_prefixes(size, offset),
+                        as_path=ASPath((AS_CALREN, AS_QWEST, tier1, origin)),
+                        communities=frozenset({COMM_ISP}),
+                    )
+                )
+                offset += size
+                taken += size
+        # Internet2: via CalREN's research AS to Abilene.
+        families.append(
+            RouteFamily(
+                name="internet2",
+                klass="internet2",
+                prefixes=synthetic_prefixes(counts["internet2"], offset),
+                as_path=ASPath((AS_CALREN, AS_CALREN2, AS_ABILENE, 30001)),
+                communities=frozenset({COMM_OTHER}),
+            )
+        )
+        offset += counts["internet2"]
+        # CENIC regional routes carrying the LAAP community: a correctly
+        # tagged Los Nettos portion and the mis-tagged KDDI portion.
+        families.append(
+            RouteFamily(
+                name="cenic-los-nettos",
+                klass="cenic-ln",
+                prefixes=synthetic_prefixes(counts["cenic-ln"], offset),
+                as_path=ASPath((AS_CALREN, AS_CENIC, AS_LOS_NETTOS, 30002)),
+                communities=frozenset({COMM_OTHER, COMM_CENIC_LAAP}),
+            )
+        )
+        offset += counts["cenic-ln"]
+        families.append(
+            RouteFamily(
+                name="cenic-kddi",
+                klass="cenic-kddi",
+                prefixes=synthetic_prefixes(counts["cenic-kddi"], offset),
+                as_path=ASPath((AS_CALREN, AS_CENIC, AS_KDDI, 30003)),
+                communities=frozenset({COMM_OTHER, COMM_CENIC_LAAP}),
+            )
+        )
+        return families
+
+    # ------------------------------------------------------------------
+    # Routers and policy
+    # ------------------------------------------------------------------
+
+    def _commodity_boundary(self) -> int:
+        """First address *after* the .66 share of the commodity run."""
+        count66 = sum(
+            len(f.prefixes) for f in self.families if f.klass == "commodity-66"
+        )
+        return PREFIX_UNIVERSE_BASE + count66 * 256
+
+    def _commodity_end(self) -> int:
+        count = sum(
+            len(f.prefixes)
+            for f in self.families
+            if f.klass in ("commodity-66", "commodity-70")
+        )
+        return PREFIX_UNIVERSE_BASE + count * 256
+
+    def _edge13_config(self) -> str:
+        lower = cidr_cover(PREFIX_UNIVERSE_BASE, self._commodity_boundary())
+        lower_lines = "\n".join(
+            f"ip prefix-list LOWER-HALF seq {5 * (i + 1)} permit {p} le 32"
+            for i, p in enumerate(lower)
+        )
+        return f"""\
+hostname edge-1-3
+ip community-list standard ISP-ROUTES permit {COMM_ISP}
+{lower_lines}
+route-map FROM-CALREN permit 10
+ match community ISP-ROUTES
+ match ip address prefix-list LOWER-HALF
+ set local-preference 80
+ set ip next-hop {RL_66}
+route-map FROM-CALREN permit 20
+ match community ISP-ROUTES
+ set local-preference 80
+ set ip next-hop {RL_70}
+router bgp {AS_BERKELEY}
+ bgp router-id {EDGE_13}
+ neighbor {CALREN_FEED_13} remote-as {AS_CALREN}
+ neighbor {CALREN_FEED_13} route-map FROM-CALREN in
+"""
+
+    def _edge200_config(self) -> str:
+        return f"""\
+hostname edge-1-200
+ip community-list standard ISP-ROUTES permit {COMM_ISP}
+route-map FROM-CALREN permit 10
+ match community ISP-ROUTES
+ set local-preference 70
+ set ip next-hop {NH_90}
+route-map FROM-CALREN permit 20
+ set local-preference 100
+ set ip next-hop {NH_90}
+router bgp {AS_BERKELEY}
+ bgp router-id {EDGE_200}
+ neighbor {CALREN_FEED_200} remote-as {AS_CALREN}
+ neighbor {CALREN_FEED_200} route-map FROM-CALREN in
+"""
+
+    def _build_routers(self) -> None:
+        net = self.network
+        edge13_cfg = compile_config(parse_config(self._edge13_config()))
+        edge200_cfg = compile_config(parse_config(self._edge200_config()))
+        self.edge13 = net.add_router("edge-1-3", AS_BERKELEY, parse_address(EDGE_13))
+        self.edge200 = net.add_router(
+            "edge-1-200", AS_BERKELEY, parse_address(EDGE_200)
+        )
+        self.edge222 = net.add_router(
+            "edge-1-222", AS_BERKELEY, parse_address(EDGE_222)
+        )
+        # IBGP mesh between the edges.
+        net.connect(self.edge13, self.edge200)
+        net.connect(self.edge13, self.edge222)
+        net.connect(self.edge200, self.edge222)
+        # Injected CalREN feeds, with compiled import policy.
+        net.add_external_peer(
+            self.edge13,
+            parse_address(CALREN_FEED_13),
+            AS_CALREN,
+            policy=edge13_cfg.neighbor(CALREN_FEED_13).policy,
+            name="calren-feed-13",
+        )
+        net.add_external_peer(
+            self.edge200,
+            parse_address(CALREN_FEED_200),
+            AS_CALREN,
+            policy=edge200_cfg.neighbor(CALREN_FEED_200).policy,
+            name="calren-feed-200",
+        )
+        # The Figure 5 backdoor: an unfiltered AT&T peering on edge .222,
+        # nexthop rewritten to the backdoor address.
+        net.add_external_peer(
+            self.edge222,
+            parse_address(ATT_FEED_222),
+            AS_ATT,
+            name="att-backdoor",
+        )
+        # REX passively peers with every edge.
+        rex_addr = parse_address(REX_ADDRESS)
+        for edge in (self.edge13, self.edge200, self.edge222):
+            net.attach_collector(self.rex, edge, rex_addr)
+
+    # ------------------------------------------------------------------
+    # Full-table injection
+    # ------------------------------------------------------------------
+
+    def announce_full_table(self) -> None:
+        """Inject every family from CalREN into both fed edges; converge."""
+        feed13 = parse_address(CALREN_FEED_13)
+        feed200 = parse_address(CALREN_FEED_200)
+        for family in self.families:
+            self.network.inject(
+                self.edge13, feed13, family.announcement(feed13)
+            )
+            self.network.inject(
+                self.edge200, feed200, family.announcement(feed200)
+            )
+        self.network.run()
+
+    def family(self, name: str) -> RouteFamily:
+        for family in self.families:
+            if family.name == name:
+                return family
+        raise KeyError(f"no route family named {name}")
+
+    def families_of(self, klass: str) -> list[RouteFamily]:
+        return [f for f in self.families if f.klass == klass]
+
+    def commodity_prefixes(self) -> list[Prefix]:
+        prefixes: list[Prefix] = []
+        for family in self.families:
+            if family.klass.startswith("commodity"):
+                prefixes.extend(family.prefixes)
+        return prefixes
+
+
+def build_berkeley(n_prefixes: int = 1200) -> BerkeleySite:
+    """Convenience constructor used by examples and benchmarks."""
+    return BerkeleySite(n_prefixes)
+
+
+# ----------------------------------------------------------------------
+# ISP-Anon constants (Section II / IV-E,F)
+# ----------------------------------------------------------------------
+
+AS_ISP = 7000  # anonymized Tier-1
+AS_CUSTOMER = 65001  # the Figure 9 flapping customer
+AS_NAP = 65002  # exchange fabric the customer's backup traverses
+TIER1_PEERS = (1, 2, 3, 4, 5)  # anonymized Tier-1 peer ASes ("AS1", "AS2", …)
+
+#: The Figure 3 oscillating prefix.
+MED_PREFIX = Prefix.parse("4.5.0.0/16")
+
+ISP_REX_ADDRESS = parse_address("10.255.255.1")
+
+
+def _rr_address(index: int) -> int:
+    """Address of core route reflector *index* (10.0.X.1)."""
+    return parse_address("10.0.0.1") + (index << 8)
+
+
+def _access_address(index: int) -> int:
+    """Address of the injected access router feeding RR *index*."""
+    return parse_address("10.100.0.1") + (index << 8)
+
+
+@dataclass(slots=True)
+class IspFeedFamily:
+    """A group of prefixes fed into one RR from its access router."""
+
+    name: str
+    rr_index: int
+    prefixes: list[Prefix]
+    as_path: ASPath
+    med: int | None = None
+    local_pref: int = 100
+
+
+class IspAnonSite:
+    """The Tier-1 vantage point: a route-reflector core observed by REX.
+
+    *n_reflectors* defaults to 8 for tests; the paper's deployment had 67.
+    *n_prefixes* is the table size fed across the core. Reflectors form a
+    full IBGP mesh (standard for a reflector backbone) and each also
+    serves one injected access-router client, through which workload
+    routes arrive.
+    """
+
+    def __init__(
+        self,
+        n_reflectors: int = 8,
+        n_prefixes: int = 2000,
+        neighbor_as_count: int = 850,
+    ) -> None:
+        if n_reflectors < 2:
+            raise ValueError("need at least two route reflectors")
+        self.n_reflectors = n_reflectors
+        self.n_prefixes = n_prefixes
+        self.neighbor_as_count = neighbor_as_count
+        self.network = Network()
+        self.rex = RouteExplorer("isp-rex")
+        self.reflectors: list = []
+        self._build_core()
+        self.feed_families = self._build_feed(n_prefixes, neighbor_as_count)
+        self.announce_full_table()
+
+    def _build_core(self) -> None:
+        net = self.network
+        for index in range(self.n_reflectors):
+            router = net.add_router(
+                f"rr-{index:02d}",
+                AS_ISP,
+                _rr_address(index),
+                route_reflector=True,
+            )
+            self.reflectors.append(router)
+        # Full mesh between reflectors (non-client IBGP).
+        for i, a in enumerate(self.reflectors):
+            for b in self.reflectors[i + 1 :]:
+                net.connect(a, b)
+        # One injected access-router client per reflector.
+        for index, router in enumerate(self.reflectors):
+            net.add_external_peer(
+                router,
+                _access_address(index),
+                AS_ISP,
+                is_rr_client=True,
+                name=f"access-{index:02d}",
+            )
+        # REX peers with the full reflector mesh.
+        for router in self.reflectors:
+            net.attach_collector(self.rex, router, ISP_REX_ADDRESS)
+
+    def _build_feed(
+        self, total: int, neighbor_as_count: int
+    ) -> list[IspFeedFamily]:
+        """Spread *total* prefixes across reflectors and neighbor ASes.
+
+        Every family is fed to exactly one reflector's access router; the
+        reflector mesh spreads it core-wide, so REX sees roughly
+        ``n_reflectors`` routes per prefix — how 200k prefixes become
+        1.5M routes in the paper's inventory.
+        """
+        families: list[IspFeedFamily] = []
+        family_count = max(1, min(neighbor_as_count, total // 4))
+        base = total // family_count
+        remainder = total - base * family_count
+        offset = 0
+        for slot in range(family_count):
+            size = base + (1 if slot < remainder else 0)
+            if size == 0:
+                continue
+            neighbor_as = 100 + (slot % neighbor_as_count)
+            origin_as = 40000 + slot
+            rr_index = slot % self.n_reflectors
+            families.append(
+                IspFeedFamily(
+                    name=f"feed-{slot:04d}",
+                    rr_index=rr_index,
+                    prefixes=synthetic_prefixes(size, offset),
+                    as_path=ASPath((neighbor_as, origin_as)),
+                )
+            )
+            offset += size
+        return families
+
+    def announce_full_table(self) -> None:
+        for family in self.feed_families:
+            self.inject_from_access(
+                family.rr_index,
+                BGPUpdate.announce(
+                    family.prefixes,
+                    PathAttributes(
+                        nexthop=_access_address(family.rr_index),
+                        as_path=family.as_path,
+                        med=family.med,
+                        local_pref=family.local_pref,
+                    ),
+                ),
+            )
+        self.network.run()
+
+    def inject_from_access(
+        self, rr_index: int, update: BGPUpdate, at: float | None = None
+    ) -> None:
+        """Deliver a crafted update from RR *rr_index*'s access router."""
+        self.network.inject(
+            self.reflectors[rr_index],
+            _access_address(rr_index),
+            update,
+            at=at,
+        )
+
+    def access_address(self, rr_index: int) -> int:
+        return _access_address(rr_index)
+
+
+def build_isp_anon(
+    n_reflectors: int = 8, n_prefixes: int = 2000
+) -> IspAnonSite:
+    """Convenience constructor used by examples and benchmarks."""
+    return IspAnonSite(n_reflectors=n_reflectors, n_prefixes=n_prefixes)
+
+
+# ----------------------------------------------------------------------
+# EBGP vantage (RouteViews style)
+# ----------------------------------------------------------------------
+
+#: Vantage peers' own ASes (RouteViews-style multi-AS view).
+EBGP_VANTAGE_ASES = (7018, 3356, 1239, 701, 2914, 3561, 6461, 1299)
+
+_EBGP_PEER_BASE = parse_address("192.168.100.1")
+
+
+class EbgpVantage:
+    """A RouteViews-style EBGP vantage point.
+
+    Section II notes the algorithms "are general and designed to apply
+    to EBGP as well": most published BGP studies use multi-AS feeds from
+    public collectors. This builder EBGP-peers the collector with one
+    router in each of several Tier-1 ASes; every peer announces its own
+    view of the same prefix universe (its own AS first on the path), so
+    TAMP pictures and Stemming components span administrative domains.
+    """
+
+    def __init__(
+        self,
+        n_peers: int = 8,
+        n_prefixes: int = 2000,
+        mean_path_length: int = 3,
+    ) -> None:
+        if not 1 <= n_peers <= len(EBGP_VANTAGE_ASES):
+            raise ValueError(
+                f"n_peers must be 1..{len(EBGP_VANTAGE_ASES)}"
+            )
+        self.n_peers = n_peers
+        self.n_prefixes = n_prefixes
+        self.rex = RouteExplorer("ebgp-vantage")
+        self.peer_ases = EBGP_VANTAGE_ASES[:n_peers]
+        self.prefixes = synthetic_prefixes(n_prefixes)
+        self._populate(mean_path_length)
+
+    @staticmethod
+    def peer_address(index: int) -> int:
+        return _EBGP_PEER_BASE + index
+
+    def _populate(self, mean_path_length: int) -> None:
+        for index, asn in enumerate(self.peer_ases):
+            peer = self.peer_address(index)
+            announcements = []
+            for slot, prefix in enumerate(self.prefixes):
+                origin = 40000 + (slot % 500)
+                # The transit AS depends on the prefix only: every
+                # vantage reaches a destination through the same transit
+                # network, as multi-vantage data really looks when a
+                # destination is single-homed behind one provider.
+                middle = 200 + (slot % 97)
+                path = [asn] + [middle] * max(0, mean_path_length - 2) + [origin]
+                announcements.append(
+                    (prefix, PathAttributes(nexthop=peer, as_path=ASPath(path)))
+                )
+            update = BGPUpdate(
+                announcements=tuple(
+                    Announcement(p, a) for p, a in announcements
+                )
+            )
+            self.rex.observe(peer, update, now=0.0)
+
+    def withdraw_via(self, transit_as: int, now: float) -> EventStream:
+        """Every peer withdraws its routes traversing *transit_as*.
+
+        Models a failure inside one transit network, observed from every
+        vantage AS simultaneously — the cross-domain correlation case.
+        Returns the events produced.
+        """
+        produced = []
+        for index in range(self.n_peers):
+            peer = self.peer_address(index)
+            doomed = [
+                route.prefix
+                for route in self.rex.rib(peer).routes()
+                if transit_as in route.attributes.as_path
+            ]
+            if doomed:
+                produced.extend(
+                    self.rex.observe(peer, BGPUpdate.withdraw(doomed), now)
+                )
+        return EventStream(produced)

@@ -1,0 +1,176 @@
+"""Contiguous-subsequence counting.
+
+The statistical heart of Stemming: for every contiguous subsequence *s*
+(length ≥ 2 — a problem location is a pair, so shorter carries no signal)
+of every event sequence *c*, count how many events contain *s*.
+
+Two implementations share an interface:
+
+* :class:`SubsequenceCounter` — the production counter. It exploits the
+  fact that BGP event streams are massively repetitive (a million-event
+  spike touches a few thousand distinct (peer, nexthop, path, prefix)
+  combinations), counting unique sequences first and expanding each once.
+  Complexity O(U·L²) for U unique sequences of length L, independent of
+  the raw event count beyond one dict lookup per event.
+* :class:`NaiveSubsequenceCounter` — the textbook O(N·L²) version, kept
+  as the baseline for the ablation benchmark
+  (``benchmarks/test_ablations.py``).
+
+A subtlety the stemmer relies on: subsequence count is monotone
+non-increasing under extension, so the maximum count over length ≥ 2 is
+always attained by an adjacent pair; ranking prefers longer subsequences
+among equal counts, which localizes the stem at the *end* of the longest
+common context (the paper's Figure 4 walk-through).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+from repro.collector.events import BGPEvent, Token
+
+Sequence_ = tuple[Token, ...]
+
+
+class SubsequenceCounter:
+    """Counts contiguous subsequences, deduplicating whole sequences."""
+
+    def __init__(self, max_length: Optional[int] = None) -> None:
+        """*max_length* bounds counted subsequence length (None = full)."""
+        self.max_length = max_length
+        self._sequence_counts: Counter[Sequence_] = Counter()
+        self._expanded: Optional[Counter[Sequence_]] = None
+
+    def add(self, event: BGPEvent) -> None:
+        self.add_sequence(event.sequence)
+
+    def add_sequence(self, sequence: Sequence_) -> None:
+        self._sequence_counts[sequence] += 1
+        self._expanded = None
+
+    def add_all(self, events: Iterable[BGPEvent]) -> None:
+        for event in events:
+            self.add(event)
+
+    def subtract_sequence(self, sequence: Sequence_, multiplicity: int) -> None:
+        """Remove *multiplicity* occurrences of a whole sequence.
+
+        This is what makes recursive decomposition cheap: extracting a
+        component subtracts its events from the counts instead of
+        recounting the residual stream. The expanded subsequence counts
+        are updated in place when they exist.
+        """
+        current = self._sequence_counts.get(sequence, 0)
+        if multiplicity > current:
+            raise ValueError(
+                f"cannot subtract {multiplicity} of a sequence counted"
+                f" {current} times"
+            )
+        if multiplicity == current:
+            del self._sequence_counts[sequence]
+        else:
+            self._sequence_counts[sequence] = current - multiplicity
+        if self._expanded is not None:
+            for subsequence in set(_subsequences(sequence, self.max_length)):
+                remaining = self._expanded[subsequence] - multiplicity
+                if remaining <= 0:
+                    del self._expanded[subsequence]
+                else:
+                    self._expanded[subsequence] = remaining
+
+    @property
+    def event_count(self) -> int:
+        return sum(self._sequence_counts.values())
+
+    @property
+    def unique_sequence_count(self) -> int:
+        return len(self._sequence_counts)
+
+    def counts(self) -> Counter[Sequence_]:
+        """Subsequence → number of events containing it (length ≥ 2).
+
+        A subsequence occurring twice inside one event (possible when a
+        path revisits a token pattern, e.g. "1 2 1 2") still counts that
+        event once: strength means "how many events share this
+        structure", not "how many occurrences exist".
+        """
+        if self._expanded is None:
+            expanded: Counter[Sequence_] = Counter()
+            for sequence, multiplicity in self._sequence_counts.items():
+                for subsequence in set(
+                    _subsequences(sequence, self.max_length)
+                ):
+                    expanded[subsequence] += multiplicity
+            self._expanded = expanded
+        return self._expanded
+
+    def top(self) -> Optional[tuple[Sequence_, int]]:
+        """The strongest subsequence: highest count, longest on ties.
+
+        Ties on (count, length) break toward the lexicographically
+        smallest rendering for determinism. The expensive rendering runs
+        only over the (count, length)-tied finalists — on realistic
+        streams a handful of entries out of millions.
+        """
+        counts = self.counts()
+        if not counts:
+            return None
+        best_rank = max(
+            (count, len(sequence)) for sequence, count in counts.items()
+        )
+        finalists = [
+            sequence
+            for sequence, count in counts.items()
+            if (count, len(sequence)) == best_rank
+        ]
+        winner = min(finalists, key=_tiebreak)
+        return winner, best_rank[0]
+
+
+class NaiveSubsequenceCounter(SubsequenceCounter):
+    """The O(N·L²) baseline: no sequence deduplication.
+
+    Functionally identical to :class:`SubsequenceCounter`; exists so the
+    ablation can quantify what deduplication buys on realistic streams.
+    """
+
+    def __init__(self, max_length: Optional[int] = None) -> None:
+        super().__init__(max_length)
+        self._raw: Counter[Sequence_] = Counter()
+        self._events = 0
+
+    def add_sequence(self, sequence: Sequence_) -> None:
+        for subsequence in set(_subsequences(sequence, self.max_length)):
+            self._raw[subsequence] += 1
+        self._events += 1
+
+    @property
+    def event_count(self) -> int:
+        return self._events
+
+    @property
+    def unique_sequence_count(self) -> int:
+        raise NotImplementedError("naive counter does not deduplicate")
+
+    def subtract_sequence(self, sequence: Sequence_, multiplicity: int) -> None:
+        raise NotImplementedError(
+            "the naive counter has no per-sequence bookkeeping to subtract"
+        )
+
+    def counts(self) -> Counter[Sequence_]:
+        return self._raw
+
+
+def _subsequences(sequence: Sequence_, max_length: Optional[int]):
+    """All contiguous subsequences of length ≥ 2 (bounded by max_length)."""
+    n = len(sequence)
+    longest = n if max_length is None else min(n, max_length)
+    for start in range(n - 1):
+        stop_limit = min(n, start + longest)
+        for stop in range(start + 2, stop_limit + 1):
+            yield sequence[start:stop]
+
+
+def _tiebreak(sequence: Sequence_) -> tuple[str, ...]:
+    return tuple(f"{ns}:{value}" for ns, value in sequence)

@@ -1,0 +1,41 @@
+"""Token formatting for Stemming output.
+
+Sequence tokens are (namespace, value) pairs produced by
+:meth:`repro.collector.events.BGPEvent.sequence`. These helpers render
+them the way an operator reads them: peers and nexthops as dotted quads,
+ASes as ``AS209``, prefixes as CIDR text.
+"""
+
+from __future__ import annotations
+
+from repro.collector.events import Token
+from repro.net.prefix import format_address
+
+
+def format_token(token: Token) -> str:
+    """Operator-readable rendering of one sequence token."""
+    namespace, value = token
+    if namespace == "peer":
+        return f"peer {format_address(value)}"  # type: ignore[arg-type]
+    if namespace == "nh":
+        return f"nexthop {format_address(value)}"  # type: ignore[arg-type]
+    if namespace == "as":
+        return f"AS{value}"
+    if namespace == "pfx":
+        return str(value)
+    raise ValueError(f"unknown token namespace {namespace!r}")
+
+
+def format_stem(stem: tuple[Token, Token]) -> str:
+    """Render a stem (problem-location edge), e.g. ``AS11423--AS209``."""
+    left, right = stem
+    return f"{format_token(left)}--{format_token(right)}"
+
+
+def stem_values(stem: tuple[Token, Token]) -> tuple[object, object]:
+    """The bare values of a stem, for comparison against ground truth.
+
+    Scenario ground truth records locations as value pairs (e.g.
+    ``(11423, 209)``); this strips the namespaces for matching.
+    """
+    return (stem[0][1], stem[1][1])

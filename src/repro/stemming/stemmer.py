@@ -1,0 +1,205 @@
+"""The Stemming decomposition.
+
+Applies the subsequence counter recursively: find the strongest
+subsequence s′, read its last adjacent pair as the stem (problem
+location), collect the affected prefix set P (prefixes of events
+containing s′) and the component E (every event touching P), remove E,
+repeat. The result is a ranked list of :class:`Component`s — the "few
+incidents" hidden in the million events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.collector.events import BGPEvent, Token
+from repro.collector.stream import EventStream
+from repro.net.prefix import Prefix
+from repro.stemming.counter import SubsequenceCounter
+from repro.stemming.encode import format_stem, stem_values
+
+
+@dataclass(frozen=True)
+class Component:
+    """One correlated component: a diagnosed incident."""
+
+    rank: int
+    #: The winning subsequence s′.
+    subsequence: tuple[Token, ...]
+    #: Number of events containing s′ (the correlation strength).
+    strength: int
+    #: The problem location: the last adjacent pair of s′.
+    stem: tuple[Token, Token]
+    #: Prefixes affected by the problem.
+    prefixes: frozenset[Prefix]
+    #: The events making up the component.
+    events: EventStream
+
+    @property
+    def event_count(self) -> int:
+        return len(self.events)
+
+    @property
+    def location(self) -> tuple[object, object]:
+        """Bare stem values, for ground-truth comparison."""
+        return stem_values(self.stem)
+
+    def describe(self) -> str:
+        return (
+            f"#{self.rank}: {format_stem(self.stem)} — "
+            f"{len(self.prefixes)} prefixes, {self.event_count} events, "
+            f"strength {self.strength}"
+        )
+
+
+@dataclass(frozen=True)
+class StemmingResult:
+    """The full decomposition of a stream."""
+
+    components: tuple[Component, ...]
+    residual_events: int
+    total_events: int
+
+    @property
+    def strongest(self) -> Optional[Component]:
+        return self.components[0] if self.components else None
+
+    def component_at(self, location: tuple[object, object]) -> Optional[Component]:
+        """The component whose stem matches *location*, if any."""
+        for component in self.components:
+            if component.location == location:
+                return component
+        return None
+
+    def coverage(self) -> float:
+        """Fraction of events explained by some component."""
+        if self.total_events == 0:
+            return 0.0
+        return 1.0 - self.residual_events / self.total_events
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.total_events} events -> {len(self.components)} components"
+            f" ({self.coverage():.0%} explained)"
+        ]
+        lines.extend(c.describe() for c in self.components)
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class Stemmer:
+    """Configurable recursive decomposition.
+
+    *min_strength* stops recursion once the strongest remaining
+    correlation falls to background level (default 2: a subsequence seen
+    once explains nothing). *max_components* bounds output for
+    pathological streams. *max_subsequence_length* is forwarded to the
+    counter (None = unbounded; see the ablation for the trade-off).
+    """
+
+    min_strength: int = 2
+    max_components: int = 16
+    max_subsequence_length: Optional[int] = None
+
+    def decompose(self, events: Iterable[BGPEvent]) -> StemmingResult:
+        """Decompose *events* into ranked correlated components.
+
+        Two deduplication tricks keep a million-event decomposition fast:
+        the counter is built once and component extraction *subtracts*
+        sequences instead of recounting the residual, and every
+        per-component scan (which prefixes match s′, which events belong
+        to the component) runs over *unique sequences*, of which real
+        streams have orders of magnitude fewer than events.
+        """
+        # Unique-sequence index: sequence -> its events. An event's
+        # prefix is its last token, so events sharing a sequence share a
+        # prefix, and per-sequence grouping loses nothing.
+        by_sequence: dict[tuple[Token, ...], list[BGPEvent]] = {}
+        total = 0
+        for event in events:
+            by_sequence.setdefault(event.sequence, []).append(event)
+            total += 1
+        counter = SubsequenceCounter(self.max_subsequence_length)
+        for sequence, bucket in by_sequence.items():
+            for _ in bucket:
+                counter.add_sequence(sequence)
+        components: list[Component] = []
+        remaining = total
+        while by_sequence and len(components) < self.max_components:
+            component = self._component_from_top(
+                counter, by_sequence, len(components) + 1
+            )
+            if component is None:
+                break
+            components.append(component)
+            affected = component.prefixes
+            for sequence in [
+                s for s in by_sequence if s[-1][1] in affected
+            ]:
+                bucket = by_sequence.pop(sequence)
+                counter.subtract_sequence(sequence, len(bucket))
+                remaining -= len(bucket)
+        return StemmingResult(
+            components=tuple(components),
+            residual_events=remaining,
+            total_events=total,
+        )
+
+    def strongest_component(
+        self, events: Iterable[BGPEvent]
+    ) -> Optional[Component]:
+        """Just the top component (cheaper than a full decomposition)."""
+        by_sequence: dict[tuple[Token, ...], list[BGPEvent]] = {}
+        for event in events:
+            by_sequence.setdefault(event.sequence, []).append(event)
+        counter = SubsequenceCounter(self.max_subsequence_length)
+        for sequence, bucket in by_sequence.items():
+            for _ in bucket:
+                counter.add_sequence(sequence)
+        return self._component_from_top(counter, by_sequence, rank=1)
+
+    def _component_from_top(
+        self,
+        counter: SubsequenceCounter,
+        by_sequence: dict[tuple[Token, ...], list[BGPEvent]],
+        rank: int,
+    ) -> Optional[Component]:
+        top = counter.top()
+        if top is None:
+            return None
+        subsequence, strength = top
+        if strength < self.min_strength:
+            return None
+        stem = (subsequence[-2], subsequence[-1])
+        prefixes = frozenset(
+            sequence[-1][1]  # the prefix token's value
+            for sequence in by_sequence
+            if _contains(sequence, subsequence)
+        )
+        component_events = EventStream(
+            event
+            for sequence, bucket in by_sequence.items()
+            if sequence[-1][1] in prefixes
+            for event in bucket
+        )
+        return Component(
+            rank=rank,
+            subsequence=subsequence,
+            strength=strength,
+            stem=stem,
+            prefixes=prefixes,
+            events=component_events,
+        )
+
+
+def _contains(sequence: tuple[Token, ...], needle: tuple[Token, ...]) -> bool:
+    """True if *needle* occurs contiguously inside *sequence*."""
+    n, m = len(sequence), len(needle)
+    if m > n:
+        return False
+    first = needle[0]
+    for start in range(n - m + 1):
+        if sequence[start] == first and sequence[start : start + m] == needle:
+            return True
+    return False

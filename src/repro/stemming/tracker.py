@@ -1,0 +1,154 @@
+"""Incident lifecycle tracking across successive detector reports.
+
+A deployed detector reports every few minutes; operators care about the
+*delta*: which incidents are new, which are ongoing (and for how long),
+which have resolved. The tracker keys components by their stem (the
+problem location) and maintains that lifecycle, turning a stream of
+decompositions into a stream of operational state changes — the piece
+that makes the Section III real-time story usable on a pager.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.stemming.detector import DetectorReport
+from repro.stemming.encode import format_stem
+from repro.stemming.stemmer import Component
+
+
+class IncidentState(enum.Enum):
+    NEW = "new"
+    ONGOING = "ongoing"
+    RESOLVED = "resolved"
+
+
+@dataclass
+class TrackedIncident:
+    """One problem location's lifecycle."""
+
+    location: tuple[object, object]
+    first_seen: float
+    last_seen: float
+    state: IncidentState
+    #: The most recent component observed for this location.
+    component: Component
+    #: Peak correlation strength over the incident's lifetime.
+    peak_strength: int
+    observations: int = 1
+
+    @property
+    def duration(self) -> float:
+        return self.last_seen - self.first_seen
+
+    def describe(self) -> str:
+        return (
+            f"[{self.state.value:8}] {format_stem(self.component.stem)}"
+            f" — seen {self.observations}x over {self.duration:.0f}s,"
+            f" peak strength {self.peak_strength}"
+        )
+
+
+@dataclass(slots=True)
+class IncidentTracker:
+    """Folds successive :class:`DetectorReport`s into incident lifecycles.
+
+    *resolve_after* is the grace period: a location absent from reports
+    for that many seconds flips to RESOLVED (flapping detectors would
+    otherwise thrash between new/resolved). *min_strength* ignores
+    weak components entirely.
+    """
+
+    resolve_after: float = 600.0
+    min_strength: int = 3
+    _incidents: dict[tuple[object, object], TrackedIncident] = field(
+        default_factory=dict
+    )
+
+    def observe(self, report: DetectorReport) -> list[TrackedIncident]:
+        """Fold one report in; returns incidents whose state changed."""
+        now = report.at
+        seen: set[tuple[object, object]] = set()
+        changed: list[TrackedIncident] = []
+        for result in report.by_window.values():
+            for component in result.components:
+                if component.strength < self.min_strength:
+                    continue
+                location = component.location
+                if location in seen:
+                    # Already updated from a shorter window this round;
+                    # keep the stronger observation.
+                    incident = self._incidents[location]
+                    if component.strength > incident.component.strength:
+                        incident.component = component
+                        incident.peak_strength = max(
+                            incident.peak_strength, component.strength
+                        )
+                    continue
+                seen.add(location)
+                incident = self._incidents.get(location)
+                if incident is None:
+                    incident = TrackedIncident(
+                        location=location,
+                        first_seen=now,
+                        last_seen=now,
+                        state=IncidentState.NEW,
+                        component=component,
+                        peak_strength=component.strength,
+                    )
+                    self._incidents[location] = incident
+                    changed.append(incident)
+                else:
+                    was = incident.state
+                    incident.last_seen = now
+                    incident.component = component
+                    incident.peak_strength = max(
+                        incident.peak_strength, component.strength
+                    )
+                    incident.observations += 1
+                    incident.state = IncidentState.ONGOING
+                    if was is IncidentState.RESOLVED:
+                        # A relapse is operationally a state change.
+                        changed.append(incident)
+        # Resolve incidents that went quiet.
+        for location, incident in self._incidents.items():
+            if location in seen:
+                continue
+            if (
+                incident.state is not IncidentState.RESOLVED
+                and now - incident.last_seen >= self.resolve_after
+            ):
+                incident.state = IncidentState.RESOLVED
+                changed.append(incident)
+        return changed
+
+    def active(self) -> list[TrackedIncident]:
+        """Incidents not yet resolved, strongest first."""
+        return sorted(
+            (
+                i
+                for i in self._incidents.values()
+                if i.state is not IncidentState.RESOLVED
+            ),
+            key=lambda i: -i.peak_strength,
+        )
+
+    def incident_at(
+        self, location: tuple[object, object]
+    ) -> Optional[TrackedIncident]:
+        return self._incidents.get(location)
+
+    def all_incidents(self) -> list[TrackedIncident]:
+        return list(self._incidents.values())
+
+    def summary(self) -> str:
+        if not self._incidents:
+            return "no incidents tracked"
+        return "\n".join(
+            incident.describe()
+            for incident in sorted(
+                self._incidents.values(), key=lambda i: i.first_seen
+            )
+        )

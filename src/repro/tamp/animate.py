@@ -1,0 +1,269 @@
+"""TAMP animations.
+
+Given a baseline route snapshot and an event stream, generate the paper's
+fixed-duration animation: 30 seconds of play at 25 frames per second (750
+frames), regardless of whether the incident spanned seconds or days. Each
+frame consolidates every routing change in its slice of the real
+timerange and colors each edge by what happened to its prefix count:
+
+* black — not changing,
+* green — gaining prefixes,
+* blue — losing prefixes,
+* yellow — flapping too fast to animate (gains *and* losses in one frame),
+* and an edge that has lost prefixes keeps a gray shadow at the largest
+  count it ever carried.
+
+The animator also records a per-edge prefix-count time series — the
+impulse plot next to Figure 3's animation controls — and an animation
+clock string showing time into the incident.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.bgp.rib import Route
+from repro.collector.events import BGPEvent, Token
+from repro.collector.stream import EventStream
+from repro.tamp.incremental import IncrementalTamp, PeerNamer, default_peer_namer
+
+Edge = tuple[Token, Token]
+
+PLAY_DURATION_SECONDS = 30.0
+FRAMES_PER_SECOND = 25
+
+
+class EdgeState(enum.Enum):
+    STABLE = "stable"
+    GAINING = "gaining"
+    LOSING = "losing"
+    FLAPPING = "flapping"
+
+
+@dataclass(frozen=True)
+class TampFrame:
+    """One animation frame: consolidated changes over a time slice."""
+
+    index: int
+    #: Real (incident) time covered: [start, end).
+    start: float
+    end: float
+    #: Edges whose prefix count changed this frame, with their new counts.
+    edge_counts: Mapping[Edge, int]
+    #: Change state per touched edge (untouched edges are STABLE/black).
+    edge_states: Mapping[Edge, EdgeState]
+    #: Historical-maximum counts for edges below their peak (shadows).
+    shadows: Mapping[Edge, int]
+
+    @property
+    def changed_edges(self) -> int:
+        return len(self.edge_states)
+
+    def state_of(self, edge: Edge) -> EdgeState:
+        return self.edge_states.get(edge, EdgeState.STABLE)
+
+    def clock_text(self) -> str:
+        """The Figure 3 animation clock: time into the incident."""
+        seconds = self.end
+        if seconds < 1.0:
+            return f"t = {seconds * 1000:.0f} ms"
+        if seconds < 120.0:
+            return f"t = {seconds:.1f} s"
+        if seconds < 2 * 3600.0:
+            return f"t = {seconds / 60:.1f} min"
+        return f"t = {seconds / 3600:.1f} h"
+
+
+@dataclass(frozen=True)
+class EdgeSeries:
+    """Prefix-count samples over time for one selected edge."""
+
+    edge: Edge
+    samples: tuple[tuple[float, int], ...]
+
+    def counts(self) -> list[int]:
+        return [count for _, count in self.samples]
+
+    def is_impulse_train(self) -> bool:
+        """True when the count alternates direction (the Figure 3 plot).
+
+        A monotone ramp is not an impulse train: what matters is the
+        number of up/down *reversals*, the visual signature of a prefix
+        flapping on and off an edge.
+        """
+        counts = self.counts()
+        if len(counts) < 4:
+            return False
+        deltas = [
+            b - a for a, b in zip(counts, counts[1:]) if b != a
+        ]
+        reversals = sum(
+            1
+            for d1, d2 in zip(deltas, deltas[1:])
+            if (d1 > 0) != (d2 > 0)
+        )
+        return reversals >= 3
+
+
+@dataclass
+class TampAnimation:
+    """The generated animation: frames plus the final graph state."""
+
+    frames: list[TampFrame]
+    tamp: IncrementalTamp
+    timerange: float
+    play_duration: float = PLAY_DURATION_SECONDS
+    fps: int = FRAMES_PER_SECOND
+    series: dict[Edge, EdgeSeries] = field(default_factory=dict)
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.frames)
+
+    def frames_with_changes(self) -> list[TampFrame]:
+        return [f for f in self.frames if f.changed_edges]
+
+    def states_seen(self, edge: Edge) -> set[EdgeState]:
+        return {f.state_of(edge) for f in self.frames if edge in f.edge_states}
+
+    def final_shadows(self) -> dict[Edge, int]:
+        return dict(self.frames[-1].shadows) if self.frames else {}
+
+
+def animate_stream(
+    events: EventStream,
+    baseline: Iterable[Route] = (),
+    site_name: str = "site",
+    peer_namer: PeerNamer = default_peer_namer,
+    play_duration: float = PLAY_DURATION_SECONDS,
+    fps: int = FRAMES_PER_SECOND,
+    track_edges: Iterable[Edge] = (),
+    include_prefix_leaves: bool = False,
+    tamp: "IncrementalTamp | None" = None,
+) -> TampAnimation:
+    """Build the animation for *events* on top of *baseline* routes.
+
+    *track_edges* selects edges whose prefix count is sampled after every
+    event touching them (the per-edge plot). The frame count is
+    ``play_duration × fps`` — fixed, per the paper, however long the
+    incident really ran.
+
+    Pass a pre-loaded *tamp* to skip baseline loading (the paper times
+    its algorithms "starting at the current state of the system", i.e.
+    table rebuild excluded); the instance is consumed — it ends at the
+    post-incident state.
+    """
+    if play_duration <= 0 or fps <= 0:
+        raise ValueError("play duration and fps must be positive")
+    if tamp is None:
+        tamp = IncrementalTamp(
+            site_name=site_name,
+            peer_namer=peer_namer,
+            include_prefix_leaves=include_prefix_leaves,
+        )
+        tamp.load_routes(baseline)
+    frame_count = int(round(play_duration * fps))
+    start = events.start_time if len(events) else 0.0
+    end = events.end_time if len(events) else 0.0
+    timerange = max(0.0, (end or 0.0) - (start or 0.0))
+    slice_width = timerange / frame_count if timerange > 0 else 0.0
+
+    tracked = {edge: [] for edge in track_edges}
+
+    def sample_tracked(now: float) -> None:
+        for edge, samples in tracked.items():
+            samples.append((now, tamp.graph.weight(*edge)))
+
+    max_counts: dict[Edge, int] = {}
+    for (parent, child), prefixes in tamp.graph.edges():
+        max_counts[(parent, child)] = len(prefixes)
+    #: Edges currently below their historical peak, with that peak.
+    shadowed: dict[Edge, int] = {}
+
+    frames: list[TampFrame] = []
+    event_index = 0
+    all_events = list(events)
+    sample_tracked(0.0)
+    for index in range(frame_count):
+        frame_start = (start or 0.0) + index * slice_width
+        frame_end = (start or 0.0) + (index + 1) * slice_width
+        is_last = index == frame_count - 1
+        # Consolidate every event in this slice (the last frame takes the
+        # remainder to absorb float rounding).
+        while event_index < len(all_events) and (
+            is_last or all_events[event_index].timestamp < frame_end
+        ):
+            event = all_events[event_index]
+            tamp.apply(event)
+            touched = _edges_of(event, tamp)
+            for edge in touched:
+                if edge in tracked:
+                    tracked[edge].append(
+                        (event.timestamp, tamp.graph.weight(*edge))
+                    )
+            event_index += 1
+        adds, removes = tamp.consume_changes()
+        edge_states: dict[Edge, EdgeState] = {}
+        edge_counts: dict[Edge, int] = {}
+        for edge in set(adds) | set(removes):
+            ups = adds.get(edge, 0)
+            downs = removes.get(edge, 0)
+            if ups and downs:
+                state = EdgeState.FLAPPING
+            elif ups:
+                state = EdgeState.GAINING
+            elif downs:
+                state = EdgeState.LOSING
+            else:
+                state = EdgeState.STABLE
+            edge_states[edge] = state
+            count = tamp.graph.weight(*edge)
+            edge_counts[edge] = count
+            peak = max_counts.get(edge, 0)
+            if count > peak:
+                peak = count
+                max_counts[edge] = count
+            # Maintain the shadow set incrementally: only edges whose
+            # count is below their peak carry a gray shadow.
+            if count < peak:
+                shadowed[edge] = peak
+            else:
+                shadowed.pop(edge, None)
+        shadows = dict(shadowed)
+        frames.append(
+            TampFrame(
+                index=index,
+                start=frame_start - (start or 0.0),
+                end=frame_end - (start or 0.0),
+                edge_counts=edge_counts,
+                edge_states=edge_states,
+                shadows=shadows,
+            )
+        )
+    series = {
+        edge: EdgeSeries(edge=edge, samples=tuple(samples))
+        for edge, samples in tracked.items()
+    }
+    return TampAnimation(
+        frames=frames,
+        tamp=tamp,
+        timerange=timerange,
+        play_duration=play_duration,
+        fps=fps,
+        series=series,
+    )
+
+
+def _edges_of(event: BGPEvent, tamp: IncrementalTamp) -> list[Edge]:
+    """The edges an event's route threads (for tracked-edge sampling)."""
+    root: Token = ("router", tamp.peer_namer(event.peer))
+    from repro.tamp.tree import route_path_tokens
+
+    chain = route_path_tokens(
+        root, event.prefix, event.attributes, tamp.include_prefix_leaves
+    )
+    if tamp.graph.site_root is not None:
+        chain = [tamp.graph.site_root, *chain]
+    return list(zip(chain, chain[1:]))

@@ -1,0 +1,254 @@
+"""The merged TAMP graph.
+
+Merging per-router trees is where TAMP's "one picture says 1,000,000
+routes" comes from — and where the crucial subtlety lives: edge weights
+are **unique prefix counts**, so merging performs a *set union* of the
+prefixes carried on the same edge, never an addition (Figure 1(c): the
+NexthopA–AS1 edge weighs 4, not 3+3, because two prefixes are common).
+An optional site root (the REX recorder in Figure 2's leftmost box) ties
+the router roots together.
+
+Implementation note: each edge stores a *reference count per prefix* —
+how many currently-installed routes thread that prefix over that edge.
+The weight is the number of distinct prefixes (union semantics), while
+the refcount makes incremental removal O(path length): when router X
+withdraws a route, the prefix only leaves an AS-level edge if no other
+router's route still traverses it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Iterable, Iterator, Optional
+
+from repro.collector.events import Token
+from repro.net.prefix import Prefix
+from repro.tamp.tree import Edge, TampTree
+
+
+class TampGraph:
+    """A directed graph over TAMP node tokens with prefix-set weights."""
+
+    __slots__ = ("site_root", "_edges", "_children", "_parents")
+
+    def __init__(self, site_name: Optional[str] = None) -> None:
+        self.site_root: Optional[Token] = (
+            ("root", site_name) if site_name is not None else None
+        )
+        # edge -> {prefix: refcount}
+        self._edges: dict[Edge, dict[Prefix, int]] = {}
+        self._children: dict[Token, set[Token]] = {}
+        self._parents: dict[Token, set[Token]] = {}
+
+    @classmethod
+    def merge(
+        cls, trees: Iterable[TampTree], site_name: Optional[str] = None
+    ) -> "TampGraph":
+        """Merge per-router trees with prefix-set union on shared edges."""
+        graph = cls(site_name)
+        for tree in trees:
+            graph.merge_tree(tree)
+        return graph
+
+    def merge_tree(self, tree: TampTree) -> None:
+        for (parent, child), prefixes in tree.edges():
+            self._bulk_add(parent, child, prefixes)
+        if self.site_root is not None:
+            root_prefixes: set[Prefix] = set()
+            for (parent, _), prefixes in tree.edges():
+                if parent == tree.root:
+                    root_prefixes |= prefixes
+            self._bulk_add(self.site_root, tree.root, root_prefixes)
+
+    def _bulk_add(self, parent: Token, child: Token, prefixes) -> None:
+        """Add a whole prefix set to an edge (refcount +1 each).
+
+        ``Counter.update`` runs the increment loop in C, which is what
+        keeps merging a 1.5M-route view affordable.
+        """
+        if not prefixes:
+            return
+        edge = (parent, child)
+        existing = self._edges.get(edge)
+        if existing is None:
+            existing = Counter()
+            self._edges[edge] = existing
+            self._children.setdefault(parent, set()).add(child)
+            self._parents.setdefault(child, set()).add(parent)
+        existing.update(prefixes)
+
+    # ------------------------------------------------------------------
+    # Mutation (used by pruning and incremental animation)
+    # ------------------------------------------------------------------
+
+    def add_prefix(self, parent: Token, child: Token, prefix: Prefix) -> bool:
+        """Thread one route's *prefix* over the edge (refcount +1).
+
+        Returns True when the prefix newly appeared on the edge (weight
+        grew), False for a pure refcount bump — the distinction the
+        animator colors edges by.
+        """
+        edge = (parent, child)
+        prefixes = self._edges.get(edge)
+        if prefixes is None:
+            self._edges[edge] = {prefix: 1}
+            self._children.setdefault(parent, set()).add(child)
+            self._parents.setdefault(child, set()).add(parent)
+            return True
+        count = prefixes.get(prefix)
+        prefixes[prefix] = (count or 0) + 1
+        return count is None
+
+    def discard_prefix(
+        self, parent: Token, child: Token, prefix: Prefix
+    ) -> bool:
+        """Remove one route's contribution (refcount −1).
+
+        Returns True when the prefix actually left the edge (its last
+        reference dropped) — the signal the animator colors edges by.
+        """
+        edge = (parent, child)
+        prefixes = self._edges.get(edge)
+        if prefixes is None:
+            return False
+        count = prefixes.get(prefix)
+        if count is None:
+            return False
+        if count > 1:
+            prefixes[prefix] = count - 1
+            return False
+        del prefixes[prefix]
+        if not prefixes:
+            self.remove_edge(parent, child)
+        return True
+
+    def remove_edge(self, parent: Token, child: Token) -> None:
+        self._edges.pop((parent, child), None)
+        children = self._children.get(parent)
+        if children is not None:
+            children.discard(child)
+            if not children:
+                del self._children[parent]
+        parents = self._parents.get(child)
+        if parents is not None:
+            parents.discard(parent)
+            if not parents:
+                del self._parents[child]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def edges(self) -> Iterator[tuple[Edge, set[Prefix]]]:
+        for edge, prefixes in self._edges.items():
+            yield edge, set(prefixes)
+
+    def raw_edges(self) -> Iterator[tuple[Edge, dict[Prefix, int]]]:
+        """Iterate edges without copying the prefix maps.
+
+        The yielded mappings are live internal state — callers must not
+        mutate them. Exists for whole-graph passes (pruning, statistics)
+        where per-edge set copies would dominate the runtime.
+        """
+        yield from self._edges.items()
+
+    def adopt_edge(
+        self, parent: Token, child: Token, prefixes: dict[Prefix, int]
+    ) -> None:
+        """Install an edge with a copy of an existing refcount map.
+
+        The bulk transfer used when deriving one graph from another
+        (pruning builds its survivor graph this way).
+        """
+        self._edges[(parent, child)] = dict(prefixes)
+        self._children.setdefault(parent, set()).add(child)
+        self._parents.setdefault(child, set()).add(parent)
+
+    def edge_list(self) -> list[Edge]:
+        return list(self._edges)
+
+    def has_edge(self, parent: Token, child: Token) -> bool:
+        return (parent, child) in self._edges
+
+    def weight(self, parent: Token, child: Token) -> int:
+        """Unique prefixes on the edge — the paper's edge weight."""
+        return len(self._edges.get((parent, child), ()))
+
+    def edge_prefixes(self, parent: Token, child: Token) -> frozenset[Prefix]:
+        return frozenset(self._edges.get((parent, child), ()))
+
+    def children(self, node: Token) -> set[Token]:
+        return set(self._children.get(node, ()))
+
+    def parents(self, node: Token) -> set[Token]:
+        return set(self._parents.get(node, ()))
+
+    def nodes(self) -> set[Token]:
+        found: set[Token] = set()
+        if self.site_root is not None:
+            found.add(self.site_root)
+        for parent, child in self._edges:
+            found.add(parent)
+            found.add(child)
+        return found
+
+    def roots(self) -> list[Token]:
+        """Nodes with no parents: the site root, or the router roots."""
+        if self.site_root is not None and self.site_root in self.nodes():
+            return [self.site_root]
+        return sorted(
+            (n for n in self.nodes() if not self._parents.get(n)),
+            key=str,
+        )
+
+    def total_prefixes(self) -> int:
+        """Distinct prefixes represented in the graph (the 100% mark)."""
+        return len(self.all_prefixes())
+
+    def all_prefixes(self) -> set[Prefix]:
+        prefixes: set[Prefix] = set()
+        for edge_prefixes in self._edges.values():
+            prefixes.update(edge_prefixes)
+        return prefixes
+
+    def edge_fraction(self, parent: Token, child: Token) -> float:
+        """This edge's share of all prefixes (drives thickness/pruning)."""
+        total = self.total_prefixes()
+        if total == 0:
+            return 0.0
+        return self.weight(parent, child) / total
+
+    def depths(self) -> dict[Token, int]:
+        """BFS depth of every node from the root set (for pruning/layout)."""
+        depths: dict[Token, int] = {}
+        queue: deque[Token] = deque()
+        for root in self.roots():
+            depths[root] = 0
+            queue.append(root)
+        while queue:
+            node = queue.popleft()
+            for child in self._children.get(node, ()):
+                if child not in depths:
+                    depths[child] = depths[node] + 1
+                    queue.append(child)
+        return depths
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def copy(self) -> "TampGraph":
+        duplicate = TampGraph()
+        duplicate.site_root = self.site_root
+        duplicate._edges = {
+            edge: dict(prefixes) for edge, prefixes in self._edges.items()
+        }
+        duplicate._children = {
+            node: set(children) for node, children in self._children.items()
+        }
+        duplicate._parents = {
+            node: set(parents) for node, parents in self._parents.items()
+        }
+        return duplicate

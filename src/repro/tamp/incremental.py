@@ -1,0 +1,145 @@
+"""Incremental TAMP maintenance from an event stream.
+
+A router's TAMP tree changes with every BGP message: announcements add
+branches or thicken edges, withdrawals thin or remove them. This module
+keeps a merged TAMP graph current against a stream of collector events,
+which is what the animation builds on.
+
+The maintainer owns a route table keyed by (peer, prefix): to apply an
+announcement that replaces an existing route, the old route's
+contribution is removed from the graph before the new one is added —
+otherwise edges would accumulate ghost prefixes. The graph's per-edge
+refcounts (see :mod:`repro.tamp.graph`) keep each apply O(path length).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.bgp.rib import Route
+from repro.collector.events import BGPEvent, Token
+from repro.net.attributes import PathAttributes
+from repro.net.prefix import Prefix, format_address
+from repro.tamp.graph import TampGraph
+from repro.tamp.tree import route_path_tokens
+
+#: Names the router node for a peer address in the merged graph.
+PeerNamer = Callable[[int], str]
+
+
+def default_peer_namer(peer: int) -> str:
+    return format_address(peer)
+
+
+class IncrementalTamp:
+    """A live TAMP graph fed by BGP events."""
+
+    def __init__(
+        self,
+        site_name: str = "site",
+        peer_namer: PeerNamer = default_peer_namer,
+        include_prefix_leaves: bool = False,
+    ) -> None:
+        self.graph = TampGraph(site_name)
+        self.peer_namer = peer_namer
+        self.include_prefix_leaves = include_prefix_leaves
+        self._routes: dict[tuple[int, Prefix], PathAttributes] = {}
+        #: Per-edge add/remove pulse counts since the last consume; the
+        #: animator reads these to color edges per frame.
+        self._adds: dict[tuple[Token, Token], int] = {}
+        self._removes: dict[tuple[Token, Token], int] = {}
+
+    # ------------------------------------------------------------------
+    # Loading and applying
+    # ------------------------------------------------------------------
+
+    def load_routes(self, routes: Iterable[Route]) -> None:
+        """Install a snapshot (e.g. ``rex.all_routes()``) as the baseline."""
+        for route in routes:
+            self._install(route.peer, route.prefix, route.attributes)
+        self.consume_changes()  # the baseline is not "change"
+
+    def apply(self, event: BGPEvent) -> None:
+        """Apply one collector event."""
+        if event.is_withdrawal:
+            self._withdraw(event.peer, event.prefix)
+        else:
+            self._install(event.peer, event.prefix, event.attributes)
+
+    def apply_all(self, events: Iterable[BGPEvent]) -> None:
+        for event in events:
+            self.apply(event)
+
+    # ------------------------------------------------------------------
+    # Change tracking (consumed by the animator per frame)
+    # ------------------------------------------------------------------
+
+    def consume_changes(
+        self,
+    ) -> tuple[dict[tuple[Token, Token], int], dict[tuple[Token, Token], int]]:
+        """Return and reset (adds, removes) pulse counts per edge."""
+        adds, removes = self._adds, self._removes
+        self._adds, self._removes = {}, {}
+        return adds, removes
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def route_count(self) -> int:
+        return len(self._routes)
+
+    def current_attributes(
+        self, peer: int, prefix: Prefix
+    ) -> Optional[PathAttributes]:
+        return self._routes.get((peer, prefix))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _chain(self, peer: int, prefix: Prefix, attrs: PathAttributes):
+        root: Token = ("router", self.peer_namer(peer))
+        chain = route_path_tokens(
+            root, prefix, attrs, self.include_prefix_leaves
+        )
+        if self.graph.site_root is not None:
+            return [self.graph.site_root, *chain]
+        return chain
+
+    def _install(
+        self, peer: int, prefix: Prefix, attrs: PathAttributes
+    ) -> None:
+        key = (peer, prefix)
+        old = self._routes.get(key)
+        if old == attrs:
+            return
+        if old is not None:
+            self._remove_contribution(peer, prefix, old)
+        self._routes[key] = attrs
+        for parent, child in zip(*_pairs(self._chain(peer, prefix, attrs))):
+            arrived = self.graph.add_prefix(parent, child, prefix)
+            if arrived:
+                self._adds[(parent, child)] = (
+                    self._adds.get((parent, child), 0) + 1
+                )
+
+    def _withdraw(self, peer: int, prefix: Prefix) -> None:
+        old = self._routes.pop((peer, prefix), None)
+        if old is None:
+            return
+        self._remove_contribution(peer, prefix, old)
+
+    def _remove_contribution(
+        self, peer: int, prefix: Prefix, attrs: PathAttributes
+    ) -> None:
+        for parent, child in zip(*_pairs(self._chain(peer, prefix, attrs))):
+            departed = self.graph.discard_prefix(parent, child, prefix)
+            if departed:
+                self._removes[(parent, child)] = (
+                    self._removes.get((parent, child), 0) + 1
+                )
+
+
+def _pairs(chain: list[Token]) -> tuple[list[Token], list[Token]]:
+    return chain, chain[1:]

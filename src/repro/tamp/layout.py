@@ -1,0 +1,139 @@
+"""Layered left-to-right graph layout.
+
+The paper used graphviz; we implement the relevant core ourselves: a
+Sugiyama-style layered layout. Nodes are ranked by BFS depth from the
+root (data flows left-to-right, matching the paper's orientation where
+BGP information flows right-to-left), then ordered within each layer by
+a few barycenter passes to reduce edge crossings, then assigned
+coordinates. The result is plain data that the SVG and ASCII renderers
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.collector.events import Token
+from repro.tamp.graph import TampGraph
+
+#: Canvas spacing, in abstract units (the SVG renderer scales them).
+LAYER_SPACING = 220.0
+NODE_SPACING = 46.0
+
+
+@dataclass(frozen=True)
+class LayoutResult:
+    """Node coordinates plus the layer structure that produced them."""
+
+    positions: Mapping[Token, tuple[float, float]]
+    layers: tuple[tuple[Token, ...], ...]
+    width: float
+    height: float
+
+    def position(self, node: Token) -> tuple[float, float]:
+        return self.positions[node]
+
+
+def layout_graph(
+    graph: TampGraph,
+    barycenter_passes: int = 4,
+) -> LayoutResult:
+    """Compute a layered layout of *graph*."""
+    depths = graph.depths()
+    if not depths:
+        return LayoutResult({}, (), 0.0, 0.0)
+    max_depth = max(depths.values())
+    layers: list[list[Token]] = [[] for _ in range(max_depth + 1)]
+    for node, depth in depths.items():
+        layers[depth].append(node)
+    for layer in layers:
+        layer.sort(key=str)  # deterministic seed order
+    _reduce_crossings(graph, layers, barycenter_passes)
+    positions: dict[Token, tuple[float, float]] = {}
+    tallest = max(len(layer) for layer in layers)
+    height = max(1, tallest - 1) * NODE_SPACING
+    for depth, layer in enumerate(layers):
+        x = depth * LAYER_SPACING
+        if len(layer) == 1:
+            positions[layer[0]] = (x, height / 2)
+            continue
+        step = height / (len(layer) - 1)
+        for slot, node in enumerate(layer):
+            positions[node] = (x, slot * step)
+    return LayoutResult(
+        positions=positions,
+        layers=tuple(tuple(layer) for layer in layers),
+        width=max_depth * LAYER_SPACING,
+        height=height,
+    )
+
+
+def _reduce_crossings(
+    graph: TampGraph, layers: list[list[Token]], passes: int
+) -> None:
+    """Median/barycenter ordering sweeps, alternating direction."""
+    for sweep in range(passes):
+        forward = sweep % 2 == 0
+        indices = range(1, len(layers)) if forward else range(len(layers) - 2, -1, -1)
+        for i in indices:
+            reference = layers[i - 1] if forward else layers[i + 1]
+            slots = {node: slot for slot, node in enumerate(reference)}
+            current = {node: slot for slot, node in enumerate(layers[i])}
+            neighbors = graph.parents if forward else graph.children
+
+            def barycenter(node: Token) -> float:
+                linked = [slots[n] for n in neighbors(node) if n in slots]
+                if not linked:
+                    # Keep unlinked nodes near their current slot.
+                    return float(current[node])
+                return sum(linked) / len(linked)
+
+            layers[i].sort(key=lambda node: (barycenter(node), str(node)))
+
+
+@dataclass(frozen=True)
+class EdgeGeometry:
+    """Where to draw one edge, with its visual weight."""
+
+    start: tuple[float, float]
+    end: tuple[float, float]
+    thickness: float
+    fraction: float = field(default=0.0)
+
+
+def edge_geometry(
+    graph: TampGraph,
+    layout: LayoutResult,
+    max_thickness: float = 14.0,
+    min_thickness: float = 0.6,
+    weights: Optional[Mapping[tuple[Token, Token], float]] = None,
+) -> dict[tuple[Token, Token], EdgeGeometry]:
+    """Per-edge drawing data: endpoints and fraction-scaled thickness.
+
+    By default the fraction is the edge's share of unique prefixes (the
+    paper's weighting). Passing *weights* — e.g. traffic volumes from
+    :func:`repro.traffic.volume.edge_volumes` — draws the Section
+    III-D.2 variant where thickness shows where the *bytes* go.
+    """
+    geometry: dict[tuple[Token, Token], EdgeGeometry] = {}
+    if weights is not None:
+        total_weight = max(weights.values(), default=0.0)
+    else:
+        total_weight = float(graph.total_prefixes())
+    for (parent, child), prefixes in graph.edges():
+        if parent not in layout.positions or child not in layout.positions:
+            continue
+        if weights is not None:
+            value = weights.get((parent, child), 0.0)
+        else:
+            value = float(len(prefixes))
+        fraction = value / total_weight if total_weight else 0.0
+        thickness = max(min_thickness, fraction * max_thickness)
+        geometry[(parent, child)] = EdgeGeometry(
+            start=layout.positions[parent],
+            end=layout.positions[child],
+            thickness=thickness,
+            fraction=fraction,
+        )
+    return geometry

@@ -1,0 +1,115 @@
+"""Graph pruning: the T in TAMP.
+
+A raw TAMP graph of any realistic network is an ink blob — the Internet's
+core is well connected with enormous fan-out at the edges. Pruning keeps
+only the heavily used structure:
+
+* :func:`prune_flat` drops every edge carrying less than a fixed fraction
+  (default 5%) of the graph's total prefixes, then sweeps unreachable
+  nodes. This is the paper's default, good from universities to Tier-1s.
+* :func:`prune_hierarchical` applies *increasing* thresholds with
+  distance from the root. Operators asked for this: everything inside
+  their own domain (their routers, nexthops, immediate neighbor ASes)
+  stays visible no matter how few prefixes it carries — a router
+  announcing just two prefixes can be the story, as in the Figure 5
+  backdoor — while the far-away Internet is pruned aggressively.
+"""
+
+from __future__ import annotations
+
+from repro.tamp.graph import TampGraph
+
+DEFAULT_THRESHOLD = 0.05
+
+
+def prune_flat(
+    graph: TampGraph, threshold: float = DEFAULT_THRESHOLD
+) -> TampGraph:
+    """A copy of *graph* keeping only edges with fraction ≥ *threshold*.
+
+    Built survivor-first: on realistic graphs pruning removes the vast
+    majority of edges (every prefix leaf, most of the fan-out), so
+    copying everything and deleting would do millions of times the work
+    of collecting the few heavy edges.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold {threshold} outside [0, 1]")
+    total = graph.total_prefixes()
+    if total == 0:
+        return graph.copy()
+    pruned = _survivors(
+        graph, lambda parent, depth, weight: weight / total >= threshold
+    )
+    _sweep_unreachable(pruned, graph.roots())
+    return pruned
+
+
+def _survivors(graph: TampGraph, keep) -> TampGraph:
+    """A new graph with the edges *keep*(parent, parent depth, weight)
+    accepts."""
+    depths = graph.depths()
+    pruned = TampGraph()
+    pruned.site_root = graph.site_root
+    for (parent, child), prefixes in graph.raw_edges():
+        if keep(parent, depths.get(parent), len(prefixes)):
+            pruned.adopt_edge(parent, child, prefixes)
+    return pruned
+
+
+def prune_hierarchical(
+    graph: TampGraph,
+    threshold: float = DEFAULT_THRESHOLD,
+    keep_depth: int = 3,
+    growth: float = 1.0,
+) -> TampGraph:
+    """Depth-aware pruning.
+
+    Edges whose *parent* lies at depth < *keep_depth* are always kept
+    (depth 0 = the site root; with the default 3, routers, nexthops and
+    the immediate neighbor ASes all survive — the Figure 5 setting).
+    Deeper edges face ``threshold × growth^(depth - keep_depth)``, so a
+    growth factor above 1 prunes ever harder toward the Internet's edge.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold {threshold} outside [0, 1]")
+    if keep_depth < 0:
+        raise ValueError(f"keep_depth {keep_depth} must be non-negative")
+    if growth <= 0:
+        raise ValueError(f"growth {growth} must be positive")
+    total = graph.total_prefixes()
+    if total == 0:
+        return graph.copy()
+
+    def keep(parent, depth, weight) -> bool:
+        if depth is None or depth < keep_depth:
+            return True
+        effective = min(1.0, threshold * growth ** (depth - keep_depth))
+        return weight / total >= effective
+
+    pruned = _survivors(graph, keep)
+    _sweep_unreachable(pruned, graph.roots())
+    return pruned
+
+
+def _sweep_unreachable(graph: TampGraph, roots) -> None:
+    """Remove edges no longer reachable from the original *roots*.
+
+    Pruning an interior edge can orphan a whole subtree; the orphan must
+    not linger as a floating island in the picture. Reachability is
+    computed from the pre-prune roots, so an orphaned subtree head does
+    not masquerade as a new root.
+    """
+    from collections import deque
+
+    reachable: set = set()
+    queue = deque(roots)
+    reachable.update(roots)
+    while queue:
+        node = queue.popleft()
+        for child in graph.children(node):
+            if child not in reachable:
+                reachable.add(child)
+                queue.append(child)
+    for parent, child in graph.edge_list():
+        if parent not in reachable:
+            graph.remove_edge(parent, child)

@@ -1,0 +1,158 @@
+"""Renderers for TAMP pictures.
+
+Two output targets:
+
+* :func:`render_svg` — a standalone SVG document: rectangles for nodes,
+  lines for edges with stroke width proportional to prefix share, edge
+  color by animation state (black/green/blue/yellow + gray shadows), and
+  percentage labels like Figure 2's "80%".
+* :func:`render_ascii` — a text rendering for terminals and tests: one
+  line per edge with a bar proportional to the prefix share.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+from xml.sax.saxutils import escape
+
+from repro.collector.events import Token
+from repro.net.prefix import format_address
+from repro.tamp.graph import TampGraph
+from repro.tamp.layout import edge_geometry, layout_graph
+
+#: Edge colors per change state (the paper's animation legend).
+STATE_COLORS = {
+    "stable": "#000000",
+    "gaining": "#1a9641",
+    "losing": "#2c7bb6",
+    "flapping": "#e6c700",
+    "shadow": "#bbbbbb",
+}
+
+
+def node_label(node: Token) -> str:
+    """Operator-facing label for a TAMP node."""
+    namespace, value = node
+    if namespace == "root":
+        return str(value)
+    if namespace == "router":
+        return str(value)
+    if namespace == "nh":
+        return format_address(value)  # type: ignore[arg-type]
+    if namespace == "as":
+        return f"AS{value}"
+    if namespace == "pfx":
+        return str(value)
+    raise ValueError(f"unknown node namespace {namespace!r}")
+
+
+def render_ascii(graph: TampGraph, width: int = 30) -> str:
+    """Text view: edges sorted by depth then weight, with share bars.
+
+    >>> # AS11423 -> AS209  [##########          ]  80.0% (96)
+    """
+    total = graph.total_prefixes()
+    depths = graph.depths()
+    lines = []
+    ordered = sorted(
+        graph.edges(),
+        key=lambda item: (
+            depths.get(item[0][0], 99),
+            -len(item[1]),
+            str(item[0]),
+        ),
+    )
+    for (parent, child), prefixes in ordered:
+        fraction = len(prefixes) / total if total else 0.0
+        filled = round(fraction * width)
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(
+            f"{node_label(parent)} -> {node_label(child)}"
+            f"  [{bar}]  {fraction:6.1%} ({len(prefixes)})"
+        )
+    return "\n".join(lines)
+
+
+def render_svg(
+    graph: TampGraph,
+    edge_states: Optional[Mapping[tuple[Token, Token], str]] = None,
+    shadows: Optional[Mapping[tuple[Token, Token], float]] = None,
+    title: str = "",
+    clock_text: str = "",
+    weights: Optional[Mapping[tuple[Token, Token], float]] = None,
+) -> str:
+    """Render *graph* as a standalone SVG document string.
+
+    *edge_states* maps edges to a state name from :data:`STATE_COLORS`
+    (missing edges draw stable/black). *shadows* maps edges to a
+    0..1 fraction for the gray historical-maximum shadow behind the
+    colored line. *clock_text* draws the animation clock of Figure 3.
+    *weights* switches thickness from prefix counts to the supplied
+    per-edge values (e.g. traffic volumes — Section III-D.2).
+    """
+    layout = layout_graph(graph)
+    geometry = edge_geometry(graph, layout, weights=weights)
+    margin = 120.0
+    width = layout.width + 2 * margin
+    height = layout.height + 2 * margin + (40 if clock_text else 0)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}"'
+        f' height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="24" text-anchor="middle"'
+            f' font-size="16" font-family="sans-serif">{escape(title)}</text>'
+        )
+
+    def shift(point: tuple[float, float]) -> tuple[float, float]:
+        return (point[0] + margin, point[1] + margin)
+
+    # Shadows first (under everything), then edges, then nodes.
+    if shadows:
+        for edge, fraction in shadows.items():
+            geo = geometry.get(edge)
+            if geo is None:
+                continue
+            (x1, y1), (x2, y2) = shift(geo.start), shift(geo.end)
+            thickness = max(1.0, fraction * 14.0)
+            parts.append(
+                f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}"'
+                f' y2="{y2:.1f}" stroke="{STATE_COLORS["shadow"]}"'
+                f' stroke-width="{thickness:.1f}"/>'
+            )
+    for edge, geo in geometry.items():
+        state = (edge_states or {}).get(edge, "stable")
+        color = STATE_COLORS.get(state, STATE_COLORS["stable"])
+        (x1, y1), (x2, y2) = shift(geo.start), shift(geo.end)
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}"'
+            f' stroke="{color}" stroke-width="{geo.thickness:.1f}"/>'
+        )
+        label_x, label_y = (x1 + x2) / 2, (y1 + y2) / 2 - 4
+        parts.append(
+            f'<text x="{label_x:.1f}" y="{label_y:.1f}" font-size="10"'
+            f' text-anchor="middle" font-family="sans-serif"'
+            f' fill="#555">{geo.fraction:.0%}</text>'
+        )
+    for node, position in layout.positions.items():
+        x, y = shift(position)
+        label = escape(node_label(node))
+        half_width = max(30, 4 * len(label))
+        parts.append(
+            f'<rect x="{x - half_width:.1f}" y="{y - 11:.1f}"'
+            f' width="{2 * half_width:.1f}" height="22" fill="#f4f4f4"'
+            f' stroke="#333" rx="3"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{y + 4:.1f}" text-anchor="middle"'
+            f' font-size="11" font-family="sans-serif">{label}</text>'
+        )
+    if clock_text:
+        parts.append(
+            f'<text x="{margin:.0f}" y="{height - 16:.0f}" font-size="13"'
+            f' font-family="monospace">{escape(clock_text)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

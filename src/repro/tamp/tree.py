@@ -1,0 +1,188 @@
+"""Per-router TAMP trees.
+
+A router's TAMP tree represents the BGP routes it knows at one moment:
+the root is the router, linked to each BGP nexthop of its routes; each
+nexthop links to the AS it services; ASes link downstream along the AS
+path; leaf ASes link to the prefixes they advertise (Figure 1). Every
+edge remembers the *set* of prefixes carried, so the merge step can take
+unions instead of mis-adding counts.
+
+Nodes are the same (namespace, value) tokens Stemming uses — ``("router",
+name)``, ``("nh", address)``, ``("as", asn)``, ``("pfx", prefix)`` — which
+lets a Stemming stem be highlighted directly on a TAMP picture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.bgp.rib import Route
+from repro.collector.events import Token
+from repro.net.attributes import PathAttributes
+from repro.net.prefix import Prefix
+
+Edge = tuple[Token, Token]
+
+
+def route_path_tokens(
+    router: Token,
+    prefix: Prefix,
+    attributes: PathAttributes,
+    include_prefix_leaf: bool = True,
+) -> list[Token]:
+    """The node chain a route contributes: router, nexthop, ASes[, prefix].
+
+    Duplicate consecutive ASes (prepending) collapse to one node — a
+    prepended path traverses the same AS once.
+    """
+    chain: list[Token] = [router, ("nh", attributes.nexthop)]
+    previous_as: Optional[int] = None
+    for asn in attributes.as_path.sequence:
+        if asn == previous_as:
+            continue
+        chain.append(("as", asn))
+        previous_as = asn
+    if include_prefix_leaf:
+        chain.append(("pfx", prefix))
+    return chain
+
+
+class TampTree:
+    """The virtual tree of one router's routes.
+
+    Structurally this is a general graph container (two routes can share
+    a tail), but built from a single router's routes it forms the paper's
+    tree. It is also the building block :class:`repro.tamp.graph.TampGraph`
+    merges.
+    """
+
+    __slots__ = ("root", "include_prefix_leaves", "_edges", "_children")
+
+    def __init__(
+        self,
+        router_name: str,
+        include_prefix_leaves: bool = True,
+    ) -> None:
+        self.root: Token = ("router", router_name)
+        self.include_prefix_leaves = include_prefix_leaves
+        self._edges: dict[Edge, set[Prefix]] = {}
+        self._children: dict[Token, set[Token]] = {}
+
+    @classmethod
+    def from_routes(
+        cls,
+        router_name: str,
+        routes: Iterable[Route],
+        include_prefix_leaves: bool = True,
+    ) -> "TampTree":
+        """Build a tree from a route table.
+
+        Routes are grouped by attribute bundle first: real RIBs share
+        bundles massively (BGP's wire format is built around it), and
+        all routes sharing a bundle thread the same node chain, so each
+        edge takes one bulk set update instead of a per-route insert.
+        """
+        tree = cls(router_name, include_prefix_leaves)
+        by_attrs: dict[PathAttributes, list[Prefix]] = {}
+        for route in routes:
+            by_attrs.setdefault(route.attributes, []).append(route.prefix)
+        for attributes, prefixes in by_attrs.items():
+            tree.add_route_group(prefixes, attributes)
+        return tree
+
+    def add_route_group(
+        self, prefixes: list[Prefix], attributes: PathAttributes
+    ) -> None:
+        """Thread many routes sharing one attribute bundle."""
+        chain = route_path_tokens(
+            self.root, prefixes[0], attributes, include_prefix_leaf=False
+        )
+        for parent, child in zip(chain, chain[1:]):
+            edge = (parent, child)
+            existing = self._edges.get(edge)
+            if existing is None:
+                existing = set()
+                self._edges[edge] = existing
+                self._children.setdefault(parent, set()).add(child)
+            existing.update(prefixes)
+        if self.include_prefix_leaves:
+            leaf_parent = chain[-1]
+            children = self._children.setdefault(leaf_parent, set())
+            for prefix in prefixes:
+                edge = (leaf_parent, ("pfx", prefix))
+                leaf_set = self._edges.get(edge)
+                if leaf_set is None:
+                    self._edges[edge] = {prefix}
+                    children.add(("pfx", prefix))
+                else:
+                    leaf_set.add(prefix)
+
+    def add_route(self, prefix: Prefix, attributes: PathAttributes) -> None:
+        """Thread one route through the tree, weighting each edge."""
+        chain = route_path_tokens(
+            self.root, prefix, attributes, self.include_prefix_leaves
+        )
+        for parent, child in zip(chain, chain[1:]):
+            edge = (parent, child)
+            prefixes = self._edges.get(edge)
+            if prefixes is None:
+                prefixes = set()
+                self._edges[edge] = prefixes
+                self._children.setdefault(parent, set()).add(child)
+            prefixes.add(prefix)
+
+    def remove_route(self, prefix: Prefix, attributes: PathAttributes) -> None:
+        """Remove one route's contribution (for incremental maintenance)."""
+        chain = route_path_tokens(
+            self.root, prefix, attributes, self.include_prefix_leaves
+        )
+        for parent, child in zip(chain, chain[1:]):
+            edge = (parent, child)
+            prefixes = self._edges.get(edge)
+            if prefixes is None:
+                continue
+            prefixes.discard(prefix)
+            if not prefixes:
+                del self._edges[edge]
+                children = self._children.get(parent)
+                if children is not None:
+                    children.discard(child)
+                    if not children:
+                        del self._children[parent]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def edges(self) -> Iterator[tuple[Edge, set[Prefix]]]:
+        yield from self._edges.items()
+
+    def edge_prefixes(self, parent: Token, child: Token) -> set[Prefix]:
+        return self._edges.get((parent, child), set())
+
+    def weight(self, parent: Token, child: Token) -> int:
+        """Unique prefixes carried on the edge — the paper's edge weight."""
+        return len(self._edges.get((parent, child), ()))
+
+    def children(self, node: Token) -> set[Token]:
+        return self._children.get(node, set())
+
+    def nodes(self) -> set[Token]:
+        found: set[Token] = {self.root}
+        for parent, child in self._edges:
+            found.add(parent)
+            found.add(child)
+        return found
+
+    def total_prefixes(self) -> int:
+        """Distinct prefixes represented anywhere in the tree."""
+        prefixes: set[Prefix] = set()
+        for edge_prefixes in self._edges.values():
+            prefixes |= edge_prefixes
+        return len(prefixes)
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)

@@ -1,0 +1,28 @@
+"""Traffic data: NetFlow-style flow records and the elephant/mice model.
+
+Section III-D.2 of the paper integrates traffic volume into TAMP and
+Stemming: prefix counts weigh every prefix equally, but Internet traffic
+is wildly skewed — a small fraction of prefixes (the elephants) carries
+most of the bytes. This package provides a synthetic but
+distribution-faithful substitute for the Cisco NetFlow feeds the paper
+used: flow records, Zipf-distributed per-prefix volumes, and link-volume
+inference from routing plus flows.
+"""
+
+from repro.traffic.flows import FlowRecord, FlowCollector
+from repro.traffic.elephants import (
+    concentration,
+    elephants_of,
+    zipf_volumes,
+)
+from repro.traffic.volume import VolumeTable, edge_volumes
+
+__all__ = [
+    "FlowRecord",
+    "FlowCollector",
+    "zipf_volumes",
+    "concentration",
+    "elephants_of",
+    "VolumeTable",
+    "edge_volumes",
+]

@@ -1,0 +1,89 @@
+"""Flow records, NetFlow style.
+
+A flow record summarizes traffic toward a destination prefix over an
+interval: byte and packet counts, the interface (link) it left on. The
+collector aggregates records into per-prefix and per-link volumes, the
+inputs to the Section III-D.2 weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class FlowRecord:
+    """One exported flow summary."""
+
+    timestamp: float
+    prefix: Prefix
+    bytes: int
+    packets: int = 0
+    interface: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0 or self.packets < 0:
+            raise ValueError("flow counters cannot be negative")
+
+
+class FlowCollector:
+    """Aggregates flow records into volumes.
+
+    Volumes are in bytes over the collection window; time slicing is
+    left to callers (records carry timestamps).
+    """
+
+    def __init__(self) -> None:
+        self._records: list[FlowRecord] = []
+
+    def add(self, record: FlowRecord) -> None:
+        self._records.append(record)
+
+    def add_all(self, records: Iterable[FlowRecord]) -> None:
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> list[FlowRecord]:
+        selected = self._records
+        if start is not None:
+            selected = [r for r in selected if r.timestamp >= start]
+        if end is not None:
+            selected = [r for r in selected if r.timestamp < end]
+        return list(selected)
+
+    def volume_by_prefix(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> dict[Prefix, int]:
+        """Total bytes per destination prefix over the window."""
+        volumes: dict[Prefix, int] = {}
+        for record in self.records(start, end):
+            volumes[record.prefix] = volumes.get(record.prefix, 0) + record.bytes
+        return volumes
+
+    def volume_by_interface(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> dict[str, int]:
+        """Total bytes per egress interface — the rate-limiter balance
+        check in the Berkeley load-balancing case."""
+        volumes: dict[str, int] = {}
+        for record in self.records(start, end):
+            volumes[record.interface] = (
+                volumes.get(record.interface, 0) + record.bytes
+            )
+        return volumes
+
+    def total_volume(self) -> int:
+        return sum(r.bytes for r in self._records)

@@ -1,0 +1,90 @@
+"""Joining traffic volumes with routing.
+
+The paper's better-than-trial-and-error load balancing (Section III-D.2):
+correlate routing and traffic to compute the volume each routing element
+actually carries — per prefix, per link, per TAMP edge — and recompute as
+either side changes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.net.prefix import Prefix
+from repro.tamp.graph import TampGraph
+from repro.tamp.tree import Edge
+
+
+class VolumeTable:
+    """Per-prefix traffic volumes with longest-match fallback.
+
+    Flow records may aggregate at different granularities than routing;
+    a /24's volume charges the covering routed prefix.
+    """
+
+    def __init__(self, volumes: Mapping[Prefix, float]) -> None:
+        from repro.net.trie import PrefixTrie
+
+        self._exact = dict(volumes)
+        self._trie: PrefixTrie = PrefixTrie()
+        for prefix, volume in volumes.items():
+            self._trie.insert(prefix, volume)
+
+    def volume(self, prefix: Prefix) -> float:
+        """Volume for *prefix*: exact, else the nearest covering entry."""
+        exact = self._exact.get(prefix)
+        if exact is not None:
+            return exact
+        match = self._trie.longest_match(prefix)
+        return match[1] if match is not None else 0.0
+
+    def total(self) -> float:
+        return sum(self._exact.values())
+
+    def as_mapping(self) -> dict[Prefix, float]:
+        return dict(self._exact)
+
+
+def edge_volumes(
+    graph: TampGraph, volumes: VolumeTable
+) -> dict[Edge, float]:
+    """Traffic volume per TAMP edge: the sum over prefixes it carries.
+
+    This is the Section III-D.2 re-weighting: drawn with these weights, a
+    TAMP picture shows where the *bytes* go, not where the prefixes go —
+    and the two can disagree wildly under elephant/mice skew.
+    """
+    result: dict[Edge, float] = {}
+    for edge, prefixes in graph.edges():
+        result[edge] = sum(volumes.volume(prefix) for prefix in prefixes)
+    return result
+
+
+def imbalance_report(
+    graph: TampGraph,
+    volumes: VolumeTable,
+    edges: list[Edge],
+) -> list[dict]:
+    """Compare prefix-count shares with volume shares across *edges*.
+
+    For the Berkeley rate-limiter split: an even prefix split can still
+    be a wildly uneven traffic split (or vice versa). Each row reports
+    both shares so the operator sees the discrepancy directly.
+    """
+    total_prefixes = graph.total_prefixes()
+    by_edge = edge_volumes(graph, volumes)
+    total_volume = sum(by_edge.get(edge, 0.0) for edge in edges)
+    rows = []
+    for edge in edges:
+        weight = graph.weight(*edge)
+        volume = by_edge.get(edge, 0.0)
+        rows.append(
+            {
+                "edge": edge,
+                "prefixes": weight,
+                "prefix_share": weight / total_prefixes if total_prefixes else 0.0,
+                "volume": volume,
+                "volume_share": volume / total_volume if total_volume else 0.0,
+            }
+        )
+    return rows

@@ -1,0 +1,107 @@
+"""Unit tests for the diagnosis pipeline."""
+
+from repro.analysis.report import diagnose
+from repro.collector.stream import EventStream
+from repro.stemming.stemmer import Stemmer
+from tests.stemming.test_stemmer import mk_event, spike
+
+
+class TestDiagnose:
+    def test_report_answers_the_three_questions(self):
+        stream = EventStream(spike("100 200 300", 30))
+        report = diagnose(stream)
+        text = report.to_text()
+        # What happened: a correlated component.
+        assert "components" in text
+        # Where: the stem location.
+        assert "AS200--AS300" in report.headline
+        # How big: events and prefixes quantified.
+        assert "30" in report.headline
+
+    def test_empty_stream(self):
+        report = diagnose(EventStream())
+        assert report.headline == "no correlated components found"
+        assert report.picture == ""
+
+    def test_custom_stemmer_forwarded(self):
+        stream = EventStream(spike("100 200 300", 10))
+        report = diagnose(stream, stemmer=Stemmer(max_components=1))
+        assert len(report.stemming.components) <= 1
+
+    def test_picture_drawn_for_announcement_components(self):
+        from repro.collector.events import EventKind
+
+        events = [
+            mk_event(
+                float(i), "1.1.1.1", "2.2.2.2", "100 200",
+                f"10.0.{i}.0/24", EventKind.ANNOUNCE,
+            )
+            for i in range(10)
+        ]
+        report = diagnose(EventStream(events))
+        assert "AS100" in report.picture
+
+    def test_picture_for_pure_withdrawal_component(self):
+        """Withdrawal-only incidents must still draw what was lost."""
+        stream = EventStream(spike("100 200 300", 12))
+        report = diagnose(stream)
+        assert "AS200" in report.picture
+
+    def test_rate_series_sized_to_stream(self):
+        stream = EventStream(spike("100 200 300", 20))
+        report = diagnose(stream, rate_bin_seconds=5.0)
+        assert report.rates.bin_seconds == 5.0
+        assert sum(report.rates.counts) == 20
+
+
+class TestIntegratedDiagnosis:
+    """diagnose() with configs and IGP topology supplied (Section III-D)."""
+
+    def _config(self):
+        from repro.config.compiler import compile_config
+        from repro.config.parser import parse_config
+
+        return compile_config(
+            parse_config(
+                """\
+hostname test-router
+route-map IMPORT permit 10
+ set local-preference 100
+router bgp 25
+ neighbor 2.2.2.2 remote-as 100
+ neighbor 2.2.2.2 route-map IMPORT in
+"""
+            )
+        )
+
+    def _igp(self):
+        from repro.igp.topology import IGPTopology
+        from repro.net.prefix import parse_address
+
+        topo = IGPTopology()
+        topo.add_router("border", addresses=[parse_address("2.2.2.2")])
+        topo.add_router("core")
+        topo.add_link("border", "core", 10, now=0.0)
+        return topo
+
+    def test_policy_notes_attached(self):
+        stream = EventStream(spike("100 200 300", 10))
+        report = diagnose(stream, configs=[self._config()])
+        assert report.policy_notes
+        assert "policy correlation" in report.to_text()
+
+    def test_igp_notes_attached(self):
+        igp = self._igp()
+        # An interior change just before the BGP fallout window.
+        igp.set_metric("border", "core", 99, now=-5.0)
+        stream = EventStream(spike("100 200 300", 10))
+        report = diagnose(stream, igp=igp)
+        assert report.igp_notes
+        assert report.igp_notes[0].is_igp_rooted
+        assert "IGP drill-down" in report.to_text()
+
+    def test_without_integrations_no_notes(self):
+        stream = EventStream(spike("100 200 300", 10))
+        report = diagnose(stream)
+        assert report.policy_notes == ()
+        assert report.igp_notes == ()

@@ -1,0 +1,330 @@
+"""Unit and property tests for the BGP decision process."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.decision import DecisionProcess, RouteSource
+from repro.bgp.rib import Route
+from repro.net.aspath import ASPath
+from repro.net.attributes import Origin, PathAttributes
+from repro.net.prefix import Prefix, parse_address
+
+PREFIX = Prefix.parse("4.5.0.0/16")
+
+
+def source(
+    path: str = "100 200",
+    local_pref: int = 100,
+    med=None,
+    origin: Origin = Origin.IGP,
+    is_ebgp: bool = False,
+    router_id: int = 1,
+    address: int = 1,
+    nexthop: str = "10.0.0.1",
+) -> RouteSource:
+    attrs = PathAttributes(
+        nexthop=parse_address(nexthop),
+        as_path=ASPath.parse(path),
+        origin=origin,
+        local_pref=local_pref,
+        med=med,
+    )
+    return RouteSource(
+        route=Route(PREFIX, attrs, peer=address),
+        is_ebgp=is_ebgp,
+        peer_router_id=router_id,
+        peer_address=address,
+    )
+
+
+class TestEliminationOrder:
+    def test_empty_candidates(self):
+        assert DecisionProcess().select([]) is None
+
+    def test_single_candidate(self):
+        only = source()
+        assert DecisionProcess().select([only]) is only
+
+    def test_local_pref_dominates_path_length(self):
+        longer = source(path="1 2 3 4", local_pref=200, router_id=1, address=1)
+        shorter = source(path="1 2", local_pref=100, router_id=2, address=2)
+        assert DecisionProcess().select([shorter, longer]) is longer
+
+    def test_path_length_dominates_origin(self):
+        short_incomplete = source(
+            path="1 2", origin=Origin.INCOMPLETE, router_id=1, address=1
+        )
+        long_igp = source(path="1 2 3", origin=Origin.IGP, router_id=2, address=2)
+        selected = DecisionProcess().select([long_igp, short_incomplete])
+        assert selected is short_incomplete
+
+    def test_origin_preference(self):
+        igp = source(origin=Origin.IGP, router_id=1, address=1)
+        egp = source(origin=Origin.EGP, router_id=2, address=2)
+        incomplete = source(origin=Origin.INCOMPLETE, router_id=3, address=3)
+        assert DecisionProcess().select([incomplete, egp, igp]) is igp
+
+    def test_ebgp_preferred_over_ibgp(self):
+        ibgp = source(is_ebgp=False, router_id=1, address=1)
+        ebgp = source(is_ebgp=True, router_id=2, address=2)
+        assert DecisionProcess().select([ibgp, ebgp]) is ebgp
+
+    def test_igp_cost_tiebreak(self):
+        costs = {
+            parse_address("10.0.0.1"): 10,
+            parse_address("10.0.0.2"): 5,
+        }
+        process = DecisionProcess(igp_cost=lambda nh: costs.get(nh))
+        near = source(nexthop="10.0.0.2", router_id=1, address=1)
+        far = source(nexthop="10.0.0.1", router_id=2, address=2)
+        assert process.select([far, near]) is near
+
+    def test_unreachable_nexthop_disqualifies(self):
+        process = DecisionProcess(
+            igp_cost=lambda nh: None if nh == parse_address("10.0.0.1") else 0
+        )
+        unreachable = source(nexthop="10.0.0.1", local_pref=500)
+        reachable = source(nexthop="10.0.0.2", router_id=2, address=2)
+        assert process.select([unreachable, reachable]) is reachable
+        assert process.select([unreachable]) is None
+
+    def test_router_id_final_tiebreak(self):
+        a = source(router_id=5, address=9)
+        b = source(router_id=3, address=7)
+        assert DecisionProcess().select([a, b]) is b
+
+    def test_peer_address_breaks_router_id_tie(self):
+        a = source(router_id=3, address=9)
+        b = source(router_id=3, address=7)
+        assert DecisionProcess().select([a, b]) is b
+
+
+class TestMED:
+    def test_med_compared_within_same_neighbor_as(self):
+        low = source(path="100 200", med=10, router_id=1, address=1)
+        high = source(path="100 300", med=50, router_id=2, address=2)
+        assert DecisionProcess().select([high, low]) is low
+
+    def test_med_not_compared_across_neighbor_as(self):
+        # Different neighbor AS: MED is ignored; router-id decides.
+        a = source(path="100 200", med=50, router_id=1, address=1)
+        b = source(path="300 200", med=10, router_id=2, address=2)
+        assert DecisionProcess().select([a, b]) is a
+
+    def test_always_compare_med(self):
+        a = source(path="100 200", med=50, router_id=1, address=1)
+        b = source(path="300 200", med=10, router_id=2, address=2)
+        process = DecisionProcess(compare_med_always=True)
+        assert process.select([a, b]) is b
+
+    def test_missing_med_best_by_default(self):
+        with_med = source(path="100 200", med=10, router_id=1, address=1)
+        without = source(path="100 300", med=None, router_id=2, address=2)
+        assert DecisionProcess().select([with_med, without]) is without
+
+    def test_missing_med_as_worst(self):
+        with_med = source(path="100 200", med=10, router_id=1, address=1)
+        without = source(path="100 300", med=None, router_id=2, address=2)
+        process = DecisionProcess(med_missing_as_worst=True)
+        assert process.select([with_med, without]) is with_med
+
+    def test_pairwise_elimination_is_order_independent(self):
+        """The default mode considers all pairs, so permuting the
+        candidate list never changes the winner."""
+        import itertools
+
+        a = source(path="1 9", med=10, router_id=1, address=1)
+        b = source(path="2 9", med=0, router_id=2, address=2)
+        c = source(path="1 9", med=5, router_id=3, address=3)
+        process = DecisionProcess(deterministic_med=False)
+        winners = {
+            process.select(list(perm)).peer_address
+            for perm in itertools.permutations([a, b, c])
+        }
+        assert len(winners) == 1
+
+    def test_deterministic_med_is_order_independent(self):
+        import itertools
+
+        a = source(path="1 9", med=10, router_id=1, address=1)
+        b = source(path="2 9", med=0, router_id=2, address=2)
+        c = source(path="1 9", med=5, router_id=3, address=3)
+        process = DecisionProcess(deterministic_med=True)
+        winners = {
+            process.select(list(perm)).peer_address
+            for perm in itertools.permutations([a, b, c])
+        }
+        assert len(winners) == 1
+
+    def test_med_group_elimination(self):
+        """With deterministic MED, an AS's MED-worse route cannot win even
+        if it would beat the other group's winner on a later step."""
+        worse_med_better_igp = source(
+            path="1 9", med=10, router_id=1, address=1
+        )
+        best_med = source(path="1 9", med=5, router_id=2, address=2)
+        process = DecisionProcess(deterministic_med=True)
+        selected = process.select([worse_med_better_igp, best_med])
+        assert selected is best_med
+
+
+class TestSequentialMed:
+    """The genuinely order-dependent old-IOS mode — the RFC 3345 engine."""
+
+    def _triple(self, process_costs):
+        # X and Z share neighbor AS 1 (MED-comparable); Y is from AS 2.
+        # IGP costs: X nearest, then Y, then Z. MED: Z beats X.
+        x = source(path="1 9", med=10, router_id=1, address=1,
+                   nexthop="10.0.0.1")
+        y = source(path="2 9", med=None, router_id=2, address=2,
+                   nexthop="10.0.0.2")
+        z = source(path="1 9", med=5, router_id=3, address=3,
+                   nexthop="10.0.0.3")
+        return x, y, z
+
+    def _process(self):
+        costs = {
+            parse_address("10.0.0.1"): 1,
+            parse_address("10.0.0.2"): 2,
+            parse_address("10.0.0.3"): 3,
+        }
+        return DecisionProcess(
+            sequential_med=True, igp_cost=lambda nh: costs.get(nh)
+        )
+
+    def test_order_changes_the_winner(self):
+        """The non-transitive cycle: X beats Y (IGP), Y beats Z (IGP),
+        Z beats X (MED). A running-best walk crowns whoever benefits
+        from the arrival order — no total ordering exists."""
+        process = self._process()
+        x, y, z = self._triple(process)
+        winner_a = process.select([x, y, z])  # x beats y; z beats x -> z
+        winner_b = process.select([z, y, x])  # y beats z; x beats y -> x
+        assert winner_a is not winner_b
+        assert {winner_a.peer_address, winner_b.peer_address} == {1, 3}
+
+    def test_cycle_is_real(self):
+        process = self._process()
+        x, y, z = self._triple(process)
+        assert process._pairwise_better(x, y)  # IGP 1 < 2
+        assert process._pairwise_better(y, z)  # IGP 2 < 3
+        assert process._pairwise_better(z, x)  # MED 5 < 10
+
+    def test_single_candidate(self):
+        process = self._process()
+        x, _, _ = self._triple(process)
+        assert process.select([x]) is x
+
+    def test_grouped_mode_breaks_the_cycle(self):
+        """The deterministic-med fix: grouping eliminates X (MED-worse
+        within AS 1) up front, restoring one winner for every order."""
+        import itertools
+
+        costs = {
+            parse_address("10.0.0.1"): 1,
+            parse_address("10.0.0.2"): 2,
+            parse_address("10.0.0.3"): 3,
+        }
+        process = DecisionProcess(
+            deterministic_med=True, igp_cost=lambda nh: costs.get(nh)
+        )
+        x, y, z = self._triple(process)
+        winners = {
+            process.select(list(perm)).peer_address
+            for perm in itertools.permutations([x, y, z])
+        }
+        assert len(winners) == 1
+
+
+class TestReflectionTiebreaks:
+    """RFC 4456 §9: reflected routes tie-break on ORIGINATOR_ID and
+    CLUSTER_LIST, not on the advertising reflector's router id — the rule
+    that keeps a reflector mesh from oscillating (see the simulator's
+    scenario tests for the end-to-end version)."""
+
+    def _reflected(self, originator, cluster_list, router_id, address):
+        attrs = PathAttributes(
+            nexthop=parse_address("10.0.0.9"),
+            as_path=ASPath.parse("100 200"),
+            originator_id=originator,
+            cluster_list=cluster_list,
+        )
+        return RouteSource(
+            route=Route(PREFIX, attrs, peer=address),
+            is_ebgp=False,
+            peer_router_id=router_id,
+            peer_address=address,
+        )
+
+    def test_originator_id_beats_peer_router_id(self):
+        # Reflector with id 1 relays a route originated by id 90; the
+        # direct candidate originated by id 50 must win despite the
+        # reflector's lower router id.
+        via_reflector = self._reflected(90, (7,), router_id=1, address=1)
+        direct = self._reflected(50, (), router_id=60, address=60)
+        assert DecisionProcess().select([via_reflector, direct]) is direct
+
+    def test_shorter_cluster_list_wins(self):
+        long_path = self._reflected(50, (7, 8), router_id=1, address=1)
+        short_path = self._reflected(50, (7,), router_id=2, address=2)
+        assert DecisionProcess().select([long_path, short_path]) is short_path
+
+    def test_symmetric_reflection_has_global_winner(self):
+        """Two reflectors exchanging reflections of each other's client
+        routes must agree on a winner (no mutual preference)."""
+        # What reflector A sees: its own client route + B's reflection.
+        a_own = self._reflected(100, (), router_id=100, address=100)
+        b_reflection = self._reflected(200, (2,), router_id=2, address=2)
+        # What reflector B sees: its own client route + A's reflection.
+        b_own = self._reflected(200, (), router_id=200, address=200)
+        a_reflection = self._reflected(100, (1,), router_id=1, address=1)
+        process = DecisionProcess()
+        a_choice = process.select([a_own, b_reflection])
+        b_choice = process.select([b_own, a_reflection])
+        # Both must prefer the route originated at 100.
+        assert a_choice.route.attributes.originator_id == 100
+        assert b_choice.route.attributes.originator_id == 100
+
+
+class TestProperties:
+    @st.composite
+    def candidate_lists(draw):
+        n = draw(st.integers(min_value=1, max_value=6))
+        sources = []
+        for i in range(n):
+            sources.append(
+                source(
+                    path=draw(
+                        st.sampled_from(["1 9", "2 9", "1 2 9", "3 9", "2 3 9"])
+                    ),
+                    local_pref=draw(st.sampled_from([80, 100, 200])),
+                    med=draw(st.sampled_from([None, 0, 10, 50])),
+                    origin=draw(st.sampled_from(list(Origin))),
+                    is_ebgp=draw(st.booleans()),
+                    router_id=i + 1,
+                    address=i + 1,
+                )
+            )
+        return sources
+
+    @given(candidate_lists())
+    def test_selection_total(self, candidates):
+        """A winner always exists when any candidate is usable."""
+        selected = DecisionProcess().select(candidates)
+        assert selected in candidates
+
+    @given(candidate_lists())
+    def test_winner_has_maximal_local_pref(self, candidates):
+        selected = DecisionProcess().select(candidates)
+        best_pref = max(c.route.attributes.local_pref for c in candidates)
+        assert selected.route.attributes.local_pref == best_pref
+
+    @given(candidate_lists())
+    def test_deterministic_mode_order_independent(self, candidates):
+        import random
+
+        process = DecisionProcess(deterministic_med=True)
+        baseline = process.select(candidates)
+        shuffled = candidates[:]
+        random.Random(7).shuffle(shuffled)
+        assert process.select(shuffled) is baseline

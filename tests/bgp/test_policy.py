@@ -1,0 +1,185 @@
+"""Unit tests for the routing policy engine."""
+
+import pytest
+
+from repro.bgp.errors import PolicyError
+from repro.bgp.policy import (
+    PERMIT_ALL,
+    AddCommunity,
+    ClearCommunities,
+    MatchASInPath,
+    MatchCommunity,
+    MatchLocallyOriginated,
+    MatchNeighborAS,
+    MatchPrefixList,
+    Policy,
+    PolicyContext,
+    PrefixListEntry,
+    PrependASPath,
+    RemoveCommunity,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+    SetMED,
+    SetNexthop,
+    community_list,
+)
+from repro.net.aspath import ASPath
+from repro.net.attributes import Community, PathAttributes
+from repro.net.prefix import Prefix, parse_address
+
+P = Prefix.parse("192.0.2.0/24")
+
+
+def attrs(path: str = "11423 209", communities=()) -> PathAttributes:
+    return PathAttributes(
+        nexthop=parse_address("128.32.0.66"),
+        as_path=ASPath.parse(path),
+        communities=[Community.parse(c) for c in communities],
+    )
+
+
+CTX = PolicyContext(neighbor_as=11423, peer_address=parse_address("128.32.1.3"))
+
+
+class TestPrefixListEntry:
+    def test_exact_match(self):
+        entry = PrefixListEntry(P)
+        assert entry.matches(P)
+        assert not entry.matches(Prefix.parse("192.0.2.0/25"))
+
+    def test_le_extends_to_more_specifics(self):
+        entry = PrefixListEntry(Prefix.parse("10.0.0.0/8"), le=24)
+        assert entry.matches(Prefix.parse("10.0.0.0/8"))
+        assert entry.matches(Prefix.parse("10.1.0.0/16"))
+        assert not entry.matches(Prefix.parse("10.1.1.0/25"))
+        assert not entry.matches(Prefix.parse("11.0.0.0/8"))
+
+    def test_ge_excludes_short(self):
+        entry = PrefixListEntry(Prefix.parse("10.0.0.0/8"), ge=16, le=24)
+        assert not entry.matches(Prefix.parse("10.0.0.0/8"))
+        assert entry.matches(Prefix.parse("10.1.0.0/16"))
+
+    def test_ge_without_le_runs_to_32(self):
+        entry = PrefixListEntry(Prefix.parse("10.0.0.0/8"), ge=31)
+        assert entry.matches(Prefix.parse("10.0.0.2/31"))
+        assert entry.matches(Prefix.parse("10.0.0.1/32"))
+
+
+class TestMatchConditions:
+    def test_match_prefix_list(self):
+        condition = MatchPrefixList.exact([P])
+        assert condition.matches(P, attrs(), CTX)
+        assert not condition.matches(Prefix.parse("198.51.100.0/24"), attrs(), CTX)
+
+    def test_match_community_any(self):
+        condition = MatchCommunity(community_list("11423:65350", "11423:65351"))
+        assert condition.matches(P, attrs(communities=["11423:65350"]), CTX)
+        assert not condition.matches(P, attrs(), CTX)
+
+    def test_match_community_all(self):
+        condition = MatchCommunity(
+            community_list("1:1", "1:2"), require_all=True
+        )
+        assert condition.matches(P, attrs(communities=["1:1", "1:2"]), CTX)
+        assert not condition.matches(P, attrs(communities=["1:1"]), CTX)
+
+    def test_match_neighbor_as(self):
+        assert MatchNeighborAS(11423).matches(P, attrs(), CTX)
+        assert not MatchNeighborAS(209).matches(P, attrs(), CTX)
+
+    def test_match_as_in_path(self):
+        assert MatchASInPath(209).matches(P, attrs(), CTX)
+        assert not MatchASInPath(701).matches(P, attrs(), CTX)
+
+    def test_match_locally_originated(self):
+        assert MatchLocallyOriginated().matches(P, attrs(path=""), CTX)
+        assert not MatchLocallyOriginated().matches(P, attrs(), CTX)
+
+
+class TestActions:
+    def test_set_local_pref(self):
+        assert SetLocalPref(80).apply(attrs()).local_pref == 80
+
+    def test_set_med(self):
+        assert SetMED(30).apply(attrs()).med == 30
+        assert SetMED(None).apply(SetMED(30).apply(attrs())).med is None
+
+    def test_community_actions(self):
+        tag = Community.parse("11423:65300")
+        tagged = AddCommunity(tag).apply(attrs())
+        assert tag in tagged.communities
+        untagged = RemoveCommunity(tag).apply(tagged)
+        assert tag not in untagged.communities
+        assert ClearCommunities().apply(tagged).communities == frozenset()
+
+    def test_prepend(self):
+        result = PrependASPath(11423, count=2).apply(attrs(path="209"))
+        assert result.as_path.sequence == (11423, 11423, 209)
+
+    def test_set_nexthop(self):
+        nh = parse_address("10.9.9.9")
+        assert SetNexthop(nh).apply(attrs()).nexthop == nh
+
+
+class TestRouteMap:
+    def test_first_match_wins(self):
+        route_map = RouteMap(
+            "test",
+            (
+                RouteMapClause(
+                    permit=True,
+                    matches=(MatchCommunity(community_list("11423:65350")),),
+                    actions=(SetLocalPref(80),),
+                ),
+                RouteMapClause(permit=True, actions=(SetLocalPref(70),)),
+            ),
+        )
+        tagged = route_map.apply(P, attrs(communities=["11423:65350"]), CTX)
+        untagged = route_map.apply(P, attrs(), CTX)
+        assert tagged.local_pref == 80
+        assert untagged.local_pref == 70
+
+    def test_deny_clause(self):
+        route_map = RouteMap(
+            "deny-209",
+            (
+                RouteMapClause(permit=False, matches=(MatchASInPath(209),)),
+                RouteMapClause(permit=True),
+            ),
+        )
+        assert route_map.apply(P, attrs(), CTX) is None
+        assert route_map.apply(P, attrs(path="11423 701"), CTX) is not None
+
+    def test_implicit_deny_at_end(self):
+        route_map = RouteMap(
+            "only-local",
+            (RouteMapClause(permit=True, matches=(MatchLocallyOriginated(),)),),
+        )
+        assert route_map.apply(P, attrs(), CTX) is None
+        assert route_map.apply(P, attrs(path=""), CTX) is not None
+
+    def test_empty_clause_matches_everything(self):
+        assert PERMIT_ALL.apply(P, attrs()) == attrs()
+
+    def test_empty_route_map_denies(self):
+        assert RouteMap("empty").apply(P, attrs()) is None
+
+
+class TestPolicy:
+    def test_default_policy_permits(self):
+        policy = Policy()
+        assert policy.import_route(P, attrs()) == attrs()
+        assert policy.export_route(P, attrs()) == attrs()
+
+    def test_import_map_applies(self):
+        policy = Policy(
+            import_map=RouteMap(
+                "lp", (RouteMapClause(actions=(SetLocalPref(200),)),)
+            )
+        )
+        assert policy.import_route(P, attrs()).local_pref == 200
+
+    def test_community_list_requires_tags(self):
+        with pytest.raises(PolicyError):
+            community_list()

@@ -1,0 +1,112 @@
+"""Unit tests for Adj-RIB-In and Loc-RIB."""
+
+from repro.bgp.rib import AdjRibIn, LocRib, Route
+from repro.net.aspath import ASPath
+from repro.net.attributes import PathAttributes
+from repro.net.prefix import Prefix, parse_address
+
+
+PEER = parse_address("128.32.1.3")
+OTHER_PEER = parse_address("128.32.1.200")
+
+
+def attrs(path: str = "11423 209", nexthop: str = "128.32.0.66") -> PathAttributes:
+    return PathAttributes(
+        nexthop=parse_address(nexthop), as_path=ASPath.parse(path)
+    )
+
+
+P1 = Prefix.parse("192.96.10.0/24")
+P2 = Prefix.parse("12.2.41.0/24")
+
+
+class TestAdjRibIn:
+    def test_announce_and_get(self):
+        rib = AdjRibIn(PEER)
+        rib.announce(P1, attrs())
+        assert rib.get(P1) == attrs()
+        assert P1 in rib
+        assert len(rib) == 1
+
+    def test_announce_returns_displaced(self):
+        rib = AdjRibIn(PEER)
+        assert rib.announce(P1, attrs()) is None
+        displaced = rib.announce(P1, attrs(path="11423 209 701"))
+        assert displaced == attrs()
+
+    def test_withdraw_returns_attributes(self):
+        rib = AdjRibIn(PEER)
+        rib.announce(P1, attrs())
+        assert rib.withdraw(P1) == attrs()
+        assert P1 not in rib
+
+    def test_withdraw_unknown_returns_none(self):
+        rib = AdjRibIn(PEER)
+        assert rib.withdraw(P1) is None
+
+    def test_clear_returns_routes_with_peer(self):
+        rib = AdjRibIn(PEER)
+        rib.announce(P1, attrs())
+        rib.announce(P2, attrs(path="11423 7018"))
+        removed = rib.clear()
+        assert len(removed) == 2
+        assert all(r.peer == PEER for r in removed)
+        assert len(rib) == 0
+
+    def test_routes_iteration(self):
+        rib = AdjRibIn(PEER)
+        rib.announce(P1, attrs())
+        routes = list(rib.routes())
+        assert routes == [Route(P1, attrs(), PEER)]
+        assert list(rib.prefixes()) == [P1]
+
+
+class TestLocRib:
+    def test_candidates_tracked_per_peer(self):
+        rib = LocRib()
+        rib.add_candidate(Route(P1, attrs(), PEER))
+        rib.add_candidate(Route(P1, attrs(path="11423 701"), OTHER_PEER))
+        assert len(rib.candidates(P1)) == 2
+        assert rib.route_count == 2
+
+    def test_candidate_replacement_same_peer(self):
+        rib = LocRib()
+        rib.add_candidate(Route(P1, attrs(), PEER))
+        rib.add_candidate(Route(P1, attrs(path="11423 701"), PEER))
+        assert len(rib.candidates(P1)) == 1
+
+    def test_remove_candidate(self):
+        rib = LocRib()
+        route = Route(P1, attrs(), PEER)
+        rib.add_candidate(route)
+        assert rib.remove_candidate(P1, PEER) == route
+        assert rib.candidates(P1) == []
+        assert rib.remove_candidate(P1, PEER) is None
+
+    def test_best_tracking(self):
+        rib = LocRib()
+        route = Route(P1, attrs(), PEER)
+        rib.add_candidate(route)
+        assert rib.set_best(route) is None
+        assert rib.best(P1) == route
+        assert len(rib) == 1
+        assert rib.clear_best(P1) == route
+        assert rib.best(P1) is None
+
+    def test_set_best_returns_previous(self):
+        rib = LocRib()
+        first = Route(P1, attrs(), PEER)
+        second = Route(P1, attrs(path="11423 701"), OTHER_PEER)
+        rib.set_best(first)
+        assert rib.set_best(second) == first
+
+    def test_iteration(self):
+        rib = LocRib()
+        a = Route(P1, attrs(), PEER)
+        b = Route(P2, attrs(path="11423 7018"), OTHER_PEER)
+        for route in (a, b):
+            rib.add_candidate(route)
+            rib.set_best(route)
+        assert set(rib.best_routes()) == {a, b}
+        assert set(rib.all_routes()) == {a, b}
+        assert set(rib.prefixes()) == {P1, P2}

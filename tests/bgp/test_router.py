@@ -1,0 +1,418 @@
+"""Integration tests for the BGP speaker.
+
+These wire small router topologies by hand and pump messages until
+quiescence — a miniature version of what :mod:`repro.simulator` automates.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.bgp.errors import BGPError
+from repro.bgp.policy import (
+    MatchASInPath,
+    Policy,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+)
+from repro.bgp.router import BGPRouter
+from repro.net.message import BGPUpdate
+from repro.net.prefix import Prefix, parse_address
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+class Mesh:
+    """A hand-wired set of routers with synchronous message delivery."""
+
+    def __init__(self) -> None:
+        self.routers: dict[int, BGPRouter] = {}
+
+    def add(self, name: str, asn: int, address: str, **kwargs) -> BGPRouter:
+        router = BGPRouter(
+            name=name,
+            asn=asn,
+            router_id=len(self.routers) + 1,
+            address=addr(address),
+            **kwargs,
+        )
+        self.routers[router.address] = router
+        return router
+
+    def connect(self, a: BGPRouter, b: BGPRouter, **kwargs) -> None:
+        """Create the peering in both directions and bring it up."""
+        a_policy = kwargs.pop("a_policy", None)
+        b_policy = kwargs.pop("b_policy", None)
+        a_client = kwargs.pop("a_sees_client", False)
+        b_client = kwargs.pop("b_sees_client", False)
+        a.add_neighbor(
+            b.address, b.asn, b.router_id, policy=a_policy,
+            is_rr_client=a_client, **kwargs
+        )
+        b.add_neighbor(
+            a.address, a.asn, a.router_id, policy=b_policy,
+            is_rr_client=b_client, **kwargs
+        )
+        self.pump(a.session_up(b.address), a)
+        self.pump(b.session_up(a.address), b)
+
+    def pump(self, outgoing, sender: BGPRouter) -> int:
+        """Deliver messages until the network is quiescent.
+
+        Returns the number of UPDATE messages delivered.
+        """
+        queue = deque((sender.address, to, update) for to, update in outgoing)
+        delivered = 0
+        while queue:
+            frm, to, update = queue.popleft()
+            delivered += 1
+            receiver = self.routers[to]
+            for nxt_to, nxt_update in receiver.receive_update(frm, update):
+                queue.append((to, nxt_to, nxt_update))
+        return delivered
+
+    def originate(self, router: BGPRouter, prefix: str, **kwargs) -> int:
+        return self.pump(
+            router.originate(Prefix.parse(prefix), **kwargs), router
+        )
+
+
+P1 = Prefix.parse("192.0.2.0/24")
+P2 = Prefix.parse("198.51.100.0/24")
+
+
+@pytest.fixture
+def ebgp_chain():
+    """AS100 -- AS200 -- AS300 in a line."""
+    mesh = Mesh()
+    r1 = mesh.add("r1", 100, "10.0.0.1")
+    r2 = mesh.add("r2", 200, "10.0.0.2")
+    r3 = mesh.add("r3", 300, "10.0.0.3")
+    mesh.connect(r1, r2)
+    mesh.connect(r2, r3)
+    return mesh, r1, r2, r3
+
+
+class TestPropagation:
+    def test_route_propagates_along_chain(self, ebgp_chain):
+        mesh, r1, r2, r3 = ebgp_chain
+        mesh.originate(r1, "192.0.2.0/24")
+        assert r2.best_route(P1) is not None
+        assert r3.best_route(P1) is not None
+        # AS path accumulates: r3 sees 200 100.
+        assert r3.best_route(P1).attributes.as_path.sequence == (200, 100)
+
+    def test_nexthop_rewritten_at_each_ebgp_hop(self, ebgp_chain):
+        mesh, r1, r2, r3 = ebgp_chain
+        mesh.originate(r1, "192.0.2.0/24")
+        assert r2.best_route(P1).attributes.nexthop == r1.address
+        assert r3.best_route(P1).attributes.nexthop == r2.address
+
+    def test_withdrawal_propagates(self, ebgp_chain):
+        mesh, r1, r2, r3 = ebgp_chain
+        mesh.originate(r1, "192.0.2.0/24")
+        mesh.pump(r1.withdraw_origination(P1), r1)
+        assert r2.best_route(P1) is None
+        assert r3.best_route(P1) is None
+
+    def test_no_echo_back_to_teacher(self, ebgp_chain):
+        mesh, r1, r2, r3 = ebgp_chain
+        mesh.originate(r1, "192.0.2.0/24")
+        # r2 must not have announced P1 back to r1.
+        assert P1 not in r2.neighbor(r1.address).adj_rib_out
+
+    def test_loop_prevention(self):
+        """A route whose path already contains the receiver's AS is dropped."""
+        mesh = Mesh()
+        r1 = mesh.add("r1", 100, "10.0.0.1")
+        r2 = mesh.add("r2", 200, "10.0.0.2")
+        r3 = mesh.add("r3", 100, "10.0.0.3")  # same AS as r1, EBGP to r2
+        mesh.connect(r1, r2)
+        mesh.connect(r2, r3)
+        mesh.originate(r1, "192.0.2.0/24")
+        # r3 is in AS 100; the path 200 100 contains its own AS.
+        assert r3.best_route(P1) is None
+
+
+class TestIbgpRules:
+    def test_ibgp_learned_not_relayed_to_ibgp(self):
+        """Without a route reflector, IBGP routes do not transit IBGP."""
+        mesh = Mesh()
+        ext = mesh.add("ext", 999, "10.9.9.9")
+        a = mesh.add("a", 100, "10.0.0.1")
+        b = mesh.add("b", 100, "10.0.0.2")
+        c = mesh.add("c", 100, "10.0.0.3")
+        mesh.connect(ext, a)
+        mesh.connect(a, b)
+        mesh.connect(b, c)
+        mesh.originate(ext, "192.0.2.0/24")
+        assert a.best_route(P1) is not None
+        assert b.best_route(P1) is not None  # EBGP-learned at a, relayed
+        assert c.best_route(P1) is None  # b may not relay IBGP-learned
+
+    def test_route_reflector_relays_to_clients(self):
+        mesh = Mesh()
+        ext = mesh.add("ext", 999, "10.9.9.9")
+        edge = mesh.add("edge", 100, "10.0.0.1")
+        rr = mesh.add("rr", 100, "10.0.0.2", route_reflector=True)
+        client = mesh.add("client", 100, "10.0.0.3")
+        mesh.connect(ext, edge)
+        mesh.connect(edge, rr)
+        mesh.connect(rr, client, a_sees_client=True)
+        mesh.originate(ext, "192.0.2.0/24")
+        route = client.best_route(P1)
+        assert route is not None
+        # Reflection stamps ORIGINATOR_ID and CLUSTER_LIST.
+        assert route.attributes.originator_id == edge.router_id
+        assert rr.cluster_id in route.attributes.cluster_list
+
+    def test_reflector_loop_prevention_by_cluster_id(self):
+        """A route that already passed this cluster is not re-accepted."""
+        mesh = Mesh()
+        rr = mesh.add("rr", 100, "10.0.0.2", route_reflector=True)
+        client = mesh.add("client", 100, "10.0.0.3")
+        mesh.connect(rr, client, a_sees_client=True)
+        # Handcraft an update carrying rr's own cluster id.
+        from repro.net.aspath import ASPath
+        from repro.net.attributes import PathAttributes
+
+        attrs = PathAttributes(
+            nexthop=addr("10.9.9.9"),
+            as_path=ASPath.parse("999"),
+            originator_id=77,
+            cluster_list=(rr.cluster_id,),
+        )
+        rr.receive_update(client.address, BGPUpdate.announce([P1], attrs))
+        assert rr.best_route(P1) is None
+
+    def test_nexthop_self(self):
+        mesh = Mesh()
+        ext = mesh.add("ext", 999, "10.9.9.9")
+        edge = mesh.add("edge", 100, "10.0.0.1")
+        core = mesh.add("core", 100, "10.0.0.2")
+        mesh.connect(ext, edge)
+        edge.add_neighbor(
+            core.address, core.asn, core.router_id, nexthop_self=True
+        )
+        core.add_neighbor(edge.address, edge.asn, edge.router_id)
+        mesh.pump(edge.session_up(core.address), edge)
+        mesh.pump(core.session_up(edge.address), core)
+        mesh.originate(ext, "192.0.2.0/24")
+        assert core.best_route(P1).attributes.nexthop == edge.address
+
+
+class TestPolicyInteraction:
+    def test_import_filter_blocks_route(self):
+        deny_999 = Policy(
+            import_map=RouteMap(
+                "deny-999",
+                (
+                    RouteMapClause(permit=False, matches=(MatchASInPath(999),)),
+                    RouteMapClause(permit=True),
+                ),
+            )
+        )
+        mesh = Mesh()
+        ext = mesh.add("ext", 999, "10.9.9.9")
+        r = mesh.add("r", 100, "10.0.0.1")
+        ext.add_neighbor(r.address, r.asn, r.router_id)
+        r.add_neighbor(ext.address, ext.asn, ext.router_id, policy=deny_999)
+        mesh.pump(ext.session_up(r.address), ext)
+        mesh.pump(r.session_up(ext.address), r)
+        mesh.originate(ext, "192.0.2.0/24")
+        assert r.best_route(P1) is None
+
+    def test_local_pref_steers_selection(self):
+        """Two paths to the same prefix; import policy prefers one."""
+        prefer = Policy(
+            import_map=RouteMap(
+                "prefer", (RouteMapClause(actions=(SetLocalPref(200),)),)
+            )
+        )
+        mesh = Mesh()
+        src = mesh.add("src", 999, "10.9.9.9")
+        left = mesh.add("left", 500, "10.5.5.5")
+        right = mesh.add("right", 600, "10.6.6.6")
+        sink = mesh.add("sink", 100, "10.0.0.1")
+        mesh.connect(src, left)
+        mesh.connect(src, right)
+        # sink prefers routes from right (AS 600) via local-pref.
+        sink.add_neighbor(left.address, left.asn, left.router_id)
+        left.add_neighbor(sink.address, sink.asn, sink.router_id)
+        sink.add_neighbor(
+            right.address, right.asn, right.router_id, policy=prefer
+        )
+        right.add_neighbor(sink.address, sink.asn, sink.router_id)
+        for a, b in [(sink, left), (left, sink), (sink, right), (right, sink)]:
+            mesh.pump(a.session_up(b.address), a)
+        mesh.originate(src, "192.0.2.0/24")
+        best = sink.best_route(P1)
+        assert best.attributes.local_pref == 200
+        assert best.attributes.as_path.neighbor_as == 600
+
+    def test_max_prefix_teardown(self):
+        mesh = Mesh()
+        leaker = mesh.add("leaker", 999, "10.9.9.9")
+        victim = mesh.add("victim", 100, "10.0.0.1")
+        leaker.add_neighbor(victim.address, victim.asn, victim.router_id)
+        victim.add_neighbor(
+            leaker.address, leaker.asn, leaker.router_id, max_prefixes=3
+        )
+        mesh.pump(leaker.session_up(victim.address), leaker)
+        mesh.pump(victim.session_up(leaker.address), victim)
+        for i in range(4):
+            mesh.originate(leaker, f"10.{i}.0.0/16")
+        # Victim's session dropped; all leaked routes flushed.
+        assert not victim.neighbor(leaker.address).session.is_established
+        assert victim.table_size() == 0
+
+
+class TestSessionChurn:
+    def test_session_down_withdraws_learned_routes(self, ebgp_chain):
+        mesh, r1, r2, r3 = ebgp_chain
+        mesh.originate(r1, "192.0.2.0/24")
+        mesh.originate(r1, "198.51.100.0/24")
+        mesh.pump(r2.session_down(r1.address), r2)
+        assert r2.best_route(P1) is None
+        assert r3.best_route(P1) is None
+        assert r3.best_route(P2) is None
+
+    def test_session_restore_reannounces(self, ebgp_chain):
+        mesh, r1, r2, r3 = ebgp_chain
+        mesh.originate(r1, "192.0.2.0/24")
+        mesh.pump(r2.session_down(r1.address), r2)
+        r1.session_down(r2.address)
+        # Re-establish: both sides come up, then tables are exchanged.
+        out1 = r1.session_up(r2.address)
+        out2 = r2.session_up(r1.address)
+        mesh.pump(out1, r1)
+        mesh.pump(out2, r2)
+        assert r2.best_route(P1) is not None
+        assert r3.best_route(P1) is not None
+
+    def test_failover_to_alternate_path(self):
+        """Dual-homed sink falls back when the primary session dies."""
+        mesh = Mesh()
+        src = mesh.add("src", 999, "10.9.9.9")
+        primary = mesh.add("primary", 500, "10.5.5.5")
+        backup = mesh.add("backup", 600, "10.6.6.6")
+        sink = mesh.add("sink", 100, "10.0.0.1")
+        mesh.connect(src, primary)
+        mesh.connect(src, backup)
+        prefer = Policy(
+            import_map=RouteMap(
+                "prefer", (RouteMapClause(actions=(SetLocalPref(200),)),)
+            )
+        )
+        sink.add_neighbor(
+            primary.address, primary.asn, primary.router_id, policy=prefer
+        )
+        primary.add_neighbor(sink.address, sink.asn, sink.router_id)
+        sink.add_neighbor(backup.address, backup.asn, backup.router_id)
+        backup.add_neighbor(sink.address, sink.asn, sink.router_id)
+        for a, b in [
+            (sink, primary),
+            (primary, sink),
+            (sink, backup),
+            (backup, sink),
+        ]:
+            mesh.pump(a.session_up(b.address), a)
+        mesh.originate(src, "192.0.2.0/24")
+        assert sink.best_route(P1).attributes.as_path.neighbor_as == 500
+        mesh.pump(sink.session_down(primary.address), sink)
+        assert sink.best_route(P1).attributes.as_path.neighbor_as == 600
+
+
+class TestSequentialMedDisagreement:
+    def test_same_candidates_different_order_different_best(self):
+        """Two routers in one AS, fed identical candidate sets in
+        different arrival orders, steadily disagree on the best path
+        when running the old-IOS sequential MED evaluation — the RFC
+        3345 lack-of-total-ordering at the speaker level."""
+        from repro.bgp.decision import DecisionProcess
+        from repro.net.aspath import ASPath
+        from repro.net.attributes import PathAttributes
+        from repro.net.prefix import Prefix
+
+        costs = {
+            addr("10.0.0.1"): 1,
+            addr("10.0.0.2"): 2,
+            addr("10.0.0.3"): 3,
+        }
+
+        def build(name, address):
+            router = BGPRouter(
+                name,
+                100,
+                int(address[-1]),
+                addr(address),
+                decision=DecisionProcess(
+                    sequential_med=True,
+                    igp_cost=lambda nh: costs.get(nh, 0),
+                ),
+            )
+            for i in range(1, 4):
+                router.add_neighbor(addr(f"10.1.0.{i}"), 100, 100 + i)
+                router.neighbor(addr(f"10.1.0.{i}")).session.establish_directly(0.0)
+            return router
+
+        prefix = Prefix.parse("4.5.0.0/16")
+        x = PathAttributes(nexthop=addr("10.0.0.1"),
+                           as_path=ASPath.parse("1 9"), med=10)
+        y = PathAttributes(nexthop=addr("10.0.0.2"),
+                           as_path=ASPath.parse("2 9"))
+        z = PathAttributes(nexthop=addr("10.0.0.3"),
+                           as_path=ASPath.parse("1 9"), med=5)
+        first = build("r-xyz", "10.2.0.1")
+        second = build("r-zyx", "10.2.0.2")
+        for router, order in ((first, (x, y, z)), (second, (z, y, x))):
+            for i, attrs in enumerate(order, start=1):
+                router.receive_update(
+                    addr(f"10.1.0.{i if router is first else 4 - i}"),
+                    BGPUpdate.announce([prefix], attrs),
+                )
+        best_first = first.best_route(prefix).attributes
+        best_second = second.best_route(prefix).attributes
+        assert best_first != best_second
+        # One lands on the MED winner of AS 1, the other on the IGP
+        # nearest — both locally defensible, globally inconsistent.
+        assert {best_first.nexthop, best_second.nexthop} == {
+            addr("10.0.0.1"),
+            addr("10.0.0.3"),
+        }
+
+
+class TestErrors:
+    def test_duplicate_neighbor_rejected(self):
+        router = BGPRouter("r", 100, 1, addr("10.0.0.1"))
+        router.add_neighbor(addr("10.0.0.2"), 200, 2)
+        with pytest.raises(BGPError):
+            router.add_neighbor(addr("10.0.0.2"), 200, 2)
+
+    def test_unknown_neighbor_rejected(self):
+        router = BGPRouter("r", 100, 1, addr("10.0.0.1"))
+        with pytest.raises(BGPError):
+            router.neighbor(addr("10.0.0.2"))
+
+    def test_withdraw_unoriginated_rejected(self):
+        router = BGPRouter("r", 100, 1, addr("10.0.0.1"))
+        with pytest.raises(BGPError):
+            router.withdraw_origination(P1)
+
+    def test_update_on_down_session_dropped(self):
+        router = BGPRouter("r", 100, 1, addr("10.0.0.1"))
+        router.add_neighbor(addr("10.0.0.2"), 200, 2)
+        from repro.net.aspath import ASPath
+        from repro.net.attributes import PathAttributes
+
+        attrs = PathAttributes(
+            nexthop=addr("10.0.0.2"), as_path=ASPath.parse("200")
+        )
+        out = router.receive_update(
+            addr("10.0.0.2"), BGPUpdate.announce([P1], attrs)
+        )
+        assert out == []
+        assert router.best_route(P1) is None

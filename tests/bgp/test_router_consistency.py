@@ -1,0 +1,136 @@
+"""Randomized consistency checks on BGP speakers.
+
+A seeded random workload (originations, withdrawals, session flaps)
+drives a small simulated network; after every convergence the suite
+asserts the protocol invariants that hold on real routers. This is the
+closest thing to a model check the substrate gets, and it exercises the
+interaction paths unit tests cannot enumerate.
+"""
+
+import random
+
+import pytest
+
+from repro.net.prefix import Prefix, parse_address
+from repro.simulator.network import Network
+
+
+def build_mesh(seed: int) -> tuple[Network, list]:
+    """A five-router two-AS topology with route reflection."""
+    net = Network()
+    # AS 100: reflector + two clients; AS 200: two border routers.
+    rr = net.add_router("rr", 100, parse_address("10.0.0.1"),
+                        route_reflector=True)
+    c1 = net.add_router("c1", 100, parse_address("10.0.0.2"))
+    c2 = net.add_router("c2", 100, parse_address("10.0.0.3"))
+    b1 = net.add_router("b1", 200, parse_address("10.0.1.1"))
+    b2 = net.add_router("b2", 200, parse_address("10.0.1.2"))
+    net.connect(rr, c1, a_sees_client=True)
+    net.connect(rr, c2, a_sees_client=True)
+    net.connect(c1, b1)
+    net.connect(c2, b2)
+    net.connect(b1, b2)
+    return net, [rr, c1, c2, b1, b2]
+
+
+def random_workload(net: Network, routers, rng: random.Random, steps: int):
+    """Apply *steps* random operations, converging after each."""
+    prefixes = [Prefix(0xC0000200 + i * 256, 24) for i in range(6)]
+    originated: dict[tuple[int, Prefix], bool] = {}
+    up: dict[tuple[int, int], bool] = {}
+    for step in range(steps):
+        op = rng.choice(["originate", "withdraw", "flap", "restore"])
+        router = rng.choice(routers)
+        prefix = rng.choice(prefixes)
+        key = (router.address, prefix)
+        if op == "originate" and not originated.get(key):
+            net.originate(router, [prefix])
+            originated[key] = True
+        elif op == "withdraw" and originated.get(key):
+            out = router.withdraw_origination(prefix, net.engine.now)
+            net.dispatch(router, out)
+            originated[key] = False
+        elif op == "flap":
+            peers = [
+                a for a, n in router.neighbors.items()
+                if n.session.is_established and a in net.routers
+            ]
+            if peers:
+                peer = rng.choice(peers)
+                net.fail_session(router, peer)
+                up[(router.address, peer)] = False
+        elif op == "restore":
+            down = [
+                a for a, n in router.neighbors.items()
+                if not n.session.is_established and a in net.routers
+            ]
+            if down:
+                peer = rng.choice(down)
+                net.restore_session(router, peer)
+                up[(router.address, peer)] = True
+        net.run()
+        check_invariants(net, routers)
+
+
+def check_invariants(net: Network, routers) -> None:
+    for router in routers:
+        # 1. Every Loc-RIB candidate from a remote peer must still be in
+        #    that peer's Adj-RIB-In, and the session must be up.
+        for route in router.loc_rib.all_routes():
+            if route.peer == 0:
+                continue
+            neighbor = router.neighbor(route.peer)
+            assert neighbor.session.is_established, (
+                f"{router.name}: candidate from down session"
+            )
+            assert neighbor.adj_rib_in.get(route.prefix) is not None
+
+        # 2. The selected best is among the candidates.
+        for best in router.loc_rib.best_routes():
+            candidates = router.loc_rib.candidates(best.prefix)
+            assert best in candidates
+
+        # 3. adj_rib_out is consistent: everything announced to a peer
+        #    equals the current export of the current best route.
+        for neighbor in router.neighbors.values():
+            for prefix, sent in neighbor.adj_rib_out.items():
+                best = router.best_route(prefix)
+                assert best is not None, (
+                    f"{router.name} announced {prefix} but has no best"
+                )
+                expected = router._export_route(neighbor, best)
+                assert expected == sent, (
+                    f"{router.name}->{neighbor.address:#x} stale export"
+                )
+
+        # 4. No AS-path loops anywhere.
+        for route in router.loc_rib.all_routes():
+            assert not route.attributes.as_path.has_loop(router.asn)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1234, 99991])
+def test_random_workload_preserves_invariants(seed):
+    rng = random.Random(seed)
+    net, routers = build_mesh(seed)
+    random_workload(net, routers, rng, steps=40)
+
+
+def test_full_withdrawal_leaves_clean_state():
+    """After originating and withdrawing everything, all RIBs drain."""
+    net, routers = build_mesh(5)
+    prefixes = [Prefix(0xC0000200 + i * 256, 24) for i in range(4)]
+    for router in routers:
+        for prefix in prefixes:
+            net.originate(router, [prefix])
+    net.run()
+    check_invariants(net, routers)
+    for router in routers:
+        for prefix in prefixes:
+            out = router.withdraw_origination(prefix, net.engine.now)
+            net.dispatch(router, out)
+    net.run()
+    for router in routers:
+        assert router.table_size() == 0, router.name
+        for neighbor in router.neighbors.values():
+            assert len(neighbor.adj_rib_in) == 0
+            assert not neighbor.adj_rib_out

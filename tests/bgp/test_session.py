@@ -1,0 +1,150 @@
+"""Unit tests for the BGP session FSM."""
+
+import pytest
+
+from repro.bgp.errors import SessionError
+from repro.bgp.session import BGPSession, SessionState
+from repro.net.message import NotificationCode
+
+
+def make_session(**overrides) -> BGPSession:
+    defaults = dict(
+        local_address=1,
+        peer_address=2,
+        peer_asn=209,
+        local_asn=11423,
+    )
+    defaults.update(overrides)
+    return BGPSession(**defaults)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        session = make_session()
+        assert session.state is SessionState.IDLE
+        assert not session.is_established
+
+    def test_full_establishment(self):
+        session = make_session()
+        session.start(0.0)
+        assert session.state is SessionState.CONNECT
+        session.open_sent(0.1)
+        assert session.state is SessionState.OPEN_SENT
+        session.establish(0.2)
+        assert session.is_established
+        assert session.last_keepalive == 0.2
+
+    def test_establish_directly(self):
+        session = make_session()
+        session.establish_directly(1.0)
+        assert session.is_established
+
+    def test_out_of_order_transitions_rejected(self):
+        session = make_session()
+        with pytest.raises(SessionError):
+            session.open_sent(0.0)
+        with pytest.raises(SessionError):
+            session.establish(0.0)
+        session.establish_directly(0.0)
+        with pytest.raises(SessionError):
+            session.start(0.1)
+
+    def test_close_records_flap(self):
+        session = make_session()
+        session.establish_directly(0.0)
+        session.close(5.0)
+        assert session.state is SessionState.IDLE
+        assert session.flap_count == 1
+
+    def test_close_when_idle_is_noop(self):
+        session = make_session()
+        session.close(0.0)
+        assert session.transitions == []
+
+    def test_flap_cycles(self):
+        session = make_session()
+        session.establish_directly(0.0)
+        for i in range(5):
+            session.flap(down_at=60.0 * i + 30, up_at=60.0 * i + 40)
+        assert session.flap_count == 5
+        assert session.is_established
+
+    def test_flap_rejects_time_travel(self):
+        session = make_session()
+        session.establish_directly(0.0)
+        with pytest.raises(SessionError):
+            session.flap(down_at=10.0, up_at=5.0)
+
+    def test_transitions_recorded(self):
+        session = make_session()
+        session.establish_directly(0.0)
+        session.close(9.0, NotificationCode.CEASE)
+        reasons = [t.reason for t in session.transitions]
+        assert reasons == ["admin up", "open sent", "established", "cease"]
+
+
+class TestEbgpDetection:
+    def test_ebgp(self):
+        assert make_session().is_ebgp
+
+    def test_ibgp(self):
+        assert not make_session(peer_asn=11423).is_ebgp
+
+
+class TestHoldTimer:
+    def test_expiry_closes_session(self):
+        session = make_session(hold_time=90.0)
+        session.establish_directly(0.0)
+        assert not session.check_hold_timer(60.0)
+        assert session.check_hold_timer(91.0)
+        assert session.state is SessionState.IDLE
+        assert session.transitions[-1].reason == "hold-timer-expired"
+
+    def test_keepalive_refreshes(self):
+        session = make_session(hold_time=90.0)
+        session.establish_directly(0.0)
+        session.keepalive(80.0)
+        assert not session.check_hold_timer(150.0)
+        assert session.check_hold_timer(171.0)
+
+    def test_disabled_hold_timer(self):
+        session = make_session(hold_time=None)
+        session.establish_directly(0.0)
+        assert not session.check_hold_timer(1e9)
+
+    def test_keepalive_requires_established(self):
+        with pytest.raises(SessionError):
+            make_session().keepalive(0.0)
+
+
+class TestMaxPrefix:
+    def test_limit_trips(self):
+        session = make_session(max_prefixes=100)
+        session.establish_directly(0.0)
+        assert not session.note_prefixes(100, 1.0)
+        assert session.note_prefixes(1, 2.0)
+        assert session.state is SessionState.IDLE
+        assert session.transitions[-1].reason == "max-prefix-exceeded"
+        assert session.prefix_count == 0
+
+    def test_withdrawals_decrement(self):
+        session = make_session(max_prefixes=100)
+        session.establish_directly(0.0)
+        session.note_prefixes(90, 1.0)
+        session.note_withdrawn(50)
+        assert not session.note_prefixes(55, 2.0)
+
+    def test_withdrawn_never_negative(self):
+        session = make_session()
+        session.establish_directly(0.0)
+        session.note_withdrawn(5)
+        assert session.prefix_count == 0
+
+    def test_no_limit(self):
+        session = make_session(max_prefixes=None)
+        session.establish_directly(0.0)
+        assert not session.note_prefixes(10_000_000, 1.0)
+
+    def test_prefixes_require_established(self):
+        with pytest.raises(SessionError):
+            make_session().note_prefixes(1, 0.0)

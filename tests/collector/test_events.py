@@ -1,0 +1,122 @@
+"""Unit tests for BGP events and their serializations."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collector.events import BGPEvent, EventKind
+from repro.net.aspath import ASPath
+from repro.net.attributes import Community, Origin, PathAttributes
+from repro.net.prefix import Prefix, parse_address
+
+
+def event(
+    kind=EventKind.WITHDRAW,
+    peer="128.32.1.3",
+    nexthop="128.32.0.70",
+    path="11423 209 701 1299 5713",
+    prefix="192.96.10.0/24",
+    t=0.0,
+    **attr_kwargs,
+) -> BGPEvent:
+    return BGPEvent(
+        timestamp=t,
+        kind=kind,
+        peer=parse_address(peer),
+        prefix=Prefix.parse(prefix),
+        attributes=PathAttributes(
+            nexthop=parse_address(nexthop),
+            as_path=ASPath.parse(path),
+            **attr_kwargs,
+        ),
+    )
+
+
+class TestSequenceEncoding:
+    def test_paper_encoding(self):
+        """c = x h a1 … an p, with namespaced tokens."""
+        e = event(path="11423 209")
+        assert e.sequence == (
+            ("peer", parse_address("128.32.1.3")),
+            ("nh", parse_address("128.32.0.70")),
+            ("as", 11423),
+            ("as", 209),
+            ("pfx", Prefix.parse("192.96.10.0/24")),
+        )
+
+    def test_namespaces_prevent_collisions(self):
+        """An ASN numerically equal to an address must not unify."""
+        e = event(path="209")
+        tokens = set(e.sequence)
+        assert ("as", 209) in tokens
+        assert ("nh", 209) not in tokens
+
+    def test_empty_path(self):
+        e = event(path="")
+        assert len(e.sequence) == 3  # peer, nexthop, prefix
+
+    def test_prepending_collapses(self):
+        """A prepended path traverses the AS once; the encoding must not
+        let one event count a subsequence twice."""
+        e = event(path="11423 11423 11423 209")
+        as_tokens = [v for ns, v in e.sequence if ns == "as"]
+        assert as_tokens == [11423, 209]
+
+
+class TestFigure4Format:
+    def test_format_matches_paper(self):
+        line = event().format_line()
+        assert line == (
+            "W 128.32.1.3 NEXT_HOP: 128.32.0.70 "
+            "ASPATH: 11423 209 701 1299 5713 PREFIX: 192.96.10.0/24"
+        )
+
+    def test_round_trip(self):
+        original = event(kind=EventKind.ANNOUNCE, path="11423 209 7018 13606")
+        parsed = BGPEvent.parse_line(original.format_line())
+        assert parsed.kind == original.kind
+        assert parsed.peer == original.peer
+        assert parsed.prefix == original.prefix
+        assert parsed.attributes.as_path == original.attributes.as_path
+
+
+class TestJsonRoundTrip:
+    def test_minimal(self):
+        e = event()
+        assert BGPEvent.from_json(e.to_json()) == e
+
+    def test_full_attributes(self):
+        e = event(
+            kind=EventKind.ANNOUNCE,
+            t=1234.5,
+            local_pref=80,
+            med=30,
+            communities=[Community.parse("11423:65350")],
+            origin=Origin.INCOMPLETE,
+        )
+        restored = BGPEvent.from_json(e.to_json())
+        assert restored == e
+        assert restored.attributes.med == 30
+        assert restored.attributes.origin is Origin.INCOMPLETE
+
+    @given(
+        st.sampled_from([EventKind.ANNOUNCE, EventKind.WITHDRAW]),
+        st.integers(0, 0xFFFFFFFF),
+        st.lists(st.integers(1, 65535), max_size=6),
+        st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        st.sets(
+            st.tuples(st.integers(0, 65535), st.integers(0, 65535)), max_size=3
+        ),
+    )
+    def test_property_round_trip(self, kind, peer, path, t, comm_pairs):
+        e = BGPEvent(
+            timestamp=t,
+            kind=kind,
+            peer=peer,
+            prefix=Prefix.parse("10.0.0.0/8"),
+            attributes=PathAttributes(
+                nexthop=parse_address("10.0.0.1"),
+                as_path=ASPath(path),
+                communities=[Community(a, v) for a, v in comm_pairs],
+            ),
+        )
+        assert BGPEvent.from_json(e.to_json()) == e

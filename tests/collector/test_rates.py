@@ -1,0 +1,66 @@
+"""Unit tests for event-rate binning."""
+
+import pytest
+
+from repro.collector.rates import EventRateSeries, bin_events
+from tests.collector.test_stream import event
+
+
+class TestBinning:
+    def test_basic_binning(self):
+        events = [event(t) for t in (0.0, 0.5, 1.5, 3.5)]
+        series = bin_events(events, bin_seconds=1.0)
+        assert series.counts == (2, 1, 0, 1)
+        assert series.start == 0.0
+
+    def test_explicit_range_drops_outside(self):
+        events = [event(t) for t in (0.0, 5.0, 50.0)]
+        series = bin_events(events, bin_seconds=1.0, start=1.0, end=10.0)
+        assert sum(series.counts) == 1
+
+    def test_empty(self):
+        series = bin_events([], bin_seconds=1.0)
+        assert series.counts == ()
+        assert series.mean() == 0.0
+        assert series.peak() == (0.0, 0)
+        assert series.grass_level() == 0.0
+        assert series.spikes() == []
+
+    def test_single_event(self):
+        series = bin_events([event(7.0)], bin_seconds=60.0)
+        assert series.counts == (1,)
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            bin_events([], bin_seconds=0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            bin_events([event(1.0)], bin_seconds=1.0, start=10.0, end=0.0)
+
+
+class TestSeriesAnalysis:
+    def test_peak(self):
+        series = EventRateSeries(0.0, 10.0, (1, 50, 3))
+        assert series.peak() == (10.0, 50)
+
+    def test_mean_and_grass(self):
+        series = EventRateSeries(0.0, 1.0, (2, 2, 2, 100))
+        assert series.mean() == pytest.approx(26.5)
+        assert series.grass_level() == 2.0
+
+    def test_grass_even_count(self):
+        series = EventRateSeries(0.0, 1.0, (1, 3))
+        assert series.grass_level() == 2.0
+
+    def test_spike_detection_finds_spikes_not_grass(self):
+        """The Figure 8 lesson: rate thresholds see spikes, not the grass."""
+        counts = [2] * 100
+        counts[42] = 500  # a session reset spike
+        series = EventRateSeries(0.0, 3600.0, tuple(counts))
+        spikes = series.spikes(threshold_factor=10.0)
+        assert spikes == [42]
+
+    def test_bin_start(self):
+        series = EventRateSeries(100.0, 60.0, (0, 0, 0))
+        assert series.bin_start(2) == 220.0

@@ -1,0 +1,108 @@
+"""Unit tests for the REX passive collector."""
+
+import pytest
+
+from repro.collector.events import EventKind
+from repro.collector.rex import RouteExplorer
+from repro.net.aspath import ASPath
+from repro.net.attributes import PathAttributes
+from repro.net.message import BGPUpdate
+from repro.net.prefix import Prefix, parse_address
+
+PEER = parse_address("128.32.1.3")
+P1 = Prefix.parse("192.96.10.0/24")
+P2 = Prefix.parse("12.2.41.0/24")
+
+
+def attrs(path="11423 209", nexthop="128.32.0.66") -> PathAttributes:
+    return PathAttributes(
+        nexthop=parse_address(nexthop), as_path=ASPath.parse(path)
+    )
+
+
+class TestWithdrawalAugmentation:
+    def test_withdrawal_carries_old_attributes(self):
+        """The core Section II mechanism: withdrawals are augmented."""
+        rex = RouteExplorer()
+        rex.observe(PEER, BGPUpdate.announce([P1], attrs()), now=1.0)
+        events = rex.observe(PEER, BGPUpdate.withdraw([P1]), now=2.0)
+        assert len(events) == 1
+        withdrawal = events[0]
+        assert withdrawal.kind is EventKind.WITHDRAW
+        assert withdrawal.attributes == attrs()
+        assert withdrawal.attributes.as_path == ASPath.parse("11423 209")
+
+    def test_withdrawal_for_unknown_route_dropped(self):
+        rex = RouteExplorer()
+        events = rex.observe(PEER, BGPUpdate.withdraw([P1]), now=1.0)
+        assert events == []
+        assert rex.dropped_withdrawals == 1
+
+    def test_implicit_replacement_default_single_event(self):
+        rex = RouteExplorer()
+        rex.observe(PEER, BGPUpdate.announce([P1], attrs()), now=1.0)
+        events = rex.observe(
+            PEER, BGPUpdate.announce([P1], attrs(path="11423 701")), now=2.0
+        )
+        assert [e.kind for e in events] == [EventKind.ANNOUNCE]
+
+    def test_implicit_replacement_optional_withdrawal(self):
+        rex = RouteExplorer(emit_implicit_withdrawals=True)
+        rex.observe(PEER, BGPUpdate.announce([P1], attrs()), now=1.0)
+        events = rex.observe(
+            PEER, BGPUpdate.announce([P1], attrs(path="11423 701")), now=2.0
+        )
+        assert [e.kind for e in events] == [
+            EventKind.WITHDRAW,
+            EventKind.ANNOUNCE,
+        ]
+        assert events[0].attributes == attrs()  # old route's attributes
+
+    def test_per_peer_ribs_are_independent(self):
+        rex = RouteExplorer()
+        other = parse_address("128.32.1.200")
+        rex.observe(PEER, BGPUpdate.announce([P1], attrs()), now=1.0)
+        events = rex.observe(other, BGPUpdate.withdraw([P1]), now=2.0)
+        assert events == []  # other peer never announced P1
+
+
+class TestSessionLoss:
+    def test_session_loss_synthesizes_withdrawals(self):
+        rex = RouteExplorer()
+        rex.observe(PEER, BGPUpdate.announce([P1, P2], attrs()), now=1.0)
+        events = rex.observe_session_loss(PEER, now=5.0)
+        assert len(events) == 2
+        assert all(e.kind is EventKind.WITHDRAW for e in events)
+        assert rex.route_count() == 0
+
+    def test_session_loss_unknown_peer_raises(self):
+        with pytest.raises(KeyError):
+            RouteExplorer().observe_session_loss(PEER, now=1.0)
+
+
+class TestInventory:
+    def test_counts(self):
+        rex = RouteExplorer()
+        other = parse_address("128.32.1.200")
+        rex.observe(PEER, BGPUpdate.announce([P1, P2], attrs()), now=1.0)
+        rex.observe(
+            other,
+            BGPUpdate.announce([P1], attrs(nexthop="128.32.0.90")),
+            now=1.0,
+        )
+        assert rex.route_count() == 3
+        assert rex.prefix_count() == 2
+        assert rex.nexthop_count() == 2
+        assert rex.neighbor_as_count() == 1  # all paths start with 11423
+
+    def test_events_accumulate_in_stream(self):
+        rex = RouteExplorer()
+        rex.observe(PEER, BGPUpdate.announce([P1], attrs()), now=1.0)
+        rex.observe(PEER, BGPUpdate.withdraw([P1]), now=2.0)
+        assert len(rex.events) == 2
+
+    def test_peer_registration(self):
+        rex = RouteExplorer()
+        rex.peer_with(PEER)
+        assert rex.peers() == [PEER]
+        assert len(rex.rib(PEER)) == 0

@@ -1,0 +1,148 @@
+"""Unit tests for event streams."""
+
+from repro.collector.events import BGPEvent, EventKind
+from repro.collector.stream import EventStream
+from repro.net.aspath import ASPath
+from repro.net.attributes import Community, PathAttributes
+from repro.net.prefix import Prefix, parse_address
+
+
+def event(t: float, prefix="10.0.0.0/8", kind=EventKind.ANNOUNCE,
+          peer="1.1.1.1", path="100 200", communities=()) -> BGPEvent:
+    return BGPEvent(
+        timestamp=t,
+        kind=kind,
+        peer=parse_address(peer),
+        prefix=Prefix.parse(prefix),
+        attributes=PathAttributes(
+            nexthop=parse_address("2.2.2.2"),
+            as_path=ASPath.parse(path),
+            communities=[Community.parse(c) for c in communities],
+        ),
+    )
+
+
+class TestOrdering:
+    def test_out_of_order_append_sorts(self):
+        stream = EventStream()
+        stream.append(event(5.0))
+        stream.append(event(1.0))
+        stream.append(event(3.0))
+        assert [e.timestamp for e in stream] == [1.0, 3.0, 5.0]
+
+    def test_stable_for_equal_timestamps(self):
+        stream = EventStream()
+        w = event(1.0, kind=EventKind.WITHDRAW)
+        a = event(1.0, kind=EventKind.ANNOUNCE)
+        stream.append(w)
+        stream.append(a)
+        assert list(stream) == [w, a]
+
+    def test_indexing(self):
+        stream = EventStream([event(2.0), event(1.0)])
+        assert stream[0].timestamp == 1.0
+
+
+class TestTimeProperties:
+    def test_timerange(self):
+        stream = EventStream([event(10.0), event(199.0)])
+        assert stream.timerange == 189.0
+        assert stream.start_time == 10.0
+        assert stream.end_time == 199.0
+
+    def test_empty_stream(self):
+        stream = EventStream()
+        assert stream.timerange == 0.0
+        assert stream.start_time is None
+        assert len(stream) == 0
+
+    def test_between_is_half_open(self):
+        stream = EventStream([event(t) for t in (1.0, 2.0, 3.0, 4.0)])
+        window = stream.between(2.0, 4.0)
+        assert [e.timestamp for e in window] == [2.0, 3.0]
+
+
+class TestFilters:
+    def test_for_peer(self):
+        stream = EventStream(
+            [event(1.0, peer="1.1.1.1"), event(2.0, peer="9.9.9.9")]
+        )
+        assert len(stream.for_peer(parse_address("9.9.9.9"))) == 1
+
+    def test_for_prefix_and_prefixes(self):
+        stream = EventStream(
+            [event(1.0, prefix="10.0.0.0/8"), event(2.0, prefix="11.0.0.0/8")]
+        )
+        assert len(stream.for_prefix(Prefix.parse("10.0.0.0/8"))) == 1
+        both = stream.for_prefixes(
+            {Prefix.parse("10.0.0.0/8"), Prefix.parse("11.0.0.0/8")}
+        )
+        assert len(both) == 2
+
+    def test_with_community(self):
+        stream = EventStream(
+            [
+                event(1.0, communities=["2152:65297"]),
+                event(2.0),
+            ]
+        )
+        tagged = stream.with_community(Community.parse("2152:65297"))
+        assert len(tagged) == 1
+
+    def test_traversing_as(self):
+        stream = EventStream(
+            [event(1.0, path="100 200"), event(2.0, path="300 400")]
+        )
+        assert len(stream.traversing_as(200)) == 1
+
+    def test_merged_with(self):
+        a = EventStream([event(2.0)])
+        b = EventStream([event(1.0)])
+        merged = a.merged_with(b)
+        assert [e.timestamp for e in merged] == [1.0, 2.0]
+
+
+class TestSummaries:
+    def test_counts(self):
+        stream = EventStream(
+            [
+                event(1.0, kind=EventKind.ANNOUNCE),
+                event(2.0, kind=EventKind.WITHDRAW),
+                event(3.0, kind=EventKind.WITHDRAW),
+            ]
+        )
+        assert stream.announce_count() == 1
+        assert stream.withdraw_count() == 2
+
+    def test_sets(self):
+        stream = EventStream(
+            [
+                event(1.0, prefix="10.0.0.0/8", peer="1.1.1.1"),
+                event(2.0, prefix="11.0.0.0/8", peer="1.1.1.1"),
+            ]
+        )
+        assert stream.prefixes() == {
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("11.0.0.0/8"),
+        }
+        assert stream.peers() == {parse_address("1.1.1.1")}
+        assert stream.nexthops() == {parse_address("2.2.2.2")}
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        stream = EventStream(
+            [
+                event(1.5, kind=EventKind.WITHDRAW, communities=["1:2"]),
+                event(0.5),
+            ]
+        )
+        path = tmp_path / "events.jsonl"
+        stream.save(path)
+        restored = EventStream.load(path)
+        assert list(restored) == list(stream)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(event(1.0).to_json() + "\n\n")
+        assert len(EventStream.load(path)) == 1

@@ -1,0 +1,106 @@
+"""Tests for IOS-style as-path access-lists."""
+
+import pytest
+
+from repro.bgp.errors import PolicyError
+from repro.bgp.policy import MatchASPathRegex, compile_as_path_regex
+from repro.config.compiler import compile_config
+from repro.config.parser import ConfigParseError, parse_config
+from tests.config.test_compiler import P, attrs
+
+
+class TestRegexTranslation:
+    @pytest.mark.parametrize(
+        "pattern,path,matches",
+        [
+            ("_701_", "11423 701 3356", True),
+            ("_701_", "11423 7018 3356", False),  # 7018 is not 701
+            ("^11423", "11423 209", True),
+            ("^11423", "209 11423", False),
+            ("209$", "11423 209", True),
+            ("^$", "", True),  # locally originated
+            ("^$", "11423", False),
+            ("_209_701_", "11423 209 701 5", True),
+            (".*", "anything 1 2", True),
+        ],
+    )
+    def test_ios_semantics(self, pattern, path, matches):
+        regex = compile_as_path_regex(pattern)
+        assert (regex.search(path) is not None) == matches
+
+    def test_bad_regex_rejected(self):
+        with pytest.raises(PolicyError):
+            compile_as_path_regex("(unclosed")
+
+    def test_escaped_underscore_literal(self):
+        # An escaped underscore stays literal (paths never contain one,
+        # so it simply never matches).
+        regex = compile_as_path_regex(r"\_")
+        assert regex.search("1 2 3") is None
+
+
+class TestMatchCondition:
+    def test_match_against_attributes(self):
+        condition = MatchASPathRegex("_209_")
+        from repro.bgp.policy import PolicyContext
+
+        assert condition.matches(P, attrs(path="11423 209"), PolicyContext())
+        assert not condition.matches(P, attrs(path="11423 701"), PolicyContext())
+
+
+CONFIG = """\
+hostname r
+ip as-path access-list NO-TRANSIT-X deny _666_
+ip as-path access-list NO-TRANSIT-X permit .*
+route-map IMPORT permit 10
+ match as-path NO-TRANSIT-X
+ set local-preference 90
+router bgp 25
+ neighbor 10.0.0.1 remote-as 11423
+ neighbor 10.0.0.1 route-map IMPORT in
+"""
+
+
+class TestConfigIntegration:
+    def test_parse_as_path_list(self):
+        config = parse_config(CONFIG)
+        assert len(config.as_path_lists) == 2
+        deny, permit = config.as_path_lists
+        assert not deny.permit
+        assert deny.regex == "_666_"
+        assert permit.permit
+
+    def test_compiled_first_match_semantics(self):
+        compiled = compile_config(parse_config(CONFIG))
+        route_map = compiled.route_maps["IMPORT"]
+        # A path transiting AS 666 is denied (no clause matches: the
+        # as-path list returns False, clause 10 fails, implicit deny).
+        assert route_map.apply(P, attrs(path="11423 666 3356")) is None
+        clean = route_map.apply(P, attrs(path="11423 209"))
+        assert clean is not None
+        assert clean.local_pref == 90
+
+    def test_bad_regex_in_config_names_line(self):
+        text = "ip as-path access-list X permit (unclosed\n"
+        with pytest.raises(ConfigParseError) as info:
+            parse_config(text)
+        assert info.value.line_number == 1
+
+    def test_dangling_list_reference(self):
+        text = """\
+route-map M permit 10
+ match as-path GHOST
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        with pytest.raises(PolicyError):
+            compile_config(parse_config(text))
+
+    def test_truncated_list_rejected(self):
+        with pytest.raises(ConfigParseError):
+            parse_config("ip as-path access-list X permit\n")
+
+    def test_regex_with_spaces(self):
+        text = "ip as-path access-list X permit ^11423 209$\n"
+        config = parse_config(text)
+        assert config.as_path_lists[0].regex == "^11423 209$"

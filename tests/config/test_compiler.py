@@ -1,0 +1,284 @@
+"""Unit tests for the configuration compiler."""
+
+import pytest
+
+from repro.bgp.errors import PolicyError
+from repro.bgp.policy import PolicyContext
+from repro.config.compiler import compile_config
+from repro.config.parser import parse_config
+from repro.net.aspath import ASPath
+from repro.net.attributes import Community, PathAttributes
+from repro.net.prefix import Prefix, parse_address
+
+
+def compiled(text: str):
+    return compile_config(parse_config(text))
+
+
+def attrs(path="11423 209", communities=(), **kwargs) -> PathAttributes:
+    return PathAttributes(
+        nexthop=parse_address("128.32.0.66"),
+        as_path=ASPath.parse(path),
+        communities=[Community.parse(c) for c in communities],
+        **kwargs,
+    )
+
+
+P = Prefix.parse("192.0.2.0/24")
+
+BERKELEY_EDGE = """\
+hostname edge-1
+ip community-list standard ISP-ROUTES permit 11423:65350
+route-map FROM-CALREN permit 10
+ match community ISP-ROUTES
+ set local-preference 80
+route-map FROM-CALREN permit 20
+ set local-preference 100
+router bgp 25
+ bgp router-id 128.32.1.3
+ neighbor 128.32.0.66 remote-as 11423
+ neighbor 128.32.0.66 route-map FROM-CALREN in
+"""
+
+
+class TestRouteMapCompilation:
+    def test_community_keyed_local_pref(self):
+        """The paper's D.1 example: LOCAL_PREF 80 for tagged ISP routes."""
+        config = compiled(BERKELEY_EDGE)
+        route_map = config.route_maps["FROM-CALREN"]
+        tagged = route_map.apply(P, attrs(communities=["11423:65350"]))
+        plain = route_map.apply(P, attrs())
+        assert tagged.local_pref == 80
+        assert plain.local_pref == 100
+
+    def test_neighbor_policy_wired(self):
+        config = compiled(BERKELEY_EDGE)
+        neighbor = config.neighbor("128.32.0.66")
+        assert neighbor.remote_as == 11423
+        assert neighbor.import_map_name == "FROM-CALREN"
+        imported = neighbor.policy.import_route(
+            P, attrs(communities=["11423:65350"])
+        )
+        assert imported.local_pref == 80
+
+    def test_source_lines_tracked(self):
+        config = compiled(BERKELEY_EDGE)
+        lines = dict(config.source_lines["FROM-CALREN"])
+        assert lines[10] == 3
+        assert lines[20] == 6
+
+    def test_clause_order_by_sequence(self):
+        text = """\
+route-map M permit 20
+ set local-preference 50
+route-map M permit 10
+ set local-preference 99
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        route_map = compiled(text).route_maps["M"]
+        assert route_map.apply(P, attrs()).local_pref == 99
+
+    def test_duplicate_sequence_rejected(self):
+        text = """\
+route-map M permit 10
+route-map M permit 10
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        with pytest.raises(PolicyError):
+            compiled(text)
+
+
+class TestListSemantics:
+    def test_prefix_list_first_match_decides(self):
+        text = """\
+ip prefix-list PL seq 5 deny 192.0.2.0/24
+ip prefix-list PL seq 10 permit 192.0.0.0/8 le 32
+route-map M permit 10
+ match ip address prefix-list PL
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        config = compiled(text)
+        pl = config.prefix_lists["PL"]
+        ctx = PolicyContext()
+        assert not pl.matches(P, attrs(), ctx)  # denied by seq 5
+        assert pl.matches(Prefix.parse("192.0.3.0/24"), attrs(), ctx)
+        # Implicit deny for prefixes outside all lines.
+        assert not pl.matches(Prefix.parse("10.0.0.0/8"), attrs(), ctx)
+
+    def test_community_list_deny_line(self):
+        text = """\
+ip community-list CL deny 1:1
+ip community-list CL permit 1:2
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        cl = compiled(text).community_lists["CL"]
+        ctx = PolicyContext()
+        assert not cl.matches(P, attrs(communities=["1:1"]), ctx)
+        assert cl.matches(P, attrs(communities=["1:2"]), ctx)
+        assert not cl.matches(P, attrs(), ctx)
+
+
+class TestSetActions:
+    def test_set_community_replaces(self):
+        text = """\
+route-map M permit 10
+ set community 9:9
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        result = compiled(text).route_maps["M"].apply(
+            P, attrs(communities=["1:1", "2:2"])
+        )
+        assert result.communities == frozenset({Community.parse("9:9")})
+
+    def test_set_community_additive(self):
+        text = """\
+route-map M permit 10
+ set community 9:9 additive
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        result = compiled(text).route_maps["M"].apply(
+            P, attrs(communities=["1:1"])
+        )
+        assert Community.parse("9:9") in result.communities
+        assert Community.parse("1:1") in result.communities
+
+    def test_comm_list_delete(self):
+        text = """\
+ip community-list CL permit 1:1 2:2
+route-map M permit 10
+ set comm-list CL delete
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        result = compiled(text).route_maps["M"].apply(
+            P, attrs(communities=["1:1", "3:3"])
+        )
+        assert result.communities == frozenset({Community.parse("3:3")})
+
+    def test_prepend_uniform(self):
+        text = """\
+route-map M permit 10
+ set as-path prepend 100 100 100
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        result = compiled(text).route_maps["M"].apply(P, attrs(path="209"))
+        assert result.as_path.sequence == (100, 100, 100, 209)
+
+    def test_prepend_mixed_chain(self):
+        text = """\
+route-map M permit 10
+ set as-path prepend 100 200
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        result = compiled(text).route_maps["M"].apply(P, attrs(path="209"))
+        assert result.as_path.sequence == (100, 200, 209)
+
+    def test_set_metric_and_nexthop(self):
+        text = """\
+route-map M permit 10
+ set metric 30
+ set ip next-hop 10.0.0.9
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        result = compiled(text).route_maps["M"].apply(P, attrs())
+        assert result.med == 30
+        assert result.nexthop == parse_address("10.0.0.9")
+
+
+class TestBgpCompilation:
+    def test_decision_flags(self):
+        text = """\
+router bgp 7
+ bgp always-compare-med
+ bgp deterministic-med
+ bgp bestpath med missing-as-worst
+ neighbor 1.1.1.1 remote-as 2
+"""
+        decision = compiled(text).decision
+        assert decision.compare_med_always
+        assert decision.deterministic_med
+        assert decision.med_missing_as_worst
+
+    def test_neighbor_flags(self):
+        text = """\
+router bgp 7
+ neighbor 1.1.1.1 remote-as 7
+ neighbor 1.1.1.1 route-reflector-client
+ neighbor 1.1.1.1 next-hop-self
+ neighbor 1.1.1.1 maximum-prefix 1000
+"""
+        neighbor = compiled(text).neighbor("1.1.1.1")
+        assert neighbor.is_rr_client
+        assert neighbor.nexthop_self
+        assert neighbor.max_prefixes == 1000
+        assert neighbor.policy.max_prefixes == 1000
+
+    def test_networks(self):
+        text = """\
+router bgp 7
+ network 128.32.0.0/16
+ neighbor 1.1.1.1 remote-as 2
+"""
+        assert compiled(text).networks == (Prefix.parse("128.32.0.0/16"),)
+
+
+class TestCompileErrors:
+    def test_missing_bgp_section(self):
+        with pytest.raises(PolicyError):
+            compiled("hostname h\n")
+
+    def test_dangling_route_map_reference(self):
+        text = """\
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+ neighbor 1.1.1.1 route-map GHOST in
+"""
+        with pytest.raises(PolicyError):
+            compiled(text)
+
+    def test_dangling_community_list(self):
+        text = """\
+route-map M permit 10
+ match community GHOST
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        with pytest.raises(PolicyError):
+            compiled(text)
+
+    def test_dangling_prefix_list(self):
+        text = """\
+route-map M permit 10
+ match ip address prefix-list GHOST
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        with pytest.raises(PolicyError):
+            compiled(text)
+
+    def test_dangling_comm_list_delete(self):
+        text = """\
+route-map M permit 10
+ set comm-list GHOST delete
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        with pytest.raises(PolicyError):
+            compiled(text)
+
+    def test_neighbor_without_remote_as(self):
+        text = """\
+router bgp 1
+ neighbor 1.1.1.1 next-hop-self
+"""
+        with pytest.raises(PolicyError):
+            compiled(text)

@@ -1,0 +1,184 @@
+"""Unit tests for the configuration parser."""
+
+import pytest
+
+from repro.config.parser import ConfigParseError, parse_config
+from repro.net.prefix import Prefix, parse_address
+
+BERKELEY_STYLE = """\
+hostname edge-1
+!
+ip prefix-list LOWER-HALF seq 5 permit 0.0.0.0/1 le 32
+ip prefix-list LOWER-HALF seq 10 deny 0.0.0.0/0 le 32
+ip community-list standard ISP-ROUTES permit 11423:65350
+ip community-list standard OTHER-ROUTES permit 11423:65300 11423:65301
+!
+route-map FROM-CALREN permit 10
+ match community ISP-ROUTES
+ set local-preference 80
+route-map FROM-CALREN permit 20
+ set local-preference 100
+!
+router bgp 25
+ bgp router-id 128.32.1.3
+ bgp deterministic-med
+ network 128.32.0.0/16
+ neighbor 128.32.0.66 remote-as 11423
+ neighbor 128.32.0.66 route-map FROM-CALREN in
+ neighbor 128.32.0.66 maximum-prefix 150000
+ neighbor 10.1.1.1 remote-as 25
+ neighbor 10.1.1.1 route-reflector-client
+ neighbor 10.1.1.1 next-hop-self
+"""
+
+
+class TestFullConfig:
+    def test_parses_complete_config(self):
+        config = parse_config(BERKELEY_STYLE)
+        assert config.hostname == "edge-1"
+        assert len(config.prefix_lists) == 2
+        assert len(config.community_lists) == 2
+        assert len(config.route_maps) == 2
+        assert config.bgp is not None
+
+    def test_prefix_list_fields(self):
+        config = parse_config(BERKELEY_STYLE)
+        first, second = config.prefix_lists
+        assert first.name == "LOWER-HALF"
+        assert first.sequence == 5
+        assert first.permit
+        assert first.prefix == Prefix.parse("0.0.0.0/1")
+        assert first.le == 32 and first.ge is None
+        assert not second.permit
+
+    def test_community_list_fields(self):
+        config = parse_config(BERKELEY_STYLE)
+        other = config.community_lists[1]
+        assert other.name == "OTHER-ROUTES"
+        assert len(other.communities) == 2
+
+    def test_route_map_entries(self):
+        config = parse_config(BERKELEY_STYLE)
+        first, second = config.route_maps
+        assert (first.name, first.sequence) == ("FROM-CALREN", 10)
+        assert first.matches[0].kind == "community"
+        assert first.matches[0].argument == "ISP-ROUTES"
+        assert first.sets[0].kind == "local-preference"
+        assert first.sets[0].arguments == ("80",)
+        assert second.sequence == 20
+        assert second.matches == ()
+
+    def test_bgp_section(self):
+        bgp = parse_config(BERKELEY_STYLE).bgp
+        assert bgp.asn == 25
+        assert bgp.router_id == parse_address("128.32.1.3")
+        assert bgp.deterministic_med
+        assert not bgp.always_compare_med
+        assert bgp.networks == (Prefix.parse("128.32.0.0/16"),)
+        kinds = {(n.address, n.kind) for n in bgp.neighbors}
+        assert (parse_address("128.32.0.66"), "maximum-prefix") in kinds
+        assert (parse_address("10.1.1.1"), "route-reflector-client") in kinds
+
+    def test_line_numbers_recorded(self):
+        config = parse_config(BERKELEY_STYLE)
+        assert config.prefix_lists[0].line_number == 3
+        assert config.route_maps[0].line_number == 8
+
+
+class TestDirectiveVariants:
+    def test_match_variants(self):
+        text = """\
+route-map M permit 10
+ match ip address prefix-list PL
+ match as-path contains 7018
+ match local-origin
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        entry = parse_config(text).route_maps[0]
+        kinds = [m.kind for m in entry.matches]
+        assert kinds == ["prefix-list", "as-path-contains", "local-origin"]
+
+    def test_set_variants(self):
+        text = """\
+route-map M permit 10
+ set metric 50
+ set community 1:2 3:4 additive
+ set comm-list CL delete
+ set as-path prepend 100 100
+ set ip next-hop 10.0.0.1
+router bgp 1
+ neighbor 1.1.1.1 remote-as 2
+"""
+        entry = parse_config(text).route_maps[0]
+        kinds = [s.kind for s in entry.sets]
+        assert kinds == [
+            "metric",
+            "community",
+            "comm-list-delete",
+            "prepend",
+            "next-hop",
+        ]
+        assert entry.sets[1].arguments == ("1:2", "3:4", "additive")
+
+    def test_bgp_flags(self):
+        text = """\
+router bgp 7
+ bgp always-compare-med
+ bgp bestpath med missing-as-worst
+ bgp cluster-id 1.2.3.4
+ neighbor 1.1.1.1 remote-as 2
+"""
+        bgp = parse_config(text).bgp
+        assert bgp.always_compare_med
+        assert bgp.med_missing_as_worst
+        assert bgp.cluster_id == parse_address("1.2.3.4")
+
+    def test_prefix_list_ge_le(self):
+        text = "ip prefix-list X permit 10.0.0.0/8 ge 16 le 24\n"
+        line = parse_config(text).prefix_lists[0]
+        assert (line.ge, line.le) == (16, 24)
+
+    def test_route_map_deny(self):
+        text = "route-map M deny 10\n"
+        assert not parse_config(text).route_maps[0].permit
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "frobnicate everything\n",
+            "ip prefix-list X permit not-a-prefix\n",
+            "ip prefix-list X permit 1.2.3.0/24 ge\n",
+            "ip community-list X permit\n",
+            "ip community-list X permit notacommunity\n",
+            "route-map M sideways 10\n",
+            "route-map M permit ten\n",
+            "route-map M permit 10\n match nothing-known 5\n",
+            "route-map M permit 10\n set nothing-known 5\n",
+            "route-map M permit 10\n frobnicate\n",
+            "router bgp notanumber\n",
+            "router bgp 1\n unknown directive\n",
+            "router bgp 1\n neighbor 1.1.1.1 remote-as xyz\n",
+            "router bgp 1\n neighbor 1.1.1.1 warp-speed\n",
+            "router bgp 1\n!\nrouter bgp 2\n",
+            " indented outside any block\n",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ConfigParseError):
+            parse_config(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_config("hostname ok\nbogus statement\n")
+        except ConfigParseError as exc:
+            assert exc.line_number == 2
+            assert "line 2" in str(exc)
+        else:
+            pytest.fail("expected ConfigParseError")
+
+    def test_comments_and_blanks_ignored(self):
+        config = parse_config("! comment\n\n!\nhostname h\n")
+        assert config.hostname == "h"

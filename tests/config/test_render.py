@@ -1,0 +1,78 @@
+"""Round-trip tests for the configuration renderer."""
+
+import pytest
+
+from repro.config.parser import parse_config
+from repro.config.render import render_config
+from tests.config.test_parser import BERKELEY_STYLE
+
+
+def normalize(text: str) -> str:
+    """Parse-and-render: the canonical form of a configuration."""
+    return render_config(parse_config(text))
+
+
+class TestRoundTrip:
+    def test_fixpoint_on_berkeley_config(self):
+        once = normalize(BERKELEY_STYLE)
+        assert normalize(once) == once
+
+    def test_semantics_preserved(self):
+        """The rendered config compiles to equivalent policy objects."""
+        from repro.config.compiler import compile_config
+        from repro.net.attributes import Community
+        from tests.config.test_compiler import P, attrs
+
+        original = compile_config(parse_config(BERKELEY_STYLE))
+        rendered = compile_config(parse_config(normalize(BERKELEY_STYLE)))
+        tagged = attrs(communities=["11423:65350"])
+        for config in (original, rendered):
+            assert (
+                config.route_maps["FROM-CALREN"].apply(P, tagged).local_pref
+                == 80
+            )
+        assert original.asn == rendered.asn
+        assert set(original.neighbors) == set(rendered.neighbors)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "hostname h\n",
+            "ip prefix-list X permit 10.0.0.0/8 ge 16 le 24\n",
+            "ip community-list standard C deny 1:1 2:2\n",
+            "ip as-path access-list A permit _701_\n",
+            "route-map M deny 20\n match local-origin\n",
+            (
+                "route-map M permit 10\n"
+                " match as-path contains 7018\n"
+                " set metric 30\n"
+                " set community 1:2 3:4 additive\n"
+                " set as-path prepend 100 100\n"
+                " set ip next-hop 10.0.0.9\n"
+            ),
+            (
+                "router bgp 7\n"
+                " bgp router-id 1.2.3.4\n"
+                " bgp cluster-id 4.3.2.1\n"
+                " bgp always-compare-med\n"
+                " bgp bestpath med missing-as-worst\n"
+                " network 10.0.0.0/8\n"
+                " neighbor 1.1.1.1 remote-as 2\n"
+                " neighbor 1.1.1.1 maximum-prefix 100\n"
+                " neighbor 1.1.1.1 route-reflector-client\n"
+                " neighbor 1.1.1.1 next-hop-self\n"
+            ),
+        ],
+    )
+    def test_fixpoint_per_statement(self, text):
+        once = normalize(text)
+        assert normalize(once) == once
+
+    def test_site_builder_configs_round_trip(self):
+        """The Berkeley workload's generated configs survive the cycle."""
+        from repro.simulator.workloads import BerkeleySite
+
+        site = BerkeleySite(n_prefixes=150)
+        for text in (site._edge13_config(), site._edge200_config()):
+            once = normalize(text)
+            assert normalize(once) == once

@@ -1,0 +1,84 @@
+"""Unit tests for LSAs and the link-state database."""
+
+import pytest
+
+from repro.igp.database import LinkStateDatabase
+from repro.igp.lsa import Link, LinkStateAd
+
+
+def lsa(origin: str, links, sequence: int = 1) -> LinkStateAd:
+    return LinkStateAd(
+        origin=origin,
+        links=tuple(Link(n, m) for n, m in links),
+        sequence=sequence,
+    )
+
+
+class TestLsaValidation:
+    def test_negative_metric_rejected(self):
+        with pytest.raises(ValueError):
+            Link("b", -1)
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            LinkStateAd("a", (), -1)
+
+
+class TestDatabase:
+    def test_apply_new(self):
+        db = LinkStateDatabase()
+        assert db.apply(lsa("a", [("b", 10)]))
+        assert "a" in db
+        assert len(db) == 1
+
+    def test_newer_sequence_replaces(self):
+        db = LinkStateDatabase()
+        db.apply(lsa("a", [("b", 10)], sequence=1))
+        assert db.apply(lsa("a", [("b", 20)], sequence=2))
+        assert db.get("a").links[0].metric == 20
+
+    def test_stale_sequence_ignored(self):
+        db = LinkStateDatabase()
+        db.apply(lsa("a", [("b", 10)], sequence=5))
+        assert not db.apply(lsa("a", [("b", 99)], sequence=4))
+        assert db.get("a").links[0].metric == 10
+
+    def test_duplicate_sequence_not_a_change(self):
+        db = LinkStateDatabase()
+        db.apply(lsa("a", [("b", 10)], sequence=1))
+        assert not db.apply(lsa("a", [("b", 10)], sequence=1))
+
+    def test_empty_links_retracts(self):
+        db = LinkStateDatabase()
+        db.apply(lsa("a", [("b", 10)], sequence=1))
+        assert db.apply(lsa("a", [], sequence=2))
+        assert "a" not in db
+
+    def test_retract_unknown_is_noop(self):
+        db = LinkStateDatabase()
+        assert not db.apply(lsa("ghost", [], sequence=1))
+
+    def test_edges(self):
+        db = LinkStateDatabase()
+        db.apply(lsa("a", [("b", 10), ("c", 5)]))
+        db.apply(lsa("b", [("a", 10)]))
+        assert set(db.edges()) == {("a", "b", 10), ("a", "c", 5), ("b", "a", 10)}
+
+
+class TestTwoWayCheck:
+    def test_one_way_link_excluded_from_graph(self):
+        db = LinkStateDatabase()
+        db.apply(lsa("a", [("b", 10)]))
+        db.apply(lsa("b", []))  # b exists? retracted — b unknown
+        db.apply(lsa("b", [("c", 1)], sequence=2))
+        db.apply(lsa("c", [("b", 1)]))
+        graph = db.graph()
+        # a→b is one-way (b does not list a), so it must be excluded.
+        assert graph["a"] == []
+        assert ("c", 1) in graph["b"]
+
+    def test_stub_pseudo_node_kept(self):
+        db = LinkStateDatabase()
+        db.apply(lsa("a", [("stub-10.0.0.0/24", 1)]))
+        graph = db.graph()
+        assert ("stub-10.0.0.0/24", 1) in graph["a"]

@@ -1,0 +1,107 @@
+"""Unit and property tests for SPF."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.igp.spf import spf
+
+
+SQUARE = {
+    # a --1-- b
+    # |       |
+    # 4       1
+    # |       |
+    # c --1-- d
+    "a": [("b", 1), ("c", 4)],
+    "b": [("a", 1), ("d", 1)],
+    "c": [("a", 4), ("d", 1)],
+    "d": [("b", 1), ("c", 1)],
+}
+
+
+class TestSpf:
+    def test_distances(self):
+        paths = spf(SQUARE, "a")
+        assert paths.cost("a") == 0
+        assert paths.cost("b") == 1
+        assert paths.cost("d") == 2
+        assert paths.cost("c") == 3  # via b-d, not the direct metric-4 link
+
+    def test_first_hops(self):
+        paths = spf(SQUARE, "a")
+        assert paths.next_hop("b") == "b"
+        assert paths.next_hop("d") == "b"
+        assert paths.next_hop("c") == "b"
+
+    def test_unreachable(self):
+        graph = {"a": [("b", 1)], "b": [("a", 1)], "z": []}
+        paths = spf(graph, "a")
+        assert paths.cost("z") is None
+        assert not paths.reachable("z")
+
+    def test_unknown_root(self):
+        assert spf(SQUARE, "nope").cost("a") is None
+
+    def test_equal_cost_tiebreak_deterministic(self):
+        diamond = {
+            "r": [("a", 1), ("b", 1)],
+            "a": [("r", 1), ("t", 1)],
+            "b": [("r", 1), ("t", 1)],
+            "t": [("a", 1), ("b", 1)],
+        }
+        for _ in range(5):
+            assert spf(diamond, "r").next_hop("t") == "a"
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    names = [f"n{i}" for i in range(n)]
+    graph = {name: [] for name in names}
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.integers(1, 10),
+            ),
+            max_size=20,
+        )
+    )
+    seen = set()
+    for i, j, metric in edges:
+        if i == j or (i, j) in seen:
+            continue
+        seen.add((i, j))
+        seen.add((j, i))
+        graph[names[i]].append((names[j], metric))
+        graph[names[j]].append((names[i], metric))
+    return graph
+
+
+class TestSpfProperties:
+    @given(random_graphs())
+    def test_triangle_inequality(self, graph):
+        """d(root, v) ≤ d(root, u) + metric(u, v) for every edge."""
+        paths = spf(graph, "n0")
+        for u, links in graph.items():
+            du = paths.cost(u)
+            if du is None:
+                continue
+            for v, metric in links:
+                dv = paths.cost(v)
+                assert dv is not None
+                assert dv <= du + metric
+
+    @given(random_graphs())
+    def test_root_cost_zero_and_nonnegative(self, graph):
+        paths = spf(graph, "n0")
+        assert paths.cost("n0") == 0
+        assert all(cost >= 0 for cost in paths.distance.values())
+
+    @given(random_graphs())
+    def test_first_hop_is_root_neighbor(self, graph):
+        paths = spf(graph, "n0")
+        neighbors = {v for v, _ in graph["n0"]}
+        for node, hop in paths.first_hop.items():
+            assert hop in neighbors

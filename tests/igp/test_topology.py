@@ -1,0 +1,130 @@
+"""Unit tests for the managed IGP topology."""
+
+import pytest
+
+from repro.igp.topology import IGPTopology
+from repro.net.prefix import parse_address
+
+
+@pytest.fixture
+def triangle() -> IGPTopology:
+    topo = IGPTopology()
+    for name in ("a", "b", "c"):
+        topo.add_router(name)
+    topo.add_link("a", "b", 10)
+    topo.add_link("b", "c", 10)
+    topo.add_link("a", "c", 50)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_router_rejected(self):
+        topo = IGPTopology()
+        topo.add_router("a")
+        with pytest.raises(ValueError):
+            topo.add_router("a")
+
+    def test_link_to_unknown_rejected(self):
+        topo = IGPTopology()
+        topo.add_router("a")
+        with pytest.raises(ValueError):
+            topo.add_link("a", "ghost", 1)
+
+    def test_self_link_rejected(self):
+        topo = IGPTopology()
+        topo.add_router("a")
+        with pytest.raises(ValueError):
+            topo.add_link("a", "a", 1)
+
+    def test_address_ownership(self):
+        topo = IGPTopology()
+        addr = parse_address("10.0.0.1")
+        topo.add_router("a", addresses=[addr])
+        assert topo.router_for_address(addr) == "a"
+        topo.add_router("b")
+        with pytest.raises(ValueError):
+            topo.add_address("b", addr)
+
+    def test_address_for_unknown_router_rejected(self):
+        topo = IGPTopology()
+        with pytest.raises(ValueError):
+            topo.add_address("ghost", 1)
+
+
+class TestRouting:
+    def test_cost_between(self, triangle):
+        assert triangle.cost_between("a", "c") == 20  # via b, not direct 50
+
+    def test_metric_change_reroutes(self, triangle):
+        triangle.set_metric("a", "b", 100)
+        assert triangle.cost_between("a", "c") == 50  # direct link now wins
+
+    def test_link_failure(self, triangle):
+        triangle.fail_link("a", "b")
+        assert triangle.cost_between("a", "b") == 60  # a-c-b
+        triangle.fail_link("a", "c")
+        assert triangle.cost_between("a", "b") is None
+
+    def test_restore_link(self, triangle):
+        triangle.fail_link("a", "b")
+        triangle.restore_link("a", "b", 10)
+        assert triangle.cost_between("a", "b") == 10
+
+    def test_mutating_unknown_link_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.set_metric("a", "ghost", 5)
+        triangle.fail_link("a", "b")
+        with pytest.raises(ValueError):
+            triangle.fail_link("a", "b")
+
+
+class TestLsaStream:
+    def test_every_mutation_floods(self, triangle):
+        before = len(triangle.events)
+        triangle.set_metric("a", "b", 99)
+        # Both endpoints re-flood.
+        assert len(triangle.events) == before + 2
+
+    def test_lsa_sequences_increase(self, triangle):
+        triangle.set_metric("a", "b", 99)
+        triangle.set_metric("a", "b", 98)
+        sequences = [e.sequence for e in triangle.events if e.origin == "a"]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+    def test_timestamps_recorded(self, triangle):
+        triangle.set_metric("a", "b", 99, now=42.0)
+        assert triangle.events[-1].timestamp == 42.0
+
+
+class TestBgpCostFn:
+    def test_cost_fn_resolves_addresses(self, triangle):
+        addr_c = parse_address("10.0.0.3")
+        triangle.add_address("c", addr_c)
+        cost = triangle.cost_fn("a")
+        assert cost(addr_c) == 20
+
+    def test_cost_fn_external_address_is_connected(self, triangle):
+        cost = triangle.cost_fn("a")
+        assert cost(parse_address("203.0.113.1")) == 0
+
+    def test_cost_fn_own_address_zero(self, triangle):
+        addr_a = parse_address("10.0.0.1")
+        triangle.add_address("a", addr_a)
+        assert triangle.cost_fn("a")(addr_a) == 0
+
+    def test_cost_fn_unreachable_after_partition(self, triangle):
+        addr_c = parse_address("10.0.0.3")
+        triangle.add_address("c", addr_c)
+        triangle.fail_link("a", "b")
+        triangle.fail_link("a", "c")
+        assert triangle.cost_fn("a")(addr_c) is None
+
+    def test_cost_fn_tracks_topology_changes(self, triangle):
+        """The same callable must see later topology changes (cache bust)."""
+        addr_c = parse_address("10.0.0.3")
+        triangle.add_address("c", addr_c)
+        cost = triangle.cost_fn("a")
+        assert cost(addr_c) == 20
+        triangle.set_metric("b", "c", 100)
+        assert cost(addr_c) == 50  # now cheaper directly

@@ -1,0 +1,72 @@
+"""Section III-D.2: traffic weighting of TAMP and Stemming."""
+
+import pytest
+
+from repro.integrate.traffic import weighted_site_view
+from repro.net.prefix import Prefix
+from repro.tamp.graph import TampGraph
+from repro.traffic.elephants import zipf_volumes
+from repro.traffic.flows import FlowCollector, FlowRecord
+
+
+def prefixes(n: int):
+    return [Prefix(0x40000000 + i * 256, 24) for i in range(n)]
+
+
+def two_path_graph(left: list, right: list) -> TampGraph:
+    graph = TampGraph("site")
+    for p in left:
+        graph.add_prefix(("root", "site"), ("router", "r"), p)
+        graph.add_prefix(("router", "r"), ("nh", 1), p)
+    for p in right:
+        graph.add_prefix(("root", "site"), ("router", "r"), p)
+        graph.add_prefix(("router", "r"), ("nh", 2), p)
+    return graph
+
+
+class TestWeightedSiteView:
+    def test_from_mapping(self):
+        ps = prefixes(4)
+        graph = two_path_graph(ps[:2], ps[2:])
+        view = weighted_site_view(graph, {ps[0]: 100.0, ps[2]: 50.0})
+        edge_left = (("router", "r"), ("nh", 1))
+        edge_right = (("router", "r"), ("nh", 2))
+        assert view.by_edge[edge_left] == 100.0
+        assert view.by_edge[edge_right] == 50.0
+
+    def test_from_flow_collector(self):
+        ps = prefixes(2)
+        graph = two_path_graph(ps[:1], ps[1:])
+        collector = FlowCollector()
+        collector.add(FlowRecord(0.0, ps[0], 300))
+        collector.add(FlowRecord(0.0, ps[1], 100))
+        view = weighted_site_view(graph, collector)
+        assert view.volume_fraction((("router", "r"), ("nh", 1))) == 0.75
+
+    def test_volume_fraction_empty(self):
+        graph = two_path_graph([], [])
+        view = weighted_site_view(graph, {})
+        assert view.volume_fraction((("router", "r"), ("nh", 1))) == 0.0
+
+    def test_imbalance_story(self):
+        """An even prefix split hides a lopsided byte split: the Berkeley
+        rate-limiter lesson, quantified."""
+        ps = prefixes(10)
+        graph = two_path_graph(ps[:5], ps[5:])
+        volumes = {p: 1.0 for p in ps}
+        volumes[ps[0]] = 1000.0  # one elephant on the left path
+        view = weighted_site_view(graph, volumes)
+        rows = view.imbalance(
+            [(("router", "r"), ("nh", 1)), (("router", "r"), ("nh", 2))]
+        )
+        left, right = rows
+        assert left["prefix_share"] == pytest.approx(0.5)
+        assert left["volume_share"] > 0.99
+
+    def test_weighted_stemmer_constructed(self):
+        ps = prefixes(3)
+        graph = two_path_graph(ps[:2], ps[2:])
+        view = weighted_site_view(graph, zipf_volumes(ps))
+        stemmer = view.stemmer(max_components=4)
+        assert stemmer.max_components == 4
+        assert stemmer.volumes  # volumes threaded through

@@ -1,0 +1,209 @@
+"""Unit, conformance and property tests for the BGP wire codec."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mrt.bgp_codec import (
+    MARKER,
+    BGPCodecError,
+    decode_attributes,
+    decode_prefix,
+    decode_update,
+    encode_attributes,
+    encode_prefix,
+    encode_update,
+)
+from repro.net.aspath import ASPath
+from repro.net.attributes import Community, Origin, PathAttributes
+from repro.net.message import BGPUpdate
+from repro.net.prefix import Prefix, parse_address
+
+
+def attrs(**overrides) -> PathAttributes:
+    base = dict(
+        nexthop=parse_address("192.0.2.1"),
+        as_path=ASPath.parse("11423 209 701"),
+    )
+    base.update(overrides)
+    return PathAttributes(**base)
+
+
+class TestPrefixWire:
+    @pytest.mark.parametrize(
+        "text,wire",
+        [
+            ("0.0.0.0/0", b"\x00"),
+            ("10.0.0.0/8", b"\x08\x0a"),
+            ("192.0.2.0/24", b"\x18\xc0\x00\x02"),
+            ("192.0.2.128/25", b"\x19\xc0\x00\x02\x80"),
+            ("203.0.113.7/32", b"\x20\xcb\x00\x71\x07"),
+        ],
+    )
+    def test_rfc4271_examples(self, text, wire):
+        """§4.3: length byte then the minimal network bytes."""
+        prefix = Prefix.parse(text)
+        assert encode_prefix(prefix) == wire
+        decoded, offset = decode_prefix(wire, 0)
+        assert decoded == prefix
+        assert offset == len(wire)
+
+    def test_reject_overlong_mask(self):
+        with pytest.raises(BGPCodecError):
+            decode_prefix(b"\x21\x00\x00\x00\x00\x00", 0)
+
+    def test_reject_truncated(self):
+        with pytest.raises(BGPCodecError):
+            decode_prefix(b"\x18\xc0", 0)
+
+    @given(
+        st.integers(0, 0xFFFFFFFF),
+        st.integers(0, 32),
+    )
+    def test_round_trip(self, raw, length):
+        mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        prefix = Prefix(raw & mask, length)
+        decoded, _ = decode_prefix(encode_prefix(prefix), 0)
+        assert decoded == prefix
+
+
+class TestAttributeWire:
+    def test_minimal_round_trip(self):
+        decoded, skipped = decode_attributes(encode_attributes(attrs()))
+        assert decoded == attrs()
+        assert skipped == []
+
+    def test_full_round_trip(self):
+        full = attrs(
+            origin=Origin.INCOMPLETE,
+            local_pref=80,
+            med=30,
+            communities=[Community.parse("11423:65350"), Community(1, 2)],
+            originator_id=parse_address("10.0.0.1"),
+            cluster_list=(parse_address("10.0.0.2"), 7),
+        )
+        decoded, _ = decode_attributes(encode_attributes(full))
+        assert decoded == full
+
+    def test_as_set_round_trip(self):
+        bundle = attrs(as_path=ASPath.parse("100 200 {300,400}"))
+        decoded, _ = decode_attributes(encode_attributes(bundle))
+        assert decoded.as_path == bundle.as_path
+
+    def test_unknown_attribute_skipped(self):
+        payload = encode_attributes(attrs())
+        # Append an optional-transitive attribute of unknown type 99.
+        payload += bytes([0xC0, 99, 2]) + b"\xde\xad"
+        decoded, skipped = decode_attributes(payload)
+        assert decoded == attrs()
+        assert skipped == [99]
+
+    def test_withdrawal_only_block(self):
+        assert decode_attributes(b"") == (None, [])
+
+    def test_malformed_origin_rejected(self):
+        payload = bytes([0x40, 1, 1, 9])  # ORIGIN value 9
+        with pytest.raises(BGPCodecError):
+            decode_attributes(payload)
+
+    def test_truncated_payload_rejected(self):
+        payload = bytes([0x40, 2, 10, 0])  # claims 10 bytes, has 1
+        with pytest.raises(BGPCodecError):
+            decode_attributes(payload)
+
+    def test_four_byte_asn(self):
+        """RFC 6793: ASNs above 65535 must survive."""
+        bundle = attrs(as_path=ASPath([4200000001, 209]))
+        decoded, _ = decode_attributes(encode_attributes(bundle))
+        assert decoded.as_path.sequence == (4200000001, 209)
+
+
+class TestUpdateWire:
+    def test_announcement_round_trip(self):
+        update = BGPUpdate.announce(
+            [Prefix.parse("192.0.2.0/24"), Prefix.parse("198.51.100.0/24")],
+            attrs(),
+        )
+        decoded = decode_update(encode_update(update))
+        assert decoded.update == update
+
+    def test_withdrawal_round_trip(self):
+        update = BGPUpdate.withdraw([Prefix.parse("192.0.2.0/24")])
+        decoded = decode_update(encode_update(update))
+        assert decoded.update == update
+
+    def test_mixed_round_trip(self):
+        update = BGPUpdate(
+            withdrawals=BGPUpdate.withdraw(
+                [Prefix.parse("10.0.0.0/8")]
+            ).withdrawals,
+            announcements=BGPUpdate.announce(
+                [Prefix.parse("192.0.2.0/24")], attrs()
+            ).announcements,
+        )
+        decoded = decode_update(encode_update(update))
+        assert decoded.update == update
+
+    def test_header_structure(self):
+        """RFC 4271 §4.1: 16-byte marker of ones, 2-byte length, type 2."""
+        wire = encode_update(BGPUpdate.withdraw([Prefix.parse("10.0.0.0/8")]))
+        assert wire[:16] == MARKER
+        length, msg_type = struct.unpack_from("!HB", wire, 16)
+        assert length == len(wire)
+        assert msg_type == 2
+
+    def test_mixed_attribute_bundles_rejected(self):
+        from repro.net.message import Announcement
+
+        update = BGPUpdate(
+            announcements=(
+                Announcement(Prefix.parse("10.0.0.0/8"), attrs()),
+                Announcement(Prefix.parse("11.0.0.0/8"), attrs(med=9)),
+            )
+        )
+        with pytest.raises(BGPCodecError):
+            encode_update(update)
+
+    def test_oversized_update_rejected(self):
+        prefixes = [Prefix(0x0A000000 + i * 256, 24) for i in range(1500)]
+        with pytest.raises(BGPCodecError):
+            encode_update(BGPUpdate.announce(prefixes, attrs()))
+
+    def test_bad_marker_rejected(self):
+        wire = bytearray(encode_update(BGPUpdate.withdraw(
+            [Prefix.parse("10.0.0.0/8")])))
+        wire[0] = 0
+        with pytest.raises(BGPCodecError):
+            decode_update(bytes(wire))
+
+    def test_nlri_without_attributes_rejected(self):
+        body = struct.pack("!H", 0) + struct.pack("!H", 0) + b"\x08\x0a"
+        total = 19 + len(body)
+        wire = MARKER + struct.pack("!HB", total, 2) + body
+        with pytest.raises(BGPCodecError):
+            decode_update(wire)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 0xFFFFFF), st.integers(8, 24)
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.lists(st.integers(1, 1 << 31), min_size=1, max_size=6),
+        st.integers(0, 200),
+    )
+    def test_property_round_trip(self, raw_prefixes, path, med):
+        prefixes = []
+        for raw, length in raw_prefixes:
+            mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            prefixes.append(Prefix((raw << 8) & mask, length))
+        update = BGPUpdate.announce(
+            dict.fromkeys(prefixes),  # dedupe, keep order
+            attrs(as_path=ASPath(path), med=med),
+        )
+        decoded = decode_update(encode_update(update))
+        assert decoded.update == update

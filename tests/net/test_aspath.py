@@ -1,0 +1,146 @@
+"""Unit and property tests for AS paths."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.aspath import ASPath, ASPathError
+
+asns = st.integers(min_value=1, max_value=0xFFFFFFFF)
+
+
+class TestParsing:
+    def test_parse_sequence(self):
+        path = ASPath.parse("11423 209 701")
+        assert path.sequence == (11423, 209, 701)
+
+    def test_parse_empty_is_local(self):
+        assert ASPath.parse("") == ASPath()
+        assert ASPath.parse("   ").sequence == ()
+
+    def test_parse_as_set(self):
+        path = ASPath.parse("11423 209 {7018,13606}")
+        assert path.sequence == (11423, 209)
+        assert path.as_set == frozenset({7018, 13606})
+
+    def test_parse_as_set_space_separated(self):
+        path = ASPath.parse("100 {1 2 3}")
+        assert path.as_set == frozenset({1, 2, 3})
+
+    def test_parse_rejects_unterminated_set(self):
+        with pytest.raises(ASPathError):
+            ASPath.parse("100 {1,2")
+
+    def test_parse_rejects_empty_set(self):
+        with pytest.raises(ASPathError):
+            ASPath.parse("100 {}")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ASPathError):
+            ASPath.parse("100 abc")
+
+    def test_rejects_zero_asn(self):
+        with pytest.raises(ASPathError):
+            ASPath([0])
+
+
+class TestAccessors:
+    def test_origin_as(self):
+        assert ASPath.parse("11423 209 701").origin_as == 701
+
+    def test_origin_of_empty_is_none(self):
+        assert ASPath().origin_as is None
+
+    def test_origin_ambiguous_with_set(self):
+        assert ASPath.parse("100 {1,2}").origin_as is None
+
+    def test_neighbor_as(self):
+        assert ASPath.parse("11423 209 701").neighbor_as == 11423
+        assert ASPath().neighbor_as is None
+
+    def test_len_counts_set_as_one_hop(self):
+        assert len(ASPath.parse("1 2 3")) == 3
+        assert len(ASPath.parse("1 2 {3,4,5}")) == 3
+
+    def test_contains(self):
+        path = ASPath.parse("1 2 {3,4}")
+        assert 2 in path
+        assert 4 in path
+        assert 9 not in path
+
+    def test_edges(self):
+        assert list(ASPath.parse("11423 209 701").edges()) == [
+            (11423, 209),
+            (209, 701),
+        ]
+
+    def test_edges_of_short_paths(self):
+        assert list(ASPath.parse("100").edges()) == []
+        assert list(ASPath().edges()) == []
+
+    def test_startswith(self):
+        path = ASPath.parse("11423 209 701")
+        assert path.startswith(ASPath.parse("11423 209"))
+        assert not path.startswith(ASPath.parse("209"))
+
+
+class TestOperations:
+    def test_prepend(self):
+        assert ASPath.parse("209 701").prepend(11423).sequence == (
+            11423,
+            209,
+            701,
+        )
+
+    def test_prepend_multiple(self):
+        assert ASPath.parse("701").prepend(100, count=3).sequence == (
+            100,
+            100,
+            100,
+            701,
+        )
+
+    def test_prepend_rejects_nonpositive_count(self):
+        with pytest.raises(ASPathError):
+            ASPath().prepend(100, count=0)
+
+    def test_has_loop(self):
+        path = ASPath.parse("11423 209 701")
+        assert path.has_loop(209)
+        assert not path.has_loop(7018)
+
+    def test_immutability(self):
+        path = ASPath.parse("1 2")
+        with pytest.raises(AttributeError):
+            path.sequence = (9,)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = ASPath.parse("1 2 {3,4}")
+        b = ASPath([1, 2], {4, 3})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_round_trip(self):
+        for text in ["", "1", "11423 209 701", "1 2 {3,4}"]:
+            assert ASPath.parse(str(ASPath.parse(text))) == ASPath.parse(text)
+
+
+class TestProperties:
+    @given(st.lists(asns, max_size=10), st.frozensets(asns, max_size=5))
+    def test_parse_str_round_trip(self, seq, aset):
+        path = ASPath(seq, aset)
+        assert ASPath.parse(str(path)) == path
+
+    @given(st.lists(asns, min_size=2, max_size=10))
+    def test_edge_count(self, seq):
+        path = ASPath(seq)
+        assert len(list(path.edges())) == len(seq) - 1
+
+    @given(st.lists(asns, max_size=10), asns)
+    def test_prepend_extends_and_detects_loop(self, seq, new):
+        path = ASPath(seq).prepend(new)
+        assert path.neighbor_as == new
+        assert path.has_loop(new)
+        assert len(path) == len(ASPath(seq)) + 1

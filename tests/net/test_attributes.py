@@ -1,0 +1,130 @@
+"""Unit tests for path attributes, communities and messages."""
+
+import pytest
+
+from repro.net.aspath import ASPath
+from repro.net.attributes import (
+    DEFAULT_LOCAL_PREF,
+    Community,
+    Origin,
+    PathAttributes,
+)
+from repro.net.message import (
+    Announcement,
+    BGPUpdate,
+    NotificationCode,
+    NotificationMessage,
+    Withdrawal,
+)
+from repro.net.prefix import Prefix, parse_address
+
+
+def make_attrs(**overrides) -> PathAttributes:
+    base = dict(
+        nexthop=parse_address("128.32.0.66"),
+        as_path=ASPath.parse("11423 209 701"),
+    )
+    base.update(overrides)
+    return PathAttributes(**base)
+
+
+class TestCommunity:
+    def test_parse(self):
+        c = Community.parse("11423:65350")
+        assert (c.asn, c.value) == (11423, 65350)
+
+    def test_str_round_trip(self):
+        assert str(Community.parse("2152:65297")) == "2152:65297"
+
+    def test_parse_rejects_missing_colon(self):
+        with pytest.raises(ValueError):
+            Community.parse("1142365350")
+
+    def test_parse_rejects_nonnumeric(self):
+        with pytest.raises(ValueError):
+            Community.parse("a:b")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Community(70000, 1)
+        with pytest.raises(ValueError):
+            Community(1, 70000)
+
+    def test_equality_hash_ordering(self):
+        a = Community.parse("1:2")
+        b = Community(1, 2)
+        assert a == b and hash(a) == hash(b)
+        assert Community(1, 1) < Community(1, 2) < Community(2, 0)
+
+
+class TestPathAttributes:
+    def test_defaults(self):
+        attrs = make_attrs()
+        assert attrs.local_pref == DEFAULT_LOCAL_PREF
+        assert attrs.med is None
+        assert attrs.origin is Origin.IGP
+        assert attrs.communities == frozenset()
+
+    def test_replace(self):
+        attrs = make_attrs()
+        changed = attrs.replace(local_pref=80)
+        assert changed.local_pref == 80
+        assert attrs.local_pref == DEFAULT_LOCAL_PREF
+        assert changed.as_path == attrs.as_path
+
+    def test_replace_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            make_attrs().replace(bogus=1)
+
+    def test_community_manipulation(self):
+        tag = Community.parse("11423:65350")
+        attrs = make_attrs().add_community(tag)
+        assert attrs.has_community(tag)
+        assert not attrs.remove_community(tag).has_community(tag)
+
+    def test_equality_and_hash(self):
+        assert make_attrs() == make_attrs()
+        assert hash(make_attrs()) == hash(make_attrs())
+        assert make_attrs() != make_attrs(med=10)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            make_attrs().local_pref = 50
+
+    def test_repr_mentions_nondefault_fields(self):
+        attrs = make_attrs(local_pref=80, med=5)
+        text = repr(attrs)
+        assert "local_pref=80" in text and "med=5" in text
+
+
+class TestBGPUpdate:
+    def test_announce_builder(self):
+        prefixes = [Prefix.parse("1.2.3.0/24"), Prefix.parse("1.2.4.0/24")]
+        update = BGPUpdate.announce(prefixes, make_attrs())
+        assert len(update) == 2
+        assert all(isinstance(a, Announcement) for a in update.announcements)
+        assert not update.withdrawals
+
+    def test_withdraw_builder(self):
+        update = BGPUpdate.withdraw([Prefix.parse("1.2.3.0/24")])
+        assert update.withdrawals == (Withdrawal(Prefix.parse("1.2.3.0/24")),)
+
+    def test_empty(self):
+        assert BGPUpdate().is_empty
+        assert not BGPUpdate.withdraw([Prefix.parse("1.2.3.0/24")]).is_empty
+
+    def test_len_counts_both(self):
+        update = BGPUpdate(
+            withdrawals=(Withdrawal(Prefix.parse("1.0.0.0/8")),),
+            announcements=(
+                Announcement(Prefix.parse("2.0.0.0/8"), make_attrs()),
+            ),
+        )
+        assert len(update) == 2
+
+
+class TestNotification:
+    def test_codes(self):
+        msg = NotificationMessage(NotificationCode.MAX_PREFIX_EXCEEDED, "1000")
+        assert msg.code is NotificationCode.MAX_PREFIX_EXCEEDED
+        assert msg.detail == "1000"

@@ -1,0 +1,255 @@
+"""Unit and property tests for IPv4 prefixes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import (
+    Prefix,
+    PrefixError,
+    cidr_cover,
+    format_address,
+    parse_address,
+)
+
+
+def prefixes(min_length: int = 0, max_length: int = 32) -> st.SearchStrategy:
+    """Strategy producing valid prefixes (host bits cleared)."""
+
+    def build(raw: int, length: int) -> Prefix:
+        mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        return Prefix(raw & mask, length)
+
+    return st.builds(
+        build,
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=min_length, max_value=max_length),
+    )
+
+
+class TestParsing:
+    def test_parse_standard(self):
+        p = Prefix.parse("1.2.3.0/24")
+        assert p.length == 24
+        assert str(p) == "1.2.3.0/24"
+
+    def test_parse_bare_address_is_host_route(self):
+        assert Prefix.parse("10.0.0.1").length == 32
+
+    def test_parse_default_route(self):
+        p = Prefix.parse("0.0.0.0/0")
+        assert p.length == 0
+        assert p.network == 0
+
+    def test_parse_rejects_bad_octet(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("1.2.3.256/24")
+
+    def test_parse_rejects_short_address(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("1.2.3/24")
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("1.2.3.0/33")
+
+    def test_parse_rejects_nonnumeric_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("1.2.3.0/abc")
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("1.2.3.1/24")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("not-a-prefix")
+
+
+class TestContainment:
+    def test_contains_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").contains(Prefix.parse("10.1.0.0/16"))
+
+    def test_contains_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(p)
+
+    def test_does_not_contain_less_specific(self):
+        assert not Prefix.parse("10.1.0.0/16").contains(
+            Prefix.parse("10.0.0.0/8")
+        )
+
+    def test_does_not_contain_sibling(self):
+        assert not Prefix.parse("10.0.0.0/8").contains(
+            Prefix.parse("11.0.0.0/8")
+        )
+
+    def test_default_route_contains_everything(self):
+        default = Prefix.parse("0.0.0.0/0")
+        assert default.contains(Prefix.parse("203.0.113.0/24"))
+
+    def test_contains_address(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert p.contains_address(parse_address("192.0.2.99"))
+        assert not p.contains_address(parse_address("192.0.3.1"))
+
+
+class TestStructure:
+    def test_supernet(self):
+        assert Prefix.parse("10.1.0.0/16").supernet() == Prefix.parse(
+            "10.0.0.0/15"
+        )
+
+    def test_supernet_of_default_fails(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("0.0.0.0/0").supernet()
+
+    def test_subnets(self):
+        low, high = Prefix.parse("10.0.0.0/8").subnets()
+        assert low == Prefix.parse("10.0.0.0/9")
+        assert high == Prefix.parse("10.128.0.0/9")
+
+    def test_subnets_of_host_fails(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.1/32").subnets()
+
+    def test_split(self):
+        parts = list(Prefix.parse("10.0.0.0/22").split(24))
+        assert len(parts) == 4
+        assert parts[0] == Prefix.parse("10.0.0.0/24")
+        assert parts[-1] == Prefix.parse("10.0.3.0/24")
+
+    def test_split_shorter_fails(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("10.0.0.0/24").split(8))
+
+    def test_size(self):
+        assert Prefix.parse("10.0.0.0/24").size == 256
+        assert Prefix.parse("10.0.0.1/32").size == 1
+
+    def test_last_address(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert format_address(p.last_address) == "192.0.2.255"
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix(parse_address("10.0.0.0"), 8)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_ordering(self):
+        assert Prefix.parse("9.0.0.0/8") < Prefix.parse("10.0.0.0/8")
+        assert Prefix.parse("10.0.0.0/8") < Prefix.parse("10.0.0.0/16")
+
+    def test_immutability(self):
+        p = Prefix.parse("10.0.0.0/8")
+        with pytest.raises(AttributeError):
+            p.length = 16
+
+    def test_repr_round_trips(self):
+        p = Prefix.parse("172.16.0.0/12")
+        assert "172.16.0.0/12" in repr(p)
+
+
+class TestAddressHelpers:
+    def test_round_trip(self):
+        text = "203.0.113.7"
+        assert format_address(parse_address(text)) == text
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(PrefixError):
+            format_address(1 << 32)
+
+
+class TestCidrCover:
+    def test_aligned_range_is_single_prefix(self):
+        start = parse_address("10.0.0.0")
+        cover = cidr_cover(start, start + 256)
+        assert cover == [Prefix.parse("10.0.0.0/24")]
+
+    def test_unaligned_range(self):
+        start = parse_address("10.0.0.128")
+        cover = cidr_cover(start, start + 384)  # .128 .. .255 + next /24
+        assert cover == [
+            Prefix.parse("10.0.0.128/25"),
+            Prefix.parse("10.0.1.0/24"),
+        ]
+
+    def test_empty_range(self):
+        assert cidr_cover(100, 100) == []
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(PrefixError):
+            cidr_cover(200, 100)
+        with pytest.raises(PrefixError):
+            cidr_cover(0, (1 << 32) + 2)
+
+    def test_full_space(self):
+        assert cidr_cover(0, 1 << 32) == [Prefix.parse("0.0.0.0/0")]
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=1 << 20),
+    )
+    def test_cover_is_exact_partition(self, start, length):
+        end = min(start + length, 1 << 32)
+        cover = cidr_cover(start, end)
+        # Total size matches the range exactly.
+        assert sum(p.size for p in cover) == end - start
+        # Blocks are ordered, contiguous and non-overlapping.
+        cursor = start
+        for prefix in cover:
+            assert prefix.first_address == cursor
+            cursor = prefix.last_address + 1
+        assert cursor == end
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=1, max_value=1 << 16),
+    )
+    def test_cover_is_minimal_greedy(self, start, length):
+        """Each block is the largest aligned block fitting the remainder,
+        so no two adjacent blocks could merge into one prefix."""
+        end = min(start + length, 1 << 32)
+        cover = cidr_cover(start, end)
+        for a, b in zip(cover, cover[1:]):
+            if a.length == b.length and a.length > 0:
+                merged_network = a.network & ~(1 << (32 - a.length))
+                # If they were two halves of one block, the cover would
+                # have emitted the parent instead.
+                assert not (
+                    merged_network == a.network
+                    and a.last_address + 1 == b.first_address
+                    and b.network == a.network | (1 << (32 - a.length))
+                )
+
+
+class TestProperties:
+    @given(prefixes())
+    def test_str_parse_round_trip(self, p: Prefix):
+        assert Prefix.parse(str(p)) == p
+
+    @given(prefixes(max_length=31))
+    def test_subnets_partition_parent(self, p: Prefix):
+        low, high = p.subnets()
+        assert p.contains(low) and p.contains(high)
+        assert low.size + high.size == p.size
+        assert low.last_address + 1 == high.first_address
+
+    @given(prefixes(min_length=1))
+    def test_supernet_contains_child(self, p: Prefix):
+        assert p.supernet().contains(p)
+
+    @given(prefixes(), prefixes())
+    def test_containment_antisymmetry(self, a: Prefix, b: Prefix):
+        if a.contains(b) and b.contains(a):
+            assert a == b
+
+    @given(prefixes())
+    def test_network_within_range(self, p: Prefix):
+        assert p.first_address <= p.last_address
+        assert p.contains_address(p.first_address)
+        assert p.contains_address(p.last_address)

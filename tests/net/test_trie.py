@@ -1,0 +1,156 @@
+"""Unit and property tests for the prefix radix trie."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix, parse_address
+from repro.net.trie import PrefixTrie
+
+from tests.net.test_prefix import prefixes
+
+
+@pytest.fixture
+def small_trie() -> PrefixTrie:
+    trie: PrefixTrie = PrefixTrie()
+    trie.insert(Prefix.parse("10.0.0.0/8"), "eight")
+    trie.insert(Prefix.parse("10.1.0.0/16"), "sixteen")
+    trie.insert(Prefix.parse("10.1.2.0/24"), "twentyfour")
+    trie.insert(Prefix.parse("192.0.2.0/24"), "doc")
+    return trie
+
+
+class TestBasicOperations:
+    def test_len(self, small_trie):
+        assert len(small_trie) == 4
+
+    def test_contains(self, small_trie):
+        assert Prefix.parse("10.1.0.0/16") in small_trie
+        assert Prefix.parse("10.2.0.0/16") not in small_trie
+
+    def test_get_exact(self, small_trie):
+        assert small_trie.get(Prefix.parse("10.1.0.0/16")) == "sixteen"
+
+    def test_get_missing_returns_default(self, small_trie):
+        assert small_trie.get(Prefix.parse("172.16.0.0/12"), "dflt") == "dflt"
+
+    def test_insert_replaces(self, small_trie):
+        small_trie.insert(Prefix.parse("10.0.0.0/8"), "new")
+        assert small_trie.get(Prefix.parse("10.0.0.0/8")) == "new"
+        assert len(small_trie) == 4
+
+    def test_delete(self, small_trie):
+        assert small_trie.delete(Prefix.parse("10.1.0.0/16"))
+        assert Prefix.parse("10.1.0.0/16") not in small_trie
+        assert len(small_trie) == 3
+
+    def test_delete_missing_returns_false(self, small_trie):
+        assert not small_trie.delete(Prefix.parse("172.16.0.0/12"))
+
+    def test_delete_keeps_descendants(self, small_trie):
+        small_trie.delete(Prefix.parse("10.1.0.0/16"))
+        assert small_trie.get(Prefix.parse("10.1.2.0/24")) == "twentyfour"
+
+    def test_root_value(self):
+        trie: PrefixTrie = PrefixTrie()
+        trie.insert(Prefix.parse("0.0.0.0/0"), "default")
+        assert trie.get(Prefix.parse("0.0.0.0/0")) == "default"
+        assert trie.longest_match_address(parse_address("8.8.8.8")) == (
+            Prefix.parse("0.0.0.0/0"),
+            "default",
+        )
+
+
+class TestLongestMatch:
+    def test_most_specific_wins(self, small_trie):
+        match = small_trie.longest_match_address(parse_address("10.1.2.3"))
+        assert match == (Prefix.parse("10.1.2.0/24"), "twentyfour")
+
+    def test_falls_back_to_covering(self, small_trie):
+        match = small_trie.longest_match_address(parse_address("10.9.9.9"))
+        assert match == (Prefix.parse("10.0.0.0/8"), "eight")
+
+    def test_no_match(self, small_trie):
+        assert small_trie.longest_match_address(parse_address("8.8.8.8")) is None
+
+    def test_match_on_prefix(self, small_trie):
+        match = small_trie.longest_match(Prefix.parse("10.1.2.0/25"))
+        assert match == (Prefix.parse("10.1.2.0/24"), "twentyfour")
+
+    def test_exact_prefix_matches_itself(self, small_trie):
+        match = small_trie.longest_match(Prefix.parse("10.1.0.0/16"))
+        assert match == (Prefix.parse("10.1.0.0/16"), "sixteen")
+
+
+class TestCoverQueries:
+    def test_covered(self, small_trie):
+        covered = dict(small_trie.covered(Prefix.parse("10.0.0.0/8")))
+        assert set(covered.values()) == {"eight", "sixteen", "twentyfour"}
+
+    def test_covered_narrow(self, small_trie):
+        covered = dict(small_trie.covered(Prefix.parse("10.1.2.0/24")))
+        assert set(covered.values()) == {"twentyfour"}
+
+    def test_covered_empty(self, small_trie):
+        assert list(small_trie.covered(Prefix.parse("172.16.0.0/12"))) == []
+
+    def test_covering_order(self, small_trie):
+        covering = [p for p, _ in small_trie.covering(Prefix.parse("10.1.2.0/24"))]
+        assert covering == [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.1.0.0/16"),
+            Prefix.parse("10.1.2.0/24"),
+        ]
+
+    def test_items_yields_everything(self, small_trie):
+        assert len(list(small_trie.items())) == 4
+        assert len(list(small_trie.keys())) == 4
+
+
+class TestProperties:
+    @given(st.dictionaries(prefixes(), st.integers(), max_size=40))
+    def test_behaves_like_dict(self, entries):
+        trie: PrefixTrie = PrefixTrie()
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        assert len(trie) == len(entries)
+        for prefix, value in entries.items():
+            assert trie.get(prefix) == value
+        assert dict(trie.items()) == entries
+
+    @given(
+        st.dictionaries(prefixes(), st.integers(), max_size=30),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_longest_match_agrees_with_scan(self, entries, address):
+        trie: PrefixTrie = PrefixTrie()
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        expected = None
+        for prefix in entries:
+            if prefix.contains_address(address):
+                if expected is None or prefix.length > expected.length:
+                    expected = prefix
+        result = trie.longest_match_address(address)
+        if expected is None:
+            assert result is None
+        else:
+            assert result == (expected, entries[expected])
+
+    @given(st.dictionaries(prefixes(), st.integers(), max_size=30), prefixes())
+    def test_covered_agrees_with_scan(self, entries, target):
+        trie: PrefixTrie = PrefixTrie()
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        expected = {p for p in entries if target.contains(p)}
+        assert {p for p, _ in trie.covered(target)} == expected
+
+    @given(st.lists(prefixes(), max_size=30))
+    def test_insert_then_delete_leaves_empty(self, keys):
+        trie: PrefixTrie = PrefixTrie()
+        for prefix in keys:
+            trie.insert(prefix, 1)
+        for prefix in set(keys):
+            assert trie.delete(prefix)
+        assert len(trie) == 0
+        assert list(trie.items()) == []

@@ -1,0 +1,107 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append("c"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.schedule_at(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        engine = Engine()
+        fired = []
+        for label in "abc":
+            engine.schedule_at(1.0, lambda l=label: fired.append(l))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now == 5.0
+
+    def test_schedule_after(self):
+        engine = Engine(start_time=10.0)
+        seen = []
+        engine.schedule_after(2.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [12.5]
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine(start_time=10.0)
+        with pytest.raises(ValueError):
+            engine.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_callbacks_can_schedule_more(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n: int) -> None:
+            fired.append(n)
+            if n < 3:
+                engine.schedule_after(1.0, lambda: chain(n + 1))
+
+        engine.schedule_at(0.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 3.0
+
+
+class TestRunControl:
+    def test_run_returns_count(self):
+        engine = Engine()
+        for t in (1.0, 2.0):
+            engine.schedule_at(t, lambda: None)
+        assert engine.run() == 2
+        assert engine.pending() == 0
+
+    def test_run_with_cap_stops_early(self):
+        """A livelocked (persistently oscillating) queue must be stoppable."""
+        engine = Engine()
+
+        def reschedule() -> None:
+            engine.schedule_after(1.0, reschedule)
+
+        engine.schedule_at(0.0, reschedule)
+        executed = engine.run(max_events=50)
+        assert executed == 50
+        assert engine.pending() == 1
+
+    def test_run_until_executes_only_due_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(5.0, lambda: fired.append(5))
+        executed = engine.run_until(2.0)
+        assert executed == 1
+        assert fired == [1]
+        assert engine.now == 2.0
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_run_until_rejects_past_deadline(self):
+        engine = Engine(start_time=10.0)
+        with pytest.raises(ValueError):
+            engine.run_until(5.0)
+
+    def test_step_on_empty_returns_false(self):
+        assert not Engine().step()
+
+    def test_executed_counter(self):
+        engine = Engine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        assert engine.executed == 1

@@ -1,0 +1,141 @@
+"""Integration tests for the simulated network."""
+
+import pytest
+
+from repro.collector.rex import RouteExplorer
+from repro.net.aspath import ASPath
+from repro.net.attributes import PathAttributes
+from repro.net.message import BGPUpdate
+from repro.net.prefix import Prefix, parse_address
+from repro.simulator.network import Network
+
+P1 = Prefix.parse("192.0.2.0/24")
+
+
+@pytest.fixture
+def net():
+    return Network()
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self, net):
+        net.add_router("a", 100, parse_address("10.0.0.1"))
+        with pytest.raises(ValueError):
+            net.add_router("a", 100, parse_address("10.0.0.2"))
+
+    def test_duplicate_address_rejected(self, net):
+        net.add_router("a", 100, parse_address("10.0.0.1"))
+        with pytest.raises(ValueError):
+            net.add_router("b", 100, parse_address("10.0.0.1"))
+
+    def test_router_lookup(self, net):
+        router = net.add_router("a", 100, parse_address("10.0.0.1"))
+        assert net.router("a") is router
+        with pytest.raises(KeyError):
+            net.router("ghost")
+
+
+class TestPropagation:
+    def test_origination_propagates_over_links(self, net):
+        a = net.add_router("a", 100, parse_address("10.0.0.1"))
+        b = net.add_router("b", 200, parse_address("10.0.0.2"))
+        c = net.add_router("c", 300, parse_address("10.0.0.3"))
+        net.connect(a, b)
+        net.connect(b, c)
+        net.originate(a, [P1])
+        net.run()
+        assert c.best_route(P1) is not None
+        assert c.best_route(P1).attributes.as_path.sequence == (200, 100)
+
+    def test_link_delay_orders_arrival(self, net):
+        """A route over a slow link arrives later in virtual time."""
+        a = net.add_router("a", 100, parse_address("10.0.0.1"))
+        b = net.add_router("b", 200, parse_address("10.0.0.2"))
+        net.connect(a, b, delay=5.0)
+        net.originate(a, [P1], at=0.0)
+        net.run_until(4.0)
+        assert b.best_route(P1) is None
+        net.run()
+        assert b.best_route(P1) is not None
+
+    def test_injection_from_external_peer(self, net):
+        r = net.add_router("r", 100, parse_address("10.0.0.1"))
+        feed = parse_address("10.9.9.9")
+        net.add_external_peer(r, feed, 999)
+        net.inject(
+            r,
+            feed,
+            BGPUpdate.announce(
+                [P1],
+                PathAttributes(nexthop=feed, as_path=ASPath.parse("999 40000")),
+            ),
+        )
+        net.run()
+        assert r.best_route(P1) is not None
+
+    def test_updates_to_external_peers_vanish(self, net):
+        """Replies toward a scripted peer must not crash the engine."""
+        r = net.add_router("r", 100, parse_address("10.0.0.1"))
+        feed = parse_address("10.9.9.9")
+        net.add_external_peer(r, feed, 999)
+        net.originate(r, [P1])
+        net.run()  # r announces P1 to the feed address; delivery is a no-op
+        assert net.messages_delivered >= 1
+
+
+class TestSessionOperations:
+    def _pair(self, net):
+        a = net.add_router("a", 100, parse_address("10.0.0.1"))
+        b = net.add_router("b", 200, parse_address("10.0.0.2"))
+        net.connect(a, b)
+        net.originate(a, [P1])
+        net.run()
+        return a, b
+
+    def test_fail_session_withdraws(self, net):
+        a, b = self._pair(net)
+        net.fail_session(a, b.address)
+        net.run()
+        assert b.best_route(P1) is None
+        assert not b.neighbor(a.address).session.is_established
+
+    def test_restore_session_reannounces(self, net):
+        a, b = self._pair(net)
+        net.fail_session(a, b.address)
+        net.run()
+        net.restore_session(a, b.address)
+        net.run()
+        assert b.best_route(P1) is not None
+
+
+class TestCollectorAttachment:
+    def test_collector_sees_best_routes(self, net):
+        r = net.add_router("r", 100, parse_address("10.0.0.1"))
+        rex = RouteExplorer()
+        rex_addr = parse_address("10.255.0.1")
+        net.attach_collector(rex, r, rex_addr)
+        net.originate(r, [P1])
+        net.run()
+        assert rex.route_count() == 1
+        assert len(rex.events) == 1
+        assert rex.events[0].peer == r.address
+
+    def test_collector_address_collision_rejected(self, net):
+        r = net.add_router("r", 100, parse_address("10.0.0.1"))
+        with pytest.raises(ValueError):
+            net.attach_collector(RouteExplorer(), r, r.address)
+
+    def test_collector_sees_withdrawals_with_attributes(self, net):
+        a = net.add_router("a", 100, parse_address("10.0.0.1"))
+        b = net.add_router("b", 200, parse_address("10.0.0.2"))
+        net.connect(a, b)
+        rex = RouteExplorer()
+        net.attach_collector(rex, b, parse_address("10.255.0.1"))
+        net.originate(a, [P1])
+        net.run()
+        net.fail_session(b, a.address)
+        net.run()
+        withdrawals = [e for e in rex.events if e.is_withdrawal]
+        assert len(withdrawals) == 1
+        # Augmentation: withdrawal carries the withdrawn route's path.
+        assert withdrawals[0].attributes.as_path.sequence == (100,)

@@ -1,0 +1,195 @@
+"""Unit tests for the synthetic collector views and event generators."""
+
+import pytest
+
+from repro.collector.rex import RouteExplorer
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.simulator.synthetic import (
+    BERKELEY_PROFILE,
+    ISP_ANON_PROFILE,
+    background_churn_events,
+    oscillation_events,
+    path_exploration_events,
+    populate_view,
+    replay_into,
+    session_reset_events,
+)
+
+
+class TestPopulateView:
+    def test_route_count_matches_request(self):
+        rex = RouteExplorer()
+        populate_view(rex, 5000, ISP_ANON_PROFILE)
+        assert rex.route_count() == 5000
+
+    def test_inventory_within_profile(self):
+        rex = RouteExplorer()
+        populate_view(rex, 20000, ISP_ANON_PROFILE)
+        assert rex.nexthop_count() <= ISP_ANON_PROFILE.nexthop_count
+        assert rex.neighbor_as_count() <= ISP_ANON_PROFILE.neighbor_as_count
+        assert len(rex.peers()) <= ISP_ANON_PROFILE.peer_count
+        # At this size the pools should be well exercised.
+        assert rex.neighbor_as_count() > 100
+
+    def test_berkeley_profile_small(self):
+        rex = RouteExplorer()
+        populate_view(rex, 2000, BERKELEY_PROFILE, routes_per_prefix=1.8)
+        assert rex.nexthop_count() <= 13
+        assert len(rex.peers()) <= 4
+
+    def test_deterministic(self):
+        a, b = RouteExplorer(), RouteExplorer()
+        populate_view(a, 3000, seed=5)
+        populate_view(b, 3000, seed=5)
+        assert a.route_count() == b.route_count()
+        assert a.nexthop_count() == b.nexthop_count()
+
+    def test_does_not_pollute_event_stream(self):
+        rex = RouteExplorer()
+        populate_view(rex, 1000)
+        assert len(rex.events) == 0
+
+    def test_routes_per_prefix_controls_amplification(self):
+        rex = RouteExplorer()
+        prefixes = populate_view(rex, 6000, routes_per_prefix=3.0)
+        assert len(prefixes) == 2000
+
+
+class TestSessionResetEvents:
+    def test_reset_produces_w_then_a(self):
+        rex = RouteExplorer()
+        populate_view(rex, 2000)
+        peer_index = 0
+        events = session_reset_events(rex, peer_index, start=100.0,
+                                      convergence_seconds=30.0)
+        assert events.withdraw_count() == events.announce_count()
+        assert events.withdraw_count() > 0
+        assert events.start_time >= 100.0
+        assert events.end_time <= 130.0
+
+    def test_withdrawals_carry_attributes(self):
+        rex = RouteExplorer()
+        populate_view(rex, 500)
+        events = session_reset_events(rex, 0, 0.0, 10.0)
+        assert all(len(e.attributes.as_path) > 0 for e in events)
+
+
+class TestPathExploration:
+    def test_exploration_produces_multiple_paths(self):
+        prefixes = [Prefix.parse("64.0.0.0/24"), Prefix.parse("64.0.1.0/24")]
+        alternates = [ASPath.parse("100 300"), ASPath.parse("100 400 500")]
+        events = path_exploration_events(
+            prefixes, 0, failed_edge=(100, 200), alternates=alternates,
+            start=0.0, spread_seconds=60.0,
+        )
+        # Every prefix is withdrawn once over the failed edge.
+        withdrawals = [e for e in events if e.is_withdrawal]
+        assert len(withdrawals) == 2
+        assert all(
+            e.attributes.as_path.sequence[:2] == (100, 200)
+            for e in withdrawals
+        )
+        assert events.announce_count() >= 2
+
+
+class TestOscillation:
+    def test_event_volume(self):
+        events = oscillation_events(
+            Prefix.parse("4.5.0.0/16"),
+            peer_indices=[0, 1],
+            paths=[ASPath.parse("1 45"), ASPath.parse("2 45")],
+            start=0.0,
+            duration=100.0,
+            period=10.0,
+        )
+        # 2 peers x 2 events x 10 cycles.
+        assert len(events) == 40
+        assert events.prefixes() == {Prefix.parse("4.5.0.0/16")}
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            oscillation_events(
+                Prefix.parse("4.5.0.0/16"), [0], [ASPath.parse("1 45")],
+                0.0, 10.0, period=0.0,
+            )
+
+
+class TestBackgroundChurn:
+    def test_rate(self):
+        prefixes = [Prefix.parse("64.0.0.0/24"), Prefix.parse("64.0.1.0/24")]
+        events = background_churn_events(
+            prefixes, peer_count=4, start=0.0, duration=100.0,
+            events_per_second=2.0,
+        )
+        assert len(events) == 200
+
+    def test_uncorrelated_paths(self):
+        prefixes = [Prefix.parse("64.0.0.0/24")]
+        events = background_churn_events(
+            prefixes, 4, 0.0, 100.0, 5.0, seed=3
+        )
+        paths = {e.attributes.as_path.sequence for e in events}
+        assert len(paths) > 50  # diverse, no dominating structure
+
+
+class TestSizedStream:
+    def _rex(self):
+        rex = RouteExplorer()
+        populate_view(rex, 2000)
+        return rex
+
+    def test_exact_count_and_timerange(self):
+        from repro.simulator.synthetic import sized_event_stream
+
+        stream = sized_event_stream(self._rex(), 1500, 423.0)
+        assert len(stream) == 1500
+        assert stream.timerange == 423.0
+
+    def test_mixture_has_structure_and_noise(self):
+        from repro.simulator.synthetic import sized_event_stream
+        from repro.stemming.stemmer import Stemmer
+
+        stream = sized_event_stream(self._rex(), 2000, 600.0)
+        # The stream must carry findable structure: the strongest
+        # component (an oscillating prefix) well above noise, and the
+        # leading components jointly explaining a large share.
+        result = Stemmer(max_components=8).decompose(stream)
+        assert result.components
+        assert result.components[0].event_count > 0.05 * len(stream)
+        assert result.coverage() > 0.5
+
+    def test_deterministic(self):
+        from repro.simulator.synthetic import sized_event_stream
+
+        a = sized_event_stream(self._rex(), 500, 100.0, seed=9)
+        b = sized_event_stream(self._rex(), 500, 100.0, seed=9)
+        assert [e.timestamp for e in a] == [e.timestamp for e in b]
+
+    def test_rejects_tiny_counts(self):
+        import pytest as _pytest
+
+        from repro.simulator.synthetic import sized_event_stream
+
+        with _pytest.raises(ValueError):
+            sized_event_stream(self._rex(), 1, 100.0)
+
+    def test_rejects_empty_collector(self):
+        import pytest as _pytest
+
+        from repro.simulator.synthetic import sized_event_stream
+
+        with _pytest.raises(ValueError):
+            sized_event_stream(RouteExplorer(), 100, 10.0)
+
+
+class TestReplay:
+    def test_replay_applies_collector_semantics(self):
+        rex = RouteExplorer()
+        populate_view(rex, 300)
+        reset = session_reset_events(rex, 0, 10.0, 5.0)
+        recorded = replay_into(RouteExplorer(), reset)
+        # Announce-before-withdraw per prefix fails augmentation, so the
+        # replayed collector records only withdrawals it could augment.
+        assert len(recorded) <= len(reset)
+        assert recorded.announce_count() == reset.announce_count()

@@ -1,0 +1,151 @@
+"""Integration tests for the Berkeley and ISP-Anon workload builders."""
+
+import pytest
+
+from repro.net.prefix import parse_address
+from repro.simulator.workloads import (
+    COMM_CENIC_LAAP,
+    COMM_ISP,
+    EDGE_13,
+    EDGE_200,
+    NH_90,
+    RL_66,
+    RL_70,
+    BerkeleySite,
+    IspAnonSite,
+    _family_partition,
+    synthetic_prefixes,
+)
+
+
+@pytest.fixture(scope="module")
+def berkeley() -> BerkeleySite:
+    return BerkeleySite(n_prefixes=400)
+
+
+@pytest.fixture(scope="module")
+def isp() -> IspAnonSite:
+    return IspAnonSite(n_reflectors=4, n_prefixes=200)
+
+
+class TestFamilyPartition:
+    def test_fractions_sum_to_total(self):
+        counts = _family_partition(1000)
+        assert sum(counts.values()) == 1000
+
+    def test_published_split(self):
+        counts = _family_partition(10000)
+        assert counts["commodity-66"] == 7800
+        assert counts["commodity-70"] == 500
+        assert counts["internet2"] == 600
+
+    def test_synthetic_prefixes_deterministic(self):
+        assert synthetic_prefixes(5, 3) == synthetic_prefixes(5, 3)
+        assert synthetic_prefixes(1, 0)[0].length == 24
+
+
+class TestBerkeleySite:
+    def test_rejects_tiny_universe(self):
+        with pytest.raises(ValueError):
+            BerkeleySite(n_prefixes=10)
+
+    def test_full_table_at_rex(self, berkeley):
+        # REX sees every prefix (each edge relays its EBGP best routes).
+        assert berkeley.rex.prefix_count() == berkeley.n_prefixes
+
+    def test_nexthop_split_matches_misconfiguration(self, berkeley):
+        """Section IV-A: .66 carries 78%, .70 carries 5% of all prefixes."""
+        per_nexthop: dict[int, int] = {}
+        for route in berkeley.rex.all_routes():
+            per_nexthop.setdefault(route.attributes.nexthop, set()).add(
+                route.prefix
+            )
+        total = berkeley.n_prefixes
+        share66 = len(per_nexthop[parse_address(RL_66)]) / total
+        share70 = len(per_nexthop[parse_address(RL_70)]) / total
+        assert share66 == pytest.approx(0.78, abs=0.02)
+        assert share70 == pytest.approx(0.05, abs=0.02)
+
+    def test_edge13_filters_non_commodity(self, berkeley):
+        """128.32.1.3 only accepts ISP-tagged (commodity) routes."""
+        edge13_peer = parse_address(EDGE_13)
+        prefixes_via_13 = {
+            e.prefix for e in berkeley.rex.events.for_peer(edge13_peer)
+        }
+        commodity = set(berkeley.commodity_prefixes())
+        assert prefixes_via_13 <= commodity
+
+    def test_edge200_carries_non_commodity(self, berkeley):
+        """Internet2 / CENIC routes reach REX via 128.32.1.200 only."""
+        edge200_peer = parse_address(EDGE_200)
+        i2 = set(berkeley.family("internet2").prefixes)
+        via_200 = {
+            e.prefix for e in berkeley.rex.events.for_peer(edge200_peer)
+        }
+        assert i2 <= via_200
+        nexthops = {
+            e.attributes.nexthop
+            for e in berkeley.rex.events.for_peer(edge200_peer)
+        }
+        assert nexthops == {parse_address(NH_90)}
+
+    def test_commodity_best_path_via_edge13(self, berkeley):
+        """LOCAL_PREF 80 at .3 beats 70 at .200 for commodity routes, so
+        edge200 selects the IBGP path via edge13 and stays quiet."""
+        prefix = berkeley.commodity_prefixes()[0]
+        best = berkeley.edge200.best_route(prefix)
+        assert best.peer == berkeley.edge13.address
+
+    def test_laap_tag_split(self, berkeley):
+        """Figure 6 ground truth: ~32% Los Nettos, ~68% KDDI."""
+        ln = len(berkeley.family("cenic-los-nettos").prefixes)
+        kddi = len(berkeley.family("cenic-kddi").prefixes)
+        assert ln / (ln + kddi) == pytest.approx(0.32, abs=0.03)
+
+    def test_tagged_events_selectable(self, berkeley):
+        tagged = berkeley.rex.events.with_community(COMM_CENIC_LAAP)
+        assert len(tagged.prefixes()) == len(
+            berkeley.family("cenic-los-nettos").prefixes
+        ) + len(berkeley.family("cenic-kddi").prefixes)
+
+    def test_family_lookup(self, berkeley):
+        assert berkeley.family("internet2").klass == "internet2"
+        with pytest.raises(KeyError):
+            berkeley.family("ghost")
+        assert len(berkeley.families_of("commodity-66")) >= 1
+
+    def test_isp_tag_on_commodity_only(self, berkeley):
+        for family in berkeley.families:
+            if family.klass.startswith("commodity"):
+                assert COMM_ISP in family.communities
+            else:
+                assert COMM_ISP not in family.communities
+
+
+class TestIspAnonSite:
+    def test_rejects_single_reflector(self):
+        with pytest.raises(ValueError):
+            IspAnonSite(n_reflectors=1)
+
+    def test_rex_peers_with_every_reflector(self, isp):
+        assert len(isp.rex.peers()) == isp.n_reflectors
+
+    def test_full_prefix_coverage(self, isp):
+        assert isp.rex.prefix_count() == isp.n_prefixes
+
+    def test_routes_amplified_by_reflection(self, isp):
+        """Every reflector announces its best path to REX, so the route
+        count is roughly prefixes × reflectors (the paper's 200k → 1.5M
+        amplification, at our reflector count)."""
+        assert isp.rex.route_count() == isp.n_prefixes * isp.n_reflectors
+
+    def test_many_neighbor_ases(self, isp):
+        assert isp.rex.neighbor_as_count() >= 20
+
+    def test_reflectors_converge_to_same_best(self, isp):
+        prefix = isp.feed_families[0].prefixes[0]
+        bests = {
+            r.best_route(prefix).attributes.as_path.sequence
+            for r in isp.reflectors
+        }
+        assert len(bests) == 1

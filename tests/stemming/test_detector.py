@@ -1,0 +1,115 @@
+"""Unit tests for the windowed streaming detector."""
+
+import pytest
+
+from repro.stemming.detector import StreamingDetector
+from tests.stemming.test_stemmer import mk_event, spike
+
+
+def oscillation(prefix: str, count: int, start: float, period: float,
+                peer="3.3.3.3"):
+    from repro.collector.events import EventKind
+
+    return [
+        mk_event(
+            start + i * period,
+            peer,
+            "4.4.4.4",
+            "700 800",
+            prefix,
+            EventKind.WITHDRAW if i % 2 else EventKind.ANNOUNCE,
+        )
+        for i in range(count)
+    ]
+
+
+class TestConstruction:
+    def test_rejects_no_windows(self):
+        with pytest.raises(ValueError):
+            StreamingDetector(windows=())
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            StreamingDetector(windows=(0.0,))
+
+
+class TestIngestion:
+    def test_buffer_grows_and_sorts(self):
+        detector = StreamingDetector(windows=(100.0,))
+        detector.ingest(spike("100 200", 5))
+        assert detector.buffered == 5
+
+    def test_trim_discards_beyond_longest_window(self):
+        detector = StreamingDetector(windows=(10.0,))
+        detector.ingest([mk_event(0.0, "1.1.1.1", "2.2.2.2", "1 2", "10.0.0.0/24")])
+        detector.ingest([mk_event(100.0, "1.1.1.1", "2.2.2.2", "1 2", "10.0.0.0/24")])
+        assert detector.buffered == 1
+
+    def test_out_of_order_ingest(self):
+        detector = StreamingDetector(windows=(1000.0,))
+        detector.ingest([mk_event(50.0, "1.1.1.1", "2.2.2.2", "1 2", "10.0.0.0/24")])
+        detector.ingest([mk_event(10.0, "1.1.1.1", "2.2.2.2", "1 2", "10.1.0.0/24")])
+        report = detector.report(at=30.0)
+        # Only the t=10 event falls inside (at-window, at].
+        assert report.by_window[1000.0].total_events == 1
+
+
+class TestWindowing:
+    def test_short_window_sees_recent_spike_only(self):
+        detector = StreamingDetector(windows=(60.0, 10_000.0))
+        old_spike = spike("100 200 300", 30)  # t = 0..29
+        recent = oscillation("4.5.0.0/16", 40, start=5000.0, period=1.0)
+        detector.ingest(old_spike + recent)
+        report = detector.report(at=5040.0)
+        short = report.by_window[60.0]
+        long_ = report.by_window[10_000.0]
+        assert short.total_events == 40  # oscillation only
+        assert long_.total_events == 70
+
+    def test_oscillation_dominates_long_window(self):
+        """The paper's detection story: the oscillation out-correlates a
+        bigger spike when the window is long enough to accumulate it."""
+        detector = StreamingDetector(windows=(60.0, 100_000.0))
+        reset = spike("100 200 300", 50)  # 50 events at t=0..49
+        osc = oscillation("4.5.0.0/16", 300, start=100.0, period=300.0)
+        detector.ingest(reset + osc)
+        report = detector.report()
+        top_long = report.strongest(100_000.0)
+        assert top_long is not None
+        assert str(next(iter(top_long.prefixes))) == "4.5.0.0/16"
+
+    def test_persistent_anomalies_flags_oscillation(self):
+        detector = StreamingDetector(windows=(60.0, 100_000.0))
+        osc = oscillation("4.5.0.0/16", 300, start=0.0, period=300.0)
+        # A fresh, louder spike inside the short window.
+        recent_spike = spike("100 200 300", 40)
+        shifted = [
+            mk_event(
+                89_000.0 + e.timestamp,
+                "1.1.1.1",
+                "2.2.2.2",
+                str(e.attributes.as_path),
+                str(e.prefix),
+                e.kind,
+            )
+            for e in recent_spike
+        ]
+        detector.ingest(osc + shifted)
+        report = detector.report()
+        persistent = report.persistent_anomalies()
+        assert any(
+            "4.5.0.0/16" in {str(p) for p in c.prefixes} for c in persistent
+        )
+
+    def test_strongest_overall_normalizes(self):
+        detector = StreamingDetector(windows=(60.0, 100_000.0))
+        detector.ingest(oscillation("4.5.0.0/16", 100, start=0.0, period=500.0))
+        report = detector.report()
+        assert report.strongest_overall() is not None
+
+    def test_report_on_empty_detector(self):
+        detector = StreamingDetector(windows=(60.0,))
+        report = detector.report()
+        assert report.by_window[60.0].total_events == 0
+        assert report.strongest(60.0) is None
+        assert report.strongest_overall() is None

@@ -1,0 +1,37 @@
+"""Direct tests for token formatting."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.stemming.encode import format_stem, format_token, stem_values
+
+
+class TestFormatToken:
+    def test_peer(self):
+        assert format_token(("peer", 0x80200103)) == "peer 128.32.1.3"
+
+    def test_nexthop(self):
+        assert format_token(("nh", 0x80200042)) == "nexthop 128.32.0.66"
+
+    def test_asn(self):
+        assert format_token(("as", 11423)) == "AS11423"
+
+    def test_prefix(self):
+        prefix = Prefix.parse("192.96.10.0/24")
+        assert format_token(("pfx", prefix)) == "192.96.10.0/24"
+
+    def test_unknown_namespace_rejected(self):
+        with pytest.raises(ValueError):
+            format_token(("bogus", 1))
+
+
+class TestFormatStem:
+    def test_as_edge(self):
+        assert format_stem((("as", 11423), ("as", 209))) == "AS11423--AS209"
+
+    def test_session_edge(self):
+        text = format_stem((("peer", 0x01010101), ("nh", 0x02020202)))
+        assert text == "peer 1.1.1.1--nexthop 2.2.2.2"
+
+    def test_stem_values_strips_namespaces(self):
+        assert stem_values((("as", 11423), ("as", 209))) == (11423, 209)

@@ -1,0 +1,90 @@
+"""The paper's Figure 4 walk-through, verbatim.
+
+Ten route withdrawals during a Berkeley event spike. Eight of them share
+the portion 11423-209; Stemming must locate the problem at the last edge
+of that common portion, i.e. the AS edge 11423--209.
+"""
+
+from repro.collector.events import BGPEvent
+from repro.stemming.encode import format_stem
+from repro.stemming.stemmer import Stemmer
+
+FIGURE_4_LINES = [
+    "W 128.32.1.3 NEXT_HOP: 128.32.0.70 ASPATH: 11423 209 701 1299 5713 PREFIX: 192.96.10.0/24",
+    "W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 11422 209 4519 PREFIX: 207.191.23.0/24",
+    "W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 701 1299 5713 PREFIX: 192.96.10.0/24",
+    "W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 1239 3228 21408 PREFIX: 212.22.132.0/23",
+    "W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 701 705 PREFIX: 203.14.156.0/24",
+    "W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 11422 209 1239 3602 PREFIX: 209.5.188.0/24",
+    "W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 7018 13606 PREFIX: 12.2.41.0/24",
+    "W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 7018 13606 PREFIX: 12.96.77.0/24",
+    "W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 1239 5400 15410 PREFIX: 62.80.64.0/20",
+    "W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 1239 5400 15410 PREFIX: 62.80.64.0/20",
+]
+
+
+def figure4_events() -> list[BGPEvent]:
+    return [
+        BGPEvent.parse_line(line, timestamp=float(i))
+        for i, line in enumerate(FIGURE_4_LINES)
+    ]
+
+
+class TestFigure4:
+    def test_stem_is_11423_209(self):
+        """The paper: 'The last edge of the common portion, in this case
+        11423-209, would be the failure location.'"""
+        component = Stemmer().strongest_component(figure4_events())
+        assert component is not None
+        assert component.location == (11423, 209)
+        assert component.stem == (("as", 11423), ("as", 209))
+
+    def test_eight_of_ten_share_the_stem(self):
+        component = Stemmer().strongest_component(figure4_events())
+        assert component.strength == 8
+
+    def test_affected_prefixes(self):
+        """P = prefixes of events containing s'; E = all events touching
+        those prefixes. 62.80.64.0/20 and 192.96.10.0/24 are each
+        withdrawn at two peers, so E covers those extra events too."""
+        component = Stemmer().strongest_component(figure4_events())
+        prefix_texts = {str(p) for p in component.prefixes}
+        assert "192.96.10.0/24" in prefix_texts
+        assert "12.2.41.0/24" in prefix_texts
+        # The two events not sharing 11423-209 (via 11423 11422 209 ...)
+        # do not contribute their prefixes.
+        assert "207.191.23.0/24" not in prefix_texts
+        assert "209.5.188.0/24" not in prefix_texts
+
+    def test_component_events_superset_of_matches(self):
+        component = Stemmer().strongest_component(figure4_events())
+        # 8 events contain the subsequence directly; they touch 6
+        # distinct prefixes (two prefixes are withdrawn at both peers).
+        assert component.event_count == 8
+        assert len(component.prefixes) == 6
+
+    def test_one_hop_down_variant(self):
+        """The paper: had the failure been between 209 and 7018, the
+        common portion would be 11423-209-7018 and the stem 209-7018.
+        Key ingredient: the withdrawn paths *diverge after* 7018."""
+        lines = [
+            "W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 7018 13606 PREFIX: 12.2.41.0/24",
+            "W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 7018 6389 PREFIX: 12.96.77.0/24",
+            "W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 7018 2386 PREFIX: 12.44.9.0/24",
+            "W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 7018 4323 PREFIX: 12.108.1.0/24",
+        ]
+        events = [
+            BGPEvent.parse_line(line, timestamp=float(i))
+            for i, line in enumerate(lines)
+        ]
+        component = Stemmer().strongest_component(events)
+        assert component.location == (209, 7018)
+
+    def test_full_decomposition_explains_spike(self):
+        result = Stemmer(min_strength=1).decompose(figure4_events())
+        assert result.components[0].location == (11423, 209)
+        assert result.coverage() == 1.0
+
+    def test_format_stem_readable(self):
+        component = Stemmer().strongest_component(figure4_events())
+        assert format_stem(component.stem) == "AS11423--AS209"

@@ -1,0 +1,129 @@
+"""Property-based invariants of the Stemming decomposition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collector.events import BGPEvent, EventKind
+from repro.net.aspath import ASPath
+from repro.net.attributes import PathAttributes
+from repro.net.prefix import Prefix
+from repro.stemming.counter import SubsequenceCounter
+from repro.stemming.stemmer import Stemmer, _contains
+
+
+@st.composite
+def random_streams(draw):
+    """Random small event streams with tunable correlation structure."""
+    n = draw(st.integers(min_value=0, max_value=60))
+    events = []
+    for i in range(n):
+        peer = draw(st.integers(1, 3))
+        nexthop = draw(st.integers(10, 12))
+        path = draw(
+            st.lists(st.integers(100, 105), min_size=1, max_size=4)
+        )
+        prefix_index = draw(st.integers(0, 9))
+        events.append(
+            BGPEvent(
+                timestamp=float(i),
+                kind=draw(
+                    st.sampled_from([EventKind.ANNOUNCE, EventKind.WITHDRAW])
+                ),
+                peer=peer,
+                prefix=Prefix(0x0A000000 + prefix_index * 256, 24),
+                attributes=PathAttributes(
+                    nexthop=nexthop, as_path=ASPath(path)
+                ),
+            )
+        )
+    return events
+
+
+class TestDecompositionInvariants:
+    @given(random_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_components_partition_prefixes(self, events):
+        """No prefix belongs to two components."""
+        result = Stemmer(min_strength=1).decompose(events)
+        seen: set = set()
+        for component in result.components:
+            assert not (seen & set(component.prefixes))
+            seen |= set(component.prefixes)
+
+    @given(random_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_events_accounted_for(self, events):
+        """Component events + residual = total; no event lost or doubled."""
+        result = Stemmer(min_strength=1, max_components=64).decompose(events)
+        explained = sum(c.event_count for c in result.components)
+        assert explained + result.residual_events == result.total_events
+
+    @given(random_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_strengths_non_increasing(self, events):
+        result = Stemmer(min_strength=1).decompose(events)
+        strengths = [c.strength for c in result.components]
+        assert strengths == sorted(strengths, reverse=True)
+
+    @given(random_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_stem_is_suffix_of_subsequence(self, events):
+        result = Stemmer(min_strength=1).decompose(events)
+        for component in result.components:
+            assert component.stem == tuple(component.subsequence[-2:])
+
+    @given(random_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_every_component_event_touches_its_prefixes(self, events):
+        result = Stemmer(min_strength=1).decompose(events)
+        for component in result.components:
+            for event in component.events:
+                assert event.prefix in component.prefixes
+
+    @given(random_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_strength_counts_subsequence_occurrences(self, events):
+        """The reported strength equals the number of events (in the
+        stream at extraction time) containing the winning subsequence.
+        For the FIRST component that stream is the full input."""
+        result = Stemmer(min_strength=1).decompose(events)
+        if not result.components:
+            return
+        first = result.components[0]
+        actual = sum(
+            1 for e in events if _contains(e.sequence, first.subsequence)
+        )
+        assert first.strength == actual
+
+    @given(random_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_bounds(self, events):
+        result = Stemmer(min_strength=1).decompose(events)
+        assert 0.0 <= result.coverage() <= 1.0
+        if events and len(result.components):
+            assert result.coverage() > 0.0
+
+
+class TestCounterInvariants:
+    @given(random_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_monotonicity_under_extension(self, events):
+        """count(s) ≥ count(s + t) for every counted extension."""
+        counter = SubsequenceCounter()
+        counter.add_all(events)
+        counts = counter.counts()
+        for subsequence, count in counts.items():
+            if len(subsequence) > 2:
+                assert counts[subsequence[:-1]] >= count
+                assert counts[subsequence[1:]] >= count
+
+    @given(random_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_top_is_maximal(self, events):
+        counter = SubsequenceCounter()
+        counter.add_all(events)
+        top = counter.top()
+        if top is None:
+            return
+        _, best_count = top
+        assert best_count == max(counter.counts().values())

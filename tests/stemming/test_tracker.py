@@ -1,0 +1,139 @@
+"""Tests for incident lifecycle tracking."""
+
+from repro.stemming.detector import StreamingDetector
+from repro.stemming.tracker import IncidentState, IncidentTracker
+from tests.stemming.test_stemmer import mk_event, spike
+
+
+def detector_with(events, windows=(600.0,)):
+    detector = StreamingDetector(windows=windows)
+    detector.ingest(events)
+    return detector
+
+
+class TestLifecycle:
+    def test_new_incident(self):
+        tracker = IncidentTracker()
+        detector = detector_with(spike("100 200 300", 20))
+        changed = tracker.observe(detector.report(at=30.0))
+        assert len(changed) == 1
+        assert changed[0].state is IncidentState.NEW
+        assert changed[0].location == (200, 300)
+
+    def test_ongoing_incident(self):
+        tracker = IncidentTracker()
+        detector = StreamingDetector(windows=(600.0,))
+        detector.ingest(spike("100 200 300", 20))
+        tracker.observe(detector.report(at=30.0))
+        detector.ingest(
+            spike("100 200 300", 10, start_prefix=500)
+        )
+        changed = tracker.observe(detector.report(at=60.0))
+        incident = tracker.incident_at((200, 300))
+        assert incident.state is IncidentState.ONGOING
+        assert incident.observations == 2
+        assert incident.duration == 30.0
+        # An ongoing incident is not a *change*.
+        assert incident not in changed
+
+    def test_resolution_after_grace(self):
+        tracker = IncidentTracker(resolve_after=100.0)
+        detector = StreamingDetector(windows=(50.0,))
+        detector.ingest(spike("100 200 300", 20))
+        tracker.observe(detector.report(at=30.0))
+        # Much later: the window no longer contains the spike.
+        changed = tracker.observe(detector.report(at=500.0))
+        incident = tracker.incident_at((200, 300))
+        assert incident.state is IncidentState.RESOLVED
+        assert incident in changed
+
+    def test_no_premature_resolution(self):
+        tracker = IncidentTracker(resolve_after=1000.0)
+        detector = StreamingDetector(windows=(50.0,))
+        detector.ingest(spike("100 200 300", 20))
+        tracker.observe(detector.report(at=30.0))
+        tracker.observe(detector.report(at=200.0))  # quiet, within grace
+        assert (
+            tracker.incident_at((200, 300)).state is not IncidentState.RESOLVED
+        )
+
+    def test_relapse_is_a_change(self):
+        tracker = IncidentTracker(resolve_after=50.0)
+        detector = StreamingDetector(windows=(40.0,))
+        detector.ingest(spike("100 200 300", 20))
+        tracker.observe(detector.report(at=30.0))
+        tracker.observe(detector.report(at=200.0))  # resolves
+        assert tracker.incident_at((200, 300)).state is IncidentState.RESOLVED
+        # The same location flares again.
+        relapse = [
+            mk_event(300.0 + i, "1.1.1.1", "2.2.2.2",
+                     f"100 200 300 {60000 + i}", f"10.9.{i}.0/24")
+            for i in range(10)
+        ]
+        detector.ingest(relapse)
+        changed = tracker.observe(detector.report(at=310.0))
+        incident = tracker.incident_at((200, 300))
+        assert incident.state is IncidentState.ONGOING
+        assert incident in changed
+
+    def test_weak_components_ignored(self):
+        tracker = IncidentTracker(min_strength=10)
+        detector = detector_with(spike("100 200 300", 4))
+        tracker.observe(detector.report(at=10.0))
+        assert tracker.all_incidents() == []
+
+
+class TestQueries:
+    def test_active_sorted_by_peak(self):
+        tracker = IncidentTracker()
+        detector = StreamingDetector(windows=(600.0,))
+        detector.ingest(spike("100 200 300", 30))
+        detector.ingest(
+            spike("500 600 700", 8, start_prefix=500, peer="5.5.5.5")
+        )
+        tracker.observe(detector.report(at=40.0))
+        active = tracker.active()
+        assert len(active) == 2
+        assert active[0].location == (200, 300)
+
+    def test_summary_readable(self):
+        tracker = IncidentTracker()
+        assert tracker.summary() == "no incidents tracked"
+        detector = detector_with(spike("100 200 300", 20))
+        tracker.observe(detector.report(at=10.0))
+        text = tracker.summary()
+        assert "AS200--AS300" in text
+        assert "new" in text
+
+
+class TestOperationalStory:
+    def test_oscillation_tracked_through_life(self):
+        """A persistent oscillation: NEW on first sight, ONGOING across
+        many reports, RESOLVED after the fix."""
+        from repro.collector.events import EventKind
+
+        tracker = IncidentTracker(resolve_after=120.0)
+        detector = StreamingDetector(windows=(300.0,))
+
+        def osc(start, count):
+            return [
+                mk_event(
+                    start + i * 10.0, "3.3.3.3", "4.4.4.4", "700 800",
+                    "4.5.0.0/16",
+                    EventKind.WITHDRAW if i % 2 else EventKind.ANNOUNCE,
+                )
+                for i in range(count)
+            ]
+
+        detector.ingest(osc(0.0, 30))
+        first = tracker.observe(detector.report(at=300.0))
+        assert first and first[0].state is IncidentState.NEW
+        detector.ingest(osc(300.0, 30))
+        tracker.observe(detector.report(at=600.0))
+        incident = tracker.active()[0]
+        assert incident.state is IncidentState.ONGOING
+        assert incident.observations == 2
+        # Fixed: no more events; reports go quiet past the grace period.
+        tracker.observe(detector.report(at=1200.0))
+        assert incident.state is IncidentState.RESOLVED
+        assert tracker.active() == []

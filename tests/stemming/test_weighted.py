@@ -1,0 +1,80 @@
+"""Unit tests for traffic-weighted Stemming."""
+
+from repro.net.prefix import Prefix
+from repro.stemming.weighted import TrafficWeightedStemmer
+from tests.stemming.test_stemmer import mk_event, spike
+
+
+class TestWeighting:
+    def test_elephant_outranks_mice(self):
+        """Ten mice events lose to two elephant events when the elephant
+        prefix carries 100x the traffic — the Section III-D.2 rationale."""
+        mice = spike("100 200 300", 10)  # prefixes 10.0.x.0/24
+        elephant_prefix = "192.0.2.0/24"
+        elephants = [
+            mk_event(50.0 + i, "9.9.9.9", "8.8.8.8", "500 600", elephant_prefix)
+            for i in range(2)
+        ]
+        volumes = {Prefix.parse(elephant_prefix): 100.0}
+        weighted = TrafficWeightedStemmer(volumes=volumes, default_volume=1.0)
+        result = weighted.decompose(mice + elephants)
+        top = result.components[0]
+        assert Prefix.parse(elephant_prefix) in top.prefixes
+        assert top.strength == 200  # 2 events x volume 100
+
+    def test_unweighted_ranking_reversed(self):
+        """Sanity check: the plain stemmer ranks the same stream the
+        other way around."""
+        from repro.stemming.stemmer import Stemmer
+
+        mice = spike("100 200 300", 10)
+        elephants = [
+            mk_event(50.0 + i, "9.9.9.9", "8.8.8.8", "500 600", "192.0.2.0/24")
+            for i in range(2)
+        ]
+        result = Stemmer().decompose(mice + elephants)
+        assert Prefix.parse("192.0.2.0/24") not in result.components[0].prefixes
+
+    def test_default_volume_applies(self):
+        weighted = TrafficWeightedStemmer(volumes={}, default_volume=3.0)
+        result = weighted.decompose(spike("100 200 300", 4))
+        assert result.components[0].strength == 12
+
+    def test_decomposition_structure_matches_unweighted_for_uniform_volumes(self):
+        from repro.stemming.stemmer import Stemmer
+
+        events = spike("100 200 300", 20) + spike(
+            "500 600 700", 8, start_prefix=500, peer="5.5.5.5"
+        )
+        uniform = TrafficWeightedStemmer(volumes={}, default_volume=1.0)
+        weighted_result = uniform.decompose(events)
+        plain_result = Stemmer().decompose(events)
+        assert [c.location for c in weighted_result.components] == [
+            c.location for c in plain_result.components
+        ]
+        assert [c.strength for c in weighted_result.components] == [
+            c.strength for c in plain_result.components
+        ]
+
+    def test_empty_stream(self):
+        weighted = TrafficWeightedStemmer(volumes={})
+        result = weighted.decompose([])
+        assert result.components == ()
+
+    def test_max_components_bound(self):
+        events = []
+        for i in range(6):
+            events += spike(
+                f"{100 + i} {200 + i} {300 + i}",
+                3,
+                start_prefix=i * 50,
+                peer=f"7.7.7.{i + 1}",
+            )
+        weighted = TrafficWeightedStemmer(volumes={}, max_components=2)
+        assert len(weighted.decompose(events).components) == 2
+
+    def test_volume_of(self):
+        p = Prefix.parse("10.0.0.0/8")
+        weighted = TrafficWeightedStemmer(volumes={p: 7.0}, default_volume=2.0)
+        assert weighted.volume_of(p) == 7.0
+        assert weighted.volume_of(Prefix.parse("11.0.0.0/8")) == 2.0

@@ -1,0 +1,194 @@
+"""Unit tests for TAMP animation generation."""
+
+import pytest
+
+from repro.bgp.rib import Route
+from repro.collector.stream import EventStream
+from repro.tamp.animate import EdgeState, animate_stream
+from tests.tamp.test_incremental import (
+    NH,
+    P,
+    PEER_A,
+    announce,
+    attrs,
+    withdraw,
+)
+from repro.net.prefix import Prefix
+
+
+def prefixes(n: int, base: int = 0x40000000):
+    return [Prefix(base + i * 256, 24) for i in range(n)]
+
+
+class TestFrameStructure:
+    def test_fixed_frame_count(self):
+        """30 s x 25 fps = 750 frames, whatever the incident timerange."""
+        events = EventStream(
+            [announce(PEER_A, p, "11423 209", t=float(i))
+             for i, p in enumerate(prefixes(20))]
+        )
+        animation = animate_stream(events)
+        assert animation.frame_count == 750
+
+    def test_custom_duration_and_fps(self):
+        events = EventStream([announce(PEER_A, P, "11423 209", t=0.0)])
+        animation = animate_stream(events, play_duration=2.0, fps=10)
+        assert animation.frame_count == 20
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            animate_stream(EventStream(), play_duration=0.0)
+        with pytest.raises(ValueError):
+            animate_stream(EventStream(), fps=0)
+
+    def test_every_event_consumed(self):
+        events = EventStream(
+            [announce(PEER_A, p, "11423 209", t=float(i))
+             for i, p in enumerate(prefixes(50))]
+        )
+        animation = animate_stream(events, play_duration=1.0, fps=5)
+        assert animation.tamp.route_count() == 50
+
+    def test_timerange_recorded(self):
+        events = EventStream(
+            [
+                announce(PEER_A, P, "11423 209", t=10.0),
+                withdraw(PEER_A, P, "11423 209", t=433.0),
+            ]
+        )
+        animation = animate_stream(events, play_duration=1.0, fps=5)
+        assert animation.timerange == 423.0
+
+    def test_clock_text_scales_units(self):
+        events = EventStream(
+            [
+                announce(PEER_A, P, "11423 209", t=0.0),
+                withdraw(PEER_A, P, "11423 209", t=7200.0 * 3),
+            ]
+        )
+        animation = animate_stream(events, play_duration=1.0, fps=4)
+        assert "h" in animation.frames[-1].clock_text()
+
+
+class TestEdgeStates:
+    def test_gaining_edges_green(self):
+        events = EventStream(
+            [announce(PEER_A, p, "11423 209", t=float(i))
+             for i, p in enumerate(prefixes(10))]
+        )
+        animation = animate_stream(events, play_duration=1.0, fps=5)
+        states = animation.states_seen((("as", 11423), ("as", 209)))
+        assert states == {EdgeState.GAINING}
+
+    def test_losing_edges_blue(self):
+        baseline = [Route(p, attrs("11423 209"), PEER_A) for p in prefixes(10)]
+        events = EventStream(
+            [withdraw(PEER_A, p, "11423 209", t=float(i))
+             for i, p in enumerate(prefixes(10))]
+        )
+        animation = animate_stream(events, baseline=baseline,
+                                   play_duration=1.0, fps=5)
+        states = animation.states_seen((("as", 11423), ("as", 209)))
+        assert states == {EdgeState.LOSING}
+
+    def test_flapping_edges_yellow(self):
+        """Announce+withdraw of the same prefix inside one frame slice."""
+        events = []
+        for i in range(50):
+            events.append(announce(PEER_A, P, "11423 209", t=i * 1.0))
+            events.append(withdraw(PEER_A, P, "11423 209", t=i * 1.0 + 0.5))
+        animation = animate_stream(
+            EventStream(events), play_duration=1.0, fps=2
+        )
+        states = animation.states_seen((("as", 11423), ("as", 209)))
+        assert EdgeState.FLAPPING in states
+
+    def test_shadow_marks_historical_maximum(self):
+        baseline = [Route(p, attrs("11423 209"), PEER_A) for p in prefixes(10)]
+        events = EventStream(
+            [withdraw(PEER_A, p, "11423 209", t=float(i))
+             for i, p in enumerate(prefixes(6))]
+        )
+        animation = animate_stream(events, baseline=baseline,
+                                   play_duration=1.0, fps=5)
+        shadows = animation.final_shadows()
+        assert shadows[(("as", 11423), ("as", 209))] == 10
+        # Live weight dropped to 4, shadow remembers 10.
+        assert animation.tamp.graph.weight(("as", 11423), ("as", 209)) == 4
+
+    def test_recovered_edge_loses_shadow(self):
+        baseline = [Route(p, attrs("11423 209"), PEER_A) for p in prefixes(5)]
+        events = []
+        for i, p in enumerate(prefixes(5)):
+            events.append(withdraw(PEER_A, p, "11423 209", t=float(i)))
+        for i, p in enumerate(prefixes(5)):
+            events.append(announce(PEER_A, p, "11423 209", t=10.0 + i))
+        animation = animate_stream(EventStream(events), baseline=baseline,
+                                   play_duration=1.0, fps=5)
+        assert (("as", 11423), ("as", 209)) not in animation.final_shadows()
+
+
+class TestEdgeSeries:
+    def test_tracked_edge_sampled(self):
+        """The Figure 3 per-edge plot: impulses as the edge flaps between
+        carrying and not carrying its one prefix."""
+        events = []
+        for i in range(20):
+            events.append(announce(PEER_A, P, "11423 209", t=i * 1.0))
+            events.append(withdraw(PEER_A, P, "11423 209", t=i * 1.0 + 0.5))
+        edge = (("as", 11423), ("as", 209))
+        animation = animate_stream(
+            EventStream(events),
+            play_duration=1.0,
+            fps=2,
+            track_edges=[edge],
+        )
+        series = animation.series[edge]
+        assert series.is_impulse_train()
+        assert set(series.counts()) == {0, 1}
+
+    def test_untracked_edges_absent(self):
+        events = EventStream([announce(PEER_A, P, "11423 209", t=0.0)])
+        animation = animate_stream(events, play_duration=1.0, fps=2)
+        assert animation.series == {}
+
+    def test_stable_edge_not_impulse_train(self):
+        events = EventStream(
+            [announce(PEER_A, p, "11423 209", t=float(i))
+             for i, p in enumerate(prefixes(10))]
+        )
+        edge = (("as", 11423), ("as", 209))
+        animation = animate_stream(
+            events, play_duration=1.0, fps=2, track_edges=[edge]
+        )
+        assert not animation.series[edge].is_impulse_train()
+
+
+class TestChangeSummary:
+    def test_frames_with_changes(self):
+        events = EventStream([announce(PEER_A, P, "11423 209", t=0.0)])
+        animation = animate_stream(events, play_duration=1.0, fps=10)
+        changed = animation.frames_with_changes()
+        assert len(changed) == 1
+
+    def test_empty_stream(self):
+        animation = animate_stream(EventStream(), play_duration=1.0, fps=5)
+        assert animation.frame_count == 5
+        assert animation.frames_with_changes() == []
+
+    def test_preloaded_tamp_skips_baseline(self):
+        """The Table I methodology: baseline loading excluded by passing
+        a pre-loaded incremental state."""
+        from repro.tamp.incremental import IncrementalTamp
+
+        baseline = [Route(p, attrs("11423 209"), PEER_A) for p in prefixes(5)]
+        tamp = IncrementalTamp("site")
+        tamp.load_routes(baseline)
+        events = EventStream(
+            [withdraw(PEER_A, prefixes(5)[0], "11423 209", t=1.0)]
+        )
+        animation = animate_stream(
+            events, play_duration=1.0, fps=5, tamp=tamp
+        )
+        assert animation.tamp is tamp
+        assert animation.tamp.graph.weight(("as", 11423), ("as", 209)) == 4

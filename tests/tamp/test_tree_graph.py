@@ -1,0 +1,177 @@
+"""Unit tests for TAMP trees and graphs beyond the Figure 1 example."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.aspath import ASPath
+from repro.net.attributes import PathAttributes
+from repro.net.prefix import Prefix, parse_address
+from repro.tamp.graph import TampGraph
+from repro.tamp.tree import TampTree, route_path_tokens
+
+NH = parse_address("10.0.0.1")
+
+
+def attrs(path: str, nexthop: int = NH) -> PathAttributes:
+    return PathAttributes(nexthop=nexthop, as_path=ASPath.parse(path))
+
+
+P = Prefix.parse("192.0.2.0/24")
+
+
+class TestPathTokens:
+    def test_chain_shape(self):
+        chain = route_path_tokens(("router", "r"), P, attrs("1 2 3"))
+        assert chain == [
+            ("router", "r"),
+            ("nh", NH),
+            ("as", 1),
+            ("as", 2),
+            ("as", 3),
+            ("pfx", P),
+        ]
+
+    def test_prepending_collapses(self):
+        """AS prepending traverses one AS; the tree must not self-loop."""
+        chain = route_path_tokens(("router", "r"), P, attrs("1 1 1 2"))
+        assert chain == [
+            ("router", "r"),
+            ("nh", NH),
+            ("as", 1),
+            ("as", 2),
+            ("pfx", P),
+        ]
+
+    def test_no_prefix_leaf(self):
+        chain = route_path_tokens(
+            ("router", "r"), P, attrs("1"), include_prefix_leaf=False
+        )
+        assert chain[-1] == ("as", 1)
+
+    def test_empty_path_links_nexthop_to_prefix(self):
+        chain = route_path_tokens(("router", "r"), P, attrs(""))
+        assert chain == [("router", "r"), ("nh", NH), ("pfx", P)]
+
+
+class TestTreeMaintenance:
+    def test_remove_route_reverses_add(self):
+        tree = TampTree("r")
+        tree.add_route(P, attrs("1 2"))
+        tree.remove_route(P, attrs("1 2"))
+        assert tree.edge_count() == 0
+        assert tree.nodes() == {("router", "r")}
+
+    def test_remove_keeps_shared_edges(self):
+        tree = TampTree("r")
+        other = Prefix.parse("198.51.100.0/24")
+        tree.add_route(P, attrs("1 2"))
+        tree.add_route(other, attrs("1 2"))
+        tree.remove_route(P, attrs("1 2"))
+        assert tree.weight(("as", 1), ("as", 2)) == 1
+
+    def test_children(self):
+        tree = TampTree("r")
+        tree.add_route(P, attrs("1 2"))
+        assert tree.children(("router", "r")) == {("nh", NH)}
+        assert tree.children(("as", 1)) == {("as", 2)}
+
+
+class TestGraphOperations:
+    def test_add_prefix_returns_novelty(self):
+        graph = TampGraph()
+        assert graph.add_prefix(("as", 1), ("as", 2), P)
+        assert not graph.add_prefix(("as", 1), ("as", 2), P)  # refcount bump
+        assert graph.weight(("as", 1), ("as", 2)) == 1
+
+    def test_discard_respects_refcounts(self):
+        graph = TampGraph()
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        assert not graph.discard_prefix(("as", 1), ("as", 2), P)
+        assert graph.weight(("as", 1), ("as", 2)) == 1
+        assert graph.discard_prefix(("as", 1), ("as", 2), P)
+        assert not graph.has_edge(("as", 1), ("as", 2))
+
+    def test_discard_unknown_is_noop(self):
+        graph = TampGraph()
+        assert not graph.discard_prefix(("as", 1), ("as", 2), P)
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        other = Prefix.parse("198.51.100.0/24")
+        assert not graph.discard_prefix(("as", 1), ("as", 2), other)
+
+    def test_depths(self):
+        graph = TampGraph("site")
+        tree = TampTree("r")
+        tree.add_route(P, attrs("1 2"))
+        graph.merge_tree(tree)
+        depths = graph.depths()
+        assert depths[("root", "site")] == 0
+        assert depths[("router", "r")] == 1
+        assert depths[("nh", NH)] == 2
+        assert depths[("as", 1)] == 3
+        assert depths[("pfx", P)] == 5
+
+    def test_edge_fraction(self):
+        graph = TampGraph()
+        other = Prefix.parse("198.51.100.0/24")
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        graph.add_prefix(("as", 1), ("as", 3), other)
+        assert graph.edge_fraction(("as", 1), ("as", 2)) == 0.5
+
+    def test_copy_is_independent(self):
+        graph = TampGraph()
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        duplicate = graph.copy()
+        duplicate.discard_prefix(("as", 1), ("as", 2), P)
+        assert graph.has_edge(("as", 1), ("as", 2))
+        assert not duplicate.has_edge(("as", 1), ("as", 2))
+
+    def test_roots_without_site(self):
+        graph = TampGraph()
+        graph.add_prefix(("router", "r"), ("nh", NH), P)
+        assert graph.roots() == [("router", "r")]
+
+
+class TestMergeProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5),  # prefix index
+                st.sampled_from(["1", "1 2", "2 3", "3"]),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.lists(
+            st.tuples(
+                st.integers(0, 5),
+                st.sampled_from(["1", "1 2", "2 3", "3"]),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_merged_weight_is_union_size(self, routes_x, routes_y):
+        prefixes = [Prefix(0x0A000000 + i * 256, 24) for i in range(6)]
+        x, y = TampTree("X"), TampTree("Y")
+        for idx, path in routes_x:
+            x.add_route(prefixes[idx], attrs(path))
+        for idx, path in routes_y:
+            y.add_route(prefixes[idx], attrs(path))
+        merged = TampGraph.merge([x, y])
+        for (parent, child), merged_prefixes in merged.edges():
+            expected = x.edge_prefixes(parent, child) | y.edge_prefixes(
+                parent, child
+            )
+            assert merged_prefixes == expected
+            assert merged.weight(parent, child) == len(expected)
+
+    @given(st.lists(st.sampled_from(["1", "1 2", "1 2 3"]), max_size=15))
+    def test_weight_bounded_by_total(self, paths):
+        tree = TampTree("r")
+        for i, path in enumerate(paths):
+            tree.add_route(Prefix(0x0A000000 + i * 256, 24), attrs(path))
+        graph = TampGraph.merge([tree])
+        total = graph.total_prefixes()
+        for (parent, child), prefixes in graph.edges():
+            assert len(prefixes) <= total

@@ -1,0 +1,36 @@
+"""The examples must stay runnable: they are the public API's contract."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in ALL_EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(ALL_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs_end_to_end(tmp_path):
+    """Execute the quickstart in a subprocess; it must report detection
+    and write its SVG output."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "matches injected incident: True" in result.stdout
+    assert (EXAMPLES_DIR / "output" / "berkeley_picture.svg").exists()

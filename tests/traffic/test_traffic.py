@@ -1,0 +1,171 @@
+"""Unit tests for the traffic substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.traffic.elephants import (
+    concentration,
+    elephants_of,
+    flows_from_volumes,
+    zipf_volumes,
+)
+from repro.traffic.flows import FlowCollector, FlowRecord
+from repro.traffic.volume import VolumeTable, edge_volumes, imbalance_report
+
+
+def prefixes(n: int):
+    return [Prefix(0x40000000 + i * 256, 24) for i in range(n)]
+
+
+class TestFlowRecords:
+    def test_negative_counters_rejected(self):
+        with pytest.raises(ValueError):
+            FlowRecord(0.0, prefixes(1)[0], bytes=-1)
+
+    def test_volume_by_prefix(self):
+        collector = FlowCollector()
+        p1, p2 = prefixes(2)
+        collector.add(FlowRecord(0.0, p1, 100))
+        collector.add(FlowRecord(1.0, p1, 50))
+        collector.add(FlowRecord(2.0, p2, 10))
+        volumes = collector.volume_by_prefix()
+        assert volumes == {p1: 150, p2: 10}
+        assert collector.total_volume() == 160
+
+    def test_time_windowing(self):
+        collector = FlowCollector()
+        p = prefixes(1)[0]
+        collector.add_all(
+            [FlowRecord(t, p, 10) for t in (0.0, 5.0, 10.0)]
+        )
+        assert collector.volume_by_prefix(start=4.0, end=9.0) == {p: 10}
+
+    def test_volume_by_interface(self):
+        collector = FlowCollector()
+        p = prefixes(1)[0]
+        collector.add(FlowRecord(0.0, p, 100, interface="to-rl-66"))
+        collector.add(FlowRecord(0.0, p, 30, interface="to-rl-70"))
+        by_iface = collector.volume_by_interface()
+        assert by_iface["to-rl-66"] == 100
+        assert by_iface["to-rl-70"] == 30
+
+
+class TestZipfModel:
+    def test_total_volume_preserved(self):
+        volumes = zipf_volumes(prefixes(100), total_volume=1e6)
+        assert sum(volumes.values()) == pytest.approx(1e6)
+
+    def test_elephant_mice_concentration(self):
+        """The paper's phenomenon: ~10% of prefixes, most of the traffic."""
+        volumes = zipf_volumes(prefixes(1000), alpha=1.1)
+        share = concentration(volumes, top_fraction=0.1)
+        assert share > 0.6  # strongly concentrated
+
+    def test_higher_alpha_concentrates_more(self):
+        flat = zipf_volumes(prefixes(500), alpha=0.5)
+        steep = zipf_volumes(prefixes(500), alpha=1.5)
+        assert concentration(steep, 0.1) > concentration(flat, 0.1)
+
+    def test_deterministic(self):
+        a = zipf_volumes(prefixes(50), seed=3)
+        b = zipf_volumes(prefixes(50), seed=3)
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            zipf_volumes(prefixes(5), alpha=0.0)
+        with pytest.raises(ValueError):
+            zipf_volumes(prefixes(5), total_volume=0.0)
+
+    def test_empty(self):
+        assert zipf_volumes([]) == {}
+        assert concentration({}) == 0.0
+
+
+class TestElephants:
+    def test_elephants_carry_share(self):
+        volumes = zipf_volumes(prefixes(200), alpha=1.2)
+        herd = elephants_of(volumes, volume_share=0.8)
+        carried = sum(volumes[p] for p in herd)
+        assert carried >= 0.8 * sum(volumes.values())
+        assert len(herd) < 0.5 * len(volumes)
+
+    def test_invalid_share(self):
+        with pytest.raises(ValueError):
+            elephants_of({}, volume_share=0.0)
+
+    def test_empty(self):
+        assert elephants_of({}) == set()
+
+    @given(st.integers(10, 100), st.floats(0.5, 0.95))
+    def test_elephants_minimal(self, n, share):
+        volumes = zipf_volumes(prefixes(n), alpha=1.0, seed=n)
+        herd = elephants_of(volumes, volume_share=share)
+        total = sum(volumes.values())
+        carried = sum(volumes[p] for p in herd)
+        assert carried >= share * total
+        # Removing the smallest elephant drops below the target share.
+        if herd:
+            smallest = min(herd, key=lambda p: volumes[p])
+            assert carried - volumes[smallest] < share * total
+
+
+class TestFlowExpansion:
+    def test_flows_sum_to_volumes(self):
+        volumes = {p: 1000.0 for p in prefixes(5)}
+        records = list(flows_from_volumes(volumes, duration=60.0))
+        assert len(records) == 25
+        collector = FlowCollector()
+        collector.add_all(records)
+        for p in prefixes(5):
+            assert collector.volume_by_prefix()[p] == 1000
+
+
+class TestVolumeTable:
+    def test_exact_lookup(self):
+        p = prefixes(1)[0]
+        table = VolumeTable({p: 5.0})
+        assert table.volume(p) == 5.0
+        assert table.total() == 5.0
+
+    def test_longest_match_fallback(self):
+        covering = Prefix.parse("64.0.0.0/16")
+        table = VolumeTable({covering: 7.0})
+        assert table.volume(Prefix.parse("64.0.1.0/24")) == 7.0
+
+    def test_miss_is_zero(self):
+        table = VolumeTable({})
+        assert table.volume(prefixes(1)[0]) == 0.0
+
+
+class TestEdgeVolumes:
+    def _graph(self):
+        from repro.tamp.graph import TampGraph
+
+        graph = TampGraph()
+        p1, p2, p3 = prefixes(3)
+        for p in (p1, p2):
+            graph.add_prefix(("as", 1), ("as", 2), p)
+        graph.add_prefix(("as", 1), ("as", 3), p3)
+        return graph, (p1, p2, p3)
+
+    def test_edge_volume_sums_prefix_volumes(self):
+        graph, (p1, p2, p3) = self._graph()
+        table = VolumeTable({p1: 10.0, p2: 20.0, p3: 5.0})
+        by_edge = edge_volumes(graph, table)
+        assert by_edge[(("as", 1), ("as", 2))] == 30.0
+        assert by_edge[(("as", 1), ("as", 3))] == 5.0
+
+    def test_imbalance_report(self):
+        """Even prefix split, uneven traffic split — the D.2 insight."""
+        graph, (p1, p2, p3) = self._graph()
+        table = VolumeTable({p1: 1000.0, p2: 0.0, p3: 1.0})
+        rows = imbalance_report(
+            graph, table, [(("as", 1), ("as", 2)), (("as", 1), ("as", 3))]
+        )
+        heavy, light = rows
+        assert heavy["prefix_share"] == pytest.approx(2 / 3)
+        assert heavy["volume_share"] == pytest.approx(1000 / 1001)
+        assert light["volume_share"] == pytest.approx(1 / 1001)
