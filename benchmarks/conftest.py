@@ -17,12 +17,15 @@ target.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
 from repro.collector.rex import RouteExplorer
+from repro.perf import resolve_workers
 from repro.simulator.synthetic import (
     BERKELEY_PROFILE,
     ISP_ANON_PROFILE,
@@ -39,12 +42,37 @@ def scaled(value: int, minimum: int = 100) -> int:
     return max(minimum, int(value * SCALE))
 
 
-def record_row(table: str, row: str) -> None:
-    """Append one result row to bench_results/<table>.txt (and echo it)."""
+def record_row(table: str, row: str, data: Optional[dict] = None) -> None:
+    """Append one result row to bench_results/<table>.txt (and echo it).
+
+    When *data* is given, the row is also appended — as a machine-readable
+    entry tagged with the run's scale and resolved worker count — to
+    ``bench_results/BENCH_<table>.json``, the artifact CI uploads so runs
+    can be compared without parsing the text rows.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{table}.txt"
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(row + "\n")
+    if data is not None:
+        entry = {
+            "scale": SCALE,
+            "workers": resolve_workers(None),
+            "row": row,
+        }
+        entry.update(data)
+        json_path = RESULTS_DIR / f"BENCH_{table}.json"
+        try:
+            entries = json.loads(json_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            entries = []
+        if not isinstance(entries, list):
+            entries = []
+        entries.append(entry)
+        json_path.write_text(
+            json.dumps(entries, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     print(row)
 
 

@@ -53,6 +53,12 @@ def test_stemming_counter_strategies(benchmark, spike_stream):
         f"counter: dedup={fast_time:.2f}s naive={naive_time:.2f}s"
         f" speedup={naive_time / max(fast_time, 1e-9):.1f}x"
         f" duplication_factor={duplication:.0f}x",
+        data={
+            "ablation": "counter",
+            "events": len(events),
+            "measured_seconds": fast_time,
+            "naive_seconds": naive_time,
+        },
     )
     # With realistic duplication the dedup counter must not lose.
     if duplication > 5:
@@ -166,6 +172,12 @@ def test_animation_consolidation(benchmark, berkeley_rex, spike_stream):
         f"animation: 750 frames={consolidated_time:.2f}s;"
         f" {per_event.frame_count} frames={per_event_time:.2f}s"
         f" (x{per_event_time / max(consolidated_time, 1e-9):.1f})",
+        data={
+            "ablation": "animation",
+            "events": len(events),
+            "measured_seconds": consolidated_time,
+            "per_event_seconds": per_event_time,
+        },
     )
 
 

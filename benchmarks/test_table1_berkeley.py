@@ -71,6 +71,11 @@ def test_tamp_picture(benchmark, berkeley_rex, n_routes, paper_seconds):
         "table1a_picture",
         f"routes={n:>8}  paper={paper_seconds:>5.1f}s"
         f"  measured={benchmark.stats.stats.mean:>7.2f}s",
+        data={
+            "routes": n,
+            "paper_seconds": paper_seconds,
+            "measured_seconds": benchmark.stats.stats.mean,
+        },
     )
 
 
@@ -100,6 +105,12 @@ def test_tamp_animation(
         f"events={n:>8}  timerange={timerange:>9.0f}s"
         f"  paper={paper_seconds:>5.1f}s"
         f"  measured={benchmark.stats.stats.mean:>7.2f}s",
+        data={
+            "events": n,
+            "timerange_seconds": timerange,
+            "paper_seconds": paper_seconds,
+            "measured_seconds": benchmark.stats.stats.mean,
+        },
     )
 
 
@@ -118,6 +129,13 @@ def test_stemming(benchmark, berkeley_rex, n_events, timerange, paper_seconds):
         f"  paper={paper_seconds:>5.1f}s"
         f"  measured={benchmark.stats.stats.mean:>7.2f}s"
         f"  components={len(result.components)}",
+        data={
+            "events": n,
+            "timerange_seconds": timerange,
+            "paper_seconds": paper_seconds,
+            "measured_seconds": benchmark.stats.stats.mean,
+            "components": len(result.components),
+        },
     )
 
 
@@ -166,4 +184,9 @@ def test_scaling_shape(benchmark, berkeley_rex):
         f" {scaled(230_000)}r={measurements['pic_large']:.2f}s |"
         f" stemming {scaled(12_000)}e={measurements['stem_small']:.2f}s"
         f" {scaled(120_000)}e={measurements['stem_large']:.2f}s",
+        data={
+            "events": scaled(120_000),
+            "measured_seconds": measurements["stem_large"],
+            "measurements": measurements,
+        },
     )

@@ -70,6 +70,11 @@ def test_tamp_picture(benchmark, isp_rex, n_routes, paper_seconds):
         "table1b_picture",
         f"routes={n:>8}  paper={paper_seconds:>5.1f}s"
         f"  measured={benchmark.stats.stats.mean:>7.2f}s",
+        data={
+            "routes": n,
+            "paper_seconds": paper_seconds,
+            "measured_seconds": benchmark.stats.stats.mean,
+        },
     )
 
 
@@ -97,6 +102,12 @@ def test_tamp_animation(benchmark, isp_rex, n_events, timerange, paper_seconds):
         f"events={n:>8}  timerange={timerange:>9.0f}s"
         f"  paper={paper_seconds:>5.1f}s"
         f"  measured={benchmark.stats.stats.mean:>7.2f}s",
+        data={
+            "events": n,
+            "timerange_seconds": timerange,
+            "paper_seconds": paper_seconds,
+            "measured_seconds": benchmark.stats.stats.mean,
+        },
     )
 
 
@@ -115,6 +126,13 @@ def test_stemming(benchmark, isp_rex, n_events, timerange, paper_seconds):
         f"  paper={paper_seconds:>5.1f}s"
         f"  measured={benchmark.stats.stats.mean:>7.2f}s"
         f"  components={len(result.components)}",
+        data={
+            "events": n,
+            "timerange_seconds": timerange,
+            "paper_seconds": paper_seconds,
+            "measured_seconds": benchmark.stats.stats.mean,
+            "components": len(result.components),
+        },
     )
 
 

@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.analysis.report import diagnose
 from repro.collector.rates import bin_events
 from repro.collector.stream import EventStream
+from repro.perf import resolve_workers
 from repro.stemming.stemmer import Stemmer
 from repro.tamp.incremental import IncrementalTamp
 from repro.tamp.prune import prune_flat
@@ -38,6 +39,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if hasattr(args, "workers"):
+            # Validate --workers / REPRO_WORKERS up front; the hot paths
+            # resolve lazily and may never run on small inputs.
+            resolve_workers(args.workers)
         return args.handler(args)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -51,7 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(required=True)
 
-    demo = sub.add_parser("demo", help="simulate an incident and diagnose it")
+    # Shared by the compute-heavy subcommands; forwarded to the
+    # repro.perf worker pool (Stemming expansion, SVG edge rendering).
+    workers_opt = argparse.ArgumentParser(add_help=False)
+    workers_opt.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for parallel stages (default: the"
+             " REPRO_WORKERS environment variable, else serial; capped"
+             " at usable CPUs)",
+    )
+
+    demo = sub.add_parser(
+        "demo", parents=[workers_opt],
+        help="simulate an incident and diagnose it",
+    )
     demo.add_argument(
         "scenario",
         choices=DEMO_SCENARIOS,
@@ -68,7 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.set_defaults(handler=cmd_demo)
 
-    diag = sub.add_parser("diagnose", help="diagnose a JSONL event stream")
+    diag = sub.add_parser(
+        "diagnose", parents=[workers_opt],
+        help="diagnose a JSONL event stream",
+    )
     diag.add_argument("events", type=Path)
     diag.add_argument(
         "--components", type=int, default=8,
@@ -90,7 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
     rate.set_defaults(handler=cmd_rate)
 
     animate = sub.add_parser(
-        "animate", help="SMIL-animated SVG of a stream (plays in a browser)"
+        "animate", parents=[workers_opt],
+        help="SMIL-animated SVG of a stream (plays in a browser)",
     )
     animate.add_argument("events", type=Path)
     animate.add_argument("-o", "--output", type=Path, required=True)
@@ -129,7 +151,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
         incident = scenarios.customer_flap(isp, flap_count=10)
     print(f"incident '{incident.name}': {len(incident.stream)} events")
     print()
-    report = diagnose(incident.stream)
+    report = diagnose(
+        incident.stream, stemmer=Stemmer(workers=args.workers)
+    )
     print(report.to_text())
     if args.save is not None:
         incident.stream.save(args.save)
@@ -148,7 +172,12 @@ def _load_stream(path: Path) -> EventStream:
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
     stream = _load_stream(args.events)
-    report = diagnose(stream, stemmer=Stemmer(max_components=args.components))
+    report = diagnose(
+        stream,
+        stemmer=Stemmer(
+            max_components=args.components, workers=args.workers
+        ),
+    )
     print(report.to_text())
     return 0
 
@@ -200,7 +229,9 @@ def cmd_animate(args: argparse.Namespace) -> int:
         stream, play_duration=args.duration, fps=args.fps
     )
     args.output.write_text(
-        render_svg_animation(animation, title=str(args.events.name))
+        render_svg_animation(
+            animation, title=str(args.events.name), workers=args.workers
+        )
     )
     changed = len(animation.frames_with_changes())
     print(

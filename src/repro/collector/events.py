@@ -63,19 +63,17 @@ class BGPEvent:
         Consecutive duplicate ASes (path prepending) collapse to one
         token: a prepended path traverses the AS once, and keeping the
         repeats would let a single event count a subsequence twice.
+
+        The AS tokens come from :meth:`ASPath.collapsed_tokens`, which
+        caches on the (shared) path instance — a flapping route's
+        thousandth event reuses the first event's token tuple.
         """
-        tokens: list[Token] = [
+        return (
             ("peer", self.peer),
             ("nh", self.attributes.nexthop),
-        ]
-        previous = None
-        for asn in self.attributes.as_path.sequence:
-            if asn == previous:
-                continue
-            tokens.append(("as", asn))
-            previous = asn
-        tokens.append(("pfx", self.prefix))
-        return tuple(tokens)
+            *self.attributes.as_path.collapsed_tokens(),
+            ("pfx", self.prefix),
+        )
 
     # ------------------------------------------------------------------
     # Figure 4 text format

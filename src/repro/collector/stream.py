@@ -29,6 +29,10 @@ class EventStream:
     def __init__(self, events: Iterable[BGPEvent] = ()) -> None:
         self._events: list[BGPEvent] = list(events)
         self._sorted = False
+        #: Timestamps of the sorted events, built lazily for bisection
+        #: (time slicing hits this hard: a 750-frame animation cuts the
+        #: same stream 750 times).
+        self._keys: Optional[list[float]] = None
         self._ensure_sorted()
 
     # ------------------------------------------------------------------
@@ -39,6 +43,7 @@ class EventStream:
         if self._sorted and self._events and event.timestamp < self._events[-1].timestamp:
             self._sorted = False
         self._events.append(event)
+        self._keys = None
 
     def extend(self, events: Iterable[BGPEvent]) -> None:
         for event in events:
@@ -83,11 +88,29 @@ class EventStream:
 
     def between(self, start: float, end: float) -> "EventStream":
         """Events with start ≤ timestamp < end."""
-        self._ensure_sorted()
-        keys = [e.timestamp for e in self._events]
+        keys = self._timestamp_keys()
         lo = bisect.bisect_left(keys, start)
         hi = bisect.bisect_left(keys, end)
         return EventStream(self._events[lo:hi])
+
+    def slice_indices(self, boundaries: Iterable[float]) -> list[int]:
+        """Event indices at which each time boundary falls.
+
+        For each boundary *b* (boundaries must be non-decreasing, as an
+        animation's frame edges are), the returned index is the first
+        event with ``timestamp >= b`` — so consecutive boundaries bound
+        the half-open slices ``start ≤ timestamp < end`` that
+        :meth:`between` would return, without building 750 intermediate
+        streams.
+        """
+        keys = self._timestamp_keys()
+        bisect_left = bisect.bisect_left
+        indices: list[int] = []
+        lo = 0
+        for boundary in boundaries:
+            lo = bisect_left(keys, boundary, lo)
+            indices.append(lo)
+        return indices
 
     def filter(self, predicate: Callable[[BGPEvent], bool]) -> "EventStream":
         return EventStream(e for e in self if predicate(e))
@@ -159,3 +182,10 @@ class EventStream:
         if not self._sorted:
             self._events.sort(key=lambda e: e.timestamp)
             self._sorted = True
+            self._keys = None
+
+    def _timestamp_keys(self) -> list[float]:
+        self._ensure_sorted()
+        if self._keys is None:
+            self._keys = [e.timestamp for e in self._events]
+        return self._keys

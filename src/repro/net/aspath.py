@@ -41,7 +41,7 @@ class ASPath:
     (11423, 11423, 209, 701)
     """
 
-    __slots__ = ("sequence", "as_set", "_hash")
+    __slots__ = ("sequence", "as_set", "_hash", "_collapsed")
 
     def __init__(
         self,
@@ -53,9 +53,37 @@ class ASPath:
         object.__setattr__(self, "sequence", seq)
         object.__setattr__(self, "as_set", aset)
         object.__setattr__(self, "_hash", hash((seq, aset)))
+        object.__setattr__(self, "_collapsed", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("ASPath is immutable")
+
+    def __reduce__(self):
+        # Slot pickling would call the blocked __setattr__ on load;
+        # rebuild through __init__ so paths cross the repro.perf
+        # worker-pool boundary.
+        return (self.__class__, (self.sequence, self.as_set))
+
+    def collapsed_tokens(self) -> tuple[tuple[str, int], ...]:
+        """``("as", asn)`` tokens with consecutive prepends collapsed.
+
+        Both Stemming's event sequences and TAMP's route chains embed
+        the path this way; routes and events share ASPath instances, so
+        caching here turns the per-event token build into a tuple reuse
+        on the million-event hot paths.
+        """
+        collapsed = self._collapsed
+        if collapsed is None:
+            tokens: list[tuple[str, int]] = []
+            previous: Optional[int] = None
+            for asn in self.sequence:
+                if asn == previous:
+                    continue
+                tokens.append(("as", asn))
+                previous = asn
+            collapsed = tuple(tokens)
+            object.__setattr__(self, "_collapsed", collapsed)
+        return collapsed
 
     @classmethod
     def parse(cls, text: str) -> "ASPath":

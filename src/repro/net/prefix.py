@@ -78,6 +78,12 @@ class Prefix:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Prefix is immutable")
 
+    def __reduce__(self):
+        # Default slot pickling would call the blocked __setattr__ on
+        # load; reconstructing through __init__ keeps prefixes portable
+        # across the repro.perf worker-pool boundary.
+        return (self.__class__, (self.network, self.length))
+
     @classmethod
     def parse(cls, text: str) -> "Prefix":
         """Parse ``a.b.c.d/len`` text into a prefix.

@@ -1,0 +1,41 @@
+"""Shared parallel-execution plumbing for the hot paths.
+
+Both engines that have to survive million-event spikes — Stemming's
+subsequence expansion and the TAMP animation renderer — shard their work
+across a ``multiprocessing`` pool through this package. It centralizes
+the three decisions every parallel hot path otherwise reinvents badly:
+
+* **How many workers?** :func:`resolve_workers` merges the explicit
+  request (``--workers`` / constructor argument), the ``REPRO_WORKERS``
+  environment variable, and the machine's usable CPU count.
+* **Is parallelism worth it here?** :func:`effective_workers` adds the
+  serial-fallback policy: small inputs, single-CPU hosts and platforms
+  without ``fork`` all run serially — the sharded algorithms are written
+  so that the serial path is the exact same code as one shard.
+* **Pool lifecycle.** :func:`map_shards` owns pool creation and teardown
+  so callers never leak worker processes.
+"""
+
+from repro.perf.chunking import partition
+from repro.perf.config import (
+    DEFAULT_MIN_PARALLEL_UNITS,
+    ENV_FORCE_WORKERS,
+    ENV_WORKERS,
+    effective_workers,
+    fork_available,
+    resolve_workers,
+    usable_cpus,
+)
+from repro.perf.pool import map_shards
+
+__all__ = [
+    "DEFAULT_MIN_PARALLEL_UNITS",
+    "ENV_FORCE_WORKERS",
+    "ENV_WORKERS",
+    "effective_workers",
+    "fork_available",
+    "map_shards",
+    "partition",
+    "resolve_workers",
+    "usable_cpus",
+]

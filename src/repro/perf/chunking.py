@@ -1,0 +1,36 @@
+"""Shard partitioning.
+
+Contiguous, size-balanced chunks: contiguity keeps each shard's items in
+the parent's insertion order (so sharded results merge deterministically)
+and balanced sizes keep the pool's stragglers short — with one chunk per
+worker, the slowest shard bounds the wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def partition(items: Sequence[T], shard_count: int) -> list[list[T]]:
+    """Split *items* into at most *shard_count* contiguous chunks.
+
+    Chunk sizes differ by at most one; empty chunks are dropped, so the
+    result may be shorter than *shard_count* (never empty unless *items*
+    is).
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    items = list(items)
+    if not items:
+        return []
+    shard_count = min(shard_count, len(items))
+    base, extra = divmod(len(items), shard_count)
+    shards: list[list[T]] = []
+    start = 0
+    for index in range(shard_count):
+        size = base + (1 if index < extra else 0)
+        shards.append(items[start : start + size])
+        start += size
+    return shards

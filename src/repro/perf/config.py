@@ -1,0 +1,86 @@
+"""Worker-count resolution and the serial-fallback policy.
+
+The rules, in order:
+
+1. An explicit worker count (CLI flag, constructor argument) wins over
+   the ``REPRO_WORKERS`` environment variable, which wins over the
+   default of 1 (serial — parallelism is opt-in).
+2. Requests are capped at the machine's *usable* CPUs (the scheduler
+   affinity mask, not the raw core count — containers routinely pin us
+   to fewer cores than the host owns). Oversubscribing CPU-bound pure
+   Python only adds pickling overhead. ``REPRO_FORCE_WORKERS=1`` lifts
+   the cap, which the test suite uses to exercise the real pool on
+   single-CPU machines.
+3. :func:`effective_workers` applies the per-call fallback: below
+   ``min_units`` work items the pool's fixed costs (fork, pickle, merge)
+   exceed the win, and without the ``fork`` start method child processes
+   would have to re-import and re-pickle everything, so both cases run
+   serially.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Optional
+
+ENV_WORKERS = "REPRO_WORKERS"
+ENV_FORCE_WORKERS = "REPRO_FORCE_WORKERS"
+
+#: Below this many independent work items a pool never pays for itself.
+DEFAULT_MIN_PARALLEL_UNITS = 4096
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (POSIX)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Turn a request (or None) into a configured worker count.
+
+    ``None`` falls back to ``REPRO_WORKERS``, then to 1. The result is
+    capped at :func:`usable_cpus` unless ``REPRO_FORCE_WORKERS`` is set.
+    """
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{ENV_WORKERS}={raw!r} is not an integer"
+                ) from exc
+        else:
+            workers = 1
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    if os.environ.get(ENV_FORCE_WORKERS, "").strip() not in ("", "0"):
+        return workers
+    return min(workers, usable_cpus())
+
+
+def effective_workers(
+    workers: Optional[int] = None,
+    units: Optional[int] = None,
+    min_units: int = DEFAULT_MIN_PARALLEL_UNITS,
+) -> int:
+    """The worker count a hot path should really use for *units* items.
+
+    Returns 1 (serial) when the resolved count is 1, when ``fork`` is
+    unavailable, or when the input is too small to amortize the pool.
+    """
+    resolved = resolve_workers(workers)
+    if resolved <= 1 or not fork_available():
+        return 1
+    if units is not None and units < max(min_units, 2 * resolved):
+        return 1
+    return resolved

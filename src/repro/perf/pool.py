@@ -1,0 +1,35 @@
+"""Pool lifecycle: map a function over shards, serially or forked.
+
+One entry point, :func:`map_shards`, so every parallel hot path shares
+the same guarantees: the serial path runs the identical function (the
+property tests lean on this), pools are always torn down, and the fork
+start method is used explicitly — never the platform default, which
+could silently become ``spawn`` and re-import the world per task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Sequence, TypeVar
+
+from repro.perf.config import fork_available
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+
+def map_shards(
+    func: Callable[[S], R], shards: Sequence[S], workers: int
+) -> list[R]:
+    """``[func(shard) for shard in shards]``, forked when it pays.
+
+    Runs serially when *workers* <= 1, there is at most one shard, or
+    ``fork`` is unavailable. The pool size never exceeds the shard
+    count.
+    """
+    shards = list(shards)
+    if workers <= 1 or len(shards) <= 1 or not fork_available():
+        return [func(shard) for shard in shards]
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=min(workers, len(shards))) as pool:
+        return pool.map(func, shards)

@@ -11,7 +11,9 @@ Two implementations share an interface:
   spike touches a few thousand distinct (peer, nexthop, path, prefix)
   combinations), counting unique sequences first and expanding each once.
   Complexity O(U·L²) for U unique sequences of length L, independent of
-  the raw event count beyond one dict lookup per event.
+  the raw event count beyond one dict lookup per event. The expansion is
+  embarrassingly parallel across unique sequences, so large tables shard
+  across a :mod:`repro.perf` worker pool and merge in the parent.
 * :class:`NaiveSubsequenceCounter` — the textbook O(N·L²) version, kept
   as the baseline for the ablation benchmark
   (``benchmarks/test_ablations.py``).
@@ -21,33 +23,87 @@ non-increasing under extension, so the maximum count over length ≥ 2 is
 always attained by an adjacent pair; ranking prefers longer subsequences
 among equal counts, which localizes the stem at the *end* of the longest
 common context (the paper's Figure 4 walk-through).
+
+That monotonicity is also the counter's main performance lever. The
+production counter keeps an *adjacent-pair* count table — O(L) per
+sequence instead of the O(L²) full expansion — bucketed by count, which
+answers "what is the maximum count" directly. Any subsequence tying the
+maximum must consist entirely of maximum-count pairs, so the finalists
+longer than two tokens hide inside runs of consecutive winning pairs;
+:meth:`SubsequenceCounter.top` enumerates exactly those runs and counts
+their windows, which settles (count, length, tiebreak) ranking without
+materializing the millions-of-entries expansion. The full expansion is
+still available through :meth:`SubsequenceCounter.counts` — built
+lazily, sharded across a :mod:`repro.perf` worker pool when large, and
+maintained incrementally (count-bucketed index, per-sequence memo)
+under :meth:`SubsequenceCounter.subtract_sequences` once built.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from functools import partial
 from typing import Iterable, Optional
 
 from repro.collector.events import BGPEvent, Token
+from repro.perf import effective_workers, map_shards, partition
 
 Sequence_ = tuple[Token, ...]
+Pair = tuple[Token, Token]
 
 
 class SubsequenceCounter:
     """Counts contiguous subsequences, deduplicating whole sequences."""
 
-    def __init__(self, max_length: Optional[int] = None) -> None:
-        """*max_length* bounds counted subsequence length (None = full)."""
+    def __init__(
+        self,
+        max_length: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        """*max_length* bounds counted subsequence length (None = full).
+
+        *workers* requests parallel expansion (None = the
+        ``REPRO_WORKERS`` environment variable, see :mod:`repro.perf`);
+        small tables fall back to the identical serial code path.
+        """
         self.max_length = max_length
+        self.workers = workers
         self._sequence_counts: Counter[Sequence_] = Counter()
         self._expanded: Optional[Counter[Sequence_]] = None
+        #: count -> set of subsequences at that count; lazily built by
+        #: top() and maintained incrementally thereafter.
+        self._buckets: Optional[dict[int, set[Sequence_]]] = None
+        #: sequence -> its distinct subsequences, memoized for sequences
+        #: mutated after expansion (flapping streams re-add the same
+        #: sequence thousands of times).
+        self._expansions: dict[Sequence_, tuple[Sequence_, ...]] = {}
+        #: adjacent pair -> number of events containing it. Maintained
+        #: on every add/subtract (O(L) per sequence); with the pair
+        #: buckets below it answers top() without the full expansion.
+        self._pair_counts: Counter[Pair] = Counter()
+        #: count -> set of pairs at that count; lazily built by top()
+        #: and maintained incrementally thereafter.
+        self._pair_buckets: Optional[dict[int, set[Pair]]] = None
 
     def add(self, event: BGPEvent) -> None:
         self.add_sequence(event.sequence)
 
-    def add_sequence(self, sequence: Sequence_) -> None:
-        self._sequence_counts[sequence] += 1
-        self._expanded = None
+    def add_sequence(self, sequence: Sequence_, multiplicity: int = 1) -> None:
+        """Count *multiplicity* events sharing one sequence.
+
+        Grouped callers (the stemmer's unique-sequence index) pass the
+        whole group size at once instead of looping O(events) times.
+        """
+        if multiplicity < 1:
+            raise ValueError(
+                f"multiplicity must be >= 1, got {multiplicity}"
+            )
+        self._sequence_counts[sequence] += multiplicity
+        self._shift_pairs(sequence, multiplicity)
+        if self._expanded is not None:
+            # Keep the expansion current instead of invalidating it: a
+            # rebuild is O(U·L²), this is O(L²).
+            self._apply_delta(self._expansion(sequence), multiplicity)
 
     def add_all(self, events: Iterable[BGPEvent]) -> None:
         for event in events:
@@ -61,23 +117,77 @@ class SubsequenceCounter:
         recounting the residual stream. The expanded subsequence counts
         are updated in place when they exist.
         """
-        current = self._sequence_counts.get(sequence, 0)
-        if multiplicity > current:
-            raise ValueError(
-                f"cannot subtract {multiplicity} of a sequence counted"
-                f" {current} times"
-            )
-        if multiplicity == current:
-            del self._sequence_counts[sequence]
+        self.subtract_sequences(((sequence, multiplicity),))
+
+    def subtract_sequences(
+        self, removals: Iterable[tuple[Sequence_, int]]
+    ) -> None:
+        """Batched :meth:`subtract_sequence` over many sequences.
+
+        One component extraction removes every sequence matching the
+        component's prefixes; those sequences share most of their
+        subsequence structure, so summing the deltas first and walking
+        the expansion once touches each affected subsequence a single
+        time instead of once per removed sequence.
+        """
+        removals = list(removals)
+        for sequence, multiplicity in removals:
+            current = self._sequence_counts.get(sequence, 0)
+            if multiplicity > current:
+                raise ValueError(
+                    f"cannot subtract {multiplicity} of a sequence counted"
+                    f" {current} times"
+                )
+            if multiplicity == current:
+                del self._sequence_counts[sequence]
+            else:
+                self._sequence_counts[sequence] = current - multiplicity
+        # When the removals outnumber the survivors (typical for the
+        # first extracted component, which often explains most of a
+        # spike), rebuilding from the survivors is cheaper than walking
+        # the majority's pairs and subsequences.
+        majority = len(removals) > len(self._sequence_counts)
+        if majority:
+            self._rebuild_pairs()
         else:
-            self._sequence_counts[sequence] = current - multiplicity
-        if self._expanded is not None:
-            for subsequence in set(_subsequences(sequence, self.max_length)):
-                remaining = self._expanded[subsequence] - multiplicity
-                if remaining <= 0:
-                    del self._expanded[subsequence]
-                else:
-                    self._expanded[subsequence] = remaining
+            for sequence, multiplicity in removals:
+                self._shift_pairs(sequence, -multiplicity)
+        if self._expanded is None:
+            return
+        if majority:
+            # Drop the expansion and let the next counts() rebuild it.
+            self._expanded = None
+            self._buckets = None
+            self._expansions.clear()
+            return
+        if len(removals) == 1:
+            sequence, multiplicity = removals[0]
+            self._apply_delta(self._expansion(sequence), -multiplicity)
+            self._forget_expansion(sequence)
+            return
+        delta: Counter[Sequence_] = Counter()
+        for sequence, multiplicity in removals:
+            for subsequence in self._expansion(sequence):
+                delta[subsequence] += multiplicity
+            self._forget_expansion(sequence)
+        expanded = self._expanded
+        buckets = self._buckets
+        if buckets is None:
+            # No index to maintain: let Counter.subtract run in C, then
+            # sweep only the touched keys for empties.
+            expanded.subtract(delta)
+            for subsequence in delta:
+                if expanded[subsequence] <= 0:
+                    del expanded[subsequence]
+            return
+        for subsequence, removed in delta.items():
+            before = expanded[subsequence]
+            after = before - removed
+            if after <= 0:
+                del expanded[subsequence]
+            else:
+                expanded[subsequence] = after
+            self._move_bucket(buckets, subsequence, before, after)
 
     @property
     def event_count(self) -> int:
@@ -96,36 +206,261 @@ class SubsequenceCounter:
         structure", not "how many occurrences exist".
         """
         if self._expanded is None:
-            expanded: Counter[Sequence_] = Counter()
-            for sequence, multiplicity in self._sequence_counts.items():
-                for subsequence in set(
-                    _subsequences(sequence, self.max_length)
-                ):
-                    expanded[subsequence] += multiplicity
-            self._expanded = expanded
+            self._expanded = self._expand()
         return self._expanded
 
     def top(self) -> Optional[tuple[Sequence_, int]]:
         """The strongest subsequence: highest count, longest on ties.
 
         Ties on (count, length) break toward the lexicographically
-        smallest rendering for determinism. The expensive rendering runs
-        only over the (count, length)-tied finalists — on realistic
-        streams a handful of entries out of millions.
+        smallest rendering for determinism.
+
+        With the expansion materialized (someone called :meth:`counts`),
+        this reads the full count-bucket index. Otherwise it answers
+        from the adjacent-pair table alone: by count monotonicity the
+        maximum count is attained by a pair, and any longer subsequence
+        tying it must consist entirely of maximum-count pairs, so the
+        only candidates are the windows of consecutive-winning-pair
+        runs, which :meth:`_candidate_windows` counts exactly. Either
+        way the stemmer gets its per-component top() without rescanning
+        millions of expanded entries — and the pair path without ever
+        building them.
         """
-        counts = self.counts()
-        if not counts:
+        if self._expanded is not None:
+            if not self._expanded:
+                return None
+            buckets = self._ensure_buckets()
+            best_count = max(buckets)
+            bucket = buckets[best_count]
+            best_length = max(map(len, bucket))
+            finalists = [s for s in bucket if len(s) == best_length]
+            return min(finalists, key=_tiebreak), best_count
+        return self._pair_top()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _expand(self) -> Counter[Sequence_]:
+        """Build the full subsequence expansion, sharded when large.
+
+        Deduplicated sequences are independent, so the unique-sequence
+        table partitions cleanly: each worker expands its shard into a
+        local Counter and the parent merges with ``Counter.update``
+        (which adds counts in C). Serial execution uses the exact same
+        shard function on one shard.
+        """
+        items = list(self._sequence_counts.items())
+        workers = effective_workers(self.workers, units=len(items))
+        expand = partial(_expand_shard, max_length=self.max_length)
+        if workers <= 1:
+            return expand(items)
+        partials = map_shards(expand, partition(items, workers), workers)
+        merged = partials[0]
+        for part in partials[1:]:
+            merged.update(part)
+        return merged
+
+    def _expansion(self, sequence: Sequence_) -> tuple[Sequence_, ...]:
+        """The distinct subsequences of one sequence, memoized."""
+        cached = self._expansions.get(sequence)
+        if cached is None:
+            cached = tuple(set(_subsequences(sequence, self.max_length)))
+            self._expansions[sequence] = cached
+        return cached
+
+    def _forget_expansion(self, sequence: Sequence_) -> None:
+        """Drop the memo once a sequence has fully left the table."""
+        if sequence not in self._sequence_counts:
+            self._expansions.pop(sequence, None)
+
+    def _shift_pairs(self, sequence: Sequence_, delta: int) -> None:
+        """Shift the sequence's distinct adjacent pairs by *delta* events."""
+        if len(sequence) < 2:
+            return
+        pair_counts = self._pair_counts
+        buckets = self._pair_buckets
+        get = pair_counts.get
+        if buckets is None:
+            # Hot path: the bulk add/subtract phases run before top()
+            # ever builds the bucket index.
+            for pair in set(zip(sequence, sequence[1:])):
+                before = get(pair, 0)
+                if before > -delta:
+                    pair_counts[pair] = before + delta
+                else:
+                    del pair_counts[pair]
+            return
+        move = self._move_bucket
+        for pair in set(zip(sequence, sequence[1:])):
+            before = get(pair, 0)
+            after = before + delta
+            if after > 0:
+                pair_counts[pair] = after
+            else:
+                del pair_counts[pair]
+                after = 0
+            move(buckets, pair, before, after)
+
+    def _rebuild_pairs(self) -> None:
+        """Recount adjacent pairs from the surviving sequences."""
+        pair_counts: Counter[Pair] = Counter()
+        get = pair_counts.get
+        for sequence, multiplicity in self._sequence_counts.items():
+            if len(sequence) < 2:
+                continue
+            for pair in set(zip(sequence, sequence[1:])):
+                pair_counts[pair] = get(pair, 0) + multiplicity
+        self._pair_counts = pair_counts
+        self._pair_buckets = None
+
+    def _ensure_pair_buckets(self) -> dict[int, set[Pair]]:
+        if self._pair_buckets is None:
+            buckets: dict[int, set[Pair]] = {}
+            for pair, count in self._pair_counts.items():
+                bucket = buckets.get(count)
+                if bucket is None:
+                    bucket = buckets[count] = set()
+                bucket.add(pair)
+            self._pair_buckets = buckets
+        return self._pair_buckets
+
+    def _pair_top(self) -> Optional[tuple[Sequence_, int]]:
+        """top() from the pair table, without the full expansion.
+
+        Monotonicity gives the winning *count* directly: it is the
+        maximum pair count. The winning *subsequence* needs more care —
+        ranking prefers longer on count ties, and a longer subsequence
+        reaches the maximum only if every one of its adjacent pairs
+        does. When a single winning pair of two distinct tokens tops the
+        bucket index, no longer chain can exist and the pair wins
+        outright (the common case: one top per extracted component).
+        Otherwise the finalists hide inside runs of consecutive winning
+        pairs; count those few windows exactly and rank.
+        """
+        if self.max_length is not None and self.max_length < 2:
             return None
-        best_rank = max(
-            (count, len(sequence)) for sequence, count in counts.items()
-        )
-        finalists = [
-            sequence
-            for sequence, count in counts.items()
-            if (count, len(sequence)) == best_rank
+        buckets = self._ensure_pair_buckets()
+        if not buckets:
+            return None
+        best_count = max(buckets)
+        winning = buckets[best_count]
+        if len(winning) == 1:
+            (pair,) = winning
+            if pair[0] != pair[1]:
+                return pair, best_count
+        candidates = self._candidate_windows(winning)
+        finalists_pool = [
+            window
+            for window, count in candidates.items()
+            if count == best_count
         ]
-        winner = min(finalists, key=_tiebreak)
-        return winner, best_rank[0]
+        best_length = max(map(len, finalists_pool))
+        finalists = [w for w in finalists_pool if len(w) == best_length]
+        return min(finalists, key=_tiebreak), best_count
+
+    def _candidate_windows(self, winning: set[Pair]) -> Counter[Sequence_]:
+        """Exact counts for every window made solely of winning pairs.
+
+        Any subsequence tying the maximum count lies inside a maximal
+        run of consecutive winning pairs in every sequence containing
+        it, so enumerating run windows (deduplicated per sequence, so an
+        event counts once) and summing sequence multiplicities yields
+        the candidates' true counts. Windows that fall short of the
+        maximum are filtered by the caller; winning pairs themselves
+        always appear, so the finalist pool is never empty.
+        """
+        candidates: Counter[Sequence_] = Counter()
+        for sequence, multiplicity in self._sequence_counts.items():
+            n = len(sequence)
+            if n < 2:
+                continue
+            windows: Optional[set[Sequence_]] = None
+            run_start = -1
+            for i in range(n - 1):
+                if (sequence[i], sequence[i + 1]) in winning:
+                    if run_start < 0:
+                        run_start = i
+                    continue
+                if run_start >= 0:
+                    windows = self._run_windows(
+                        sequence, run_start, i + 1, windows
+                    )
+                    run_start = -1
+            if run_start >= 0:
+                windows = self._run_windows(sequence, run_start, n, windows)
+            if windows:
+                for window in windows:
+                    candidates[window] += multiplicity
+        return candidates
+
+    def _run_windows(
+        self,
+        sequence: Sequence_,
+        start: int,
+        end: int,
+        acc: Optional[set[Sequence_]],
+    ) -> set[Sequence_]:
+        """Collect the length ≥ 2 windows of ``sequence[start:end]``."""
+        if acc is None:
+            acc = set()
+        max_length = self.max_length
+        for left in range(start, end - 1):
+            limit = end if max_length is None else min(end, left + max_length)
+            for right in range(left + 2, limit + 1):
+                acc.add(sequence[left:right])
+        return acc
+
+    def _ensure_buckets(self) -> dict[int, set[Sequence_]]:
+        if self._buckets is None:
+            buckets: dict[int, set[Sequence_]] = {}
+            for subsequence, count in self.counts().items():
+                bucket = buckets.get(count)
+                if bucket is None:
+                    bucket = buckets[count] = set()
+                bucket.add(subsequence)
+            self._buckets = buckets
+        return self._buckets
+
+    def _apply_delta(
+        self, subsequences: Iterable[Sequence_], delta: int
+    ) -> None:
+        """Shift every listed subsequence's count by *delta* (±)."""
+        expanded = self._expanded
+        buckets = self._buckets
+        assert expanded is not None
+        for subsequence in subsequences:
+            before = expanded.get(subsequence, 0)
+            after = before + delta
+            if after <= 0:
+                if before:
+                    del expanded[subsequence]
+                after = 0
+            else:
+                expanded[subsequence] = after
+            if buckets is not None:
+                self._move_bucket(buckets, subsequence, before, after)
+
+    @staticmethod
+    def _move_bucket(
+        buckets: dict[int, set[Sequence_]],
+        subsequence: Sequence_,
+        before: int,
+        after: int,
+    ) -> None:
+        if before == after:
+            return
+        if before > 0:
+            old = buckets.get(before)
+            if old is not None:
+                old.discard(subsequence)
+                if not old:
+                    del buckets[before]
+        if after > 0:
+            new = buckets.get(after)
+            if new is None:
+                new = buckets[after] = set()
+            new.add(subsequence)
 
 
 class NaiveSubsequenceCounter(SubsequenceCounter):
@@ -140,10 +475,14 @@ class NaiveSubsequenceCounter(SubsequenceCounter):
         self._raw: Counter[Sequence_] = Counter()
         self._events = 0
 
-    def add_sequence(self, sequence: Sequence_) -> None:
+    def add_sequence(self, sequence: Sequence_, multiplicity: int = 1) -> None:
+        if multiplicity < 1:
+            raise ValueError(
+                f"multiplicity must be >= 1, got {multiplicity}"
+            )
         for subsequence in set(_subsequences(sequence, self.max_length)):
-            self._raw[subsequence] += 1
-        self._events += 1
+            self._raw[subsequence] += multiplicity
+        self._events += multiplicity
 
     @property
     def event_count(self) -> int:
@@ -158,8 +497,86 @@ class NaiveSubsequenceCounter(SubsequenceCounter):
             "the naive counter has no per-sequence bookkeeping to subtract"
         )
 
+    def subtract_sequences(
+        self, removals: Iterable[tuple[Sequence_, int]]
+    ) -> None:
+        raise NotImplementedError(
+            "the naive counter has no per-sequence bookkeeping to subtract"
+        )
+
     def counts(self) -> Counter[Sequence_]:
         return self._raw
+
+    def top(self) -> Optional[tuple[Sequence_, int]]:
+        # The naive counter maintains no bucket index; scan directly.
+        return _scan_top(self.counts())
+
+
+def _expand_shard(
+    shard: list[tuple[Sequence_, int]], max_length: Optional[int] = None
+) -> Counter[Sequence_]:
+    """Expand one shard of (sequence, multiplicity) pairs to counts.
+
+    Module-level so worker processes can unpickle it.
+
+    The expansion is head-factored: a sequence's windows split into the
+    windows ending at its last token (the prefix — unique per sequence)
+    and the windows of its head ``sequence[:-1]`` (the (peer, nexthop,
+    AS path) context — shared by every prefix that context announces).
+    Real streams have orders of magnitude fewer distinct heads than
+    sequences, so aggregating head multiplicities first and recursing on
+    distinct heads does O(U·L) work where the naive double loop does
+    O(U·L²). Sequences with repeated tokens (a path revisiting a token
+    pattern) fall back to per-sequence set deduplication, which the
+    factored split cannot honor.
+    """
+    expanded: Counter[Sequence_] = Counter()
+    heads: Counter[Sequence_] = Counter()
+    for sequence, multiplicity in shard:
+        n = len(sequence)
+        if len(set(sequence)) != n:
+            # Repeated tokens: identical windows can arise at different
+            # offsets and must count once per event.
+            for subsequence in set(_subsequences(sequence, max_length)):
+                expanded[subsequence] += multiplicity
+            continue
+        longest = n if max_length is None else min(n, max_length)
+        # Windows ending at the last token, lengths 2..longest.
+        for start in range(max(0, n - longest), n - 1):
+            expanded[sequence[start:]] += multiplicity
+        if n > 2:
+            heads[sequence[:-1]] += multiplicity
+    # Distinct heads, processed level by level: each level counts the
+    # windows ending at its last token, then hands its own head down.
+    while heads:
+        parents: Counter[Sequence_] = Counter()
+        for head, multiplicity in heads.items():
+            n = len(head)
+            longest = n if max_length is None else min(n, max_length)
+            for start in range(max(0, n - longest), n - 1):
+                expanded[head[start:]] += multiplicity
+            if n > 2:
+                parents[head[:-1]] += multiplicity
+        heads = parents
+    return expanded
+
+
+def _scan_top(
+    counts: Counter[Sequence_],
+) -> Optional[tuple[Sequence_, int]]:
+    """Full-scan top(): the reference the bucket index must agree with."""
+    if not counts:
+        return None
+    best_rank = max(
+        (count, len(sequence)) for sequence, count in counts.items()
+    )
+    finalists = [
+        sequence
+        for sequence, count in counts.items()
+        if (count, len(sequence)) == best_rank
+    ]
+    winner = min(finalists, key=_tiebreak)
+    return winner, best_rank[0]
 
 
 def _subsequences(sequence: Sequence_, max_length: Optional[int]):

@@ -11,7 +11,7 @@ else, even though its instantaneous rate sits in the Figure 8 "grass".
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from repro.collector.events import BGPEvent
@@ -76,6 +76,10 @@ class StreamingDetector:
 
     windows: tuple[float, ...] = DEFAULT_WINDOWS
     stemmer: Stemmer = field(default_factory=Stemmer)
+    #: Worker processes forwarded to the stemmer's counter (None keeps
+    #: the stemmer's own setting; see ``repro.perf``). Long windows are
+    #: where the expansion tables grow large enough to shard.
+    workers: Optional[int] = None
     _events: list[BGPEvent] = field(default_factory=list)
     _timestamps: list[float] = field(default_factory=list)
 
@@ -84,6 +88,8 @@ class StreamingDetector:
             raise ValueError("detector needs at least one window")
         if any(w <= 0 for w in self.windows):
             raise ValueError("window lengths must be positive")
+        if self.workers is not None:
+            self.stemmer = replace(self.stemmer, workers=self.workers)
 
     def ingest(self, events: Iterable[BGPEvent]) -> None:
         """Add events (any order); old events beyond the longest window

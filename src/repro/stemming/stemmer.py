@@ -101,6 +101,9 @@ class Stemmer:
     min_strength: int = 2
     max_components: int = 16
     max_subsequence_length: Optional[int] = None
+    #: Worker processes for the counter's subsequence expansion (None =
+    #: the ``REPRO_WORKERS`` environment variable; see ``repro.perf``).
+    workers: Optional[int] = None
 
     def decompose(self, events: Iterable[BGPEvent]) -> StemmingResult:
         """Decompose *events* into ranked correlated components.
@@ -112,18 +115,12 @@ class Stemmer:
         to the component) runs over *unique sequences*, of which real
         streams have orders of magnitude fewer than events.
         """
-        # Unique-sequence index: sequence -> its events. An event's
-        # prefix is its last token, so events sharing a sequence share a
-        # prefix, and per-sequence grouping loses nothing.
-        by_sequence: dict[tuple[Token, ...], list[BGPEvent]] = {}
-        total = 0
-        for event in events:
-            by_sequence.setdefault(event.sequence, []).append(event)
-            total += 1
-        counter = SubsequenceCounter(self.max_subsequence_length)
+        by_sequence, total = _group_by_sequence(events)
+        counter = SubsequenceCounter(
+            self.max_subsequence_length, workers=self.workers
+        )
         for sequence, bucket in by_sequence.items():
-            for _ in bucket:
-                counter.add_sequence(sequence)
+            counter.add_sequence(sequence, len(bucket))
         components: list[Component] = []
         remaining = total
         while by_sequence and len(components) < self.max_components:
@@ -134,12 +131,14 @@ class Stemmer:
                 break
             components.append(component)
             affected = component.prefixes
+            removals: list[tuple[tuple[Token, ...], int]] = []
             for sequence in [
                 s for s in by_sequence if s[-1][1] in affected
             ]:
                 bucket = by_sequence.pop(sequence)
-                counter.subtract_sequence(sequence, len(bucket))
+                removals.append((sequence, len(bucket)))
                 remaining -= len(bucket)
+            counter.subtract_sequences(removals)
         return StemmingResult(
             components=tuple(components),
             residual_events=remaining,
@@ -150,13 +149,12 @@ class Stemmer:
         self, events: Iterable[BGPEvent]
     ) -> Optional[Component]:
         """Just the top component (cheaper than a full decomposition)."""
-        by_sequence: dict[tuple[Token, ...], list[BGPEvent]] = {}
-        for event in events:
-            by_sequence.setdefault(event.sequence, []).append(event)
-        counter = SubsequenceCounter(self.max_subsequence_length)
+        by_sequence, _ = _group_by_sequence(events)
+        counter = SubsequenceCounter(
+            self.max_subsequence_length, workers=self.workers
+        )
         for sequence, bucket in by_sequence.items():
-            for _ in bucket:
-                counter.add_sequence(sequence)
+            counter.add_sequence(sequence, len(bucket))
         return self._component_from_top(counter, by_sequence, rank=1)
 
     def _component_from_top(
@@ -191,6 +189,41 @@ class Stemmer:
             prefixes=prefixes,
             events=component_events,
         )
+
+
+def _group_by_sequence(
+    events: Iterable[BGPEvent],
+) -> tuple[dict[tuple[Token, ...], list[BGPEvent]], int]:
+    """Unique-sequence index: sequence -> its events, plus the total.
+
+    An event's prefix is its last token, so events sharing a sequence
+    share a prefix, and per-sequence grouping loses nothing. The inner
+    loop keys on ``(peer, attributes, prefix)`` — attribute bundles and
+    prefixes cache their hashes, so this hashes three ints per event
+    where keying on ``event.sequence`` directly would build and hash a
+    six-token tuple per event; the sequence is rendered once per group.
+    """
+    by_key: dict[tuple, list[BGPEvent]] = {}
+    total = 0
+    for event in events:
+        key = (event.peer, event.attributes, event.prefix)
+        bucket = by_key.get(key)
+        if bucket is None:
+            by_key[key] = [event]
+        else:
+            bucket.append(event)
+        total += 1
+    # Distinct attribute bundles can render to one sequence (MED or
+    # communities differ, say); fold those groups together.
+    by_sequence: dict[tuple[Token, ...], list[BGPEvent]] = {}
+    for bucket in by_key.values():
+        sequence = bucket[0].sequence
+        existing = by_sequence.get(sequence)
+        if existing is None:
+            by_sequence[sequence] = bucket
+        else:
+            existing.extend(bucket)
+    return by_sequence, total
 
 
 def _contains(sequence: tuple[Token, ...], needle: tuple[Token, ...]) -> bool:

@@ -28,6 +28,7 @@ from repro.bgp.rib import Route
 from repro.collector.events import BGPEvent, Token
 from repro.collector.stream import EventStream
 from repro.tamp.incremental import IncrementalTamp, PeerNamer, default_peer_namer
+from repro.tamp.tree import route_path_tokens
 
 Edge = tuple[Token, Token]
 
@@ -181,29 +182,51 @@ def animate_stream(
         max_counts[(parent, child)] = len(prefixes)
     #: Edges currently below their historical peak, with that peak.
     shadowed: dict[Edge, int] = {}
+    #: Shared snapshot of *shadowed*, re-copied only on change: quiet
+    #: frames alias one dict instead of copying the shadow set 750 times.
+    shadow_snapshot: dict[Edge, int] = {}
+    shadows_dirty = False
 
     frames: list[TampFrame] = []
-    event_index = 0
     all_events = list(events)
+    origin = start or 0.0
+    # Frame boundaries resolve to event indices in one bisection pass
+    # over the stream's timestamp keys instead of a per-event timestamp
+    # comparison in the frame loop; the last frame takes the remainder
+    # to absorb float rounding.
+    boundaries = [
+        origin + (index + 1) * slice_width for index in range(frame_count - 1)
+    ]
+    if isinstance(events, EventStream):
+        breaks = events.slice_indices(boundaries)
+    else:
+        import bisect
+
+        keys = [event.timestamp for event in all_events]
+        breaks = [bisect.bisect_left(keys, b) for b in boundaries]
+    breaks.append(len(all_events))
     sample_tracked(0.0)
+    event_index = 0
+    apply = tamp.apply
     for index in range(frame_count):
-        frame_start = (start or 0.0) + index * slice_width
-        frame_end = (start or 0.0) + (index + 1) * slice_width
-        is_last = index == frame_count - 1
-        # Consolidate every event in this slice (the last frame takes the
-        # remainder to absorb float rounding).
-        while event_index < len(all_events) and (
-            is_last or all_events[event_index].timestamp < frame_end
-        ):
-            event = all_events[event_index]
-            tamp.apply(event)
-            touched = _edges_of(event, tamp)
-            for edge in touched:
-                if edge in tracked:
-                    tracked[edge].append(
-                        (event.timestamp, tamp.graph.weight(*edge))
-                    )
-            event_index += 1
+        frame_start = origin + index * slice_width
+        frame_end = origin + (index + 1) * slice_width
+        frame_break = breaks[index]
+        # Consolidate every event in this slice. Resolving the touched
+        # edges per event exists only to sample tracked edges; without
+        # trackers the batch devolves to bare applies.
+        if tracked:
+            for event in all_events[event_index:frame_break]:
+                apply(event)
+                for edge in _edges_of(event, tamp):
+                    if edge in tracked:
+                        tracked[edge].append(
+                            (event.timestamp, tamp.graph.weight(*edge))
+                        )
+        else:
+            for event in all_events[event_index:frame_break]:
+                apply(event)
+        event_index = frame_break
         adds, removes = tamp.consume_changes()
         edge_states: dict[Edge, EdgeState] = {}
         edge_counts: dict[Edge, int] = {}
@@ -228,18 +251,22 @@ def animate_stream(
             # Maintain the shadow set incrementally: only edges whose
             # count is below their peak carry a gray shadow.
             if count < peak:
-                shadowed[edge] = peak
-            else:
-                shadowed.pop(edge, None)
-        shadows = dict(shadowed)
+                if shadowed.get(edge) != peak:
+                    shadowed[edge] = peak
+                    shadows_dirty = True
+            elif shadowed.pop(edge, None) is not None:
+                shadows_dirty = True
+        if shadows_dirty:
+            shadow_snapshot = dict(shadowed)
+            shadows_dirty = False
         frames.append(
             TampFrame(
                 index=index,
-                start=frame_start - (start or 0.0),
-                end=frame_end - (start or 0.0),
+                start=frame_start - origin,
+                end=frame_end - origin,
                 edge_counts=edge_counts,
                 edge_states=edge_states,
-                shadows=shadows,
+                shadows=shadow_snapshot,
             )
         )
     series = {
@@ -259,8 +286,6 @@ def animate_stream(
 def _edges_of(event: BGPEvent, tamp: IncrementalTamp) -> list[Edge]:
     """The edges an event's route threads (for tracked-edge sampling)."""
     root: Token = ("router", tamp.peer_namer(event.peer))
-    from repro.tamp.tree import route_path_tokens
-
     chain = route_path_tokens(
         root, event.prefix, event.attributes, tamp.include_prefix_leaves
     )

@@ -29,7 +29,7 @@ from repro.tamp.tree import Edge, TampTree
 class TampGraph:
     """A directed graph over TAMP node tokens with prefix-set weights."""
 
-    __slots__ = ("site_root", "_edges", "_children", "_parents")
+    __slots__ = ("site_root", "_edges", "_children", "_parents", "_total")
 
     def __init__(self, site_name: Optional[str] = None) -> None:
         self.site_root: Optional[Token] = (
@@ -39,6 +39,10 @@ class TampGraph:
         self._edges: dict[Edge, dict[Prefix, int]] = {}
         self._children: dict[Token, set[Token]] = {}
         self._parents: dict[Token, set[Token]] = {}
+        #: Cached distinct-prefix count; None = recompute. Pruning calls
+        #: edge_fraction per edge, which divides by this — without the
+        #: cache every fraction walks every edge's prefix set.
+        self._total: Optional[int] = None
 
     @classmethod
     def merge(
@@ -51,14 +55,17 @@ class TampGraph:
         return graph
 
     def merge_tree(self, tree: TampTree) -> None:
+        # One pass over the tree's edges: merge each, collecting the
+        # root-adjacent prefix union for the site-root link as we go.
+        site_root = self.site_root
+        tree_root = tree.root
+        root_prefixes: set[Prefix] = set()
         for (parent, child), prefixes in tree.edges():
             self._bulk_add(parent, child, prefixes)
-        if self.site_root is not None:
-            root_prefixes: set[Prefix] = set()
-            for (parent, _), prefixes in tree.edges():
-                if parent == tree.root:
-                    root_prefixes |= prefixes
-            self._bulk_add(self.site_root, tree.root, root_prefixes)
+            if site_root is not None and parent == tree_root:
+                root_prefixes |= prefixes
+        if site_root is not None:
+            self._bulk_add(site_root, tree_root, root_prefixes)
 
     def _bulk_add(self, parent: Token, child: Token, prefixes) -> None:
         """Add a whole prefix set to an edge (refcount +1 each).
@@ -68,6 +75,7 @@ class TampGraph:
         """
         if not prefixes:
             return
+        self._total = None
         edge = (parent, child)
         existing = self._edges.get(edge)
         if existing is None:
@@ -94,10 +102,14 @@ class TampGraph:
             self._edges[edge] = {prefix: 1}
             self._children.setdefault(parent, set()).add(child)
             self._parents.setdefault(child, set()).add(parent)
+            self._total = None
             return True
         count = prefixes.get(prefix)
         prefixes[prefix] = (count or 0) + 1
-        return count is None
+        if count is None:
+            self._total = None
+            return True
+        return False
 
     def discard_prefix(
         self, parent: Token, child: Token, prefix: Prefix
@@ -118,11 +130,13 @@ class TampGraph:
             prefixes[prefix] = count - 1
             return False
         del prefixes[prefix]
+        self._total = None
         if not prefixes:
             self.remove_edge(parent, child)
         return True
 
     def remove_edge(self, parent: Token, child: Token) -> None:
+        self._total = None
         self._edges.pop((parent, child), None)
         children = self._children.get(parent)
         if children is not None:
@@ -163,6 +177,7 @@ class TampGraph:
         self._edges[(parent, child)] = dict(prefixes)
         self._children.setdefault(parent, set()).add(child)
         self._parents.setdefault(child, set()).add(parent)
+        self._total = None
 
     def edge_list(self) -> list[Edge]:
         return list(self._edges)
@@ -202,8 +217,15 @@ class TampGraph:
         )
 
     def total_prefixes(self) -> int:
-        """Distinct prefixes represented in the graph (the 100% mark)."""
-        return len(self.all_prefixes())
+        """Distinct prefixes represented in the graph (the 100% mark).
+
+        Cached until the next mutation: pruning asks for this once per
+        edge fraction, and the answer only changes when an edge's prefix
+        membership does.
+        """
+        if self._total is None:
+            self._total = len(self.all_prefixes())
+        return self._total
 
     def all_prefixes(self) -> set[Prefix]:
         prefixes: set[Prefix] = set()
@@ -251,4 +273,5 @@ class TampGraph:
         duplicate._parents = {
             node: set(parents) for node, parents in self._parents.items()
         }
+        duplicate._total = self._total
         return duplicate

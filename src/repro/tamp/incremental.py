@@ -48,6 +48,15 @@ class IncrementalTamp:
         #: animator reads these to color edges per frame.
         self._adds: dict[tuple[Token, Token], int] = {}
         self._removes: dict[tuple[Token, Token], int] = {}
+        #: peer -> chain key -> the edge pairs the route threads. A
+        #: flapping route announces and withdraws the same chain
+        #: thousands of times; memoizing turns each apply into two dict
+        #: lookups. Without prefix leaves (the animation default) the
+        #: chain depends only on (peer, attrs), so the inner key is the
+        #: attribute bundle alone — its hash is cached on the instance.
+        #: Bounded by the distinct routes seen, i.e. the same order as
+        #: the route table itself.
+        self._edge_pairs: dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # Loading and applying
@@ -107,6 +116,19 @@ class IncrementalTamp:
             return [self.graph.site_root, *chain]
         return chain
 
+    def _pairs_for(
+        self, peer: int, prefix: Prefix, attrs: PathAttributes
+    ) -> list[tuple[Token, Token]]:
+        by_peer = self._edge_pairs.get(peer)
+        if by_peer is None:
+            by_peer = self._edge_pairs[peer] = {}
+        key = (prefix, attrs) if self.include_prefix_leaves else attrs
+        pairs = by_peer.get(key)
+        if pairs is None:
+            chain = self._chain(peer, prefix, attrs)
+            pairs = by_peer[key] = list(zip(chain, chain[1:]))
+        return pairs
+
     def _install(
         self, peer: int, prefix: Prefix, attrs: PathAttributes
     ) -> None:
@@ -117,12 +139,10 @@ class IncrementalTamp:
         if old is not None:
             self._remove_contribution(peer, prefix, old)
         self._routes[key] = attrs
-        for parent, child in zip(*_pairs(self._chain(peer, prefix, attrs))):
-            arrived = self.graph.add_prefix(parent, child, prefix)
-            if arrived:
-                self._adds[(parent, child)] = (
-                    self._adds.get((parent, child), 0) + 1
-                )
+        adds = self._adds
+        for edge in self._pairs_for(peer, prefix, attrs):
+            if self.graph.add_prefix(edge[0], edge[1], prefix):
+                adds[edge] = adds.get(edge, 0) + 1
 
     def _withdraw(self, peer: int, prefix: Prefix) -> None:
         old = self._routes.pop((peer, prefix), None)
@@ -133,13 +153,7 @@ class IncrementalTamp:
     def _remove_contribution(
         self, peer: int, prefix: Prefix, attrs: PathAttributes
     ) -> None:
-        for parent, child in zip(*_pairs(self._chain(peer, prefix, attrs))):
-            departed = self.graph.discard_prefix(parent, child, prefix)
-            if departed:
-                self._removes[(parent, child)] = (
-                    self._removes.get((parent, child), 0) + 1
-                )
-
-
-def _pairs(chain: list[Token]) -> tuple[list[Token], list[Token]]:
-    return chain, chain[1:]
+        removes = self._removes
+        for edge in self._pairs_for(peer, prefix, attrs):
+            if self.graph.discard_prefix(edge[0], edge[1], prefix):
+                removes[edge] = removes.get(edge, 0) + 1

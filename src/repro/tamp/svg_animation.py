@@ -12,9 +12,12 @@ animation of a quiet graph stays small); static structure is drawn once.
 
 from __future__ import annotations
 
+from functools import partial
+from typing import Optional
 from xml.sax.saxutils import escape
 
 from repro.net.prefix import Prefix
+from repro.perf import effective_workers, map_shards, partition
 from repro.tamp.animate import EdgeState, TampAnimation
 from repro.tamp.graph import TampGraph
 from repro.tamp.layout import layout_graph
@@ -35,8 +38,14 @@ def render_svg_animation(
     animation: TampAnimation,
     title: str = "",
     max_thickness: float = 12.0,
+    workers: Optional[int] = None,
 ) -> str:
-    """Render *animation* as one SMIL-animated SVG document string."""
+    """Render *animation* as one SMIL-animated SVG document string.
+
+    *workers* parallelizes the per-edge keyframe rendering across a
+    :mod:`repro.perf` pool (None = the ``REPRO_WORKERS`` environment
+    variable); small graphs render serially either way.
+    """
     display, seen_edges = _display_graph(animation)
     layout = layout_graph(display)
     margin = 120.0
@@ -60,29 +69,49 @@ def render_svg_animation(
         x, y = layout.positions[node]
         return x + margin, y + margin
 
+    # One pass over the frames collects every edge's change track; the
+    # per-edge work below then touches only that edge's own changes
+    # instead of re-walking all 750 frames per edge.
+    state_tracks, count_tracks = _edge_tracks(animation)
+    edge_jobs = []
     for edge in sorted(seen_edges, key=str):
         parent, child = edge
         if parent not in layout.positions or child not in layout.positions:
             continue
-        (x1, y1), (x2, y2) = position(parent), position(child)
-        color_keys, width_keys = _keyframes(animation, edge, frame_count, total,
-                                            max_thickness)
-        initial_width = width_keys[0][1] if width_keys else 0.6
-        parts.append(
-            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}"'
-            f' stroke="#000000" stroke-width="{initial_width:.2f}">'
+        count_track = count_tracks.get(edge, ())
+        initial = (
+            count_track[0][1]
+            if count_track
+            else animation.tamp.graph.weight(*edge)
         )
-        if len(color_keys) > 1:
-            parts.append(_animate("stroke", color_keys, duration))
-        if len(width_keys) > 1:
-            parts.append(
-                _animate(
-                    "stroke-width",
-                    [(t, f"{v:.2f}") for t, v in width_keys],
-                    duration,
-                )
+        edge_jobs.append(
+            (
+                position(parent),
+                position(child),
+                state_tracks.get(edge, ()),
+                count_track,
+                initial,
             )
-        parts.append("</line>")
+        )
+    workers = effective_workers(workers, units=len(edge_jobs))
+    if workers <= 1:
+        parts.extend(
+            _render_edge_shard(
+                edge_jobs, frame_count, total, max_thickness, duration
+            )
+        )
+    else:
+        shard_render = partial(
+            _render_edge_shard,
+            frame_count=frame_count,
+            total=total,
+            max_thickness=max_thickness,
+            duration=duration,
+        )
+        for rendered in map_shards(
+            shard_render, partition(edge_jobs, workers), workers
+        ):
+            parts.extend(rendered)
     for node in layout.positions:
         x, y = position(node)
         label = escape(node_label(node))
@@ -124,40 +153,85 @@ def _max_count(animation: TampAnimation) -> int:
     return best
 
 
-def _keyframes(animation, edge, frame_count, total, max_thickness):
-    """(time-fraction, value) lists for stroke color and width."""
+def _edge_tracks(animation: TampAnimation):
+    """Per-edge (frame index, state) and (frame index, count) tracks.
+
+    Built in a single pass over the frames so the renderer's per-edge
+    keyframe construction is proportional to each edge's own changes,
+    not to edges × frames.
+    """
+    state_tracks: dict = {}
+    count_tracks: dict = {}
+    for frame in animation.frames:
+        index = frame.index
+        for edge, state in frame.edge_states.items():
+            track = state_tracks.get(edge)
+            if track is None:
+                track = state_tracks[edge] = []
+            track.append((index, state))
+        for edge, count in frame.edge_counts.items():
+            track = count_tracks.get(edge)
+            if track is None:
+                track = count_tracks[edge] = []
+            track.append((index, count))
+    return state_tracks, count_tracks
+
+
+def _render_edge_shard(shard, frame_count, total, max_thickness, duration):
+    """Render a shard of edge jobs to SVG fragments.
+
+    Module-level with plain-tuple jobs so shards can cross the
+    repro.perf worker-pool boundary.
+    """
+    parts: list[str] = []
+    for (x1, y1), (x2, y2), state_track, count_track, initial in shard:
+        color_keys, width_keys = _keyframes(
+            state_track, count_track, initial, frame_count, total,
+            max_thickness,
+        )
+        initial_width = width_keys[0][1] if width_keys else 0.6
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}"'
+            f' stroke="#000000" stroke-width="{initial_width:.2f}">'
+        )
+        if len(color_keys) > 1:
+            parts.append(_animate("stroke", color_keys, duration))
+        if len(width_keys) > 1:
+            parts.append(
+                _animate(
+                    "stroke-width",
+                    [(t, f"{v:.2f}") for t, v in width_keys],
+                    duration,
+                )
+            )
+        parts.append("</line>")
+    return parts
+
+
+def _keyframes(
+    state_track, count_track, initial, frame_count, total, max_thickness
+):
+    """(time-fraction, value) lists for stroke color and width.
+
+    The initial width comes from the edge's first recorded count — the
+    pre-animation value is not observable from the frames — or from the
+    final graph when the edge never changes (*initial*, resolved by the
+    caller).
+    """
     color_keys: list[tuple[float, str]] = [(0.0, _STATE_COLOR[EdgeState.STABLE])]
     width_keys: list[tuple[float, float]] = []
-    # Initial width: reconstruct from the first frame's view or the final
-    # graph when the edge never changes.
-    current = None
-    for frame in animation.frames:
-        if edge in frame.edge_counts:
-            break
-    else:
-        current = animation.tamp.graph.weight(*edge)
-    if current is None:
-        # Walk backwards from the first change: the edge's pre-animation
-        # count equals its first recorded count minus nothing we can see,
-        # so start from the first recorded value for display purposes.
-        for frame in animation.frames:
-            if edge in frame.edge_counts:
-                current = frame.edge_counts[edge]
-                break
-        current = current or 0
-    width_keys.append((0.0, _width(current, total, max_thickness)))
-    for frame in animation.frames:
-        t = (frame.index + 1) / frame_count
-        if edge in frame.edge_states:
-            color_keys.append((t, _STATE_COLOR[frame.edge_states[edge]]))
-            # Revert to stable on the following frame unless it changes
-            # again (handled by the next iteration overriding).
-            revert = min(1.0, t + 1.0 / frame_count)
-            color_keys.append((revert, _STATE_COLOR[EdgeState.STABLE]))
-        if edge in frame.edge_counts:
-            width_keys.append(
-                (t, _width(frame.edge_counts[edge], total, max_thickness))
-            )
+    width_keys.append((0.0, _width(initial or 0, total, max_thickness)))
+    for index, state in state_track:
+        t = (index + 1) / frame_count
+        color_keys.append((t, _STATE_COLOR[state]))
+        # Revert to stable on the following frame unless it changes
+        # again (a same-time change key loses to the revert in _dedupe,
+        # matching the historical frame-walk renderer).
+        revert = min(1.0, t + 1.0 / frame_count)
+        color_keys.append((revert, _STATE_COLOR[EdgeState.STABLE]))
+    for index, count in count_track:
+        t = (index + 1) / frame_count
+        width_keys.append((t, _width(count, total, max_thickness)))
     color_keys = _dedupe(color_keys)
     width_keys = _dedupe(width_keys)
     return color_keys, width_keys

@@ -33,15 +33,11 @@ def route_path_tokens(
     """The node chain a route contributes: router, nexthop, ASes[, prefix].
 
     Duplicate consecutive ASes (prepending) collapse to one node — a
-    prepended path traverses the same AS once.
+    prepended path traverses the same AS once. The collapsed AS tokens
+    are cached on the path instance (see ``ASPath.collapsed_tokens``).
     """
     chain: list[Token] = [router, ("nh", attributes.nexthop)]
-    previous_as: Optional[int] = None
-    for asn in attributes.as_path.sequence:
-        if asn == previous_as:
-            continue
-        chain.append(("as", asn))
-        previous_as = asn
+    chain.extend(attributes.as_path.collapsed_tokens())
     if include_prefix_leaf:
         chain.append(("pfx", prefix))
     return chain

@@ -146,3 +146,35 @@ class TestPersistence:
         path = tmp_path / "events.jsonl"
         path.write_text(event(1.0).to_json() + "\n\n")
         assert len(EventStream.load(path)) == 1
+
+
+class TestSliceIndices:
+    def test_matches_bisect_semantics(self):
+        stream = EventStream()
+        for t in (0.0, 1.0, 1.0, 2.5, 4.0):
+            stream.append(event(t))
+        boundaries = [0.5, 1.0, 3.0, 10.0]
+        indices = stream.slice_indices(boundaries)
+        timestamps = [e.timestamp for e in stream]
+        import bisect
+
+        assert indices == [
+            bisect.bisect_left(timestamps, b) for b in boundaries
+        ]
+
+    def test_empty_stream(self):
+        assert EventStream().slice_indices([1.0, 2.0]) == [0, 0]
+
+    def test_append_invalidates_key_cache(self):
+        stream = EventStream()
+        stream.append(event(1.0))
+        assert stream.slice_indices([5.0]) == [1]
+        stream.append(event(0.5))  # out of order: forces a re-sort too
+        assert stream.slice_indices([0.7, 5.0]) == [1, 2]
+
+    def test_between_after_slice_indices(self):
+        stream = EventStream()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            stream.append(event(t))
+        stream.slice_indices([1.5])
+        assert [e.timestamp for e in stream.between(1.0, 3.0)] == [1.0, 2.0]

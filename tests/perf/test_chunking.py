@@ -1,0 +1,45 @@
+"""Shard partitioning invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perf import partition
+
+
+class TestPartition:
+    def test_empty_items(self):
+        assert partition([], 4) == []
+
+    def test_single_shard(self):
+        assert partition([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_more_shards_than_items(self):
+        assert partition([1, 2], 8) == [[1], [2]]
+
+    def test_balanced_sizes(self):
+        shards = partition(list(range(10)), 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            partition([1], 0)
+
+    @given(
+        st.lists(st.integers(), max_size=200),
+        st.integers(1, 17),
+    )
+    def test_concatenation_preserves_order(self, items, shard_count):
+        shards = partition(items, shard_count)
+        assert [x for shard in shards for x in shard] == items
+
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=200),
+        st.integers(1, 17),
+    )
+    def test_shapes(self, items, shard_count):
+        shards = partition(items, shard_count)
+        assert 1 <= len(shards) <= shard_count
+        assert all(shards)  # no empty chunks
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1

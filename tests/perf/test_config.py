@@ -1,0 +1,75 @@
+"""Worker-count resolution and the serial-fallback policy."""
+
+import pytest
+
+from repro.perf import (
+    ENV_FORCE_WORKERS,
+    ENV_WORKERS,
+    effective_workers,
+    fork_available,
+    resolve_workers,
+    usable_cpus,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv(ENV_WORKERS, raising=False)
+    monkeypatch.delenv(ENV_FORCE_WORKERS, raising=False)
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "7")
+        monkeypatch.setenv(ENV_FORCE_WORKERS, "1")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "5")
+        monkeypatch.setenv(ENV_FORCE_WORKERS, "1")
+        assert resolve_workers(None) == 5
+
+    def test_env_not_integer(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "many")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_capped_at_usable_cpus(self):
+        assert resolve_workers(10_000) == usable_cpus()
+
+    def test_force_lifts_cap(self, monkeypatch):
+        monkeypatch.setenv(ENV_FORCE_WORKERS, "1")
+        assert resolve_workers(10_000) == 10_000
+
+    def test_force_zero_keeps_cap(self, monkeypatch):
+        monkeypatch.setenv(ENV_FORCE_WORKERS, "0")
+        assert resolve_workers(10_000) == usable_cpus()
+
+
+class TestEffectiveWorkers:
+    def test_serial_stays_serial(self):
+        assert effective_workers(1, units=10**9) == 1
+
+    def test_small_input_falls_back(self, monkeypatch):
+        monkeypatch.setenv(ENV_FORCE_WORKERS, "1")
+        assert effective_workers(4, units=10) == 1
+
+    def test_large_input_parallel(self, monkeypatch):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        monkeypatch.setenv(ENV_FORCE_WORKERS, "1")
+        assert effective_workers(4, units=10_000) == 4
+
+    def test_min_units_override(self, monkeypatch):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        monkeypatch.setenv(ENV_FORCE_WORKERS, "1")
+        assert effective_workers(2, units=100, min_units=10) == 2
+        assert effective_workers(2, units=3, min_units=10) == 1

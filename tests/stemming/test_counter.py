@@ -1,5 +1,6 @@
 """Unit and property tests for subsequence counting."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -123,3 +124,30 @@ class TestNaiveEquivalence:
             fast.add_sequence(tokens)
             naive.add_sequence(tokens)
         assert fast.counts() == naive.counts()
+
+
+class TestMultiplicity:
+    def test_grouped_add_equals_repeated_adds(self):
+        grouped = SubsequenceCounter()
+        grouped.add_sequence((A, B, C), multiplicity=5)
+        looped = SubsequenceCounter()
+        for _ in range(5):
+            looped.add_sequence((A, B, C))
+        assert grouped.counts() == looped.counts()
+        assert grouped.top() == looped.top()
+        assert grouped.event_count == 5
+
+    def test_invalid_multiplicity(self):
+        counter = SubsequenceCounter()
+        with pytest.raises(ValueError):
+            counter.add_sequence((A, B), multiplicity=0)
+
+    def test_multiplicity_after_expansion(self):
+        counter = SubsequenceCounter()
+        counter.add_sequence((A, B), multiplicity=2)
+        assert counter.counts()[(A, B)] == 2  # materialize the expansion
+        counter.add_sequence((A, B), multiplicity=3)
+        assert counter.counts()[(A, B)] == 5
+        counter.subtract_sequence((A, B), 4)
+        assert counter.counts()[(A, B)] == 1
+        assert counter.top() == ((A, B), 1)

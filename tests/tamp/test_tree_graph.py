@@ -175,3 +175,70 @@ class TestMergeProperties:
         total = graph.total_prefixes()
         for (parent, child), prefixes in graph.edges():
             assert len(prefixes) <= total
+
+
+class TestTotalPrefixCache:
+    """total_prefixes() is cached; every mutation must invalidate it."""
+
+    def test_add_new_prefix_invalidates(self):
+        graph = TampGraph()
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        assert graph.total_prefixes() == 1
+        other = Prefix.parse("198.51.100.0/24")
+        graph.add_prefix(("as", 1), ("as", 2), other)
+        assert graph.total_prefixes() == 2
+
+    def test_refcount_bump_keeps_total(self):
+        graph = TampGraph()
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        assert graph.total_prefixes() == 1
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        assert graph.total_prefixes() == 1
+
+    def test_discard_invalidates_on_last_reference(self):
+        graph = TampGraph()
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        assert graph.total_prefixes() == 1
+        graph.discard_prefix(("as", 1), ("as", 2), P)
+        assert graph.total_prefixes() == 1  # one reference remains
+        graph.discard_prefix(("as", 1), ("as", 2), P)
+        assert graph.total_prefixes() == 0
+
+    def test_remove_edge_invalidates(self):
+        graph = TampGraph()
+        other = Prefix.parse("198.51.100.0/24")
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        graph.add_prefix(("as", 1), ("as", 3), other)
+        assert graph.total_prefixes() == 2
+        graph.remove_edge(("as", 1), ("as", 3))
+        assert graph.total_prefixes() == 1
+
+    def test_merge_tree_invalidates(self):
+        graph = TampGraph("site")
+        first = TampTree("r1")
+        first.add_route(P, attrs("1 2"))
+        graph.merge_tree(first)
+        assert graph.total_prefixes() == 1
+        second = TampTree("r2")
+        second.add_route(Prefix.parse("198.51.100.0/24"), attrs("2 3"))
+        graph.merge_tree(second)
+        assert graph.total_prefixes() == 2
+
+    def test_adopt_edge_invalidates(self):
+        graph = TampGraph()
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        assert graph.total_prefixes() == 1
+        other = Prefix.parse("198.51.100.0/24")
+        graph.adopt_edge(("as", 2), ("as", 3), {other: 2})
+        assert graph.total_prefixes() == 2
+
+    def test_copy_carries_cache_safely(self):
+        graph = TampGraph()
+        graph.add_prefix(("as", 1), ("as", 2), P)
+        assert graph.total_prefixes() == 1
+        duplicate = graph.copy()
+        other = Prefix.parse("198.51.100.0/24")
+        duplicate.add_prefix(("as", 1), ("as", 2), other)
+        assert duplicate.total_prefixes() == 2
+        assert graph.total_prefixes() == 1
