@@ -135,6 +135,9 @@ class LocRib:
 
     def candidates(self, prefix: Prefix) -> list[Route]:
         """All candidate routes for *prefix* (order unspecified)."""
+        # repro: allow[DET002] arrival order; the RIB is fed by one
+        # deterministic event stream and the decision process breaks
+        # every tie explicitly (router-id last).
         return list(self._candidates.get(prefix, {}).values())
 
     def set_best(self, route: Route) -> Optional[Route]:
@@ -154,6 +157,8 @@ class LocRib:
 
     def all_routes(self) -> Iterator[Route]:
         """Yield every candidate route for every prefix."""
+        # repro: allow[DET002] insertion order follows the one
+        # deterministic event stream feeding this RIB.
         for candidates in self._candidates.values():
             yield from candidates.values()
 

@@ -336,6 +336,8 @@ class BGPRouter:
         self, best: Route, previous: Optional[Route]
     ) -> list[tuple[int, BGPUpdate]]:
         outgoing: list[tuple[int, BGPUpdate]] = []
+        # repro: allow[DET002] neighbors are registered in configuration
+        # order, so propagation order is deterministic and meaningful.
         for neighbor in self.neighbors.values():
             if not neighbor.session.is_established:
                 continue
@@ -368,6 +370,8 @@ class BGPRouter:
         self, prefix: Prefix, previous: Route
     ) -> list[tuple[int, BGPUpdate]]:
         outgoing: list[tuple[int, BGPUpdate]] = []
+        # repro: allow[DET002] neighbors are registered in configuration
+        # order, so withdrawal order is deterministic and meaningful.
         for neighbor in self.neighbors.values():
             if prefix in neighbor.adj_rib_out:
                 del neighbor.adj_rib_out[prefix]

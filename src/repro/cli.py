@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the operator workflows the paper describes:
+The operator subcommands cover the workflows the paper describes:
 
 * ``repro demo`` — build the simulated Berkeley site, inject a chosen
   incident, and print the diagnosis (a self-contained tour).
@@ -9,6 +9,12 @@ Four subcommands cover the operator workflows the paper describes:
 * ``repro render EVENTS.jsonl -o out.svg`` — draw the TAMP picture of
   the routes announced in a stream.
 * ``repro rate EVENTS.jsonl`` — print the Figure 8 style rate series.
+
+One developer subcommand guards the codebase itself:
+
+* ``repro lint [paths]`` — the determinism & parallel-safety static
+  analyzer (:mod:`repro.devtools`). Exit 0 means clean, 1 means
+  findings, 2 means a usage error (bad path, unknown rule).
 
 Event files are either the JSONL format of
 :meth:`repro.collector.stream.EventStream.save` or MRT archives
@@ -125,6 +131,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="frames per second (default 25, per the paper)",
     )
     animate.set_defaults(handler=cmd_animate)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & parallel-safety static analysis",
+    )
+    lint.add_argument(
+        "paths", type=Path, nargs="*", default=[Path("src")],
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text; json is the CI artifact)",
+    )
+    lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the report to this file",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 
@@ -240,6 +272,38 @@ def cmd_animate(args: argparse.Namespace) -> int:
         f" {animation.timerange:.1f}s -> {args.duration:.0f}s play"
     )
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import (
+        analyze_paths,
+        render_json,
+        render_text,
+        rule_catalog,
+    )
+
+    if args.list_rules:
+        for rule in rule_catalog():
+            print(f"{rule.id:<9} {rule.summary}")
+        return 0
+    rules = None
+    if args.rules is not None:
+        rules = {part.strip() for part in args.rules.split(",") if part.strip()}
+    try:
+        findings = analyze_paths(args.paths, rules=rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = (
+        render_json(findings) if args.format == "json"
+        else render_text(findings)
+    )
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+        print(f"wrote {args.output} ({len(findings)} finding(s))")
+    else:
+        print(report)
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":

@@ -169,6 +169,8 @@ class RouteExplorer:
 
     def all_routes(self) -> Iterable[Route]:
         """Every (peer, prefix, attributes) route currently held."""
+        # repro: allow[DET002] per-peer RIBs are created in peering
+        # order; the event stream that fills them is single-threaded.
         for rib in self._ribs.values():
             yield from rib.routes()
 

@@ -1,0 +1,126 @@
+"""Analysis driver: find files, parse, run checkers, filter, sort.
+
+The engine is deliberately dumb: checkers do the thinking, the engine
+guarantees the operational properties — file discovery and finding
+order are sorted (identical reports on every run and machine), a file
+that fails to parse becomes a ``SYNTAX`` finding instead of an
+exception (so ``repro lint`` gates on it like any other violation),
+and suppressions are applied here so no checker can forget them.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleContext, all_checkers, rule_ids
+from repro.devtools.suppress import Suppressions
+
+#: The rule id reported for unparseable files (not suppressible — a
+#: syntax error swallows any comment that would have allowed it).
+SYNTAX_RULE = "SYNTAX"
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files and directories to a sorted list of ``.py`` files.
+
+    Raises :class:`FileNotFoundError` for a missing path and
+    :class:`ValueError` for an existing non-Python file — both surface
+    as usage errors (exit 2) in the CLI rather than silently linting
+    nothing.
+    """
+    found: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        elif path.is_file():
+            if path.suffix != ".py":
+                raise ValueError(f"not a Python file: {path}")
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for *path*, anchored at the ``repro`` package.
+
+    Paths outside the package (fixtures, scratch files) fall back to
+    the bare stem, which keeps package-scoped rules (DET001) inert on
+    them unless a test supplies a synthetic module name.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    elif parts:
+        parts = parts[-1:]
+    return ".".join(parts) if parts else "<unknown>"
+
+
+def analyze_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[set[str]] = None,
+) -> list[Finding]:
+    """Run every registered checker over one source string."""
+    if module is None:
+        module = module_name_for(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0),
+                rule=SYNTAX_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path=path, module=module, source=source, tree=tree)
+    suppressions = Suppressions.scan(source)
+    findings: list[Finding] = []
+    for checker in all_checkers():
+        for finding in checker.check(ctx):
+            if rules is not None and finding.rule not in rules:
+                continue
+            if suppressions.is_allowed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_file(
+    path: Path, *, rules: Optional[set[str]] = None
+) -> list[Finding]:
+    return analyze_source(
+        path.read_text(encoding="utf-8"), path=str(path), rules=rules
+    )
+
+
+def analyze_paths(
+    paths: Sequence[Path], *, rules: Optional[set[str]] = None
+) -> list[Finding]:
+    """Analyze files and directories; the CLI and self-lint entry point.
+
+    An unknown rule id in *rules* is a :class:`ValueError`: a typo in
+    ``--rules DET01`` must not report a falsely clean tree.
+    """
+    if rules is not None:
+        unknown = rules - rule_ids() - {SYNTAX_RULE}
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(analyze_file(path, rules=rules))
+    return sorted(findings)

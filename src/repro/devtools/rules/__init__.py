@@ -1,0 +1,22 @@
+"""The rule catalog. Importing this package registers every checker.
+
+Rule families map to the invariants the repo actually depends on:
+
+* :mod:`repro.devtools.rules.determinism` — DET001 (unseeded entropy
+  and wall-clock reads in algorithm modules), DET002 (unordered
+  iteration feeding ordered output), DET003 (``id()``-based keys or
+  ordering);
+* :mod:`repro.devtools.rules.pool` — POOL001 (fork-pool callables must
+  be module-level), POOL002 (shard functions must not write module
+  globals);
+* :mod:`repro.devtools.rules.mutation` — MUT001 (mutable default
+  arguments);
+* :mod:`repro.devtools.rules.cache` — CACHE001 (``TampGraph`` mutators
+  must invalidate the prefix-count cache).
+"""
+
+from __future__ import annotations
+
+from repro.devtools.rules import cache, determinism, mutation, pool
+
+__all__ = ["cache", "determinism", "mutation", "pool"]

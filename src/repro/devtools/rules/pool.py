@@ -1,0 +1,261 @@
+"""POOL001–POOL002: fork-pool safety for ``repro.perf`` call sites.
+
+:func:`repro.perf.pool.map_shards` is the single dispatch point for
+every parallel hot path, which makes the safety contract checkable:
+the dispatched callable must be resolvable at module level (lambdas
+and closures break picklability the day the start method is not
+``fork``, and closure state silently diverges between workers), and a
+shard function must not write module globals — writes land in the
+child's copy-on-write image under fork and vanish at join, so the
+serial and parallel paths compute different things: exactly the
+divergence the equivalence tests exist to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.astutil import (
+    ImportMap,
+    module_level_assignments,
+    module_level_names,
+    root_name,
+)
+from repro.devtools.findings import Finding, Rule
+from repro.devtools.registry import Checker, ModuleContext, register
+
+#: Fully-qualified names that count as the pool dispatch point.
+_DISPATCH = frozenset(
+    {"repro.perf.map_shards", "repro.perf.pool.map_shards"}
+)
+
+#: ``functools.partial`` is the blessed way to bind shard parameters;
+#: the rule looks through it at the underlying callable.
+_PARTIAL = frozenset({"functools.partial", "partial"})
+
+#: Method calls that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+        "subtract",
+    }
+)
+
+
+@register
+class PoolSafety(Checker):
+    """POOL001 + POOL002 over ``map_shards`` call sites in a module."""
+
+    rules = (
+        Rule(
+            "POOL001",
+            "callable dispatched through repro.perf.pool is not"
+            " module-level",
+        ),
+        Rule(
+            "POOL002",
+            "shard function dispatched through repro.perf.pool writes"
+            " module globals",
+        ),
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        module_names = module_level_names(ctx.tree)
+        module_defs = {
+            node.name: node
+            for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        module_globals = module_level_assignments(ctx.tree)
+        enclosing = self._enclosing_functions(ctx.tree)
+        checked_shards: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if imports.resolve(node.func) not in _DISPATCH:
+                continue
+            if not node.args:
+                continue
+            target = self._resolve_callable(
+                node.args[0], enclosing.get(node), imports
+            )
+            problem = self._non_module_level(target, module_names, imports)
+            if problem is not None:
+                yield self.finding(
+                    ctx,
+                    node.args[0],
+                    "POOL001",
+                    f"map_shards() callable {problem}; fork-pool callables"
+                    " must be module-level functions so workers can"
+                    " re-resolve them by qualified name",
+                )
+                continue
+            if isinstance(target, ast.Name) and target.id in module_defs:
+                if target.id in checked_shards:
+                    continue
+                checked_shards.add(target.id)
+                yield from self._check_shard_writes(
+                    ctx, module_defs[target.id], module_globals
+                )
+
+    @staticmethod
+    def _enclosing_functions(
+        tree: ast.Module,
+    ) -> dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Every node → its nearest enclosing function, for local lookup."""
+        enclosing: dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+
+        def fill(
+            node: ast.AST,
+            current: Optional[ast.FunctionDef | ast.AsyncFunctionDef],
+        ) -> None:
+            for child in ast.iter_child_nodes(node):
+                if current is not None:
+                    enclosing[child] = current
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    fill(child, child)
+                else:
+                    fill(child, current)
+
+        fill(tree, None)
+        return enclosing
+
+    def _resolve_callable(
+        self,
+        node: ast.AST,
+        scope: Optional[ast.FunctionDef | ast.AsyncFunctionDef],
+        imports: ImportMap,
+    ) -> ast.AST:
+        """Chase partials and single-assignment locals to the callable.
+
+        The repo's idiom binds ``partial(module_fn, ...)`` to a local
+        before dispatching it; following that assignment keeps the rule
+        about the *underlying* callable, not the binding style. Only a
+        name assigned exactly once in the enclosing function is chased
+        — a rebound name stays opaque and fails module-level
+        resolution, which is the safe direction.
+        """
+        for _ in range(8):  # alias chains are short; bound to be safe
+            while (
+                isinstance(node, ast.Call)
+                and imports.resolve(node.func) in _PARTIAL
+                and node.args
+            ):
+                node = node.args[0]
+            if not isinstance(node, ast.Name) or scope is None:
+                return node
+            assignments = [
+                stmt.value
+                for stmt in ast.walk(scope)
+                if isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == node.id
+                    for t in stmt.targets
+                )
+            ]
+            if len(assignments) != 1:
+                return node
+            node = assignments[0]
+        return node
+
+    @staticmethod
+    def _non_module_level(
+        node: ast.AST, module_names: set[str], imports: ImportMap
+    ) -> Optional[str]:
+        """Why *node* is not a module-level callable, or None if it is."""
+        if isinstance(node, ast.Lambda):
+            return "is a lambda"
+        if isinstance(node, ast.Name):
+            if node.id in module_names:
+                return None
+            return f"'{node.id}' is not bound at module level"
+        if isinstance(node, ast.Attribute):
+            head = root_name(node)
+            if head is not None and (
+                head in imports.aliases or head in module_names
+            ):
+                return None  # module.func or ModuleLevelClass.method
+            return "is an attribute of a runtime object"
+        if isinstance(node, ast.Call):
+            return "is built by a call expression"
+        return "cannot be resolved to a module-level function"
+
+    def _check_shard_writes(
+        self,
+        ctx: ModuleContext,
+        shard: ast.FunctionDef | ast.AsyncFunctionDef,
+        module_globals: set[str],
+    ) -> Iterator[Finding]:
+        """POOL002: no global declarations or global-container writes."""
+        for node in ast.walk(shard):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "POOL002",
+                    f"shard function {shard.name}() declares"
+                    f" global {', '.join(node.names)}; writes are lost at"
+                    " fork-pool join and diverge from the serial path",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    written = self._global_container_write(
+                        target, module_globals
+                    )
+                    if written is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "POOL002",
+                            f"shard function {shard.name}() writes into"
+                            f" module global '{written}'; per-worker"
+                            " copies silently diverge under fork",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+            ):
+                head = root_name(node.func.value)
+                if head is not None and head in module_globals:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "POOL002",
+                        f"shard function {shard.name}() mutates module"
+                        f" global '{head}' via .{node.func.attr}();"
+                        " per-worker copies silently diverge under fork",
+                    )
+
+    @staticmethod
+    def _global_container_write(
+        target: ast.AST, module_globals: set[str]
+    ) -> Optional[str]:
+        """Module-global name written through a subscript/attribute."""
+        if not isinstance(target, (ast.Subscript, ast.Attribute)):
+            return None
+        head = root_name(target)
+        if head is not None and head in module_globals:
+            return head
+        return None

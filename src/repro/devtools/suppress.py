@@ -1,0 +1,101 @@
+"""``# repro: allow[RULE]`` suppression comments.
+
+Suppression is per-line and per-rule. An *inline* comment (code before
+it on the line) silences the named rules on its own physical line; a
+*standalone* comment (nothing but whitespace before it) silences them
+on the next code line, so justifications fit the repo's 79-column style
+as a comment block directly above the flagged statement. ``allow[*]``
+silences every rule (reserved for generated code).
+
+The scanner uses :mod:`tokenize` so the marker inside a string literal
+is *not* a suppression; files too broken to tokenize fall back to a
+plain line scan, which errs toward honoring the comment — a file that
+broken fails the SYNTAX gate anyway.
+
+The policy half lives in review, not here: the repo convention
+(README "Development") is that every ``allow`` carries its
+justification in the same comment block, e.g.::
+
+    # repro: allow[DET002] insertion order follows the event stream;
+    # the builder is single-threaded by construction.
+    parts.append(render(state))
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_ALLOW = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+class Suppressions:
+    """Which rules are allowed on which lines of one source file."""
+
+    def __init__(self, by_line: dict[int, frozenset[str]]) -> None:
+        self._by_line = by_line
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        lines = source.splitlines()
+        comments: list[tuple[int, str, bool]] = []
+        try:
+            for token in tokenize.generate_tokens(
+                io.StringIO(source).readline
+            ):
+                if token.type != tokenize.COMMENT:
+                    continue
+                lineno, col = token.start
+                before = lines[lineno - 1][:col] if lineno <= len(lines) else ""
+                comments.append((lineno, token.string, not before.strip()))
+        except (tokenize.TokenError, SyntaxError, ValueError):
+            comments = [
+                (lineno, text, not text[: text.index("#")].strip())
+                for lineno, text in enumerate(lines, start=1)
+                if "#" in text
+            ]
+        by_line: dict[int, frozenset[str]] = {}
+        for lineno, text, standalone in comments:
+            rules = _parse_allow(text)
+            if not rules:
+                continue
+            target = (
+                _next_code_line(lines, lineno) if standalone else lineno
+            )
+            by_line[target] = by_line.get(target, frozenset()) | rules
+        return cls(by_line)
+
+    def is_allowed(self, rule: str, line: int) -> bool:
+        allowed = self._by_line.get(line)
+        if allowed is None:
+            return False
+        return rule in allowed or "*" in allowed
+
+    @property
+    def line_count(self) -> int:
+        """How many lines carry at least one suppression (reporting)."""
+        return len(self._by_line)
+
+
+def _parse_allow(text: str) -> frozenset[str]:
+    match = _ALLOW.search(text)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        part.strip() for part in match.group(1).split(",") if part.strip()
+    )
+
+
+def _next_code_line(lines: list[str], after: int) -> int:
+    """First line past *after* that holds code (not blank, not comment).
+
+    A standalone justification block attaches to the statement it sits
+    above; intervening comment/blank lines are part of the block. Falls
+    back to the comment's own line at end of file.
+    """
+    for lineno in range(after + 1, len(lines) + 1):
+        stripped = lines[lineno - 1].strip()
+        if stripped and not stripped.startswith("#"):
+            return lineno
+    return after

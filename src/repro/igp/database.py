@@ -54,6 +54,9 @@ class LinkStateDatabase:
 
     def edges(self) -> Iterator[tuple[str, str, int]]:
         """Yield (origin, neighbor, metric) for every link in the LSDB."""
+        # repro: allow[DET002] LSDB insertion order follows the flooding
+        # order of the deterministic simulation; SPF consumes edges
+        # order-insensitively anyway.
         for lsa in self._lsas.values():
             for link in lsa.links:
                 yield lsa.origin, link.neighbor, link.metric

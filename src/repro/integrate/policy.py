@@ -87,6 +87,8 @@ def correlate_policies(
     for event in events:
         communities |= event.attributes.communities
     for config in configs:
+        # repro: allow[DET002] neighbors follow config-file order, which
+        # is the order operators expect clause hits to be reported in.
         for neighbor in config.neighbors.values():
             name = neighbor.import_map_name
             if not name:

@@ -265,6 +265,10 @@ class SubsequenceCounter:
         """The distinct subsequences of one sequence, memoized."""
         cached = self._expansions.get(sequence)
         if cached is None:
+            # repro: allow[DET002] memo order is private to the counter;
+            # every consumer (Counter deltas, bucket sets, max/min top())
+            # is order-insensitive, and sorting would tax the hot
+            # mutate-after-expansion path for nothing.
             cached = tuple(set(_subsequences(sequence, self.max_length)))
             self._expansions[sequence] = cached
         return cached

@@ -216,6 +216,8 @@ def _group_by_sequence(
     # Distinct attribute bundles can render to one sequence (MED or
     # communities differ, say); fold those groups together.
     by_sequence: dict[tuple[Token, ...], list[BGPEvent]] = {}
+    # repro: allow[DET002] by_key insertion order follows the event
+    # stream, so group folding order is deterministic.
     for bucket in by_key.values():
         sequence = bucket[0].sequence
         existing = by_sequence.get(sequence)

@@ -72,6 +72,8 @@ class IncidentTracker:
         now = report.at
         seen: set[tuple[object, object]] = set()
         changed: list[TrackedIncident] = []
+        # repro: allow[DET002] by_window is keyed by the detector's
+        # fixed window ladder, inserted shortest-first every report.
         for result in report.by_window.values():
             for component in result.components:
                 if component.strength < self.min_strength:
@@ -141,6 +143,8 @@ class IncidentTracker:
         return self._incidents.get(location)
 
     def all_incidents(self) -> list[TrackedIncident]:
+        # repro: allow[DET002] first-seen order is the intended
+        # presentation order and the tracker is fed deterministically.
         return list(self._incidents.values())
 
     def summary(self) -> str:

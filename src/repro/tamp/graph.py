@@ -44,6 +44,16 @@ class TampGraph:
         #: cache every fraction walks every edge's prefix set.
         self._total: Optional[int] = None
 
+    def _invalidate_cache(self) -> None:
+        """The cache-invalidation hook.
+
+        Every method that can change edge/prefix membership must call
+        this (enforced statically: rule CACHE001 of ``repro lint``).
+        Refcount-only branches may legitimately skip it — membership
+        did not change — but the hook must be reachable in the method.
+        """
+        self._total = None
+
     @classmethod
     def merge(
         cls, trees: Iterable[TampTree], site_name: Optional[str] = None
@@ -75,7 +85,7 @@ class TampGraph:
         """
         if not prefixes:
             return
-        self._total = None
+        self._invalidate_cache()
         edge = (parent, child)
         existing = self._edges.get(edge)
         if existing is None:
@@ -102,12 +112,12 @@ class TampGraph:
             self._edges[edge] = {prefix: 1}
             self._children.setdefault(parent, set()).add(child)
             self._parents.setdefault(child, set()).add(parent)
-            self._total = None
+            self._invalidate_cache()
             return True
         count = prefixes.get(prefix)
         prefixes[prefix] = (count or 0) + 1
         if count is None:
-            self._total = None
+            self._invalidate_cache()
             return True
         return False
 
@@ -130,13 +140,13 @@ class TampGraph:
             prefixes[prefix] = count - 1
             return False
         del prefixes[prefix]
-        self._total = None
+        self._invalidate_cache()
         if not prefixes:
             self.remove_edge(parent, child)
         return True
 
     def remove_edge(self, parent: Token, child: Token) -> None:
-        self._total = None
+        self._invalidate_cache()
         self._edges.pop((parent, child), None)
         children = self._children.get(parent)
         if children is not None:
@@ -177,7 +187,7 @@ class TampGraph:
         self._edges[(parent, child)] = dict(prefixes)
         self._children.setdefault(parent, set()).add(child)
         self._parents.setdefault(child, set()).add(parent)
-        self._total = None
+        self._invalidate_cache()
 
     def edge_list(self) -> list[Edge]:
         return list(self._edges)

@@ -106,7 +106,9 @@ def _sweep_unreachable(graph: TampGraph, roots) -> None:
     reachable.update(roots)
     while queue:
         node = queue.popleft()
-        for child in graph.children(node):
+        # Sorted so the BFS visit order (not just the reachable set) is
+        # stable under hash randomization.
+        for child in sorted(graph.children(node), key=str):
             if child not in reachable:
                 reachable.add(child)
                 queue.append(child)

@@ -1,0 +1,21 @@
+"""CACHE001 known-good: every mutator reaches the hook."""
+
+
+class TampGraph:
+    def __init__(self):
+        self._edges = {}
+        self._total = None
+
+    def _invalidate_cache(self):
+        self._total = None
+
+    def add_edge(self, edge, prefixes):
+        self._edges[edge] = prefixes
+        self._invalidate_cache()
+
+    def drop_edge(self, edge):
+        self._edges.pop(edge, None)
+        self._invalidate_cache()
+
+    def weight(self, edge):
+        return len(self._edges.get(edge, ()))

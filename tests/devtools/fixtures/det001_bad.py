@@ -1,0 +1,26 @@
+"""DET001 violations: unseeded entropy / clock reads.
+
+Analyzed by the tests *as if* it lived in an algorithm package
+(``module="repro.stemming.fixture"``); never imported.
+"""
+
+import random
+import time
+from datetime import datetime
+from random import choice
+
+
+def jitter() -> float:
+    return random.random() + random.uniform(0.0, 1.0)
+
+
+def pick(items):
+    return choice(items)
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def label() -> str:
+    return datetime.now().isoformat()

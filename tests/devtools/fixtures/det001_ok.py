@@ -1,0 +1,12 @@
+"""DET001 known-good: seeded generators and stream-supplied times."""
+
+import random
+
+
+def seeded(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def elapsed(start: float, end: float) -> float:
+    return end - start

@@ -1,0 +1,20 @@
+"""DET002 violations: unordered iteration escaping into ordered output."""
+
+
+def join_set(tokens) -> str:
+    return ",".join(str(t) for t in set(tokens))
+
+
+def listify(table: dict) -> list:
+    return list(table.values())
+
+
+def comp(table: dict) -> list:
+    return [value * 2 for value in table.values()]
+
+
+def loop(tokens) -> list:
+    out = []
+    for token in {t.lower() for t in tokens}:
+        out.append(token)
+    return out

@@ -1,0 +1,29 @@
+"""DET002 known-good: sorted wrappers and order-insensitive sinks."""
+
+
+def join_sorted(tokens) -> str:
+    return ",".join(sorted(set(tokens)))
+
+
+def total(table: dict) -> int:
+    return sum(table.values())
+
+
+def biggest(table: dict) -> int:
+    return max(table.values())
+
+
+def as_set(tokens) -> set:
+    return {t for t in set(tokens)}
+
+
+def sorted_comp(table: dict) -> list:
+    return sorted([value for value in table.values()])
+
+
+def membership_loop(tokens) -> int:
+    hits = 0
+    for token in set(tokens):
+        if token:
+            hits += 1
+    return hits

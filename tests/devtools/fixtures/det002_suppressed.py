@@ -1,0 +1,13 @@
+"""DET002 violations carrying justified suppressions (both styles)."""
+
+
+def listify(table: dict) -> list:
+    return list(table.values())  # repro: allow[DET002] insertion order ok
+
+
+def loop(tokens) -> list:
+    out = []
+    # repro: allow[DET002] fixture: consumer is order-insensitive.
+    for token in {t.lower() for t in tokens}:
+        out.append(token)
+    return out

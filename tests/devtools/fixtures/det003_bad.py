@@ -1,0 +1,9 @@
+"""DET003 violations: id()-based keys and ordering."""
+
+
+def key_by_identity(objects) -> dict:
+    return {id(obj): obj for obj in objects}
+
+
+def order_by_address(objects) -> list:
+    return sorted(objects, key=id)

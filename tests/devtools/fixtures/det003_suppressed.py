@@ -1,0 +1,10 @@
+"""DET003 violations carrying justified suppressions."""
+
+
+def key_by_identity(objects) -> dict:
+    # repro: allow[DET003] fixture: within-pass identity, never output.
+    return {id(obj): obj for obj in objects}
+
+
+def order_by_address(objects) -> list:
+    return sorted(objects, key=id)  # repro: allow[DET003] fixture

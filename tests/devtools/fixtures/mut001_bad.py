@@ -1,0 +1,20 @@
+"""MUT001 violations: mutable defaults (literal, constructor, lambda)."""
+
+from collections import Counter
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(values, counts=Counter()):
+    counts.update(values)
+    return counts
+
+
+def index(key, table={}):
+    return table.setdefault(key, None)
+
+
+collect = lambda item, acc=[]: acc + [item]  # noqa: E731

@@ -1,0 +1,12 @@
+"""MUT001 known-good: None defaults, immutable defaults."""
+
+
+def accumulate(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def window(size=10, anchor=(0, 0), label=""):
+    return size, anchor, label

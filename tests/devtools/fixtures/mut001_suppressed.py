@@ -1,0 +1,6 @@
+"""MUT001 violation carrying a justified suppression."""
+
+
+def accumulate(item, bucket=[]):  # repro: allow[MUT001] fixture
+    bucket.append(item)
+    return bucket

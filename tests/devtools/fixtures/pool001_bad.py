@@ -1,0 +1,25 @@
+"""POOL001 violations: non-module-level callables handed to the pool.
+
+Static fixture — never imported, so the repro.perf import need not
+resolve at analysis time.
+"""
+
+from functools import partial
+
+from repro.perf import map_shards
+
+
+def run_lambda(shards):
+    return map_shards(lambda shard: shard * 2, shards, 2)
+
+
+def run_closure(shards, factor):
+    def scale(shard):
+        return [x * factor for x in shard]
+
+    return map_shards(scale, shards, 2)
+
+
+def run_partial_of_lambda(shards):
+    fn = partial(lambda shard, k: shard[:k], k=1)
+    return map_shards(fn, shards, 2)

@@ -1,0 +1,18 @@
+"""POOL001 known-good: module-level shard functions, bound or bare."""
+
+from functools import partial
+
+from repro.perf import map_shards
+
+
+def _shard_fn(shard):
+    return sorted(shard)
+
+
+def run(shards, workers):
+    return map_shards(_shard_fn, shards, workers)
+
+
+def run_bound(shards, workers):
+    bound = partial(_shard_fn)
+    return map_shards(bound, shards, workers)

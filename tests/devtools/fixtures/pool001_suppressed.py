@@ -1,0 +1,8 @@
+"""POOL001 violation carrying a justified suppression."""
+
+from repro.perf import map_shards
+
+
+def run_lambda(shards):
+    # repro: allow[POOL001] fixture: serial-only path, never forked.
+    return map_shards(lambda shard: shard * 2, shards, 1)

@@ -1,0 +1,18 @@
+"""POOL002 violations: shard function writing module globals."""
+
+from repro.perf import map_shards
+
+_CACHE: dict = {}
+_TOTALS = []
+
+
+def _shard_count(shard):
+    global _SEEN
+    _SEEN = len(shard)
+    _CACHE[len(shard)] = shard
+    _TOTALS.append(len(shard))
+    return len(shard)
+
+
+def run(shards, workers):
+    return map_shards(_shard_count, shards, workers)

@@ -1,0 +1,15 @@
+"""POOL002 violations carrying justified suppressions."""
+
+from repro.perf import map_shards
+
+_CACHE: dict = {}
+
+
+def _shard_count(shard):
+    # repro: allow[POOL002] fixture: warm-cache only, results unused.
+    _CACHE[len(shard)] = shard
+    return len(shard)
+
+
+def run(shards, workers):
+    return map_shards(_shard_count, shards, workers)

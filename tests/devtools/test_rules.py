@@ -1,0 +1,166 @@
+"""Fixture-corpus tests: every rule's violation and suppression path.
+
+Each fixture under ``fixtures/`` is analyzed statically (never
+imported). DET001 is package-scoped, so its fixtures are analyzed with
+a synthetic module name placing them inside an algorithm package.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import analyze_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Module name placing a fixture inside an algorithm package (DET001).
+ALGO_MODULE = "repro.stemming.fixture"
+
+
+def analyze_fixture(name: str, module: str = ALGO_MODULE):
+    source = (FIXTURES / name).read_text()
+    return analyze_source(source, path=name, module=module)
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestDet001:
+    def test_bad_flags_every_entropy_source(self):
+        findings = analyze_fixture("det001_bad.py")
+        assert rule_ids(findings) == ["DET001"] * 5
+        messages = " ".join(f.message for f in findings)
+        assert "random.random" in messages
+        assert "random.choice" in messages
+        assert "time.time" in messages
+        assert "datetime.datetime.now" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("det001_ok.py") == []
+
+    def test_suppressions_silence_both_styles(self):
+        assert analyze_fixture("det001_suppressed.py") == []
+
+    def test_rule_is_scoped_to_algorithm_packages(self):
+        findings = analyze_fixture(
+            "det001_bad.py", module="repro.simulator.fixture"
+        )
+        assert findings == []
+
+
+class TestDet002:
+    def test_bad_flags_each_ordered_sink(self):
+        findings = analyze_fixture("det002_bad.py")
+        assert rule_ids(findings) == ["DET002"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "str.join" in messages
+        assert "list()" in messages
+        assert "list comprehension" in messages
+        assert "for loop" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("det002_ok.py") == []
+
+    def test_suppressions(self):
+        assert analyze_fixture("det002_suppressed.py") == []
+
+
+class TestDet003:
+    def test_bad_flags_identity_key_and_sort(self):
+        findings = analyze_fixture("det003_bad.py")
+        assert rule_ids(findings) == ["DET003"] * 2
+
+    def test_suppressions(self):
+        assert analyze_fixture("det003_suppressed.py") == []
+
+
+class TestPool001:
+    def test_bad_flags_lambda_closure_and_partial_of_lambda(self):
+        findings = analyze_fixture("pool001_bad.py")
+        assert rule_ids(findings) == ["POOL001"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "lambda" in messages
+        assert "'scale' is not bound at module level" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("pool001_ok.py") == []
+
+    def test_suppressions(self):
+        assert analyze_fixture("pool001_suppressed.py") == []
+
+
+class TestPool002:
+    def test_bad_flags_global_writes(self):
+        findings = analyze_fixture("pool002_bad.py")
+        assert rule_ids(findings) == ["POOL002"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "global _SEEN" in messages
+        assert "'_CACHE'" in messages
+        assert "'_TOTALS'" in messages
+
+    def test_suppressions(self):
+        assert analyze_fixture("pool002_suppressed.py") == []
+
+
+class TestMut001:
+    def test_bad_flags_every_mutable_default(self):
+        findings = analyze_fixture("mut001_bad.py")
+        assert rule_ids(findings) == ["MUT001"] * 4
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("mut001_ok.py") == []
+
+    def test_suppressions(self):
+        assert analyze_fixture("mut001_suppressed.py") == []
+
+
+class TestCache001:
+    def test_bad_flags_hookless_mutators(self):
+        findings = analyze_fixture("cache001_bad.py")
+        assert rule_ids(findings) == ["CACHE001"] * 2
+        messages = " ".join(f.message for f in findings)
+        assert "add_edge" in messages
+        assert "drop_edge" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("cache001_ok.py") == []
+
+    def test_suppressions(self):
+        assert analyze_fixture("cache001_suppressed.py") == []
+
+
+class TestEngineBehavior:
+    def test_syntax_error_becomes_a_finding(self):
+        findings = analyze_source("def broken(:\n", path="broken.py")
+        assert len(findings) == 1
+        assert findings[0].rule == "SYNTAX"
+
+    def test_findings_are_sorted(self):
+        source = (FIXTURES / "det001_bad.py").read_text()
+        findings = analyze_source(source, path="x.py", module=ALGO_MODULE)
+        assert findings == sorted(findings)
+
+    def test_rules_filter(self):
+        source = (FIXTURES / "mut001_bad.py").read_text()
+        findings = analyze_source(source, path="x.py")
+        assert rule_ids(findings) == ["MUT001"] * 4
+        # An explicit filter excluding MUT001 leaves the file clean.
+        from repro.devtools.engine import analyze_source as analyze
+
+        assert analyze(source, path="x.py", rules={"DET002"}) == []
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(p.name for p in FIXTURES.glob("*_bad.py")),
+    )
+    def test_every_bad_fixture_has_findings(self, name):
+        module = ALGO_MODULE if name.startswith("det001") else "fixture"
+        assert analyze_fixture(name, module=module) != []
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(p.name for p in FIXTURES.glob("*_suppressed.py")),
+    )
+    def test_every_suppressed_fixture_is_clean(self, name):
+        assert analyze_fixture(name) == []

@@ -1,0 +1,37 @@
+"""Tier-1 self-lint: ``src/repro`` must satisfy its own analyzer.
+
+This is the enforcement half of the PR 1 determinism claim: any commit
+that introduces an unseeded entropy source, an unordered iteration
+feeding ordered output, a fork-pool closure, a mutable default, or a
+hookless ``TampGraph`` mutator fails the suite here — with the same
+findings ``repro lint src`` would print — unless it carries a justified
+``# repro: allow[...]`` comment that a reviewer can see and veto.
+"""
+
+from pathlib import Path
+
+from repro.devtools import analyze_paths, render_text
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SRC_REPRO.is_dir(), SRC_REPRO
+
+
+def test_source_tree_is_lint_clean():
+    findings = analyze_paths([SRC_REPRO])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_self_lint_covers_the_whole_package():
+    # Guard against the self-lint silently analyzing a subset: the
+    # package has dozens of modules and every package dir must appear.
+    from repro.devtools import iter_python_files
+
+    files = iter_python_files([SRC_REPRO])
+    assert len(files) > 60
+    packages = {f.parent.name for f in files}
+    for expected in ("stemming", "tamp", "collector", "net", "perf",
+                     "devtools", "rules"):
+        assert expected in packages
