@@ -10,11 +10,15 @@ The operator subcommands cover the workflows the paper describes:
   the routes announced in a stream.
 * ``repro rate EVENTS.jsonl`` — print the Figure 8 style rate series.
 
-One developer subcommand guards the codebase itself:
+Two developer subcommands guard the codebase itself:
 
 * ``repro lint [paths]`` — the determinism & parallel-safety static
   analyzer (:mod:`repro.devtools`). Exit 0 means clean, 1 means
   findings, 2 means a usage error (bad path, unknown rule).
+* ``repro faults IN -o OUT --fault NAME[:k=v,...] --seed N`` — corrupt
+  an MRT archive with the :mod:`repro.testkit` fault injectors
+  (``--list-faults`` for the catalog, ``--make-corpus DIR`` to
+  regenerate the golden malformed-MRT corpus).
 
 Event files are either the JSONL format of
 :meth:`repro.collector.stream.EventStream.save` or MRT archives
@@ -72,6 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
              " at usable CPUs)",
     )
 
+    # Shared by every subcommand that loads an event file: the MRT
+    # ingest strictness policy (JSONL loads ignore these).
+    ingest_opt = argparse.ArgumentParser(add_help=False)
+    ingest_opt.add_argument(
+        "--strict-ingest", action="store_true",
+        help="raise on the first undecodable MRT record instead of"
+             " skipping with accounting",
+    )
+    ingest_opt.add_argument(
+        "--max-error-rate", type=float, default=None, metavar="FRACTION",
+        help="abort an MRT load once more than this fraction of records"
+             " fails to decode (default: skip all, warn past 1%%)",
+    )
+
     demo = sub.add_parser(
         "demo", parents=[workers_opt],
         help="simulate an incident and diagnose it",
@@ -93,7 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(handler=cmd_demo)
 
     diag = sub.add_parser(
-        "diagnose", parents=[workers_opt],
+        "diagnose", parents=[workers_opt, ingest_opt],
         help="diagnose a JSONL event stream",
     )
     diag.add_argument("events", type=Path)
@@ -103,7 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diag.set_defaults(handler=cmd_diagnose)
 
-    render = sub.add_parser("render", help="TAMP picture of a stream")
+    render = sub.add_parser(
+        "render", parents=[ingest_opt], help="TAMP picture of a stream"
+    )
     render.add_argument("events", type=Path)
     render.add_argument("-o", "--output", type=Path, default=None,
                         help="write SVG here (default: ASCII to stdout)")
@@ -111,13 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="prune threshold (default 0.05)")
     render.set_defaults(handler=cmd_render)
 
-    rate = sub.add_parser("rate", help="event-rate series of a stream")
+    rate = sub.add_parser(
+        "rate", parents=[ingest_opt],
+        help="event-rate series of a stream",
+    )
     rate.add_argument("events", type=Path)
     rate.add_argument("--bins", type=int, default=50)
     rate.set_defaults(handler=cmd_rate)
 
     animate = sub.add_parser(
-        "animate", parents=[workers_opt],
+        "animate", parents=[workers_opt, ingest_opt],
         help="SMIL-animated SVG of a stream (plays in a browser)",
     )
     animate.add_argument("events", type=Path)
@@ -131,6 +154,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="frames per second (default 25, per the paper)",
     )
     animate.set_defaults(handler=cmd_animate)
+
+    faults = sub.add_parser(
+        "faults",
+        help="corrupt an MRT archive with seeded fault injectors",
+    )
+    faults.add_argument(
+        "input", type=Path, nargs="?", default=None,
+        help="MRT archive to corrupt",
+    )
+    faults.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="where to write the corrupted archive",
+    )
+    faults.add_argument(
+        "--fault", action="append", default=None, metavar="NAME[:k=v,...]",
+        help="fault to apply (repeatable; applied in order, e.g."
+             " flip-attrs:rate=0.3,flips=2)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=None,
+        help="master seed; required when corrupting (faults must be"
+             " replayable)",
+    )
+    faults.add_argument(
+        "--list-faults", action="store_true",
+        help="print the fault catalog and exit",
+    )
+    faults.add_argument(
+        "--make-corpus", type=Path, default=None, metavar="DIR",
+        help="regenerate the golden malformed-MRT corpus into DIR and"
+             " exit (seed defaults to the pinned golden seed)",
+    )
+    faults.set_defaults(handler=cmd_faults)
 
     lint = sub.add_parser(
         "lint",
@@ -193,17 +249,34 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_stream(path: Path) -> EventStream:
-    """Load events from JSONL or (by extension) an MRT updates file."""
+def _load_stream(
+    path: Path, args: argparse.Namespace | None = None
+) -> EventStream:
+    """Load events from JSONL or (by extension) an MRT updates file.
+
+    MRT loads honor the ``--strict-ingest`` / ``--max-error-rate``
+    policy flags and print the ingest report to stderr whenever the
+    load was lossy — the operator should never act on a diagnosis of a
+    partial feed without knowing it was partial.
+    """
     if path.suffix.lower() in (".mrt", ".dump", ".bgp4mp"):
+        from repro.mrt.ingest import IngestPolicy
         from repro.mrt.loader import load_updates
 
-        return load_updates(path)
+        policy = IngestPolicy(
+            strict=bool(getattr(args, "strict_ingest", False)),
+            max_error_rate=getattr(args, "max_error_rate", None),
+        )
+        stream = load_updates(path, policy=policy)
+        report = stream.ingest_report
+        if report is not None and report.suspicious:
+            print(report.summary(), file=sys.stderr)
+        return stream
     return EventStream.load(path)
 
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
-    stream = _load_stream(args.events)
+    stream = _load_stream(args.events, args)
     report = diagnose(
         stream,
         stemmer=Stemmer(
@@ -221,7 +294,7 @@ def _stream_graph(stream: EventStream):
 
 
 def cmd_render(args: argparse.Namespace) -> int:
-    stream = _load_stream(args.events)
+    stream = _load_stream(args.events, args)
     graph = prune_flat(_stream_graph(stream), args.threshold)
     if args.output is None:
         print(render_ascii(graph))
@@ -234,7 +307,7 @@ def cmd_render(args: argparse.Namespace) -> int:
 
 
 def cmd_rate(args: argparse.Namespace) -> int:
-    stream = _load_stream(args.events)
+    stream = _load_stream(args.events, args)
     if not len(stream):
         print("empty stream")
         return 0
@@ -256,7 +329,7 @@ def cmd_animate(args: argparse.Namespace) -> int:
     from repro.tamp.animate import animate_stream
     from repro.tamp.svg_animation import render_svg_animation
 
-    stream = _load_stream(args.events)
+    stream = _load_stream(args.events, args)
     animation = animate_stream(
         stream, play_duration=args.duration, fps=args.fps
     )
@@ -270,6 +343,56 @@ def cmd_animate(args: argparse.Namespace) -> int:
         f"wrote {args.output}: {animation.frame_count} frames"
         f" ({changed} with changes), timerange"
         f" {animation.timerange:.1f}s -> {args.duration:.0f}s play"
+    )
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.testkit import (
+        corrupt_file,
+        fault_names,
+        generate_corpus,
+        parse_fault_spec,
+    )
+    from repro.testkit.corpus import GOLDEN_SEED
+    from repro.testkit.faults import FAULTS
+
+    if args.list_faults:
+        for name in fault_names():
+            fault = FAULTS[name]
+            params = ", ".join(fault.params)
+            suffix = f" ({params})" if params else ""
+            print(f"{name:<18} [{fault.level:>6}] {fault.summary}{suffix}")
+        return 0
+    if args.make_corpus is not None:
+        seed = GOLDEN_SEED if args.seed is None else args.seed
+        paths = generate_corpus(args.make_corpus, seed=seed)
+        for name in sorted(paths):
+            print(f"wrote {paths[name]}")
+        return 0
+    if args.input is None or args.output is None:
+        print(
+            "error: faults needs INPUT and -o OUTPUT (or --list-faults /"
+            " --make-corpus)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.fault:
+        print("error: at least one --fault is required", file=sys.stderr)
+        return 2
+    if args.seed is None:
+        print(
+            "error: --seed is required when corrupting (faults must be"
+            " replayable)",
+            file=sys.stderr,
+        )
+        return 2
+    plan = [parse_fault_spec(spec) for spec in args.fault]
+    stats = corrupt_file(args.input, args.output, plan, seed=args.seed)
+    print(
+        f"wrote {args.output}: {stats['bytes_in']} -> "
+        f"{stats['bytes_out']} bytes"
+        f" ({len(plan)} fault(s), seed {args.seed})"
     )
     return 0
 

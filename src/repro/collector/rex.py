@@ -11,7 +11,7 @@ routes seen).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.bgp.rib import AdjRibIn, Route
 from repro.collector.events import BGPEvent, EventKind
@@ -19,6 +19,9 @@ from repro.collector.stream import EventStream
 from repro.igp.topology import IGPTopology
 from repro.net.message import BGPUpdate
 from repro.net.prefix import Prefix
+
+if TYPE_CHECKING:
+    from repro.mrt.ingest import IngestReport
 
 
 class RouteExplorer:
@@ -44,6 +47,9 @@ class RouteExplorer:
         self.events = EventStream()
         self._ribs: dict[int, AdjRibIn] = {}
         self._dropped_withdrawals = 0
+        #: One :class:`repro.mrt.ingest.IngestReport` per MRT load that
+        #: fed this collector, in load order (the feed's health record).
+        self.ingest_reports: list["IngestReport"] = []
 
     # ------------------------------------------------------------------
     # Peering
@@ -178,3 +184,33 @@ class RouteExplorer:
     def dropped_withdrawals(self) -> int:
         """Withdrawals for routes never announced (diagnostic counter)."""
         return self._dropped_withdrawals
+
+    # ------------------------------------------------------------------
+    # Ingest accounting (the feed-health record)
+    # ------------------------------------------------------------------
+
+    def record_ingest(self, report: "IngestReport") -> None:
+        """Attach one MRT load's accounting to this collector."""
+        self.ingest_reports.append(report)
+
+    @property
+    def last_ingest(self) -> Optional["IngestReport"]:
+        return self.ingest_reports[-1] if self.ingest_reports else None
+
+    def ingest_ok(self) -> bool:
+        """True when every load into this collector was lossless."""
+        return all(report.ok for report in self.ingest_reports)
+
+    def ingest_summary(self) -> str:
+        """Feed-health text: every load's report plus collector drops."""
+        if not self.ingest_reports:
+            return (
+                f"{self.name}: no MRT ingests recorded"
+                f" ({self._dropped_withdrawals} dropped withdrawals)"
+            )
+        lines = [report.summary() for report in self.ingest_reports]
+        lines.append(
+            f"{self.name}: {len(self.ingest_reports)} ingest(s),"
+            f" {self._dropped_withdrawals} dropped withdrawals total"
+        )
+        return "\n".join(lines)

@@ -9,12 +9,16 @@ and JSONL persistence.
 from __future__ import annotations
 
 import bisect
+import hashlib
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
 from repro.collector.events import BGPEvent
 from repro.net.attributes import Community
 from repro.net.prefix import Prefix
+
+if TYPE_CHECKING:
+    from repro.mrt.ingest import IngestReport
 
 
 class EventStream:
@@ -29,6 +33,11 @@ class EventStream:
     def __init__(self, events: Iterable[BGPEvent] = ()) -> None:
         self._events: list[BGPEvent] = list(events)
         self._sorted = False
+        #: Set by :func:`repro.mrt.loader.load_updates` on the stream it
+        #: returns: the accounting of the MRT load that produced these
+        #: events. Derived streams (``between``/``filter``/...) do not
+        #: inherit it — the report describes one load, not a view.
+        self.ingest_report: Optional["IngestReport"] = None
         #: Timestamps of the sorted events, built lazily for bisection
         #: (time slicing hits this hard: a 750-frame animation cuts the
         #: same stream 750 times).
@@ -151,6 +160,20 @@ class EventStream:
 
     def withdraw_count(self) -> int:
         return sum(1 for e in self._events if e.is_withdrawal)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the sorted events' canonical JSON encoding.
+
+        Two streams with identical events (same timestamps, kinds,
+        peers, prefixes, attributes) have identical fingerprints — the
+        chaos suite uses this to assert bit-identical detector *input*
+        across ingest paths without holding both streams in memory.
+        """
+        digest = hashlib.sha256()
+        for event in self:
+            digest.update(event.to_json().encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Persistence

@@ -12,11 +12,13 @@ Rule families map to the invariants the repo actually depends on:
 * :mod:`repro.devtools.rules.mutation` — MUT001 (mutable default
   arguments);
 * :mod:`repro.devtools.rules.cache` — CACHE001 (``TampGraph`` mutators
-  must invalidate the prefix-count cache).
+  must invalidate the prefix-count cache);
+* :mod:`repro.devtools.rules.testkit` — TK001 (fault injectors must
+  derive all entropy from an explicit ``seed`` argument).
 """
 
 from __future__ import annotations
 
-from repro.devtools.rules import cache, determinism, mutation, pool
+from repro.devtools.rules import cache, determinism, mutation, pool, testkit
 
-__all__ = ["cache", "determinism", "mutation", "pool"]
+__all__ = ["cache", "determinism", "mutation", "pool", "testkit"]

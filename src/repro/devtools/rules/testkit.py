@@ -1,0 +1,112 @@
+"""TK001: all testkit entropy must flow from an explicit ``seed``.
+
+The fault injectors exist to make failures *replayable*: a chaos-test
+failure that cannot be reproduced from its seed is worse than no test.
+So inside :mod:`repro.testkit` the rule is absolute — no module-level
+``random`` functions, no OS-entropy ``random.Random()`` with no
+arguments, and any public function that builds its own generator must
+accept a ``seed`` parameter so callers (and the fault-plan machinery)
+control it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.astutil import ImportMap, parent_map
+from repro.devtools.findings import Finding, Rule
+from repro.devtools.registry import Checker, ModuleContext, register
+
+#: The package the rule polices.
+TESTKIT_PACKAGES = ("repro.testkit",)
+
+#: The blessed constructor (when called with a seed argument).
+_SEEDED_FACTORY = "random.Random"
+
+
+@register
+class TestkitSeedDiscipline(Checker):
+    """TK001: unseeded or caller-hidden entropy in ``repro.testkit``."""
+
+    rules = (
+        Rule(
+            "TK001",
+            "testkit entropy must derive from an explicit seed argument",
+        ),
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(TESTKIT_PACKAGES):
+            return
+        imports = ImportMap(ctx.tree)
+        parents = parent_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved == _SEEDED_FACTORY:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "TK001",
+                        "random.Random() with no arguments seeds from OS"
+                        " entropy; pass the injector's seed",
+                    )
+                    continue
+                owner = self._enclosing_function(node, parents)
+                if owner is None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "TK001",
+                        "module-level generator hides entropy state from"
+                        " callers; build the Random inside the injector"
+                        " from its seed parameter",
+                    )
+                elif self._is_public(owner) and not self._has_seed(owner):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "TK001",
+                        f"public testkit function {owner.name!r} builds a"
+                        " generator but takes no `seed` parameter; faults"
+                        " must be replayable from their seed",
+                    )
+            elif resolved.split(".", 1)[0] == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "TK001",
+                    f"{resolved}() draws from the unseeded global"
+                    " generator; use random.Random(seed)",
+                )
+
+    @staticmethod
+    def _enclosing_function(
+        node: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        current: Optional[ast.AST] = parents.get(node)
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return current
+            current = parents.get(current)
+        return None
+
+    @staticmethod
+    def _is_public(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        return not func.name.startswith("_")
+
+    @staticmethod
+    def _has_seed(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        args = func.args
+        names = [
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        return "seed" in names

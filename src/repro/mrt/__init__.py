@@ -26,6 +26,13 @@ from repro.mrt.records import (
     read_records,
     write_records,
 )
+from repro.mrt.ingest import (
+    IngestError,
+    IngestPolicy,
+    IngestReport,
+    IngestWarning,
+    read_quarantine,
+)
 from repro.mrt.loader import (
     dump_rib,
     dump_updates,
@@ -41,6 +48,11 @@ __all__ = [
     "MRTRecord",
     "read_records",
     "write_records",
+    "IngestError",
+    "IngestPolicy",
+    "IngestReport",
+    "IngestWarning",
+    "read_quarantine",
     "load_updates",
     "load_rib",
     "dump_updates",

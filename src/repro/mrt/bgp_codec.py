@@ -13,7 +13,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
-from repro.net.aspath import ASPath
+from repro.net.aspath import ASPath, ASPathError
 from repro.net.attributes import Community, Origin, PathAttributes
 from repro.net.message import Announcement, BGPUpdate, Withdrawal
 from repro.net.prefix import Prefix
@@ -156,7 +156,12 @@ def _decode_as_path(payload: bytes) -> ASPath:
         else:
             raise BGPCodecError(f"unknown AS_PATH segment {segment_type}")
         offset = end
-    return ASPath(sequence, as_set)
+    try:
+        return ASPath(sequence, as_set)
+    except ASPathError as exc:
+        # AS 0 (or out-of-range values from bit flips) are wire-level
+        # garbage: surface them as codec errors, not model errors.
+        raise BGPCodecError(f"malformed AS_PATH: {exc}") from exc
 
 
 def encode_attributes(attrs: PathAttributes) -> bytes:

@@ -7,12 +7,23 @@ withdrawals get the Section II attribute augmentation exactly as they
 would from a live feed. ``load_rib`` turns a TABLE_DUMP_V2 snapshot into
 a populated collector (the TAMP picture input). The ``dump_*`` writers
 are the inverse: simulated incidents exported for other tools.
+
+Both loaders are hardened against lossy archives: every call produces
+an :class:`repro.mrt.ingest.IngestReport` (attached to the returned
+stream / collector and accumulated on the collector's
+``ingest_reports``), an :class:`repro.mrt.ingest.IngestPolicy` chooses
+raise-vs-skip-vs-abort-past-budget, and undecodable raw records can be
+quarantined to JSONL for replay. A load never silently returns a
+shorter stream: anything skipped is counted, classed by error, and —
+past the warn threshold — warned about.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
 from pathlib import Path
-from typing import BinaryIO, Iterable, Optional
+from typing import BinaryIO, Iterable, Iterator, Optional
 
 from repro.bgp.rib import Route
 from repro.collector.events import BGPEvent
@@ -25,6 +36,13 @@ from repro.mrt.bgp_codec import (
     encode_attributes,
     encode_prefix,
     encode_update,
+)
+from repro.mrt.ingest import (
+    IngestError,
+    IngestPolicy,
+    IngestReport,
+    IngestWarning,
+    QuarantineWriter,
 )
 from repro.mrt.records import (
     SUBTYPE_BGP4MP_MESSAGE_AS4,
@@ -50,34 +68,136 @@ from repro.net.message import BGPUpdate
 from repro.net.prefix import Prefix
 
 
+def _describe_source(source: str | Path | BinaryIO) -> str:
+    if isinstance(source, (str, Path)):
+        return str(source)
+    return getattr(source, "name", None) or "<stream>"
+
+
+def _resolve_policy(
+    strict: bool, policy: Optional[IngestPolicy]
+) -> IngestPolicy:
+    """Merge the legacy *strict* flag with an explicit policy."""
+    if policy is None:
+        return IngestPolicy(strict=strict)
+    if strict and not policy.strict:
+        return replace(policy, strict=True)
+    return policy
+
+
+def _guarded_records(
+    source: str | Path | BinaryIO,
+    report: IngestReport,
+    policy: IngestPolicy,
+) -> Iterator[MRTRecord]:
+    """Iterate records, capturing a truncated-archive framing error.
+
+    After a framing error nothing later in the file is readable (MRT
+    has no resync marker), so the iterator stops — but the report says
+    why, instead of the archive just "ending early". Strict mode
+    re-raises as before.
+    """
+    iterator = read_records(source)
+    while True:
+        try:
+            record = next(iterator)
+        except StopIteration:
+            return
+        except MRTError as exc:
+            if policy.strict:
+                raise
+            report.framing_error = str(exc)
+            report.note_error(exc)
+            return
+        report.records_read += 1
+        report.observe_timestamp(record.timestamp, policy.gap_threshold)
+        yield record
+
+
+def _enforce_budget(report: IngestReport, policy: IngestPolicy) -> None:
+    if policy.max_error_rate is None:
+        return
+    if report.attempted < policy.min_records:
+        return
+    if report.skip_rate > policy.max_error_rate:
+        report.aborted = True
+        raise IngestError(
+            f"{report.source}: skip rate {report.skip_rate:.1%} exceeds"
+            f" the {policy.max_error_rate:.1%} error budget after"
+            f" {report.attempted} records",
+            report,
+        )
+
+
+def _finish(report: IngestReport, policy: IngestPolicy) -> None:
+    """End-of-load bookkeeping: warn when the skip rate is alarming."""
+    if policy.strict:
+        return
+    if report.records_skipped and report.skip_rate > policy.warn_threshold:
+        warnings.warn(
+            f"{report.source}: skipped {report.records_skipped} of"
+            f" {report.attempted} records ({report.skip_rate:.1%});"
+            " inspect the IngestReport before trusting detector output",
+            IngestWarning,
+            stacklevel=3,
+        )
+
+
 def load_updates(
     source: str | Path | BinaryIO,
     rex: Optional[RouteExplorer] = None,
     strict: bool = False,
+    policy: Optional[IngestPolicy] = None,
 ) -> EventStream:
     """Read a BGP4MP updates file into an event stream.
 
     Messages replay through *rex* (a fresh collector by default) so
     withdrawal augmentation applies; withdrawals for routes the file
     never announced are dropped, exactly as a collector mid-stream would
-    drop them (``rex.dropped_withdrawals`` counts them). With *strict*
-    undecodable records raise; by default they are skipped — archives
-    contain state changes and unsupported AFIs.
+    drop them (``rex.dropped_withdrawals`` counts them).
+
+    Undecodable records are handled per *policy* (see
+    :class:`repro.mrt.ingest.IngestPolicy`): raised in strict mode,
+    otherwise skipped with full accounting — and optionally quarantined
+    — in the :class:`repro.mrt.ingest.IngestReport` attached to the
+    returned stream (``stream.ingest_report``) and recorded on the
+    collector (``rex.ingest_reports``). *strict* remains as shorthand
+    for ``IngestPolicy(strict=True)``.
     """
     if rex is None:
         rex = RouteExplorer("mrt")
-    for record in read_records(source):
-        if not record.is_bgp4mp_update:
-            continue
-        try:
-            envelope = decode_bgp4mp(record.payload)
-            decoded = decode_update(envelope.bgp_message)
-        except (MRTError, ValueError):
-            if strict:
-                raise
-            continue
-        rex.observe(envelope.peer_address, decoded.update, record.timestamp)
-    return rex.events
+    policy = _resolve_policy(strict, policy)
+    report = IngestReport(source=_describe_source(source), kind="updates")
+    dropped_before = rex.dropped_withdrawals
+    with QuarantineWriter(policy.quarantine) as quarantine:
+        for record in _guarded_records(source, report, policy):
+            if not record.is_bgp4mp_update:
+                report.records_ignored += 1
+                continue
+            try:
+                envelope = decode_bgp4mp(record.payload)
+                decoded = decode_update(envelope.bgp_message)
+            except (MRTError, ValueError) as exc:
+                if policy.strict:
+                    raise
+                report.records_skipped += 1
+                report.note_error(exc)
+                quarantine.write(record, exc)
+                report.records_quarantined = quarantine.count
+                _enforce_budget(report, policy)
+                continue
+            report.records_decoded += 1
+            report.unknown_attributes += len(decoded.skipped_attributes)
+            produced = rex.observe(
+                envelope.peer_address, decoded.update, record.timestamp
+            )
+            report.events_produced += len(produced)
+    report.dropped_withdrawals = rex.dropped_withdrawals - dropped_before
+    _finish(report, policy)
+    rex.record_ingest(report)
+    events = rex.events
+    events.ingest_report = report
+    return events
 
 
 def dump_updates(
@@ -120,39 +240,88 @@ def load_rib(
     source: str | Path | BinaryIO,
     rex: Optional[RouteExplorer] = None,
     strict: bool = False,
+    policy: Optional[IngestPolicy] = None,
 ) -> RouteExplorer:
-    """Read a TABLE_DUMP_V2 snapshot into a populated collector."""
+    """Read a TABLE_DUMP_V2 snapshot into a populated collector.
+
+    Hardened like :func:`load_updates`: the returned collector carries
+    an :class:`repro.mrt.ingest.IngestReport` in ``rex.ingest_reports``
+    counting skipped records and RIB sub-entries (undecodable
+    attribute blocks, out-of-range peer indexes).
+    """
     if rex is None:
         rex = RouteExplorer("mrt-rib")
+    policy = _resolve_policy(strict, policy)
+    report = IngestReport(source=_describe_source(source), kind="rib")
     peers: list[PeerEntry] = []
-    for record in read_records(source):
-        if record.is_peer_index:
-            _, peers = decode_peer_index(record.payload)
-            for peer in peers:
-                rex.peer_with(peer.address)
-            continue
-        if not record.is_rib_entry:
-            continue
-        try:
-            _, prefix_wire, entries = decode_rib_ipv4(record.payload)
-            prefix, _ = decode_prefix(prefix_wire, 0)
-        except (MRTError, ValueError):
-            if strict:
-                raise
-            continue
-        for entry in entries:
-            if entry.peer_index >= len(peers):
-                if strict:
-                    raise MRTError(
-                        f"peer index {entry.peer_index} out of range"
+    with QuarantineWriter(policy.quarantine) as quarantine:
+        for record in _guarded_records(source, report, policy):
+            if record.is_peer_index:
+                try:
+                    _, peers = decode_peer_index(record.payload)
+                except (MRTError, ValueError) as exc:
+                    if policy.strict:
+                        raise
+                    report.records_skipped += 1
+                    report.note_error(exc)
+                    quarantine.write(record, exc)
+                    report.records_quarantined = quarantine.count
+                    _enforce_budget(report, policy)
+                    continue
+                report.records_decoded += 1
+                for peer in peers:
+                    rex.peer_with(peer.address)
+                continue
+            if not record.is_rib_entry:
+                report.records_ignored += 1
+                continue
+            try:
+                _, prefix_wire, entries = decode_rib_ipv4(record.payload)
+                prefix, _ = decode_prefix(prefix_wire, 0)
+            except (MRTError, ValueError) as exc:
+                if policy.strict:
+                    raise
+                report.records_skipped += 1
+                report.note_error(exc)
+                quarantine.write(record, exc)
+                report.records_quarantined = quarantine.count
+                _enforce_budget(report, policy)
+                continue
+            report.records_decoded += 1
+            for entry in entries:
+                report.entries_read += 1
+                if entry.peer_index >= len(peers):
+                    if policy.strict:
+                        raise MRTError(
+                            f"peer index {entry.peer_index} out of range"
+                        )
+                    report.entries_skipped += 1
+                    report.note_error(
+                        MRTError("peer index out of range")
                     )
-                continue
-            attrs, _ = decode_attributes(entry.attributes)
-            if attrs is None:
-                continue
-            peer = peers[entry.peer_index]
-            rex.peer_with(peer.address)
-            rex.rib(peer.address).announce(prefix, attrs)
+                    continue
+                try:
+                    attrs, skipped_codes = decode_attributes(
+                        entry.attributes
+                    )
+                except (MRTError, ValueError) as exc:
+                    if policy.strict:
+                        raise
+                    report.entries_skipped += 1
+                    report.note_error(exc)
+                    continue
+                report.unknown_attributes += len(skipped_codes)
+                if attrs is None:
+                    report.entries_skipped += 1
+                    report.note_error(
+                        MRTError("RIB entry lacks mandatory attributes")
+                    )
+                    continue
+                peer = peers[entry.peer_index]
+                rex.peer_with(peer.address)
+                rex.rib(peer.address).announce(prefix, attrs)
+    _finish(report, policy)
+    rex.record_ingest(report)
     return rex
 
 

@@ -230,12 +230,16 @@ def decode_peer_index(payload: bytes) -> tuple[int, list[PeerEntry]]:
         offset += 1
         ipv6 = bool(peer_type & 0x01)
         as4 = bool(peer_type & 0x02)
+        addr_len = 16 if ipv6 else 4
+        as_len = 4 if as4 else 2
+        if offset + 4 + addr_len + as_len > len(payload):
+            # Without the bounds check the int.from_bytes slices below
+            # would quietly read short and fabricate zero IDs/ASNs.
+            raise MRTError("truncated peer entry")
         bgp_id = int.from_bytes(payload[offset : offset + 4], "big")
         offset += 4
-        addr_len = 16 if ipv6 else 4
         address_raw = payload[offset : offset + addr_len]
         offset += addr_len
-        as_len = 4 if as4 else 2
         asn = int.from_bytes(payload[offset : offset + as_len], "big")
         offset += as_len
         address = int.from_bytes(address_raw[:4], "big") if not ipv6 else 0
@@ -270,7 +274,11 @@ def decode_rib_ipv4(payload: bytes) -> tuple[int, bytes, list[RibEntry]]:
         raise MRTError("truncated RIB entry")
     sequence = struct.unpack_from("!I", payload, 0)[0]
     plen = payload[4]
+    if plen > 32:
+        raise MRTError(f"RIB prefix length {plen} exceeds 32")
     nbytes = (plen + 7) // 8
+    if len(payload) < 5 + nbytes:
+        raise MRTError("truncated RIB prefix")
     prefix_wire = payload[4 : 5 + nbytes]
     offset = 5 + nbytes
     if len(payload) < offset + 2:

@@ -1,0 +1,224 @@
+"""The golden malformed-MRT corpus: fixtures the hard way, regenerable.
+
+Real malformed archives are awkward fixtures — huge, unlicensed, and
+never covering the failure you need. This module manufactures a small
+archive of well-formed updates (:func:`build_clean_records`) and then
+derives one corrupted variant per fault class
+(:func:`generate_corpus`), all from one pinned seed
+(:data:`GOLDEN_SEED`): regeneration is bit-for-bit identical, which
+:func:`corpus_manifest` (SHA-256 per file) lets tests and reviewers
+check. Regenerate on disk with ``repro faults --make-corpus DIR``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from pathlib import Path
+
+from repro.mrt.bgp_codec import encode_update
+from repro.mrt.records import (
+    SUBTYPE_BGP4MP_MESSAGE_AS4,
+    TYPE_BGP4MP,
+    TYPE_BGP4MP_ET,
+    Bgp4mpMessage,
+    MRTRecord,
+    encode_bgp4mp,
+    write_records,
+)
+from repro.net.aspath import ASPath
+from repro.net.attributes import Community, Origin, PathAttributes
+from repro.net.message import BGPUpdate
+from repro.net.prefix import Prefix
+from repro.testkit.faults import (
+    drop_records,
+    duplicate_records,
+    flip_attribute_bytes,
+    corrupt_payloads,
+    reorder_records,
+    truncate_bytes,
+)
+
+#: The corpus seed: pinned so the golden fixtures are stable across
+#: machines and sessions (the date the source paper was presented).
+GOLDEN_SEED = 20050628
+
+#: AFI field offset inside a BGP4MP_MESSAGE_AS4 payload (!IIHH).
+_AFI_OFFSET = 10
+
+#: BGP marker offset inside a BGP4MP_MESSAGE_AS4 payload (20-byte
+#: envelope, then the 16-byte all-ones marker).
+_MARKER_OFFSET = 20
+
+
+def build_clean_records(
+    *, seed: int = GOLDEN_SEED, n_updates: int = 60
+) -> list[MRTRecord]:
+    """A deterministic, fully-decodable BGP4MP updates archive.
+
+    Strictly increasing timestamps (so reordering faults are
+    detectable), a mix of plain and extended-timestamp records, and
+    attribute bundles that exercise every codec branch — communities,
+    MED, AS sets, originator/cluster — plus announce-then-withdraw
+    lifecycles so withdrawal augmentation has something to augment.
+    """
+    rng = random.Random(seed)
+    peers = [0x0A000001 + i for i in range(3)]
+    nexthops = [0x0B000001 + i for i in range(4)]
+    records: list[MRTRecord] = []
+    announced: list[Prefix] = []
+    for index in range(n_updates):
+        timestamp = 1000.0 + 3.0 * index + (0.25 if index % 2 else 0.0)
+        peer = peers[index % len(peers)]
+        withdraw = announced and rng.random() < 0.25
+        if withdraw:
+            prefix = announced.pop(rng.randrange(len(announced)))
+            update = BGPUpdate.withdraw([prefix])
+        else:
+            prefix = Prefix(0x0A000000 + (index % 40) * 256, 24)
+            attrs = PathAttributes(
+                nexthop=rng.choice(nexthops),
+                as_path=ASPath(
+                    [25, rng.randrange(100, 500), rng.randrange(500, 900)],
+                    as_set=(
+                        [rng.randrange(900, 950)]
+                        if rng.random() < 0.2
+                        else ()
+                    ),
+                ),
+                origin=Origin.IGP if index % 3 else Origin.EGP,
+                med=rng.randrange(0, 50) if rng.random() < 0.3 else None,
+                communities=(
+                    [Community(25, rng.randrange(1, 200))]
+                    if rng.random() < 0.4
+                    else ()
+                ),
+                originator_id=(
+                    0x0C000001 if rng.random() < 0.15 else None
+                ),
+                cluster_list=(
+                    (0x0D000001,) if rng.random() < 0.15 else ()
+                ),
+            )
+            update = BGPUpdate.announce([prefix], attrs)
+            if prefix not in announced:
+                announced.append(prefix)
+        envelope = Bgp4mpMessage(
+            peer_as=25,
+            local_as=64512,
+            interface_index=0,
+            peer_address=peer,
+            local_address=0x0A0000FE,
+            bgp_message=encode_update(update),
+        )
+        records.append(
+            MRTRecord(
+                timestamp=timestamp,
+                type=TYPE_BGP4MP_ET if index % 2 else TYPE_BGP4MP,
+                subtype=SUBTYPE_BGP4MP_MESSAGE_AS4,
+                payload=encode_bgp4mp(envelope),
+            )
+        )
+    return records
+
+
+def _patch_payload_bytes(
+    records: list[MRTRecord], offset: int, value: bytes, every: int
+) -> list[MRTRecord]:
+    """Overwrite payload bytes at *offset* in every *every*-th record."""
+    out: list[MRTRecord] = []
+    for index, record in enumerate(records):
+        if index % every == 0 and len(record.payload) >= offset + len(value):
+            payload = bytearray(record.payload)
+            payload[offset : offset + len(value)] = value
+            record = MRTRecord(
+                timestamp=record.timestamp,
+                type=record.type,
+                subtype=record.subtype,
+                payload=bytes(payload),
+            )
+        out.append(record)
+    return out
+
+
+def _to_bytes(records: list[MRTRecord]) -> bytes:
+    import io
+
+    buffer = io.BytesIO()
+    write_records(records, buffer)
+    return buffer.getvalue()
+
+
+def generate_corpus(
+    directory: str | Path, *, seed: int = GOLDEN_SEED
+) -> dict[str, Path]:
+    """Write the golden corpus into *directory*; returns name → path.
+
+    One clean archive plus one member per fault class. Every member is
+    a deterministic function of *seed*: regenerating with the same seed
+    reproduces every file bit-for-bit (see :func:`corpus_manifest`).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rng = random.Random(seed)
+    records = build_clean_records(seed=rng.randrange(2**32))
+    clean = _to_bytes(records)
+
+    members: dict[str, bytes] = {
+        "clean": clean,
+        "truncated-tail": truncate_bytes(
+            clean, keep_min=0.4, keep_max=0.7, seed=rng.randrange(2**32)
+        ),
+        "truncated-header": clean[:8],
+        "flipped-attrs": _to_bytes(
+            flip_attribute_bytes(
+                records, rate=0.5, flips=3, seed=rng.randrange(2**32)
+            )
+        ),
+        "corrupt-payloads": _to_bytes(
+            corrupt_payloads(
+                records, rate=0.4, byte_rate=0.08,
+                seed=rng.randrange(2**32),
+            )
+        ),
+        "duplicated": _to_bytes(
+            duplicate_records(records, rate=0.3, seed=rng.randrange(2**32))
+        ),
+        "dropped": _to_bytes(
+            drop_records(records, rate=0.3, seed=rng.randrange(2**32))
+        ),
+        "reordered": _to_bytes(
+            reorder_records(records, window=5, seed=rng.randrange(2**32))
+        ),
+        "bad-marker": _to_bytes(
+            _patch_payload_bytes(
+                records, _MARKER_OFFSET, b"\x00" * 4, every=4
+            )
+        ),
+        "bad-afi": _to_bytes(
+            _patch_payload_bytes(
+                records, _AFI_OFFSET, b"\x00\x06", every=3
+            )
+        ),
+    }
+    paths: dict[str, Path] = {}
+    for name in sorted(members):
+        path = directory / f"{name}.mrt"
+        path.write_bytes(members[name])
+        paths[name] = path
+    return paths
+
+
+def corpus_manifest(directory: str | Path) -> dict[str, str]:
+    """SHA-256 of every ``.mrt`` file in *directory*, keyed by name.
+
+    Two corpus generations from the same seed must produce identical
+    manifests — the determinism check the testkit holds itself to.
+    """
+    directory = Path(directory)
+    manifest: dict[str, str] = {}
+    for path in sorted(directory.glob("*.mrt")):
+        manifest[path.stem] = hashlib.sha256(
+            path.read_bytes()
+        ).hexdigest()
+    return manifest

@@ -148,6 +148,89 @@ class TestPersistence:
         assert len(EventStream.load(path)) == 1
 
 
+class TestLazySortRegressions:
+    """The lazy-sort + ``_keys`` cache invariants, each pinned by a
+    regression test: reads sort, appends invalidate, stability holds
+    across re-sorts."""
+
+    def test_out_of_order_append_after_read_resorts(self):
+        stream = EventStream()
+        stream.append(event(2.0))
+        stream.append(event(4.0))
+        # A read access sorts the stream and marks it sorted...
+        assert [e.timestamp for e in stream] == [2.0, 4.0]
+        # ...an earlier-timestamped append afterwards must un-sort it.
+        stream.append(event(3.0))
+        stream.append(event(1.0))
+        assert [e.timestamp for e in stream] == [1.0, 2.0, 3.0, 4.0]
+        assert stream[0].timestamp == 1.0
+        assert stream.start_time == 1.0
+
+    def test_equal_timestamp_stability_survives_a_resort(self):
+        stream = EventStream()
+        w = event(5.0, kind=EventKind.WITHDRAW)
+        a = event(5.0, kind=EventKind.ANNOUNCE)
+        stream.append(w)
+        stream.append(a)
+        list(stream)  # sort once
+        # The re-sort triggered by this out-of-order append must keep
+        # the w-then-a arrival order at t=5.0 (stable sort).
+        stream.append(event(0.0))
+        assert [e.kind for e in stream if e.timestamp == 5.0] == [
+            EventKind.WITHDRAW,
+            EventKind.ANNOUNCE,
+        ]
+
+    def test_in_order_append_after_read_extends_the_tail(self):
+        stream = EventStream([event(1.0)])
+        list(stream)
+        stream.append(event(2.0))  # already in order: no re-sort needed
+        assert [e.timestamp for e in stream] == [1.0, 2.0]
+        assert stream.end_time == 2.0
+
+    def test_between_reflects_appends_after_a_read(self):
+        stream = EventStream([event(1.0), event(3.0)])
+        assert len(stream.between(0.0, 4.0)) == 2
+        stream.append(event(2.0))
+        assert [e.timestamp for e in stream.between(1.5, 3.0)] == [2.0]
+
+    def test_slice_indices_reflect_equal_timestamp_appends(self):
+        stream = EventStream([event(1.0), event(2.0)])
+        assert stream.slice_indices([2.0]) == [1]
+        # Appending at the same timestamp keeps the stream sorted but
+        # must still invalidate the bisection keys.
+        stream.append(event(2.0))
+        assert stream.slice_indices([2.0, 5.0]) == [1, 3]
+
+    def test_merged_with_after_reads_is_sorted(self):
+        a = EventStream([event(3.0), event(1.0)])
+        b = EventStream([event(2.0)])
+        list(a), list(b)
+        merged = a.merged_with(b)
+        assert [e.timestamp for e in merged] == [1.0, 2.0, 3.0]
+
+
+class TestFingerprint:
+    def test_append_order_does_not_matter(self):
+        forward = EventStream([event(t) for t in (1.0, 2.0, 3.0)])
+        backward = EventStream([event(t) for t in (3.0, 2.0, 1.0)])
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_different_events_different_fingerprint(self):
+        a = EventStream([event(1.0)])
+        b = EventStream([event(1.0, prefix="11.0.0.0/8")])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_tracks_appends(self):
+        stream = EventStream([event(1.0)])
+        before = stream.fingerprint()
+        stream.append(event(0.5))
+        assert stream.fingerprint() != before
+
+    def test_empty_stream_has_a_stable_fingerprint(self):
+        assert EventStream().fingerprint() == EventStream().fingerprint()
+
+
 class TestSliceIndices:
     def test_matches_bisect_semantics(self):
         stream = EventStream()

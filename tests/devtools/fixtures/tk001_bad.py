@@ -1,0 +1,22 @@
+"""Every TK001 violation class: entropy the caller cannot replay."""
+
+import random
+
+_MODULE_RNG = random.Random(42)  # module-level: state hidden from callers
+
+
+def drop_some(items: list[int]) -> list[int]:
+    rng = random.Random()  # no arguments: seeds from OS entropy
+    return [item for item in items if rng.random() < 0.5]
+
+
+def shuffle_records(records: list[int]) -> list[int]:
+    # public, builds a generator, but takes no `seed` parameter
+    rng = random.Random(1234)
+    out = list(records)
+    rng.shuffle(out)
+    return out
+
+
+def jitter(value: float) -> float:
+    return value + random.random()  # module-global generator

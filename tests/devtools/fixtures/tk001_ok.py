@@ -1,0 +1,20 @@
+"""Seed-disciplined injectors: everything TK001 should leave alone."""
+
+import random
+
+
+def drop_some(items: list[int], *, rate: float = 0.1, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    return [item for item in items if rng.random() >= rate]
+
+
+def shuffle_records(records: list[int], *, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    out = list(records)
+    rng.shuffle(out)
+    return out
+
+
+def _derive(seed: int, index: int) -> int:
+    # private helper: the seed arrives through the public entry points
+    return random.Random(seed * 1000003 + index).randrange(2**32)

@@ -1,0 +1,15 @@
+"""TK001 violations carrying justified suppressions."""
+
+import random
+
+
+def soak_shuffle(items: list[int]) -> list[int]:
+    # repro: allow[TK001] soak harness explicitly wants fresh entropy
+    rng = random.Random()
+    out = list(items)
+    rng.shuffle(out)
+    return out
+
+
+def noise() -> float:
+    return random.random()  # repro: allow[TK001] fixture justification

@@ -16,10 +16,22 @@ FIXTURES = Path(__file__).parent / "fixtures"
 #: Module name placing a fixture inside an algorithm package (DET001).
 ALGO_MODULE = "repro.stemming.fixture"
 
+#: Module name placing a fixture inside the testkit package (TK001).
+TESTKIT_MODULE = "repro.testkit.fixture"
+
 
 def analyze_fixture(name: str, module: str = ALGO_MODULE):
     source = (FIXTURES / name).read_text()
     return analyze_source(source, path=name, module=module)
+
+
+def fixture_module(name: str) -> str:
+    """The module name under which a fixture's rule actually fires."""
+    if name.startswith("tk001"):
+        return TESTKIT_MODULE
+    if name.startswith("det001"):
+        return ALGO_MODULE
+    return "fixture"
 
 
 def rule_ids(findings):
@@ -130,6 +142,43 @@ class TestCache001:
         assert analyze_fixture("cache001_suppressed.py") == []
 
 
+class TestTk001:
+    def test_bad_flags_every_entropy_leak(self):
+        findings = analyze_fixture("tk001_bad.py", module=TESTKIT_MODULE)
+        assert rule_ids(findings) == ["TK001"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "OS entropy" in messages
+        assert "module-level generator" in messages
+        assert "'shuffle_records'" in messages
+        assert "unseeded global" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("tk001_ok.py", module=TESTKIT_MODULE) == []
+
+    def test_suppressions(self):
+        findings = analyze_fixture(
+            "tk001_suppressed.py", module=TESTKIT_MODULE
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_the_testkit_package(self):
+        findings = analyze_fixture(
+            "tk001_bad.py", module="repro.simulator.fixture"
+        )
+        assert findings == []
+
+    def test_the_real_testkit_is_clean(self):
+        import repro.testkit.corpus
+        import repro.testkit.faults
+
+        for mod in (repro.testkit.faults, repro.testkit.corpus):
+            source = Path(mod.__file__).read_text()
+            findings = analyze_source(
+                source, path=mod.__file__, module=mod.__name__
+            )
+            assert findings == [], mod.__name__
+
+
 class TestEngineBehavior:
     def test_syntax_error_becomes_a_finding(self):
         findings = analyze_source("def broken(:\n", path="broken.py")
@@ -155,12 +204,11 @@ class TestEngineBehavior:
         sorted(p.name for p in FIXTURES.glob("*_bad.py")),
     )
     def test_every_bad_fixture_has_findings(self, name):
-        module = ALGO_MODULE if name.startswith("det001") else "fixture"
-        assert analyze_fixture(name, module=module) != []
+        assert analyze_fixture(name, module=fixture_module(name)) != []
 
     @pytest.mark.parametrize(
         "name",
         sorted(p.name for p in FIXTURES.glob("*_suppressed.py")),
     )
     def test_every_suppressed_fixture_is_clean(self, name):
-        assert analyze_fixture(name) == []
+        assert analyze_fixture(name, module=fixture_module(name)) == []

@@ -1,0 +1,200 @@
+"""Property-based round-trip and fuzz tests for the BGP wire codec.
+
+Two guarantees, one per test family:
+
+* **Round-trip**: any modeled value survives encode → decode exactly.
+* **Fuzz**: any mutation of valid wire bytes either still decodes or
+  raises :class:`BGPCodecError` / :class:`MRTError` — never a stray
+  exception, never a crash. (Mis-decoding into a *different valid*
+  message is possible for some bit flips — that is what the ingest
+  accounting and chaos suite are for — but the codec must never die.)
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mrt.bgp_codec import (
+    BGPCodecError,
+    decode_attributes,
+    decode_prefix,
+    decode_update,
+    encode_attributes,
+    encode_prefix,
+    encode_update,
+)
+from repro.mrt.records import (
+    MRTError,
+    decode_bgp4mp,
+    read_records,
+)
+from repro.net.aspath import ASPath
+from repro.net.attributes import Community, Origin, PathAttributes
+from repro.net.message import BGPUpdate
+from repro.net.prefix import Prefix
+from repro.testkit.corpus import build_clean_records
+from repro.testkit.faults import flip_bytes, truncate_bytes
+
+
+def prefixes() -> st.SearchStrategy[Prefix]:
+    def build(raw: int, length: int) -> Prefix:
+        mask = 0 if length == 0 else (
+            (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        )
+        return Prefix(raw & mask, length)
+
+    return st.builds(
+        build, st.integers(0, 0xFFFFFFFF), st.integers(0, 32)
+    )
+
+
+def as_paths() -> st.SearchStrategy[ASPath]:
+    asn = st.integers(1, 0xFFFFFFFF)
+    return st.builds(
+        ASPath,
+        st.lists(asn, min_size=1, max_size=6),
+        st.frozensets(asn, max_size=4),
+    )
+
+
+def communities() -> st.SearchStrategy[Community]:
+    part = st.integers(0, 0xFFFF)
+    return st.builds(Community, part, part)
+
+
+def attribute_bundles() -> st.SearchStrategy[PathAttributes]:
+    addr = st.integers(0, 0xFFFFFFFF)
+    return st.builds(
+        PathAttributes,
+        nexthop=addr,
+        as_path=as_paths(),
+        origin=st.sampled_from(list(Origin)),
+        local_pref=st.integers(0, 0xFFFFFFFF),
+        med=st.one_of(st.none(), st.integers(0, 0xFFFFFFFF)),
+        communities=st.frozensets(communities(), max_size=5),
+        originator_id=st.one_of(st.none(), addr),
+        cluster_list=st.lists(addr, max_size=3),
+    )
+
+
+class TestRoundTrips:
+    @given(prefixes())
+    @settings(max_examples=200, deadline=None)
+    def test_prefix_round_trip(self, prefix):
+        decoded, offset = decode_prefix(encode_prefix(prefix), 0)
+        assert decoded == prefix
+        assert offset == len(encode_prefix(prefix))
+
+    @given(attribute_bundles())
+    @settings(max_examples=100, deadline=None)
+    def test_attributes_round_trip(self, attrs):
+        decoded, skipped = decode_attributes(encode_attributes(attrs))
+        assert skipped == []
+        assert decoded == attrs
+
+    @given(
+        st.lists(prefixes(), min_size=1, max_size=8, unique=True),
+        attribute_bundles(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_announce_update_round_trip(self, nlri, attrs):
+        update = BGPUpdate.announce(nlri, attrs)
+        decoded = decode_update(encode_update(update))
+        assert decoded.skipped_attributes == ()
+        announced = [a.prefix for a in decoded.update.announcements]
+        assert announced == list(nlri)
+        assert decoded.update.announcements[0].attributes == attrs
+
+    @given(st.lists(prefixes(), min_size=1, max_size=8, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_withdraw_update_round_trip(self, nlri):
+        update = BGPUpdate.withdraw(nlri)
+        decoded = decode_update(encode_update(update))
+        withdrawn = [w.prefix for w in decoded.update.withdrawals]
+        assert withdrawn == list(nlri)
+        assert decoded.update.announcements == ()
+
+
+def valid_update_bytes() -> st.SearchStrategy[bytes]:
+    return st.builds(
+        lambda nlri, attrs: encode_update(BGPUpdate.announce(nlri, attrs)),
+        st.lists(prefixes(), min_size=1, max_size=4, unique=True),
+        attribute_bundles(),
+    )
+
+
+class TestFuzzNeverCrashes:
+    @given(
+        valid_update_bytes(),
+        st.integers(0, 2**32 - 1),
+        st.floats(0.01, 0.3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_bit_flipped_updates_decode_or_raise_codec_errors(
+        self, wire, seed, rate
+    ):
+        mutated = flip_bytes(wire, rate=rate, seed=seed)
+        try:
+            decoded = decode_update(mutated)
+        except (BGPCodecError, MRTError):
+            return  # rejected cleanly: the guarantee holds
+        assert decoded.update is not None
+
+    @given(valid_update_bytes(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_truncated_updates_decode_or_raise_codec_errors(
+        self, wire, seed
+    ):
+        mutated = truncate_bytes(wire, keep_min=0.0, keep_max=0.95,
+                                 seed=seed)
+        try:
+            decode_update(mutated)
+        except (BGPCodecError, MRTError):
+            pass
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_bytes_never_crash_the_update_codec(self, blob):
+        try:
+            decode_update(blob)
+        except (BGPCodecError, MRTError):
+            pass
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_bytes_never_crash_the_attribute_codec(self, blob):
+        try:
+            decode_attributes(blob)
+        except (BGPCodecError, MRTError):
+            pass
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_crash_the_envelope_codec(self, blob):
+        try:
+            decode_bgp4mp(blob)
+        except (BGPCodecError, MRTError):
+            pass
+
+    @given(st.integers(0, 2**32 - 1), st.floats(0.001, 0.05))
+    @settings(max_examples=25, deadline=None)
+    def test_flipped_archives_frame_or_raise_mrt_errors(self, seed, rate):
+        """Whole-archive fuzz: framing either yields records or raises
+        MRTError; whatever frames must decode or raise codec errors."""
+        buffer = io.BytesIO()
+        from repro.mrt.records import write_records
+
+        write_records(build_clean_records(n_updates=10), buffer)
+        mutated = flip_bytes(buffer.getvalue(), rate=rate, seed=seed)
+        try:
+            records = list(read_records(io.BytesIO(mutated)))
+        except MRTError:
+            return
+        for record in records:
+            if not record.is_bgp4mp_update:
+                continue
+            try:
+                decode_update(decode_bgp4mp(record.payload).bgp_message)
+            except (BGPCodecError, MRTError):
+                pass

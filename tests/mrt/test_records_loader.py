@@ -121,12 +121,19 @@ class TestUpdatesRoundTrip:
         assert len(load_updates(path)) == 0
 
     def test_garbage_payload_skipped_unless_strict(self, tmp_path):
+        from repro.mrt.ingest import IngestWarning
+
         path = tmp_path / "bad.mrt"
         write_records(
             [MRTRecord(1.0, TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE_AS4, b"xx")],
             path,
         )
-        assert len(load_updates(path)) == 0
+        # A 100% skip rate crosses the warn threshold — the skip is no
+        # longer silent, and the report carries the accounting.
+        with pytest.warns(IngestWarning):
+            stream = load_updates(path)
+        assert len(stream) == 0
+        assert stream.ingest_report.records_skipped == 1
         with pytest.raises((MRTError, ValueError)):
             load_updates(path, strict=True)
 

@@ -1,0 +1,161 @@
+"""Chaos suite: every fault class against a Berkeley-style demo stream.
+
+The contract under test is the PR's acceptance bar: for every
+registered fault class, either the detector pipeline produces
+bit-identical output to the clean run, or the load's
+:class:`~repro.mrt.ingest.IngestReport` explains the degradation. A
+corrupted archive must never silently yield a shorter stream.
+"""
+
+import io
+import warnings
+
+import pytest
+
+from repro.analysis.report import diagnose
+from repro.collector.rex import RouteExplorer
+from repro.mrt.ingest import IngestWarning
+from repro.mrt.loader import dump_updates, load_updates
+from repro.simulator.synthetic import (
+    BERKELEY_PROFILE,
+    populate_view,
+    session_reset_events,
+)
+from repro.testkit.faults import (
+    apply_plan_to_bytes,
+    apply_plan_to_stream,
+    fault_names,
+)
+
+#: One pinned seed per suite run: failures replay exactly.
+CHAOS_SEED = 0xB16B00B5
+
+#: Aggressive-enough parameters that every fault class actually bites
+#: on a small archive.
+CHAOS_PARAMS = {
+    "truncate-bytes": {"keep_min": 0.4, "keep_max": 0.8},
+    "flip-bytes": {"rate": 0.02},
+    "truncate-records": {"keep_min": 0.4, "keep_max": 0.8},
+    "corrupt-payloads": {"rate": 0.4, "byte_rate": 0.1},
+    "flip-attrs": {"rate": 0.4, "flips": 2},
+    "duplicate-records": {"rate": 0.3},
+    "drop-records": {"rate": 0.3},
+    "reorder-records": {"window": 6},
+    "drop-events": {"rate": 0.3},
+    "duplicate-events": {"rate": 0.3},
+    "reorder-events": {"rate": 0.5, "max_shift": 4.0},
+    # The loaded stream's surviving events sit in t=1030..1060 (the
+    # reset's withdrawals precede any announcement and are dropped).
+    "stall-burst": {"stall_start": 1035.0, "stall_seconds": 15.0},
+}
+
+FILE_FAULTS = sorted(fault_names("bytes") + fault_names("records"))
+EVENT_FAULTS = fault_names("events")
+
+
+def berkeley_archive() -> bytes:
+    """The demo workload as MRT bytes: a session reset at a Berkeley-
+    profile site, the paper's flagship incident."""
+    rex = RouteExplorer()
+    populate_view(rex, 400, BERKELEY_PROFILE, routes_per_prefix=1.5)
+    stream = session_reset_events(
+        rex, 0, start=1000.0, convergence_seconds=60.0
+    )
+    buffer = io.BytesIO()
+    dump_updates(stream, buffer)
+    return buffer.getvalue()
+
+
+def quiet_load(data: bytes):
+    """Load corrupted bytes, tolerating the (expected) skip warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", IngestWarning)
+        return load_updates(io.BytesIO(data))
+
+
+ARCHIVE = berkeley_archive()
+BASELINE = quiet_load(ARCHIVE)
+BASELINE_REPORT = BASELINE.ingest_report
+BASELINE_DIAGNOSIS = diagnose(BASELINE).to_text()
+
+
+def test_the_archive_is_deterministic():
+    assert berkeley_archive() == ARCHIVE
+    assert BASELINE_REPORT.ok
+
+
+@pytest.mark.parametrize("name", FILE_FAULTS)
+class TestFileLevelChaos:
+    def _corrupted(self, name) -> bytes:
+        return apply_plan_to_bytes(
+            ARCHIVE, [(name, CHAOS_PARAMS[name])], seed=CHAOS_SEED
+        )
+
+    def test_identical_output_or_report_explains(self, name):
+        stream = quiet_load(self._corrupted(name))
+        report = stream.ingest_report
+        identical = (
+            stream.fingerprint() == BASELINE.fingerprint()
+            and report.ok
+        )
+        explained = (
+            not report.ok
+            or report.records_read != BASELINE_REPORT.records_read
+            or report.out_of_order_records > 0
+            or report.dropped_withdrawals
+            != BASELINE_REPORT.dropped_withdrawals
+        )
+        assert identical or explained, report.summary()
+
+    def test_no_silent_shortening(self, name):
+        """Everything read is accounted for; everything decoded is in
+        the stream. A shorter stream always shows up in the report."""
+        stream = quiet_load(self._corrupted(name))
+        report = stream.ingest_report
+        assert report.records_read == (
+            report.records_ignored
+            + report.records_decoded
+            + report.records_skipped
+        )
+        assert report.events_produced == len(stream)
+        if len(stream) < len(BASELINE):
+            assert (
+                not report.ok
+                or report.records_read < BASELINE_REPORT.records_read
+            ), report.summary()
+
+    def test_detectors_survive_the_corruption(self, name):
+        """Whatever decoded still drives a diagnosis — and the whole
+        chain is deterministic from the chaos seed."""
+        stream = quiet_load(self._corrupted(name))
+        text = diagnose(stream).to_text()
+        assert text
+        again = quiet_load(self._corrupted(name))
+        assert again.fingerprint() == stream.fingerprint()
+        assert diagnose(again).to_text() == text
+
+
+@pytest.mark.parametrize("name", EVENT_FAULTS)
+class TestEventLevelChaos:
+    def _skewed(self, name):
+        return apply_plan_to_stream(
+            BASELINE, [(name, CHAOS_PARAMS[name])], seed=CHAOS_SEED
+        )
+
+    def test_detectors_survive_collector_side_faults(self, name):
+        skewed = self._skewed(name)
+        text = diagnose(skewed).to_text()
+        assert text
+
+    def test_fault_is_replayable_from_its_seed(self, name):
+        first = self._skewed(name)
+        second = self._skewed(name)
+        assert first.fingerprint() == second.fingerprint()
+        assert diagnose(first).to_text() == diagnose(second).to_text()
+
+    def test_fault_visibly_perturbs_the_stream(self, name):
+        skewed = self._skewed(name)
+        assert (
+            skewed.fingerprint() != BASELINE.fingerprint()
+            or len(skewed) != len(BASELINE)
+        )

@@ -1,0 +1,127 @@
+"""CLI tests for ``repro faults`` and the ingest policy flags."""
+
+import io
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.mrt.ingest import IngestWarning
+from repro.mrt.records import write_records
+from repro.testkit.corpus import build_clean_records
+
+
+@pytest.fixture()
+def clean_archive(tmp_path):
+    path = tmp_path / "clean.mrt"
+    buffer = io.BytesIO()
+    write_records(build_clean_records(n_updates=40), buffer)
+    path.write_bytes(buffer.getvalue())
+    return path
+
+
+class TestFaultsSubcommand:
+    def test_list_faults(self, capsys):
+        assert main(["faults", "--list-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "flip-attrs" in out
+        assert "stall-burst" in out
+        assert "[records]" in out or "records" in out
+
+    def test_make_corpus(self, tmp_path, capsys):
+        target = tmp_path / "corpus"
+        assert main(["faults", "--make-corpus", str(target)]) == 0
+        assert (target / "clean.mrt").exists()
+        assert (target / "bad-afi.mrt").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_corrupt_writes_output(self, clean_archive, tmp_path, capsys):
+        out_path = tmp_path / "broken.mrt"
+        code = main([
+            "faults", str(clean_archive), "-o", str(out_path),
+            "--fault", "flip-attrs:rate=0.5", "--seed", "7",
+        ])
+        assert code == 0
+        assert out_path.exists()
+        assert "seed 7" in capsys.readouterr().out
+
+    def test_corrupt_is_replayable(self, clean_archive, tmp_path):
+        a, b = tmp_path / "a.mrt", tmp_path / "b.mrt"
+        argv = ["--fault", "corrupt-payloads:rate=0.5", "--seed", "21"]
+        assert main(
+            ["faults", str(clean_archive), "-o", str(a)] + argv
+        ) == 0
+        assert main(
+            ["faults", str(clean_archive), "-o", str(b)] + argv
+        ) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_seed_is_required(self, clean_archive, tmp_path, capsys):
+        code = main([
+            "faults", str(clean_archive),
+            "-o", str(tmp_path / "x.mrt"),
+            "--fault", "drop-records",
+        ])
+        assert code == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_fault_is_required(self, clean_archive, tmp_path, capsys):
+        code = main([
+            "faults", str(clean_archive),
+            "-o", str(tmp_path / "x.mrt"), "--seed", "1",
+        ])
+        assert code == 2
+        assert "--fault" in capsys.readouterr().err
+
+    def test_input_and_output_required(self, capsys):
+        assert main(["faults"]) == 2
+        assert "INPUT" in capsys.readouterr().err
+
+    def test_unknown_fault_reports_choices(self, clean_archive, tmp_path,
+                                           capsys):
+        code = main([
+            "faults", str(clean_archive),
+            "-o", str(tmp_path / "x.mrt"),
+            "--fault", "melt-cpu", "--seed", "1",
+        ])
+        assert code == 1
+        assert "unknown fault" in capsys.readouterr().err
+
+
+class TestIngestFlags:
+    def _corrupted(self, clean_archive, tmp_path):
+        out_path = tmp_path / "broken.mrt"
+        assert main([
+            "faults", str(clean_archive), "-o", str(out_path),
+            "--fault", "corrupt-payloads:rate=0.5,byte_rate=0.1",
+            "--seed", "3",
+        ]) == 0
+        return out_path
+
+    def test_lossy_load_prints_the_report(self, clean_archive, tmp_path,
+                                          capsys):
+        broken = self._corrupted(clean_archive, tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", IngestWarning)
+            assert main(["rate", str(broken)]) == 0
+        err = capsys.readouterr().err
+        assert "skipped" in err
+        assert "errors:" in err
+
+    def test_clean_load_stays_quiet(self, clean_archive, capsys):
+        assert main(["rate", str(clean_archive)]) == 0
+        assert "skipped" not in capsys.readouterr().err
+
+    def test_strict_ingest_fails_fast(self, clean_archive, tmp_path,
+                                      capsys):
+        broken = self._corrupted(clean_archive, tmp_path)
+        capsys.readouterr()
+        assert main(["rate", str(broken), "--strict-ingest"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_max_error_rate_aborts(self, clean_archive, tmp_path, capsys):
+        broken = self._corrupted(clean_archive, tmp_path)
+        capsys.readouterr()
+        code = main(["rate", str(broken), "--max-error-rate", "0.05"])
+        assert code == 1
+        assert "error budget" in capsys.readouterr().err
