@@ -1,0 +1,107 @@
+"""Sustained-throughput benchmark for the streaming monitor.
+
+The batch benchmarks (Table I) time one decomposition; the monitor's
+question is different: how many events per second can the full
+source → window → TAMP → incident-log pipeline sustain, and how long
+does a window's report trail its close (p99 window lag)? Both numbers
+land in ``bench_results/BENCH_pipeline.json`` so CI runs can be
+compared, and EXPERIMENTS.md records the calibrated full-scale result.
+"""
+
+from benchmarks.conftest import record_row, scaled, stream_for
+from repro.pipeline import (
+    MetricsRegistry,
+    MonitorConfig,
+    StreamSource,
+    run_monitor,
+)
+
+
+def monitor_config(checkpoint_every: int = 4) -> MonitorConfig:
+    return MonitorConfig(
+        window=120.0,
+        slide=60.0,
+        batch_size=256,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+def test_monitor_sustained_throughput(benchmark, berkeley_rex, tmp_path):
+    n_events = scaled(57_000)
+    timerange = 3600.0
+    stream = stream_for(berkeley_rex, n_events, timerange, seed=53)
+    registry = MetricsRegistry()
+
+    def run():
+        return run_monitor(
+            StreamSource(stream, label="bench"),
+            monitor_config(),
+            checkpoint_dir=tmp_path / "ckpt",
+            registry=registry,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = benchmark.stats.stats.mean
+    assert result.stopped == "end"
+    assert result.reports, "the feed must produce window reports"
+    assert result.checkpoints_written >= 1
+
+    events_per_s = result.events / max(elapsed, 1e-9)
+    snapshot = registry.snapshot()
+    lag = snapshot["repro_pipeline_window_lag_seconds"]
+    record_row(
+        "pipeline",
+        f"events={result.events:>8}  windows={len(result.reports):>4}"
+        f"  elapsed={elapsed:>7.2f}s"
+        f"  events/s={events_per_s:>9.0f}"
+        f"  p99_window_lag={lag['p99'] * 1000:>8.1f}ms",
+        data={
+            "events": result.events,
+            "windows": len(result.reports),
+            "measured_seconds": elapsed,
+            "events_per_s": events_per_s,
+            "p50_window_lag_s": lag["p50"],
+            "p99_window_lag_s": lag["p99"],
+            "max_window_lag_s": lag["max"],
+            "checkpoints": result.checkpoints_written,
+        },
+    )
+
+
+def test_checkpoint_overhead(benchmark, berkeley_rex, tmp_path):
+    """Checkpointing every window vs every 8th: the durability tax."""
+    import time
+
+    n_events = scaled(20_000)
+    stream = stream_for(berkeley_rex, n_events, 1800.0, seed=54)
+
+    def timed_run(every, directory):
+        t0 = time.perf_counter()
+        run_monitor(
+            StreamSource(stream, label="bench"),
+            monitor_config(checkpoint_every=every),
+            checkpoint_dir=directory,
+        )
+        return time.perf_counter() - t0
+
+    measurements = {}
+
+    def probe():
+        measurements["every_1"] = timed_run(1, tmp_path / "eager")
+        measurements["every_8"] = timed_run(8, tmp_path / "lazy")
+
+    benchmark.pedantic(probe, rounds=1, iterations=1)
+    overhead = measurements["every_1"] / max(measurements["every_8"], 1e-9)
+    record_row(
+        "pipeline",
+        f"checkpoint overhead: every-window={measurements['every_1']:.2f}s"
+        f" every-8th={measurements['every_8']:.2f}s"
+        f" ratio={overhead:.2f}x",
+        data={
+            "events": n_events,
+            "measured_seconds": measurements["every_1"],
+            "eager_seconds": measurements["every_1"],
+            "lazy_seconds": measurements["every_8"],
+            "overhead_ratio": overhead,
+        },
+    )

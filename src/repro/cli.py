@@ -9,6 +9,12 @@ The operator subcommands cover the workflows the paper describes:
 * ``repro render EVENTS.jsonl -o out.svg`` — draw the TAMP picture of
   the routes announced in a stream.
 * ``repro rate EVENTS.jsonl`` — print the Figure 8 style rate series.
+* ``repro monitor [EVENTS]`` — run the streaming pipeline
+  (:mod:`repro.pipeline`) as a long-lived monitor: windowed Stemming
+  + incremental TAMP over a replayed archive, synthetic feed
+  (``--synthetic N``) or quarantine file (``--from-quarantine``),
+  with checkpoints (``--checkpoint-dir``/``--resume``), wall-clock
+  pacing (``--pace``) and live metrics (``--metrics-port``).
 
 Two developer subcommands guard the codebase itself:
 
@@ -154,6 +160,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="frames per second (default 25, per the paper)",
     )
     animate.set_defaults(handler=cmd_animate)
+
+    monitor = sub.add_parser(
+        "monitor", parents=[workers_opt, ingest_opt],
+        help="run the streaming pipeline as a long-lived monitor",
+    )
+    monitor.add_argument(
+        "events", type=Path, nargs="?", default=None,
+        help="event archive to replay (JSONL or MRT by extension);"
+             " omit when using --synthetic or --from-quarantine",
+    )
+    monitor.add_argument(
+        "--synthetic", type=int, default=None, metavar="N",
+        help="monitor a deterministic synthetic feed of N events",
+    )
+    monitor.add_argument(
+        "--synthetic-timerange", type=float, default=3600.0,
+        metavar="SECONDS",
+        help="archive timespan of the synthetic feed (default 3600)",
+    )
+    monitor.add_argument(
+        "--synthetic-seed", type=int, default=31,
+        help="seed for the synthetic feed (default 31)",
+    )
+    monitor.add_argument(
+        "--from-quarantine", action="store_true",
+        help="treat EVENTS as a quarantine JSONL written by a previous"
+             " ingest and replay the records that now decode",
+    )
+    monitor.add_argument(
+        "--window", type=float, default=300.0, metavar="SECONDS",
+        help="analysis window length (default 300)",
+    )
+    monitor.add_argument(
+        "--slide", type=float, default=None, metavar="SECONDS",
+        help="window slide; defaults to the window length (tumbling)",
+    )
+    monitor.add_argument(
+        "--pace", type=float, default=0.0, metavar="FACTOR",
+        help="replay speed-up vs archive time: 1 = real time, 60 ="
+             " a minute per second, 0 = as fast as possible (default)",
+    )
+    monitor.add_argument(
+        "--checkpoint-dir", type=Path, default=None, metavar="DIR",
+        help="write periodic checkpoints and the incident log here",
+    )
+    monitor.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="WINDOWS",
+        help="windows between checkpoints (default 1)",
+    )
+    monitor.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    monitor.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (text) and /metrics.json on this port"
+             " while running (0 picks a free port)",
+    )
+    monitor.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write the final metrics snapshot as JSON",
+    )
+    monitor.add_argument(
+        "--max-queue", type=int, default=64,
+        help="bounded queue capacity per pipeline stage (default 64)",
+    )
+    monitor.add_argument(
+        "--queue-policy", choices=("block", "drop"), default="block",
+        help="backpressure policy when a queue fills (default block)",
+    )
+    monitor.add_argument(
+        "--batch-size", type=int, default=256,
+        help="events per pipeline batch (default 256)",
+    )
+    monitor.add_argument(
+        "--max-events", type=int, default=None,
+        help="hard-stop after this many events without flushing or"
+             " checkpointing (simulates a kill; resume later)",
+    )
+    monitor.add_argument(
+        "--min-strength", type=int, default=2,
+        help="minimum correlation strength for a component (default 2)",
+    )
+    monitor.add_argument(
+        "--components", type=int, default=16,
+        help="maximum components per window (default 16)",
+    )
+    monitor.set_defaults(handler=cmd_monitor)
 
     faults = sub.add_parser(
         "faults",
@@ -344,6 +438,122 @@ def cmd_animate(args: argparse.Namespace) -> int:
         f" ({changed} with changes), timerange"
         f" {animation.timerange:.1f}s -> {args.duration:.0f}s play"
     )
+    return 0
+
+
+def _monitor_source(args: argparse.Namespace):
+    from repro.mrt.ingest import IngestPolicy
+    from repro.pipeline import FileSource, QuarantineSource, SyntheticSource
+
+    picked = [
+        args.synthetic is not None,
+        args.from_quarantine,
+        args.events is not None and not args.from_quarantine,
+    ]
+    if sum(picked) != 1:
+        raise ValueError(
+            "monitor needs exactly one source: EVENTS,"
+            " --synthetic N, or EVENTS with --from-quarantine"
+        )
+    if args.synthetic is not None:
+        return SyntheticSource(
+            args.synthetic,
+            args.synthetic_timerange,
+            seed=args.synthetic_seed,
+        )
+    if args.from_quarantine:
+        return QuarantineSource(args.events)
+    return FileSource(
+        args.events,
+        policy=IngestPolicy(
+            strict=args.strict_ingest,
+            max_error_rate=args.max_error_rate,
+        ),
+    )
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.pipeline import (
+        MetricsRegistry,
+        MetricsServer,
+        MonitorConfig,
+        run_monitor,
+    )
+    from repro.pipeline.windows import WindowReport
+
+    source = _monitor_source(args)
+    config = MonitorConfig(
+        window=args.window,
+        slide=args.slide,
+        batch_size=args.batch_size,
+        max_queue=args.max_queue,
+        policy=args.queue_policy,
+        min_strength=args.min_strength,
+        max_components=args.components,
+        workers=args.workers,
+        pace=args.pace,
+        checkpoint_every=args.checkpoint_every,
+        max_events=args.max_events,
+    )
+    registry = MetricsRegistry()
+    server = None
+    if args.metrics_port is not None:
+        server = MetricsServer(registry, port=args.metrics_port)
+        print(
+            f"metrics on http://127.0.0.1:{server.port}/metrics",
+            file=sys.stderr,
+        )
+
+    def print_report(report: WindowReport) -> None:
+        stems = report.ranked_stems()
+        head = (
+            f"window {report.index} [{report.start:.0f}s,"
+            f" {report.end:.0f}s): {report.event_count} events,"
+            f" {len(stems)} incident(s)"
+        )
+        print(head)
+        for stem in stems[:5]:
+            print(
+                f"  #{stem['rank']} {stem['stem']}"
+                f" strength {stem['strength']}"
+                f" ({stem['events']} events,"
+                f" {stem['prefixes']} prefixes)"
+            )
+
+    try:
+        result = run_monitor(
+            source,
+            config,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            registry=registry,
+            on_report=print_report,
+        )
+    finally:
+        if server is not None:
+            server.close()
+    report = source.ingest_report
+    if report is not None and report.suspicious:
+        print(report.summary(), file=sys.stderr)
+    print(
+        f"monitor stopped ({result.stopped}): {result.events} events,"
+        f" {len(result.reports)} window(s),"
+        f" {result.checkpoints_written} checkpoint(s),"
+        f" offset {result.offset}"
+    )
+    active = result.tracker.active()
+    if active:
+        print(f"{len(active)} active incident(s):")
+        for incident in active[:10]:
+            print(f"  {incident.describe()}")
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(
+            json.dumps(registry.snapshot(), sort_keys=True, indent=1)
+            + "\n"
+        )
+        print(f"metrics snapshot written to {args.metrics_out}")
     return 0
 
 

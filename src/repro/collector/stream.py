@@ -169,11 +169,7 @@ class EventStream:
         chaos suite uses this to assert bit-identical detector *input*
         across ingest paths without holding both streams in memory.
         """
-        digest = hashlib.sha256()
-        for event in self:
-            digest.update(event.to_json().encode("utf-8"))
-            digest.update(b"\n")
-        return digest.hexdigest()
+        return fingerprint_events(self)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -212,3 +208,18 @@ class EventStream:
         if self._keys is None:
             self._keys = [e.timestamp for e in self._events]
         return self._keys
+
+
+def fingerprint_events(events: Iterable[BGPEvent]) -> str:
+    """SHA-256 over *events* in the order given, one JSON line each.
+
+    The digest a stream of exactly these events would report from
+    :meth:`EventStream.fingerprint` — provided *events* is already in
+    timestamp order. The pipeline uses this to fingerprint individual
+    windows without materializing each as a stream.
+    """
+    digest = hashlib.sha256()
+    for event in events:
+        digest.update(event.to_json().encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -14,11 +14,27 @@ Rule families map to the invariants the repo actually depends on:
 * :mod:`repro.devtools.rules.cache` — CACHE001 (``TampGraph`` mutators
   must invalidate the prefix-count cache);
 * :mod:`repro.devtools.rules.testkit` — TK001 (fault injectors must
-  derive all entropy from an explicit ``seed`` argument).
+  derive all entropy from an explicit ``seed`` argument);
+* :mod:`repro.devtools.rules.pipeline` — PIPE001 (pipeline stages
+  must not reference module-global mutable state).
 """
 
 from __future__ import annotations
 
-from repro.devtools.rules import cache, determinism, mutation, pool, testkit
+from repro.devtools.rules import (
+    cache,
+    determinism,
+    mutation,
+    pipeline,
+    pool,
+    testkit,
+)
 
-__all__ = ["cache", "determinism", "mutation", "pool", "testkit"]
+__all__ = [
+    "cache",
+    "determinism",
+    "mutation",
+    "pipeline",
+    "pool",
+    "testkit",
+]

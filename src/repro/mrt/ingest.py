@@ -243,6 +243,46 @@ class IngestReport:
             "ok": self.ok,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "IngestReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The pipeline checkpoints a source's ingest report alongside the
+        stream offset so a resumed monitor still knows how trustworthy
+        its input was. ``ok`` is derived, not stored.
+        """
+        report = cls(
+            source=str(data.get("source", "unknown")),
+            kind=str(data.get("kind", "updates")),
+        )
+        for name in (
+            "records_read",
+            "records_ignored",
+            "records_decoded",
+            "records_skipped",
+            "records_quarantined",
+            "entries_read",
+            "entries_skipped",
+            "events_produced",
+            "dropped_withdrawals",
+            "unknown_attributes",
+            "out_of_order_records",
+            "gap_count",
+        ):
+            setattr(report, name, int(data.get(name, 0)))
+        report.error_counts = {
+            str(name): int(count)
+            for name, count in dict(data.get("error_counts", {})).items()
+        }
+        report.first_timestamp = data.get("first_timestamp")
+        report.last_timestamp = data.get("last_timestamp")
+        report.gaps = [
+            (float(gap[0]), float(gap[1])) for gap in data.get("gaps", [])
+        ]
+        report.framing_error = data.get("framing_error")
+        report.aborted = bool(data.get("aborted", False))
+        return report
+
 
 class QuarantineWriter:
     """Append undecodable raw records to a JSONL side-channel.

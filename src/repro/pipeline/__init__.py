@@ -1,0 +1,81 @@
+"""Streaming monitor runtime: the paper's system as a live service.
+
+The batch CLI answers "what happened in this archive?"; this package
+answers the question the paper's deployment actually faced — "what is
+happening *right now*?" — by composing the existing pieces into a
+long-running pipeline:
+
+* :mod:`repro.pipeline.sources` — where events come from: archive
+  replay (MRT or JSONL, optionally paced against the wall clock),
+  simulator-driven synthetic feeds, quarantine replay, in-memory
+  streams.
+* :mod:`repro.pipeline.runtime` — the staged pipeline: bounded
+  queues, explicit backpressure, per-stage drop accounting, and a
+  deterministic cooperative pump.
+* :mod:`repro.pipeline.windows` — sliding-window Stemming and
+  incremental TAMP annotation with bounded memory.
+* :mod:`repro.pipeline.checkpoint` — periodic JSON snapshots plus the
+  JSONL incident log; resume is bit-identical, verified by window
+  fingerprints.
+* :mod:`repro.pipeline.metrics` — counters/gauges/histograms with a
+  JSON snapshot and a plain-text scrape endpoint.
+* :mod:`repro.pipeline.monitor` — the loop tying it together, exposed
+  on the CLI as ``repro monitor``.
+"""
+
+from repro.pipeline.checkpoint import (
+    CheckpointError,
+    CheckpointState,
+    CheckpointStore,
+)
+from repro.pipeline.metrics import MetricsRegistry, MetricsServer
+from repro.pipeline.monitor import (
+    MonitorConfig,
+    MonitorResult,
+    run_monitor,
+)
+from repro.pipeline.runtime import (
+    Batch,
+    FunctionStage,
+    Pipeline,
+    Stage,
+    iter_batches,
+)
+from repro.pipeline.sources import (
+    FileSource,
+    Pacer,
+    QuarantineSource,
+    Source,
+    StreamSource,
+    SyntheticSource,
+)
+from repro.pipeline.windows import (
+    TampAnnotator,
+    WindowedStemmer,
+    WindowReport,
+)
+
+__all__ = [
+    "Batch",
+    "CheckpointError",
+    "CheckpointState",
+    "CheckpointStore",
+    "FileSource",
+    "FunctionStage",
+    "MetricsRegistry",
+    "MetricsServer",
+    "MonitorConfig",
+    "MonitorResult",
+    "Pacer",
+    "Pipeline",
+    "QuarantineSource",
+    "Source",
+    "Stage",
+    "StreamSource",
+    "SyntheticSource",
+    "TampAnnotator",
+    "WindowReport",
+    "WindowedStemmer",
+    "iter_batches",
+    "run_monitor",
+]

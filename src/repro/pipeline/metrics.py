@@ -1,0 +1,302 @@
+"""Live metrics for the streaming monitor.
+
+A long-running monitor is only operable if it can answer "is it
+keeping up?" without being stopped: events per second, queue depths,
+window lag, checkpoint age. This module is a dependency-free metrics
+core — counters, gauges and fixed-bucket histograms collected in a
+:class:`MetricsRegistry` — with two render surfaces:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-serializable dict, written
+  to disk by ``repro monitor --metrics-out`` (the CI artifact);
+* :meth:`MetricsRegistry.render_text` — a Prometheus-style plain-text
+  exposition, served by :class:`MetricsServer` on
+  ``repro monitor --metrics-port`` (``/metrics`` for text,
+  ``/metrics.json`` for the snapshot).
+
+The registry is deliberately *not* process-global (no module-level
+mutable state — the PIPE001 rule polices exactly that pattern in
+stages): the monitor owns one registry per run, so two monitors in one
+process never share counters and a resumed run starts from a clean
+slate.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence
+
+#: Default histogram buckets (seconds): tuned for window-lag style
+#: latencies, microseconds through a minute.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_value(self) -> float:
+        return self.value
+
+    def render(self) -> list[str]:
+        return [f"{self.name} {_format_number(self.value)}"]
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, checkpoint age)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def to_value(self) -> float:
+        return self.value
+
+    def render(self) -> list[str]:
+        return [f"{self.name} {_format_number(self.value)}"]
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimation.
+
+    Bounds are upper bucket edges; observations above the last bound
+    land in an implicit overflow bucket. Quantiles interpolate to a
+    bucket's upper bound (the overflow bucket answers with the maximum
+    observed value), which is the usual fixed-bucket trade-off: cheap,
+    bounded memory, and monotonic — good enough to tell a 5 ms window
+    lag from a 5 s one, which is what the p99 gauge is for.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile *q* in [0, 1], 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            cumulative += self.bucket_counts[index]
+            if cumulative >= target:
+                return min(bound, self.max)
+        return self.max
+
+    def to_value(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "buckets": {
+                _format_number(bound): count
+                for bound, count in zip(self.bounds, self.bucket_counts)
+            },
+            "overflow": self.bucket_counts[-1],
+        }
+
+    def render(self) -> list[str]:
+        lines = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            cumulative += count
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_number(bound)}"}}'
+                f" {cumulative}"
+            )
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
+        lines.append(f"{self.name}_sum {_format_number(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """A named collection of metrics, one per monitor run.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the
+    pipeline, the window stage and the monitor loop can all reach for
+    ``registry.counter("repro_pipeline_events_total")`` without
+    coordinating construction. Re-requesting a name with a different
+    metric kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help, bounds)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise ValueError(
+                    f"metric {name!r} is a {metric.kind}, not a histogram"
+                )
+            return metric
+
+    def _get_or_create(self, cls: type, name: str, help: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} is a {metric.kind},"
+                    f" not a {cls.kind}"
+                )
+            return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serializable view of every metric, sorted by name."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.to_value() for name, metric in metrics}
+
+    def render_text(self) -> str:
+        """Prometheus-style plain-text exposition."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: list[str] = []
+        for name, metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+def _format_number(value: float) -> str:
+    """Render 3 as ``3`` and 0.25 as ``0.25`` (no trailing zeros)."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsServer:
+    """Serves a registry over HTTP on a background thread.
+
+    ``/metrics`` returns the plain-text exposition, ``/metrics.json``
+    the JSON snapshot. Port 0 binds an ephemeral port (tests); the
+    bound port is on :attr:`port`. The server thread is a daemon and
+    :meth:`close` is idempotent, so a monitor killed mid-run never
+    hangs on it.
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0) -> None:
+        server = self  # close over the outer object, not the handler
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+                if self.path in ("/metrics", "/"):
+                    body = server.registry.render_text().encode("utf-8")
+                    content_type = "text/plain; charset=utf-8"
+                elif self.path == "/metrics.json":
+                    body = json.dumps(
+                        server.registry.snapshot(), sort_keys=True
+                    ).encode("utf-8")
+                    content_type = "application/json"
+                else:
+                    self.send_error(404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: object) -> None:
+                pass  # scrapes must not spam the monitor's stdout
+
+        self.registry = registry
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,345 @@
+"""The monitor loop: source → pipeline → incident log, forever.
+
+:func:`run_monitor` wires a :class:`~repro.pipeline.sources.Source`
+into the two-stage analysis pipeline (windowed Stemming, TAMP
+annotation), persists every emitted window report to the checkpoint
+store's incident log, folds reports into an incident tracker, keeps
+the metrics registry current, and checkpoints at quiescent points.
+
+Determinism boundary — what resume restores bit-identically:
+everything that reaches the incident log (window fingerprints, ranked
+stems, TAMP annotations) and the pipeline/window/TAMP state behind it.
+What it deliberately does not restore: the incident *tracker* (its
+lifecycle state is an operator-facing live view, rebuilt from the
+reports that replay after resume) and the metrics registry (a resumed
+process is a new process; its counters say so).
+
+Crash semantics, used by the chaos tests: a
+:class:`~repro.testkit.crash.CrashPlan` fires *after* a batch is
+pumped but *before* its outputs are persisted or checkpointed — the
+worst legal moment. ``max_events`` stops the run the same hard way
+(no flush, no final checkpoint), which is how the CI smoke job
+simulates a kill it can later resume from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.mrt.ingest import IngestReport
+from repro.pipeline.checkpoint import (
+    CheckpointError,
+    CheckpointState,
+    CheckpointStore,
+)
+from repro.pipeline.metrics import MetricsRegistry
+from repro.pipeline.runtime import Pipeline, iter_batches
+from repro.pipeline.sources import Pacer, Source
+from repro.pipeline.windows import (
+    TampAnnotator,
+    WindowedStemmer,
+    WindowReport,
+    WindowState,
+)
+from repro.stemming.detector import DetectorReport
+from repro.stemming.tracker import IncidentTracker
+from repro.testkit.crash import CrashPlan
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Everything that shapes a monitor run.
+
+    :meth:`describe` returns the subset that determines the *output*
+    (window geometry, stemming knobs, batching/backpressure); that
+    subset is written into checkpoints and must match on resume.
+    Operational knobs — pacing, worker count, checkpoint cadence,
+    ``max_events`` — may differ between the original run and the
+    resume without affecting bit-identity.
+    """
+
+    window: float = 300.0
+    slide: Optional[float] = None
+    batch_size: int = 256
+    max_queue: int = 64
+    policy: str = "block"
+    min_strength: int = 2
+    max_components: int = 16
+    workers: Optional[int] = None
+    pace: float = 0.0
+    checkpoint_every: int = 1
+    keep_checkpoints: int = 3
+    resolve_after: float = 600.0
+    max_events: Optional[int] = None
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "window": self.window,
+            "slide": self.window if self.slide is None else self.slide,
+            "batch_size": self.batch_size,
+            "max_queue": self.max_queue,
+            "policy": self.policy,
+            "min_strength": self.min_strength,
+            "max_components": self.max_components,
+        }
+
+
+@dataclass
+class MonitorResult:
+    """What one :func:`run_monitor` call accomplished."""
+
+    #: Window reports emitted by *this* run (a resume's list excludes
+    #: windows already in the incident log before it started).
+    reports: list[WindowReport]
+    #: Events processed by this run.
+    events: int
+    #: Stream offset after the run (== total events ever processed).
+    offset: int
+    stats: dict[str, dict[str, int]]
+    checkpoints_written: int
+    #: "end" (source exhausted, flushed) or "max_events" (hard stop).
+    stopped: str
+    tracker: IncidentTracker = field(default_factory=IncidentTracker)
+
+    @property
+    def report_dicts(self) -> list[dict[str, object]]:
+        return [report.to_dict() for report in self.reports]
+
+
+def run_monitor(
+    source: Source,
+    config: MonitorConfig,
+    *,
+    checkpoint_dir: Optional[str | Path] = None,
+    resume: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+    on_report: Optional[Callable[[WindowReport], None]] = None,
+    crash_plan: Optional[CrashPlan] = None,
+) -> MonitorResult:
+    """Run the monitor until the source ends (or a stop/crash fires)."""
+    registry = registry if registry is not None else MetricsRegistry()
+    store: Optional[CheckpointStore] = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(
+            checkpoint_dir, keep=config.keep_checkpoints
+        )
+
+    window_stage = WindowedStemmer(
+        config.window,
+        config.slide,
+        min_strength=config.min_strength,
+        max_components=config.max_components,
+        workers=config.workers,
+    )
+    tamp_stage = TampAnnotator()
+    pipeline = Pipeline(
+        [window_stage, tamp_stage],
+        max_queue=config.max_queue,
+        policy=config.policy,
+    )
+    tracker = IncidentTracker(resolve_after=config.resolve_after)
+
+    start_offset = 0
+    reports_emitted = 0
+    if resume:
+        if store is None:
+            raise CheckpointError(
+                "resume requires a checkpoint directory"
+            )
+        state = store.latest()
+        if state is None:
+            # Crashed before the first checkpoint: nothing to restore,
+            # so replay from the top — but wipe any incident-log lines
+            # the dead run wrote, or the replay would duplicate them.
+            store.truncate_reports(0)
+        else:
+            state.matches(source.describe(), config.describe())
+            window_stage.restore_state(
+                WindowState.from_dict(state.window)
+            )
+            tamp_stage.restore_state(state.tamp)
+            pipeline.restore_stats(state.stats)
+            start_offset = state.offset
+            reports_emitted = state.reports_emitted
+            store.truncate_reports(reports_emitted)
+            if (
+                state.ingest is not None
+                and source.ingest_report is None
+            ):
+                source.ingest_report = IngestReport.from_dict(
+                    state.ingest
+                )
+
+    # -- metric handles -------------------------------------------------
+    events_total = registry.counter(
+        "repro_pipeline_events_total", "events admitted to the pipeline"
+    )
+    batches_total = registry.counter(
+        "repro_pipeline_batches_total", "batches pumped"
+    )
+    windows_total = registry.counter(
+        "repro_pipeline_windows_total", "window reports emitted"
+    )
+    incidents_total = registry.counter(
+        "repro_pipeline_incidents_total",
+        "ranked incident components emitted across all windows",
+    )
+    dropped_total = registry.counter(
+        "repro_pipeline_dropped_total",
+        "items rejected by backpressure (drop policy)",
+    )
+    checkpoints_total = registry.counter(
+        "repro_pipeline_checkpoints_total", "checkpoints written"
+    )
+    events_per_second = registry.gauge(
+        "repro_pipeline_events_per_second",
+        "events processed per wall-clock second, this run",
+    )
+    checkpoint_age = registry.gauge(
+        "repro_pipeline_checkpoint_age_seconds",
+        "seconds since the last checkpoint was written",
+    )
+    buffer_gauge = registry.gauge(
+        "repro_pipeline_buffer_events",
+        "events buffered in the current window",
+    )
+    routes_gauge = registry.gauge(
+        "repro_pipeline_tamp_routes", "routes in the live TAMP table"
+    )
+    strength_gauge = registry.gauge(
+        "repro_pipeline_top_strength",
+        "strongest live correlation in the window buffer",
+    )
+    lag_histogram = registry.histogram(
+        "repro_pipeline_window_lag_seconds",
+        "wall-clock delay between a window closing and its report",
+    )
+    queue_gauges = {
+        name: registry.gauge(
+            f"repro_pipeline_queue_depth_{name}",
+            f"queued items at the {name} stage",
+        )
+        for name in pipeline.depths()
+    }
+
+    pacer = Pacer(config.pace)
+    clock = time.monotonic
+    run_start = clock()
+    last_checkpoint_clock = run_start
+    checkpoints_written = 0
+    prior_dropped = 0
+    events_done = 0
+    offset = start_offset
+    run_reports: list[WindowReport] = []
+    stopped = "end"
+
+    def handle_outputs(elapsed: float) -> None:
+        nonlocal reports_emitted
+        for item in pipeline.take():
+            assert isinstance(item, WindowReport)
+            run_reports.append(item)
+            reports_emitted += 1
+            windows_total.inc()
+            incidents_total.inc(len(item.result.components))
+            lag_histogram.observe(elapsed)
+            tracker.observe(
+                DetectorReport(
+                    at=item.end,
+                    by_window={config.window: item.result},
+                )
+            )
+            if store is not None:
+                store.append_report(item.to_dict())
+            if on_report is not None:
+                on_report(item)
+
+    def write_checkpoint() -> None:
+        nonlocal checkpoints_written, last_checkpoint_clock
+        assert store is not None
+        ingest = source.ingest_report
+        store.save(
+            CheckpointState(
+                source=source.describe(),
+                config=config.describe(),
+                offset=offset,
+                reports_emitted=reports_emitted,
+                window=window_stage.export_state().to_dict(),
+                tamp=tamp_stage.export_state(),
+                stats=pipeline.stats(),
+                ingest=None if ingest is None else ingest.to_dict(),
+            )
+        )
+        checkpoints_written += 1
+        checkpoints_total.inc()
+        last_checkpoint_clock = clock()
+
+    def refresh_gauges() -> None:
+        elapsed_run = max(clock() - run_start, 1e-9)
+        events_per_second.set(events_done / elapsed_run)
+        checkpoint_age.set(clock() - last_checkpoint_clock)
+        buffer_gauge.set(window_stage.buffered)
+        routes_gauge.set(tamp_stage.tamp.route_count())
+        strength_gauge.set(window_stage.top_strength())
+        for name, depth in pipeline.depths().items():
+            queue_gauges[name].set(depth)
+
+    last_checkpoint_window = window_stage.window_index
+    batches = iter_batches(
+        source.events(start_offset),
+        batch_size=config.batch_size,
+        start_offset=start_offset,
+    )
+    for batch in batches:
+        pacer.wait_for(batch.events[-1].timestamp)
+        pumped_at = clock()
+        pipeline.feed(batch)
+        elapsed = clock() - pumped_at
+        offset = batch.end_offset
+        events_done += len(batch)
+        events_total.inc(len(batch))
+        batches_total.inc()
+        if crash_plan is not None:
+            # After the pump, before persisting outputs or
+            # checkpointing: the least convenient legal instant.
+            crash_plan.fire(events_done)
+        handle_outputs(elapsed)
+        dropped_now = sum(
+            s["dropped"] for s in pipeline.stats().values()
+        )
+        if dropped_now > prior_dropped:
+            dropped_total.inc(dropped_now - prior_dropped)
+            prior_dropped = dropped_now
+        if (
+            store is not None
+            and window_stage.window_index - last_checkpoint_window
+            >= config.checkpoint_every
+        ):
+            write_checkpoint()
+            last_checkpoint_window = window_stage.window_index
+        refresh_gauges()
+        if (
+            config.max_events is not None
+            and events_done >= config.max_events
+        ):
+            stopped = "max_events"
+            break
+    else:
+        flush_at = clock()
+        pipeline.flush()
+        handle_outputs(clock() - flush_at)
+        if store is not None:
+            write_checkpoint()
+        refresh_gauges()
+
+    return MonitorResult(
+        reports=run_reports,
+        events=events_done,
+        offset=offset,
+        stats=pipeline.stats(),
+        checkpoints_written=checkpoints_written,
+        stopped=stopped,
+        tracker=tracker,
+    )

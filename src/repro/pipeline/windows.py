@@ -1,0 +1,332 @@
+"""Windowed detection stages: sliding Stemming plus incremental TAMP.
+
+:class:`WindowedStemmer` is the pipeline's analysis heart. It buffers
+events into a sliding window of ``window`` seconds advancing by
+``slide`` seconds (``slide == window`` gives tumbling windows), and at
+each boundary runs the full Stemming decomposition over the window's
+events — through ``repro.perf`` workers when configured — emitting a
+:class:`WindowReport` with the window's fingerprint and ranked stems.
+Memory stays bounded: events older than the window are evicted from
+the buffer *and subtracted from the stage's live subsequence counter*,
+relying on the counter's remove-equals-never-added guarantee (covered
+by the eviction-equivalence regression tests).
+
+Ordering contract: the stage re-emits each event batch downstream
+*before* the report that closes at or after it, so a downstream
+:class:`TampAnnotator` has applied exactly the events preceding a
+window boundary when it annotates that window's report. That is what
+makes a report's TAMP summary reproducible on resume.
+
+Everything here is deterministic and clock-free — window positions
+derive from event timestamps only. Wall-clock concerns (pacing, lag
+measurement) live in the source and monitor layers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.collector.events import BGPEvent
+from repro.collector.stream import fingerprint_events
+from repro.pipeline.runtime import Batch, Stage
+from repro.stemming.counter import SubsequenceCounter
+from repro.stemming.encode import format_stem
+from repro.stemming.stemmer import Stemmer, StemmingResult
+from repro.tamp.incremental import IncrementalTamp
+
+
+@dataclass
+class WindowReport:
+    """Ranked incidents for one closed window.
+
+    ``fingerprint`` is :func:`fingerprint_events` over the window's
+    events — the bit-identity witness the resume test compares.
+    ``result`` carries the full :class:`StemmingResult` for in-process
+    consumers (the monitor's incident tracker); :meth:`to_dict` is the
+    persisted form.
+    """
+
+    index: int
+    start: float
+    end: float
+    event_count: int
+    fingerprint: str
+    result: StemmingResult
+    #: Filled in downstream by :class:`TampAnnotator`.
+    tamp: Optional[dict[str, int]] = None
+
+    def ranked_stems(self) -> list[dict[str, object]]:
+        return [
+            {
+                "rank": component.rank,
+                "stem": format_stem(component.stem),
+                "strength": component.strength,
+                "events": component.event_count,
+                "prefixes": len(component.prefixes),
+            }
+            for component in self.result.components
+        ]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "event_count": self.event_count,
+            "fingerprint": self.fingerprint,
+            "coverage": round(self.result.coverage(), 6),
+            "components": self.ranked_stems(),
+            "tamp": self.tamp,
+        }
+
+
+@dataclass
+class WindowState:
+    """The checkpointable core of a :class:`WindowedStemmer`."""
+
+    boundary: Optional[float]
+    window_index: int
+    buffer: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "boundary": self.boundary,
+            "window_index": self.window_index,
+            "buffer": self.buffer,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WindowState":
+        boundary = data.get("boundary")
+        return cls(
+            boundary=None if boundary is None else float(boundary),
+            window_index=int(data.get("window_index", 0)),
+            buffer=list(data.get("buffer", [])),
+        )
+
+
+class WindowedStemmer(Stage):
+    """Sliding-window Stemming over a batched event stream.
+
+    The first event anchors the window ladder: the first boundary is
+    ``first_timestamp + window`` and every later boundary is a
+    ``slide`` multiple beyond it, so window positions — and therefore
+    every downstream fingerprint — depend only on the stream, never on
+    when the monitor started. Quiet gaps fast-forward the boundary
+    without emitting empty reports.
+    """
+
+    name = "window"
+
+    def __init__(
+        self,
+        window: float,
+        slide: Optional[float] = None,
+        *,
+        min_strength: int = 2,
+        max_components: int = 16,
+        workers: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        slide = window if slide is None else slide
+        if not 0 < slide <= window:
+            raise ValueError(
+                f"slide must be in (0, window], got {slide}"
+            )
+        self.window = window
+        self.slide = slide
+        self.stemmer = Stemmer(
+            min_strength=min_strength,
+            max_components=max_components,
+            workers=workers,
+        )
+        self.counter = SubsequenceCounter()
+        self._buffer: deque[BGPEvent] = deque()
+        self._boundary: Optional[float] = None
+        self._window_index = 0
+
+    # -- Stage interface ------------------------------------------------
+
+    def process(self, item: object) -> Optional[Iterable[object]]:
+        if not isinstance(item, Batch):
+            raise TypeError(
+                f"{self.name} stage expects Batch, got {type(item)!r}"
+            )
+        out: list[object] = []
+        pending: list[BGPEvent] = []
+        pending_offset = item.start_offset
+        for event in item.events:
+            if self._boundary is None:
+                self._boundary = event.timestamp + self.window
+            while (
+                self._boundary is not None
+                and event.timestamp >= self._boundary
+            ):
+                pending_offset = self._emit_pending(
+                    out, pending, pending_offset
+                )
+                self._close_window(out)
+            if self._boundary is None:
+                # Quiet gap drained the buffer: re-anchor the window
+                # ladder on the event that ends the gap.
+                self._boundary = event.timestamp + self.window
+            self._buffer.append(event)
+            self.counter.add_sequence(event.sequence)
+            pending.append(event)
+        self._emit_pending(out, pending, pending_offset)
+        return out
+
+    def flush(self) -> Optional[Iterable[object]]:
+        """Close the final partial window at end-of-stream."""
+        out: list[object] = []
+        if self._buffer:
+            self._close_window(out, partial=True)
+        return out
+
+    # -- Checkpointing --------------------------------------------------
+
+    def export_state(self) -> WindowState:
+        return WindowState(
+            boundary=self._boundary,
+            window_index=self._window_index,
+            buffer=[event.to_json() for event in self._buffer],
+        )
+
+    def restore_state(self, state: WindowState) -> None:
+        if self._buffer or self._window_index:
+            raise ValueError(
+                "cannot restore state onto a used window stage"
+            )
+        self._boundary = state.boundary
+        self._window_index = state.window_index
+        for line in state.buffer:
+            event = BGPEvent.from_json(line)
+            self._buffer.append(event)
+            self.counter.add_sequence(event.sequence)
+
+    # -- Introspection (read by the monitor for gauges) -----------------
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def window_index(self) -> int:
+        return self._window_index
+
+    def top_strength(self) -> int:
+        """Strongest live correlation in the buffered events."""
+        top = self.counter.top()
+        return top[1] if top else 0
+
+    # -- Internals ------------------------------------------------------
+
+    def _emit_pending(
+        self,
+        out: list[object],
+        pending: list[BGPEvent],
+        pending_offset: int,
+    ) -> int:
+        """Pass buffered-through events downstream; returns new offset."""
+        if pending:
+            out.append(
+                Batch(
+                    tuple(pending),
+                    pending_offset,
+                    pending_offset + len(pending),
+                )
+            )
+            pending_offset += len(pending)
+            pending.clear()
+        return pending_offset
+
+    def _close_window(
+        self, out: list[object], partial: bool = False
+    ) -> None:
+        assert self._boundary is not None
+        window_events = list(self._buffer)
+        if window_events:
+            result = self.stemmer.decompose(window_events)
+            out.append(
+                WindowReport(
+                    index=self._window_index,
+                    start=self._boundary - self.window,
+                    end=self._boundary,
+                    event_count=len(window_events),
+                    fingerprint=fingerprint_events(window_events),
+                    result=result,
+                )
+            )
+            self._window_index += 1
+        if partial:
+            self._buffer.clear()
+            self.counter = SubsequenceCounter()
+            return
+        self._boundary += self.slide
+        self._evict()
+        if not self._buffer:
+            # Quiet gap: jump straight past the empty windows (the
+            # arithmetic, not a loop — gaps can span days).
+            self._boundary = None
+
+    def _evict(self) -> None:
+        assert self._boundary is not None
+        horizon = self._boundary - self.window
+        removals: TallyCounter = TallyCounter()
+        while self._buffer and self._buffer[0].timestamp < horizon:
+            removals[self._buffer.popleft().sequence] += 1
+        if removals:
+            self.counter.subtract_sequences(removals.items())
+
+
+class TampAnnotator(Stage):
+    """Keeps a live TAMP graph current and annotates window reports.
+
+    Batches are consumed (applied to the graph, nothing re-emitted);
+    reports pass through annotated with the graph state *at that
+    window's boundary* — valid because :class:`WindowedStemmer` emits
+    events-before-report.
+    """
+
+    name = "tamp"
+
+    def __init__(self, tamp: Optional[IncrementalTamp] = None) -> None:
+        super().__init__()
+        self.tamp = tamp if tamp is not None else IncrementalTamp()
+
+    def process(self, item: object) -> Optional[Iterable[object]]:
+        if isinstance(item, Batch):
+            self.tamp.apply_all(item.events)
+            return None
+        if isinstance(item, WindowReport):
+            adds, removes = self.tamp.consume_changes()
+            item.tamp = {
+                "routes": self.tamp.route_count(),
+                "nodes": len(self.tamp.graph.nodes()),
+                "edges": self.tamp.graph.edge_count(),
+                "prefixes": self.tamp.graph.total_prefixes(),
+                "pulse_adds": sum(adds.values()),
+                "pulse_removes": sum(removes.values()),
+            }
+            return (item,)
+        raise TypeError(
+            f"{self.name} stage expects Batch or WindowReport,"
+            f" got {type(item)!r}"
+        )
+
+    # -- Checkpointing --------------------------------------------------
+
+    def export_state(self) -> dict[str, object]:
+        return {
+            "routes": self.tamp.export_route_events(),
+            "pulses": self.tamp.export_pulses(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.tamp.import_route_events(state.get("routes", []))
+        self.tamp.import_pulses(dict(state.get("pulses", {})))

@@ -63,6 +63,10 @@ class IncidentTracker:
 
     resolve_after: float = 600.0
     min_strength: int = 3
+    #: Bound on retained RESOLVED incidents (None = keep forever). A
+    #: long-running monitor folds reports indefinitely; without a
+    #: bound the resolved tail grows without limit.
+    max_resolved: Optional[int] = None
     _incidents: dict[tuple[object, object], TrackedIncident] = field(
         default_factory=dict
     )
@@ -124,7 +128,44 @@ class IncidentTracker:
             ):
                 incident.state = IncidentState.RESOLVED
                 changed.append(incident)
+        self.evict_resolved()
         return changed
+
+    def evict_resolved(
+        self, max_resolved: Optional[int] = None
+    ) -> list[TrackedIncident]:
+        """Drop the oldest RESOLVED incidents beyond the retention cap.
+
+        Eviction order is deterministic regardless of dict insertion
+        history: oldest ``last_seen`` first, ties broken by the
+        formatted stem (a total order — two incidents never share a
+        location key). Evicting an incident only forgets its
+        *lifecycle*; if the location acts up again it re-enters as NEW,
+        exactly as if the tracker were fresh. Returns the evicted
+        incidents, oldest first.
+        """
+        cap = self.max_resolved if max_resolved is None else max_resolved
+        if cap is None:
+            return []
+        resolved = [
+            (location, incident)
+            for location, incident in self._incidents.items()
+            if incident.state is IncidentState.RESOLVED
+        ]
+        excess = len(resolved) - cap
+        if excess <= 0:
+            return []
+        resolved.sort(
+            key=lambda item: (
+                item[1].last_seen,
+                format_stem(item[1].component.stem),
+            )
+        )
+        evicted = []
+        for location, incident in resolved[:excess]:
+            del self._incidents[location]
+            evicted.append(incident)
+        return evicted
 
     def active(self) -> list[TrackedIncident]:
         """Incidents not yet resolved, strongest first."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional
 
 from repro.bgp.rib import Route
-from repro.collector.events import BGPEvent, Token
+from repro.collector.events import BGPEvent, EventKind, Token
 from repro.net.attributes import PathAttributes
 from repro.net.prefix import Prefix, format_address
 from repro.tamp.graph import TampGraph
@@ -102,6 +102,83 @@ class IncrementalTamp:
         self, peer: int, prefix: Prefix
     ) -> Optional[PathAttributes]:
         return self._routes.get((peer, prefix))
+
+    # ------------------------------------------------------------------
+    # Checkpointing (used by repro.pipeline)
+    # ------------------------------------------------------------------
+
+    def export_route_events(self) -> list[str]:
+        """Serialize the route table as announce-event JSON lines.
+
+        The graph, refcounts and memo caches are all derivable from the
+        route table, so the table *is* the checkpointable state. Routes
+        are encoded as zero-timestamp announce events — the one
+        round-trippable wire format the project already has — sorted by
+        (peer, prefix) so identical tables always serialize identically.
+        """
+        lines: list[str] = []
+        for (peer, prefix), attrs in sorted(
+            self._routes.items(),
+            key=lambda item: (item[0][0], str(item[0][1])),
+        ):
+            event = BGPEvent(0.0, EventKind.ANNOUNCE, peer, prefix, attrs)
+            lines.append(event.to_json())
+        return lines
+
+    def import_route_events(self, lines: Iterable[str]) -> None:
+        """Rebuild the route table from :meth:`export_route_events`.
+
+        Only valid on a fresh maintainer: restoring on top of existing
+        routes would merge two route tables into a graph neither
+        describes.
+        """
+        if self._routes:
+            raise ValueError(
+                "cannot import route events into a non-empty maintainer"
+            )
+        for line in lines:
+            event = BGPEvent.from_json(line)
+            self._install(event.peer, event.prefix, event.attributes)
+        self.consume_changes()  # restored baseline is not "change"
+
+    def export_pulses(self) -> dict[str, list]:
+        """Serialize the unconsumed pulse counts.
+
+        A checkpoint can land mid-pulse-period (between two window
+        reports); without these the first post-resume report would
+        undercount edge activity. Only valid without prefix leaves,
+        where edge tokens are (str, str|int) pairs and survive a JSON
+        round trip unchanged.
+        """
+        if self.include_prefix_leaves:
+            raise ValueError(
+                "pulse export requires include_prefix_leaves=False"
+            )
+
+        def encode(pulses: dict[tuple[Token, Token], int]) -> list:
+            return [
+                [list(edge[0]), list(edge[1]), count]
+                for edge, count in sorted(
+                    pulses.items(), key=lambda item: repr(item[0])
+                )
+            ]
+
+        return {
+            "adds": encode(self._adds),
+            "removes": encode(self._removes),
+        }
+
+    def import_pulses(self, data: dict[str, list]) -> None:
+        """Restore pulse counts from :meth:`export_pulses`."""
+
+        def decode(items: list) -> dict[tuple[Token, Token], int]:
+            return {
+                (tuple(head), tuple(tail)): int(count)
+                for head, tail, count in items
+            }
+
+        self._adds = decode(data.get("adds", []))
+        self._removes = decode(data.get("removes", []))
 
     # ------------------------------------------------------------------
     # Internals

@@ -34,10 +34,13 @@ from repro.testkit.corpus import (
     corpus_manifest,
     generate_corpus,
 )
+from repro.testkit.crash import CrashPlan, InjectedCrash
 
 __all__ = [
     "FAULTS",
+    "CrashPlan",
     "Fault",
+    "InjectedCrash",
     "apply_plan_to_bytes",
     "apply_plan_to_stream",
     "corrupt_file",

@@ -1,0 +1,51 @@
+"""Deterministic crash injection for the streaming pipeline.
+
+The chaos suite's job is to prove the monitor's resume contract: kill
+it at an inconvenient moment, restart from the last checkpoint, and
+demand output bit-identical to an uninterrupted run. Real kills are
+not reproducible; :class:`CrashPlan` is — it fires after an exact
+number of processed events, at the most hostile point the monitor
+offers (work pumped, outputs not yet persisted or checkpointed).
+
+:class:`InjectedCrash` deliberately subclasses :class:`BaseException`,
+not :class:`Exception`: it models SIGKILL, and a pipeline that catches
+it with a broad ``except Exception`` handler and carries on is exactly
+the bug this kit exists to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class InjectedCrash(BaseException):
+    """A simulated hard kill raised mid-run by a :class:`CrashPlan`."""
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Crash once, after exactly *after_events* processed events.
+
+    The count is of events processed *by the current run* — on a
+    resumed run the clock starts again at zero, so a test can schedule
+    a second crash into the recovery if it wants to.
+    """
+
+    after_events: int
+
+    def __post_init__(self) -> None:
+        if self.after_events < 1:
+            raise ValueError(
+                f"after_events must be >= 1, got {self.after_events}"
+            )
+
+    def due(self, events_processed: int) -> bool:
+        return events_processed >= self.after_events
+
+    def fire(self, events_processed: int) -> None:
+        """Raise :class:`InjectedCrash` if the plan is due."""
+        if self.due(events_processed):
+            raise InjectedCrash(
+                f"injected crash after {events_processed} events"
+                f" (planned at {self.after_events})"
+            )

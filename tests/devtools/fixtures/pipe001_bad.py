@@ -1,0 +1,26 @@
+"""PIPE001 violations: stages leaning on module-global mutable state."""
+
+from collections import deque
+
+from repro.pipeline.runtime import FunctionStage, Stage
+
+_SEEN = set()
+_CACHE: dict = {}
+_RECENT = deque(maxlen=100)
+
+
+class DedupStage(Stage):
+    def process(self, item):
+        global _CACHE
+        if item in _SEEN:
+            return None
+        _SEEN.add(item)
+        return (item,)
+
+
+def count_stage(item):
+    _RECENT.append(item)
+    return (item,)
+
+
+stage = FunctionStage(count_stage)

@@ -115,6 +115,35 @@ class TestPool002:
         assert analyze_fixture("pool002_suppressed.py") == []
 
 
+class TestPipe001:
+    def test_bad_flags_global_decl_and_mutable_refs(self):
+        findings = analyze_fixture("pipe001_bad.py")
+        assert rule_ids(findings) == ["PIPE001"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "global _CACHE" in messages
+        assert "'_SEEN'" in messages
+        assert "'_RECENT'" in messages
+        assert "stage class DedupStage" in messages
+        assert "stage function count_stage" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("pipe001_ok.py") == []
+
+    def test_suppressions(self):
+        assert analyze_fixture("pipe001_suppressed.py") == []
+
+    def test_the_real_pipeline_stages_are_clean(self):
+        import repro.pipeline.runtime
+        import repro.pipeline.windows
+
+        for mod in (repro.pipeline.runtime, repro.pipeline.windows):
+            source = Path(mod.__file__).read_text()
+            findings = analyze_source(
+                source, path=mod.__file__, module=mod.__name__
+            )
+            assert findings == [], mod.__name__
+
+
 class TestMut001:
     def test_bad_flags_every_mutable_default(self):
         findings = analyze_fixture("mut001_bad.py")

@@ -1,0 +1,28 @@
+"""Shared fixtures for the streaming-monitor tests.
+
+Monitor runs here are deliberately small (a few hundred routes, a few
+thousand events) — the determinism properties under test do not depend
+on scale, and the sustained-throughput story lives in
+``benchmarks/test_pipeline.py``.
+"""
+
+import pytest
+
+from repro.pipeline import MonitorConfig, SyntheticSource
+
+
+def small_source() -> SyntheticSource:
+    """A fresh deterministic feed; call again for an identical one."""
+    return SyntheticSource(1600, 600.0, seed=7, n_routes=400)
+
+
+@pytest.fixture
+def sliding_config() -> MonitorConfig:
+    return MonitorConfig(
+        window=120.0, slide=60.0, batch_size=64, checkpoint_every=1
+    )
+
+
+@pytest.fixture
+def tumbling_config() -> MonitorConfig:
+    return MonitorConfig(window=150.0, batch_size=64, checkpoint_every=3)

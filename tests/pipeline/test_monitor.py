@@ -1,0 +1,209 @@
+"""End-to-end monitor tests, including the resume acceptance criterion.
+
+The headline contract: ``repro monitor --resume`` from a mid-stream
+checkpoint produces an incident list *bit-identical* — same window
+fingerprints, same ranked stems, same TAMP annotations — to an
+uninterrupted run over the same archive.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline import (
+    CheckpointError,
+    CheckpointStore,
+    MetricsRegistry,
+    MonitorConfig,
+    run_monitor,
+)
+from repro.testkit import CrashPlan, InjectedCrash
+from tests.pipeline.conftest import small_source
+
+
+def crash_and_resume(config, checkpoint_dir, after_events):
+    """Kill a monitor mid-run, then resume it; returns the final log."""
+    with pytest.raises(InjectedCrash):
+        run_monitor(
+            small_source(),
+            config,
+            checkpoint_dir=checkpoint_dir,
+            crash_plan=CrashPlan(after_events=after_events),
+        )
+    result = run_monitor(
+        small_source(), config, checkpoint_dir=checkpoint_dir,
+        resume=True,
+    )
+    return result, CheckpointStore(checkpoint_dir).read_reports()
+
+
+class TestUninterrupted:
+    def test_monitor_processes_the_whole_source(self, sliding_config):
+        result = run_monitor(small_source(), sliding_config)
+        assert result.stopped == "end"
+        assert result.events == 1600
+        assert result.offset == 1600
+        assert len(result.reports) == 10
+        assert result.stats["window"]["admitted"] > 0
+
+    def test_reports_land_in_the_incident_log(
+        self, sliding_config, tmp_path
+    ):
+        result = run_monitor(
+            small_source(), sliding_config, checkpoint_dir=tmp_path
+        )
+        store = CheckpointStore(tmp_path)
+        assert store.read_reports() == result.report_dicts
+        assert result.checkpoints_written >= 1
+        assert store.latest().offset == 1600
+
+
+class TestResumeAcceptance:
+    def test_resume_is_bit_identical_sliding(
+        self, sliding_config, tmp_path
+    ):
+        baseline = run_monitor(small_source(), sliding_config)
+        base = baseline.report_dicts
+
+        _, resumed = crash_and_resume(
+            sliding_config, tmp_path, after_events=800
+        )
+
+        assert resumed == base  # full bit-identity, tamp included
+        assert [r["fingerprint"] for r in resumed] == [
+            r["fingerprint"] for r in base
+        ]
+        assert [r["components"] for r in resumed] == [
+            r["components"] for r in base
+        ]
+
+    def test_resume_before_first_checkpoint_replays_fresh(
+        self, tumbling_config, tmp_path
+    ):
+        # checkpoint_every=3 with an early crash: no checkpoint exists
+        # yet, so resume must fall back to a clean fresh start.
+        baseline = run_monitor(small_source(), tumbling_config)
+        _, resumed = crash_and_resume(
+            tumbling_config, tmp_path, after_events=192
+        )
+        assert resumed == baseline.report_dicts
+
+    def test_max_events_stop_is_resumable(self, sliding_config, tmp_path):
+        baseline = run_monitor(small_source(), sliding_config)
+        partial = run_monitor(
+            small_source(),
+            dataclasses.replace(sliding_config, max_events=640),
+            checkpoint_dir=tmp_path,
+        )
+        assert partial.stopped == "max_events"
+        assert partial.offset == 640
+        result = run_monitor(
+            small_source(), sliding_config, checkpoint_dir=tmp_path,
+            resume=True,
+        )
+        assert result.stopped == "end"
+        log = CheckpointStore(tmp_path).read_reports()
+        assert log == baseline.report_dicts
+
+    def test_operational_knobs_do_not_affect_bit_identity(
+        self, sliding_config, tmp_path
+    ):
+        # Resuming with a different checkpoint cadence is legal — only
+        # output-shaping config is pinned by the checkpoint.
+        baseline = run_monitor(small_source(), sliding_config)
+        with pytest.raises(InjectedCrash):
+            run_monitor(
+                small_source(), sliding_config, checkpoint_dir=tmp_path,
+                crash_plan=CrashPlan(after_events=800),
+            )
+        retuned = dataclasses.replace(
+            sliding_config, checkpoint_every=5, pace=0.0
+        )
+        run_monitor(
+            small_source(), retuned, checkpoint_dir=tmp_path, resume=True
+        )
+        log = CheckpointStore(tmp_path).read_reports()
+        assert log == baseline.report_dicts
+
+
+class TestResumeRefusals:
+    def test_resume_needs_a_checkpoint_dir(self, sliding_config):
+        with pytest.raises(CheckpointError, match="checkpoint directory"):
+            run_monitor(small_source(), sliding_config, resume=True)
+
+    def test_config_mismatch_refused(self, sliding_config, tmp_path):
+        with pytest.raises(InjectedCrash):
+            run_monitor(
+                small_source(), sliding_config, checkpoint_dir=tmp_path,
+                crash_plan=CrashPlan(after_events=800),
+            )
+        other = dataclasses.replace(sliding_config, window=200.0)
+        with pytest.raises(CheckpointError, match="config mismatch"):
+            run_monitor(
+                small_source(), other, checkpoint_dir=tmp_path,
+                resume=True,
+            )
+
+    def test_source_mismatch_refused(self, sliding_config, tmp_path):
+        with pytest.raises(InjectedCrash):
+            run_monitor(
+                small_source(), sliding_config, checkpoint_dir=tmp_path,
+                crash_plan=CrashPlan(after_events=800),
+            )
+        from repro.pipeline import SyntheticSource
+
+        other = SyntheticSource(1600, 600.0, seed=8, n_routes=400)
+        with pytest.raises(CheckpointError, match="source mismatch"):
+            run_monitor(
+                other, sliding_config, checkpoint_dir=tmp_path,
+                resume=True,
+            )
+
+
+class TestInstrumentation:
+    def test_metrics_reflect_the_run(self, sliding_config):
+        registry = MetricsRegistry()
+        result = run_monitor(
+            small_source(), sliding_config, registry=registry
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["repro_pipeline_events_total"] == result.events
+        assert snapshot["repro_pipeline_windows_total"] == len(
+            result.reports
+        )
+        assert snapshot["repro_pipeline_incidents_total"] == sum(
+            len(r.result.components) for r in result.reports
+        )
+        lag = snapshot["repro_pipeline_window_lag_seconds"]
+        assert lag["count"] == len(result.reports)
+        assert lag["p99"] >= 0.0
+        assert snapshot["repro_pipeline_events_per_second"] > 0
+
+    def test_tracker_follows_the_reports(self, sliding_config):
+        result = run_monitor(small_source(), sliding_config)
+        # The synthetic feed plants correlated churn; the tracker must
+        # have folded the per-window components into incidents.
+        assert result.tracker.all_incidents()
+
+    def test_on_report_callback_sees_every_window(self, sliding_config):
+        seen = []
+        result = run_monitor(
+            small_source(), sliding_config, on_report=seen.append
+        )
+        assert seen == result.reports
+
+
+class TestBackpressureAccounting:
+    def test_drop_policy_losses_are_visible(self):
+        config = MonitorConfig(
+            window=120.0, slide=60.0, batch_size=64,
+            max_queue=1, policy="drop",
+        )
+        registry = MetricsRegistry()
+        result = run_monitor(
+            small_source(), config, registry=registry
+        )
+        dropped = sum(s["dropped"] for s in result.stats.values())
+        assert (
+            registry.snapshot()["repro_pipeline_dropped_total"] == dropped
+        )

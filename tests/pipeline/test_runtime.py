@@ -1,0 +1,168 @@
+"""Tests for the staged pipeline runtime: queues, backpressure, stats."""
+
+import pytest
+
+from repro.pipeline.runtime import (
+    Batch,
+    FunctionStage,
+    Pipeline,
+    Stage,
+    StageStats,
+    iter_batches,
+)
+from tests.stemming.test_stemmer import spike
+
+
+class Doubler(Stage):
+    """Emits every item twice — exercises fan-out accounting."""
+
+    def process(self, item):
+        return (item, item)
+
+
+class Collector(Stage):
+    """Buffers everything; surrenders the buffer at flush."""
+
+    def __init__(self):
+        super().__init__()
+        self.items = []
+
+    def process(self, item):
+        self.items.append(item)
+        return None
+
+    def flush(self):
+        out = list(self.items)
+        self.items.clear()
+        return out
+
+
+class TestBatch:
+    def test_offsets_must_span_the_events(self):
+        events = tuple(spike("100 200", 3))
+        with pytest.raises(ValueError, match="offsets span"):
+            Batch(events, 0, 5)
+
+    def test_len(self):
+        events = tuple(spike("100 200", 3))
+        assert len(Batch(events, 10, 13)) == 3
+
+
+class TestIterBatches:
+    def test_chunks_with_continuing_offsets(self):
+        events = spike("100 200", 10)
+        batches = list(iter_batches(events, batch_size=4, start_offset=6))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert [(b.start_offset, b.end_offset) for b in batches] == [
+            (6, 10), (10, 14), (14, 16),
+        ]
+        assert [e for b in batches for e in b.events] == events
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(iter_batches([], batch_size=0))
+
+
+class TestConstruction:
+    def test_needs_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            Pipeline([])
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            Pipeline([Doubler()], policy="spill")
+
+    def test_rejects_bad_queue_bound(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            Pipeline([Doubler()], max_queue=0)
+
+    def test_rejects_duplicate_stage_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            Pipeline([Doubler(), Doubler()])
+
+    def test_function_stage_takes_the_callable_name(self):
+        def halve(item):
+            return (item // 2,)
+
+        assert FunctionStage(halve).name == "halve"
+        assert FunctionStage(halve, name="h").name == "h"
+
+
+class TestBackpressure:
+    def test_block_policy_refuses_when_full(self):
+        pipe = Pipeline([Collector()], max_queue=2)
+        assert pipe.offer(1)
+        assert pipe.offer(2)
+        assert not pipe.offer(3)  # full: caller must pump and retry
+        assert pipe.stats()["Collector"]["dropped"] == 0
+
+    def test_drop_policy_discards_the_newest_and_accounts(self):
+        pipe = Pipeline([Collector()], max_queue=2, policy="drop")
+        assert pipe.offer(1)
+        assert pipe.offer(2)
+        assert pipe.offer(3)  # accepted-as-dropped
+        assert pipe.stats()["Collector"]["dropped"] == 1
+        pipe.pump()
+        assert pipe.stages[0].items == [1, 2]
+
+    def test_feed_pumps_through_a_full_queue(self):
+        pipe = Pipeline([FunctionStage(lambda i: (i,), name="id")],
+                        max_queue=1)
+        for i in range(5):
+            pipe.feed(i)
+        assert pipe.take() == list(range(5))
+        assert pipe.stats()["id"]["dropped"] == 0
+
+
+class TestPumping:
+    def test_downstream_first_drains_before_admitting_more(self):
+        pipe = Pipeline([Doubler(), Collector()], max_queue=4)
+        pipe.feed("a")
+        pipe.feed("b")
+        pipe.pump()
+        assert pipe.stages[1].items == ["a", "a", "b", "b"]
+        assert pipe.depths() == {"Doubler": 0, "Collector": 0}
+
+    def test_pump_once_reports_quiescence(self):
+        pipe = Pipeline([Doubler()])
+        assert not pipe.pump_once()
+        pipe.offer(1)
+        assert pipe.pump_once()
+
+    def test_flush_routes_buffered_state_downstream(self):
+        pipe = Pipeline([Collector(), Doubler()])
+        pipe.feed(1)
+        pipe.feed(2)
+        assert pipe.take() == []  # Collector is hoarding
+        pipe.flush()
+        assert pipe.take() == [1, 1, 2, 2]
+
+    def test_take_drains_outputs(self):
+        pipe = Pipeline([Doubler()])
+        pipe.feed(9)
+        assert pipe.take() == [9, 9]
+        assert pipe.take() == []
+
+
+class TestStats:
+    def test_admitted_emitted_and_peak_depth(self):
+        pipe = Pipeline([Doubler(), Collector()], max_queue=8)
+        for i in range(3):
+            pipe.feed(i)
+        stats = pipe.stats()
+        assert stats["Doubler"]["admitted"] == 3
+        assert stats["Doubler"]["emitted"] == 6
+        assert stats["Collector"]["admitted"] == 6
+        assert stats["Collector"]["peak_depth"] >= 1
+
+    def test_stats_round_trip_through_restore(self):
+        pipe = Pipeline([Doubler()])
+        pipe.feed(1)
+        saved = pipe.stats()
+        fresh = Pipeline([Doubler()])
+        fresh.restore_stats(saved)
+        assert fresh.stats() == saved
+
+    def test_stage_stats_dict_round_trip(self):
+        stats = StageStats(admitted=4, emitted=8, dropped=1, peak_depth=3)
+        assert StageStats.from_dict(stats.to_dict()) == stats

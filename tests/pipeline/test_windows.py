@@ -1,0 +1,271 @@
+"""Tests for the windowed Stemming stage and the TAMP annotator."""
+
+import pytest
+
+from repro.collector.stream import fingerprint_events
+from repro.pipeline.runtime import Batch, Pipeline, iter_batches
+from repro.pipeline.windows import (
+    TampAnnotator,
+    WindowedStemmer,
+    WindowReport,
+    WindowState,
+)
+from repro.stemming.stemmer import Stemmer
+from tests.stemming.test_stemmer import mk_event, spike
+
+
+def run_stage(stage, events, batch_size=16):
+    """Feed *events* through *stage* alone; returns the WindowReports."""
+    out = []
+    for batch in iter_batches(events, batch_size=batch_size):
+        out.extend(stage.process(batch) or [])
+    out.extend(stage.flush() or [])
+    return [item for item in out if isinstance(item, WindowReport)]
+
+
+def ramp(count, spacing=10.0, start=0.0):
+    """Events evenly spaced in time, one prefix each."""
+    return [
+        mk_event(
+            start + i * spacing, "1.1.1.1", "2.2.2.2",
+            f"100 200 {300 + i}", f"10.{i >> 8}.{i & 0xFF}.0/24",
+        )
+        for i in range(count)
+    ]
+
+
+def announces(count):
+    """Announcements (not withdrawals) — these mutate the TAMP graph."""
+    from repro.collector.events import EventKind
+
+    return [
+        mk_event(
+            float(i), "1.1.1.1", "2.2.2.2",
+            f"100 200 {300 + i}", f"10.0.{i}.0/24",
+            EventKind.ANNOUNCE,
+        )
+        for i in range(count)
+    ]
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowedStemmer(0)
+
+    def test_slide_bounded_by_window(self):
+        with pytest.raises(ValueError, match="slide"):
+            WindowedStemmer(100.0, 200.0)
+        with pytest.raises(ValueError, match="slide"):
+            WindowedStemmer(100.0, 0.0)
+
+    def test_non_batch_input_rejected(self):
+        with pytest.raises(TypeError, match="expects Batch"):
+            WindowedStemmer(100.0).process("nope")
+
+
+class TestTumbling:
+    def test_windows_anchor_on_the_first_timestamp(self):
+        events = ramp(30, spacing=10.0, start=55.0)
+        stage = WindowedStemmer(100.0)
+        reports = run_stage(stage, events)
+        assert [r.start for r in reports] == [55.0, 155.0, 255.0]
+        assert [r.end for r in reports] == [155.0, 255.0, 355.0]
+        assert [r.index for r in reports] == [0, 1, 2]
+
+    def test_fingerprints_match_the_window_slices(self):
+        events = ramp(30, spacing=10.0)
+        reports = run_stage(WindowedStemmer(100.0), events)
+        assert len(reports) == 3
+        for i, report in enumerate(reports):
+            expected = [
+                e for e in events
+                if report.start <= e.timestamp < report.end
+            ]
+            assert report.event_count == len(expected)
+            assert report.fingerprint == fingerprint_events(expected)
+
+    def test_event_counts_cover_the_stream_exactly_once(self):
+        events = ramp(30, spacing=10.0)
+        reports = run_stage(WindowedStemmer(100.0), events)
+        assert sum(r.event_count for r in reports) == len(events)
+
+
+class TestSliding:
+    def test_overlapping_windows_advance_by_slide(self):
+        events = ramp(30, spacing=10.0)
+        reports = run_stage(WindowedStemmer(100.0, 50.0), events)
+        starts = [r.start for r in reports]
+        assert starts == sorted(starts)
+        assert all(
+            b - a == pytest.approx(50.0)
+            for a, b in zip(starts, starts[1:])
+        )
+        # Each full window holds window/spacing = 10 events.
+        assert reports[1].event_count == 10
+
+    def test_eviction_bounds_the_buffer(self):
+        stage = WindowedStemmer(100.0, 50.0)
+        run_stage(stage, ramp(200, spacing=10.0))
+        # After the final flush the buffer is surrendered entirely;
+        # mid-run it never exceeds one window of events.
+        stage2 = WindowedStemmer(100.0, 50.0)
+        for batch in iter_batches(ramp(200, spacing=10.0), batch_size=16):
+            stage2.process(batch)
+            assert stage2.buffered <= 100.0 / 10.0 + 16
+
+    def test_detects_the_planted_spike(self):
+        quiet = [
+            mk_event(
+                i * 5.0, "9.9.9.9", "8.8.8.8",
+                f"900 800 {700 + i}", f"172.16.{i}.0/24",
+            )
+            for i in range(10)
+        ]
+        burst = spike("100 200 300", 30, start_prefix=0)
+        events = sorted(quiet + burst, key=lambda e: e.timestamp)
+        reports = run_stage(WindowedStemmer(60.0), events)
+        top = [
+            s for r in reports for s in r.ranked_stems()
+            if s["stem"] == "AS200--AS300"
+        ]
+        assert top and max(s["strength"] for s in top) >= 30
+
+
+class TestGaps:
+    def test_quiet_gap_emits_no_empty_windows(self):
+        early = ramp(10, spacing=10.0, start=0.0)
+        late = ramp(10, spacing=10.0, start=100000.0)
+        reports = run_stage(WindowedStemmer(100.0), early + late)
+        assert all(r.event_count > 0 for r in reports)
+        # The ladder re-anchors on the event ending the gap.
+        assert reports[-1].start == 100000.0
+
+
+class TestOrderingContract:
+    def test_events_reach_downstream_before_their_window_report(self):
+        events = ramp(30, spacing=10.0)
+        stage = WindowedStemmer(100.0)
+        seen_events = 0
+        for batch in iter_batches(events, batch_size=16):
+            for item in stage.process(batch) or []:
+                if isinstance(item, Batch):
+                    seen_events += len(item)
+                else:
+                    # Every event at or before this boundary has
+                    # already been passed through.
+                    expected = sum(
+                        1 for e in events if e.timestamp < item.end
+                    )
+                    assert seen_events >= expected
+
+    def test_pass_through_batches_preserve_offsets(self):
+        events = ramp(20, spacing=10.0)
+        stage = WindowedStemmer(1000.0)
+        batches = []
+        for batch in iter_batches(events, batch_size=8):
+            batches.extend(
+                item for item in stage.process(batch) or []
+                if isinstance(item, Batch)
+            )
+        assert [b.start_offset for b in batches] == [0, 8, 16]
+        assert [e for b in batches for e in b.events] == events
+
+
+class TestCheckpointing:
+    def test_state_round_trip_resumes_bit_identically(self):
+        events = ramp(60, spacing=10.0) + spike(
+            "100 200 300", 40, start_prefix=100
+        )
+        events.sort(key=lambda e: e.timestamp)
+        baseline = run_stage(WindowedStemmer(100.0, 50.0), events)
+
+        stage = WindowedStemmer(100.0, 50.0)
+        reports = []
+        split = 40
+        for batch in iter_batches(events[:split], batch_size=16):
+            reports.extend(
+                item for item in stage.process(batch) or []
+                if isinstance(item, WindowReport)
+            )
+        state = stage.export_state()
+
+        resumed = WindowedStemmer(100.0, 50.0)
+        resumed.restore_state(WindowState.from_dict(state.to_dict()))
+        assert resumed.buffered == stage.buffered
+        for batch in iter_batches(
+            events[split:], batch_size=16, start_offset=split
+        ):
+            reports.extend(
+                item for item in resumed.process(batch) or []
+                if isinstance(item, WindowReport)
+            )
+        reports.extend(
+            item for item in resumed.flush() or []
+            if isinstance(item, WindowReport)
+        )
+        assert [r.to_dict() for r in reports] == [
+            r.to_dict() for r in baseline
+        ]
+
+    def test_restore_refuses_a_used_stage(self):
+        stage = WindowedStemmer(100.0)
+        stage.process(Batch(tuple(ramp(5)), 0, 5))
+        with pytest.raises(ValueError, match="used window stage"):
+            stage.restore_state(WindowState(None, 0, []))
+
+
+class TestTampAnnotator:
+    def test_batches_are_consumed_and_reports_annotated(self):
+        events = announces(20)
+        stage = TampAnnotator()
+        assert stage.process(Batch(tuple(events), 0, 20)) is None
+        report = WindowReport(
+            index=0, start=0.0, end=60.0, event_count=20,
+            fingerprint="x", result=Stemmer().decompose(events),
+        )
+        (annotated,) = stage.process(report)
+        assert annotated is report
+        assert report.tamp is not None
+        assert report.tamp["routes"] == 20
+        assert report.tamp["pulse_adds"] > 0
+        assert set(report.tamp) == {
+            "routes", "nodes", "edges", "prefixes",
+            "pulse_adds", "pulse_removes",
+        }
+
+    def test_other_items_rejected(self):
+        with pytest.raises(TypeError, match="Batch or WindowReport"):
+            TampAnnotator().process(42)
+
+    def test_state_round_trip_preserves_routes_and_pulses(self):
+        events = announces(20)
+        stage = TampAnnotator()
+        stage.process(Batch(tuple(events), 0, 20))
+        state = stage.export_state()
+
+        fresh = TampAnnotator()
+        fresh.restore_state(state)
+        assert fresh.tamp.route_count() == stage.tamp.route_count()
+        from copy import deepcopy
+
+        report = WindowReport(
+            index=0, start=0.0, end=60.0, event_count=0,
+            fingerprint="x", result=Stemmer().decompose([]),
+        )
+        original, resumed = deepcopy(report), deepcopy(report)
+        stage.process(original)
+        fresh.process(resumed)
+        assert original.tamp == resumed.tamp
+
+
+class TestInPipeline:
+    def test_full_two_stage_pipeline_annotates_every_report(self):
+        events = ramp(30, spacing=10.0)
+        pipe = Pipeline([WindowedStemmer(100.0), TampAnnotator()])
+        for batch in iter_batches(events, batch_size=16):
+            pipe.feed(batch)
+        pipe.flush()
+        reports = pipe.take()
+        assert len(reports) == 3
+        assert all(r.tamp is not None for r in reports)
