@@ -226,6 +226,86 @@ def test_prefix_set_representations(benchmark):
     )
 
 
+def test_object_sets_vs_interned(benchmark, berkeley_rex):
+    """Ablation 6: object-token TAMP builder vs interned ids.
+
+    The DESIGN.md §10 rewrite interns tokens/prefixes to dense ints and
+    keys edge stores by packed ids; the preserved pre-rewrite builder
+    (`repro.tamp.reference`) works on raw token tuples and
+    ``set[Prefix]`` stores. Same input, decoded-identical graphs — the
+    row quantifies what the representation alone buys. The backend
+    sub-ablation (set columns vs int bitmasks) shows why IdSet is the
+    default: builds are update-heavy (set.update mutates in place at C
+    speed) while masks only win on unions of already-built columns.
+    """
+    import random
+
+    from repro.interning import IdSet, MaskIdSet
+    from repro.net.prefix import format_address
+    from repro.tamp.picture import build_picture
+    from repro.tamp.reference import reference_picture
+
+    groups = [
+        (format_address(peer), list(berkeley_rex.rib(peer).routes()))
+        for peer in berkeley_rex.peers()
+    ]
+    n_routes = sum(len(routes) for _, routes in groups)
+
+    interned = benchmark.pedantic(
+        build_picture, args=(groups, "Berkeley"), rounds=1, iterations=1
+    )
+    interned_time = benchmark.stats.stats.mean
+    t0 = time.perf_counter()
+    reference = reference_picture(groups, "Berkeley", threshold=None)
+    object_time = time.perf_counter() - t0
+    assert {edge: set(p) for edge, p in interned.edges()} == {
+        edge: set(p) for edge, p in reference.edges()
+    }
+    speedup = object_time / max(interned_time, 1e-9)
+    if n_routes > 50_000:
+        assert interned_time < object_time
+
+    # Backend sub-ablation on synthetic columns shaped like a merge.
+    rng = random.Random(67)
+    columns = [
+        [rng.randrange(60_000) for _ in range(250)] for _ in range(400)
+    ]
+    t0 = time.perf_counter()
+    set_columns = [IdSet(ids) for ids in columns]
+    set_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    set_union = IdSet()
+    for column in set_columns:
+        set_union.update(column)
+    set_merge = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    mask_columns = [MaskIdSet(ids) for ids in columns]
+    mask_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    mask_union = MaskIdSet()
+    for column in mask_columns:
+        mask_union.union_update(column)
+    mask_merge = time.perf_counter() - t0
+    assert mask_union == set_union
+
+    record_row(
+        "ablations",
+        f"interning: object-sets={object_time:.2f}s"
+        f" interned={interned_time:.2f}s speedup={speedup:.1f}x"
+        f" ({n_routes} routes, decoded graphs identical);"
+        f" columns set build/merge={set_build * 1e3:.1f}/"
+        f"{set_merge * 1e3:.1f}ms"
+        f" mask build/merge={mask_build * 1e3:.1f}/"
+        f"{mask_merge * 1e3:.1f}ms",
+        data={
+            "ablation": "interning",
+            "routes": n_routes,
+            "measured_seconds": interned_time,
+            "object_seconds": object_time,
+        },
+    )
+
+
 def test_stemming_stopping_rules(benchmark, spike_stream):
     """Ablation 5: min-strength stopping vs fixed component count.
 

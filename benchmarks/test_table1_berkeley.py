@@ -24,12 +24,11 @@ from benchmarks.conftest import (
     stream_for,
     subset_rex,
 )
-from repro.net.prefix import format_address
 from repro.stemming.stemmer import Stemmer
 from repro.tamp.animate import animate_stream
 from repro.tamp.graph import TampGraph
+from repro.tamp.picture import picture_from_rex
 from repro.tamp.prune import prune_flat
-from repro.tamp.tree import TampTree
 
 PICTURE_ROWS = [(230_000, 1.8), (115_000, 1.6), (23_000, 0.5)]
 ANIMATION_ROWS = [
@@ -46,16 +45,7 @@ STEMMING_ROWS = [
 
 
 def build_picture(rex) -> TampGraph:
-    trees = [
-        TampTree.from_routes(
-            format_address(peer),
-            rex.rib(peer).routes(),
-            include_prefix_leaves=True,
-        )
-        for peer in rex.peers()
-    ]
-    graph = TampGraph.merge(trees, site_name="Berkeley")
-    return prune_flat(graph)
+    return prune_flat(picture_from_rex(rex, "Berkeley"))
 
 
 @pytest.mark.parametrize("n_routes,paper_seconds", PICTURE_ROWS)

@@ -92,6 +92,16 @@ class AdjRibIn:
         for prefix, attrs in self._routes.items():
             yield Route(prefix, attrs, self.peer)
 
+    def entries(self) -> Iterator[tuple[Prefix, PathAttributes]]:
+        """Yield the table as raw (prefix, attributes) pairs.
+
+        The batch TAMP builder walks entire tables once per picture;
+        at ISP scale the :class:`Route` wrappers :meth:`routes` builds
+        cost seconds of pure allocation, so bulk consumers read the
+        native items instead.
+        """
+        return iter(self._routes.items())
+
     def prefixes(self) -> Iterator[Prefix]:
         yield from self._routes
 

@@ -43,7 +43,6 @@ from repro.collector.rates import bin_events
 from repro.collector.stream import EventStream
 from repro.perf import resolve_workers
 from repro.stemming.stemmer import Stemmer
-from repro.tamp.incremental import IncrementalTamp
 from repro.tamp.prune import prune_flat
 from repro.tamp.render import render_ascii, render_svg
 
@@ -59,10 +58,41 @@ def main(argv: list[str] | None = None) -> int:
             # Validate --workers / REPRO_WORKERS up front; the hot paths
             # resolve lazily and may never run on small inputs.
             resolve_workers(args.workers)
+        if getattr(args, "profile", None) is not None:
+            return _run_profiled(args)
         return args.handler(args)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _run_profiled(args: argparse.Namespace) -> int:
+    """Run the subcommand under cProfile (the ``--profile PATH`` flag).
+
+    Binary pstats go to PATH (for ``snakeviz``/``pstats`` digging) and
+    a top-25-by-cumulative-time text summary to PATH.txt, so a perf
+    regression report needs no extra tooling to read.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = args.handler(args)
+    finally:
+        profiler.disable()
+        out: Path = args.profile
+        profiler.dump_stats(out)
+        summary = out.with_name(out.name + ".txt")
+        with summary.open("w") as sink:
+            stats = pstats.Stats(profiler, stream=sink)
+            stats.sort_stats("cumulative").print_stats(25)
+        print(
+            f"profile written to {out} (summary: {summary})",
+            file=sys.stderr,
+        )
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
              " at usable CPUs)",
     )
 
+    # Shared by the subcommands worth profiling (the TAMP/Stemming
+    # compute paths); handled centrally in main().
+    profile_opt = argparse.ArgumentParser(add_help=False)
+    profile_opt.add_argument(
+        "--profile", type=Path, default=None, metavar="PATH",
+        help="profile the run: binary cProfile stats to PATH, top-25"
+             " cumulative summary to PATH.txt",
+    )
+
     # Shared by every subcommand that loads an event file: the MRT
     # ingest strictness policy (JSONL loads ignore these).
     ingest_opt = argparse.ArgumentParser(add_help=False)
@@ -97,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     demo = sub.add_parser(
-        "demo", parents=[workers_opt],
+        "demo", parents=[workers_opt, profile_opt],
         help="simulate an incident and diagnose it",
     )
     demo.add_argument(
@@ -117,7 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(handler=cmd_demo)
 
     diag = sub.add_parser(
-        "diagnose", parents=[workers_opt, ingest_opt],
+        "diagnose", parents=[workers_opt, profile_opt, ingest_opt],
         help="diagnose a JSONL event stream",
     )
     diag.add_argument("events", type=Path)
@@ -128,7 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
     diag.set_defaults(handler=cmd_diagnose)
 
     render = sub.add_parser(
-        "render", parents=[ingest_opt], help="TAMP picture of a stream"
+        "render", parents=[workers_opt, profile_opt, ingest_opt],
+        help="TAMP picture of a stream",
     )
     render.add_argument("events", type=Path)
     render.add_argument("-o", "--output", type=Path, default=None,
@@ -381,15 +421,18 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
-def _stream_graph(stream: EventStream):
-    tamp = IncrementalTamp("stream")
-    tamp.apply_all(stream)
-    return tamp.graph
-
-
 def cmd_render(args: argparse.Namespace) -> int:
+    from repro.tamp.picture import picture_from_events
+
     stream = _load_stream(args.events, args)
-    graph = prune_flat(_stream_graph(stream), args.threshold)
+    # Batch path: replay the stream into a route table and build the
+    # final picture directly — same graph as incremental maintenance
+    # (a point-in-time render skips the intermediate mutations), and
+    # it shards across --workers on big snapshots.
+    graph = prune_flat(
+        picture_from_events(stream, "stream", workers=args.workers),
+        args.threshold,
+    )
     if args.output is None:
         print(render_ascii(graph))
     else:

@@ -16,7 +16,9 @@ Rule families map to the invariants the repo actually depends on:
 * :mod:`repro.devtools.rules.testkit` — TK001 (fault injectors must
   derive all entropy from an explicit ``seed`` argument);
 * :mod:`repro.devtools.rules.pipeline` — PIPE001 (pipeline stages
-  must not reference module-global mutable state).
+  must not reference module-global mutable state);
+* :mod:`repro.devtools.rules.interning` — INT001 (TAMP hot paths must
+  keep edge stores on packed int ids, not object sets/token tuples).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from __future__ import annotations
 from repro.devtools.rules import (
     cache,
     determinism,
+    interning,
     mutation,
     pipeline,
     pool,
@@ -33,6 +36,7 @@ from repro.devtools.rules import (
 __all__ = [
     "cache",
     "determinism",
+    "interning",
     "mutation",
     "pipeline",
     "pool",

@@ -1,0 +1,189 @@
+"""INT001: TAMP hot paths must stay on interned edge stores.
+
+The DESIGN.md §10 rewrite moved the picture build onto dense interned
+ids: edge stores are keyed by packed int edge ids
+(:func:`repro.interning.pack_edge`) and prefix membership lives in
+:class:`~repro.interning.idset.IdSet` columns / id-keyed refcount maps.
+Reintroducing object-level state in the build/merge hot path — a
+``set[Prefix]`` column, or a ``(parent, child)`` token tuple used as an
+edge-store key — type-checks, passes every equivalence test, and
+silently reverts the Table I(b) performance win, which is why it gets a
+static gate instead of a code-review note.
+
+The rule is deliberately narrow: it watches only the named hot
+functions inside :mod:`repro.tamp`, so decode-boundary queries (which
+legitimately speak tokens and ``set[Prefix]``) and every other package
+stay out of scope. :mod:`repro.tamp.reference` — the preserved
+pre-rewrite builder the equivalence suite checks against — violates it
+by design and carries per-line justifications.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.devtools.findings import Finding, Rule
+from repro.devtools.registry import Checker, ModuleContext, register
+
+#: Only modules in these packages are checked.
+_PACKAGES = ("repro.tamp",)
+
+#: The build/merge hot path, by function name. Everything else in the
+#: package (queries, rendering, layout) is decode-boundary code.
+_HOT_FUNCTIONS = frozenset(
+    {
+        "from_routes",
+        "add_route_group",
+        "merge_tree",
+        "merge_router",
+        "merge_entries",
+        "_merge_grouped",
+        "_merge_ids",
+        "_bulk_add",
+    }
+)
+
+#: Object-set constructors that must not type prefix containers here.
+_SET_TYPES = frozenset({"set", "frozenset"})
+
+#: Receiver methods that take the key as their first argument.
+_KEYED_METHODS = frozenset({"get", "setdefault", "pop"})
+
+_AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@register
+class InternedHotPath(Checker):
+    """INT001 over the TAMP hot functions of a module."""
+
+    rules = (
+        Rule(
+            "INT001",
+            "TAMP hot path uses an object-set edge store or un-interned"
+            " token keys",
+        ),
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in _HOT_FUNCTIONS
+            ):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: _AnyFunc
+    ) -> Iterator[Finding]:
+        tuple_keys: set[str] = set()
+        findings: list[Finding] = []
+        for node in ast.walk(func):
+            annotation = self._prefix_set_annotation(node)
+            if annotation is not None:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "INT001",
+                        f"{func.name}() declares an object prefix set"
+                        f" ({annotation}) on the TAMP hot path; prefix"
+                        " membership must use interned IdSet columns /"
+                        " id-keyed refcount maps (DESIGN.md §10)",
+                    )
+                )
+                continue
+            key = self._edge_store_key(node)
+            if key is None:
+                continue
+            if isinstance(key, ast.Tuple):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        key,
+                        "INT001",
+                        f"{func.name}() keys an edge store by a token"
+                        " tuple; hot-path stores must be keyed by packed"
+                        " int edge ids (repro.interning.pack_edge)",
+                    )
+                )
+            elif isinstance(key, ast.Name):
+                tuple_keys.add(key.id)
+        if tuple_keys:
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Tuple)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id in tuple_keys
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "INT001",
+                            f"{func.name}() builds the token-tuple edge"
+                            f" key '{node.targets[0].id}' for an edge"
+                            " store; hot-path stores must be keyed by"
+                            " packed int edge ids"
+                            " (repro.interning.pack_edge)",
+                        )
+                    )
+        yield from sorted(findings)
+
+    @staticmethod
+    def _prefix_set_annotation(node: ast.AST) -> Optional[str]:
+        """The offending annotation text when *node* types an object
+        prefix set (``set[Prefix]``/``frozenset[Prefix]``, possibly
+        nested inside a container annotation)."""
+        if isinstance(node, ast.AnnAssign):
+            annotation = node.annotation
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            annotation = node.annotation
+        else:
+            return None
+        for sub in ast.walk(annotation):
+            if (
+                isinstance(sub, ast.Subscript)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id in _SET_TYPES
+                and any(
+                    isinstance(inner, ast.Name) and inner.id == "Prefix"
+                    for inner in ast.walk(sub.slice)
+                )
+            ):
+                return ast.unparse(sub)
+        return None
+
+    @classmethod
+    def _edge_store_key(cls, node: ast.AST) -> Optional[ast.expr]:
+        """The key expression when *node* reads/writes an edge store.
+
+        Matches subscripts (``edges[key]``) and keyed method calls
+        (``edges.get(key, ...)``) whose receiver is rooted at a name or
+        attribute containing "edges".
+        """
+        if isinstance(node, ast.Subscript) and cls._is_edge_store(
+            node.value
+        ):
+            return node.slice
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _KEYED_METHODS
+            and node.args
+            and cls._is_edge_store(node.func.value)
+        ):
+            return node.args[0]
+        return None
+
+    @staticmethod
+    def _is_edge_store(node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute):
+            return "edges" in node.attr.lower()
+        if isinstance(node, ast.Name):
+            return "edges" in node.id.lower()
+        return False

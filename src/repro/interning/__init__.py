@@ -1,0 +1,42 @@
+"""Token and prefix interning for the TAMP hot path.
+
+The TAMP picture builder's workload is millions of dictionary and set
+operations whose keys are ``(namespace, value)`` token tuples and
+:class:`~repro.net.prefix.Prefix` objects. Hashing a tuple walks its
+elements; hashing a small int is (nearly) the int itself, and two ints
+pack into a single int edge key. Interning the four token namespaces
+(``router``, ``nh``, ``as``, ``pfx``) and the prefix universe to dense
+contiguous ids therefore turns the hot loops into plain int dict/set
+traffic — the cheapest primitives CPython has.
+
+The contract that keeps the rest of the system oblivious is
+**decode at the boundary** (DESIGN.md §10): interned ids never escape
+the builder; every public query on :class:`repro.tamp.TampGraph` and
+:class:`repro.tamp.TampTree` decodes ids back to real tokens/prefixes,
+and decoding happens on pruned (small) graphs, never per-route.
+
+Symbol tables are **per build** — created by a builder, carried by the
+graphs it produces, and garbage-collected with them. There is no
+module-global table (rules PIPE001/POOL002 stay clean by construction),
+so parallel shards each grow their own table and the parent merges them
+by offset remap at join time (:meth:`SymbolTable.remap_tokens`).
+"""
+
+from repro.interning.idset import IdSet, MaskIdSet
+from repro.interning.symbols import (
+    EDGE_MASK,
+    EDGE_SHIFT,
+    SymbolTable,
+    pack_edge,
+    unpack_edge,
+)
+
+__all__ = [
+    "EDGE_MASK",
+    "EDGE_SHIFT",
+    "IdSet",
+    "MaskIdSet",
+    "SymbolTable",
+    "pack_edge",
+    "unpack_edge",
+]

@@ -1,0 +1,167 @@
+"""Per-build symbol tables mapping tokens and prefixes to dense ints.
+
+A :class:`SymbolTable` owns two id spaces:
+
+* **token ids** — one per distinct ``(namespace, value)`` node token;
+* **prefix ids** — one per distinct :class:`~repro.net.prefix.Prefix`.
+
+Prefixes get their own space because they are what edge *weights* count:
+a ``dict[prefix_id, refcount]`` per edge plus :class:`IdSet` unions over
+prefix ids replace the per-edge ``set[Prefix]`` object churn. A prefix
+that also appears as a leaf *node* additionally has a token id for its
+``("pfx", prefix)`` token, memoized by :meth:`pfx_token_id`.
+
+Ids are assigned in first-appearance order and never reused, so a table
+is append-only: a graph derived from another (pruning, copies) can share
+its parent's table safely. Edge keys pack two token ids into one int
+(:func:`pack_edge`) so an edge lookup is a single small-int hash.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.collector.events import Token
+from repro.net.prefix import Prefix
+
+#: Child token id occupies the low bits of a packed edge key. 32 bits
+#: allows four billion distinct nodes — vastly above any real table.
+EDGE_SHIFT = 32
+EDGE_MASK = (1 << EDGE_SHIFT) - 1
+
+
+def pack_edge(parent_id: int, child_id: int) -> int:
+    """Pack a (parent, child) token-id pair into one int edge key."""
+    return (parent_id << EDGE_SHIFT) | child_id
+
+
+def unpack_edge(edge_id: int) -> tuple[int, int]:
+    """Invert :func:`pack_edge`."""
+    return edge_id >> EDGE_SHIFT, edge_id & EDGE_MASK
+
+
+class SymbolTable:
+    """Bidirectional token/prefix ↔ dense-int id mapping.
+
+    Per-build state: construct one per picture build (or one per worker
+    shard) and let it die with the graphs that reference it. Never store
+    one at module level.
+    """
+
+    __slots__ = ("_token_ids", "_tokens", "_prefix_ids", "_prefixes",
+                 "_pfx_tids")
+
+    def __init__(self) -> None:
+        self._token_ids: dict[Token, int] = {}
+        self._tokens: list[Token] = []
+        self._prefix_ids: dict[Prefix, int] = {}
+        self._prefixes: list[Prefix] = []
+        #: prefix id -> token id of its ("pfx", prefix) leaf token,
+        #: interned lazily (most prefixes never become nodes when
+        #: include_prefix_leaves is off).
+        self._pfx_tids: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def intern_token(self, token: Token) -> int:
+        """The id for *token*, assigning the next id on first sight."""
+        ids = self._token_ids
+        tid = ids.get(token)
+        if tid is None:
+            tid = len(ids)
+            ids[token] = tid
+            self._tokens.append(token)
+        return tid
+
+    def intern_prefix(self, prefix: Prefix) -> int:
+        """The id for *prefix*, assigning the next id on first sight."""
+        ids = self._prefix_ids
+        pid = ids.get(prefix)
+        if pid is None:
+            pid = len(ids)
+            ids[prefix] = pid
+            self._prefixes.append(prefix)
+        return pid
+
+    def pfx_token_id(self, pid: int) -> int:
+        """Token id of the ``("pfx", prefix)`` leaf node for prefix *pid*."""
+        tid = self._pfx_tids.get(pid)
+        if tid is None:
+            tid = self.intern_token(("pfx", self._prefixes[pid]))
+            self._pfx_tids[pid] = tid
+        return tid
+
+    @property
+    def pfx_token_id_map(self) -> dict[int, int]:
+        """The live prefix-id → leaf-token-id memo behind
+        :meth:`pfx_token_id`.
+
+        Exposed for hot loops that want the common (already-memoized)
+        case as a bound ``dict.get`` instead of a method call per
+        prefix, falling back to :meth:`pfx_token_id` on a miss. Callers
+        must treat the mapping as read-only.
+        """
+        return self._pfx_tids
+
+    @property
+    def prefix_id_map(self) -> dict[Prefix, int]:
+        """The live prefix → id mapping behind :meth:`intern_prefix`.
+
+        Exposed for hot loops that want the common (already-interned)
+        case as a bound ``dict.get`` instead of a method call per
+        prefix, falling back to :meth:`intern_prefix` on a miss.
+        Callers must treat the mapping as read-only.
+        """
+        return self._prefix_ids
+
+    def token_id(self, token: Token) -> Optional[int]:
+        """The id for *token* if already interned, else None."""
+        return self._token_ids.get(token)
+
+    def prefix_id(self, prefix: Prefix) -> Optional[int]:
+        """The id for *prefix* if already interned, else None."""
+        return self._prefix_ids.get(prefix)
+
+    # ------------------------------------------------------------------
+    # Decoding (the boundary)
+    # ------------------------------------------------------------------
+
+    def token(self, tid: int) -> Token:
+        return self._tokens[tid]
+
+    def prefix(self, pid: int) -> Prefix:
+        return self._prefixes[pid]
+
+    def decode_edge(self, edge_id: int) -> tuple[Token, Token]:
+        """Decode a packed edge key back to a (parent, child) token pair."""
+        tokens = self._tokens
+        return (tokens[edge_id >> EDGE_SHIFT], tokens[edge_id & EDGE_MASK])
+
+    @property
+    def token_count(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def prefix_count(self) -> int:
+        return len(self._prefixes)
+
+    # ------------------------------------------------------------------
+    # Merging (parallel shard join)
+    # ------------------------------------------------------------------
+
+    def remap_tokens(self, other: "SymbolTable") -> list[int]:
+        """Intern every token of *other*; return the old→new id map.
+
+        The list is indexed by *other*'s token ids. Interning in
+        *other*'s id order keeps first-appearance ordering across a
+        shard join identical to a serial build over the same trees.
+        """
+        intern = self.intern_token
+        return [intern(token) for token in other._tokens]
+
+    def remap_prefixes(self, other: "SymbolTable") -> list[int]:
+        """Intern every prefix of *other*; return the old→new id map."""
+        intern = self.intern_prefix
+        return [intern(prefix) for prefix in other._prefixes]

@@ -140,6 +140,24 @@ class PathAttributes:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("PathAttributes is immutable")
 
+    def __reduce__(self) -> tuple:
+        # Slot pickling would call the blocked __setattr__ on load;
+        # rebuild through __init__ instead (routes cross process
+        # boundaries when picture builds shard across workers).
+        return (
+            PathAttributes,
+            (
+                self.nexthop,
+                self.as_path,
+                self.origin,
+                self.local_pref,
+                self.med,
+                self.communities,
+                self.originator_id,
+                self.cluster_list,
+            ),
+        )
+
     def replace(self, **changes: object) -> "PathAttributes":
         """A copy with the given fields replaced (policy actions use this)."""
         fields = {

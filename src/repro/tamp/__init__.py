@@ -17,6 +17,11 @@ edge's historical maximum.
 
 from repro.tamp.tree import TampTree, route_path_tokens
 from repro.tamp.graph import TampGraph
+from repro.tamp.picture import (
+    build_picture,
+    picture_from_events,
+    picture_from_rex,
+)
 from repro.tamp.prune import prune_flat, prune_hierarchical
 from repro.tamp.layout import layout_graph, LayoutResult
 from repro.tamp.render import render_ascii, render_svg
@@ -33,6 +38,9 @@ __all__ = [
     "TampTree",
     "TampGraph",
     "route_path_tokens",
+    "build_picture",
+    "picture_from_events",
+    "picture_from_rex",
     "prune_flat",
     "prune_hierarchical",
     "layout_graph",

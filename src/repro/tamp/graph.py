@@ -8,40 +8,77 @@ NexthopA–AS1 edge weighs 4, not 3+3, because two prefixes are common).
 An optional site root (the REX recorder in Figure 2's leftmost box) ties
 the router roots together.
 
-Implementation note: each edge stores a *reference count per prefix* —
-how many currently-installed routes thread that prefix over that edge.
-The weight is the number of distinct prefixes (union semantics), while
-the refcount makes incremental removal O(path length): when router X
-withdraws a route, the prefix only leaves an AS-level edge if no other
-router's route still traverses it.
+Implementation notes:
+
+* Each edge stores a *reference count per prefix* — how many
+  currently-installed routes thread that prefix over that edge. The
+  weight is the number of distinct prefixes (union semantics), while
+  the refcount makes incremental removal O(path length): when router X
+  withdraws a route, the prefix only leaves an AS-level edge if no
+  other router's route still traverses it.
+* The stores are interned (DESIGN.md §10): nodes and prefixes are
+  dense ids from a per-build :class:`SymbolTable`, an edge key packs
+  two token ids into one int, and a refcount map is ``{prefix id:
+  count}``. Merging a tree is then per-edge C-level id counting, and
+  ``total_prefixes()`` is the size of a union of int-key views — no
+  token tuple is hashed and no Prefix object is touched on the hot
+  path. Every public method still speaks tokens and prefixes: ids are
+  decoded at the query boundary, which on realistic workloads means on
+  *pruned* graphs, never per-route.
 """
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from collections import deque
 from typing import Iterable, Iterator, Optional
 
 from repro.collector.events import Token
+from repro.interning import EDGE_MASK, EDGE_SHIFT, IdSet, SymbolTable
 from repro.net.prefix import Prefix
-from repro.tamp.tree import Edge, TampTree
+from repro.tamp.tree import Edge, TampTree, chain_ids
+
+try:
+    # Counter's C increment loop, usable on a plain dict; the public
+    # Counter wrapper costs one object + two isinstance checks per
+    # update call, which the merge loop pays millions of times.
+    from collections import _count_elements  # type: ignore[attr-defined]
+except ImportError:  # pragma: no cover - CPython always has it
+    def _count_elements(mapping: dict, iterable: Iterable) -> None:
+        get = mapping.get
+        for element in iterable:
+            mapping[element] = get(element, 0) + 1
 
 
 class TampGraph:
     """A directed graph over TAMP node tokens with prefix-set weights."""
 
-    __slots__ = ("site_root", "_edges", "_children", "_parents", "_total")
+    __slots__ = (
+        "site_root",
+        "_symbols",
+        "_edges",
+        "_children",
+        "_parents",
+        "_total",
+    )
 
-    def __init__(self, site_name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        site_name: Optional[str] = None,
+        symbols: Optional[SymbolTable] = None,
+    ) -> None:
         self.site_root: Optional[Token] = (
             ("root", site_name) if site_name is not None else None
         )
-        # edge -> {prefix: refcount}
-        self._edges: dict[Edge, dict[Prefix, int]] = {}
-        self._children: dict[Token, set[Token]] = {}
-        self._parents: dict[Token, set[Token]] = {}
+        #: Per-build symbol table; derived graphs (copies, prunes) share
+        #: their parent's table — it is append-only, so sharing is safe.
+        self._symbols = SymbolTable() if symbols is None else symbols
+        # packed edge id -> {prefix id: refcount}
+        self._edges: dict[int, dict[int, int]] = {}
+        self._children: dict[int, set[int]] = {}
+        self._parents: dict[int, set[int]] = {}
         #: Cached distinct-prefix count; None = recompute. Pruning calls
         #: edge_fraction per edge, which divides by this — without the
-        #: cache every fraction walks every edge's prefix set.
+        #: cache every fraction walks every edge's prefix map.
         self._total: Optional[int] = None
 
     def _invalidate_cache(self) -> None:
@@ -54,6 +91,15 @@ class TampGraph:
         """
         self._total = None
 
+    @property
+    def symbols(self) -> SymbolTable:
+        """The graph's symbol table (id ↔ token/prefix mapping)."""
+        return self._symbols
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
     @classmethod
     def merge(
         cls, trees: Iterable[TampTree], site_name: Optional[str] = None
@@ -65,39 +111,274 @@ class TampGraph:
         return graph
 
     def merge_tree(self, tree: TampTree) -> None:
-        # One pass over the tree's edges: merge each, collecting the
-        # root-adjacent prefix union for the site-root link as we go.
-        site_root = self.site_root
-        tree_root = tree.root
-        root_prefixes: set[Prefix] = set()
-        for (parent, child), prefixes in tree.edges():
-            self._bulk_add(parent, child, prefixes)
-            if site_root is not None and parent == tree_root:
-                root_prefixes |= prefixes
-        if site_root is not None:
-            self._bulk_add(site_root, tree_root, root_prefixes)
+        """Merge one router tree (id-level union on shared edges).
 
-    def _bulk_add(self, parent: Token, child: Token, prefixes) -> None:
-        """Add a whole prefix set to an edge (refcount +1 each).
-
-        ``Counter.update`` runs the increment loop in C, which is what
-        keeps merging a 1.5M-route view affordable.
+        A tree sharing this graph's symbol table merges without any
+        translation; a foreign tree's ids are remapped through a table
+        merge first (the parallel shard-join path — see
+        :mod:`repro.tamp.picture`).
         """
-        if not prefixes:
-            return
+        if tree.symbols is self._symbols:
+            self._merge_ids(tree, None, None)
+        else:
+            token_map = self._symbols.remap_tokens(tree.symbols)
+            prefix_map = self._symbols.remap_prefixes(tree.symbols)
+            self._merge_ids(tree, token_map, prefix_map)
+
+    def _merge_ids(
+        self,
+        tree: TampTree,
+        token_map: Optional[list[int]],
+        prefix_map: Optional[list[int]],
+    ) -> None:
+        """Fold *tree*'s columns into the refcount stores.
+
+        ``token_map``/``prefix_map`` translate the tree's id space into
+        this graph's (both None when the spaces are shared). Interior
+        columns and the leaf fringe increment refcounts through the C
+        counting loop — a column whose edge is new to the graph becomes
+        its whole store in one ``dict.fromkeys`` (columns are sets, so
+        every initial count is 1). The site-root link carries the union
+        of the root-adjacent columns, as in the original builder; those
+        columns are read off the tree's root adjacency up front so the
+        per-edge loop stays comparison-free.
+        """
         self._invalidate_cache()
-        edge = (parent, child)
-        existing = self._edges.get(edge)
-        if existing is None:
-            existing = Counter()
-            self._edges[edge] = existing
-            self._children.setdefault(parent, set()).add(child)
-            self._parents.setdefault(child, set()).add(parent)
-        existing.update(prefixes)
+        edges = self._edges
+        children = self._children
+        parents = self._parents
+        root_id = tree._root_id
+        collect_root = self.site_root is not None
+        root_union: IdSet = IdSet()
+        if collect_root:
+            base = tree._root_id << EDGE_SHIFT
+            for child in tree._children.get(tree._root_id, ()):
+                root_union.update(tree._edges[base | child])
+        if token_map is None:
+            for eid, column in tree._edges.items():
+                store = edges.get(eid)
+                if store is None:
+                    edges[eid] = dict.fromkeys(column, 1)
+                    parent = eid >> EDGE_SHIFT
+                    child = eid & EDGE_MASK
+                    children.setdefault(parent, set()).add(child)
+                    parents.setdefault(child, set()).add(parent)
+                else:
+                    _count_elements(store, column)
+        else:
+            assert prefix_map is not None
+            root_id = token_map[root_id]
+            if root_union:
+                root_union = IdSet(map(prefix_map.__getitem__, root_union))
+            for eid, column in tree._edges.items():
+                parent = token_map[eid >> EDGE_SHIFT]
+                child = token_map[eid & EDGE_MASK]
+                members = list(map(prefix_map.__getitem__, column))
+                eid = (parent << EDGE_SHIFT) | child
+                store = edges.get(eid)
+                if store is None:
+                    edges[eid] = dict.fromkeys(members, 1)
+                    children.setdefault(parent, set()).add(child)
+                    parents.setdefault(child, set()).add(parent)
+                else:
+                    _count_elements(store, members)
+        pfx_token_id = self._symbols.pfx_token_id
+        pfx_tid = self._symbols.pfx_token_id_map.get
+        for tail, fringe in tree._leaves.items():
+            leaf_members: Iterable[int] = fringe
+            if token_map is not None:
+                tail = token_map[tail]
+                assert prefix_map is not None
+                leaf_members = list(map(prefix_map.__getitem__, fringe))
+            base = tail << EDGE_SHIFT
+            kids = children.get(tail)
+            if kids is None:
+                kids = children[tail] = set()
+            for pid in leaf_members:
+                child = pfx_tid(pid)
+                if child is None:
+                    child = pfx_token_id(pid)
+                eid = base | child
+                store = edges.get(eid)
+                if store is None:
+                    edges[eid] = {pid: 1}
+                    kids.add(child)
+                    tails = parents.get(child)
+                    if tails is None:
+                        parents[child] = {tail}
+                    else:
+                        tails.add(tail)
+                else:
+                    store[pid] = store.get(pid, 0) + 1
+        if collect_root and root_union:
+            site_root = self.site_root
+            assert site_root is not None
+            site_id = self._symbols.intern_token(site_root)
+            eid = (site_id << EDGE_SHIFT) | root_id
+            store = edges.get(eid)
+            if store is None:
+                edges[eid] = store = {}
+                children.setdefault(site_id, set()).add(root_id)
+                parents.setdefault(root_id, set()).add(site_id)
+            _count_elements(store, root_union)
+
+    def merge_router(
+        self,
+        router_name: str,
+        routes: Iterable,
+        include_prefix_leaves: bool = True,
+        chain_cache: Optional[dict] = None,
+    ) -> None:
+        """Fold one router's routes directly into the refcount stores.
+
+        The serial batch-build fast path (:mod:`repro.tamp.picture`):
+        equivalent to building the router's :class:`TampTree` against
+        this graph's table and merging it, without materializing the
+        intermediate columns. The equivalence rests on RIB uniqueness —
+        a route table holds at most one route per (router, prefix), so
+        every (edge, prefix) pair occurs at most once per router and
+        per-group increments equal per-tree set merges. Callers passing
+        a table with duplicate prefixes per router would double-count;
+        every route source in this project (RIBs, replayed event
+        tables) satisfies the invariant.
+
+        *chain_cache* memoizes interned chains per attribute bundle
+        (see :func:`repro.tamp.tree.chain_ids`); pass one shared dict
+        across the routers of a build.
+        """
+        by_attrs: dict = {}
+        for route in routes:
+            by_attrs.setdefault(route.attributes, []).append(route.prefix)
+        self._merge_grouped(
+            router_name, by_attrs, include_prefix_leaves, chain_cache
+        )
+
+    def merge_entries(
+        self,
+        router_name: str,
+        entries: Iterable,
+        include_prefix_leaves: bool = True,
+        chain_cache: Optional[dict] = None,
+    ) -> None:
+        """:meth:`merge_router` over raw (prefix, attributes) pairs.
+
+        The whole-table batch path: :meth:`AdjRibIn.entries
+        <repro.bgp.rib.AdjRibIn.entries>` yields native dict items, so
+        a full-view build never constructs the per-route
+        :class:`~repro.bgp.rib.Route` wrappers (seconds of pure
+        allocation at ISP scale). Same RIB-uniqueness precondition as
+        :meth:`merge_router`.
+        """
+        by_attrs: dict = {}
+        for prefix, attributes in entries:
+            by_attrs.setdefault(attributes, []).append(prefix)
+        self._merge_grouped(
+            router_name, by_attrs, include_prefix_leaves, chain_cache
+        )
+
+    def _merge_grouped(
+        self,
+        router_name: str,
+        by_attrs: dict,
+        include_prefix_leaves: bool,
+        chain_cache: Optional[dict],
+    ) -> None:
+        """Fold attribute-grouped prefixes into the refcount stores."""
+        self._invalidate_cache()
+        symbols = self._symbols
+        root: Token = ("router", router_name)
+        root_id = symbols.intern_token(root)
+        if chain_cache is None:
+            chain_cache = {}
+        edges = self._edges
+        children = self._children
+        parents = self._parents
+        intern_prefix = symbols.intern_prefix
+        pid_get = symbols.prefix_id_map.get
+        pfx_token_id = symbols.pfx_token_id
+        pfx_tid = symbols.pfx_token_id_map.get
+        site_eid = None
+        if self.site_root is not None:
+            site_id = symbols.intern_token(self.site_root)
+            site_eid = (site_id << EDGE_SHIFT) | root_id
+        root_base = root_id << EDGE_SHIFT
+        for attributes, prefixes in by_attrs.items():
+            pids = [
+                pid
+                if (pid := pid_get(prefix)) is not None
+                else intern_prefix(prefix)
+                for prefix in prefixes
+            ]
+            head, interior, tail = chain_ids(
+                symbols, chain_cache, root, prefixes[0], attributes
+            )
+            eid = root_base | head
+            store = edges.get(eid)
+            if store is None:
+                edges[eid] = dict.fromkeys(pids, 1)
+                children.setdefault(root_id, set()).add(head)
+                parents.setdefault(head, set()).add(root_id)
+            else:
+                _count_elements(store, pids)
+            for eid in interior:
+                store = edges.get(eid)
+                if store is None:
+                    edges[eid] = dict.fromkeys(pids, 1)
+                    parent = eid >> EDGE_SHIFT
+                    child = eid & EDGE_MASK
+                    children.setdefault(parent, set()).add(child)
+                    parents.setdefault(child, set()).add(parent)
+                else:
+                    _count_elements(store, pids)
+            if include_prefix_leaves:
+                base = tail << EDGE_SHIFT
+                kids = children.get(tail)
+                if kids is None:
+                    kids = children[tail] = set()
+                for pid in pids:
+                    child = pfx_tid(pid)
+                    if child is None:
+                        child = pfx_token_id(pid)
+                    eid = base | child
+                    store = edges.get(eid)
+                    if store is None:
+                        edges[eid] = {pid: 1}
+                        kids.add(child)
+                        tails = parents.get(child)
+                        if tails is None:
+                            parents[child] = {tail}
+                        else:
+                            tails.add(tail)
+                    else:
+                        store[pid] = store.get(pid, 0) + 1
+            if site_eid is not None:
+                store = edges.get(site_eid)
+                if store is None:
+                    edges[site_eid] = dict.fromkeys(pids, 1)
+                    children.setdefault(site_id, set()).add(root_id)
+                    parents.setdefault(root_id, set()).add(site_id)
+                else:
+                    _count_elements(store, pids)
 
     # ------------------------------------------------------------------
     # Mutation (used by pruning and incremental animation)
     # ------------------------------------------------------------------
+
+    def intern_pair(self, parent: Token, child: Token) -> int:
+        """Intern an edge's tokens; return the packed edge id.
+
+        The id-level mutators below take these — the incremental
+        maintainer memoizes one per chain edge so each event apply is
+        pure int traffic (see :mod:`repro.tamp.incremental`).
+        """
+        symbols = self._symbols
+        return (
+            symbols.intern_token(parent) << EDGE_SHIFT
+        ) | symbols.intern_token(child)
+
+    def decode_pair(self, edge_id: int) -> Edge:
+        """Decode a packed edge id back to its (parent, child) tokens."""
+        return self._symbols.decode_edge(edge_id)
 
     def add_prefix(self, parent: Token, child: Token, prefix: Prefix) -> bool:
         """Thread one route's *prefix* over the edge (refcount +1).
@@ -106,16 +387,24 @@ class TampGraph:
         grew), False for a pure refcount bump — the distinction the
         animator colors edges by.
         """
-        edge = (parent, child)
-        prefixes = self._edges.get(edge)
-        if prefixes is None:
-            self._edges[edge] = {prefix: 1}
+        return self.add_prefix_ids(
+            self.intern_pair(parent, child),
+            self._symbols.intern_prefix(prefix),
+        )
+
+    def add_prefix_ids(self, edge_id: int, pid: int) -> bool:
+        """Id-level :meth:`add_prefix` (edge id from :meth:`intern_pair`)."""
+        store = self._edges.get(edge_id)
+        if store is None:
+            self._edges[edge_id] = {pid: 1}
+            parent = edge_id >> EDGE_SHIFT
+            child = edge_id & EDGE_MASK
             self._children.setdefault(parent, set()).add(child)
             self._parents.setdefault(child, set()).add(parent)
             self._invalidate_cache()
             return True
-        count = prefixes.get(prefix)
-        prefixes[prefix] = (count or 0) + 1
+        count = store.get(pid)
+        store[pid] = (count or 0) + 1
         if count is None:
             self._invalidate_cache()
             return True
@@ -129,25 +418,48 @@ class TampGraph:
         Returns True when the prefix actually left the edge (its last
         reference dropped) — the signal the animator colors edges by.
         """
-        edge = (parent, child)
-        prefixes = self._edges.get(edge)
-        if prefixes is None:
+        symbols = self._symbols
+        parent_id = symbols.token_id(parent)
+        child_id = symbols.token_id(child)
+        pid = symbols.prefix_id(prefix)
+        if parent_id is None or child_id is None or pid is None:
             return False
-        count = prefixes.get(prefix)
+        return self.discard_prefix_ids(
+            (parent_id << EDGE_SHIFT) | child_id, pid
+        )
+
+    def discard_prefix_ids(self, edge_id: int, pid: int) -> bool:
+        """Id-level :meth:`discard_prefix`."""
+        store = self._edges.get(edge_id)
+        if store is None:
+            return False
+        count = store.get(pid)
         if count is None:
             return False
         if count > 1:
-            prefixes[prefix] = count - 1
+            store[pid] = count - 1
             return False
-        del prefixes[prefix]
+        del store[pid]
         self._invalidate_cache()
-        if not prefixes:
-            self.remove_edge(parent, child)
+        if not store:
+            self.remove_edge_ids(edge_id)
         return True
 
     def remove_edge(self, parent: Token, child: Token) -> None:
+        symbols = self._symbols
+        parent_id = symbols.token_id(parent)
+        child_id = symbols.token_id(child)
+        if parent_id is None or child_id is None:
+            self._invalidate_cache()
+            return
+        self.remove_edge_ids((parent_id << EDGE_SHIFT) | child_id)
+
+    def remove_edge_ids(self, edge_id: int) -> None:
+        """Id-level :meth:`remove_edge`."""
         self._invalidate_cache()
-        self._edges.pop((parent, child), None)
+        self._edges.pop(edge_id, None)
+        parent = edge_id >> EDGE_SHIFT
+        child = edge_id & EDGE_MASK
         children = self._children.get(parent)
         if children is not None:
             children.discard(child)
@@ -159,23 +471,6 @@ class TampGraph:
             if not parents:
                 del self._parents[child]
 
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-
-    def edges(self) -> Iterator[tuple[Edge, set[Prefix]]]:
-        for edge, prefixes in self._edges.items():
-            yield edge, set(prefixes)
-
-    def raw_edges(self) -> Iterator[tuple[Edge, dict[Prefix, int]]]:
-        """Iterate edges without copying the prefix maps.
-
-        The yielded mappings are live internal state — callers must not
-        mutate them. Exists for whole-graph passes (pruning, statistics)
-        where per-edge set copies would dominate the runtime.
-        """
-        yield from self._edges.items()
-
     def adopt_edge(
         self, parent: Token, child: Token, prefixes: dict[Prefix, int]
     ) -> None:
@@ -184,45 +479,137 @@ class TampGraph:
         The bulk transfer used when deriving one graph from another
         (pruning builds its survivor graph this way).
         """
-        self._edges[(parent, child)] = dict(prefixes)
+        intern_prefix = self._symbols.intern_prefix
+        self.adopt_edge_ids(
+            self.intern_pair(parent, child),
+            {intern_prefix(p): count for p, count in prefixes.items()},
+        )
+
+    def adopt_edge_ids(self, edge_id: int, store: dict[int, int]) -> None:
+        """Id-level :meth:`adopt_edge`.
+
+        Only valid between graphs sharing a symbol table (pruning: the
+        survivor graph is constructed with ``symbols=graph.symbols``).
+        """
+        self._edges[edge_id] = dict(store)
+        parent = edge_id >> EDGE_SHIFT
+        child = edge_id & EDGE_MASK
         self._children.setdefault(parent, set()).add(child)
         self._parents.setdefault(child, set()).add(parent)
         self._invalidate_cache()
 
+    # ------------------------------------------------------------------
+    # Queries (the decode boundary — ids never escape)
+    # ------------------------------------------------------------------
+
+    def edges(self) -> Iterator[tuple[Edge, set[Prefix]]]:
+        symbols = self._symbols
+        token = symbols.token
+        prefix = symbols.prefix
+        for eid, store in self._edges.items():
+            yield (
+                (token(eid >> EDGE_SHIFT), token(eid & EDGE_MASK)),
+                set(map(prefix, store)),
+            )
+
+    def raw_edges(self) -> Iterator[tuple[Edge, dict[Prefix, int]]]:
+        """Iterate edges with their per-prefix refcount maps.
+
+        The maps are decoded copies — whole-graph passes that only need
+        weights should use :meth:`raw_id_edges` instead, which is
+        allocation-free.
+        """
+        symbols = self._symbols
+        token = symbols.token
+        prefix = symbols.prefix
+        for eid, store in self._edges.items():
+            yield (
+                (token(eid >> EDGE_SHIFT), token(eid & EDGE_MASK)),
+                {prefix(pid): count for pid, count in store.items()},
+            )
+
+    def raw_id_edges(self) -> Iterator[tuple[int, dict[int, int]]]:
+        """Iterate (edge id, live refcount map) without decoding.
+
+        The yielded mappings are internal state — callers must not
+        mutate them. This is the pruning fast path: the keep/drop
+        decision only needs ``len(map)``, so decoding 2M edges' tokens
+        to throw 99% of them away would dominate the prune.
+        """
+        yield from self._edges.items()
+
     def edge_list(self) -> list[Edge]:
-        return list(self._edges)
+        decode = self._symbols.decode_edge
+        return [decode(eid) for eid in self._edges]
 
     def has_edge(self, parent: Token, child: Token) -> bool:
-        return (parent, child) in self._edges
+        symbols = self._symbols
+        parent_id = symbols.token_id(parent)
+        child_id = symbols.token_id(child)
+        if parent_id is None or child_id is None:
+            return False
+        return ((parent_id << EDGE_SHIFT) | child_id) in self._edges
 
     def weight(self, parent: Token, child: Token) -> int:
         """Unique prefixes on the edge — the paper's edge weight."""
-        return len(self._edges.get((parent, child), ()))
+        symbols = self._symbols
+        parent_id = symbols.token_id(parent)
+        child_id = symbols.token_id(child)
+        if parent_id is None or child_id is None:
+            return 0
+        store = self._edges.get((parent_id << EDGE_SHIFT) | child_id)
+        return 0 if store is None else len(store)
 
     def edge_prefixes(self, parent: Token, child: Token) -> frozenset[Prefix]:
-        return frozenset(self._edges.get((parent, child), ()))
+        symbols = self._symbols
+        parent_id = symbols.token_id(parent)
+        child_id = symbols.token_id(child)
+        if parent_id is None or child_id is None:
+            return frozenset()
+        store = self._edges.get((parent_id << EDGE_SHIFT) | child_id)
+        if store is None:
+            return frozenset()
+        return frozenset(map(symbols.prefix, store))
 
     def children(self, node: Token) -> set[Token]:
-        return set(self._children.get(node, ()))
+        node_id = self._symbols.token_id(node)
+        if node_id is None:
+            return set()
+        token = self._symbols.token
+        return {token(child) for child in self._children.get(node_id, ())}
 
     def parents(self, node: Token) -> set[Token]:
-        return set(self._parents.get(node, ()))
+        node_id = self._symbols.token_id(node)
+        if node_id is None:
+            return set()
+        token = self._symbols.token
+        return {token(parent) for parent in self._parents.get(node_id, ())}
 
     def nodes(self) -> set[Token]:
-        found: set[Token] = set()
+        ids: set[int] = set()
+        for eid in self._edges:
+            ids.add(eid >> EDGE_SHIFT)
+            ids.add(eid & EDGE_MASK)
+        found = set(map(self._symbols.token, ids))
         if self.site_root is not None:
             found.add(self.site_root)
-        for parent, child in self._edges:
-            found.add(parent)
-            found.add(child)
         return found
 
     def roots(self) -> list[Token]:
         """Nodes with no parents: the site root, or the router roots."""
-        if self.site_root is not None and self.site_root in self.nodes():
-            return [self.site_root]
+        token = self._symbols.token
+        site_root = self.site_root
+        if site_root is not None:
+            site_id = self._symbols.token_id(site_root)
+            if site_id is not None and (
+                site_id in self._children or site_id in self._parents
+            ):
+                return [site_root]
+        # Every root has an outgoing edge (nodes only exist on edges),
+        # so scanning the parent side of the adjacency is exhaustive.
+        parents = self._parents
         return sorted(
-            (n for n in self.nodes() if not self._parents.get(n)),
+            (token(n) for n in self._children if not parents.get(n)),
             key=str,
         )
 
@@ -234,14 +621,17 @@ class TampGraph:
         membership does.
         """
         if self._total is None:
-            self._total = len(self.all_prefixes())
+            seen: set[int] = set()
+            for store in self._edges.values():
+                seen.update(store)
+            self._total = len(seen)
         return self._total
 
     def all_prefixes(self) -> set[Prefix]:
-        prefixes: set[Prefix] = set()
-        for edge_prefixes in self._edges.values():
-            prefixes.update(edge_prefixes)
-        return prefixes
+        seen: set[int] = set()
+        for store in self._edges.values():
+            seen.update(store)
+        return set(map(self._symbols.prefix, seen))
 
     def edge_fraction(self, parent: Token, child: Token) -> float:
         """This edge's share of all prefixes (drives thickness/pruning)."""
@@ -252,16 +642,28 @@ class TampGraph:
 
     def depths(self) -> dict[Token, int]:
         """BFS depth of every node from the root set (for pruning/layout)."""
-        depths: dict[Token, int] = {}
-        queue: deque[Token] = deque()
+        token = self._symbols.token
+        return {
+            token(node): depth for node, depth in self._id_depths().items()
+        }
+
+    def _id_depths(self) -> dict[int, int]:
+        """BFS depths keyed by token id (the prune-internal variant)."""
+        token_id = self._symbols.token_id
+        depths: dict[int, int] = {}
+        queue: deque[int] = deque()
         for root in self.roots():
-            depths[root] = 0
-            queue.append(root)
+            root_id = token_id(root)
+            assert root_id is not None
+            depths[root_id] = 0
+            queue.append(root_id)
+        children = self._children
         while queue:
             node = queue.popleft()
-            for child in self._children.get(node, ()):
+            below = depths[node] + 1
+            for child in children.get(node, ()):
                 if child not in depths:
-                    depths[child] = depths[node] + 1
+                    depths[child] = below
                     queue.append(child)
         return depths
 
@@ -272,10 +674,10 @@ class TampGraph:
         return len(self._edges)
 
     def copy(self) -> "TampGraph":
-        duplicate = TampGraph()
+        duplicate = TampGraph(symbols=self._symbols)
         duplicate.site_root = self.site_root
         duplicate._edges = {
-            edge: dict(prefixes) for edge, prefixes in self._edges.items()
+            eid: dict(store) for eid, store in self._edges.items()
         }
         duplicate._children = {
             node: set(children) for node, children in self._children.items()

@@ -10,6 +10,11 @@ announcement that replaces an existing route, the old route's
 contribution is removed from the graph before the new one is added —
 otherwise edges would accumulate ghost prefixes. The graph's per-edge
 refcounts (see :mod:`repro.tamp.graph`) keep each apply O(path length).
+
+Applies run entirely at id level: the memo caches packed edge ids (not
+token pairs), so a route flap is a handful of int dict operations, and
+the pulse counters the animator consumes are keyed by edge id until
+:meth:`IncrementalTamp.consume_changes` decodes them at the boundary.
 """
 
 from __future__ import annotations
@@ -25,6 +30,9 @@ from repro.tamp.tree import route_path_tokens
 
 #: Names the router node for a peer address in the merged graph.
 PeerNamer = Callable[[int], str]
+
+#: Token-level pulse counts, as handed to the animator.
+PulseCounts = dict[tuple[Token, Token], int]
 
 
 def default_peer_namer(peer: int) -> str:
@@ -44,19 +52,20 @@ class IncrementalTamp:
         self.peer_namer = peer_namer
         self.include_prefix_leaves = include_prefix_leaves
         self._routes: dict[tuple[int, Prefix], PathAttributes] = {}
-        #: Per-edge add/remove pulse counts since the last consume; the
-        #: animator reads these to color edges per frame.
-        self._adds: dict[tuple[Token, Token], int] = {}
-        self._removes: dict[tuple[Token, Token], int] = {}
-        #: peer -> chain key -> the edge pairs the route threads. A
-        #: flapping route announces and withdraws the same chain
+        #: Per-edge add/remove pulse counts since the last consume,
+        #: keyed by packed edge id; the animator reads these (decoded)
+        #: to color edges per frame.
+        self._adds: dict[int, int] = {}
+        self._removes: dict[int, int] = {}
+        #: peer -> chain key -> the packed edge ids the route threads.
+        #: A flapping route announces and withdraws the same chain
         #: thousands of times; memoizing turns each apply into two dict
         #: lookups. Without prefix leaves (the animation default) the
         #: chain depends only on (peer, attrs), so the inner key is the
         #: attribute bundle alone — its hash is cached on the instance.
         #: Bounded by the distinct routes seen, i.e. the same order as
         #: the route table itself.
-        self._edge_pairs: dict[int, dict] = {}
+        self._edge_ids: dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # Loading and applying
@@ -83,13 +92,19 @@ class IncrementalTamp:
     # Change tracking (consumed by the animator per frame)
     # ------------------------------------------------------------------
 
-    def consume_changes(
-        self,
-    ) -> tuple[dict[tuple[Token, Token], int], dict[tuple[Token, Token], int]]:
-        """Return and reset (adds, removes) pulse counts per edge."""
+    def consume_changes(self) -> tuple[PulseCounts, PulseCounts]:
+        """Return and reset (adds, removes) pulse counts per edge.
+
+        The internal counters are id-keyed; this is their decode
+        boundary — the animator sees real token pairs.
+        """
         adds, removes = self._adds, self._removes
         self._adds, self._removes = {}, {}
-        return adds, removes
+        decode = self.graph.decode_pair
+        return (
+            {decode(eid): count for eid, count in adds.items()},
+            {decode(eid): count for eid, count in removes.items()},
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -154,12 +169,16 @@ class IncrementalTamp:
             raise ValueError(
                 "pulse export requires include_prefix_leaves=False"
             )
+        decode = self.graph.decode_pair
 
-        def encode(pulses: dict[tuple[Token, Token], int]) -> list:
+        def encode(pulses: dict[int, int]) -> list:
+            decoded = [
+                (decode(eid), count) for eid, count in pulses.items()
+            ]
             return [
                 [list(edge[0]), list(edge[1]), count]
                 for edge, count in sorted(
-                    pulses.items(), key=lambda item: repr(item[0])
+                    decoded, key=lambda item: repr(item[0])
                 )
             ]
 
@@ -170,10 +189,11 @@ class IncrementalTamp:
 
     def import_pulses(self, data: dict[str, list]) -> None:
         """Restore pulse counts from :meth:`export_pulses`."""
+        intern_pair = self.graph.intern_pair
 
-        def decode(items: list) -> dict[tuple[Token, Token], int]:
+        def decode(items: list) -> dict[int, int]:
             return {
-                (tuple(head), tuple(tail)): int(count)
+                intern_pair(tuple(head), tuple(tail)): int(count)
                 for head, tail, count in items
             }
 
@@ -193,18 +213,22 @@ class IncrementalTamp:
             return [self.graph.site_root, *chain]
         return chain
 
-    def _pairs_for(
+    def _ids_for(
         self, peer: int, prefix: Prefix, attrs: PathAttributes
-    ) -> list[tuple[Token, Token]]:
-        by_peer = self._edge_pairs.get(peer)
+    ) -> list[int]:
+        by_peer = self._edge_ids.get(peer)
         if by_peer is None:
-            by_peer = self._edge_pairs[peer] = {}
+            by_peer = self._edge_ids[peer] = {}
         key = (prefix, attrs) if self.include_prefix_leaves else attrs
-        pairs = by_peer.get(key)
-        if pairs is None:
+        edge_ids = by_peer.get(key)
+        if edge_ids is None:
             chain = self._chain(peer, prefix, attrs)
-            pairs = by_peer[key] = list(zip(chain, chain[1:]))
-        return pairs
+            intern_pair = self.graph.intern_pair
+            edge_ids = by_peer[key] = [
+                intern_pair(parent, child)
+                for parent, child in zip(chain, chain[1:])
+            ]
+        return edge_ids
 
     def _install(
         self, peer: int, prefix: Prefix, attrs: PathAttributes
@@ -216,10 +240,12 @@ class IncrementalTamp:
         if old is not None:
             self._remove_contribution(peer, prefix, old)
         self._routes[key] = attrs
+        pid = self.graph.symbols.intern_prefix(prefix)
+        add_prefix = self.graph.add_prefix_ids
         adds = self._adds
-        for edge in self._pairs_for(peer, prefix, attrs):
-            if self.graph.add_prefix(edge[0], edge[1], prefix):
-                adds[edge] = adds.get(edge, 0) + 1
+        for eid in self._ids_for(peer, prefix, attrs):
+            if add_prefix(eid, pid):
+                adds[eid] = adds.get(eid, 0) + 1
 
     def _withdraw(self, peer: int, prefix: Prefix) -> None:
         old = self._routes.pop((peer, prefix), None)
@@ -230,7 +256,11 @@ class IncrementalTamp:
     def _remove_contribution(
         self, peer: int, prefix: Prefix, attrs: PathAttributes
     ) -> None:
+        pid = self.graph.symbols.prefix_id(prefix)
+        if pid is None:
+            return
+        discard_prefix = self.graph.discard_prefix_ids
         removes = self._removes
-        for edge in self._pairs_for(peer, prefix, attrs):
-            if self.graph.discard_prefix(edge[0], edge[1], prefix):
-                removes[edge] = removes.get(edge, 0) + 1
+        for eid in self._ids_for(peer, prefix, attrs):
+            if discard_prefix(eid, pid):
+                removes[eid] = removes.get(eid, 0) + 1

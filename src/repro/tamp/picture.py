@@ -1,0 +1,182 @@
+"""Batch TAMP picture builds: routes → trees → merged graph, sharded.
+
+This is the orchestration layer over the interned builder (DESIGN.md
+§10): group routes per router, build each router's
+:class:`~repro.tamp.tree.TampTree` as interned columns, and fold the
+trees into one :class:`~repro.tamp.graph.TampGraph`.
+
+Serially, every tree is built against the *graph's* symbol table, so
+merging is pure id-level counting with no translation. With workers,
+router groups shard across the :mod:`repro.perf` fork pool; each shard
+grows its own per-shard table (no shared mutable state — POOL002) and
+the parent joins shards by offset remap: the shard's tokens/prefixes
+are interned into the parent table in shard order, yielding old→new id
+maps the merge translates through. Because shards partition the
+routers and remapping preserves first-appearance order, the decoded
+result — edges, weights, prune survivors, rendered picture — is
+identical to the serial build (asserted by
+``tests/tamp/test_interned_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.bgp.rib import Route
+from repro.collector.events import BGPEvent
+from repro.interning import SymbolTable
+from repro.net.attributes import PathAttributes
+from repro.net.prefix import Prefix, format_address
+from repro.perf import effective_workers, map_shards, partition
+from repro.tamp.graph import TampGraph
+from repro.tamp.tree import ChainCache, TampTree
+
+#: One router's slice of the view: (router name, its routes).
+RouteGroup = tuple[str, Sequence[Route]]
+
+
+def build_picture(
+    route_groups: Sequence[RouteGroup],
+    site_name: Optional[str] = None,
+    include_prefix_leaves: bool = True,
+    workers: Optional[int] = None,
+) -> TampGraph:
+    """Merge per-router route groups into one (unpruned) TAMP graph."""
+    total_routes = sum(len(routes) for _, routes in route_groups)
+    count = effective_workers(workers, total_routes)
+    count = min(count, len(route_groups)) or 1
+    if count <= 1:
+        graph = TampGraph(site_name)
+        # One chain cache for the whole build: routers share attribute
+        # bundles massively, so later routers intern almost no chains.
+        # merge_router folds each router straight into the refcount
+        # stores — no intermediate tree columns, peak memory one graph.
+        chain_cache: ChainCache = {}
+        for name, routes in route_groups:
+            graph.merge_router(
+                name, routes, include_prefix_leaves, chain_cache
+            )
+        return graph
+    build = partial(_build_shard, include_prefix_leaves)
+    shard_results = map_shards(build, partition(route_groups, count), count)
+    graph = TampGraph(site_name)
+    table: Optional[SymbolTable] = None
+    token_map: list[int] = []
+    prefix_map: list[int] = []
+    for trees in shard_results:
+        for tree in trees:
+            if tree.symbols is not table:
+                # One remap per shard table (all trees of a shard share
+                # one), computed lazily so an empty shard costs nothing.
+                table = tree.symbols
+                token_map = graph.symbols.remap_tokens(table)
+                prefix_map = graph.symbols.remap_prefixes(table)
+            graph._merge_ids(tree, token_map, prefix_map)
+    return graph
+
+
+def _build_shard(
+    include_prefix_leaves: bool, shard: Sequence[RouteGroup]
+) -> list[TampTree]:
+    """Build one shard's trees against a fresh per-shard symbol table.
+
+    Module-level (POOL001) and stateless (POOL002): everything the
+    worker needs arrives in the shard, everything it produces returns
+    in the trees — which share one table, so the parent remaps once
+    per shard, not once per tree.
+    """
+    symbols = SymbolTable()
+    chain_cache: ChainCache = {}
+    return [
+        TampTree.from_routes(
+            name,
+            routes,
+            include_prefix_leaves,
+            symbols=symbols,
+            chain_cache=chain_cache,
+        )
+        for name, routes in shard
+    ]
+
+
+def picture_from_rex(
+    rex,
+    site_name: Optional[str] = None,
+    include_prefix_leaves: bool = True,
+    workers: Optional[int] = None,
+    peer_namer: Callable[[int], str] = format_address,
+) -> TampGraph:
+    """The classic batch picture: one tree per REX peer, merged.
+
+    Serially this streams each peer's table through
+    :meth:`~repro.tamp.graph.TampGraph.merge_entries` — native
+    (prefix, attributes) pairs, no :class:`~repro.bgp.rib.Route`
+    wrappers, no intermediate lists. Route groups are only
+    materialized when the build shards across workers (shards must
+    pickle).
+    """
+    peers = rex.peers()
+    count = effective_workers(workers, rex.route_count())
+    count = min(count, len(peers)) or 1
+    if count <= 1:
+        graph = TampGraph(site_name)
+        chain_cache: ChainCache = {}
+        for peer in peers:
+            graph.merge_entries(
+                peer_namer(peer),
+                rex.rib(peer).entries(),
+                include_prefix_leaves,
+                chain_cache,
+            )
+        return graph
+    groups: list[RouteGroup] = [
+        (peer_namer(peer), list(rex.rib(peer).routes())) for peer in peers
+    ]
+    return build_picture(groups, site_name, include_prefix_leaves, workers)
+
+
+def picture_from_events(
+    events: Iterable[BGPEvent],
+    site_name: Optional[str] = None,
+    include_prefix_leaves: bool = False,
+    workers: Optional[int] = None,
+    peer_namer: Callable[[int], str] = format_address,
+) -> TampGraph:
+    """The picture after replaying *events* over an empty route table.
+
+    Replays announcements/withdrawals into a (peer, prefix) → attrs
+    table — plain dict traffic — then batch-builds the graph from the
+    surviving routes. For a render of the *final* state this is
+    equivalent to incrementally maintaining the graph event by event
+    (same edges, same weights; asserted in the test suite) but skips
+    every intermediate graph mutation, which is exactly the work a
+    point-in-time render throws away.
+    """
+    table: dict[tuple[int, Prefix], PathAttributes] = {}
+    for event in events:
+        if event.is_withdrawal:
+            table.pop((event.peer, event.prefix), None)
+        else:
+            table[(event.peer, event.prefix)] = event.attributes
+    by_peer: dict[int, list[tuple[Prefix, PathAttributes]]] = {}
+    for (peer, prefix), attrs in table.items():
+        by_peer.setdefault(peer, []).append((prefix, attrs))
+    count = effective_workers(workers, len(table))
+    count = min(count, len(by_peer)) or 1
+    if count <= 1:
+        graph = TampGraph(site_name)
+        chain_cache: ChainCache = {}
+        for peer, pairs in by_peer.items():
+            graph.merge_entries(
+                peer_namer(peer), pairs, include_prefix_leaves, chain_cache
+            )
+        return graph
+    groups: list[RouteGroup] = [
+        (
+            peer_namer(peer),
+            [Route(prefix, attrs, peer) for prefix, attrs in pairs],
+        )
+        for peer, pairs in by_peer.items()
+    ]
+    return build_picture(groups, site_name, include_prefix_leaves, workers)

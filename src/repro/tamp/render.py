@@ -73,6 +73,11 @@ def render_ascii(graph: TampGraph, width: int = 30) -> str:
     return "\n".join(lines)
 
 
+def _edge_order(item: tuple) -> str:
+    """Deterministic draw order for edge-keyed mappings."""
+    return str(item[0])
+
+
 def render_svg(
     graph: TampGraph,
     edge_states: Optional[Mapping[tuple[Token, Token], str]] = None,
@@ -109,9 +114,13 @@ def render_svg(
     def shift(point: tuple[float, float]) -> tuple[float, float]:
         return (point[0] + margin, point[1] + margin)
 
-    # Shadows first (under everything), then edges, then nodes.
+    # Shadows first (under everything), then edges, then nodes. Both
+    # passes draw in sorted edge order: the geometry mapping follows
+    # the graph's internal insertion order, which is an implementation
+    # detail (e.g. serial vs sharded builds interleave differently) —
+    # sorting makes equal graph *content* yield byte-equal documents.
     if shadows:
-        for edge, fraction in shadows.items():
+        for edge, fraction in sorted(shadows.items(), key=_edge_order):
             geo = geometry.get(edge)
             if geo is None:
                 continue
@@ -122,7 +131,7 @@ def render_svg(
                 f' y2="{y2:.1f}" stroke="{STATE_COLORS["shadow"]}"'
                 f' stroke-width="{thickness:.1f}"/>'
             )
-    for edge, geo in geometry.items():
+    for edge, geo in sorted(geometry.items(), key=_edge_order):
         state = (edge_states or {}).get(edge, "stable")
         color = STATE_COLORS.get(state, STATE_COLORS["stable"])
         (x1, y1), (x2, y2) = shift(geo.start), shift(geo.end)

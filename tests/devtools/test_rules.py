@@ -19,6 +19,9 @@ ALGO_MODULE = "repro.stemming.fixture"
 #: Module name placing a fixture inside the testkit package (TK001).
 TESTKIT_MODULE = "repro.testkit.fixture"
 
+#: Module name placing a fixture inside the TAMP package (INT001).
+TAMP_MODULE = "repro.tamp.fixture"
+
 
 def analyze_fixture(name: str, module: str = ALGO_MODULE):
     source = (FIXTURES / name).read_text()
@@ -31,6 +34,8 @@ def fixture_module(name: str) -> str:
         return TESTKIT_MODULE
     if name.startswith("det001"):
         return ALGO_MODULE
+    if name.startswith("int001"):
+        return TAMP_MODULE
     return "fixture"
 
 
@@ -206,6 +211,44 @@ class TestTk001:
                 source, path=mod.__file__, module=mod.__name__
             )
             assert findings == [], mod.__name__
+
+
+class TestInt001:
+    def test_bad_flags_every_hot_path_regression(self):
+        findings = analyze_fixture("int001_bad.py", module=TAMP_MODULE)
+        assert rule_ids(findings) == ["INT001"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "set[Prefix]" in messages
+        assert "'edge'" in messages
+        assert "pack_edge" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("int001_ok.py", module=TAMP_MODULE) == []
+
+    def test_suppressions(self):
+        findings = analyze_fixture(
+            "int001_suppressed.py", module=TAMP_MODULE
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_the_tamp_package(self):
+        findings = analyze_fixture(
+            "int001_bad.py", module="repro.simulator.fixture"
+        )
+        assert findings == []
+
+    def test_the_real_hot_path_is_clean(self):
+        """The interned builders themselves must pass their own gate."""
+        import repro.tamp.graph
+        import repro.tamp.tree
+
+        for mod in (repro.tamp.tree, repro.tamp.graph):
+            source = Path(mod.__file__).read_text()
+            findings = analyze_source(
+                source, path=mod.__file__, module=mod.__name__
+            )
+            int_findings = [f for f in findings if f.rule == "INT001"]
+            assert int_findings == [], mod.__name__
 
 
 class TestEngineBehavior:

@@ -1,0 +1,188 @@
+"""Property-based guarantees for the interning layer.
+
+Two families:
+
+* **IdSet/MaskIdSet vs set[Prefix]**: an id-level set driven through a
+  random op sequence must decode to exactly the prefix set a plain
+  ``set[Prefix]`` model produces under the same ops — the backends are
+  interchangeable and neither drops, duplicates nor invents members.
+* **SymbolTable round trip**: encode → decode is the identity for any
+  mix of tokens and prefixes, ids are dense in first-appearance order,
+  and a shard-join remap preserves what every id decodes to.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.interning import IdSet, MaskIdSet, SymbolTable, unpack_edge
+from repro.net.prefix import Prefix
+
+# Bounded id universe keeps MaskIdSet masks small and collisions (the
+# interesting cases: re-add, discard-of-member) frequent.
+ids = st.integers(0, 127)
+
+
+def prefixes() -> st.SearchStrategy[Prefix]:
+    def build(raw: int, length: int) -> Prefix:
+        mask = 0 if length == 0 else (
+            (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        )
+        return Prefix(raw & mask, length)
+
+    return st.builds(
+        build, st.integers(0, 0xFFFFFFFF), st.integers(0, 32)
+    )
+
+
+def tokens() -> st.SearchStrategy[tuple]:
+    return st.one_of(
+        st.tuples(st.just("router"), st.text(max_size=8)),
+        st.tuples(st.just("nh"), st.integers(0, 0xFFFFFFFF)),
+        st.tuples(st.just("as"), st.integers(1, 0xFFFFFFFF)),
+        st.tuples(st.just("root"), st.text(max_size=8)),
+    )
+
+
+#: One random mutation: ("add", id), ("discard", id) or ("union", ids).
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), ids),
+        st.tuples(st.just("discard"), ids),
+        st.tuples(st.just("union"), st.lists(ids, max_size=8)),
+    ),
+    max_size=40,
+)
+
+
+@given(operations)
+def test_idset_backends_match_set_model(ops):
+    model: set = set()
+    plain = IdSet()
+    masked = MaskIdSet()
+    for op, arg in ops:
+        if op == "add":
+            model.add(arg)
+            plain.add(arg)
+            masked.add(arg)
+        elif op == "discard":
+            model.discard(arg)
+            plain.discard(arg)
+            masked.discard(arg)
+        else:
+            model.update(arg)
+            plain.update(arg)
+            masked.update(arg)
+        # Membership, count and iteration agree after every step.
+        assert set(plain) == model
+        assert set(masked) == model
+        assert plain.count() == masked.count() == len(model)
+        assert all(member in masked for member in model)
+    # The backends agree with each other and across the mask codec.
+    assert masked == plain
+    assert plain.mask() == masked.mask()
+    assert set(IdSet.from_mask(plain.mask())) == model
+    assert set(MaskIdSet.from_mask(masked.mask())) == model
+
+
+@given(operations, operations)
+def test_idset_union_of_built_sets(ops_a, ops_b):
+    def run(ops, target):
+        for op, arg in ops:
+            if op == "add":
+                target.add(arg)
+            elif op == "discard":
+                target.discard(arg)
+            else:
+                target.update(arg)
+        return target
+
+    model = run(ops_a, set()) | run(ops_b, set())
+    plain = run(ops_a, IdSet())
+    plain.update(run(ops_b, IdSet()))
+    masked = run(ops_a, MaskIdSet())
+    masked.union_update(run(ops_b, MaskIdSet()))
+    assert set(plain) == set(masked) == model
+
+
+@given(st.lists(prefixes(), max_size=30))
+def test_idset_decodes_to_prefix_set(prefix_list):
+    """Interned adds decode back to exactly the set[Prefix] model."""
+    table = SymbolTable()
+    model: set = set()
+    plain = IdSet()
+    masked = MaskIdSet()
+    for prefix in prefix_list:
+        model.add(prefix)
+        pid = table.intern_prefix(prefix)
+        plain.add(pid)
+        masked.add(pid)
+    assert {table.prefix(pid) for pid in plain} == model
+    assert {table.prefix(pid) for pid in masked} == model
+    assert plain.count() == masked.count() == len(model)
+
+
+@given(st.lists(tokens(), max_size=30), st.lists(prefixes(), max_size=30))
+def test_symbol_table_round_trip(token_list, prefix_list):
+    table = SymbolTable()
+    tids = [table.intern_token(token) for token in token_list]
+    pids = [table.intern_prefix(prefix) for prefix in prefix_list]
+    # Identity: decode inverts encode, and re-interning is stable.
+    for token, tid in zip(token_list, tids):
+        assert table.token(tid) == token
+        assert table.intern_token(token) == tid
+        assert table.token_id(token) == tid
+    for prefix, pid in zip(prefix_list, pids):
+        assert table.prefix(pid) == prefix
+        assert table.intern_prefix(prefix) == pid
+        assert table.prefix_id(prefix) == pid
+    # Density: ids cover 0..n-1 in first-appearance order.
+    assert sorted(set(tids)) == list(range(table.token_count))
+    assert sorted(set(pids)) == list(range(table.prefix_count))
+    first_seen: list = []
+    for token in token_list:
+        if token not in first_seen:
+            first_seen.append(token)
+    assert [table.token(i) for i in range(table.token_count)] == first_seen
+
+
+@given(st.lists(tokens(), min_size=1, max_size=20))
+def test_symbol_table_edges_round_trip(token_list):
+    table = SymbolTable()
+    tids = [table.intern_token(token) for token in token_list]
+    for parent, child in zip(tids, tids[1:]):
+        from repro.interning import pack_edge
+
+        eid = pack_edge(parent, child)
+        assert unpack_edge(eid) == (parent, child)
+        assert table.decode_edge(eid) == (
+            table.token(parent),
+            table.token(child),
+        )
+
+
+@given(
+    st.lists(tokens(), max_size=20),
+    st.lists(prefixes(), max_size=20),
+    st.lists(tokens(), max_size=20),
+    st.lists(prefixes(), max_size=20),
+)
+def test_remap_preserves_decoding(tokens_a, prefixes_a, tokens_b, prefixes_b):
+    """A shard join must not change what any shard id decodes to."""
+    parent = SymbolTable()
+    for token in tokens_a:
+        parent.intern_token(token)
+    for prefix in prefixes_a:
+        parent.intern_prefix(prefix)
+    shard = SymbolTable()
+    for token in tokens_b:
+        shard.intern_token(token)
+    for prefix in prefixes_b:
+        shard.intern_prefix(prefix)
+    token_map = parent.remap_tokens(shard)
+    prefix_map = parent.remap_prefixes(shard)
+    assert len(token_map) == shard.token_count
+    assert len(prefix_map) == shard.prefix_count
+    for old in range(shard.token_count):
+        assert parent.token(token_map[old]) == shard.token(old)
+    for old in range(shard.prefix_count):
+        assert parent.prefix(prefix_map[old]) == shard.prefix(old)

@@ -63,6 +63,54 @@ class TestRender:
         assert "<svg" in out_svg.read_text()
 
 
+class TestProfile:
+    def test_render_profile_writes_stats_and_summary(
+        self, tmp_path, capsys
+    ):
+        import pstats
+
+        path = tmp_path / "announce.jsonl"
+        from repro.collector.events import EventKind
+
+        events = [
+            mk_event(float(i), "1.1.1.1", "2.2.2.2", "100 200",
+                     f"10.0.{i}.0/24", EventKind.ANNOUNCE)
+            for i in range(10)
+        ]
+        EventStream(events).save(path)
+        prof = tmp_path / "render.prof"
+        assert main(["render", str(path), "--profile", str(prof)]) == 0
+        captured = capsys.readouterr()
+        assert "AS100 -> AS200" in captured.out
+        assert str(prof) in captured.err
+        # The binary pstats load, and the text summary is the top-25
+        # cumulative table.
+        stats = pstats.Stats(str(prof))
+        assert stats.total_calls > 0
+        summary = (tmp_path / "render.prof.txt").read_text()
+        assert "cumulative" in summary
+
+    def test_profile_preserves_failure_exit_code(self, tmp_path, capsys):
+        prof = tmp_path / "fail.prof"
+        code = main(
+            ["diagnose", str(tmp_path / "nope.jsonl"),
+             "--profile", str(prof)]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+        # The profile is still written for the failing run.
+        assert prof.exists()
+        assert (tmp_path / "fail.prof.txt").exists()
+
+    def test_demo_accepts_profile(self, tmp_path, capsys):
+        prof = tmp_path / "demo.prof"
+        assert main(
+            ["demo", "backdoor", "--prefixes", "150",
+             "--profile", str(prof)]
+        ) == 0
+        assert prof.exists()
+
+
 class TestRate:
     def test_rate_plot(self, stream_file, capsys):
         assert main(["rate", str(stream_file)]) == 0
