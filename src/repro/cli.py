@@ -186,7 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     rate.set_defaults(handler=cmd_rate)
 
     animate = sub.add_parser(
-        "animate", parents=[workers_opt, ingest_opt],
+        "animate", parents=[workers_opt, profile_opt, ingest_opt],
         help="SMIL-animated SVG of a stream (plays in a browser)",
     )
     animate.add_argument("events", type=Path)
@@ -202,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     animate.set_defaults(handler=cmd_animate)
 
     monitor = sub.add_parser(
-        "monitor", parents=[workers_opt, ingest_opt],
+        "monitor", parents=[workers_opt, profile_opt, ingest_opt],
         help="run the streaming pipeline as a long-lived monitor",
     )
     monitor.add_argument(

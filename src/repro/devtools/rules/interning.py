@@ -1,4 +1,4 @@
-"""INT001: TAMP hot paths must stay on interned edge stores.
+"""INT001/INT002: hot paths must stay on interned ids.
 
 The DESIGN.md §10 rewrite moved the picture build onto dense interned
 ids: edge stores are keyed by packed int edge ids
@@ -8,14 +8,23 @@ Reintroducing object-level state in the build/merge hot path — a
 ``set[Prefix]`` column, or a ``(parent, child)`` token tuple used as an
 edge-store key — type-checks, passes every equivalence test, and
 silently reverts the Table I(b) performance win, which is why it gets a
-static gate instead of a code-review note.
+static gate (INT001) instead of a code-review note.
 
-The rule is deliberately narrow: it watches only the named hot
-functions inside :mod:`repro.tamp`, so decode-boundary queries (which
+The stemming counter and the animator run interned too: sequences are
+id tuples, pair stores are keyed by packed pair ints, frame diffs are
+keyed by packed edge ids, and tokens reappear only at the decode
+boundary (``counts()``/``top()``, frame ``LazyEdgeMap`` access, SVG
+emission). The equivalent regression there is *decoding inside the hot
+loop* — a ``symbols.token(...)``/``decode_pair(...)`` call, or a
+``route_path_tokens`` re-render that the apply memo exists to avoid —
+which is what INT002 gates.
+
+Both rules are deliberately narrow: they watch only the named hot
+functions inside their packages, so decode-boundary queries (which
 legitimately speak tokens and ``set[Prefix]``) and every other package
 stay out of scope. :mod:`repro.tamp.reference` — the preserved
-pre-rewrite builder the equivalence suite checks against — violates it
-by design and carries per-line justifications.
+pre-rewrite builder the equivalence suite checks against — violates
+INT001 by design and carries per-line justifications.
 """
 
 from __future__ import annotations
@@ -38,11 +47,50 @@ _HOT_FUNCTIONS = frozenset(
         "merge_tree",
         "merge_router",
         "merge_entries",
-        "_merge_grouped",
+        "merge_groups",
+        "merge_view",
+        "merge_id_view",
+        "merge_view_shards",
         "_merge_ids",
         "_bulk_add",
+        "_build_rex_view_shard",
     }
 )
+
+#: INT002 scope: the interned stemming/animation hot paths.
+_ID_PACKAGES = ("repro.stemming", "repro.tamp")
+
+#: The id-level stemming/animation hot path, by function name. These
+#: run between the encode and decode boundaries, so any token decode or
+#: chain re-render inside them is a regression.
+_ID_HOT_FUNCTIONS = frozenset(
+    {
+        # repro.stemming.counter — packed-pair bulk counting
+        "add_ids",
+        "add_id_counts",
+        "subtract_id_sequences",
+        "_shift_pairs",
+        "_rebuild_pairs",
+        "_expand_shard",
+        # repro.stemming.stemmer — interned grouping
+        "_group_by_ids",
+        # repro.tamp.incremental / animate — id-keyed frame diffing
+        "_install",
+        "_withdraw",
+        "_remove_contribution",
+        "_ids_for",
+        "animate_stream",
+        # repro.tamp.svg_animation — id-keyed keyframe tracks
+        "_edge_tracks",
+    }
+)
+
+#: Decode-boundary method names: calling one inside an id-level hot
+#: function means tokens are being materialized in the loop.
+_DECODE_METHODS = frozenset({"token", "decode_pair", "decode_edge", "prefix"})
+
+#: Chain re-renderers the apply/grouping memos exist to avoid.
+_RETOKENIZERS = frozenset({"route_path_tokens"})
 
 #: Object-set constructors that must not type prefix containers here.
 _SET_TYPES = frozenset({"set", "frozenset"})
@@ -187,3 +235,71 @@ class InternedHotPath(Checker):
         if isinstance(node, ast.Name):
             return "edges" in node.id.lower()
         return False
+
+
+@register
+class IdLevelHotPath(Checker):
+    """INT002 over the stemming/animation id-level hot functions."""
+
+    rules = (
+        Rule(
+            "INT002",
+            "stemming/animation hot path decodes interned ids or"
+            " re-tokenizes a chain inside the loop",
+        ),
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(_ID_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in _ID_HOT_FUNCTIONS
+            ):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: _AnyFunc
+    ) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in _DECODE_METHODS
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "INT002",
+                        f"{func.name}() calls .{callee.attr}() on the"
+                        " id-level hot path; tokens must only"
+                        " materialize at the decode boundary"
+                        " (DESIGN.md §10)",
+                    )
+                )
+            elif self._callee_name(callee) in _RETOKENIZERS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "INT002",
+                        f"{func.name}() re-renders a token chain via"
+                        f" {self._callee_name(callee)}() on the id-level"
+                        " hot path; chains must come from the interned"
+                        " apply/grouping memo (DESIGN.md §10)",
+                    )
+                )
+        yield from sorted(findings)
+
+    @staticmethod
+    def _callee_name(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None

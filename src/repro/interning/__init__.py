@@ -5,9 +5,10 @@ operations whose keys are ``(namespace, value)`` token tuples and
 :class:`~repro.net.prefix.Prefix` objects. Hashing a tuple walks its
 elements; hashing a small int is (nearly) the int itself, and two ints
 pack into a single int edge key. Interning the four token namespaces
-(``router``, ``nh``, ``as``, ``pfx``) and the prefix universe to dense
-contiguous ids therefore turns the hot loops into plain int dict/set
-traffic — the cheapest primitives CPython has.
+(``router``, ``nh``, ``as``, ``pfx``) to dense contiguous ids and
+packing each prefix's bits into a value-derived id
+(:func:`pack_prefix`) therefore turns the hot loops into plain int
+dict/set traffic — the cheapest primitives CPython has.
 
 The contract that keeps the rest of the system oblivious is
 **decode at the boundary** (DESIGN.md §10): interned ids never escape
@@ -26,17 +27,25 @@ from repro.interning.idset import IdSet, MaskIdSet
 from repro.interning.symbols import (
     EDGE_MASK,
     EDGE_SHIFT,
+    PREFIX_MASK,
+    PREFIX_SHIFT,
     SymbolTable,
     pack_edge,
+    pack_prefix,
     unpack_edge,
+    unpack_prefix,
 )
 
 __all__ = [
     "EDGE_MASK",
     "EDGE_SHIFT",
+    "PREFIX_MASK",
+    "PREFIX_SHIFT",
     "IdSet",
     "MaskIdSet",
     "SymbolTable",
     "pack_edge",
+    "pack_prefix",
     "unpack_edge",
+    "unpack_prefix",
 ]

@@ -1,9 +1,11 @@
-"""Per-build symbol tables mapping tokens and prefixes to dense ints.
+"""Per-build symbol tables mapping tokens and prefixes to int ids.
 
 A :class:`SymbolTable` owns two id spaces:
 
-* **token ids** — one per distinct ``(namespace, value)`` node token;
-* **prefix ids** — one per distinct :class:`~repro.net.prefix.Prefix`.
+* **token ids** — one per distinct ``(namespace, value)`` node token,
+  assigned densely in first-appearance order from a per-table map;
+* **prefix ids** — *value-derived*: a prefix's id is computed from its
+  bits (:func:`pack_prefix`), not assigned from a table.
 
 Prefixes get their own space because they are what edge *weights* count:
 a ``dict[prefix_id, refcount]`` per edge plus :class:`IdSet` unions over
@@ -11,10 +13,21 @@ prefix ids replace the per-edge ``set[Prefix]`` object churn. A prefix
 that also appears as a leaf *node* additionally has a token id for its
 ``("pfx", prefix)`` token, memoized by :meth:`pfx_token_id`.
 
-Ids are assigned in first-appearance order and never reused, so a table
-is append-only: a graph derived from another (pruning, copies) can share
-its parent's table safely. Edge keys pack two token ids into one int
-(:func:`pack_edge`) so an edge lookup is a single small-int hash.
+Prefix ids being pure functions of the prefix is what makes the
+parallel build cheap: every worker shard computes *identical* prefix
+ids with no shared state, so joining shards never remaps a refcount
+store's keys — only the (few thousand) token ids need translation. It
+also makes encoding two attribute loads and two shifts instead of a
+dict probe through a Python-level ``Prefix.__hash__``, which at 1.5M
+routes per picture is a measurable slice of the whole build. The host
+bits are shifted out (a ``/L`` prefix has exactly ``L`` meaningful
+network bits) so consecutive prefixes get consecutive ids and the
+id-keyed stores probe well-spread dict slots.
+
+Token ids stay table-assigned and append-only, so a graph derived from
+another (pruning, copies) can share its parent's table safely. Edge
+keys pack two token ids into one int (:func:`pack_edge`) so an edge
+lookup is a single small-int hash.
 """
 
 from __future__ import annotations
@@ -29,6 +42,11 @@ from repro.net.prefix import Prefix
 EDGE_SHIFT = 32
 EDGE_MASK = (1 << EDGE_SHIFT) - 1
 
+#: Mask length occupies the bits above the (host-bit-stripped) network
+#: bits of a packed prefix id.
+PREFIX_SHIFT = 32
+PREFIX_MASK = (1 << PREFIX_SHIFT) - 1
+
 
 def pack_edge(parent_id: int, child_id: int) -> int:
     """Pack a (parent, child) token-id pair into one int edge key."""
@@ -40,22 +58,47 @@ def unpack_edge(edge_id: int) -> tuple[int, int]:
     return edge_id >> EDGE_SHIFT, edge_id & EDGE_MASK
 
 
+def pack_prefix(prefix: Prefix) -> int:
+    """The value-derived id of *prefix*: ``length | network-bits``.
+
+    The network's host bits are shifted out, so a /24 walk through
+    adjacent networks yields consecutive ids — dict slots stay spread
+    even for the stride-aligned prefix blocks synthetic workloads (and
+    real aggregation) produce. Hot loops inline this expression rather
+    than paying a call per prefix; keep them in sync.
+    """
+    return (prefix.length << PREFIX_SHIFT) | (
+        prefix.network >> (32 - prefix.length)
+    )
+
+
+def unpack_prefix(pid: int) -> Prefix:
+    """Invert :func:`pack_prefix`."""
+    length = pid >> PREFIX_SHIFT
+    return Prefix((pid & PREFIX_MASK) << (32 - length), length)
+
+
 class SymbolTable:
-    """Bidirectional token/prefix ↔ dense-int id mapping.
+    """Bidirectional token ↔ dense-int mapping plus prefix-id codecs.
 
     Per-build state: construct one per picture build (or one per worker
     shard) and let it die with the graphs that reference it. Never store
     one at module level.
+
+    Prefix ids are value-derived (:func:`pack_prefix`), so the prefix
+    side holds no assignment state — only a decode memo that keeps
+    repeated :meth:`prefix` calls from constructing duplicate
+    :class:`Prefix` objects at the decode boundary.
     """
 
-    __slots__ = ("_token_ids", "_tokens", "_prefix_ids", "_prefixes",
-                 "_pfx_tids")
+    __slots__ = ("_token_ids", "_tokens", "_prefix_memo", "_pfx_tids")
 
     def __init__(self) -> None:
         self._token_ids: dict[Token, int] = {}
         self._tokens: list[Token] = []
-        self._prefix_ids: dict[Prefix, int] = {}
-        self._prefixes: list[Prefix] = []
+        #: prefix id -> decoded Prefix, filled lazily at the decode
+        #: boundary.
+        self._prefix_memo: dict[int, Prefix] = {}
         #: prefix id -> token id of its ("pfx", prefix) leaf token,
         #: interned lazily (most prefixes never become nodes when
         #: include_prefix_leaves is off).
@@ -76,20 +119,16 @@ class SymbolTable:
         return tid
 
     def intern_prefix(self, prefix: Prefix) -> int:
-        """The id for *prefix*, assigning the next id on first sight."""
-        ids = self._prefix_ids
-        pid = ids.get(prefix)
-        if pid is None:
-            pid = len(ids)
-            ids[prefix] = pid
-            self._prefixes.append(prefix)
-        return pid
+        """The id for *prefix* — pure arithmetic, no table state."""
+        return (prefix.length << PREFIX_SHIFT) | (
+            prefix.network >> (32 - prefix.length)
+        )
 
     def pfx_token_id(self, pid: int) -> int:
         """Token id of the ``("pfx", prefix)`` leaf node for prefix *pid*."""
         tid = self._pfx_tids.get(pid)
         if tid is None:
-            tid = self.intern_token(("pfx", self._prefixes[pid]))
+            tid = self.intern_token(("pfx", self.prefix(pid)))
             self._pfx_tids[pid] = tid
         return tid
 
@@ -105,24 +144,15 @@ class SymbolTable:
         """
         return self._pfx_tids
 
-    @property
-    def prefix_id_map(self) -> dict[Prefix, int]:
-        """The live prefix → id mapping behind :meth:`intern_prefix`.
-
-        Exposed for hot loops that want the common (already-interned)
-        case as a bound ``dict.get`` instead of a method call per
-        prefix, falling back to :meth:`intern_prefix` on a miss.
-        Callers must treat the mapping as read-only.
-        """
-        return self._prefix_ids
-
     def token_id(self, token: Token) -> Optional[int]:
         """The id for *token* if already interned, else None."""
         return self._token_ids.get(token)
 
-    def prefix_id(self, prefix: Prefix) -> Optional[int]:
-        """The id for *prefix* if already interned, else None."""
-        return self._prefix_ids.get(prefix)
+    def prefix_id(self, prefix: Prefix) -> int:
+        """Alias of :meth:`intern_prefix`: value-derived, never None."""
+        return (prefix.length << PREFIX_SHIFT) | (
+            prefix.network >> (32 - prefix.length)
+        )
 
     # ------------------------------------------------------------------
     # Decoding (the boundary)
@@ -132,7 +162,12 @@ class SymbolTable:
         return self._tokens[tid]
 
     def prefix(self, pid: int) -> Prefix:
-        return self._prefixes[pid]
+        prefix = self._prefix_memo.get(pid)
+        if prefix is None:
+            length = pid >> PREFIX_SHIFT
+            prefix = Prefix((pid & PREFIX_MASK) << (32 - length), length)
+            self._prefix_memo[pid] = prefix
+        return prefix
 
     def decode_edge(self, edge_id: int) -> tuple[Token, Token]:
         """Decode a packed edge key back to a (parent, child) token pair."""
@@ -142,10 +177,6 @@ class SymbolTable:
     @property
     def token_count(self) -> int:
         return len(self._tokens)
-
-    @property
-    def prefix_count(self) -> int:
-        return len(self._prefixes)
 
     # ------------------------------------------------------------------
     # Merging (parallel shard join)
@@ -157,11 +188,8 @@ class SymbolTable:
         The list is indexed by *other*'s token ids. Interning in
         *other*'s id order keeps first-appearance ordering across a
         shard join identical to a serial build over the same trees.
+        Prefix ids need no counterpart: they are value-derived, so every
+        table already agrees on them.
         """
         intern = self.intern_token
         return [intern(token) for token in other._tokens]
-
-    def remap_prefixes(self, other: "SymbolTable") -> list[int]:
-        """Intern every prefix of *other*; return the old→new id map."""
-        intern = self.intern_prefix
-        return [intern(prefix) for prefix in other._prefixes]

@@ -14,6 +14,10 @@ the three decisions every parallel hot path otherwise reinvents badly:
   so that the serial path is the exact same code as one shard.
 * **Pool lifecycle.** :func:`map_shards` owns pool creation and teardown
   so callers never leak worker processes.
+
+It also hosts :func:`gc_paused`, the batch-build guard that keeps the
+cyclic collector from repeatedly scanning a multi-gigabyte live heap
+while a build allocates millions of acyclic containers.
 """
 
 from repro.perf.chunking import partition
@@ -26,6 +30,7 @@ from repro.perf.config import (
     resolve_workers,
     usable_cpus,
 )
+from repro.perf.gcguard import gc_paused
 from repro.perf.pool import map_shards
 
 __all__ = [
@@ -34,6 +39,7 @@ __all__ = [
     "ENV_WORKERS",
     "effective_workers",
     "fork_available",
+    "gc_paused",
     "map_shards",
     "partition",
     "resolve_workers",

@@ -16,7 +16,22 @@ Two implementations share an interface:
   across a :mod:`repro.perf` worker pool and merge in the parent.
 * :class:`NaiveSubsequenceCounter` — the textbook O(N·L²) version, kept
   as the baseline for the ablation benchmark
-  (``benchmarks/test_ablations.py``).
+  (``benchmarks/test_ablations.py``) and as the object-level reference
+  the interned counter's equivalence suite pins against.
+
+Internally the production counter is *interned* (DESIGN.md §10): event
+tokens map to dense int ids through a
+:class:`~repro.interning.SymbolTable`, sequences become int tuples,
+adjacent pairs pack into single ``(a << 32) | b`` ints, and every hot
+store — the pair table, the count buckets, the lazily-built full
+expansion — is keyed on those ids. Token tuples exist only at the API
+boundary: :meth:`SubsequenceCounter.top` and
+:meth:`SubsequenceCounter.counts` decode on the way out, and the
+decoded results are exactly what the object-level counter produces.
+Bulk callers (the stemmer) skip the boundary entirely via the id-level
+API (:meth:`~SubsequenceCounter.add_ids`,
+:meth:`~SubsequenceCounter.top_ids`,
+:meth:`~SubsequenceCounter.subtract_id_sequences`).
 
 A subtlety the stemmer relies on: subsequence count is monotone
 non-increasing under extension, so the maximum count over length ≥ 2 is
@@ -36,7 +51,10 @@ materializing the millions-of-entries expansion. The full expansion is
 still available through :meth:`SubsequenceCounter.counts` — built
 lazily, sharded across a :mod:`repro.perf` worker pool when large, and
 maintained incrementally (count-bucketed index, per-sequence memo)
-under :meth:`SubsequenceCounter.subtract_sequences` once built.
+under :meth:`SubsequenceCounter.subtract_sequences` once built. Worker
+shards receive already-interned id sequences, so the shard join is a
+plain C-level ``Counter.update`` — ids are assigned by the parent
+before the fan-out, leaving nothing to remap.
 """
 
 from __future__ import annotations
@@ -46,10 +64,25 @@ from functools import partial
 from typing import Iterable, Optional
 
 from repro.collector.events import BGPEvent, Token
-from repro.perf import effective_workers, map_shards, partition
+from repro.interning import SymbolTable
+from repro.perf import effective_workers, gc_paused, map_shards, partition
 
 Sequence_ = tuple[Token, ...]
 Pair = tuple[Token, Token]
+#: An interned sequence: dense token ids in sequence order.
+IdSequence = tuple[int, ...]
+
+#: The first token id of a packed adjacent-pair key occupies the bits
+#: above the second. 32 bits per side matches the edge-id packing of
+#: :mod:`repro.interning` — vastly above any real token table.
+PAIR_SHIFT = 32
+PAIR_MASK = (1 << PAIR_SHIFT) - 1
+
+#: Bulk pair counting streams each sequence's distinct pairs once per
+#: counted event through one C-level ``Counter.update``; past this
+#: multiplicity the O(distinct) per-pair arithmetic add wins over the
+#: O(events) stream repeat.
+_STREAM_REPEAT_LIMIT = 8
 
 
 class SubsequenceCounter:
@@ -59,31 +92,42 @@ class SubsequenceCounter:
         self,
         max_length: Optional[int] = None,
         workers: Optional[int] = None,
+        symbols: Optional[SymbolTable] = None,
     ) -> None:
         """*max_length* bounds counted subsequence length (None = full).
 
         *workers* requests parallel expansion (None = the
         ``REPRO_WORKERS`` environment variable, see :mod:`repro.perf`);
         small tables fall back to the identical serial code path.
+
+        *symbols* shares a caller's token table (the stemmer interns
+        event streams once and feeds both its own index and the counter
+        from the same ids); by default the counter owns a private one.
         """
         self.max_length = max_length
         self.workers = workers
-        self._sequence_counts: Counter[Sequence_] = Counter()
-        self._expanded: Optional[Counter[Sequence_]] = None
+        self.symbols = symbols if symbols is not None else SymbolTable()
+        self._sequence_counts: Counter[IdSequence] = Counter()
+        self._expanded: Optional[Counter[IdSequence]] = None
         #: count -> set of subsequences at that count; lazily built by
         #: top() and maintained incrementally thereafter.
-        self._buckets: Optional[dict[int, set[Sequence_]]] = None
+        self._buckets: Optional[dict[int, set[IdSequence]]] = None
         #: sequence -> its distinct subsequences, memoized for sequences
         #: mutated after expansion (flapping streams re-add the same
         #: sequence thousands of times).
-        self._expansions: dict[Sequence_, tuple[Sequence_, ...]] = {}
-        #: adjacent pair -> number of events containing it. Maintained
-        #: on every add/subtract (O(L) per sequence); with the pair
-        #: buckets below it answers top() without the full expansion.
-        self._pair_counts: Counter[Pair] = Counter()
-        #: count -> set of pairs at that count; lazily built by top()
-        #: and maintained incrementally thereafter.
-        self._pair_buckets: Optional[dict[int, set[Pair]]] = None
+        self._expansions: dict[IdSequence, tuple[IdSequence, ...]] = {}
+        #: packed adjacent pair -> number of events containing it.
+        #: Maintained on every add/subtract (O(L) per sequence); with
+        #: the pair buckets below it answers top() without the full
+        #: expansion.
+        self._pair_counts: Counter[int] = Counter()
+        #: count -> set of packed pairs at that count; lazily built by
+        #: top() and maintained incrementally thereafter.
+        self._pair_buckets: Optional[dict[int, set[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Token-level API (the decode boundary)
+    # ------------------------------------------------------------------
 
     def add(self, event: BGPEvent) -> None:
         self.add_sequence(event.sequence)
@@ -94,20 +138,15 @@ class SubsequenceCounter:
         Grouped callers (the stemmer's unique-sequence index) pass the
         whole group size at once instead of looping O(events) times.
         """
-        if multiplicity < 1:
-            raise ValueError(
-                f"multiplicity must be >= 1, got {multiplicity}"
-            )
-        self._sequence_counts[sequence] += multiplicity
-        self._shift_pairs(sequence, multiplicity)
-        if self._expanded is not None:
-            # Keep the expansion current instead of invalidating it: a
-            # rebuild is O(U·L²), this is O(L²).
-            self._apply_delta(self._expansion(sequence), multiplicity)
+        self.add_ids(self.intern_sequence(sequence), multiplicity)
 
     def add_all(self, events: Iterable[BGPEvent]) -> None:
         for event in events:
             self.add(event)
+
+    def intern_sequence(self, sequence: Sequence_) -> IdSequence:
+        """Encode a token sequence into this counter's id space."""
+        return tuple(map(self.symbols.intern_token, sequence))
 
     def subtract_sequence(self, sequence: Sequence_, multiplicity: int) -> None:
         """Remove *multiplicity* occurrences of a whole sequence.
@@ -130,18 +169,125 @@ class SubsequenceCounter:
         the expansion once touches each affected subsequence a single
         time instead of once per removed sequence.
         """
-        removals = list(removals)
+        token_id = self.symbols.token_id
+        id_removals: list[tuple[IdSequence, int]] = []
         for sequence, multiplicity in removals:
-            current = self._sequence_counts.get(sequence, 0)
+            ids = tuple(token_id(token) for token in sequence)
+            if None in ids:
+                # A never-interned token means a never-added sequence.
+                raise ValueError(
+                    f"cannot subtract {multiplicity} of a sequence"
+                    " counted 0 times"
+                )
+            id_removals.append((ids, multiplicity))
+        self.subtract_id_sequences(id_removals)
+
+    def counts(self) -> Counter[Sequence_]:
+        """Subsequence → number of events containing it (length ≥ 2).
+
+        A subsequence occurring twice inside one event (possible when a
+        path revisits a token pattern, e.g. "1 2 1 2") still counts that
+        event once: strength means "how many events share this
+        structure", not "how many occurrences exist".
+
+        Decoded snapshot: the live store is id-keyed
+        (:meth:`id_counts`); this renders token tuples for the caller
+        and is rebuilt per call, so mutate-then-compare sees current
+        counts.
+        """
+        token = self.symbols.token
+        return Counter(
+            {
+                tuple(token(tid) for tid in ids): count
+                for ids, count in self.id_counts().items()
+            }
+        )
+
+    def top(self) -> Optional[tuple[Sequence_, int]]:
+        """The strongest subsequence: highest count, longest on ties.
+
+        Ties on (count, length) break toward the lexicographically
+        smallest rendering for determinism. Decodes
+        :meth:`top_ids`' winner at the boundary.
+        """
+        top = self.top_ids()
+        if top is None:
+            return None
+        ids, count = top
+        token = self.symbols.token
+        return tuple(token(tid) for tid in ids), count
+
+    # ------------------------------------------------------------------
+    # Id-level API (the stemmer's hot path)
+    # ------------------------------------------------------------------
+
+    def add_ids(self, ids: IdSequence, multiplicity: int = 1) -> None:
+        """:meth:`add_sequence` for an already-interned sequence."""
+        if multiplicity < 1:
+            raise ValueError(
+                f"multiplicity must be >= 1, got {multiplicity}"
+            )
+        self._sequence_counts[ids] += multiplicity
+        self._shift_pairs(ids, multiplicity)
+        if self._expanded is not None:
+            # Keep the expansion current instead of invalidating it: a
+            # rebuild is O(U·L²), this is O(L²).
+            self._apply_delta(self._expansion(ids), multiplicity)
+
+    def add_id_counts(
+        self, items: Iterable[tuple[IdSequence, int]]
+    ) -> None:
+        """Bulk :meth:`add_ids` over a whole unique-sequence table.
+
+        On a virgin counter (no expansion, no bucket index — the
+        stemmer's initial load) the adjacent-pair table takes one
+        C-level ``Counter.update`` over a packed-pair stream instead of
+        a Python dict transaction per sequence; with indexes live it
+        falls back to the incremental per-sequence path.
+        """
+        if self._expanded is not None or self._pair_buckets is not None:
+            for ids, multiplicity in items:
+                self.add_ids(ids, multiplicity)
+            return
+        sequence_counts = self._sequence_counts
+        pair_counts = self._pair_counts
+        stream: list[int] = []
+        extend = stream.extend
+        for ids, multiplicity in items:
+            if multiplicity < 1:
+                raise ValueError(
+                    f"multiplicity must be >= 1, got {multiplicity}"
+                )
+            sequence_counts[ids] += multiplicity
+            if len(ids) < 2:
+                continue
+            pairs = {(a << PAIR_SHIFT) | b for a, b in zip(ids, ids[1:])}
+            if multiplicity <= _STREAM_REPEAT_LIMIT:
+                for _ in range(multiplicity):
+                    extend(pairs)
+            else:
+                # Heavily duplicated sequences (big flaps) add per pair
+                # in O(distinct), not O(events).
+                for pair in pairs:
+                    pair_counts[pair] += multiplicity
+        pair_counts.update(stream)
+
+    def subtract_id_sequences(
+        self, removals: Iterable[tuple[IdSequence, int]]
+    ) -> None:
+        """:meth:`subtract_sequences` over already-interned sequences."""
+        removals = list(removals)
+        for ids, multiplicity in removals:
+            current = self._sequence_counts.get(ids, 0)
             if multiplicity > current:
                 raise ValueError(
                     f"cannot subtract {multiplicity} of a sequence counted"
                     f" {current} times"
                 )
             if multiplicity == current:
-                del self._sequence_counts[sequence]
+                del self._sequence_counts[ids]
             else:
-                self._sequence_counts[sequence] = current - multiplicity
+                self._sequence_counts[ids] = current - multiplicity
         # When the removals outnumber the survivors (typical for the
         # first extracted component, which often explains most of a
         # spike), rebuilding from the survivors is cheaper than walking
@@ -149,9 +295,33 @@ class SubsequenceCounter:
         majority = len(removals) > len(self._sequence_counts)
         if majority:
             self._rebuild_pairs()
+        elif self._pair_buckets is None:
+            # No bucket index yet: batch the whole removal into one
+            # C-counted delta and one short sweep over distinct pairs.
+            pair_counts = self._pair_counts
+            delta: Counter[int] = Counter()
+            stream: list[int] = []
+            extend = stream.extend
+            for ids, multiplicity in removals:
+                if len(ids) < 2:
+                    continue
+                pairs = {
+                    (a << PAIR_SHIFT) | b for a, b in zip(ids, ids[1:])
+                }
+                if multiplicity <= _STREAM_REPEAT_LIMIT:
+                    for _ in range(multiplicity):
+                        extend(pairs)
+                else:
+                    for pair in pairs:
+                        delta[pair] += multiplicity
+            delta.update(stream)
+            pair_counts.subtract(delta)
+            for pair in delta:
+                if pair_counts[pair] <= 0:
+                    del pair_counts[pair]
         else:
-            for sequence, multiplicity in removals:
-                self._shift_pairs(sequence, -multiplicity)
+            for ids, multiplicity in removals:
+                self._shift_pairs(ids, -multiplicity)
         if self._expanded is None:
             return
         if majority:
@@ -161,15 +331,15 @@ class SubsequenceCounter:
             self._expansions.clear()
             return
         if len(removals) == 1:
-            sequence, multiplicity = removals[0]
-            self._apply_delta(self._expansion(sequence), -multiplicity)
-            self._forget_expansion(sequence)
+            ids, multiplicity = removals[0]
+            self._apply_delta(self._expansion(ids), -multiplicity)
+            self._forget_expansion(ids)
             return
-        delta: Counter[Sequence_] = Counter()
-        for sequence, multiplicity in removals:
-            for subsequence in self._expansion(sequence):
+        delta: Counter[IdSequence] = Counter()
+        for ids, multiplicity in removals:
+            for subsequence in self._expansion(ids):
                 delta[subsequence] += multiplicity
-            self._forget_expansion(sequence)
+            self._forget_expansion(ids)
         expanded = self._expanded
         buckets = self._buckets
         if buckets is None:
@@ -197,32 +367,24 @@ class SubsequenceCounter:
     def unique_sequence_count(self) -> int:
         return len(self._sequence_counts)
 
-    def counts(self) -> Counter[Sequence_]:
-        """Subsequence → number of events containing it (length ≥ 2).
-
-        A subsequence occurring twice inside one event (possible when a
-        path revisits a token pattern, e.g. "1 2 1 2") still counts that
-        event once: strength means "how many events share this
-        structure", not "how many occurrences exist".
-        """
+    def id_counts(self) -> Counter[IdSequence]:
+        """The live expansion, keyed by interned id sequences."""
         if self._expanded is None:
             self._expanded = self._expand()
         return self._expanded
 
-    def top(self) -> Optional[tuple[Sequence_, int]]:
-        """The strongest subsequence: highest count, longest on ties.
+    def top_ids(self) -> Optional[tuple[IdSequence, int]]:
+        """:meth:`top` without the decode: (id sequence, count).
 
-        Ties on (count, length) break toward the lexicographically
-        smallest rendering for determinism.
-
-        With the expansion materialized (someone called :meth:`counts`),
-        this reads the full count-bucket index. Otherwise it answers
-        from the adjacent-pair table alone: by count monotonicity the
-        maximum count is attained by a pair, and any longer subsequence
-        tying it must consist entirely of maximum-count pairs, so the
-        only candidates are the windows of consecutive-winning-pair
-        runs, which :meth:`_candidate_windows` counts exactly. Either
-        way the stemmer gets its per-component top() without rescanning
+        With the expansion materialized (someone called
+        :meth:`counts`), this reads the full count-bucket index.
+        Otherwise it answers from the adjacent-pair table alone: by
+        count monotonicity the maximum count is attained by a pair, and
+        any longer subsequence tying it must consist entirely of
+        maximum-count pairs, so the only candidates are the windows of
+        consecutive-winning-pair runs, which
+        :meth:`_candidate_windows` counts exactly. Either way the
+        stemmer gets its per-component top() without rescanning
         millions of expanded entries — and the pair path without ever
         building them.
         """
@@ -234,53 +396,58 @@ class SubsequenceCounter:
             bucket = buckets[best_count]
             best_length = max(map(len, bucket))
             finalists = [s for s in bucket if len(s) == best_length]
-            return min(finalists, key=_tiebreak), best_count
+            return min(finalists, key=self._tiebreak_ids), best_count
         return self._pair_top()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _expand(self) -> Counter[Sequence_]:
+    def _expand(self) -> Counter[IdSequence]:
         """Build the full subsequence expansion, sharded when large.
 
         Deduplicated sequences are independent, so the unique-sequence
         table partitions cleanly: each worker expands its shard into a
         local Counter and the parent merges with ``Counter.update``
         (which adds counts in C). Serial execution uses the exact same
-        shard function on one shard.
+        shard function on one shard. Shards carry id sequences interned
+        by the parent *before* the fan-out, so — unlike the picture
+        build's shard join — there are no worker-local symbol tables
+        and nothing to remap: subsequences are slices, and a slice of
+        parent ids is already in the parent's id space.
         """
         items = list(self._sequence_counts.items())
         workers = effective_workers(self.workers, units=len(items))
         expand = partial(_expand_shard, max_length=self.max_length)
-        if workers <= 1:
-            return expand(items)
-        partials = map_shards(expand, partition(items, workers), workers)
-        merged = partials[0]
-        for part in partials[1:]:
-            merged.update(part)
+        with gc_paused():
+            if workers <= 1:
+                return expand(items)
+            partials = map_shards(expand, partition(items, workers), workers)
+            merged = partials[0]
+            for part in partials[1:]:
+                merged.update(part)
         return merged
 
-    def _expansion(self, sequence: Sequence_) -> tuple[Sequence_, ...]:
+    def _expansion(self, ids: IdSequence) -> tuple[IdSequence, ...]:
         """The distinct subsequences of one sequence, memoized."""
-        cached = self._expansions.get(sequence)
+        cached = self._expansions.get(ids)
         if cached is None:
             # repro: allow[DET002] memo order is private to the counter;
             # every consumer (Counter deltas, bucket sets, max/min top())
             # is order-insensitive, and sorting would tax the hot
             # mutate-after-expansion path for nothing.
-            cached = tuple(set(_subsequences(sequence, self.max_length)))
-            self._expansions[sequence] = cached
+            cached = tuple(set(_subsequences(ids, self.max_length)))
+            self._expansions[ids] = cached
         return cached
 
-    def _forget_expansion(self, sequence: Sequence_) -> None:
+    def _forget_expansion(self, ids: IdSequence) -> None:
         """Drop the memo once a sequence has fully left the table."""
-        if sequence not in self._sequence_counts:
-            self._expansions.pop(sequence, None)
+        if ids not in self._sequence_counts:
+            self._expansions.pop(ids, None)
 
-    def _shift_pairs(self, sequence: Sequence_, delta: int) -> None:
+    def _shift_pairs(self, ids: IdSequence, delta: int) -> None:
         """Shift the sequence's distinct adjacent pairs by *delta* events."""
-        if len(sequence) < 2:
+        if len(ids) < 2:
             return
         pair_counts = self._pair_counts
         buckets = self._pair_buckets
@@ -288,7 +455,9 @@ class SubsequenceCounter:
         if buckets is None:
             # Hot path: the bulk add/subtract phases run before top()
             # ever builds the bucket index.
-            for pair in set(zip(sequence, sequence[1:])):
+            for pair in {
+                (a << PAIR_SHIFT) | b for a, b in zip(ids, ids[1:])
+            }:
                 before = get(pair, 0)
                 if before > -delta:
                     pair_counts[pair] = before + delta
@@ -296,7 +465,7 @@ class SubsequenceCounter:
                     del pair_counts[pair]
             return
         move = self._move_bucket
-        for pair in set(zip(sequence, sequence[1:])):
+        for pair in {(a << PAIR_SHIFT) | b for a, b in zip(ids, ids[1:])}:
             before = get(pair, 0)
             after = before + delta
             if after > 0:
@@ -307,20 +476,32 @@ class SubsequenceCounter:
             move(buckets, pair, before, after)
 
     def _rebuild_pairs(self) -> None:
-        """Recount adjacent pairs from the surviving sequences."""
-        pair_counts: Counter[Pair] = Counter()
-        get = pair_counts.get
-        for sequence, multiplicity in self._sequence_counts.items():
-            if len(sequence) < 2:
+        """Recount adjacent pairs from the surviving sequences.
+
+        One C-level ``Counter.update`` over a packed-pair stream; the
+        stream repeats each sequence's distinct pairs once per counted
+        event, which is exactly the defining sum.
+        """
+        pair_counts: Counter[int] = Counter()
+        stream: list[int] = []
+        extend = stream.extend
+        for ids, multiplicity in self._sequence_counts.items():
+            if len(ids) < 2:
                 continue
-            for pair in set(zip(sequence, sequence[1:])):
-                pair_counts[pair] = get(pair, 0) + multiplicity
+            pairs = {(a << PAIR_SHIFT) | b for a, b in zip(ids, ids[1:])}
+            if multiplicity <= _STREAM_REPEAT_LIMIT:
+                for _ in range(multiplicity):
+                    extend(pairs)
+            else:
+                for pair in pairs:
+                    pair_counts[pair] += multiplicity
+        pair_counts.update(stream)
         self._pair_counts = pair_counts
         self._pair_buckets = None
 
-    def _ensure_pair_buckets(self) -> dict[int, set[Pair]]:
+    def _ensure_pair_buckets(self) -> dict[int, set[int]]:
         if self._pair_buckets is None:
-            buckets: dict[int, set[Pair]] = {}
+            buckets: dict[int, set[int]] = {}
             for pair, count in self._pair_counts.items():
                 bucket = buckets.get(count)
                 if bucket is None:
@@ -329,8 +510,8 @@ class SubsequenceCounter:
             self._pair_buckets = buckets
         return self._pair_buckets
 
-    def _pair_top(self) -> Optional[tuple[Sequence_, int]]:
-        """top() from the pair table, without the full expansion.
+    def _pair_top(self) -> Optional[tuple[IdSequence, int]]:
+        """top_ids() from the pair table, without the full expansion.
 
         Monotonicity gives the winning *count* directly: it is the
         maximum pair count. The winning *subsequence* needs more care —
@@ -351,8 +532,9 @@ class SubsequenceCounter:
         winning = buckets[best_count]
         if len(winning) == 1:
             (pair,) = winning
-            if pair[0] != pair[1]:
-                return pair, best_count
+            first, second = pair >> PAIR_SHIFT, pair & PAIR_MASK
+            if first != second:
+                return (first, second), best_count
         candidates = self._candidate_windows(winning)
         finalists_pool = [
             window
@@ -361,9 +543,9 @@ class SubsequenceCounter:
         ]
         best_length = max(map(len, finalists_pool))
         finalists = [w for w in finalists_pool if len(w) == best_length]
-        return min(finalists, key=_tiebreak), best_count
+        return min(finalists, key=self._tiebreak_ids), best_count
 
-    def _candidate_windows(self, winning: set[Pair]) -> Counter[Sequence_]:
+    def _candidate_windows(self, winning: set[int]) -> Counter[IdSequence]:
         """Exact counts for every window made solely of winning pairs.
 
         Any subsequence tying the maximum count lies inside a maximal
@@ -374,25 +556,23 @@ class SubsequenceCounter:
         maximum are filtered by the caller; winning pairs themselves
         always appear, so the finalist pool is never empty.
         """
-        candidates: Counter[Sequence_] = Counter()
-        for sequence, multiplicity in self._sequence_counts.items():
-            n = len(sequence)
+        candidates: Counter[IdSequence] = Counter()
+        for ids, multiplicity in self._sequence_counts.items():
+            n = len(ids)
             if n < 2:
                 continue
-            windows: Optional[set[Sequence_]] = None
+            windows: Optional[set[IdSequence]] = None
             run_start = -1
             for i in range(n - 1):
-                if (sequence[i], sequence[i + 1]) in winning:
+                if ((ids[i] << PAIR_SHIFT) | ids[i + 1]) in winning:
                     if run_start < 0:
                         run_start = i
                     continue
                 if run_start >= 0:
-                    windows = self._run_windows(
-                        sequence, run_start, i + 1, windows
-                    )
+                    windows = self._run_windows(ids, run_start, i + 1, windows)
                     run_start = -1
             if run_start >= 0:
-                windows = self._run_windows(sequence, run_start, n, windows)
+                windows = self._run_windows(ids, run_start, n, windows)
             if windows:
                 for window in windows:
                     candidates[window] += multiplicity
@@ -400,25 +580,25 @@ class SubsequenceCounter:
 
     def _run_windows(
         self,
-        sequence: Sequence_,
+        ids: IdSequence,
         start: int,
         end: int,
-        acc: Optional[set[Sequence_]],
-    ) -> set[Sequence_]:
-        """Collect the length ≥ 2 windows of ``sequence[start:end]``."""
+        acc: Optional[set[IdSequence]],
+    ) -> set[IdSequence]:
+        """Collect the length ≥ 2 windows of ``ids[start:end]``."""
         if acc is None:
             acc = set()
         max_length = self.max_length
         for left in range(start, end - 1):
             limit = end if max_length is None else min(end, left + max_length)
             for right in range(left + 2, limit + 1):
-                acc.add(sequence[left:right])
+                acc.add(ids[left:right])
         return acc
 
-    def _ensure_buckets(self) -> dict[int, set[Sequence_]]:
+    def _ensure_buckets(self) -> dict[int, set[IdSequence]]:
         if self._buckets is None:
-            buckets: dict[int, set[Sequence_]] = {}
-            for subsequence, count in self.counts().items():
+            buckets: dict[int, set[IdSequence]] = {}
+            for subsequence, count in self.id_counts().items():
                 bucket = buckets.get(count)
                 if bucket is None:
                     bucket = buckets[count] = set()
@@ -427,7 +607,7 @@ class SubsequenceCounter:
         return self._buckets
 
     def _apply_delta(
-        self, subsequences: Iterable[Sequence_], delta: int
+        self, subsequences: Iterable[IdSequence], delta: int
     ) -> None:
         """Shift every listed subsequence's count by *delta* (±)."""
         expanded = self._expanded
@@ -445,10 +625,16 @@ class SubsequenceCounter:
             if buckets is not None:
                 self._move_bucket(buckets, subsequence, before, after)
 
+    def _tiebreak_ids(self, ids: IdSequence) -> tuple[str, ...]:
+        """Decoded rendering, so ranking matches the object-level
+        counter bit for bit (the finalist pool is always small)."""
+        token = self.symbols.token
+        return _tiebreak(tuple(token(tid) for tid in ids))
+
     @staticmethod
     def _move_bucket(
-        buckets: dict[int, set[Sequence_]],
-        subsequence: Sequence_,
+        buckets: dict[int, set],
+        member,
         before: int,
         after: int,
     ) -> None:
@@ -457,21 +643,23 @@ class SubsequenceCounter:
         if before > 0:
             old = buckets.get(before)
             if old is not None:
-                old.discard(subsequence)
+                old.discard(member)
                 if not old:
                     del buckets[before]
         if after > 0:
             new = buckets.get(after)
             if new is None:
                 new = buckets[after] = set()
-            new.add(subsequence)
+            new.add(member)
 
 
 class NaiveSubsequenceCounter(SubsequenceCounter):
-    """The O(N·L²) baseline: no sequence deduplication.
+    """The O(N·L²) baseline: no sequence deduplication, no interning.
 
     Functionally identical to :class:`SubsequenceCounter`; exists so the
-    ablation can quantify what deduplication buys on realistic streams.
+    ablation can quantify what deduplication buys on realistic streams,
+    and as the object-level reference the interned counter's
+    equivalence suite compares against.
     """
 
     def __init__(self, max_length: Optional[int] = None) -> None:
@@ -517,9 +705,9 @@ class NaiveSubsequenceCounter(SubsequenceCounter):
 
 
 def _expand_shard(
-    shard: list[tuple[Sequence_, int]], max_length: Optional[int] = None
-) -> Counter[Sequence_]:
-    """Expand one shard of (sequence, multiplicity) pairs to counts.
+    shard: list[tuple[IdSequence, int]], max_length: Optional[int] = None
+) -> Counter[IdSequence]:
+    """Expand one shard of (id sequence, multiplicity) pairs to counts.
 
     Module-level so worker processes can unpickle it.
 
@@ -534,26 +722,26 @@ def _expand_shard(
     pattern) fall back to per-sequence set deduplication, which the
     factored split cannot honor.
     """
-    expanded: Counter[Sequence_] = Counter()
-    heads: Counter[Sequence_] = Counter()
-    for sequence, multiplicity in shard:
-        n = len(sequence)
-        if len(set(sequence)) != n:
+    expanded: Counter[IdSequence] = Counter()
+    heads: Counter[IdSequence] = Counter()
+    for ids, multiplicity in shard:
+        n = len(ids)
+        if len(set(ids)) != n:
             # Repeated tokens: identical windows can arise at different
             # offsets and must count once per event.
-            for subsequence in set(_subsequences(sequence, max_length)):
+            for subsequence in set(_subsequences(ids, max_length)):
                 expanded[subsequence] += multiplicity
             continue
         longest = n if max_length is None else min(n, max_length)
         # Windows ending at the last token, lengths 2..longest.
         for start in range(max(0, n - longest), n - 1):
-            expanded[sequence[start:]] += multiplicity
+            expanded[ids[start:]] += multiplicity
         if n > 2:
-            heads[sequence[:-1]] += multiplicity
+            heads[ids[:-1]] += multiplicity
     # Distinct heads, processed level by level: each level counts the
     # windows ending at its last token, then hands its own head down.
     while heads:
-        parents: Counter[Sequence_] = Counter()
+        parents: Counter[IdSequence] = Counter()
         for head, multiplicity in heads.items():
             n = len(head)
             longest = n if max_length is None else min(n, max_length)
@@ -583,8 +771,11 @@ def _scan_top(
     return winner, best_rank[0]
 
 
-def _subsequences(sequence: Sequence_, max_length: Optional[int]):
-    """All contiguous subsequences of length ≥ 2 (bounded by max_length)."""
+def _subsequences(sequence, max_length: Optional[int]):
+    """All contiguous subsequences of length ≥ 2 (bounded by max_length).
+
+    Generic over element type: token tuples and id tuples slice alike.
+    """
     n = len(sequence)
     longest = n if max_length is None else min(n, max_length)
     for start in range(n - 1):

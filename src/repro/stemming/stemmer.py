@@ -15,8 +15,10 @@ from typing import Iterable, Optional
 
 from repro.collector.events import BGPEvent, Token
 from repro.collector.stream import EventStream
+from repro.interning import SymbolTable
 from repro.net.prefix import Prefix
-from repro.stemming.counter import SubsequenceCounter
+from repro.perf import gc_paused
+from repro.stemming.counter import IdSequence, SubsequenceCounter
 from repro.stemming.encode import format_stem, stem_values
 
 
@@ -114,31 +116,43 @@ class Stemmer:
         per-component scan (which prefixes match s′, which events belong
         to the component) runs over *unique sequences*, of which real
         streams have orders of magnitude fewer than events.
+
+        The whole decomposition runs interned (DESIGN.md §10): events
+        encode once into the counter's id space
+        (:func:`_group_by_ids` — the sequence head is memoized per
+        (peer, attributes), so a flapping route's thousandth event is
+        two dict probes, not a re-render), the unique-sequence index is
+        keyed by id tuples, and matching/removal compare ints. Tokens
+        reappear only inside the :class:`Component` results.
         """
-        by_sequence, total = _group_by_sequence(events)
         counter = SubsequenceCounter(
             self.max_subsequence_length, workers=self.workers
         )
-        for sequence, bucket in by_sequence.items():
-            counter.add_sequence(sequence, len(bucket))
-        components: list[Component] = []
-        remaining = total
-        while by_sequence and len(components) < self.max_components:
-            component = self._component_from_top(
-                counter, by_sequence, len(components) + 1
+        with gc_paused():
+            by_ids, total = _group_by_ids(events, counter.symbols)
+            counter.add_id_counts(
+                (ids, len(bucket)) for ids, bucket in by_ids.items()
             )
-            if component is None:
-                break
-            components.append(component)
-            affected = component.prefixes
-            removals: list[tuple[tuple[Token, ...], int]] = []
-            for sequence in [
-                s for s in by_sequence if s[-1][1] in affected
-            ]:
-                bucket = by_sequence.pop(sequence)
-                removals.append((sequence, len(bucket)))
-                remaining -= len(bucket)
-            counter.subtract_sequences(removals)
+            components: list[Component] = []
+            remaining = total
+            while by_ids and len(components) < self.max_components:
+                extracted = self._component_from_top(
+                    counter, by_ids, len(components) + 1
+                )
+                if extracted is None:
+                    break
+                component_of, affected_ids = extracted
+                # One pass pops the component's sequences, collecting
+                # its events and the counter removals together.
+                removals: list[tuple[IdSequence, int]] = []
+                component_events: list[BGPEvent] = []
+                for ids in [s for s in by_ids if s[-1] in affected_ids]:
+                    bucket = by_ids.pop(ids)
+                    removals.append((ids, len(bucket)))
+                    component_events.extend(bucket)
+                    remaining -= len(bucket)
+                components.append(component_of(component_events))
+                counter.subtract_id_sequences(removals)
         return StemmingResult(
             components=tuple(components),
             residual_events=remaining,
@@ -149,87 +163,181 @@ class Stemmer:
         self, events: Iterable[BGPEvent]
     ) -> Optional[Component]:
         """Just the top component (cheaper than a full decomposition)."""
-        by_sequence, _ = _group_by_sequence(events)
         counter = SubsequenceCounter(
             self.max_subsequence_length, workers=self.workers
         )
-        for sequence, bucket in by_sequence.items():
-            counter.add_sequence(sequence, len(bucket))
-        return self._component_from_top(counter, by_sequence, rank=1)
+        by_ids, _ = _group_by_ids(events, counter.symbols)
+        counter.add_id_counts(
+            (ids, len(bucket)) for ids, bucket in by_ids.items()
+        )
+        extracted = self._component_from_top(counter, by_ids, rank=1)
+        if extracted is None:
+            return None
+        component_of, affected_ids = extracted
+        return component_of(
+            [
+                event
+                for ids, bucket in by_ids.items()
+                if ids[-1] in affected_ids
+                for event in bucket
+            ]
+        )
 
     def _component_from_top(
         self,
         counter: SubsequenceCounter,
-        by_sequence: dict[tuple[Token, ...], list[BGPEvent]],
+        by_ids: dict[IdSequence, list[BGPEvent]],
         rank: int,
-    ) -> Optional[Component]:
-        top = counter.top()
+    ) -> Optional[tuple]:
+        """The next component (minus its events) plus the affected
+        prefix *token ids*.
+
+        The id set drives removal matching in :meth:`decompose` (int
+        membership instead of Prefix hashing), and the caller collects
+        the component's events while popping matched sequences — one
+        scan where separate collect-then-remove passes would take two.
+        Returns ``(build, affected_ids)`` where ``build(events)``
+        finishes the :class:`Component`; its decoded tokens and
+        prefixes are identical to what the object-level pipeline
+        produced.
+        """
+        top = counter.top_ids()
         if top is None:
             return None
-        subsequence, strength = top
+        top_ids, strength = top
         if strength < self.min_strength:
             return None
+        token = counter.symbols.token
+        subsequence = tuple(token(tid) for tid in top_ids)
         stem = (subsequence[-2], subsequence[-1])
+        if len(top_ids) == 2:
+            # The usual winner is a bare pair (see _pair_top): C-level
+            # tuple membership rejects most sequences before any Python
+            # adjacency walk.
+            first, second = top_ids
+            affected_ids = {
+                ids[-1]
+                for ids in by_ids
+                if first in ids
+                and second in ids
+                and _adjacent(ids, first, second)
+            }
+        else:
+            affected_ids = {
+                ids[-1] for ids in by_ids if _contains(ids, top_ids)
+            }
         prefixes = frozenset(
-            sequence[-1][1]  # the prefix token's value
-            for sequence in by_sequence
-            if _contains(sequence, subsequence)
-        )
-        component_events = EventStream(
-            event
-            for sequence, bucket in by_sequence.items()
-            if sequence[-1][1] in prefixes
-            for event in bucket
-        )
-        return Component(
-            rank=rank,
-            subsequence=subsequence,
-            strength=strength,
-            stem=stem,
-            prefixes=prefixes,
-            events=component_events,
+            token(tid)[1]  # the prefix token's value
+            for tid in affected_ids
         )
 
+        def component_of(events: Iterable[BGPEvent]) -> Component:
+            return Component(
+                rank=rank,
+                subsequence=subsequence,
+                strength=strength,
+                stem=stem,
+                prefixes=prefixes,
+                events=EventStream(events),
+            )
 
-def _group_by_sequence(
-    events: Iterable[BGPEvent],
-) -> tuple[dict[tuple[Token, ...], list[BGPEvent]], int]:
-    """Unique-sequence index: sequence -> its events, plus the total.
+        return component_of, affected_ids
+
+
+def _group_by_ids(
+    events: Iterable[BGPEvent], symbols: SymbolTable
+) -> tuple[dict[IdSequence, list[BGPEvent]], int]:
+    """Interned unique-sequence index: id sequence -> events, plus total.
 
     An event's prefix is its last token, so events sharing a sequence
-    share a prefix, and per-sequence grouping loses nothing. The inner
-    loop keys on ``(peer, attributes, prefix)`` — attribute bundles and
-    prefixes cache their hashes, so this hashes three ints per event
-    where keying on ``event.sequence`` directly would build and hash a
-    six-token tuple per event; the sequence is rendered once per group.
+    share a prefix, and per-sequence grouping loses nothing. The
+    sequence *head* (peer, nexthop, collapsed AS path) is a pure
+    function of (peer, attributes), so its rendered-and-interned id
+    tuple is memoized on that pair: the inner loop costs two dict
+    probes and one small tuple build per event, never a re-render.
+    Distinct attribute bundles that render to one sequence (MED or
+    communities differ, say) produce the same id tuple and fold into
+    one group automatically.
     """
-    by_key: dict[tuple, list[BGPEvent]] = {}
-    total = 0
+    intern = symbols.intern_token
+    #: peer -> attributes -> (head id tuple, pfx id -> event bucket).
+    #: Nested so the per-event work is three small-key probes and an
+    #: append — no tuple allocation, no re-render; the full id tuple is
+    #: built once per group in the fold below.
+    peer_memo: dict[int, dict] = {}
+    pfx_ids: dict = {}
     for event in events:
-        key = (event.peer, event.attributes, event.prefix)
-        bucket = by_key.get(key)
+        attributes = event.attributes
+        attrs_memo = peer_memo.get(event.peer)
+        if attrs_memo is None:
+            attrs_memo = peer_memo[event.peer] = {}
+        entry = attrs_memo.get(attributes)
+        if entry is None:
+            head = (
+                intern(("peer", event.peer)),
+                intern(("nh", attributes.nexthop)),
+                *(
+                    intern(token)
+                    for token in attributes.as_path.collapsed_tokens()
+                ),
+            )
+            entry = attrs_memo[attributes] = (head, {})
+        prefix = event.prefix
+        pfx_id = pfx_ids.get(prefix)
+        if pfx_id is None:
+            pfx_id = pfx_ids[prefix] = intern(("pfx", prefix))
+        groups = entry[1]
+        bucket = groups.get(pfx_id)
         if bucket is None:
-            by_key[key] = [event]
+            groups[pfx_id] = [event]
         else:
             bucket.append(event)
-        total += 1
-    # Distinct attribute bundles can render to one sequence (MED or
-    # communities differ, say); fold those groups together.
-    by_sequence: dict[tuple[Token, ...], list[BGPEvent]] = {}
-    # repro: allow[DET002] by_key insertion order follows the event
-    # stream, so group folding order is deterministic.
-    for bucket in by_key.values():
-        sequence = bucket[0].sequence
-        existing = by_sequence.get(sequence)
-        if existing is None:
-            by_sequence[sequence] = bucket
-        else:
-            existing.extend(bucket)
-    return by_sequence, total
+    by_ids: dict[IdSequence, list[BGPEvent]] = {}
+    total = 0
+    # Distinct attribute bundles can render to one head (MED or
+    # communities differ, say), within or across peers sharing an
+    # address token; the fold merges their buckets.
+    # repro: allow[DET002] the memo is built by one sequential pass
+    # over the event stream, so insertion order is event order — no
+    # worker-count variation can reach it.
+    for attrs_memo in peer_memo.values():
+        # repro: allow[DET002] same single-pass memo ordering.
+        for head, groups in attrs_memo.values():
+            for pfx_id, bucket in groups.items():
+                total += len(bucket)
+                ids = head + (pfx_id,)
+                existing = by_ids.get(ids)
+                if existing is None:
+                    by_ids[ids] = bucket
+                else:
+                    existing.extend(bucket)
+    return by_ids, total
 
 
-def _contains(sequence: tuple[Token, ...], needle: tuple[Token, ...]) -> bool:
-    """True if *needle* occurs contiguously inside *sequence*."""
+def _adjacent(sequence: tuple, first: object, second: object) -> bool:
+    """True if *first* immediately precedes *second* in *sequence*.
+
+    Callers pre-filter with ``in`` (C-level), so this only walks the
+    rare sequences that contain both elements somewhere.
+    """
+    index = sequence.index
+    last = len(sequence) - 1
+    start = 0
+    while True:
+        try:
+            i = index(first, start)
+        except ValueError:
+            return False
+        if i == last:
+            return False
+        if sequence[i + 1] == second:
+            return True
+        start = i + 1
+
+
+def _contains(sequence: tuple, needle: tuple) -> bool:
+    """True if *needle* occurs contiguously inside *sequence*
+    (generic: token tuples and id tuples compare alike)."""
     n, m = len(sequence), len(needle)
     if m > n:
         return False

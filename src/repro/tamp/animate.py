@@ -16,19 +16,27 @@ timerange and colors each edge by what happened to its prefix count:
 The animator also records a per-edge prefix-count time series — the
 impulse plot next to Figure 3's animation controls — and an animation
 clock string showing time into the incident.
+
+The frame loop runs entirely on packed edge ids (DESIGN.md §10): frame
+diffs come from the maintainer's id-keyed pulse counters, counts from
+id-level weight lookups, and tracked-edge samples land in flat arrays.
+Frames *store* id-keyed mappings and decode to token pairs lazily on
+first access, so a 750-frame animation of a large incident decodes
+nothing until a renderer or test actually reads an edge.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.bgp.rib import Route
-from repro.collector.events import BGPEvent, Token
+from repro.collector.events import Token
 from repro.collector.stream import EventStream
+from repro.perf import gc_paused
 from repro.tamp.incremental import IncrementalTamp, PeerNamer, default_peer_namer
-from repro.tamp.tree import route_path_tokens
 
 Edge = tuple[Token, Token]
 
@@ -43,6 +51,62 @@ class EdgeState(enum.Enum):
     FLAPPING = "flapping"
 
 
+class LazyEdgeMap(Mapping):
+    """An edge-id-keyed mapping that decodes keys on first token access.
+
+    The id-keyed store is the live view (:attr:`ids`) — the animator and
+    the SVG renderer's track builder read it directly. Token-level reads
+    (``frame.edge_counts[edge]``, iteration, ``in``) materialize a
+    decoded dict once and serve from it after; a map nobody reads as
+    tokens never decodes. Quiet frames share one shadow map, so the
+    decode also happens at most once per distinct snapshot.
+    """
+
+    __slots__ = ("ids", "_decode", "_decoded")
+
+    def __init__(
+        self, ids: Mapping[int, object], decode: Callable[[int], Edge]
+    ) -> None:
+        #: The id-keyed backing store (packed edge id -> value).
+        self.ids = ids
+        self._decode = decode
+        self._decoded: Optional[dict[Edge, object]] = None
+
+    def _materialize(self) -> dict[Edge, object]:
+        decoded = self._decoded
+        if decoded is None:
+            decode = self._decode
+            decoded = self._decoded = {
+                decode(eid): value for eid, value in self.ids.items()
+            }
+        return decoded
+
+    def __getitem__(self, edge: Edge) -> object:
+        return self._materialize()[edge]
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LazyEdgeMap):
+            other = other._materialize()
+        if isinstance(other, Mapping):
+            return self._materialize() == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"LazyEdgeMap({self._materialize()!r})"
+
+
 @dataclass(frozen=True)
 class TampFrame:
     """One animation frame: consolidated changes over a time slice."""
@@ -51,7 +115,8 @@ class TampFrame:
     #: Real (incident) time covered: [start, end).
     start: float
     end: float
-    #: Edges whose prefix count changed this frame, with their new counts.
+    #: Edges whose prefix count changed this frame, with their new counts
+    #: (a :class:`LazyEdgeMap`: id-keyed, decoded on token access).
     edge_counts: Mapping[Edge, int]
     #: Change state per touched edge (untouched edges are STABLE/black).
     edge_states: Mapping[Edge, EdgeState]
@@ -79,13 +144,27 @@ class TampFrame:
 
 @dataclass(frozen=True)
 class EdgeSeries:
-    """Prefix-count samples over time for one selected edge."""
+    """Prefix-count samples over time for one selected edge.
+
+    The series is stored as two flat parallel arrays (sample times and
+    counts) — a flapping edge collects one sample per touching event,
+    and at incident scale tuple-of-tuples storage was most of the
+    tracking cost.
+    """
 
     edge: Edge
-    samples: tuple[tuple[float, int], ...]
+    #: Sample timestamps (``array('d')``).
+    times: Sequence[float]
+    #: Prefix counts at those timestamps (``array('q')``).
+    values: Sequence[int]
+
+    @property
+    def samples(self) -> tuple[tuple[float, int], ...]:
+        """(time, count) pairs, zipped from the flat arrays."""
+        return tuple(zip(self.times, self.values))
 
     def counts(self) -> list[int]:
-        return [count for _, count in self.samples]
+        return list(self.values)
 
     def is_impulse_train(self) -> bool:
         """True when the count alternates direction (the Figure 3 plot).
@@ -94,7 +173,7 @@ class EdgeSeries:
         number of up/down *reversals*, the visual signature of a prefix
         flapping on and off an edge.
         """
-        counts = self.counts()
+        counts = self.values
         if len(counts) < 4:
             return False
         deltas = [
@@ -169,22 +248,31 @@ def animate_stream(
     start = events.start_time if len(events) else 0.0
     end = events.end_time if len(events) else 0.0
     timerange = max(0.0, (end or 0.0) - (start or 0.0))
-    slice_width = timerange / frame_count if timerange > 0 else 0.0
+    slice_width = timerange / frame_count if frame_count else 0.0
 
-    tracked = {edge: [] for edge in track_edges}
+    graph = tamp.graph
+    weight_id = graph.weight_id
+    decode = graph.decode_pair
+    # Tracked edges intern up front; samples accumulate in flat arrays.
+    tracked: dict[int, tuple[Edge, array, array]] = {
+        graph.intern_pair(*edge): (edge, array("d"), array("q"))
+        for edge in track_edges
+    }
 
     def sample_tracked(now: float) -> None:
-        for edge, samples in tracked.items():
-            samples.append((now, tamp.graph.weight(*edge)))
+        for eid, (_, times, counts) in tracked.items():
+            times.append(now)
+            counts.append(weight_id(eid))
 
-    max_counts: dict[Edge, int] = {}
-    for (parent, child), prefixes in tamp.graph.edges():
-        max_counts[(parent, child)] = len(prefixes)
+    #: Historical-maximum count per edge id, seeded from the baseline.
+    max_counts: dict[int, int] = {
+        eid: len(store) for eid, store in graph.raw_id_edges()
+    }
     #: Edges currently below their historical peak, with that peak.
-    shadowed: dict[Edge, int] = {}
+    shadowed: dict[int, int] = {}
     #: Shared snapshot of *shadowed*, re-copied only on change: quiet
-    #: frames alias one dict instead of copying the shadow set 750 times.
-    shadow_snapshot: dict[Edge, int] = {}
+    #: frames alias one map instead of copying the shadow set 750 times.
+    shadow_snapshot = LazyEdgeMap({}, decode)
     shadows_dirty = False
 
     frames: list[TampFrame] = []
@@ -208,70 +296,76 @@ def animate_stream(
     sample_tracked(0.0)
     event_index = 0
     apply = tamp.apply
-    for index in range(frame_count):
-        frame_start = origin + index * slice_width
-        frame_end = origin + (index + 1) * slice_width
-        frame_break = breaks[index]
-        # Consolidate every event in this slice. Resolving the touched
-        # edges per event exists only to sample tracked edges; without
-        # trackers the batch devolves to bare applies.
-        if tracked:
-            for event in all_events[event_index:frame_break]:
-                apply(event)
-                for edge in _edges_of(event, tamp):
-                    if edge in tracked:
-                        tracked[edge].append(
-                            (event.timestamp, tamp.graph.weight(*edge))
-                        )
-        else:
-            for event in all_events[event_index:frame_break]:
-                apply(event)
-        event_index = frame_break
-        adds, removes = tamp.consume_changes()
-        edge_states: dict[Edge, EdgeState] = {}
-        edge_counts: dict[Edge, int] = {}
-        for edge in set(adds) | set(removes):
-            ups = adds.get(edge, 0)
-            downs = removes.get(edge, 0)
-            if ups and downs:
-                state = EdgeState.FLAPPING
-            elif ups:
-                state = EdgeState.GAINING
-            elif downs:
-                state = EdgeState.LOSING
+    # The replay allocates only acyclic containers while the route
+    # table and event list sit live on the heap — exactly the profile
+    # the GC guard exists for (see repro.perf.gcguard).
+    with gc_paused():
+        for index in range(frame_count):
+            frame_start = origin + index * slice_width
+            frame_end = origin + (index + 1) * slice_width
+            frame_break = breaks[index]
+            # Consolidate every event in this slice. Resolving the
+            # touched edge ids per event (from the maintainer's apply
+            # memo — no re-tokenization) exists only to sample tracked
+            # edges; without trackers the batch devolves to bare
+            # applies.
+            if tracked:
+                for event in all_events[event_index:frame_break]:
+                    apply(event)
+                    for eid in tamp.event_edge_ids(event):
+                        entry = tracked.get(eid)
+                        if entry is not None:
+                            entry[1].append(event.timestamp)
+                            entry[2].append(weight_id(eid))
             else:
-                state = EdgeState.STABLE
-            edge_states[edge] = state
-            count = tamp.graph.weight(*edge)
-            edge_counts[edge] = count
-            peak = max_counts.get(edge, 0)
-            if count > peak:
-                peak = count
-                max_counts[edge] = count
-            # Maintain the shadow set incrementally: only edges whose
-            # count is below their peak carry a gray shadow.
-            if count < peak:
-                if shadowed.get(edge) != peak:
-                    shadowed[edge] = peak
+                for event in all_events[event_index:frame_break]:
+                    apply(event)
+            event_index = frame_break
+            adds, removes = tamp.consume_id_changes()
+            edge_states: dict[int, EdgeState] = {}
+            edge_counts: dict[int, int] = {}
+            for eid in adds.keys() | removes.keys():
+                ups = adds.get(eid, 0)
+                downs = removes.get(eid, 0)
+                if ups and downs:
+                    state = EdgeState.FLAPPING
+                elif ups:
+                    state = EdgeState.GAINING
+                elif downs:
+                    state = EdgeState.LOSING
+                else:
+                    state = EdgeState.STABLE
+                edge_states[eid] = state
+                count = weight_id(eid)
+                edge_counts[eid] = count
+                peak = max_counts.get(eid, 0)
+                if count > peak:
+                    peak = count
+                    max_counts[eid] = count
+                # Maintain the shadow set incrementally: only edges
+                # whose count is below their peak carry a gray shadow.
+                if count < peak:
+                    if shadowed.get(eid) != peak:
+                        shadowed[eid] = peak
+                        shadows_dirty = True
+                elif shadowed.pop(eid, None) is not None:
                     shadows_dirty = True
-            elif shadowed.pop(edge, None) is not None:
-                shadows_dirty = True
-        if shadows_dirty:
-            shadow_snapshot = dict(shadowed)
-            shadows_dirty = False
-        frames.append(
-            TampFrame(
-                index=index,
-                start=frame_start - origin,
-                end=frame_end - origin,
-                edge_counts=edge_counts,
-                edge_states=edge_states,
-                shadows=shadow_snapshot,
+            if shadows_dirty:
+                shadow_snapshot = LazyEdgeMap(dict(shadowed), decode)
+                shadows_dirty = False
+            frames.append(
+                TampFrame(
+                    index=index,
+                    start=frame_start - origin,
+                    end=frame_end - origin,
+                    edge_counts=LazyEdgeMap(edge_counts, decode),
+                    edge_states=LazyEdgeMap(edge_states, decode),
+                    shadows=shadow_snapshot,
+                )
             )
-        )
     series = {
-        edge: EdgeSeries(edge=edge, samples=tuple(samples))
-        for edge, samples in tracked.items()
+        edge: EdgeSeries(edge=edge, times=times, values=counts)
+        for edge, times, counts in tracked.values()
     }
     return TampAnimation(
         frames=frames,
@@ -281,14 +375,3 @@ def animate_stream(
         fps=fps,
         series=series,
     )
-
-
-def _edges_of(event: BGPEvent, tamp: IncrementalTamp) -> list[Edge]:
-    """The edges an event's route threads (for tracked-edge sampling)."""
-    root: Token = ("router", tamp.peer_namer(event.peer))
-    chain = route_path_tokens(
-        root, event.prefix, event.attributes, tamp.include_prefix_leaves
-    )
-    if tamp.graph.site_root is not None:
-        chain = [tamp.graph.site_root, *chain]
-    return list(zip(chain, chain[1:]))

@@ -16,10 +16,11 @@ Implementation notes:
   the refcount makes incremental removal O(path length): when router X
   withdraws a route, the prefix only leaves an AS-level edge if no
   other router's route still traverses it.
-* The stores are interned (DESIGN.md §10): nodes and prefixes are
-  dense ids from a per-build :class:`SymbolTable`, an edge key packs
-  two token ids into one int, and a refcount map is ``{prefix id:
-  count}``. Merging a tree is then per-edge C-level id counting, and
+* The stores are interned (DESIGN.md §10): nodes are dense ids from a
+  per-build :class:`SymbolTable`, prefixes are value-derived packed ids
+  (:func:`repro.interning.pack_prefix`), an edge key packs two token
+  ids into one int, and a refcount map is ``{prefix id: count}``.
+  Merging a tree is then per-edge C-level id counting, and
   ``total_prefixes()`` is the size of a union of int-key views — no
   token tuple is hashed and no Prefix object is touched on the hot
   path. Every public method still speaks tokens and prefixes: ids are
@@ -30,6 +31,7 @@ Implementation notes:
 from __future__ import annotations
 
 from collections import deque
+from itertools import chain as _iter_chain
 from typing import Iterable, Iterator, Optional
 
 from repro.collector.events import Token
@@ -58,7 +60,10 @@ class TampGraph:
         "_edges",
         "_children",
         "_parents",
+        "_fringe",
         "_total",
+        "_adj_dirty",
+        "_has_site_edge",
     )
 
     def __init__(
@@ -76,6 +81,24 @@ class TampGraph:
         self._edges: dict[int, dict[int, int]] = {}
         self._children: dict[int, set[int]] = {}
         self._parents: dict[int, set[int]] = {}
+        #: The prefix-leaf fringe: tail token id -> {prefix id: refcount}.
+        #: Mirrors :attr:`TampTree._leaves` — the edge into a ``("pfx",
+        #: p)`` node carries exactly ``{p}``, so the widest part of a
+        #: realistic graph collapses to one store per tail instead of one
+        #: edge entry (plus adjacency) per (tail, prefix) pair, and a
+        #: route group's whole fringe lands in one C counting call. The
+        #: batch merge paths fill this; queries synthesize the implied
+        #: leaf edges at the decode boundary, interning the ``("pfx",
+        #: p)`` token only if a caller actually asks to see the leaf.
+        self._fringe: dict[int, dict[int, int]] = {}
+        #: True = the adjacency maps are stale and must be rebuilt from
+        #: the edge keys before use (see :meth:`_adj`). Bulk merges only
+        #: mark; incremental mutators keep the maps live while clean.
+        self._adj_dirty = False
+        #: Set by bulk merges that created/updated the site-root edge —
+        #: lets :meth:`roots` skip the adjacency rebuild on freshly
+        #: batch-built graphs. Cleared pessimistically on edge removal.
+        self._has_site_edge = False
         #: Cached distinct-prefix count; None = recompute. Pruning calls
         #: edge_fraction per edge, which divides by this — without the
         #: cache every fraction walks every edge's prefix map.
@@ -95,6 +118,40 @@ class TampGraph:
     def symbols(self) -> SymbolTable:
         """The graph's symbol table (id ↔ token/prefix mapping)."""
         return self._symbols
+
+    # repro: allow[CACHE001] pure adjacency rebuild — edge/prefix
+    # membership is untouched, so the cached prefix total stays valid.
+    def _adj(self) -> tuple[dict[int, set[int]], dict[int, set[int]]]:
+        """The (children, parents) adjacency maps, rebuilt when stale.
+
+        Bulk merges never maintain adjacency — they only mark it dirty
+        — because the hot batch pipeline (merge, flat prune) can answer
+        everything from the edge keys alone. The maps are rebuilt here,
+        in one pass over the keys, the first time a traversal actually
+        asks; incremental mutators keep them live once (re)built. The
+        fringe is never represented in adjacency — fringe-aware readers
+        overlay it at the decode boundary.
+        """
+        if self._adj_dirty:
+            children: dict[int, set[int]] = {}
+            parents: dict[int, set[int]] = {}
+            for eid in self._edges:
+                parent = eid >> EDGE_SHIFT
+                child = eid & EDGE_MASK
+                seen = children.get(parent)
+                if seen is None:
+                    children[parent] = {child}
+                else:
+                    seen.add(child)
+                seen = parents.get(child)
+                if seen is None:
+                    parents[child] = {parent}
+                else:
+                    seen.add(parent)
+            self._children = children
+            self._parents = parents
+            self._adj_dirty = False
+        return self._children, self._parents
 
     # ------------------------------------------------------------------
     # Merging
@@ -119,34 +176,31 @@ class TampGraph:
         :mod:`repro.tamp.picture`).
         """
         if tree.symbols is self._symbols:
-            self._merge_ids(tree, None, None)
+            self._merge_ids(tree, None)
         else:
-            token_map = self._symbols.remap_tokens(tree.symbols)
-            prefix_map = self._symbols.remap_prefixes(tree.symbols)
-            self._merge_ids(tree, token_map, prefix_map)
+            self._merge_ids(tree, self._symbols.remap_tokens(tree.symbols))
 
     def _merge_ids(
-        self,
-        tree: TampTree,
-        token_map: Optional[list[int]],
-        prefix_map: Optional[list[int]],
+        self, tree: TampTree, token_map: Optional[list[int]]
     ) -> None:
         """Fold *tree*'s columns into the refcount stores.
 
-        ``token_map``/``prefix_map`` translate the tree's id space into
-        this graph's (both None when the spaces are shared). Interior
-        columns and the leaf fringe increment refcounts through the C
-        counting loop — a column whose edge is new to the graph becomes
-        its whole store in one ``dict.fromkeys`` (columns are sets, so
-        every initial count is 1). The site-root link carries the union
-        of the root-adjacent columns, as in the original builder; those
-        columns are read off the tree's root adjacency up front so the
-        per-edge loop stays comparison-free.
+        ``token_map`` translates the tree's token-id space into this
+        graph's (None when the tables are shared). Prefix ids are
+        value-derived, so every table already agrees on them — a
+        foreign tree's columns count straight into the stores with no
+        translation. Interior columns and the leaf fringe increment
+        refcounts through the C counting loop — a column whose edge is
+        new to the graph becomes its whole store in one
+        ``dict.fromkeys`` (columns are sets, so every initial count is
+        1). The site-root link carries the union of the root-adjacent
+        columns, as in the original builder; those columns are read off
+        the tree's root adjacency up front so the per-edge loop stays
+        comparison-free.
         """
         self._invalidate_cache()
+        self._adj_dirty = True
         edges = self._edges
-        children = self._children
-        parents = self._parents
         root_id = tree._root_id
         collect_root = self.site_root is not None
         root_union: IdSet = IdSet()
@@ -159,57 +213,28 @@ class TampGraph:
                 store = edges.get(eid)
                 if store is None:
                     edges[eid] = dict.fromkeys(column, 1)
-                    parent = eid >> EDGE_SHIFT
-                    child = eid & EDGE_MASK
-                    children.setdefault(parent, set()).add(child)
-                    parents.setdefault(child, set()).add(parent)
                 else:
                     _count_elements(store, column)
         else:
-            assert prefix_map is not None
             root_id = token_map[root_id]
-            if root_union:
-                root_union = IdSet(map(prefix_map.__getitem__, root_union))
             for eid, column in tree._edges.items():
                 parent = token_map[eid >> EDGE_SHIFT]
                 child = token_map[eid & EDGE_MASK]
-                members = list(map(prefix_map.__getitem__, column))
                 eid = (parent << EDGE_SHIFT) | child
                 store = edges.get(eid)
                 if store is None:
-                    edges[eid] = dict.fromkeys(members, 1)
-                    children.setdefault(parent, set()).add(child)
-                    parents.setdefault(child, set()).add(parent)
+                    edges[eid] = dict.fromkeys(column, 1)
                 else:
-                    _count_elements(store, members)
-        pfx_token_id = self._symbols.pfx_token_id
-        pfx_tid = self._symbols.pfx_token_id_map.get
-        for tail, fringe in tree._leaves.items():
-            leaf_members: Iterable[int] = fringe
+                    _count_elements(store, column)
+        fringe = self._fringe
+        for tail, leaf_members in tree._leaves.items():
             if token_map is not None:
                 tail = token_map[tail]
-                assert prefix_map is not None
-                leaf_members = list(map(prefix_map.__getitem__, fringe))
-            base = tail << EDGE_SHIFT
-            kids = children.get(tail)
-            if kids is None:
-                kids = children[tail] = set()
-            for pid in leaf_members:
-                child = pfx_tid(pid)
-                if child is None:
-                    child = pfx_token_id(pid)
-                eid = base | child
-                store = edges.get(eid)
-                if store is None:
-                    edges[eid] = {pid: 1}
-                    kids.add(child)
-                    tails = parents.get(child)
-                    if tails is None:
-                        parents[child] = {tail}
-                    else:
-                        tails.add(tail)
-                else:
-                    store[pid] = store.get(pid, 0) + 1
+            store = fringe.get(tail)
+            if store is None:
+                fringe[tail] = dict.fromkeys(leaf_members, 1)
+            else:
+                _count_elements(store, leaf_members)
         if collect_root and root_union:
             site_root = self.site_root
             assert site_root is not None
@@ -218,9 +243,8 @@ class TampGraph:
             store = edges.get(eid)
             if store is None:
                 edges[eid] = store = {}
-                children.setdefault(site_id, set()).add(root_id)
-                parents.setdefault(root_id, set()).add(site_id)
             _count_elements(store, root_union)
+            self._has_site_edge = True
 
     def merge_router(
         self,
@@ -231,16 +255,17 @@ class TampGraph:
     ) -> None:
         """Fold one router's routes directly into the refcount stores.
 
-        The serial batch-build fast path (:mod:`repro.tamp.picture`):
-        equivalent to building the router's :class:`TampTree` against
-        this graph's table and merging it, without materializing the
-        intermediate columns. The equivalence rests on RIB uniqueness —
-        a route table holds at most one route per (router, prefix), so
-        every (edge, prefix) pair occurs at most once per router and
-        per-group increments equal per-tree set merges. Callers passing
-        a table with duplicate prefixes per router would double-count;
-        every route source in this project (RIBs, replayed event
-        tables) satisfies the invariant.
+        The single-router batch path (:meth:`merge_view` over a
+        one-router view): equivalent to building the router's
+        :class:`TampTree` against this graph's table and merging it,
+        without materializing the intermediate columns. The
+        equivalence rests on RIB uniqueness — a route table holds at
+        most one route per (router, prefix), so every (edge, prefix)
+        pair occurs at most once per router and per-group increments
+        equal per-tree set merges. Callers passing a table with
+        duplicate prefixes per router would double-count; every route
+        source in this project (RIBs, replayed event tables) satisfies
+        the invariant.
 
         *chain_cache* memoizes interned chains per attribute bundle
         (see :func:`repro.tamp.tree.chain_ids`); pass one shared dict
@@ -249,8 +274,10 @@ class TampGraph:
         by_attrs: dict = {}
         for route in routes:
             by_attrs.setdefault(route.attributes, []).append(route.prefix)
-        self._merge_grouped(
-            router_name, by_attrs, include_prefix_leaves, chain_cache
+        self.merge_view(
+            [(router_name, by_attrs.items())],
+            include_prefix_leaves,
+            chain_cache,
         )
 
     def merge_entries(
@@ -272,93 +299,280 @@ class TampGraph:
         by_attrs: dict = {}
         for prefix, attributes in entries:
             by_attrs.setdefault(attributes, []).append(prefix)
-        self._merge_grouped(
-            router_name, by_attrs, include_prefix_leaves, chain_cache
+        self.merge_view(
+            [(router_name, by_attrs.items())],
+            include_prefix_leaves,
+            chain_cache,
         )
 
-    def _merge_grouped(
+    def merge_groups(
         self,
         router_name: str,
-        by_attrs: dict,
-        include_prefix_leaves: bool,
-        chain_cache: Optional[dict],
+        groups,
+        include_prefix_leaves: bool = True,
+        chain_cache: Optional[dict] = None,
     ) -> None:
-        """Fold attribute-grouped prefixes into the refcount stores."""
+        """:meth:`merge_router` over pre-grouped attribute buckets.
+
+        *groups* yields (attribute bundle, iterable of the prefixes
+        announced with it) pairs — exactly the index
+        :meth:`AdjRibIn.grouped_entries
+        <repro.bgp.rib.AdjRibIn.grouped_entries>` maintains at announce
+        time, so a whole-view build skips the per-route grouping pass
+        entirely. Same RIB-uniqueness precondition as
+        :meth:`merge_router` — each prefix at most once per bundle.
+        """
+        self.merge_view(
+            [(router_name, groups)], include_prefix_leaves, chain_cache
+        )
+
+    def merge_view(
+        self,
+        router_groups: Iterable,
+        include_prefix_leaves: bool = True,
+        chain_cache: Optional[dict] = None,
+    ) -> None:
+        """Fold a whole site view into the refcount stores in one pass.
+
+        *router_groups* yields (router name, groups) per router, where
+        groups is a mapping — or an iterable of pairs — from attribute
+        bundle to the prefixes announced with it (the shape
+        :meth:`AdjRibIn.grouped_entries
+        <repro.bgp.rib.AdjRibIn.grouped_entries>` maintains). Same
+        RIB-uniqueness precondition as :meth:`merge_router`.
+
+        A thin encoding shim over :meth:`merge_id_view`: prefixes are
+        packed to value-derived ids (:func:`repro.interning.pack_prefix`
+        inlined — two attribute loads and two shifts each, no table
+        probe through ``Prefix.__hash__``) group by group, lazily, so
+        the id-level pass downstream never sees a Prefix object.
+        """
+
+        def encode(groups):
+            if hasattr(groups, "items"):
+                groups = groups.items()
+            for attributes, prefixes in groups:
+                yield attributes, [
+                    (p.length << 32) | (p.network >> (32 - p.length))
+                    for p in prefixes
+                ]
+
+        self.merge_id_view(
+            ((name, encode(groups)) for name, groups in router_groups),
+            include_prefix_leaves,
+            chain_cache,
+        )
+
+    def merge_id_view(
+        self,
+        router_groups: Iterable,
+        include_prefix_leaves: bool = True,
+        chain_cache: Optional[dict] = None,
+    ) -> None:
+        """Fold a whole pre-encoded site view into the refcount stores.
+
+        Like :meth:`merge_view`, but each router's groups yield
+        (attribute bundle, prefix-id collection) — e.g. the id columns
+        :meth:`AdjRibIn.grouped_pid_entries
+        <repro.bgp.rib.AdjRibIn.grouped_pid_entries>` maintains per
+        UPDATE, which is how the batch picture avoids re-encoding
+        millions of prefixes it already holds encoded. The collections
+        are only iterated (never mutated, never kept past the call), so
+        live dict views are fine. Same RIB-uniqueness precondition as
+        :meth:`merge_router`.
+
+        The pass is bucketed by *distinct chain*, not by group: real
+        views share attribute bundles massively across routers (~9k
+        distinct chains against ~560k groups on the ISP-Anon profile),
+        and a chain's interior edges and leaf fringe are independent
+        of which router threads it. So the router loop only flushes
+        what is genuinely per-router — the root edge per (router,
+        nexthop head) and the site link — while each group's prefix-id
+        list is parked under its chain. One flush per distinct chain
+        then counts the concatenated lists into the interior and
+        fringe stores: millions of per-group dict probes collapse into
+        a few thousand C-level counting calls over long lists.
+
+        Concatenated chain/root buckets carry cross-group (and the
+        chain buckets cross-router) multiplicity, so fresh stores are
+        counted up from empty rather than ``dict.fromkeys`` — the
+        refcounts, not just the weights, stay identical to the
+        per-tree merge.
+        """
         self._invalidate_cache()
+        self._adj_dirty = True
         symbols = self._symbols
-        root: Token = ("router", router_name)
-        root_id = symbols.intern_token(root)
         if chain_cache is None:
             chain_cache = {}
         edges = self._edges
-        children = self._children
-        parents = self._parents
-        intern_prefix = symbols.intern_prefix
-        pid_get = symbols.prefix_id_map.get
-        pfx_token_id = symbols.pfx_token_id
-        pfx_tid = symbols.pfx_token_id_map.get
-        site_eid = None
+        fringe = self._fringe
+        concat = _iter_chain.from_iterable
+        site_id = None
         if self.site_root is not None:
             site_id = symbols.intern_token(self.site_root)
-            site_eid = (site_id << EDGE_SHIFT) | root_id
-        root_base = root_id << EDGE_SHIFT
-        for attributes, prefixes in by_attrs.items():
-            pids = [
-                pid
-                if (pid := pid_get(prefix)) is not None
-                else intern_prefix(prefix)
-                for prefix in prefixes
-            ]
-            head, interior, tail = chain_ids(
-                symbols, chain_cache, root, prefixes[0], attributes
-            )
-            eid = root_base | head
-            store = edges.get(eid)
-            if store is None:
-                edges[eid] = dict.fromkeys(pids, 1)
-                children.setdefault(root_id, set()).add(head)
-                parents.setdefault(head, set()).add(root_id)
-            else:
-                _count_elements(store, pids)
-            for eid in interior:
+        # A fresh graph can count its distinct prefixes for free during
+        # the chain flush (every group's pids land in exactly one
+        # bucket), saving the pruner's full-store union scan later.
+        seen: Optional[set] = None
+        if not edges and not fringe:
+            seen = set()
+        # attribute bundle -> [chain, pids, pids, ...]. One probe per
+        # group; chain_cache persists across calls (chains survive for
+        # the next view), while the buckets live only for this pass.
+        by_chain: dict = {}
+        bucket_get = by_chain.get
+        for router_name, groups in router_groups:
+            if hasattr(groups, "items"):
+                groups = groups.items()
+            root: Token = ("router", router_name)
+            root_id = symbols.intern_token(root)
+            root_base = root_id << EDGE_SHIFT
+            router_lists: list = []
+            for attributes, pids in groups:
+                bucket = bucket_get(attributes)
+                if bucket is None:
+                    chain = chain_cache.get(attributes)
+                    if chain is None:
+                        chain = chain_ids(
+                            symbols, chain_cache, root, None, attributes
+                        )
+                    by_chain[attributes] = bucket = [chain, pids]
+                else:
+                    chain = bucket[0]
+                    bucket.append(pids)
+                # Root edge per (router, head), flushed inline: groups
+                # are duplicate-free (RIB uniqueness), so a fresh store
+                # is one fromkeys; a router threading several bundles
+                # over one nexthop counts into the existing store.
+                eid = root_base | chain[0]
                 store = edges.get(eid)
                 if store is None:
                     edges[eid] = dict.fromkeys(pids, 1)
-                    parent = eid >> EDGE_SHIFT
-                    child = eid & EDGE_MASK
-                    children.setdefault(parent, set()).add(child)
-                    parents.setdefault(child, set()).add(parent)
                 else:
                     _count_elements(store, pids)
-            if include_prefix_leaves:
-                base = tail << EDGE_SHIFT
-                kids = children.get(tail)
-                if kids is None:
-                    kids = children[tail] = set()
-                for pid in pids:
-                    child = pfx_tid(pid)
-                    if child is None:
-                        child = pfx_token_id(pid)
-                    eid = base | child
-                    store = edges.get(eid)
-                    if store is None:
-                        edges[eid] = {pid: 1}
-                        kids.add(child)
-                        tails = parents.get(child)
-                        if tails is None:
-                            parents[child] = {tail}
-                        else:
-                            tails.add(tail)
-                    else:
-                        store[pid] = store.get(pid, 0) + 1
-            if site_eid is not None:
-                store = edges.get(site_eid)
+                if site_id is not None:
+                    router_lists.append(pids)
+            if site_id is not None and router_lists:
+                members = (
+                    router_lists[0]
+                    if len(router_lists) == 1
+                    else list(concat(router_lists))
+                )
+                eid = (site_id << EDGE_SHIFT) | root_id
+                store = edges.get(eid)
                 if store is None:
-                    edges[site_eid] = dict.fromkeys(pids, 1)
-                    children.setdefault(site_id, set()).add(root_id)
-                    parents.setdefault(root_id, set()).add(site_id)
+                    edges[eid] = dict.fromkeys(members, 1)
                 else:
-                    _count_elements(store, pids)
+                    _count_elements(store, members)
+                self._has_site_edge = True
+        for bucket in by_chain.values():
+            head, interior, tail = bucket[0]
+            lists = bucket[1:]
+            members = lists[0] if len(lists) == 1 else list(concat(lists))
+            if seen is not None:
+                seen.update(members)
+            for eid in interior:
+                store = edges.get(eid)
+                if store is None:
+                    edges[eid] = store = {}
+                _count_elements(store, members)
+            if include_prefix_leaves:
+                store = fringe.get(tail)
+                if store is None:
+                    fringe[tail] = store = {}
+                _count_elements(store, members)
+        if seen is not None:
+            self._total = len(seen)
+
+    def merge_view_shards(
+        self, shards: Iterable, include_prefix_leaves: bool = True
+    ) -> None:
+        """Join per-worker view fragments into the refcount stores.
+
+        Each shard contributes ``(symbols, edge_stores, chain_lists)``
+        as produced by a worker running the per-router half of
+        :meth:`merge_id_view` over its slice of the routers (see
+        :func:`repro.tamp.picture._build_rex_view_shard`):
+
+        * *edge_stores* — the root and site-link refcount stores, keyed
+          by shard-local packed edge ids. Shards partition the routers
+          and every one of these edges is per-router, so the remapped
+          stores are disjoint across shards and install wholesale — no
+          counting, no copying.
+        * *chain_lists* — attribute bundle → flat prefix-id list. The
+          interior/fringe flush is genuinely cross-shard (chains are
+          shared across routers), so it runs here, over the
+          concatenated lists, exactly as the serial flush would.
+
+        Only token ids cross an id-space boundary: prefix ids are
+        value-derived (:func:`repro.interning.pack_prefix`), so every
+        shard already encoded prefixes identically and the stores and
+        lists merge without translation.
+
+        Join into a *fresh* graph (the batch builders do): the
+        wholesale store install relies on the shards of one build being
+        the only contributors of those per-router edges — joining over
+        a graph that already holds one of the routers would replace its
+        stores instead of merging them.
+        """
+        self._invalidate_cache()
+        self._adj_dirty = True
+        symbols = self._symbols
+        edges = self._edges
+        fringe = self._fringe
+        concat = _iter_chain.from_iterable
+        seen: Optional[set] = None
+        if not edges and not fringe:
+            seen = set()
+        merged: dict = {}
+        for shard_symbols, shard_edges, chain_lists in shards:
+            token_map = symbols.remap_tokens(shard_symbols)
+            if shard_edges:
+                # Disjoint-by-construction: every shard edge is
+                # (router → head) or (site → router) and routers are
+                # partitioned, so zip-update never collides.
+                edges.update(
+                    zip(
+                        (
+                            (token_map[eid >> EDGE_SHIFT] << EDGE_SHIFT)
+                            | token_map[eid & EDGE_MASK]
+                            for eid in shard_edges
+                        ),
+                        shard_edges.values(),
+                    )
+                )
+            for attributes, flat in chain_lists.items():
+                lists = merged.get(attributes)
+                if lists is None:
+                    merged[attributes] = [flat]
+                else:
+                    lists.append(flat)
+        if self.site_root is not None and edges:
+            # Workers wire one site link per router with routes; any
+            # surviving edge implies at least one such router.
+            self._symbols.intern_token(self.site_root)
+            self._has_site_edge = True
+        chain_cache: dict = {}
+        placeholder: Token = ("router", "")
+        for attributes, lists in merged.items():
+            head, interior, tail = chain_ids(
+                symbols, chain_cache, placeholder, None, attributes
+            )
+            members = lists[0] if len(lists) == 1 else list(concat(lists))
+            if seen is not None:
+                seen.update(members)
+            for eid in interior:
+                store = edges.get(eid)
+                if store is None:
+                    edges[eid] = store = {}
+                _count_elements(store, members)
+            if include_prefix_leaves:
+                store = fringe.get(tail)
+                if store is None:
+                    fringe[tail] = store = {}
+                _count_elements(store, members)
+        if seen is not None:
+            self._total = len(seen)
 
     # ------------------------------------------------------------------
     # Mutation (used by pruning and incremental animation)
@@ -397,10 +611,11 @@ class TampGraph:
         store = self._edges.get(edge_id)
         if store is None:
             self._edges[edge_id] = {pid: 1}
-            parent = edge_id >> EDGE_SHIFT
-            child = edge_id & EDGE_MASK
-            self._children.setdefault(parent, set()).add(child)
-            self._parents.setdefault(child, set()).add(parent)
+            if not self._adj_dirty:
+                parent = edge_id >> EDGE_SHIFT
+                child = edge_id & EDGE_MASK
+                self._children.setdefault(parent, set()).add(child)
+                self._parents.setdefault(child, set()).add(parent)
             self._invalidate_cache()
             return True
         count = store.get(pid)
@@ -421,12 +636,33 @@ class TampGraph:
         symbols = self._symbols
         parent_id = symbols.token_id(parent)
         child_id = symbols.token_id(child)
-        pid = symbols.prefix_id(prefix)
-        if parent_id is None or child_id is None or pid is None:
+        if parent_id is None:
             return False
-        return self.discard_prefix_ids(
-            (parent_id << EDGE_SHIFT) | child_id, pid
-        )
+        pid = symbols.prefix_id(prefix)
+        if child_id is not None:
+            eid = (parent_id << EDGE_SHIFT) | child_id
+            if eid in self._edges:
+                return self.discard_prefix_ids(eid, pid)
+        if child[0] == "pfx" and child[1] == prefix:
+            return self._fringe_discard(parent_id, pid)
+        return False
+
+    def _fringe_discard(self, tail: int, pid: int) -> bool:
+        """Drop one reference to leaf *pid* under *tail* (True = gone)."""
+        store = self._fringe.get(tail)
+        if store is None:
+            return False
+        count = store.get(pid)
+        if count is None:
+            return False
+        if count > 1:
+            store[pid] = count - 1
+            return False
+        del store[pid]
+        if not store:
+            del self._fringe[tail]
+        self._invalidate_cache()
+        return True
 
     def discard_prefix_ids(self, edge_id: int, pid: int) -> bool:
         """Id-level :meth:`discard_prefix`."""
@@ -449,6 +685,21 @@ class TampGraph:
         symbols = self._symbols
         parent_id = symbols.token_id(parent)
         child_id = symbols.token_id(child)
+        if parent_id is not None and child[0] == "pfx":
+            eid = (
+                None
+                if child_id is None
+                else (parent_id << EDGE_SHIFT) | child_id
+            )
+            if eid is None or eid not in self._edges:
+                pid = symbols.prefix_id(child[1])  # type: ignore[arg-type]
+                store = self._fringe.get(parent_id)
+                if store is not None:
+                    store.pop(pid, None)
+                    if not store:
+                        del self._fringe[parent_id]
+                self._invalidate_cache()
+                return
         if parent_id is None or child_id is None:
             self._invalidate_cache()
             return
@@ -457,7 +708,12 @@ class TampGraph:
     def remove_edge_ids(self, edge_id: int) -> None:
         """Id-level :meth:`remove_edge`."""
         self._invalidate_cache()
+        # Pessimistic: the removed edge might be the site link, so the
+        # roots() short-circuit may no longer assume one exists.
+        self._has_site_edge = False
         self._edges.pop(edge_id, None)
+        if self._adj_dirty:
+            return
         parent = edge_id >> EDGE_SHIFT
         child = edge_id & EDGE_MASK
         children = self._children.get(parent)
@@ -492,10 +748,11 @@ class TampGraph:
         survivor graph is constructed with ``symbols=graph.symbols``).
         """
         self._edges[edge_id] = dict(store)
-        parent = edge_id >> EDGE_SHIFT
-        child = edge_id & EDGE_MASK
-        self._children.setdefault(parent, set()).add(child)
-        self._parents.setdefault(child, set()).add(parent)
+        if not self._adj_dirty:
+            parent = edge_id >> EDGE_SHIFT
+            child = edge_id & EDGE_MASK
+            self._children.setdefault(parent, set()).add(child)
+            self._parents.setdefault(child, set()).add(parent)
         self._invalidate_cache()
 
     # ------------------------------------------------------------------
@@ -511,13 +768,18 @@ class TampGraph:
                 (token(eid >> EDGE_SHIFT), token(eid & EDGE_MASK)),
                 set(map(prefix, store)),
             )
+        for tail, store in self._fringe.items():
+            tail_token = token(tail)
+            for pid in store:
+                leaf = prefix(pid)
+                yield (tail_token, ("pfx", leaf)), {leaf}
 
     def raw_edges(self) -> Iterator[tuple[Edge, dict[Prefix, int]]]:
         """Iterate edges with their per-prefix refcount maps.
 
         The maps are decoded copies — whole-graph passes that only need
         weights should use :meth:`raw_id_edges` instead, which is
-        allocation-free.
+        allocation-free for the interior.
         """
         symbols = self._symbols
         token = symbols.token
@@ -527,89 +789,172 @@ class TampGraph:
                 (token(eid >> EDGE_SHIFT), token(eid & EDGE_MASK)),
                 {prefix(pid): count for pid, count in store.items()},
             )
+        for tail, store in self._fringe.items():
+            tail_token = token(tail)
+            for pid, count in store.items():
+                yield (tail_token, ("pfx", prefix(pid))), {prefix(pid): count}
 
     def raw_id_edges(self) -> Iterator[tuple[int, dict[int, int]]]:
-        """Iterate (edge id, live refcount map) without decoding.
+        """Iterate (edge id, refcount map) without token decoding.
 
-        The yielded mappings are internal state — callers must not
-        mutate them. This is the pruning fast path: the keep/drop
-        decision only needs ``len(map)``, so decoding 2M edges' tokens
-        to throw 99% of them away would dominate the prune.
+        Interior mappings are live internal state — callers must not
+        mutate them; fringe leaves are synthesized one-entry maps (and
+        intern their ``("pfx", p)`` token on the way out). Whole-graph
+        scans that can treat the leaf fringe wholesale — pruning, frame
+        diffing — should use :attr:`_edges` plus :meth:`fringe_stores`
+        instead of paying the per-leaf synthesis.
         """
         yield from self._edges.items()
+        pfx_token_id = self._symbols.pfx_token_id
+        pfx_tid = self._symbols.pfx_token_id_map.get
+        for tail, store in self._fringe.items():
+            base = tail << EDGE_SHIFT
+            for pid, count in store.items():
+                child = pfx_tid(pid)
+                if child is None:
+                    child = pfx_token_id(pid)
+                yield base | child, {pid: count}
+
+    def fringe_stores(self) -> Iterator[tuple[int, dict[int, int]]]:
+        """Iterate (tail token id, {prefix id: refcount}) fringe stores.
+
+        Each entry stands for ``len(store)`` leaf edges of weight 1 (the
+        leaf invariant). The mappings are live internal state — callers
+        must not mutate them.
+        """
+        yield from self._fringe.items()
 
     def edge_list(self) -> list[Edge]:
         decode = self._symbols.decode_edge
-        return [decode(eid) for eid in self._edges]
+        found = [decode(eid) for eid in self._edges]
+        token = self._symbols.token
+        prefix = self._symbols.prefix
+        for tail, store in self._fringe.items():
+            tail_token = token(tail)
+            found.extend((tail_token, ("pfx", prefix(pid))) for pid in store)
+        return found
 
     def has_edge(self, parent: Token, child: Token) -> bool:
         symbols = self._symbols
         parent_id = symbols.token_id(parent)
-        child_id = symbols.token_id(child)
-        if parent_id is None or child_id is None:
+        if parent_id is None:
             return False
-        return ((parent_id << EDGE_SHIFT) | child_id) in self._edges
+        child_id = symbols.token_id(child)
+        if child_id is not None and (
+            (parent_id << EDGE_SHIFT) | child_id
+        ) in self._edges:
+            return True
+        if child[0] == "pfx":
+            store = self._fringe.get(parent_id)
+            if store is not None:
+                pid = symbols.prefix_id(child[1])  # type: ignore[arg-type]
+                return pid in store
+        return False
+
+    def weight_id(self, edge_id: int) -> int:
+        """Id-level :meth:`weight` for interior edges (no token decode).
+
+        Leaf-fringe edges are not addressable by packed id from here;
+        the incremental maintainer — the only id-level caller — interns
+        its prefix leaves as ordinary edges, so the interior store is
+        complete for it.
+        """
+        store = self._edges.get(edge_id)
+        return 0 if store is None else len(store)
 
     def weight(self, parent: Token, child: Token) -> int:
         """Unique prefixes on the edge — the paper's edge weight."""
         symbols = self._symbols
         parent_id = symbols.token_id(parent)
-        child_id = symbols.token_id(child)
-        if parent_id is None or child_id is None:
+        if parent_id is None:
             return 0
-        store = self._edges.get((parent_id << EDGE_SHIFT) | child_id)
-        return 0 if store is None else len(store)
+        child_id = symbols.token_id(child)
+        if child_id is not None:
+            store = self._edges.get((parent_id << EDGE_SHIFT) | child_id)
+            if store is not None:
+                return len(store)
+        if child[0] == "pfx" and self.has_edge(parent, child):
+            return 1
+        return 0
 
     def edge_prefixes(self, parent: Token, child: Token) -> frozenset[Prefix]:
         symbols = self._symbols
         parent_id = symbols.token_id(parent)
+        if parent_id is None:
+            return frozenset()
         child_id = symbols.token_id(child)
-        if parent_id is None or child_id is None:
-            return frozenset()
-        store = self._edges.get((parent_id << EDGE_SHIFT) | child_id)
-        if store is None:
-            return frozenset()
-        return frozenset(map(symbols.prefix, store))
+        if child_id is not None:
+            store = self._edges.get((parent_id << EDGE_SHIFT) | child_id)
+            if store is not None:
+                return frozenset(map(symbols.prefix, store))
+        if child[0] == "pfx" and self.has_edge(parent, child):
+            return frozenset({child[1]})  # type: ignore[arg-type]
+        return frozenset()
 
     def children(self, node: Token) -> set[Token]:
         node_id = self._symbols.token_id(node)
         if node_id is None:
             return set()
         token = self._symbols.token
-        return {token(child) for child in self._children.get(node_id, ())}
+        child_map, _ = self._adj()
+        found = {token(child) for child in child_map.get(node_id, ())}
+        store = self._fringe.get(node_id)
+        if store is not None:
+            prefix = self._symbols.prefix
+            found.update(("pfx", prefix(pid)) for pid in store)
+        return found
 
     def parents(self, node: Token) -> set[Token]:
         node_id = self._symbols.token_id(node)
-        if node_id is None:
-            return set()
         token = self._symbols.token
-        return {token(parent) for parent in self._parents.get(node_id, ())}
+        found: set[Token] = set()
+        if node_id is not None:
+            _, parent_map = self._adj()
+            found = {
+                token(parent) for parent in parent_map.get(node_id, ())
+            }
+        if node[0] == "pfx" and self._fringe:
+            pid = self._symbols.prefix_id(node[1])  # type: ignore[arg-type]
+            found.update(
+                token(tail)
+                for tail, store in self._fringe.items()
+                if pid in store
+            )
+        return found
 
     def nodes(self) -> set[Token]:
         ids: set[int] = set()
         for eid in self._edges:
             ids.add(eid >> EDGE_SHIFT)
             ids.add(eid & EDGE_MASK)
+        ids.update(self._fringe)
         found = set(map(self._symbols.token, ids))
+        prefix = self._symbols.prefix
+        for store in self._fringe.values():
+            found.update(("pfx", prefix(pid)) for pid in store)
         if self.site_root is not None:
             found.add(self.site_root)
         return found
 
     def roots(self) -> list[Token]:
         """Nodes with no parents: the site root, or the router roots."""
-        token = self._symbols.token
         site_root = self.site_root
+        # Freshly batch-built graphs know they wired the site link —
+        # answer without touching (or rebuilding) adjacency at all.
+        if site_root is not None and self._has_site_edge:
+            return [site_root]
+        token = self._symbols.token
+        child_map, parent_map = self._adj()
         if site_root is not None:
             site_id = self._symbols.token_id(site_root)
             if site_id is not None and (
-                site_id in self._children or site_id in self._parents
+                site_id in child_map or site_id in parent_map
             ):
                 return [site_root]
         # Every root has an outgoing edge (nodes only exist on edges),
         # so scanning the parent side of the adjacency is exhaustive.
-        parents = self._parents
         return sorted(
-            (token(n) for n in self._children if not parents.get(n)),
+            (token(n) for n in child_map if not parent_map.get(n)),
             key=str,
         )
 
@@ -624,12 +969,16 @@ class TampGraph:
             seen: set[int] = set()
             for store in self._edges.values():
                 seen.update(store)
+            for store in self._fringe.values():
+                seen.update(store)
             self._total = len(seen)
         return self._total
 
     def all_prefixes(self) -> set[Prefix]:
         seen: set[int] = set()
         for store in self._edges.values():
+            seen.update(store)
+        for store in self._fringe.values():
             seen.update(store)
         return set(map(self._symbols.prefix, seen))
 
@@ -643,9 +992,20 @@ class TampGraph:
     def depths(self) -> dict[Token, int]:
         """BFS depth of every node from the root set (for pruning/layout)."""
         token = self._symbols.token
-        return {
-            token(node): depth for node, depth in self._id_depths().items()
-        }
+        by_id = self._id_depths()
+        found = {token(node): depth for node, depth in by_id.items()}
+        if self._fringe:
+            prefix = self._symbols.prefix
+            for tail, store in self._fringe.items():
+                tail_depth = by_id.get(tail)
+                if tail_depth is None:
+                    continue
+                below = tail_depth + 1
+                for pid in store:
+                    leaf: Token = ("pfx", prefix(pid))
+                    if leaf not in found or found[leaf] > below:
+                        found[leaf] = below
+        return found
 
     def _id_depths(self) -> dict[int, int]:
         """BFS depths keyed by token id (the prune-internal variant)."""
@@ -657,7 +1017,7 @@ class TampGraph:
             assert root_id is not None
             depths[root_id] = 0
             queue.append(root_id)
-        children = self._children
+        children, _ = self._adj()
         while queue:
             node = queue.popleft()
             below = depths[node] + 1
@@ -668,10 +1028,12 @@ class TampGraph:
         return depths
 
     def edge_count(self) -> int:
-        return len(self._edges)
+        return len(self._edges) + sum(
+            len(store) for store in self._fringe.values()
+        )
 
     def __len__(self) -> int:
-        return len(self._edges)
+        return self.edge_count()
 
     def copy(self) -> "TampGraph":
         duplicate = TampGraph(symbols=self._symbols)
@@ -679,11 +1041,22 @@ class TampGraph:
         duplicate._edges = {
             eid: dict(store) for eid, store in self._edges.items()
         }
-        duplicate._children = {
-            node: set(children) for node, children in self._children.items()
+        if self._adj_dirty:
+            # Stale maps are not worth copying — the duplicate rebuilds
+            # its own from the edge keys on first traversal.
+            duplicate._adj_dirty = True
+        else:
+            duplicate._children = {
+                node: set(children)
+                for node, children in self._children.items()
+            }
+            duplicate._parents = {
+                node: set(parents)
+                for node, parents in self._parents.items()
+            }
+        duplicate._fringe = {
+            tail: dict(store) for tail, store in self._fringe.items()
         }
-        duplicate._parents = {
-            node: set(parents) for node, parents in self._parents.items()
-        }
+        duplicate._has_site_edge = self._has_site_edge
         duplicate._total = self._total
         return duplicate

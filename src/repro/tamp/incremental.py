@@ -96,15 +96,37 @@ class IncrementalTamp:
         """Return and reset (adds, removes) pulse counts per edge.
 
         The internal counters are id-keyed; this is their decode
-        boundary — the animator sees real token pairs.
+        boundary — the caller sees real token pairs. Per-frame
+        consumers (the animator) should take
+        :meth:`consume_id_changes` instead and decode lazily.
         """
-        adds, removes = self._adds, self._removes
-        self._adds, self._removes = {}, {}
+        adds, removes = self.consume_id_changes()
         decode = self.graph.decode_pair
         return (
             {decode(eid): count for eid, count in adds.items()},
             {decode(eid): count for eid, count in removes.items()},
         )
+
+    def consume_id_changes(self) -> tuple[dict[int, int], dict[int, int]]:
+        """Id-keyed :meth:`consume_changes`: the raw per-edge pulse
+        counters, keyed by packed edge id, reset on read.
+
+        This is the animator's per-frame diff source (DESIGN.md §10):
+        750 frames of a large incident never decode a token unless
+        something downstream actually renders them.
+        """
+        adds, removes = self._adds, self._removes
+        self._adds, self._removes = {}, {}
+        return adds, removes
+
+    def event_edge_ids(self, event: BGPEvent) -> list[int]:
+        """The packed edge ids *event*'s route threads.
+
+        Served from the same (peer, attrs) memo the applies use, so
+        sampling a tracked edge after an apply costs two dict probes —
+        never a :func:`~repro.tamp.tree.route_path_tokens` re-render.
+        """
+        return self._ids_for(event.peer, event.prefix, event.attributes)
 
     # ------------------------------------------------------------------
     # Queries
@@ -257,8 +279,6 @@ class IncrementalTamp:
         self, peer: int, prefix: Prefix, attrs: PathAttributes
     ) -> None:
         pid = self.graph.symbols.prefix_id(prefix)
-        if pid is None:
-            return
         discard_prefix = self.graph.discard_prefix_ids
         removes = self._removes
         for eid in self._ids_for(peer, prefix, attrs):

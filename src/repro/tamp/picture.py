@@ -21,16 +21,17 @@ identical to the serial build (asserted by
 from __future__ import annotations
 
 from functools import partial
+from itertools import chain as chain_concat
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.bgp.rib import Route
 from repro.collector.events import BGPEvent
-from repro.interning import SymbolTable
+from repro.interning import EDGE_SHIFT, SymbolTable
 from repro.net.attributes import PathAttributes
 from repro.net.prefix import Prefix, format_address
-from repro.perf import effective_workers, map_shards, partition
-from repro.tamp.graph import TampGraph
-from repro.tamp.tree import ChainCache, TampTree
+from repro.perf import effective_workers, gc_paused, map_shards, partition
+from repro.tamp.graph import TampGraph, _count_elements
+from repro.tamp.tree import ChainCache, TampTree, chain_ids
 
 #: One router's slice of the view: (router name, its routes).
 RouteGroup = tuple[str, Sequence[Route]]
@@ -48,22 +49,56 @@ def build_picture(
     count = min(count, len(route_groups)) or 1
     if count <= 1:
         graph = TampGraph(site_name)
-        # One chain cache for the whole build: routers share attribute
-        # bundles massively, so later routers intern almost no chains.
-        # merge_router folds each router straight into the refcount
-        # stores — no intermediate tree columns, peak memory one graph.
-        chain_cache: ChainCache = {}
-        for name, routes in route_groups:
-            graph.merge_router(
-                name, routes, include_prefix_leaves, chain_cache
+        # One merge_view call over the whole view: the chain buckets
+        # span routers (attribute bundles are shared massively), so the
+        # interior stores take a handful of long C counting calls
+        # instead of one probe per (router, group, edge).
+        with gc_paused():
+            graph.merge_view(
+                (
+                    (name, _group_by_attrs(routes))
+                    for name, routes in route_groups
+                ),
+                include_prefix_leaves,
             )
         return graph
     build = partial(_build_shard, include_prefix_leaves)
-    shard_results = map_shards(build, partition(route_groups, count), count)
-    graph = TampGraph(site_name)
+    with gc_paused():
+        shard_results = map_shards(
+            build, partition(route_groups, count), count
+        )
+        graph = TampGraph(site_name)
+        _join_shard_trees(graph, shard_results)
+    return graph
+
+
+def _group_by_attrs(routes: Iterable[Route]):
+    """One router's routes bucketed by attribute bundle, as group pairs."""
+    by_attrs: dict[PathAttributes, list[Prefix]] = {}
+    for route in routes:
+        by_attrs.setdefault(route.attributes, []).append(route.prefix)
+    return by_attrs.items()
+
+
+def _group_entries(pairs: Iterable[tuple[Prefix, PathAttributes]]):
+    """(prefix, attrs) pairs bucketed by attribute bundle, as group pairs."""
+    by_attrs: dict[PathAttributes, list[Prefix]] = {}
+    for prefix, attributes in pairs:
+        by_attrs.setdefault(attributes, []).append(prefix)
+    return by_attrs.items()
+
+
+def _join_shard_trees(
+    graph: TampGraph, shard_results: Iterable[list[TampTree]]
+) -> None:
+    """Fold per-shard trees into *graph* via symbol-table offset remap.
+
+    Only token ids need translation — prefix ids are value-derived
+    (:func:`repro.interning.pack_prefix`), so every shard already
+    computed the same ids and the refcount stores merge key-for-key.
+    """
     table: Optional[SymbolTable] = None
     token_map: list[int] = []
-    prefix_map: list[int] = []
     for trees in shard_results:
         for tree in trees:
             if tree.symbols is not table:
@@ -71,9 +106,7 @@ def build_picture(
                 # one), computed lazily so an empty shard costs nothing.
                 table = tree.symbols
                 token_map = graph.symbols.remap_tokens(table)
-                prefix_map = graph.symbols.remap_prefixes(table)
-            graph._merge_ids(tree, token_map, prefix_map)
-    return graph
+            graph._merge_ids(tree, token_map)
 
 
 def _build_shard(
@@ -100,6 +133,124 @@ def _build_shard(
     ]
 
 
+#: Fork-inherited build source for the REX sharded path: (rex,
+#: peer_namer, site_name), set by the parent immediately before the
+#: pool forks and cleared after. Children receive only peer id lists
+#: and read the table through this by copy-on-write — the 1.5M routes
+#: are never pickled into the pool, which is what kept the sharded
+#: picture slower than the serial one. Read-only by contract: workers
+#: must never mutate it (POOL002's actual hazard).
+_FORK_SOURCE = None
+
+
+def _sharded_rex_picture(
+    rex,
+    peers: Sequence[int],
+    site_name: Optional[str],
+    include_prefix_leaves: bool,
+    count: int,
+    peer_namer: Callable[[int], str],
+) -> TampGraph:
+    """Shard a REX picture by peer over a copy-on-write fork pool.
+
+    Workers run the per-router half of the view merge — prefix-id
+    columns off the RIB group index, root and site-link stores, chain
+    buckets — and the parent installs their stores wholesale and runs
+    the one genuinely cross-router phase, the chain flush
+    (:meth:`~repro.tamp.graph.TampGraph.merge_view_shards`). What a
+    worker returns is a compact id-level fragment (~a few MB per
+    million routes), not a graph: serialization is what made the old
+    per-peer-tree sharding slower than the serial build.
+    """
+    global _FORK_SOURCE
+    _FORK_SOURCE = (rex, peer_namer, site_name)
+    # The guard spans the fork: workers inherit the paused collector,
+    # so shard builds dodge the same heap-walk stalls as the parent.
+    with gc_paused():
+        try:
+            shard_results = map_shards(
+                _build_rex_view_shard, partition(list(peers), count), count
+            )
+        finally:
+            _FORK_SOURCE = None
+        graph = TampGraph(site_name)
+        graph.merge_view_shards(shard_results, include_prefix_leaves)
+    return graph
+
+
+def _build_rex_view_shard(peer_shard: Sequence[int]):
+    """One worker's view fragment: (symbols, edge stores, chain lists).
+
+    Module-level (POOL001); the only inputs crossing the pool boundary
+    are peer ids, everything heavy arrives via :data:`_FORK_SOURCE` in
+    the forked address space. The serial fallback inside
+    :func:`~repro.perf.map_shards` runs this in-process, where the
+    source global is equally visible.
+
+    Mirrors the per-router loop of
+    :meth:`~repro.tamp.graph.TampGraph.merge_id_view` against a fresh
+    shard-local symbol table: root-edge and site-link stores are built
+    here (they are per-router, so the parent can adopt them verbatim
+    after a token remap), while interior/fringe counting — cross-router
+    by nature — is deferred to the parent's flush. Chain buckets come
+    back flattened per attribute bundle: plain int lists, the cheapest
+    thing to pickle out of the pool.
+    """
+    source = _FORK_SOURCE
+    assert source is not None, "_build_rex_view_shard outside a sharded build"
+    rex, peer_namer, site_name = source
+    symbols = SymbolTable()
+    chain_cache: ChainCache = {}
+    edges: dict[int, dict[int, int]] = {}
+    by_chain: dict = {}
+    bucket_get = by_chain.get
+    concat = chain_concat.from_iterable
+    site_id = None
+    if site_name is not None:
+        site_id = symbols.intern_token(("root", site_name))
+    for peer in peer_shard:
+        root = ("router", peer_namer(peer))
+        root_id = symbols.intern_token(root)
+        root_base = root_id << EDGE_SHIFT
+        router_lists: list = []
+        for attributes, pids in rex.rib(peer).grouped_pid_entries():
+            bucket = bucket_get(attributes)
+            if bucket is None:
+                head = chain_ids(
+                    symbols, chain_cache, root, None, attributes
+                )[0]
+                by_chain[attributes] = bucket = [head, pids]
+            else:
+                head = bucket[0]
+                bucket.append(pids)
+            eid = root_base | head
+            store = edges.get(eid)
+            if store is None:
+                edges[eid] = dict.fromkeys(pids, 1)
+            else:
+                _count_elements(store, pids)
+            if site_id is not None:
+                router_lists.append(pids)
+        if site_id is not None and router_lists:
+            members = (
+                router_lists[0]
+                if len(router_lists) == 1
+                else list(concat(router_lists))
+            )
+            edges[(site_id << EDGE_SHIFT) | root_id] = dict.fromkeys(
+                members, 1
+            )
+    # Flattened to plain lists: dict value views neither pickle nor
+    # outlive a worker.
+    chain_lists = {
+        attributes: (
+            list(bucket[1]) if len(bucket) == 2 else list(concat(bucket[1:]))
+        )
+        for attributes, bucket in by_chain.items()
+    }
+    return symbols, edges, chain_lists
+
+
 def picture_from_rex(
     rex,
     site_name: Optional[str] = None,
@@ -109,31 +260,33 @@ def picture_from_rex(
 ) -> TampGraph:
     """The classic batch picture: one tree per REX peer, merged.
 
-    Serially this streams each peer's table through
-    :meth:`~repro.tamp.graph.TampGraph.merge_entries` — native
-    (prefix, attributes) pairs, no :class:`~repro.bgp.rib.Route`
-    wrappers, no intermediate lists. Route groups are only
-    materialized when the build shards across workers (shards must
-    pickle).
+    Serially this streams each peer's attribute-grouped id columns
+    (:meth:`~repro.bgp.rib.AdjRibIn.grouped_pid_entries`, maintained
+    per UPDATE) through
+    :meth:`~repro.tamp.graph.TampGraph.merge_id_view` — no
+    :class:`~repro.bgp.rib.Route` wrappers, no per-picture re-grouping
+    or re-encoding pass over millions of routes. With workers the
+    peers shard across a fork pool that reads the REX by copy-on-write
+    (see :func:`_build_rex_view_shard`) — nothing heavy is serialized
+    into the children; only compact id-level fragments come back.
     """
     peers = rex.peers()
     count = effective_workers(workers, rex.route_count())
     count = min(count, len(peers)) or 1
     if count <= 1:
         graph = TampGraph(site_name)
-        chain_cache: ChainCache = {}
-        for peer in peers:
-            graph.merge_entries(
-                peer_namer(peer),
-                rex.rib(peer).entries(),
+        with gc_paused():
+            graph.merge_id_view(
+                (
+                    (peer_namer(peer), rex.rib(peer).grouped_pid_entries())
+                    for peer in peers
+                ),
                 include_prefix_leaves,
-                chain_cache,
             )
         return graph
-    groups: list[RouteGroup] = [
-        (peer_namer(peer), list(rex.rib(peer).routes())) for peer in peers
-    ]
-    return build_picture(groups, site_name, include_prefix_leaves, workers)
+    return _sharded_rex_picture(
+        rex, peers, site_name, include_prefix_leaves, count, peer_namer
+    )
 
 
 def picture_from_events(
@@ -166,10 +319,13 @@ def picture_from_events(
     count = min(count, len(by_peer)) or 1
     if count <= 1:
         graph = TampGraph(site_name)
-        chain_cache: ChainCache = {}
-        for peer, pairs in by_peer.items():
-            graph.merge_entries(
-                peer_namer(peer), pairs, include_prefix_leaves, chain_cache
+        with gc_paused():
+            graph.merge_view(
+                (
+                    (peer_namer(peer), _group_entries(pairs))
+                    for peer, pairs in by_peer.items()
+                ),
+                include_prefix_leaves,
             )
         return graph
     groups: list[RouteGroup] = [

@@ -14,11 +14,16 @@ only the heavily used structure:
   announcing just two prefixes can be the story, as in the Figure 5
   backdoor — while the far-away Internet is pruned aggressively.
 
-The keep/drop scan runs at id level (:meth:`TampGraph.raw_id_edges`):
-on a 1.5M-route graph well over 99% of edges are dropped, so the scan
-never decodes a token — only the survivors, adopted into the pruned
-graph via the shared symbol table, ever reach the decode boundary. The
-flat prune skips the depth BFS entirely (its predicate ignores depth).
+The keep/drop scan runs at id level over the interior stores plus the
+leaf fringe (:meth:`TampGraph.fringe_stores`): on a 1.5M-route graph
+well over 99% of edges are dropped, so the scan never decodes a token —
+only the survivors, adopted into the pruned graph via the shared symbol
+table, ever reach the decode boundary. The fringe carries the leaf
+invariant (every leaf edge weighs exactly 1), so the millions of prefix
+leaves face one keep/drop decision per tail instead of one per edge;
+their ``("pfx", p)`` tokens are only interned when they survive, which
+at realistic thresholds is never. The flat prune skips the depth BFS
+entirely (its predicate ignores depth).
 """
 
 from __future__ import annotations
@@ -49,13 +54,42 @@ def prune_flat(
     total = graph.total_prefixes()
     if total == 0:
         return graph.copy()
-    pruned = _survivors(
-        graph,
-        lambda parent, depth, weight: weight / total >= threshold,
-        use_depths=False,
-    )
+    # The flat predicate ignores depth and divides by one constant, so
+    # the whole keep/drop question collapses to an integer weight
+    # cutoff — the survivor scan is then a bare len() comparison per
+    # store, no per-edge lambda call, no float division.
+    cutoff = _weight_cutoff(threshold, total)
+    pruned = TampGraph(symbols=graph.symbols)
+    pruned.site_root = graph.site_root
+    adopt = pruned.adopt_edge_ids
+    for eid, store in graph._edges.items():
+        if len(store) >= cutoff:
+            adopt(eid, store)
+    if cutoff <= 1:  # fringe edges all weigh exactly 1
+        symbols = graph.symbols
+        pfx_token_id = symbols.pfx_token_id
+        for tail, fstore in graph.fringe_stores():
+            base = tail << EDGE_SHIFT
+            for pid, count in fstore.items():
+                adopt(base | pfx_token_id(pid), {pid: count})
     _sweep_unreachable(pruned, graph.roots())
     return pruned
+
+
+def _weight_cutoff(threshold: float, total: int) -> int:
+    """The least integer weight passing ``weight / total >= threshold``.
+
+    Computed so the integer comparison is *exactly* equivalent to the
+    float test for every possible weight — the rounding of the float
+    division decides the boundary, not the rounding of
+    ``threshold * total``.
+    """
+    cutoff = round(threshold * total)
+    while cutoff > 0 and (cutoff - 1) / total >= threshold:
+        cutoff -= 1
+    while cutoff <= total and cutoff / total < threshold:
+        cutoff += 1
+    return cutoff
 
 
 def _survivors(
@@ -66,11 +100,25 @@ def _survivors(
     depth_of = graph._id_depths().get if use_depths else None
     pruned = TampGraph(symbols=graph.symbols)
     pruned.site_root = graph.site_root
-    for eid, store in graph.raw_id_edges():
+    for eid, store in graph._edges.items():
         parent = eid >> EDGE_SHIFT
         depth = depth_of(parent) if depth_of is not None else None
         if keep(parent, depth, len(store)):
             pruned.adopt_edge_ids(eid, store)
+    # The leaf fringe: every leaf edge weighs exactly 1, so one
+    # keep(tail, depth, 1) call decides a tail's whole fringe. Survivors
+    # (tiny graphs / permissive thresholds only) materialize as real
+    # edges — pruned graphs never carry a fringe, so the reachability
+    # sweep's token-level edge removal works uniformly on them.
+    symbols = graph.symbols
+    for tail, fstore in graph.fringe_stores():
+        depth = depth_of(tail) if depth_of is not None else None
+        if not keep(tail, depth, 1):
+            continue
+        base = tail << EDGE_SHIFT
+        pfx_token_id = symbols.pfx_token_id
+        for pid, count in fstore.items():
+            pruned.adopt_edge_ids(base | pfx_token_id(pid), {pid: count})
     return pruned
 
 

@@ -69,26 +69,25 @@ def render_svg_animation(
         x, y = layout.positions[node]
         return x + margin, y + margin
 
-    # One pass over the frames collects every edge's change track; the
-    # per-edge work below then touches only that edge's own changes
-    # instead of re-walking all 750 frames per edge.
+    # One pass over the frames collects every edge's change track,
+    # keyed by packed edge id; the per-edge work below then touches
+    # only that edge's own changes instead of re-walking all 750 frames
+    # per edge. This loop is the decode boundary: each edge id decodes
+    # exactly once, into its layout-position job.
     state_tracks, count_tracks = _edge_tracks(animation)
+    weight_id = animation.tamp.graph.weight_id
     edge_jobs = []
-    for edge in sorted(seen_edges, key=str):
+    for eid, edge in sorted(seen_edges.items(), key=lambda item: str(item[1])):
         parent, child = edge
         if parent not in layout.positions or child not in layout.positions:
             continue
-        count_track = count_tracks.get(edge, ())
-        initial = (
-            count_track[0][1]
-            if count_track
-            else animation.tamp.graph.weight(*edge)
-        )
+        count_track = count_tracks.get(eid, ())
+        initial = count_track[0][1] if count_track else weight_id(eid)
         edge_jobs.append(
             (
                 position(parent),
                 position(child),
-                state_tracks.get(edge, ()),
+                state_tracks.get(eid, ()),
                 count_track,
                 initial,
             )
@@ -129,50 +128,60 @@ def render_svg_animation(
     return "\n".join(parts)
 
 
-def _display_graph(animation: TampAnimation) -> tuple[TampGraph, set]:
-    """The union of edges alive at the end or touched during play."""
+def _display_graph(animation: TampAnimation) -> tuple[TampGraph, dict]:
+    """The union of edges alive at the end or touched during play.
+
+    Collected as packed edge ids (live graph edges plus every frame's
+    id-keyed count store), decoded once into the edge-id → token-pair
+    map the job builder consumes.
+    """
+    graph = animation.tamp.graph
     display = TampGraph()
-    display.site_root = animation.tamp.graph.site_root
-    seen = set(animation.tamp.graph.edge_list())
+    display.site_root = graph.site_root
+    seen_ids = {eid for eid, _ in graph.raw_id_edges()}
     for frame in animation.frames:
-        seen.update(frame.edge_counts)
-    for parent, child in seen:
+        seen_ids.update(frame.edge_counts.ids)
+    decode = graph.decode_pair
+    seen = {eid: decode(eid) for eid in seen_ids}
+    for parent, child in seen.values():
         display.add_prefix(parent, child, _DISPLAY_PREFIX)
     return display, seen
 
 
 def _max_count(animation: TampAnimation) -> int:
     best = 0
-    for (parent, child), prefixes in animation.tamp.graph.edges():
-        best = max(best, len(prefixes))
+    for _, store in animation.tamp.graph.raw_id_edges():
+        best = max(best, len(store))
     for frame in animation.frames:
-        for count in frame.edge_counts.values():
-            best = max(best, count)
-        for peak in frame.shadows.values():
-            best = max(best, peak)
+        counts = frame.edge_counts.ids.values()
+        if counts:
+            best = max(best, max(counts))
+        peaks = frame.shadows.ids.values()
+        if peaks:
+            best = max(best, max(peaks))
     return best
 
 
 def _edge_tracks(animation: TampAnimation):
-    """Per-edge (frame index, state) and (frame index, count) tracks.
+    """Per-edge-id (frame index, state) and (frame index, count) tracks.
 
-    Built in a single pass over the frames so the renderer's per-edge
-    keyframe construction is proportional to each edge's own changes,
-    not to edges × frames.
+    Built in a single pass over the frames' id-keyed stores so the
+    renderer's per-edge keyframe construction is proportional to each
+    edge's own changes, not to edges × frames — and decodes nothing.
     """
-    state_tracks: dict = {}
-    count_tracks: dict = {}
+    state_tracks: dict[int, list] = {}
+    count_tracks: dict[int, list] = {}
     for frame in animation.frames:
         index = frame.index
-        for edge, state in frame.edge_states.items():
-            track = state_tracks.get(edge)
+        for eid, state in frame.edge_states.ids.items():
+            track = state_tracks.get(eid)
             if track is None:
-                track = state_tracks[edge] = []
+                track = state_tracks[eid] = []
             track.append((index, state))
-        for edge, count in frame.edge_counts.items():
-            track = count_tracks.get(edge)
+        for eid, count in frame.edge_counts.ids.items():
+            track = count_tracks.get(eid)
             if track is None:
-                track = count_tracks[edge] = []
+                track = count_tracks[eid] = []
             track.append((index, count))
     return state_tracks, count_tracks
 

@@ -61,7 +61,7 @@ def chain_ids(
     symbols: SymbolTable,
     cache: ChainCache,
     root: Token,
-    prefix: Prefix,
+    prefix: Optional[Prefix],
     attributes: PathAttributes,
 ) -> tuple[int, tuple[int, ...], int]:
     """The interned post-root chain for a route, memoized in *cache*.
@@ -71,6 +71,8 @@ def chain_ids(
     itself is excluded — the cache entry depends only on the attribute
     bundle, so trees with different roots can share one cache (the root
     edge packs the caller's root id against the returned head id).
+    *prefix* is never part of the chain (the leaf fringe is stored
+    separately), so group-level callers may pass None.
     """
     cached = cache.get(attributes)
     if cached is None:
@@ -171,13 +173,19 @@ class TampTree:
         return tree
 
     def add_route_group(
-        self, prefixes: list[Prefix], attributes: PathAttributes
+        self, prefixes: Iterable[Prefix], attributes: PathAttributes
     ) -> None:
         """Thread many routes sharing one attribute bundle."""
         symbols = self._symbols
-        pids = list(map(symbols.intern_prefix, prefixes))
+        # Value-derived packed ids (pack_prefix inlined): two attribute
+        # loads and two shifts per prefix, no table probe through
+        # Prefix.__hash__.
+        pids = [
+            (p.length << 32) | (p.network >> (32 - p.length))
+            for p in prefixes
+        ]
         head, interior, tail = chain_ids(
-            symbols, self._chain_cache, self.root, prefixes[0], attributes
+            symbols, self._chain_cache, self.root, None, attributes
         )
         edges = self._edges
         children = self._children
@@ -212,8 +220,6 @@ class TampTree:
         """Remove one route's contribution (for incremental maintenance)."""
         symbols = self._symbols
         pid = symbols.prefix_id(prefix)
-        if pid is None:
-            return
         chain = route_path_tokens(
             self.root, prefix, attributes, include_prefix_leaf=False
         )
@@ -271,7 +277,7 @@ class TampTree:
             fringe = self._leaves.get(parent_id)
             if fringe is not None:
                 pid = symbols.prefix_id(child[1])  # type: ignore[arg-type]
-                if pid is not None and pid in fringe:
+                if pid in fringe:
                     return {child[1]}  # type: ignore[set-item]
         child_id = symbols.token_id(child)
         if child_id is None:

@@ -1,0 +1,21 @@
+"""INT002 violations: decoding inside the id-level hot loop."""
+
+
+def _group_by_ids(events, symbols, interner, route_path_tokens):
+    groups = {}
+    for event in events:
+        chain = route_path_tokens(
+            event.peer, event.prefix, event.attributes
+        )
+        ids = tuple(interner.intern(tok) for tok in chain)
+        key = symbols.token(ids[-1])
+        groups.setdefault(key, []).append(ids)
+    return groups
+
+
+def animate_stream(stream, graph):
+    frames = []
+    for event in stream:
+        for eid in graph.event_ids(event):
+            frames.append(graph.decode_pair(eid))
+    return frames

@@ -36,6 +36,8 @@ def fixture_module(name: str) -> str:
         return ALGO_MODULE
     if name.startswith("int001"):
         return TAMP_MODULE
+    if name.startswith("int002"):
+        return ALGO_MODULE
     return "fixture"
 
 
@@ -248,6 +250,57 @@ class TestInt001:
                 source, path=mod.__file__, module=mod.__name__
             )
             int_findings = [f for f in findings if f.rule == "INT001"]
+            assert int_findings == [], mod.__name__
+
+
+class TestInt002:
+    def test_bad_flags_decodes_and_retokenization(self):
+        findings = analyze_fixture("int002_bad.py", module=ALGO_MODULE)
+        assert rule_ids(findings) == ["INT002"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "route_path_tokens" in messages
+        assert ".token()" in messages
+        assert ".decode_pair()" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("int002_ok.py", module=ALGO_MODULE) == []
+
+    def test_suppressions(self):
+        findings = analyze_fixture(
+            "int002_suppressed.py", module=ALGO_MODULE
+        )
+        assert findings == []
+
+    def test_rule_fires_in_both_packages(self):
+        findings = analyze_fixture("int002_bad.py", module=TAMP_MODULE)
+        assert "INT002" in rule_ids(findings)
+
+    def test_rule_is_scoped_to_stemming_and_tamp(self):
+        findings = analyze_fixture(
+            "int002_bad.py", module="repro.simulator.fixture"
+        )
+        assert findings == []
+
+    def test_the_real_hot_paths_are_clean(self):
+        """The interned counter/stemmer/animator pass their own gate."""
+        import repro.stemming.counter
+        import repro.stemming.stemmer
+        import repro.tamp.animate
+        import repro.tamp.incremental
+        import repro.tamp.svg_animation
+
+        for mod in (
+            repro.stemming.counter,
+            repro.stemming.stemmer,
+            repro.tamp.incremental,
+            repro.tamp.animate,
+            repro.tamp.svg_animation,
+        ):
+            source = Path(mod.__file__).read_text()
+            findings = analyze_source(
+                source, path=mod.__file__, module=mod.__name__
+            )
+            int_findings = [f for f in findings if f.rule == "INT002"]
             assert int_findings == [], mod.__name__
 
 

@@ -1,0 +1,187 @@
+"""Property suite pinning the interned counter to the naive reference.
+
+The columnar :class:`~repro.stemming.counter.SubsequenceCounter` (packed
+pair keys, id-keyed buckets, bulk pair streaming — DESIGN.md §10) must
+be observationally identical to :class:`NaiveSubsequenceCounter`, which
+recounts every contiguous subsequence from scratch. Hypothesis drives
+both through the same scripts — bulk adds with multiplicities above and
+below the streaming repeat limit, optional mid-script expansion
+materialization, and partial ``subtract_sequences`` — and asserts the
+decoded ``counts()`` and ``top()`` ranking never diverge.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stemming.counter import (
+    _STREAM_REPEAT_LIMIT,
+    NaiveSubsequenceCounter,
+    SubsequenceCounter,
+)
+
+
+def toks(raw):
+    return tuple(("as", v) for v in raw)
+
+
+raw_sequences = st.lists(
+    st.integers(1, 5), min_size=2, max_size=6
+).map(tuple)
+
+
+@st.composite
+def counter_scripts(draw):
+    """(adds, subtractions, materialize_before_subtract).
+
+    Multiplicities straddle ``_STREAM_REPEAT_LIMIT`` so both the
+    repeat-extend and the per-pair arithmetic branches of the bulk pair
+    streaming run; subtractions never exceed what was added (the
+    counter's documented precondition).
+    """
+    adds = draw(
+        st.lists(
+            st.tuples(
+                raw_sequences,
+                st.integers(1, 2 * _STREAM_REPEAT_LIMIT),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    totals: dict = {}
+    for raw, mult in adds:
+        totals[raw] = totals.get(raw, 0) + mult
+    subtractions = []
+    for raw, total in sorted(totals.items()):
+        k = draw(st.integers(0, total))
+        if k:
+            subtractions.append((raw, k))
+    materialize = draw(st.booleans())
+    return adds, subtractions, materialize
+
+
+class TestCountsAndRanking:
+    @given(counter_scripts())
+    @settings(max_examples=60)
+    def test_counts_match_naive(self, script):
+        adds, _, _ = script
+        fast = SubsequenceCounter()
+        naive = NaiveSubsequenceCounter()
+        for raw, mult in adds:
+            fast.add_sequence(toks(raw), mult)
+            naive.add_sequence(toks(raw), mult)
+        assert fast.counts() == naive.counts()
+        assert fast.event_count == naive.event_count
+
+    @given(counter_scripts())
+    @settings(max_examples=60)
+    def test_top_ranking_matches_naive(self, script):
+        adds, _, _ = script
+        fast = SubsequenceCounter()
+        naive = NaiveSubsequenceCounter()
+        for raw, mult in adds:
+            fast.add_sequence(toks(raw), mult)
+            naive.add_sequence(toks(raw), mult)
+        assert fast.top() == naive.top()
+
+    @given(counter_scripts())
+    @settings(max_examples=60)
+    def test_bulk_id_adds_match_naive(self, script):
+        """``add_id_counts`` (the stemmer's bulk entry) = token adds."""
+        adds, _, _ = script
+        fast = SubsequenceCounter()
+        naive = NaiveSubsequenceCounter()
+        fast.add_id_counts(
+            (fast.intern_sequence(toks(raw)), mult) for raw, mult in adds
+        )
+        for raw, mult in adds:
+            naive.add_sequence(toks(raw), mult)
+        assert fast.counts() == naive.counts()
+        assert fast.top() == naive.top()
+
+
+def naive_residual(adds, subtractions):
+    """A naive counter over the post-subtraction multiset.
+
+    The naive reference has no per-sequence bookkeeping to subtract, so
+    the model for ``subtract_sequences`` is *recounting with the
+    subtracted copies never added* — exactly the semantics the
+    incremental subtract must preserve.
+    """
+    remaining: dict = {}
+    for raw, mult in adds:
+        remaining[raw] = remaining.get(raw, 0) + mult
+    for raw, k in subtractions:
+        remaining[raw] -= k
+    naive = NaiveSubsequenceCounter()
+    for raw, mult in remaining.items():
+        if mult:
+            naive.add_sequence(toks(raw), mult)
+    return naive
+
+
+class TestSubtraction:
+    @given(counter_scripts())
+    @settings(max_examples=60)
+    def test_subtract_matches_naive(self, script):
+        adds, subtractions, materialize = script
+        fast = SubsequenceCounter()
+        for raw, mult in adds:
+            fast.add_sequence(toks(raw), mult)
+        if materialize:
+            # Force the lazy full expansion first so the incremental
+            # (buckets-maintained) subtract branch runs too.
+            fast.counts()
+        fast.subtract_sequences(
+            [(toks(raw), k) for raw, k in subtractions]
+        )
+        naive = naive_residual(adds, subtractions)
+        assert fast.counts() == naive.counts()
+        assert fast.top() == naive.top()
+        assert fast.event_count == naive.event_count
+
+    @given(counter_scripts())
+    @settings(max_examples=40)
+    def test_id_level_subtract_matches_naive(self, script):
+        """``subtract_id_sequences`` (the stemmer's path) = token path."""
+        adds, subtractions, materialize = script
+        fast = SubsequenceCounter()
+        for raw, mult in adds:
+            fast.add_sequence(toks(raw), mult)
+        if materialize:
+            fast.top()  # warm the pair-majority path instead
+        fast.subtract_id_sequences(
+            [(fast.intern_sequence(toks(raw)), k) for raw, k in subtractions]
+        )
+        naive = naive_residual(adds, subtractions)
+        assert fast.counts() == naive.counts()
+        assert fast.top() == naive.top()
+
+
+class TestDecodeBoundary:
+    @given(st.lists(raw_sequences, min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_top_ids_decode_to_top(self, raws):
+        counter = SubsequenceCounter()
+        for raw in raws:
+            counter.add_sequence(toks(raw))
+        top = counter.top()
+        top_ids = counter.top_ids()
+        assert (top is None) == (top_ids is None)
+        if top is not None:
+            ids, count = top_ids
+            token = counter.symbols.token
+            assert (tuple(token(tid) for tid in ids), count) == top
+
+    @given(st.lists(raw_sequences, min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_id_counts_decode_to_counts(self, raws):
+        counter = SubsequenceCounter()
+        for raw in raws:
+            counter.add_sequence(toks(raw))
+        token = counter.symbols.token
+        decoded = {
+            tuple(token(tid) for tid in ids): count
+            for ids, count in counter.id_counts().items()
+        }
+        assert decoded == counter.counts()

@@ -110,6 +110,29 @@ class TestProfile:
         ) == 0
         assert prof.exists()
 
+    def test_animate_accepts_profile(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        EventStream(spike("100 200", 10)).save(path)
+        out = tmp_path / "anim.svg"
+        prof = tmp_path / "animate.prof"
+        assert main(
+            ["animate", str(path), "-o", str(out), "--duration", "1",
+             "--fps", "5", "--profile", str(prof)]
+        ) == 0
+        assert out.exists()
+        assert prof.exists()
+        assert (tmp_path / "animate.prof.txt").exists()
+
+    def test_monitor_accepts_profile(self, tmp_path, capsys):
+        prof = tmp_path / "monitor.prof"
+        assert main(
+            ["monitor", "--synthetic", "200", "--window", "600",
+             "--profile", str(prof)]
+        ) == 0
+        assert "window(s)" in capsys.readouterr().out
+        assert prof.exists()
+        assert (tmp_path / "monitor.prof.txt").exists()
+
 
 class TestRate:
     def test_rate_plot(self, stream_file, capsys):
