@@ -90,6 +90,33 @@ class ImportMap:
         return f"{target}.{rest}" if rest else target
 
 
+def enclosing_function_map(
+    tree: ast.Module,
+) -> "dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef]":
+    """Every node → its nearest enclosing function definition.
+
+    Rules use it to scope local-name resolution (POOL001's
+    single-assignment chasing) and to find the function a dispatch or
+    stage-factory call sits in (POOL003/PIPE002).
+    """
+    enclosing: dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+
+    def fill(
+        node: ast.AST,
+        current: "ast.FunctionDef | ast.AsyncFunctionDef | None",
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if current is not None:
+                enclosing[child] = current
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fill(child, child)
+            else:
+                fill(child, current)
+
+    fill(tree, None)
+    return enclosing
+
+
 def parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
     """Child → parent for every node; lets rules inspect a node's sink."""
     parents: dict[ast.AST, ast.AST] = {}

@@ -1,0 +1,244 @@
+"""Incremental lint cache: content hashes + import-graph invalidation.
+
+A warm full-repo lint should pay only for what changed. The unit of
+caching is one analyzed file; an entry is valid when three signatures
+all match:
+
+* ``file_sha`` — SHA-256 of the file's bytes: a content change busts
+  the file itself;
+* ``deps_sig`` — SHA-256 over the sorted ``(module, file_sha)`` pairs
+  of the file **and its transitive project imports**: when a
+  dependency changes, every transitive dependent re-analyzes. This is
+  the sound invalidation domain for the whole-program rules, because
+  every cross-module fact they use (return-taint summaries, hot-reach
+  summaries, helper bodies) resolves strictly through imports — the
+  taint rules deliberately anchor findings at the call site where a
+  tainted value *enters* a callee, precisely so a file's findings
+  never depend on its callers;
+* ``ruleset_sig`` — the analyzer signature (SHA-256 over the
+  ``repro.devtools`` sources, so editing any rule busts everything)
+  plus the selected rule ids: ``--rules DET002`` and a full run never
+  share entries.
+
+Entries also persist each file's resolved import list, so a warm run
+can rebuild the import graph — and therefore every ``deps_sig`` —
+without parsing unchanged files; with zero changes the whole run is
+hashing plus one JSON read.
+
+Storage is one versioned JSON blob under ``.repro-lint-cache/``
+(git-ignored), written atomically; a corrupt or version-mismatched
+blob is discarded wholesale rather than trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.devtools.findings import Edit, Finding
+
+#: Bumped when the entry shape changes; mismatched blobs are dropped.
+CACHE_FORMAT = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path(".repro-lint-cache")
+
+_CACHE_FILE = "cache.json"
+
+
+def file_sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def analyzer_signature() -> str:
+    """SHA-256 over the analyzer's own sources.
+
+    Any edit to the engine or a rule module changes every cache key:
+    the cache must never serve findings computed by a different
+    analyzer. Computed once per process.
+    """
+    global _ANALYZER_SIG
+    if _ANALYZER_SIG is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).resolve().parent
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(str(path.relative_to(package_dir)).encode())
+            digest.update(path.read_bytes())
+        _ANALYZER_SIG = digest.hexdigest()
+    return _ANALYZER_SIG
+
+
+_ANALYZER_SIG: Optional[str] = None
+
+
+def ruleset_signature(rules: Optional[set[str]]) -> str:
+    """Analyzer signature + the selected rule ids."""
+    selected = "ALL" if rules is None else ",".join(sorted(rules))
+    return file_sha(f"{analyzer_signature()}|{selected}".encode())
+
+
+def deps_signature(pairs: Sequence[tuple[str, str]]) -> str:
+    """Signature over sorted ``(module, file_sha)`` dependency pairs."""
+    payload = "\n".join(f"{m} {s}" for m, s in sorted(pairs))
+    return file_sha(payload.encode())
+
+
+def _finding_to_json(finding: Finding) -> dict[str, Any]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+        "fix": [
+            [e.start_line, e.start_col, e.end_line, e.end_col, e.replacement]
+            for e in finding.fix
+        ],
+    }
+
+
+def _finding_from_json(payload: dict[str, Any]) -> Finding:
+    return Finding(
+        path=payload["path"],
+        line=payload["line"],
+        col=payload["col"],
+        rule=payload["rule"],
+        message=payload["message"],
+        fix=tuple(
+            Edit(
+                start_line=edit[0],
+                start_col=edit[1],
+                end_line=edit[2],
+                end_col=edit[3],
+                replacement=edit[4],
+            )
+            for edit in payload.get("fix", [])
+        ),
+    )
+
+
+class LintCache:
+    """The per-file entry store plus hit/miss accounting for one run."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    # -- persistence ----------------------------------------------------
+
+    def _load(self) -> None:
+        blob_path = self.directory / _CACHE_FILE
+        try:
+            blob = json.loads(blob_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(blob, dict):
+            return
+        if blob.get("format") != CACHE_FORMAT:
+            return
+        if blob.get("analyzer") != analyzer_signature():
+            # A different analyzer wrote this; every entry is suspect.
+            return
+        entries = blob.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = {
+            "format": CACHE_FORMAT,
+            "analyzer": analyzer_signature(),
+            "entries": self._entries,
+        }
+        payload = json.dumps(blob, indent=1, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".cache-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.directory / _CACHE_FILE)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    # -- warm-path helpers ----------------------------------------------
+
+    def imports_for(
+        self, path: str, sha: str
+    ) -> Optional[tuple[str, ...]]:
+        """The stored import list for an unchanged file, if any — lets
+        the engine place the file in the import graph without parsing."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("file_sha") != sha:
+            return None
+        imports = entry.get("imports")
+        if isinstance(imports, list):
+            return tuple(imports)
+        return None
+
+    def lookup(
+        self, path: str, sha: str, deps_sig: str, ruleset_sig: str
+    ) -> Optional[list[Finding]]:
+        entry = self._entries.get(path)
+        if (
+            entry is None
+            or entry.get("file_sha") != sha
+            or entry.get("deps_sig") != deps_sig
+            or entry.get("ruleset_sig") != ruleset_sig
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_json(f) for f in entry.get("findings", [])]
+
+    def store(
+        self,
+        path: str,
+        sha: str,
+        deps_sig: str,
+        ruleset_sig: str,
+        imports: Sequence[str],
+        findings: Sequence[Finding],
+    ) -> None:
+        self._entries[path] = {
+            "file_sha": sha,
+            "deps_sig": deps_sig,
+            "ruleset_sig": ruleset_sig,
+            "imports": list(imports),
+            "findings": [_finding_to_json(f) for f in findings],
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer analyzed (deleted/renamed)."""
+        live = set(live_paths)
+        stale = [path for path in self._entries if path not in live]
+        for path in stale:
+            del self._entries[path]
+            self._dirty = True
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats_line(self) -> str:
+        return (
+            f"lint cache: {self.hits} hit(s), {self.misses} miss(es)"
+            f" ({self.hit_rate:.0%} hit rate)"
+        )

@@ -1,4 +1,4 @@
-"""Analysis driver: find files, parse, run checkers, filter, sort.
+"""Analysis driver: find files, build the project, run checkers.
 
 The engine is deliberately dumb: checkers do the thinking, the engine
 guarantees the operational properties — file discovery and finding
@@ -6,17 +6,49 @@ order are sorted (identical reports on every run and machine), a file
 that fails to parse becomes a ``SYNTAX`` finding instead of an
 exception (so ``repro lint`` gates on it like any other violation),
 and suppressions are applied here so no checker can forget them.
+
+Since the project layer landed the engine also owns the two scaling
+properties:
+
+* **one parse, shared derivations** — every file is parsed once into a
+  :class:`~repro.devtools.project.ModuleInfo`; the import map, parent
+  map and suppression table are computed there exactly once and shared
+  by every checker (rules used to re-derive all three per checker);
+* **incremental analysis** — with a :class:`~repro.devtools.cache
+  .LintCache`, files whose content, transitive-import signature and
+  rule-set signature all match the previous run are served from the
+  cache; only changed files and their transitive dependents re-run
+  checkers. Whole-program checkers still see the full
+  :class:`ProjectContext` (unchanged files parse lazily, and only if a
+  fresh file's analysis actually reaches them).
 """
 
 from __future__ import annotations
 
 import ast
+import subprocess
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.devtools.cache import (
+    LintCache,
+    deps_signature,
+    file_sha,
+    ruleset_signature,
+)
 from repro.devtools.findings import Finding
-from repro.devtools.registry import ModuleContext, all_checkers, rule_ids
-from repro.devtools.suppress import Suppressions
+from repro.devtools.project import (
+    ModuleInfo,
+    ProjectContext,
+    build_project,
+)
+from repro.devtools.registry import (
+    ModuleContext,
+    all_checkers,
+    all_project_checkers,
+    rule_ids,
+)
 
 #: The rule id reported for unparseable files (not suppressible — a
 #: syntax error swallows any comment that would have allowed it).
@@ -63,6 +95,194 @@ def module_name_for(path: Path) -> str:
     return ".".join(parts) if parts else "<unknown>"
 
 
+@dataclass
+class ProjectReport:
+    """Everything one analysis run produced, for the CLI and tests."""
+
+    findings: list[Finding]
+    #: Every file the run covered, sorted (cache hits included).
+    files: list[str] = field(default_factory=list)
+    #: Files whose checkers actually ran this time (cache misses, or
+    #: everything when no cache is in play).
+    analyzed: list[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_stats(self) -> Optional[str]:
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return None
+        rate = self.cache_hits / total
+        return (
+            f"lint cache: {self.cache_hits} hit(s),"
+            f" {self.cache_misses} miss(es) ({rate:.0%} hit rate)"
+        )
+
+
+def _syntax_finding(info: ModuleInfo) -> Finding:
+    exc = info.syntax_error
+    assert exc is not None
+    return Finding(
+        path=info.path,
+        line=int(exc.lineno or 1),
+        col=int(exc.offset or 0),
+        rule=SYNTAX_RULE,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _module_findings(
+    project: ProjectContext, info: ModuleInfo
+) -> list[Finding]:
+    """Run every per-module checker over one parsed module."""
+    tree = info.tree
+    if tree is None:
+        return [_syntax_finding(info)]
+    ctx = ModuleContext(
+        path=info.path,
+        module=info.module,
+        source=info.source,
+        tree=tree,
+        info=info,
+        project=project,
+    )
+    findings: list[Finding] = []
+    for checker in all_checkers():
+        findings.extend(checker.check(ctx))
+    return findings
+
+
+def _project_findings(project: ProjectContext) -> dict[str, list[Finding]]:
+    """Run every whole-program checker once; findings grouped by path."""
+    by_path: dict[str, list[Finding]] = {}
+    for checker in all_project_checkers():
+        for finding in checker.check_project(project):
+            by_path.setdefault(finding.path, []).append(finding)
+    return by_path
+
+
+def _filter(
+    info: ModuleInfo,
+    findings: Iterable[Finding],
+    rules: Optional[set[str]],
+) -> list[Finding]:
+    """Apply the rule filter and the file's suppressions."""
+    kept: list[Finding] = []
+    for finding in findings:
+        if rules is not None and finding.rule not in rules:
+            continue
+        if finding.rule != SYNTAX_RULE and info.suppressions.is_allowed(
+            finding.rule, finding.line
+        ):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def analyze_project(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[set[str]] = None,
+    cache: Optional[LintCache] = None,
+) -> ProjectReport:
+    """Analyze files and directories as one project.
+
+    An unknown rule id in *rules* is a :class:`ValueError`: a typo in
+    ``--rules DET01`` must not report a falsely clean tree.
+    """
+    if rules is not None:
+        unknown = rules - rule_ids() - {SYNTAX_RULE}
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+    files = iter_python_files(paths)
+    raw: dict[Path, bytes] = {p: p.read_bytes() for p in files}
+    shas = {p: file_sha(raw[p]) for p in files}
+    sources = {
+        p: raw[p].decode("utf-8", errors="replace") for p in files
+    }
+    preset: dict[Path, tuple[str, ...]] = {}
+    if cache is not None:
+        for p in files:
+            stored = cache.imports_for(str(p), shas[p])
+            if stored is not None:
+                preset[p] = stored
+    project = build_project(
+        [(p, module_name_for(p)) for p in files],
+        sources=sources,
+        preset_imports=preset,
+    )
+
+    ruleset_sig = ruleset_signature(rules) if cache is not None else ""
+    deps_sigs: dict[str, str] = {}
+    if cache is not None:
+        sha_by_module = {
+            info.module: shas[Path(info.path)] for info in project.infos
+        }
+        for info in project.infos:
+            pairs = [(info.module, sha_by_module[info.module])]
+            for dep in project.dependencies_of(info.module):
+                pairs.append((dep, sha_by_module[dep]))
+            deps_sigs[info.path] = deps_signature(pairs)
+
+    report = ProjectReport(findings=[], files=[str(p) for p in files])
+    cached_findings: dict[str, list[Finding]] = {}
+    fresh: list[ModuleInfo] = []
+    for info in project.infos:
+        if cache is not None:
+            hit = cache.lookup(
+                info.path,
+                shas[Path(info.path)],
+                deps_sigs[info.path],
+                ruleset_sig,
+            )
+            if hit is not None:
+                cached_findings[info.path] = hit
+                continue
+        fresh.append(info)
+
+    fresh_paths = {info.path for info in fresh}
+    project_by_path: dict[str, list[Finding]] = {}
+    if fresh:
+        project_by_path = _project_findings(project)
+
+    for info in project.infos:
+        if info.path in cached_findings:
+            report.findings.extend(cached_findings[info.path])
+            continue
+        findings = _filter(
+            info,
+            _module_findings(project, info)
+            + project_by_path.get(info.path, []),
+            rules,
+        )
+        findings.sort()
+        report.findings.extend(findings)
+        report.analyzed.append(info.path)
+        if cache is not None:
+            cache.store(
+                info.path,
+                shas[Path(info.path)],
+                deps_sigs[info.path],
+                ruleset_sig,
+                info.imported_module_names,
+                findings,
+            )
+
+    if cache is not None:
+        cache.prune([str(p) for p in files])
+        cache.save()
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+    else:
+        report.analyzed = list(report.files)
+
+    report.findings.sort()
+    return report
+
+
 def analyze_source(
     source: str,
     *,
@@ -70,32 +290,20 @@ def analyze_source(
     module: Optional[str] = None,
     rules: Optional[set[str]] = None,
 ) -> list[Finding]:
-    """Run every registered checker over one source string."""
+    """Run every checker over one source string (a one-module project).
+
+    Whole-program rules run too — scoped to whatever is resolvable
+    inside the single module — so the fixture corpus can pin their
+    local behavior without building multi-file projects.
+    """
     if module is None:
         module = module_name_for(Path(path))
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=int(exc.lineno or 1),
-                col=int(exc.offset or 0),
-                rule=SYNTAX_RULE,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = ModuleContext(path=path, module=module, source=source, tree=tree)
-    suppressions = Suppressions.scan(source)
-    findings: list[Finding] = []
-    for checker in all_checkers():
-        for finding in checker.check(ctx):
-            if rules is not None and finding.rule not in rules:
-                continue
-            if suppressions.is_allowed(finding.rule, finding.line):
-                continue
-            findings.append(finding)
-    return sorted(findings)
+    info = ModuleInfo(path, module, source)
+    project = ProjectContext([info])
+    findings = _module_findings(project, info)
+    for _, path_findings in sorted(_project_findings(project).items()):
+        findings.extend(path_findings)
+    return sorted(_filter(info, findings, rules))
 
 
 def analyze_file(
@@ -109,18 +317,55 @@ def analyze_file(
 def analyze_paths(
     paths: Sequence[Path], *, rules: Optional[set[str]] = None
 ) -> list[Finding]:
-    """Analyze files and directories; the CLI and self-lint entry point.
+    """Analyze files and directories; the self-lint entry point.
 
-    An unknown rule id in *rules* is a :class:`ValueError`: a typo in
-    ``--rules DET01`` must not report a falsely clean tree.
+    The uncached form of :func:`analyze_project`, kept as the stable
+    programmatic API (the tier-1 self-lint test and older callers).
     """
-    if rules is not None:
-        unknown = rules - rule_ids() - {SYNTAX_RULE}
-        if unknown:
-            raise ValueError(
-                f"unknown rule id(s): {', '.join(sorted(unknown))}"
-            )
-    findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(analyze_file(path, rules=rules))
-    return sorted(findings)
+    return analyze_project(paths, rules=rules).findings
+
+
+def changed_paths(
+    paths: Sequence[Path],
+) -> Optional[list[Path]]:
+    """Python files under *paths* that differ from git HEAD.
+
+    Returns ``None`` when git is unavailable or the working directory
+    is not a repository — callers fall back to a full lint. Untracked
+    files count as changed; deletions are skipped (nothing to lint).
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=all", "--"]
+            + [str(p) for p in paths],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    changed: set[Path] = set()
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        name = line[3:]
+        # Renames are reported as "old -> new"; lint the new path.
+        if " -> " in name:
+            name = name.split(" -> ", 1)[1]
+        if name.startswith('"') and name.endswith('"'):
+            name = name[1:-1]
+        path = Path(name)
+        if path.suffix == ".py" and path.is_file():
+            changed.add(path)
+    return sorted(changed)
+
+
+def parse_ok(source: str) -> bool:
+    """True when *source* parses — the autofix verification helper."""
+    try:
+        ast.parse(source)
+    except SyntaxError:
+        return False
+    return True

@@ -1,0 +1,229 @@
+"""Autofix: apply span-based :class:`~repro.devtools.findings.Edit`\\ s.
+
+The contract (``repro lint --fix``):
+
+* **span edits, applied bottom-up** — each edit replaces a half-open
+  ``(line, col)`` span; applying in descending position order means no
+  edit invalidates the coordinates of an earlier one. Overlapping
+  non-insertion spans are a conflict: the whole file's fix batch is
+  skipped rather than guessed at.
+* **atomic per file** — the rewritten source lands via ``os.replace``
+  of a sibling temp file, so an interrupt leaves either the old or the
+  new file, never a torn one.
+* **verified** — a file whose rewritten source no longer parses is
+  rolled back before it is written (the candidate text is parsed
+  first), and :func:`fix_paths` re-lints after writing so the report
+  states what actually remains, not what was hoped.
+* **idempotent** — fixed findings disappear on the re-lint, so a second
+  ``--fix`` run finds nothing to do (the autofix round-trip test pins
+  this).
+
+``--fix-suppress RULE`` shares the machinery: instead of repairing the
+code it inserts a standalone ``# repro: allow[RULE]`` justification
+stub above each finding of *RULE*, for violations that are intended
+behavior awaiting a written rationale.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.engine import analyze_project, parse_ok
+from repro.devtools.findings import Edit, Finding
+
+#: The justification stub ``--fix-suppress`` inserts. Deliberately a
+#: TODO: a suppression without a rationale should not survive review.
+SUPPRESS_STUB = "TODO: justify this suppression"
+
+
+class EditConflict(ValueError):
+    """Two edits in one file claim overlapping non-insertion spans."""
+
+
+def _offset_index(source: str) -> list[int]:
+    """Start offset of each 1-based line in *source*."""
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _to_offsets(edit: Edit, index: list[int]) -> tuple[int, int]:
+    def clamp(line: int) -> int:
+        return max(1, min(line, len(index)))
+
+    start = index[clamp(edit.start_line) - 1] + edit.start_col
+    end = index[clamp(edit.end_line) - 1] + edit.end_col
+    return start, end
+
+
+def apply_edits(source: str, edits: Sequence[Edit]) -> str:
+    """Apply *edits* to *source*; raises :class:`EditConflict` on
+    overlap.
+
+    Insertions at the same point stack in the order given (the first
+    edit's text ends up first).
+    """
+    index = _offset_index(source)
+    spans = [
+        (*_to_offsets(edit, index), position, edit)
+        for position, edit in enumerate(edits)
+    ]
+    occupied: list[tuple[int, int]] = []
+    for start, end, _, edit in spans:
+        if start > end:
+            raise EditConflict(f"negative-width edit span: {edit}")
+        if start == end:
+            continue  # insertions never conflict
+        for other_start, other_end in occupied:
+            if start < other_end and other_start < end:
+                raise EditConflict(
+                    f"overlapping edits at offsets {start}..{end}"
+                )
+        occupied.append((start, end))
+    # Bottom-up, and for same-position edits reverse input order, so
+    # the earlier edit's replacement lands before the later one's.
+    text = source
+    for start, end, _, edit in sorted(
+        spans, key=lambda s: (s[0], s[1], s[2]), reverse=True
+    ):
+        text = text[:start] + edit.replacement + text[end:]
+    return text
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    fd, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".fix"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def suppression_edits(
+    finding: Finding, source: str, *, stub: str = SUPPRESS_STUB
+) -> tuple[Edit, ...]:
+    """A standalone ``# repro: allow[RULE]`` comment above the finding.
+
+    The comment takes the flagged line's indentation so the suppression
+    scanner's standalone rule attaches it to that statement.
+    """
+    lines = source.splitlines()
+    if not 1 <= finding.line <= len(lines):
+        return ()
+    flagged = lines[finding.line - 1]
+    indent = flagged[: len(flagged) - len(flagged.lstrip())]
+    comment = f"{indent}# repro: allow[{finding.rule}] {stub}\n"
+    return (
+        Edit(
+            start_line=finding.line,
+            start_col=0,
+            end_line=finding.line,
+            end_col=0,
+            replacement=comment,
+        ),
+    )
+
+
+@dataclass
+class FixReport:
+    """What one ``--fix`` / ``--fix-suppress`` run did."""
+
+    #: Findings whose edits were applied, per file.
+    fixed: list[Finding] = field(default_factory=list)
+    #: Fixable findings skipped (conflicting edits or broken rewrite).
+    skipped: list[Finding] = field(default_factory=list)
+    #: Files actually rewritten.
+    changed_files: list[str] = field(default_factory=list)
+    #: The post-fix lint findings over the same paths/rules.
+    remaining: list[Finding] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"fixed {len(self.fixed)} finding(s) in"
+            f" {len(self.changed_files)} file(s);"
+            f" {len(self.skipped)} skipped;"
+            f" {len(self.remaining)} remaining"
+        )
+
+
+def _fix_one_file(
+    path: Path, findings: list[Finding], report: FixReport
+) -> None:
+    """Apply one file's fix batch, dropping conflicting findings."""
+    source = path.read_text(encoding="utf-8")
+    batch: list[Finding] = []
+    edits: list[Edit] = []
+    for finding in findings:
+        try:
+            apply_edits(source, edits + list(finding.fix))
+        except EditConflict:
+            report.skipped.append(finding)
+            continue
+        batch.append(finding)
+        edits.extend(finding.fix)
+    if not batch:
+        return
+    rewritten = apply_edits(source, edits)
+    if rewritten == source or not parse_ok(rewritten):
+        report.skipped.extend(batch)
+        return
+    _atomic_write(path, rewritten)
+    report.fixed.extend(batch)
+    report.changed_files.append(str(path))
+
+
+def fix_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[set[str]] = None,
+    suppress_rule: Optional[str] = None,
+) -> FixReport:
+    """Lint *paths*, apply fixes (or suppressions), re-lint, report.
+
+    With *suppress_rule*, findings of that rule get a justification-stub
+    suppression comment instead of a code fix; all other findings are
+    left alone. Without it, every finding carrying a fix is repaired.
+    """
+    before = analyze_project(paths, rules=rules)
+    by_path: dict[str, list[Finding]] = {}
+    suppressed_lines: set[tuple[str, int]] = set()
+    for finding in before.findings:
+        if suppress_rule is not None:
+            if finding.rule != suppress_rule:
+                continue
+            # One comment per flagged line, however many findings of
+            # the rule sit on it.
+            if (finding.path, finding.line) in suppressed_lines:
+                continue
+            suppressed_lines.add((finding.path, finding.line))
+            source = Path(finding.path).read_text(encoding="utf-8")
+            finding = Finding(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule=finding.rule,
+                message=finding.message,
+                fix=suppression_edits(finding, source),
+            )
+        if not finding.fix:
+            continue
+        by_path.setdefault(finding.path, []).append(finding)
+
+    report = FixReport()
+    for path_str in sorted(by_path):
+        _fix_one_file(Path(path_str), by_path[path_str], report)
+
+    report.remaining = analyze_project(paths, rules=rules).findings
+    return report

@@ -1,0 +1,372 @@
+"""The project layer: whole-program context for the analyzer.
+
+PR 2's engine handed every checker one module at a time, which makes
+any invariant that spans a module boundary invisible (a decoded token
+returned by a helper in ``repro.interning`` leaking into a stemming hot
+loop, a pool shard mutating state it imported). This module parses the
+analyzed tree **once** and derives everything the cross-module rules
+need:
+
+* :class:`ModuleInfo` — one analyzed file: source, AST, suppressions,
+  import map, parent map, and the module-level function index, each
+  computed lazily and exactly once (rules used to re-derive the import
+  map and re-tokenize for suppressions per checker per file);
+* :class:`ProjectContext` — the set of modules plus the **import
+  graph** (project-internal edges only, with transitive dependency /
+  dependent closures: the cache layer's invalidation domain) and a
+  **symbol index** that resolves a call expression to the
+  :class:`FunctionInfo` it names — through import aliases, one-hop
+  re-exports, and ``self.method`` within a class — without type
+  inference. Unresolvable calls resolve to ``None`` and rules treat
+  them as opaque, which is the safe direction for every current rule.
+
+A module whose imports are already known from a previous run can be
+built with ``preset_imports`` so the import graph (and therefore cache
+signatures) can be computed without parsing the file at all — the
+warm-path property the incremental cache depends on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.devtools.astutil import ImportMap, parent_map
+from repro.devtools.suppress import Suppressions
+
+AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: How many re-export hops the symbol index follows. Package
+#: ``__init__`` files re-export one level deep in this repo; the bound
+#: keeps a pathological import cycle from looping the resolver.
+_REEXPORT_HOPS = 4
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method, locatable across the project."""
+
+    module: str
+    qualname: str  # "fn" or "Class.fn"
+    node: AnyFunc
+    class_name: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @cached_property
+    def params(self) -> tuple[str, ...]:
+        """Positional parameter names, ``self``/``cls`` stripped for
+        methods so argument indices line up with call-site positions."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+        if self.class_name is not None and names:
+            decorators = {
+                d.id
+                for d in self.node.decorator_list
+                if isinstance(d, ast.Name)
+            }
+            if "staticmethod" not in decorators:
+                names = names[1:]
+        return tuple(names)
+
+    def param_index(self, name: str) -> Optional[int]:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+class ModuleInfo:
+    """One analyzed file, with every shared derivation computed once."""
+
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        source: str,
+        *,
+        preset_imports: Optional[tuple[str, ...]] = None,
+    ) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.preset_imports = preset_imports
+
+    @cached_property
+    def _parsed(self) -> tuple[Optional[ast.Module], Optional[SyntaxError]]:
+        try:
+            return ast.parse(self.source, filename=self.path), None
+        except SyntaxError as exc:
+            return None, exc
+
+    @property
+    def tree(self) -> Optional[ast.Module]:
+        """The AST, or ``None`` for a file that does not parse."""
+        return self._parsed[0]
+
+    @property
+    def syntax_error(self) -> Optional[SyntaxError]:
+        return self._parsed[1]
+
+    @cached_property
+    def suppressions(self) -> Suppressions:
+        """Tokenized once here; every rule and the engine share it."""
+        return Suppressions.scan(self.source)
+
+    @cached_property
+    def imports(self) -> ImportMap:
+        tree = self.tree
+        return ImportMap(tree if tree is not None else ast.Module([], []))
+
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        tree = self.tree
+        return parent_map(tree) if tree is not None else {}
+
+    @cached_property
+    def imported_module_names(self) -> tuple[str, ...]:
+        """Every dotted module name this file's imports *could* name.
+
+        ``from repro.tamp import graph`` contributes both ``repro.tamp``
+        and ``repro.tamp.graph`` — whether ``graph`` is a submodule or a
+        symbol is unknowable statically, and the project context keeps
+        only the names that exist as analyzed modules anyway.
+        """
+        if self.preset_imports is not None:
+            return self.preset_imports
+        tree = self.tree
+        if tree is None:
+            return ()
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    base = self._resolve_relative(node.level, base)
+                if not base:
+                    continue
+                names.add(base)
+                for alias in node.names:
+                    if alias.name != "*":
+                        names.add(f"{base}.{alias.name}")
+        return tuple(sorted(names))
+
+    def _resolve_relative(self, level: int, tail: str) -> str:
+        """``from ..x import y`` anchored at this module's package."""
+        parts = self.module.split(".")
+        # Package __init__ modules count as their own package.
+        anchor = parts[: len(parts) - level]
+        if not anchor:
+            return tail
+        return ".".join(anchor + ([tail] if tail else []))
+
+    @cached_property
+    def functions(self) -> dict[str, FunctionInfo]:
+        """Module-level functions and class methods, by qualname."""
+        index: dict[str, FunctionInfo] = {}
+        tree = self.tree
+        if tree is None:
+            return index
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                index[node.name] = FunctionInfo(
+                    self.module, node.name, node
+                )
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        qualname = f"{node.name}.{item.name}"
+                        index[qualname] = FunctionInfo(
+                            self.module, qualname, item, node.name
+                        )
+        return index
+
+
+class ProjectContext:
+    """Every analyzed module plus the graphs the project rules walk."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        #: Path-ordered (the engine's deterministic file order).
+        self.infos: tuple[ModuleInfo, ...] = tuple(modules)
+        self.by_path: dict[str, ModuleInfo] = {
+            info.path: info for info in self.infos
+        }
+        self.by_module: dict[str, ModuleInfo] = {}
+        for info in self.infos:
+            # First wins on (pathological) duplicate module names so the
+            # mapping is independent of anything but sorted path order.
+            self.by_module.setdefault(info.module, info)
+        self._deps_closure: dict[str, frozenset[str]] = {}
+        self._dependents_closure: dict[str, frozenset[str]] = {}
+
+    # -- import graph ---------------------------------------------------
+
+    @cached_property
+    def import_graph(self) -> dict[str, frozenset[str]]:
+        """module → project modules it imports (direct edges only)."""
+        graph: dict[str, frozenset[str]] = {}
+        for info in self.infos:
+            deps: set[str] = set()
+            for name in info.imported_module_names:
+                target = self._project_module(name)
+                if target is not None and target != info.module:
+                    deps.add(target)
+            graph[info.module] = frozenset(deps)
+        return graph
+
+    @cached_property
+    def reverse_import_graph(self) -> dict[str, frozenset[str]]:
+        reverse: dict[str, set[str]] = {
+            info.module: set() for info in self.infos
+        }
+        for module, deps in self.import_graph.items():
+            for dep in deps:
+                reverse.setdefault(dep, set()).add(module)
+        return {module: frozenset(deps) for module, deps in reverse.items()}
+
+    def _project_module(self, dotted: str) -> Optional[str]:
+        """Longest analyzed-module prefix of *dotted*, if any.
+
+        ``repro.tamp.graph.TampGraph`` → ``repro.tamp.graph``.
+        """
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.by_module:
+                return candidate
+        return None
+
+    def _closure(
+        self,
+        module: str,
+        graph: dict[str, frozenset[str]],
+        memo: dict[str, frozenset[str]],
+    ) -> frozenset[str]:
+        cached = memo.get(module)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        frontier = [module]
+        while frontier:
+            current = frontier.pop()
+            for nxt in graph.get(current, frozenset()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        result = frozenset(seen - {module})
+        memo[module] = result
+        return result
+
+    def dependencies_of(self, module: str) -> frozenset[str]:
+        """Transitive project imports of *module* (excluding itself).
+
+        The domain a module's analysis result may depend on: return
+        summaries and helper bodies resolve only through imports.
+        """
+        return self._closure(module, self.import_graph, self._deps_closure)
+
+    def dependents_of(self, module: str) -> frozenset[str]:
+        """Transitive importers of *module* — the invalidation fan-out:
+        when *module* changes, exactly these must re-analyze."""
+        return self._closure(
+            module, self.reverse_import_graph, self._dependents_closure
+        )
+
+    # -- symbol index ---------------------------------------------------
+
+    def resolve_function(
+        self,
+        info: ModuleInfo,
+        callee: ast.AST,
+        scope: Optional[FunctionInfo] = None,
+    ) -> Optional[FunctionInfo]:
+        """The :class:`FunctionInfo` a call expression names, if it is
+        statically resolvable.
+
+        Handles: a module-local name, an imported name (through
+        aliases and up to ``_REEXPORT_HOPS`` re-export hops),
+        ``module.attr`` chains, and ``self.method``/``cls.method``
+        inside a class body. Anything else — a call on a runtime
+        object, a subscript, a name rebound locally — returns ``None``.
+        """
+        if (
+            isinstance(callee, ast.Attribute)
+            and isinstance(callee.value, ast.Name)
+            and callee.value.id in ("self", "cls")
+            and scope is not None
+            and scope.class_name is not None
+        ):
+            return info.functions.get(f"{scope.class_name}.{callee.attr}")
+        dotted = info.imports.resolve(callee)
+        if dotted is None:
+            return None
+        if "." not in dotted:
+            local = info.functions.get(dotted)
+            if local is not None:
+                return local
+        return self._resolve_dotted(dotted)
+
+    def _resolve_dotted(self, dotted: str) -> Optional[FunctionInfo]:
+        for _ in range(_REEXPORT_HOPS):
+            module = self._project_module(dotted)
+            if module is None:
+                return None
+            remainder = dotted[len(module) :].lstrip(".")
+            if not remainder:
+                return None
+            owner = self.by_module[module]
+            found = owner.functions.get(remainder)
+            if found is not None:
+                return found
+            # One re-export hop: the owning module imports the name
+            # itself (`from repro.x.y import fn` in a package __init__).
+            head = remainder.split(".")[0]
+            target = owner.imports.aliases.get(head)
+            if target is None or target == dotted:
+                return None
+            tail = remainder[len(head) :].lstrip(".")
+            dotted = f"{target}.{tail}" if tail else target
+        return None
+
+    def iter_functions(self) -> Iterator[tuple[ModuleInfo, FunctionInfo]]:
+        """Every function of every module, in deterministic order."""
+        for info in self.infos:
+            for qualname in sorted(info.functions):
+                yield info, info.functions[qualname]
+
+
+def build_project(
+    files: Sequence[tuple[Path, str]],
+    *,
+    sources: Optional[dict[Path, str]] = None,
+    preset_imports: Optional[dict[Path, tuple[str, ...]]] = None,
+) -> ProjectContext:
+    """Build a :class:`ProjectContext` for ``(path, module_name)`` pairs.
+
+    *sources* overrides file reads (in-memory analysis, tests);
+    *preset_imports* supplies import lists recovered from a cache so
+    unchanged files need not be parsed to place them in the graph.
+    """
+    infos: list[ModuleInfo] = []
+    for path, module in files:
+        if sources is not None and path in sources:
+            source = sources[path]
+        else:
+            source = path.read_text(encoding="utf-8")
+        preset = None
+        if preset_imports is not None:
+            preset = preset_imports.get(path)
+        infos.append(
+            ModuleInfo(str(path), module, source, preset_imports=preset)
+        )
+    return ProjectContext(infos)

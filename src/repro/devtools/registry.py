@@ -1,4 +1,4 @@
-"""The checker framework: base class, registry, module context.
+"""The checker framework: base classes, registries, module context.
 
 One checker class per invariant family; a class may own several rule
 ids (the determinism checker owns DET001–DET003). Registration is a
@@ -7,31 +7,53 @@ decorator so adding a rule is: write the class in
 is sorted by class name and the catalog by rule id, keeping analyzer
 output order independent of import order — the analyzer holds itself
 to the determinism bar it enforces.
+
+Two checker kinds since the project layer landed:
+
+* :class:`Checker` — per-module: sees one :class:`ModuleContext` at a
+  time. The context now also carries the shared derivations the
+  project layer computed once (import map, parent map, suppressions)
+  plus a handle to the whole :class:`ProjectContext`, so no rule
+  re-tokenizes or re-walks what the engine already has.
+* :class:`ProjectChecker` — whole-program: sees the
+  :class:`ProjectContext` once per analysis and may emit findings in
+  any file. The engine routes each finding through the owning file's
+  suppressions, same as module findings.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
 
-from repro.devtools.findings import Finding, Rule
+from repro.devtools.findings import Edit, Finding, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.devtools.astutil import ImportMap
+    from repro.devtools.project import ModuleInfo, ProjectContext
+    from repro.devtools.suppress import Suppressions
 
 
 @dataclass(frozen=True)
 class ModuleContext:
-    """Everything a checker may look at for one module.
+    """Everything a per-module checker may look at for one module.
 
     *module* is the dotted import name (``repro.tamp.render``) — rules
     scoped to algorithm packages match on it, and tests can analyze a
     fixture *as if* it lived anywhere in the tree by passing a
-    synthetic module name.
+    synthetic module name. *info* is the project-layer record the
+    shared derivations live on; *project* is the whole-program context
+    (always present — a single-module analysis gets a single-module
+    project).
     """
 
     path: str
     module: str
     source: str
     tree: ast.Module
+    info: "ModuleInfo" = field(repr=False)
+    project: "ProjectContext" = field(repr=False)
 
     def in_package(self, packages: tuple[str, ...]) -> bool:
         """True when the module sits in (or is) one of *packages*.
@@ -44,6 +66,21 @@ class ModuleContext:
             for package in packages
         )
 
+    @property
+    def imports(self) -> "ImportMap":
+        """The module's import map, computed once for all checkers."""
+        return self.info.imports
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent for every node, computed once per module."""
+        return self.info.parents
+
+    @property
+    def suppressions(self) -> "Suppressions":
+        """The file's suppression table (tokenized exactly once)."""
+        return self.info.suppressions
+
 
 class Checker:
     """Base class: declare ``rules``, implement :meth:`check`."""
@@ -54,7 +91,13 @@ class Checker:
         raise NotImplementedError
 
     def finding(
-        self, ctx: ModuleContext, node: ast.AST, rule: str, message: str
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        *,
+        fix: tuple[Edit, ...] = (),
     ) -> Finding:
         """A finding at *node*'s location (the common constructor)."""
         return Finding(
@@ -63,25 +106,71 @@ class Checker:
             col=int(getattr(node, "col_offset", 0)),
             rule=rule,
             message=message,
+            fix=fix,
+        )
+
+
+class ProjectChecker:
+    """Base class for whole-program rules (INT003, POOL003, PIPE002)."""
+
+    rules: tuple[Rule, ...] = ()
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        info: "ModuleInfo",
+        node: ast.AST,
+        rule: str,
+        message: str,
+    ) -> Finding:
+        return Finding(
+            path=info.path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            rule=rule,
+            message=message,
         )
 
 
 _CHECKERS: list[type[Checker]] = []
+_PROJECT_CHECKERS: list[type[ProjectChecker]] = []
 
 
 def register(cls: type[Checker]) -> type[Checker]:
-    """Class decorator adding a checker to the global registry."""
+    """Class decorator adding a per-module checker to the registry."""
     _CHECKERS.append(cls)
     return cls
 
 
-def all_checkers() -> list[Checker]:
-    """Fresh instances of every registered checker, in stable order."""
+def register_project(cls: type[ProjectChecker]) -> type[ProjectChecker]:
+    """Class decorator adding a whole-program checker to the registry."""
+    _PROJECT_CHECKERS.append(cls)
+    return cls
+
+
+def _load_rules() -> None:
     # Imported lazily: the rules package imports this module to reach
     # the decorator, so a top-level import would be circular.
     import repro.devtools.rules  # noqa: F401  (registration side effect)
 
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every module checker, in stable order."""
+    _load_rules()
     return [cls() for cls in sorted(_CHECKERS, key=lambda c: c.__name__)]
+
+
+def all_project_checkers() -> list[ProjectChecker]:
+    """Fresh instances of every project checker, in stable order."""
+    _load_rules()
+    return [
+        cls()
+        for cls in sorted(_PROJECT_CHECKERS, key=lambda c: c.__name__)
+    ]
 
 
 def rule_catalog() -> list[Rule]:
@@ -89,6 +178,8 @@ def rule_catalog() -> list[Rule]:
     rules: set[Rule] = set()
     for checker in all_checkers():
         rules.update(checker.rules)
+    for project_checker in all_project_checkers():
+        rules.update(project_checker.rules)
     return sorted(rules)
 
 

@@ -18,7 +18,14 @@ Rule families map to the invariants the repo actually depends on:
 * :mod:`repro.devtools.rules.pipeline` — PIPE001 (pipeline stages
   must not reference module-global mutable state);
 * :mod:`repro.devtools.rules.interning` — INT001 (TAMP hot paths must
-  keep edge stores on packed int ids, not object sets/token tuples).
+  keep edge stores on packed int ids, not object sets/token tuples),
+  INT002 (no decode calls inside id-space hot functions);
+* :mod:`repro.devtools.rules.taint` — the whole-program rules: INT003
+  (interprocedural id-taint: SymbolTable-decoded values must not flow
+  into registered hot functions, across any number of calls or
+  modules), POOL003 (shard functions reaching module-global writes
+  through a helper), PIPE002 (pipeline stages reaching module-global
+  or closure-captured mutable state through a call).
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.devtools.rules import (
     mutation,
     pipeline,
     pool,
+    taint,
     testkit,
 )
 
@@ -40,5 +48,6 @@ __all__ = [
     "mutation",
     "pipeline",
     "pool",
+    "taint",
     "testkit",
 ]

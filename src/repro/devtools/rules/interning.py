@@ -40,7 +40,7 @@ _PACKAGES = ("repro.tamp",)
 
 #: The build/merge hot path, by function name. Everything else in the
 #: package (queries, rendering, layout) is decode-boundary code.
-_HOT_FUNCTIONS = frozenset(
+HOT_FUNCTIONS = frozenset(
     {
         "from_routes",
         "add_route_group",
@@ -63,7 +63,7 @@ _ID_PACKAGES = ("repro.stemming", "repro.tamp")
 #: The id-level stemming/animation hot path, by function name. These
 #: run between the encode and decode boundaries, so any token decode or
 #: chain re-render inside them is a regression.
-_ID_HOT_FUNCTIONS = frozenset(
+ID_HOT_FUNCTIONS = frozenset(
     {
         # repro.stemming.counter — packed-pair bulk counting
         "add_ids",
@@ -87,10 +87,10 @@ _ID_HOT_FUNCTIONS = frozenset(
 
 #: Decode-boundary method names: calling one inside an id-level hot
 #: function means tokens are being materialized in the loop.
-_DECODE_METHODS = frozenset({"token", "decode_pair", "decode_edge", "prefix"})
+DECODE_METHODS = frozenset({"token", "decode_pair", "decode_edge", "prefix"})
 
 #: Chain re-renderers the apply/grouping memos exist to avoid.
-_RETOKENIZERS = frozenset({"route_path_tokens"})
+RETOKENIZERS = frozenset({"route_path_tokens"})
 
 #: Object-set constructors that must not type prefix containers here.
 _SET_TYPES = frozenset({"set", "frozenset"})
@@ -119,7 +119,7 @@ class InternedHotPath(Checker):
         for node in ast.walk(ctx.tree):
             if (
                 isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and node.name in _HOT_FUNCTIONS
+                and node.name in HOT_FUNCTIONS
             ):
                 yield from self._check_function(ctx, node)
 
@@ -255,7 +255,7 @@ class IdLevelHotPath(Checker):
         for node in ast.walk(ctx.tree):
             if (
                 isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and node.name in _ID_HOT_FUNCTIONS
+                and node.name in ID_HOT_FUNCTIONS
             ):
                 yield from self._check_function(ctx, node)
 
@@ -269,7 +269,7 @@ class IdLevelHotPath(Checker):
             callee = node.func
             if (
                 isinstance(callee, ast.Attribute)
-                and callee.attr in _DECODE_METHODS
+                and callee.attr in DECODE_METHODS
             ):
                 findings.append(
                     self.finding(
@@ -282,7 +282,7 @@ class IdLevelHotPath(Checker):
                         " (DESIGN.md §10)",
                     )
                 )
-            elif self._callee_name(callee) in _RETOKENIZERS:
+            elif self._callee_name(callee) in RETOKENIZERS:
                 findings.append(
                     self.finding(
                         ctx,

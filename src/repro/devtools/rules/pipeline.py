@@ -17,6 +17,11 @@ declaration and any reference to a module-global bound to a mutable
 container (literal list/dict/set, comprehension, or a call to a known
 container factory). A read is as bad as a write here — the reference
 itself is the hidden channel.
+
+Stage discovery and mutable-global detection are module-level
+functions shared with the whole-program escape rule (PIPE002 in
+:mod:`repro.devtools.rules.taint`), which chases the same hazard one
+call level deeper and across modules.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from repro.devtools.findings import Finding, Rule
 from repro.devtools.registry import Checker, ModuleContext, register
 
 #: Fully-qualified names that construct a function-backed stage.
-_STAGE_FACTORIES = frozenset(
+STAGE_FACTORIES = frozenset(
     {
         "repro.pipeline.FunctionStage",
         "repro.pipeline.runtime.FunctionStage",
@@ -37,7 +42,7 @@ _STAGE_FACTORIES = frozenset(
 )
 
 #: Base classes that make a ClassDef a pipeline stage.
-_STAGE_BASES = frozenset(
+STAGE_BASES = frozenset(
     {
         "repro.pipeline.Stage",
         "repro.pipeline.runtime.Stage",
@@ -76,6 +81,75 @@ _MUTABLE_LITERALS = (
 StageDef = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef]
 
 
+def is_mutable_value(node: ast.AST, imports: ImportMap) -> bool:
+    """True when *node* statically evaluates to a mutable container."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and imports.resolve(node.func) in _MUTABLE_FACTORIES
+    )
+
+
+def mutable_module_globals(
+    tree: ast.Module, imports: ImportMap
+) -> set[str]:
+    """Module-level names bound to recognizably mutable containers."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not is_mutable_value(value, imports):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def stage_definitions(
+    tree: ast.Module, imports: ImportMap
+) -> list[StageDef]:
+    """Stage classes and module-level ``FunctionStage`` callables."""
+    module_defs = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    stages: list[StageDef] = []
+    seen: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and any(
+            imports.resolve(base) in STAGE_BASES for base in node.bases
+        ):
+            stages.append(node)
+            seen.add(node.name)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and imports.resolve(node.func) in STAGE_FACTORIES
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            name = node.args[0].id
+            if name in module_defs and name not in seen:
+                seen.add(name)
+                stages.append(module_defs[name])
+    return stages
+
+
+def stage_kind(stage: StageDef) -> str:
+    return (
+        "stage class"
+        if isinstance(stage, ast.ClassDef)
+        else "stage function"
+    )
+
+
 @register
 class PipelineStagePurity(Checker):
     """PIPE001 over stage definitions in a module."""
@@ -89,76 +163,10 @@ class PipelineStagePurity(Checker):
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        imports = ImportMap(ctx.tree)
-        mutable_globals = self._mutable_module_globals(ctx.tree, imports)
-        for stage in self._stage_defs(ctx.tree, imports):
+        imports = ctx.imports
+        mutable_globals = mutable_module_globals(ctx.tree, imports)
+        for stage in stage_definitions(ctx.tree, imports):
             yield from self._check_stage(ctx, stage, mutable_globals)
-
-    # -- stage discovery ------------------------------------------------
-
-    def _stage_defs(
-        self, tree: ast.Module, imports: ImportMap
-    ) -> list[StageDef]:
-        module_defs = {
-            node.name: node
-            for node in tree.body
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-        }
-        stages: list[StageDef] = []
-        seen: set[str] = set()
-        for node in tree.body:
-            if isinstance(node, ast.ClassDef) and any(
-                imports.resolve(base) in _STAGE_BASES
-                for base in node.bases
-            ):
-                stages.append(node)
-                seen.add(node.name)
-        for node in ast.walk(tree):
-            if (
-                isinstance(node, ast.Call)
-                and imports.resolve(node.func) in _STAGE_FACTORIES
-                and node.args
-                and isinstance(node.args[0], ast.Name)
-            ):
-                name = node.args[0].id
-                if name in module_defs and name not in seen:
-                    seen.add(name)
-                    stages.append(module_defs[name])
-        return stages
-
-    # -- mutable-global detection ---------------------------------------
-
-    def _mutable_module_globals(
-        self, tree: ast.Module, imports: ImportMap
-    ) -> set[str]:
-        names: set[str] = set()
-        for node in tree.body:
-            if isinstance(node, ast.Assign):
-                targets, value = node.targets, node.value
-            elif (
-                isinstance(node, ast.AnnAssign)
-                and node.value is not None
-            ):
-                targets, value = [node.target], node.value
-            else:
-                continue
-            if not self._is_mutable_value(value, imports):
-                continue
-            for target in targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-        return names
-
-    @staticmethod
-    def _is_mutable_value(node: ast.AST, imports: ImportMap) -> bool:
-        if isinstance(node, _MUTABLE_LITERALS):
-            return True
-        return (
-            isinstance(node, ast.Call)
-            and imports.resolve(node.func) in _MUTABLE_FACTORIES
-        )
-
-    # -- stage body check -----------------------------------------------
 
     def _check_stage(
         self,
@@ -166,11 +174,7 @@ class PipelineStagePurity(Checker):
         stage: StageDef,
         mutable_globals: set[str],
     ) -> Iterator[Finding]:
-        kind = (
-            "stage class"
-            if isinstance(stage, ast.ClassDef)
-            else "stage function"
-        )
+        kind = stage_kind(stage)
         flagged: set[str] = set()
         for node in ast.walk(stage):
             if isinstance(node, ast.Global):

@@ -9,15 +9,22 @@ shard function must not write module globals — writes land in the
 child's copy-on-write image under fork and vanish at join, so the
 serial and parallel paths compute different things: exactly the
 divergence the equivalence tests exist to rule out.
+
+The building blocks (dispatch-site discovery, callable resolution
+through ``functools.partial`` and single-assignment locals, the
+global-write scan) are module-level functions so the whole-program
+escape rule (POOL003 in :mod:`repro.devtools.rules.taint`) can apply
+the same contract one call level deeper without re-implementing it.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 from repro.devtools.astutil import (
     ImportMap,
+    enclosing_function_map,
     module_level_assignments,
     module_level_names,
     root_name,
@@ -26,12 +33,12 @@ from repro.devtools.findings import Finding, Rule
 from repro.devtools.registry import Checker, ModuleContext, register
 
 #: Fully-qualified names that count as the pool dispatch point.
-_DISPATCH = frozenset(
+DISPATCH_POINTS = frozenset(
     {"repro.perf.map_shards", "repro.perf.pool.map_shards"}
 )
 
 #: ``functools.partial`` is the blessed way to bind shard parameters;
-#: the rule looks through it at the underlying callable.
+#: resolution looks through it at the underlying callable.
 _PARTIAL = frozenset({"functools.partial", "partial"})
 
 #: Method calls that mutate their receiver in place.
@@ -54,6 +61,128 @@ _MUTATORS = frozenset(
     }
 )
 
+_AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def dispatch_sites(
+    tree: ast.Module, imports: ImportMap
+) -> Iterator[ast.Call]:
+    """Every ``map_shards(...)`` call in the module."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and imports.resolve(node.func) in DISPATCH_POINTS
+            and node.args
+        ):
+            yield node
+
+
+def resolve_callable(
+    node: ast.AST,
+    scope: Optional[_AnyFunc],
+    imports: ImportMap,
+) -> ast.AST:
+    """Chase partials and single-assignment locals to the callable.
+
+    The repo's idiom binds ``partial(module_fn, ...)`` to a local
+    before dispatching it; following that assignment keeps the rules
+    about the *underlying* callable, not the binding style. Only a
+    name assigned exactly once in the enclosing function is chased
+    — a rebound name stays opaque and fails module-level
+    resolution, which is the safe direction.
+    """
+    for _ in range(8):  # alias chains are short; bound to be safe
+        while (
+            isinstance(node, ast.Call)
+            and imports.resolve(node.func) in _PARTIAL
+            and node.args
+        ):
+            node = node.args[0]
+        if not isinstance(node, ast.Name) or scope is None:
+            return node
+        assignments = [
+            stmt.value
+            for stmt in ast.walk(scope)
+            if isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == node.id
+                for t in stmt.targets
+            )
+        ]
+        if len(assignments) != 1:
+            return node
+        node = assignments[0]
+    return node
+
+
+def dispatched_shard_functions(
+    tree: ast.Module, imports: ImportMap
+) -> dict[str, _AnyFunc]:
+    """Module-level functions dispatched through the pool, by name."""
+    module_defs = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    enclosing = enclosing_function_map(tree)
+    shards: dict[str, _AnyFunc] = {}
+    for call in dispatch_sites(tree, imports):
+        target = resolve_callable(
+            call.args[0], enclosing.get(call), imports
+        )
+        if isinstance(target, ast.Name) and target.id in module_defs:
+            shards.setdefault(target.id, module_defs[target.id])
+    return shards
+
+
+def global_write_sites(
+    func: _AnyFunc, module_globals: set[str]
+) -> Iterator[tuple[ast.AST, str]]:
+    """Every write to module-global state inside *func*.
+
+    Yields ``(node, description)`` pairs: ``global`` declarations,
+    subscript/attribute stores rooted at a module-level name, and
+    mutator-method calls on one. Shared by POOL002 (direct writes in a
+    shard) and POOL003 (writes one call level down).
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            yield node, f"declares global {', '.join(node.names)}"
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                written = _global_container_write(target, module_globals)
+                if written is not None:
+                    yield node, f"writes into module global '{written}'"
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+        ):
+            head = root_name(node.func.value)
+            if head is not None and head in module_globals:
+                yield (
+                    node,
+                    f"mutates module global '{head}'"
+                    f" via .{node.func.attr}()",
+                )
+
+
+def _global_container_write(
+    target: ast.AST, module_globals: set[str]
+) -> Optional[str]:
+    """Module-global name written through a subscript/attribute."""
+    if not isinstance(target, (ast.Subscript, ast.Attribute)):
+        return None
+    head = root_name(target)
+    if head is not None and head in module_globals:
+        return head
+    return None
+
 
 @register
 class PoolSafety(Checker):
@@ -73,7 +202,7 @@ class PoolSafety(Checker):
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        imports = ImportMap(ctx.tree)
+        imports = ctx.imports
         module_names = module_level_names(ctx.tree)
         module_defs = {
             node.name: node
@@ -81,16 +210,10 @@ class PoolSafety(Checker):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         }
         module_globals = module_level_assignments(ctx.tree)
-        enclosing = self._enclosing_functions(ctx.tree)
+        enclosing = enclosing_function_map(ctx.tree)
         checked_shards: set[str] = set()
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            if imports.resolve(node.func) not in _DISPATCH:
-                continue
-            if not node.args:
-                continue
-            target = self._resolve_callable(
+        for node in dispatch_sites(ctx.tree, imports):
+            target = resolve_callable(
                 node.args[0], enclosing.get(node), imports
             )
             problem = self._non_module_level(target, module_names, imports)
@@ -108,71 +231,26 @@ class PoolSafety(Checker):
                 if target.id in checked_shards:
                     continue
                 checked_shards.add(target.id)
-                yield from self._check_shard_writes(
-                    ctx, module_defs[target.id], module_globals
-                )
-
-    @staticmethod
-    def _enclosing_functions(
-        tree: ast.Module,
-    ) -> dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef]:
-        """Every node → its nearest enclosing function, for local lookup."""
-        enclosing: dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef] = {}
-
-        def fill(
-            node: ast.AST,
-            current: Optional[ast.FunctionDef | ast.AsyncFunctionDef],
-        ) -> None:
-            for child in ast.iter_child_nodes(node):
-                if current is not None:
-                    enclosing[child] = current
-                if isinstance(
-                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                shard = module_defs[target.id]
+                for site, what in global_write_sites(
+                    shard, module_globals
                 ):
-                    fill(child, child)
-                else:
-                    fill(child, current)
-
-        fill(tree, None)
-        return enclosing
-
-    def _resolve_callable(
-        self,
-        node: ast.AST,
-        scope: Optional[ast.FunctionDef | ast.AsyncFunctionDef],
-        imports: ImportMap,
-    ) -> ast.AST:
-        """Chase partials and single-assignment locals to the callable.
-
-        The repo's idiom binds ``partial(module_fn, ...)`` to a local
-        before dispatching it; following that assignment keeps the rule
-        about the *underlying* callable, not the binding style. Only a
-        name assigned exactly once in the enclosing function is chased
-        — a rebound name stays opaque and fails module-level
-        resolution, which is the safe direction.
-        """
-        for _ in range(8):  # alias chains are short; bound to be safe
-            while (
-                isinstance(node, ast.Call)
-                and imports.resolve(node.func) in _PARTIAL
-                and node.args
-            ):
-                node = node.args[0]
-            if not isinstance(node, ast.Name) or scope is None:
-                return node
-            assignments = [
-                stmt.value
-                for stmt in ast.walk(scope)
-                if isinstance(stmt, ast.Assign)
-                and any(
-                    isinstance(t, ast.Name) and t.id == node.id
-                    for t in stmt.targets
-                )
-            ]
-            if len(assignments) != 1:
-                return node
-            node = assignments[0]
-        return node
+                    if what.startswith("declares global"):
+                        consequence = (
+                            "writes are lost at fork-pool join and"
+                            " diverge from the serial path"
+                        )
+                    else:
+                        consequence = (
+                            "per-worker copies silently diverge under fork"
+                        )
+                    yield self.finding(
+                        ctx,
+                        site,
+                        "POOL002",
+                        f"shard function {shard.name}() {what};"
+                        f" {consequence}",
+                    )
 
     @staticmethod
     def _non_module_level(
@@ -195,67 +273,3 @@ class PoolSafety(Checker):
         if isinstance(node, ast.Call):
             return "is built by a call expression"
         return "cannot be resolved to a module-level function"
-
-    def _check_shard_writes(
-        self,
-        ctx: ModuleContext,
-        shard: ast.FunctionDef | ast.AsyncFunctionDef,
-        module_globals: set[str],
-    ) -> Iterator[Finding]:
-        """POOL002: no global declarations or global-container writes."""
-        for node in ast.walk(shard):
-            if isinstance(node, ast.Global):
-                yield self.finding(
-                    ctx,
-                    node,
-                    "POOL002",
-                    f"shard function {shard.name}() declares"
-                    f" global {', '.join(node.names)}; writes are lost at"
-                    " fork-pool join and diverge from the serial path",
-                )
-            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-                targets = (
-                    node.targets
-                    if isinstance(node, ast.Assign)
-                    else [node.target]
-                )
-                for target in targets:
-                    written = self._global_container_write(
-                        target, module_globals
-                    )
-                    if written is not None:
-                        yield self.finding(
-                            ctx,
-                            node,
-                            "POOL002",
-                            f"shard function {shard.name}() writes into"
-                            f" module global '{written}'; per-worker"
-                            " copies silently diverge under fork",
-                        )
-            elif (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _MUTATORS
-            ):
-                head = root_name(node.func.value)
-                if head is not None and head in module_globals:
-                    yield self.finding(
-                        ctx,
-                        node,
-                        "POOL002",
-                        f"shard function {shard.name}() mutates module"
-                        f" global '{head}' via .{node.func.attr}();"
-                        " per-worker copies silently diverge under fork",
-                    )
-
-    @staticmethod
-    def _global_container_write(
-        target: ast.AST, module_globals: set[str]
-    ) -> Optional[str]:
-        """Module-global name written through a subscript/attribute."""
-        if not isinstance(target, (ast.Subscript, ast.Attribute)):
-            return None
-        head = root_name(target)
-        if head is not None and head in module_globals:
-            return head
-        return None

@@ -1,0 +1,15 @@
+"""Shared devtools-test setup.
+
+``repro lint`` caches incrementally by default under
+``./.repro-lint-cache``; every test here runs chdir'd into its own tmp
+directory so no CLI invocation can leave a cache (or an autofix temp
+file) inside the repository tree. All fixture/source references in
+these tests are absolute, so the chdir is invisible to them.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cwd(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)

@@ -1,0 +1,25 @@
+"""PIPE002 violations: stage state escaping through calls/closures."""
+
+from repro.pipeline.runtime import FunctionStage, Stage
+
+_SEEN = set()
+
+
+def _note(item):
+    _SEEN.add(item)  # the touch PIPE001 cannot see from the stage
+    return item
+
+
+class DedupStage(Stage):
+    def process(self, item):
+        return _note(item)  # PIPE002: helper touches _SEEN
+
+
+def build_buffering_stage():
+    buf = []
+
+    def stage_fn(item):
+        buf.append(item)
+        return item
+
+    return FunctionStage(stage_fn)  # PIPE002: closure captures buf

@@ -1,0 +1,26 @@
+"""PIPE002-clean: stage state on the instance, helpers pure."""
+
+from repro.pipeline.runtime import FunctionStage, Stage
+
+_WINDOW = 30  # immutable constant: helpers may read it
+
+
+def _scale(item):
+    return item * _WINDOW
+
+
+class ScaleStage(Stage):
+    def __init__(self):
+        self.seen = set()  # instance state: checkpointable
+
+    def process(self, item):
+        self.seen.add(item)
+        return _scale(item)
+
+
+def passthrough(item):
+    return item
+
+
+def build_stage():
+    return FunctionStage(passthrough)  # module-level fn: no capture

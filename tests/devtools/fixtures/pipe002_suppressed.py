@@ -1,0 +1,28 @@
+"""PIPE002 violations silenced by justified suppressions."""
+
+from repro.pipeline.runtime import FunctionStage, Stage
+
+_TRACE = []
+
+
+def _trace(item):
+    _TRACE.append(item)
+    return item
+
+
+class TracingStage(Stage):
+    def process(self, item):
+        # repro: allow[PIPE002] dev-only trace sink, stripped from the
+        # monitor entry point.
+        return _trace(item)
+
+
+def build_probe():
+    probe = []
+
+    def stage_fn(item):
+        probe.append(item)
+        return item
+
+    # repro: allow[PIPE002] probe stage used only in the REPL notebook.
+    return FunctionStage(stage_fn)

@@ -1,0 +1,27 @@
+"""POOL003 violations: shard helpers writing module globals."""
+
+from repro.perf.pool import map_shards
+
+_CACHE = {}
+_TOTALS = []
+
+
+def _memoize(key):
+    _CACHE[key] = True  # the write POOL002 cannot see from the shard
+    return key
+
+
+def _tally(n):
+    _TOTALS.append(n)
+
+
+def shard(items):
+    out = []
+    for item in items:
+        out.append(_memoize(item))  # POOL003
+    _tally(len(items))  # POOL003
+    return out
+
+
+def run(groups):
+    return map_shards(shard, groups)

@@ -1,0 +1,20 @@
+"""POOL003-clean: shard helpers keep their state local."""
+
+from repro.perf.pool import map_shards
+
+_LIMIT = 64  # immutable module constant: reading it is fine
+
+
+def _normalize(item):
+    return min(item, _LIMIT)
+
+
+def shard(items):
+    seen = {}
+    for item in items:
+        seen[_normalize(item)] = True
+    return sorted(seen)
+
+
+def run(groups):
+    return map_shards(shard, groups)

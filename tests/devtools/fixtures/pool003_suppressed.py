@@ -1,0 +1,21 @@
+"""POOL003 violation silenced by a justified suppression."""
+
+from repro.perf.pool import map_shards
+
+_STATS = {}
+
+
+def _record(key):
+    _STATS[key] = True
+
+
+def shard(items):
+    for item in items:
+        # repro: allow[POOL003] debug-only counter, read by nothing the
+        # equivalence tests compare.
+        _record(item)
+    return sorted(items)
+
+
+def run(groups):
+    return map_shards(shard, groups)

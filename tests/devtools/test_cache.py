@@ -1,0 +1,137 @@
+"""Incremental-cache tests: what busts, what hits, what re-analyzes.
+
+The acceptance property is the invalidation domain: after a warm run,
+editing one file re-analyzes exactly that file plus its transitive
+dependents — nothing else — and a rule-set change or a corrupt blob
+busts everything rather than serving stale findings.
+"""
+
+from pathlib import Path
+
+from repro.devtools.cache import LintCache, deps_signature, ruleset_signature
+from repro.devtools.engine import analyze_project
+
+from tests.devtools.test_project import make_tree
+
+
+def names(paths):
+    return sorted(Path(p).name for p in paths)
+
+
+class TestCacheLifecycle:
+    def project(self, tmp_path):
+        # c ← b ← a (a imports b imports c); lone is disconnected.
+        return make_tree(
+            tmp_path / "tree",
+            {
+                "repro/a.py": "import repro.b\n\ndef fa(x=[]):\n    return x\n",
+                "repro/b.py": "import repro.c\n\nY = 1\n",
+                "repro/c.py": "Z = 2\n",
+                "repro/lone.py": "W = 3\n",
+            },
+        )
+
+    def test_cold_run_misses_warm_run_hits(self, tmp_path):
+        paths = self.project(tmp_path)
+        cache_dir = tmp_path / "cache"
+
+        cold = analyze_project(paths, cache=LintCache(cache_dir))
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == 4
+        assert names(cold.analyzed) == ["a.py", "b.py", "c.py", "lone.py"]
+
+        warm = analyze_project(paths, cache=LintCache(cache_dir))
+        assert warm.cache_hits == 4
+        assert warm.cache_misses == 0
+        assert warm.analyzed == []
+        # Served findings are identical to fresh ones (a.py's MUT001).
+        assert [f.render() for f in warm.findings] == [
+            f.render() for f in cold.findings
+        ]
+        assert warm.findings[0].fix  # fix edits survive the round-trip
+
+    def test_content_change_reanalyzes_file_and_dependents(self, tmp_path):
+        paths = self.project(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_project(paths, cache=LintCache(cache_dir))
+
+        # c.py changes: a and b transitively import it, lone does not.
+        (tmp_path / "tree/repro/c.py").write_text("Z = 99\n")
+        warm = analyze_project(paths, cache=LintCache(cache_dir))
+        assert names(warm.analyzed) == ["a.py", "b.py", "c.py"]
+        assert warm.cache_hits == 1  # lone.py
+
+    def test_leaf_change_reanalyzes_only_the_leaf(self, tmp_path):
+        paths = self.project(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_project(paths, cache=LintCache(cache_dir))
+
+        # a.py imports everything transitively but nothing imports it.
+        (tmp_path / "tree/repro/a.py").write_text(
+            "import repro.b\n\ndef fa(x=()):\n    return x\n"
+        )
+        warm = analyze_project(paths, cache=LintCache(cache_dir))
+        assert names(warm.analyzed) == ["a.py"]
+        assert warm.cache_hits == 3
+        assert warm.findings == []  # the MUT001 is fixed and not stale
+
+    def test_unrelated_change_keeps_everything_else_warm(self, tmp_path):
+        paths = self.project(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_project(paths, cache=LintCache(cache_dir))
+
+        (tmp_path / "tree/repro/lone.py").write_text("W = 4\n")
+        warm = analyze_project(paths, cache=LintCache(cache_dir))
+        assert names(warm.analyzed) == ["lone.py"]
+        assert warm.cache_hits == 3
+
+    def test_ruleset_change_busts_every_entry(self, tmp_path):
+        paths = self.project(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_project(paths, cache=LintCache(cache_dir))
+
+        narrowed = analyze_project(
+            paths, rules={"DET002"}, cache=LintCache(cache_dir)
+        )
+        assert narrowed.cache_hits == 0
+        assert narrowed.cache_misses == 4
+
+    def test_corrupt_blob_is_discarded_not_trusted(self, tmp_path):
+        paths = self.project(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_project(paths, cache=LintCache(cache_dir))
+
+        (cache_dir / "cache.json").write_text("{not json")
+        warm = analyze_project(paths, cache=LintCache(cache_dir))
+        assert warm.cache_hits == 0
+        assert warm.cache_misses == 4
+
+    def test_deleted_files_are_pruned(self, tmp_path):
+        paths = self.project(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_project(paths, cache=LintCache(cache_dir))
+
+        (tmp_path / "tree/repro/lone.py").unlink()
+        kept = [p for p in paths if p.name != "lone.py"]
+        analyze_project(kept, cache=LintCache(cache_dir))
+        reloaded = LintCache(cache_dir)
+        assert all("lone.py" not in path for path in reloaded._entries)
+
+
+class TestSignatures:
+    def test_deps_signature_is_order_independent(self):
+        pairs = [("b", "2"), ("a", "1")]
+        assert deps_signature(pairs) == deps_signature(list(reversed(pairs)))
+        assert deps_signature(pairs) != deps_signature([("a", "1")])
+
+    def test_ruleset_signature_distinguishes_selections(self):
+        assert ruleset_signature(None) != ruleset_signature({"DET002"})
+        assert ruleset_signature({"DET002", "MUT001"}) == ruleset_signature(
+            {"MUT001", "DET002"}
+        )
+
+    def test_stats_line(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        cache.misses = 1
+        cache.hits = 3
+        assert "75% hit rate" in cache.stats_line()

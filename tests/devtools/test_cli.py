@@ -1,6 +1,8 @@
-"""``repro lint`` CLI tests: exit codes, formats, errors, suppressions."""
+"""``repro lint`` CLI tests: exit codes, formats, fixes, cache flags."""
 
 import json
+import shutil
+import subprocess
 from pathlib import Path
 
 from repro.cli import main
@@ -22,9 +24,12 @@ class TestExitCodes:
     def test_every_known_bad_fixture_gates(self):
         # DET001, TK001, INT001 and INT002 are package-scoped and can't
         # fire on a bare fixture path, so the CLI gate is asserted for
-        # every other rule's bad fixture.
+        # every other rule's bad fixture (the project rules INT003,
+        # POOL003 and PIPE002 fire anywhere).
         for fixture in sorted(FIXTURES.glob("*_bad.py")):
-            if fixture.name.startswith(("det001", "tk001", "int00")):
+            if fixture.name.startswith(
+                ("det001", "tk001", "int001", "int002")
+            ):
                 continue
             assert main(["lint", str(fixture)]) == 1, fixture.name
 
@@ -53,6 +58,14 @@ class TestExitCodes:
         path.write_text("def broken(:\n")
         assert main(["lint", str(path)]) == 1
 
+    def test_fix_and_fix_suppress_conflict(self, capsys):
+        code = main(
+            ["lint", str(FIXTURES / "mut001_ok.py"),
+             "--fix", "--fix-suppress", "DET002"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
 
 class TestFormats:
     def test_json_report_shape(self, capsys):
@@ -60,11 +73,13 @@ class TestFormats:
             ["lint", str(FIXTURES / "mut001_bad.py"), "--format", "json"]
         ) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["count"] == 4
         assert len(payload["findings"]) == 4
         finding = payload["findings"][0]
-        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert set(finding) == {
+            "path", "line", "col", "rule", "message", "fixable",
+        }
         assert finding["rule"] == "MUT001"
 
     def test_json_clean_report(self, capsys):
@@ -74,6 +89,23 @@ class TestFormats:
         payload = json.loads(capsys.readouterr().out)
         assert payload["count"] == 0
         assert payload["findings"] == []
+
+    def test_sarif_report_shape(self, capsys):
+        assert main(
+            ["lint", str(FIXTURES / "mut001_bad.py"), "--format", "sarif"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"MUT001", "INT003", "POOL003", "PIPE002"} <= rule_ids
+        assert len(run["results"]) == 4
+        result = run["results"][0]
+        assert result["ruleId"] == "MUT001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
 
     def test_output_file(self, tmp_path, capsys):
         report = tmp_path / "lint.json"
@@ -99,7 +131,9 @@ class TestRuleSelection:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("DET001", "DET002", "DET003", "POOL001",
-                        "POOL002", "MUT001", "CACHE001"):
+                        "POOL002", "POOL003", "MUT001", "CACHE001",
+                        "INT001", "INT002", "INT003", "PIPE001",
+                        "PIPE002", "TK001"):
             assert rule_id in out
 
 
@@ -111,3 +145,119 @@ class TestDirectoryLint:
         out = capsys.readouterr().out
         assert out.index("a.py") < out.index("b.py")
         assert "2 finding(s)" in out
+
+
+class TestCacheFlags:
+    def test_default_run_reports_cache_stats(self, tmp_path, capsys):
+        # conftest chdir puts the default .repro-lint-cache in tmp.
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        assert main(["lint", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert "lint cache: 0 hit(s), 1 miss(es)" in err
+        assert (tmp_path / ".repro-lint-cache" / "cache.json").is_file()
+
+        assert main(["lint", str(path)]) == 0
+        assert "1 hit(s), 0 miss(es) (100% hit rate)" in (
+            capsys.readouterr().err
+        )
+
+    def test_no_cache_suppresses_stats_and_writes_nothing(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        assert main(["lint", str(path), "--no-cache"]) == 0
+        assert "lint cache" not in capsys.readouterr().err
+        assert not (tmp_path / ".repro-lint-cache").exists()
+
+    def test_cache_dir_flag_redirects_the_store(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("X = 1\n")
+        store = tmp_path / "elsewhere"
+        assert main(["lint", str(path), "--cache-dir", str(store)]) == 0
+        assert (store / "cache.json").is_file()
+        assert not (tmp_path / ".repro-lint-cache").exists()
+
+
+class TestFixFlags:
+    def test_fix_repairs_and_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "victim.py"
+        path.write_text("def f(acc=[]):\n    return acc\n")
+        assert main(["lint", str(path), "--fix"]) == 0
+        captured = capsys.readouterr()
+        assert "fixed 1 finding(s) in 1 file(s)" in captured.err
+        assert "clean: no findings" in captured.out
+        assert "acc=None" in path.read_text()
+
+    def test_fix_suppress_inserts_stub_and_exits_zero(self, tmp_path):
+        path = tmp_path / "victim.py"
+        path.write_text(
+            "def order(xs):\n"
+            "    out = []\n"
+            "    for x in {str(v) for v in xs}:\n"
+            "        out.append(x)\n"
+            "    return out\n"
+        )
+        assert main(["lint", str(path), "--fix-suppress", "DET002"]) == 0
+        assert "# repro: allow[DET002]" in path.read_text()
+
+    def test_fix_leaves_unfixable_findings_and_exits_one(self, tmp_path):
+        path = tmp_path / "victim.py"
+        path.write_text("f = lambda xs=[]: xs\n")
+        assert main(["lint", str(path), "--fix"]) == 1
+
+
+class TestChangedFlag:
+    def git(self, cwd, *argv):
+        return subprocess.run(
+            ["git", *argv], cwd=cwd, capture_output=True, text=True,
+            check=True,
+        )
+
+    def repo(self, tmp_path):
+        if shutil.which("git") is None:  # pragma: no cover
+            import pytest
+
+            pytest.skip("git unavailable")
+        root = tmp_path / "repo"
+        root.mkdir()
+        self.git(root, "init", "-q")
+        self.git(root, "config", "user.email", "t@example.com")
+        self.git(root, "config", "user.name", "t")
+        (root / "clean.py").write_text("X = 1\n")
+        (root / "dirty.py").write_text("Y = 2\n")
+        self.git(root, "add", ".")
+        self.git(root, "commit", "-qm", "seed")
+        return root
+
+    def test_changed_lints_only_modified_files(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = self.repo(tmp_path)
+        monkeypatch.chdir(root)
+        (root / "dirty.py").write_text("def f(x=[]):\n    return x\n")
+        assert main(["lint", ".", "--changed", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py" in out
+        assert "clean.py" not in out
+
+    def test_changed_with_clean_tree_exits_zero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = self.repo(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["lint", ".", "--changed", "--no-cache"]) == 0
+        assert "no changed Python files" in capsys.readouterr().out
+
+    def test_changed_outside_a_repo_falls_back_to_full_lint(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "victim.py"
+        path.write_text("def f(x=[]):\n    return x\n")
+        assert main(
+            ["lint", str(path), "--changed", "--no-cache"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "running a full lint" in captured.err
+        assert "MUT001" in captured.out

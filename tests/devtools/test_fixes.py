@@ -1,0 +1,161 @@
+"""Autofix tests: edit application, round-trips, suppression stubs."""
+
+import pytest
+
+from repro.devtools import analyze_paths
+from repro.devtools.findings import Edit
+from repro.devtools.fixes import (
+    EditConflict,
+    apply_edits,
+    fix_paths,
+    suppression_edits,
+)
+
+
+def edit(sl, sc, el, ec, text):
+    return Edit(
+        start_line=sl, start_col=sc, end_line=el, end_col=ec,
+        replacement=text,
+    )
+
+
+class TestApplyEdits:
+    def test_replacement_and_insertion(self):
+        source = "alpha beta\ngamma\n"
+        out = apply_edits(
+            source,
+            [edit(1, 6, 1, 10, "BETA"), edit(2, 0, 2, 0, ">> ")],
+        )
+        assert out == "alpha BETA\n>> gamma\n"
+
+    def test_edits_apply_bottom_up(self):
+        # Both edits are given top-down; the later one's coordinates
+        # must survive the earlier one growing its line.
+        source = "a\nb\n"
+        out = apply_edits(
+            source, [edit(1, 0, 1, 1, "AAAA"), edit(2, 0, 2, 1, "B")]
+        )
+        assert out == "AAAA\nB\n"
+
+    def test_same_point_insertions_stack_in_order(self):
+        out = apply_edits("x", [edit(1, 0, 1, 0, "1"), edit(1, 0, 1, 0, "2")])
+        assert out == "12x"
+
+    def test_overlapping_spans_conflict(self):
+        with pytest.raises(EditConflict):
+            apply_edits(
+                "abcdef", [edit(1, 0, 1, 4, "x"), edit(1, 2, 1, 6, "y")]
+            )
+
+    def test_insertion_inside_a_replacement_is_allowed(self):
+        # Insertions are zero-width: only real spans can overlap.
+        out = apply_edits(
+            "abcd", [edit(1, 0, 1, 2, "X"), edit(1, 3, 1, 3, "!")]
+        )
+        assert out == "Xc!d"
+
+
+class TestFixRoundTrip:
+    BAD = (
+        "def collect(items, acc=[]):\n"
+        '    """Accumulate."""\n'
+        "    for item in items:\n"
+        "        acc.append(item)\n"
+        "    return acc\n"
+        "\n"
+        "\n"
+        "def render(names):\n"
+        "    parts = []\n"
+        "    for name in {n.upper() for n in names}:\n"
+        "        parts.append(name)\n"
+        "    return parts\n"
+    )
+
+    def test_fix_repairs_and_relints_clean(self, tmp_path):
+        path = tmp_path / "victim.py"
+        path.write_text(self.BAD)
+        report = fix_paths([path])
+        assert len(report.fixed) == 2
+        assert report.skipped == []
+        assert report.remaining == []
+        fixed = path.read_text()
+        assert "acc=None" in fixed
+        assert "if acc is None:" in fixed
+        assert "acc = []" in fixed
+        assert "sorted({n.upper() for n in names})" in fixed
+        assert analyze_paths([path]) == []
+
+    def test_fix_is_idempotent(self, tmp_path):
+        path = tmp_path / "victim.py"
+        path.write_text(self.BAD)
+        fix_paths([path])
+        once = path.read_text()
+        second = fix_paths([path])
+        assert second.fixed == []
+        assert second.changed_files == []
+        assert path.read_text() == once
+
+    def test_unfixable_findings_are_left_alone(self, tmp_path):
+        # A lambda default is flagged but carries no fix.
+        path = tmp_path / "victim.py"
+        path.write_text("f = lambda xs=[]: xs\n")
+        report = fix_paths([path])
+        assert report.fixed == []
+        assert report.changed_files == []
+        assert [f.rule for f in report.remaining] == ["MUT001"]
+
+    def test_fixture_corpus_round_trip(self, tmp_path):
+        # --fix over the MUT001 bad fixture: every fixable finding is
+        # repaired, the file still parses, and a second run is a no-op.
+        from tests.devtools.test_rules import FIXTURES
+
+        path = tmp_path / "mut001_bad.py"
+        path.write_text((FIXTURES / "mut001_bad.py").read_text())
+        first = fix_paths([path])
+        assert first.fixed
+        assert fix_paths([path]).fixed == []
+        for finding in first.remaining:
+            assert not finding.fixable
+
+
+class TestFixSuppress:
+    def test_inserts_a_justification_stub_above_the_finding(self, tmp_path):
+        path = tmp_path / "victim.py"
+        path.write_text(
+            "def order(xs):\n"
+            "    out = []\n"
+            "    for x in {str(v) for v in xs}:\n"
+            "        out.append(x)\n"
+            "    return out\n"
+        )
+        report = fix_paths([path], suppress_rule="DET002")
+        assert len(report.fixed) == 1
+        assert report.remaining == []
+        text = path.read_text()
+        assert "    # repro: allow[DET002] TODO: justify" in text
+        # The comment sits directly above the flagged loop, indented.
+        lines = text.splitlines()
+        allow = next(i for i, l in enumerate(lines) if "allow[" in l)
+        assert "for x in" in lines[allow + 1]
+
+    def test_only_the_named_rule_is_suppressed(self, tmp_path):
+        path = tmp_path / "victim.py"
+        path.write_text(
+            "def f(acc=[]):\n"
+            "    for x in {str(v) for v in acc}:\n"
+            "        acc.append(x)\n"
+            "    return acc\n"
+        )
+        report = fix_paths([path], suppress_rule="DET002")
+        assert [f.rule for f in report.remaining] == ["MUT001"]
+
+    def test_suppression_edit_shape(self):
+        from repro.devtools.findings import Finding
+
+        finding = Finding(
+            path="x.py", line=2, col=4, rule="DET002", message="m"
+        )
+        edits = suppression_edits(finding, "a\n    flagged\n")
+        assert len(edits) == 1
+        assert edits[0].is_insertion()
+        assert edits[0].replacement.startswith("    # repro: allow[DET002]")

@@ -1,0 +1,246 @@
+"""Project-layer tests: import graph, symbol index, cross-module rules.
+
+The multi-file cases build little ``repro.*`` trees on disk (the
+``repro`` anchor is what :func:`module_name_for` keys on) and run the
+real engine over them, so the import graph, the re-export resolver and
+the whole-program rules are exercised exactly as ``repro lint`` runs
+them.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.devtools.engine import analyze_project, module_name_for
+from repro.devtools.project import ProjectContext, build_project
+
+
+def make_tree(root: Path, files: dict[str, str]) -> list[Path]:
+    paths = []
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        paths.append(path)
+    return sorted(paths)
+
+
+def project_for(root: Path, files: dict[str, str]) -> ProjectContext:
+    paths = make_tree(root, files)
+    return build_project([(p, module_name_for(p)) for p in paths])
+
+
+class TestImportGraph:
+    def test_direct_edges_and_symbol_imports(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "repro/a.py": "from repro.b import helper\n",
+                "repro/b.py": "import repro.c\n\ndef helper():\n    return 1\n",
+                "repro/c.py": "X = 1\n",
+            },
+        )
+        graph = project.import_graph
+        assert graph["repro.a"] == frozenset({"repro.b"})
+        assert graph["repro.b"] == frozenset({"repro.c"})
+        assert graph["repro.c"] == frozenset()
+
+    def test_transitive_closures(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "repro/a.py": "import repro.b\n",
+                "repro/b.py": "import repro.c\n",
+                "repro/c.py": "X = 1\n",
+                "repro/lone.py": "Y = 2\n",
+            },
+        )
+        assert project.dependencies_of("repro.a") == frozenset(
+            {"repro.b", "repro.c"}
+        )
+        assert project.dependents_of("repro.c") == frozenset(
+            {"repro.a", "repro.b"}
+        )
+        assert project.dependencies_of("repro.lone") == frozenset()
+        assert project.dependents_of("repro.lone") == frozenset()
+
+    def test_relative_imports_resolve_against_the_package(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "repro/pkg/__init__.py": "",
+                "repro/pkg/a.py": "from . import b\nfrom .b import f\n",
+                "repro/pkg/b.py": "def f():\n    return 1\n",
+            },
+        )
+        assert "repro.pkg.b" in project.import_graph["repro.pkg.a"]
+
+    def test_imports_outside_the_project_are_ignored(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {"repro/a.py": "import json\nfrom os.path import join\n"},
+        )
+        assert project.import_graph["repro.a"] == frozenset()
+
+
+class TestSymbolIndex:
+    def test_resolves_local_imported_and_aliased_calls(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "repro/util.py": "def helper(x):\n    return x\n",
+                "repro/use.py": (
+                    "import repro.util as u\n"
+                    "from repro.util import helper\n"
+                    "def local():\n    return 1\n"
+                ),
+            },
+        )
+        info = project.by_module["repro.use"]
+
+        def callee(expr):
+            return ast.parse(expr, mode="eval").body
+
+        local = project.resolve_function(info, callee("local"))
+        assert local is not None and local.qualname == "local"
+        imported = project.resolve_function(info, callee("helper"))
+        assert imported is not None and imported.module == "repro.util"
+        aliased = project.resolve_function(info, callee("u.helper"))
+        assert aliased is not None and aliased.qualname == "helper"
+        assert project.resolve_function(info, callee("json.loads")) is None
+
+    def test_resolves_through_a_package_reexport(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "repro/pkg/__init__.py": "from repro.pkg.impl import fn\n",
+                "repro/pkg/impl.py": "def fn():\n    return 1\n",
+                "repro/use.py": (
+                    "from repro.pkg import fn\n"
+                    "def g():\n    return fn()\n"
+                ),
+            },
+        )
+        info = project.by_module["repro.use"]
+        call = ast.parse("fn", mode="eval").body
+        found = project.resolve_function(info, call)
+        assert found is not None
+        assert found.module == "repro.pkg.impl"
+
+    def test_resolves_self_methods(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "repro/cls.py": (
+                    "class C:\n"
+                    "    def a(self):\n        return self.b()\n"
+                    "    def b(self):\n        return 1\n"
+                ),
+            },
+        )
+        info = project.by_module["repro.cls"]
+        scope = info.functions["C.a"]
+        call = ast.parse("self.b", mode="eval").body
+        found = project.resolve_function(info, call, scope)
+        assert found is not None and found.qualname == "C.b"
+
+    def test_method_params_strip_self(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "repro/cls.py": (
+                    "class C:\n"
+                    "    def m(self, first, second):\n        return first\n"
+                ),
+            },
+        )
+        fn = project.by_module["repro.cls"].functions["C.m"]
+        assert fn.params == ("first", "second")
+        assert fn.param_index("second") == 1
+
+
+class TestCrossModuleTaint:
+    def test_int003_tracks_a_token_across_modules(self, tmp_path):
+        paths = make_tree(
+            tmp_path,
+            {
+                "repro/decode.py": (
+                    "def decode_route(table, i):\n"
+                    "    return table.token(i)\n"
+                ),
+                "repro/flow.py": (
+                    "from repro.decode import decode_route\n"
+                    "from repro.tamp.graph import merge_entries\n"
+                    "def leak(table, store):\n"
+                    "    value = decode_route(table, 3)\n"
+                    "    merge_entries(store, value)\n"
+                ),
+            },
+        )
+        report = analyze_project(paths)
+        int003 = [f for f in report.findings if f.rule == "INT003"]
+        assert len(int003) == 1
+        assert int003[0].path.endswith("flow.py")
+        assert "merge_entries" in int003[0].message
+
+    def test_pool003_sees_a_cross_module_helper_write(self, tmp_path):
+        paths = make_tree(
+            tmp_path,
+            {
+                "repro/state.py": (
+                    "_CACHE = {}\n"
+                    "def remember(k):\n"
+                    "    _CACHE[k] = True\n"
+                ),
+                "repro/work.py": (
+                    "from repro.perf.pool import map_shards\n"
+                    "from repro.state import remember\n"
+                    "def shard(items):\n"
+                    "    for i in items:\n"
+                    "        remember(i)\n"
+                    "    return items\n"
+                    "def run(groups):\n"
+                    "    return map_shards(shard, groups)\n"
+                ),
+            },
+        )
+        report = analyze_project(paths)
+        pool003 = [f for f in report.findings if f.rule == "POOL003"]
+        assert len(pool003) == 1
+        assert pool003[0].path.endswith("work.py")
+        assert "repro.state" in pool003[0].message
+
+    def test_clean_cross_module_flow_stays_clean(self, tmp_path):
+        paths = make_tree(
+            tmp_path,
+            {
+                "repro/ids.py": (
+                    "def normalize(ids):\n"
+                    "    return sorted(ids)\n"
+                ),
+                "repro/flow.py": (
+                    "from repro.ids import normalize\n"
+                    "from repro.tamp.graph import merge_entries\n"
+                    "def hot(store, ids):\n"
+                    "    merge_entries(store, normalize(ids))\n"
+                ),
+            },
+        )
+        report = analyze_project(paths)
+        assert report.findings == []
+
+
+class TestAnalyzeProjectBasics:
+    def test_findings_are_sorted_and_files_recorded(self, tmp_path):
+        paths = make_tree(
+            tmp_path,
+            {
+                "repro/b.py": "def f(x=[]):\n    return x\n",
+                "repro/a.py": "def g(y={}):\n    return y\n",
+            },
+        )
+        report = analyze_project(paths)
+        assert report.findings == sorted(report.findings)
+        assert [Path(p).name for p in report.files] == ["a.py", "b.py"]
+        # Uncached: everything counts as analyzed, no cache traffic.
+        assert report.analyzed == report.files
+        assert report.cache_stats is None

@@ -304,6 +304,91 @@ class TestInt002:
             assert int_findings == [], mod.__name__
 
 
+class TestInt003:
+    def test_bad_flags_direct_chained_and_indirect_leaks(self):
+        findings = analyze_fixture("int003_bad.py", module="fixture")
+        assert rule_ids(findings) == ["INT003"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "merge_entries" in messages
+        assert "add_ids" in messages
+        # The indirect case names the intermediate callee and the hot
+        # target its parameter reaches.
+        assert "_push()" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("int003_ok.py", module="fixture") == []
+
+    def test_suppressions(self):
+        assert analyze_fixture("int003_suppressed.py", module="fixture") == []
+
+    def test_findings_anchor_at_the_call_site(self):
+        # Cache-soundness invariant: INT003 anchors where the tainted
+        # value enters the callee, never inside the callee on behalf of
+        # a caller — a file's findings depend only on its imports.
+        findings = analyze_fixture("int003_bad.py", module="fixture")
+        source = (FIXTURES / "int003_bad.py").read_text().splitlines()
+        for finding in findings:
+            assert "(" in source[finding.line - 1]  # a call, not a def
+
+
+class TestPool003:
+    def test_bad_flags_helper_writes_one_level_down(self):
+        findings = analyze_fixture("pool003_bad.py", module="fixture")
+        assert rule_ids(findings) == ["POOL003"] * 2
+        messages = " ".join(f.message for f in findings)
+        assert "_memoize()" in messages
+        assert "_tally()" in messages
+        assert "lost at join" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("pool003_ok.py", module="fixture") == []
+
+    def test_suppressions(self):
+        assert (
+            analyze_fixture("pool003_suppressed.py", module="fixture") == []
+        )
+
+
+class TestPipe002:
+    def test_bad_flags_helper_touch_and_closure_capture(self):
+        findings = analyze_fixture("pipe002_bad.py", module="fixture")
+        assert rule_ids(findings) == ["PIPE002"] * 2
+        messages = " ".join(f.message for f in findings)
+        assert "_note()" in messages
+        assert "'_SEEN'" in messages
+        assert "closure over mutable 'buf'" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("pipe002_ok.py", module="fixture") == []
+
+    def test_suppressions(self):
+        assert (
+            analyze_fixture("pipe002_suppressed.py", module="fixture") == []
+        )
+
+
+class TestFixMetadata:
+    def test_mut001_findings_carry_the_none_guard_fix(self):
+        source = "def f(acc=[]):\n    return acc\n"
+        (finding,) = analyze_source(source, path="x.py")
+        assert finding.fixable
+        replacements = [e.replacement for e in finding.fix]
+        assert "None" in replacements
+        assert any("if acc is None:" in r for r in replacements)
+
+    def test_mut001_lambda_has_no_fix(self):
+        (finding,) = analyze_source("f = lambda xs=[]: xs\n", path="x.py")
+        assert not finding.fixable
+
+    def test_det002_findings_carry_the_sorted_wrap(self):
+        source = (
+            "def f(xs):\n"
+            "    return [x for x in {str(v) for v in xs}]\n"
+        )
+        (finding,) = analyze_source(source, path="x.py")
+        assert [e.replacement for e in finding.fix] == ["sorted(", ")"]
+
+
 class TestEngineBehavior:
     def test_syntax_error_becomes_a_finding(self):
         findings = analyze_source("def broken(:\n", path="broken.py")
