@@ -18,8 +18,10 @@ they run on:
 * :mod:`repro.collector` — the passive REX-style collector with
   withdrawal augmentation, event streams, and rate series.
 * :mod:`repro.simulator` — a deterministic discrete-event simulator with
-  Berkeley and ISP-Anon workload builders and all Section IV anomaly
-  scenarios.
+  Berkeley and ISP-Anon workload builders.
+* :mod:`repro.scenarios` — the labeled anomaly catalog: the Section IV
+  scenarios plus five related-work families, every incident carrying
+  machine-readable ground truth, scored by a precision/recall harness.
 * :mod:`repro.traffic` / :mod:`repro.integrate` — the elephant-and-mice
   traffic model and the three data-source integrations.
 * :mod:`repro.analysis` — operator-level diagnosis reports and turn-key
@@ -42,7 +44,7 @@ from repro.collector.stream import EventStream
 from repro.net.aspath import ASPath
 from repro.net.attributes import Community, Origin, PathAttributes
 from repro.net.prefix import Prefix
-from repro.simulator import scenarios
+from repro import scenarios
 from repro.simulator.workloads import (
     BerkeleySite,
     IspAnonSite,

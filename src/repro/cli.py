@@ -9,6 +9,11 @@ The operator subcommands cover the workflows the paper describes:
 * ``repro render EVENTS.jsonl -o out.svg`` — draw the TAMP picture of
   the routes announced in a stream.
 * ``repro rate EVENTS.jsonl`` — print the Figure 8 style rate series.
+* ``repro scenarios {list,describe,generate,score}`` — the labeled
+  anomaly catalog (:mod:`repro.scenarios`): list/describe the
+  registry, generate seeded streams with ground-truth labels, or run
+  the precision/recall scorer (``--baseline`` turns it into the
+  detection-quality regression gate; exit 1 on regression).
 * ``repro monitor [EVENTS]`` — run the streaming pipeline
   (:mod:`repro.pipeline`) as a long-lived monitor: windowed Stemming
   + incremental TAMP over a replayed archive, synthetic feed
@@ -327,6 +332,48 @@ def build_parser() -> argparse.ArgumentParser:
              " exit (seed defaults to the pinned golden seed)",
     )
     faults.set_defaults(handler=cmd_faults)
+
+    scen = sub.add_parser(
+        "scenarios", parents=[workers_opt],
+        help="the labeled anomaly catalog: list, generate, score",
+    )
+    scen.add_argument(
+        "action",
+        choices=("list", "describe", "generate", "score"),
+        help="list the registry; describe entries; generate labeled"
+             " streams (events JSONL + labels JSON); or run the"
+             " detection-quality scorer",
+    )
+    scen.add_argument(
+        "names", nargs="*", default=[],
+        help="scenario names (default: all for generate/score, required"
+             " for describe)",
+    )
+    scen.add_argument(
+        "--seed", type=int, default=0,
+        help="generator seed (default 0 — the baseline configuration)",
+    )
+    scen.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="generate: directory for the stream/labels artifacts;"
+             " score: path for the JSON scorecard",
+    )
+    scen.add_argument(
+        "--baseline", type=Path, default=None, metavar="SCORECARD",
+        help="score: compare against this scorecard and fail (exit 1)"
+             " on any metric regression",
+    )
+    scen.add_argument(
+        "--tolerance", type=float, default=None,
+        help="score: absolute drop in a [0,1] metric that counts as a"
+             " regression (default 0.05)",
+    )
+    scen.add_argument(
+        "--min-strength", type=int, default=2,
+        help="score: detector threshold (raise to demonstrate the gate"
+             " tripping on a degraded detector)",
+    )
+    scen.set_defaults(handler=cmd_scenarios)
 
     lint = sub.add_parser(
         "lint",
@@ -677,6 +724,103 @@ def cmd_faults(args: argparse.Namespace) -> int:
         f"{stats['bytes_out']} bytes"
         f" ({len(plan)} fault(s), seed {args.seed})"
     )
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import registry
+    from repro.scenarios.score import (
+        DEFAULT_TOLERANCE,
+        Scorecard,
+        build_scorecard,
+        compare_scorecards,
+        format_comparison,
+    )
+
+    for name in args.names:
+        if name not in registry.SCENARIOS:
+            known = ", ".join(registry.names())
+            print(
+                f"error: unknown scenario {name!r}; registered: {known}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.action == "list":
+        for scenario in registry.iter_scenarios():
+            scored = "" if scenario.scored else "  (not scored)"
+            print(
+                f"{scenario.name:<22} {scenario.incident_class.value:<18}"
+                f" {scenario.reference}{scored}"
+            )
+        return 0
+
+    if args.action == "describe":
+        names = args.names or registry.names()
+        for index, name in enumerate(names):
+            if index:
+                print()
+            print(registry.get(name).describe())
+        return 0
+
+    if args.action == "generate":
+        out_dir = args.output or Path("scenario_streams")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        names = args.names or registry.names()
+        for name in names:
+            incident = registry.generate(name, seed=args.seed)
+            events_path = out_dir / f"{name}.events.jsonl"
+            labels_path = out_dir / f"{name}.labels.json"
+            incident.stream.save(events_path)
+            labels_path.write_text(
+                incident.labels_json() + "\n", encoding="utf-8"
+            )
+            print(
+                f"{name}: {len(incident.stream)} events, seed"
+                f" {args.seed} -> {events_path} + {labels_path.name}"
+            )
+        return 0
+
+    # score
+    names = args.names or None
+    card = build_scorecard(
+        names, seed=args.seed,
+        min_strength=args.min_strength, workers=args.workers,
+    )
+    for name in sorted(card.scores):
+        row = card.scores[name]
+        rank = "-" if row.best_rank is None else str(row.best_rank)
+        print(
+            f"{name:<22} P={row.precision:.3f} R={row.recall:.3f}"
+            f" F1={row.f1:.3f} rank={rank} top1={row.top1_rate:.2f}"
+            f" detected={row.detected}"
+        )
+    if args.output is not None:
+        card.save(args.output)
+        print(f"scorecard written to {args.output}")
+    if args.baseline is None:
+        return 0
+    if not args.baseline.exists():
+        print(
+            f"error: baseline {args.baseline} not found", file=sys.stderr
+        )
+        return 2
+    baseline = Scorecard.load(args.baseline)
+    tolerance = (
+        DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    )
+    regressions, checks = compare_scorecards(
+        card, baseline, tolerance=tolerance
+    )
+    print(
+        f"detection-quality gate: {checks} checks against"
+        f" {args.baseline} (tolerance {tolerance})"
+    )
+    print(format_comparison(card, baseline, regressions))
+    if regressions:
+        print(f"{len(regressions)} regression(s)", file=sys.stderr)
+        return 1
+    print("no regressions")
     return 0
 
 

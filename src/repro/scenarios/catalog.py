@@ -1,0 +1,456 @@
+"""The labeled anomaly catalog: scenario families beyond the paper.
+
+Five seeded, parameterizable generator families drawn from the related
+work (ROADMAP item 2), each driven through the simulated network — the
+injected feed is crafted, but everything REX records is computed by the
+real decision processes and route-maps in the core:
+
+* :func:`burst_announcements` — announcement storms with bursty
+  inter-arrival structure (Moriano et al., arXiv:1905.05835).
+* :func:`valley_route_leak` — a customer re-exports provider routes,
+  producing valley-violating AS paths (CAIR, arXiv:1605.00618).
+* :func:`interception_hijack` — a forged-origin interception path that
+  wins on length (CAIR).
+* :func:`hyper_specific_flood` — a flood of /25–/32 more-specifics of
+  standing /24s (Sediqi et al., arXiv:2206.13876).
+* :func:`community_signal` — an event signaled through community
+  re-tagging (CommunityWatch, arXiv:1806.07476).
+
+Every function takes a ``seed`` and size knobs, builds its own small
+ISP-Anon site, and returns a :class:`LabeledIncident` whose ground
+truth (true stem edges, affected prefixes, active window) is derived
+from the injected structure, not from running the detector. The same
+seed always reproduces the same ``EventStream.fingerprint()``.
+
+Ground-truth design note: the Stemming counter breaks count ties toward
+*longer* subsequences, so each family is constructed to make the
+anomaly's token run — ``(nexthop, AS…)`` — the unique strongest
+subsequence, whose last adjacent pair is the labeled edge.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.aspath import ASPath
+from repro.net.attributes import Community, PathAttributes
+from repro.net.message import BGPUpdate
+from repro.net.prefix import Prefix
+from repro.scenarios.labels import (
+    IncidentClass,
+    LabeledIncident,
+    ScenarioDetails,
+    TimeWindow,
+)
+from repro.scenarios.paper import _after_now, _events_after
+from repro.simulator.workloads import (
+    TIER1_POOL,
+    IspAnonSite,
+    synthetic_prefixes,
+)
+
+#: Attacker/leaker ASes, disjoint from every workload AS.
+AS_BURSTER = 64700
+AS_LEAKER = 64810
+AS_INTERCEPTOR = 64666
+AS_FLOODER = 64900
+AS_VICTIM = 65010
+
+#: Fresh-prefix offsets into the synthetic /24 universe, far above any
+#: feed table (feeds allocate from offset 0).
+_BURST_OFFSET = 100_000
+_VALLEY_OFFSET = 110_000
+_INTERCEPT_OFFSET = 120_000
+
+#: The well-known-style signal community a tagger flips on and off.
+SIGNAL_COMMUNITY = Community(65535, 666)
+
+
+def _site(n_reflectors: int, n_prefixes: int) -> IspAnonSite:
+    return IspAnonSite(n_reflectors=n_reflectors, n_prefixes=n_prefixes)
+
+
+def burst_announcements(
+    seed: int = 0,
+    *,
+    n_reflectors: int = 4,
+    n_prefixes: int = 120,
+    bursts: int = 4,
+    prefixes_per_burst: int = 10,
+    start: float = 100.0,
+) -> LabeledIncident:
+    """Announcement bursts with bursty inter-arrival structure.
+
+    Moriano et al. (arXiv:1905.05835) characterize disruptive BGP events
+    by update volumes arriving in heavy-tailed bursts rather than at
+    steady rates. Here AS 64700 announces batches of fresh prefixes
+    through one access: within a burst, inter-arrivals are tens of
+    milliseconds; bursts are separated by tens of seconds of silence;
+    each burst is withdrawn before the next begins. Burst sizes and
+    spacings are drawn from the seed.
+    """
+    rng = random.Random(seed)
+    site = _site(n_reflectors, n_prefixes)
+    start = _after_now(site.network, start)
+    access = 1 % n_reflectors
+    attrs = PathAttributes(
+        nexthop=site.access_address(access),
+        as_path=ASPath((TIER1_POOL[4], AS_BURSTER)),
+    )
+    all_prefixes: list[Prefix] = []
+    offset = _BURST_OFFSET
+    when = start
+    sizes: list[int] = []
+    for _ in range(bursts):
+        size = max(1, prefixes_per_burst + rng.randint(-3, 3))
+        sizes.append(size)
+        burst_prefixes = synthetic_prefixes(size, offset)
+        offset += size
+        all_prefixes.extend(burst_prefixes)
+        for prefix in burst_prefixes:
+            when += rng.uniform(0.02, 0.2)
+            site.inject_from_access(
+                access, BGPUpdate.announce([prefix], attrs), at=when
+            )
+        when += rng.uniform(2.0, 5.0)
+        site.inject_from_access(
+            access, BGPUpdate.withdraw(burst_prefixes), at=when
+        )
+        when += rng.uniform(20.0, 60.0)
+    site.network.run()
+    stream = _events_after(site.rex.events, start)
+    return LabeledIncident(
+        name="burst-announcements",
+        incident_class=IncidentClass.BURST,
+        stream=stream,
+        true_stems=(((TIER1_POOL[4], AS_BURSTER)),),
+        affected_prefixes=frozenset(all_prefixes),
+        window=TimeWindow(start, when),
+        details=ScenarioDetails(
+            bursts=bursts,
+            burst_sizes=tuple(sizes),
+            burster_as=AS_BURSTER,
+        ),
+        seed=seed,
+    )
+
+
+def valley_route_leak(
+    seed: int = 0,
+    *,
+    n_reflectors: int = 4,
+    n_prefixes: int = 120,
+    victim_origins: int = 3,
+    prefixes_per_origin: int = 8,
+    cycles: int = 2,
+    leak_hold: float = 60.0,
+    start: float = 100.0,
+) -> LabeledIncident:
+    """A route leak expressed as valley-violating AS paths.
+
+    CAIR (arXiv:1605.00618) detects leaks as paths that descend into a
+    customer and climb back out — a valley. Customer AS 64810 buys
+    transit from one Tier-1 and re-exports that provider's routes to
+    another Tier-1; the leaked routes arrive as customer routes and win
+    on LOCAL_PREF (the Gao-Rexford prefer-customer policy — exactly why
+    real leaks attract traffic despite longer paths). Prefixes that
+    normally arrive on ``(provider, origin)`` flip to
+    ``(peer, 64810, provider, origin)`` and back, once per cycle.
+    Origin ASes and event spacing are drawn from the seed; the labeled
+    edge is ``(64810, provider)`` — the customer→provider hop where the
+    valley bottoms out.
+    """
+    rng = random.Random(seed)
+    site = _site(n_reflectors, n_prefixes)
+    start = _after_now(site.network, start)
+    provider = TIER1_POOL[5]  # 3356
+    peer = TIER1_POOL[1]  # 1239
+    origins = rng.sample(range(64200, 64400), victim_origins)
+    groups = [
+        (
+            origin,
+            synthetic_prefixes(
+                prefixes_per_origin,
+                _VALLEY_OFFSET + index * prefixes_per_origin,
+            ),
+        )
+        for index, origin in enumerate(origins)
+    ]
+    baseline_nh = site.access_address(0)
+    leak_access = 1 % n_reflectors
+    leak_nh = site.access_address(leak_access)
+    # Standing baseline: every victim prefix arrives via the provider.
+    for origin, prefixes in groups:
+        site.inject_from_access(
+            0,
+            BGPUpdate.announce(
+                prefixes,
+                PathAttributes(
+                    nexthop=baseline_nh,
+                    as_path=ASPath((provider, origin)),
+                ),
+            ),
+            at=start - 20.0,
+        )
+    when = start
+    for _ in range(cycles):
+        # The leak appears at the peer as a customer route: higher
+        # LOCAL_PREF beats the shorter provider path everywhere.
+        for origin, prefixes in groups:
+            site.inject_from_access(
+                leak_access,
+                BGPUpdate.announce(
+                    prefixes,
+                    PathAttributes(
+                        nexthop=leak_nh,
+                        as_path=ASPath((peer, AS_LEAKER, provider, origin)),
+                        local_pref=150,
+                    ),
+                ),
+                at=when + rng.uniform(0.0, 2.0),
+            )
+        recover_at = when + leak_hold
+        # The leaker notices and stops; routing falls back to the
+        # standing provider paths on its own.
+        for origin, prefixes in groups:
+            site.inject_from_access(
+                leak_access,
+                BGPUpdate.withdraw(prefixes),
+                at=recover_at + rng.uniform(0.0, 2.0),
+            )
+        when = recover_at + rng.uniform(40.0, 80.0)
+    site.network.run()
+    stream = _events_after(site.rex.events, start)
+    affected = frozenset(p for _, prefixes in groups for p in prefixes)
+    return LabeledIncident(
+        name="valley-route-leak",
+        incident_class=IncidentClass.ROUTE_LEAK,
+        stream=stream,
+        true_stems=((AS_LEAKER, provider),),
+        affected_prefixes=affected,
+        window=TimeWindow(start, when),
+        details=ScenarioDetails(
+            leaker_as=AS_LEAKER,
+            provider_as=provider,
+            peer_as=peer,
+            cycles=cycles,
+            victim_origins=tuple(origins),
+        ),
+        seed=seed,
+    )
+
+
+def interception_hijack(
+    seed: int = 0,
+    *,
+    n_reflectors: int = 4,
+    n_prefixes: int = 120,
+    victim_families: int = 3,
+    prefixes_per_family: int = 8,
+    hold: float = 120.0,
+    start: float = 100.0,
+) -> LabeledIncident:
+    """A forged-origin interception path that wins on AS-path length.
+
+    The CAIR interception pattern: the attacker announces the victim's
+    prefixes with the victim's origin AS kept at the end of the path —
+    origin-based filters pass it — but with itself spliced in as the
+    upstream, creating an AS edge ``(attacker, victim)`` that does not
+    exist. The forged path is shorter than the genuine routes, so the
+    decision process prefers it everywhere; after *hold* seconds the
+    attacker drops out and routing falls back. Genuine upstream pairs
+    are drawn from the seed.
+    """
+    rng = random.Random(seed)
+    site = _site(n_reflectors, n_prefixes)
+    start = _after_now(site.network, start)
+    groups = []
+    for index in range(victim_families):
+        transit = rng.sample(TIER1_POOL, 2)
+        prefixes = synthetic_prefixes(
+            prefixes_per_family,
+            _INTERCEPT_OFFSET + index * prefixes_per_family,
+        )
+        groups.append((tuple(transit), prefixes))
+    # Genuine 3-hop routes to the victim, standing before the incident.
+    for transit, prefixes in groups:
+        site.inject_from_access(
+            0,
+            BGPUpdate.announce(
+                prefixes,
+                PathAttributes(
+                    nexthop=site.access_address(0),
+                    as_path=ASPath((*transit, AS_VICTIM)),
+                ),
+            ),
+            at=start - 20.0,
+        )
+    victim_prefixes = [p for _, prefixes in groups for p in prefixes]
+    intercept_access = 2 % n_reflectors
+    hijack_attrs = PathAttributes(
+        nexthop=site.access_address(intercept_access),
+        as_path=ASPath((AS_INTERCEPTOR, AS_VICTIM)),
+    )
+    site.inject_from_access(
+        intercept_access,
+        BGPUpdate.announce(victim_prefixes, hijack_attrs),
+        at=start,
+    )
+    site.inject_from_access(
+        intercept_access,
+        BGPUpdate.withdraw(victim_prefixes),
+        at=start + hold,
+    )
+    site.network.run()
+    stream = _events_after(site.rex.events, start)
+    return LabeledIncident(
+        name="interception-hijack",
+        incident_class=IncidentClass.INTERCEPTION,
+        stream=stream,
+        true_stems=((AS_INTERCEPTOR, AS_VICTIM),),
+        affected_prefixes=frozenset(victim_prefixes),
+        window=TimeWindow(start, start + hold),
+        details=ScenarioDetails(
+            interceptor_as=AS_INTERCEPTOR,
+            victim_as=AS_VICTIM,
+            hold=hold,
+        ),
+        seed=seed,
+    )
+
+
+def hyper_specific_flood(
+    seed: int = 0,
+    *,
+    n_reflectors: int = 4,
+    n_prefixes: int = 120,
+    flood_count: int = 48,
+    hold: float = 90.0,
+    start: float = 100.0,
+) -> LabeledIncident:
+    """A flood of /25–/32 more-specifics of standing /24s.
+
+    Hyper-specific prefixes (Sediqi et al., arXiv:2206.13876) are
+    routes more specific than /24 — rarely legitimate, often leaks or
+    blackholing side-effects, and always winning on longest-prefix
+    match. AS 64900 floods more-specifics carved (by seed) out of
+    prefixes already in the feed table; being new NLRI, every one
+    propagates core-wide, then the flood is withdrawn.
+    """
+    rng = random.Random(seed)
+    site = _site(n_reflectors, n_prefixes)
+    start = _after_now(site.network, start)
+    parents = [
+        prefix
+        for family in site.feed_families
+        for prefix in family.prefixes
+    ]
+    flood: list[Prefix] = []
+    seen = set()
+    while len(flood) < flood_count:
+        parent = rng.choice(parents)
+        length = rng.randint(25, 32)
+        # A random subprefix of the parent at the chosen length,
+        # aligned to its own length.
+        extra_bits = length - parent.length
+        subnet = rng.randrange(1 << extra_bits)
+        network = parent.network | (subnet << (32 - length))
+        candidate = Prefix(network, length)
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        flood.append(candidate)
+    flood_access = 3 % n_reflectors
+    attrs = PathAttributes(
+        nexthop=site.access_address(flood_access),
+        as_path=ASPath((TIER1_POOL[3], AS_FLOODER)),
+    )
+    when = start
+    for prefix in flood:
+        when += rng.uniform(0.05, 0.5)
+        site.inject_from_access(
+            flood_access, BGPUpdate.announce([prefix], attrs), at=when
+        )
+    site.inject_from_access(
+        flood_access, BGPUpdate.withdraw(flood), at=when + hold
+    )
+    site.network.run()
+    stream = _events_after(site.rex.events, start)
+    lengths = sorted({p.length for p in flood})
+    return LabeledIncident(
+        name="hyper-specific-flood",
+        incident_class=IncidentClass.HYPER_SPECIFIC,
+        stream=stream,
+        true_stems=((TIER1_POOL[3], AS_FLOODER),),
+        affected_prefixes=frozenset(flood),
+        window=TimeWindow(start, when + hold),
+        details=ScenarioDetails(
+            flooder_as=AS_FLOODER,
+            flood_count=len(flood),
+            lengths=tuple(lengths),
+        ),
+        seed=seed,
+    )
+
+
+def community_signal(
+    seed: int = 0,
+    *,
+    n_reflectors: int = 4,
+    n_prefixes: int = 120,
+    cycles: int = 6,
+    period: float = 30.0,
+    start: float = 100.0,
+) -> LabeledIncident:
+    """An event signaled through community re-tagging.
+
+    CommunityWatch (arXiv:1806.07476) reads large-scale events out of
+    BGP community dynamics: the routes themselves stay up while a
+    signal community (here 65535:666, blackhole-style) flips on and off
+    across a neighbor's routes. One feed family — chosen by seed — is
+    re-announced from its own access with and without the tag, *cycles*
+    times; every retag is an attribute change the core must propagate,
+    so REX sees the churn without a single prefix moving.
+    """
+    rng = random.Random(seed)
+    site = _site(n_reflectors, n_prefixes)
+    start = _after_now(site.network, start)
+    family = site.feed_families[rng.randrange(len(site.feed_families))]
+    neighbor_as = family.as_path.neighbor_as
+    origin_as = family.as_path.origin_as
+    nexthop = site.access_address(family.rr_index)
+    when = start
+    for _ in range(cycles):
+        for tagged in (True, False):
+            communities = (
+                frozenset({SIGNAL_COMMUNITY}) if tagged else frozenset()
+            )
+            site.inject_from_access(
+                family.rr_index,
+                BGPUpdate.announce(
+                    family.prefixes,
+                    PathAttributes(
+                        nexthop=nexthop,
+                        as_path=family.as_path,
+                        communities=communities,
+                    ),
+                ),
+                at=when,
+            )
+            when += period / 2 + rng.uniform(-2.0, 2.0)
+    site.network.run()
+    stream = _events_after(site.rex.events, start)
+    return LabeledIncident(
+        name="community-signal",
+        incident_class=IncidentClass.COMMUNITY_SIGNAL,
+        stream=stream,
+        true_stems=((neighbor_as, origin_as),),
+        affected_prefixes=frozenset(family.prefixes),
+        window=TimeWindow(start, when),
+        details=ScenarioDetails(
+            community=str(SIGNAL_COMMUNITY),
+            family=family.name,
+            cycles=cycles,
+        ),
+        seed=seed,
+    )

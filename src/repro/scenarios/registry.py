@@ -1,0 +1,370 @@
+"""The scenario registry: named, seeded, parameterizable generators.
+
+Each :class:`Scenario` entry binds a builder to its default knobs and
+its scoring configuration (the window/slide the detector runs at and
+the top-*k* cutoff the scorer judges). ``repro scenarios`` lists,
+describes, generates, and scores entries by name; the detection-quality
+gate iterates :func:`scored_names`.
+
+Defaults are sized for seconds-scale generation (small sites) so the
+gate and CI can regenerate every scenario per run; knobs can be
+overridden per call for larger studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Optional
+
+from repro.scenarios import catalog, paper
+from repro.scenarios.labels import IncidentClass, LabeledIncident
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One registered scenario family."""
+
+    name: str
+    incident_class: IncidentClass
+    summary: str
+    #: Where the anomaly shape comes from (paper section or arXiv id).
+    reference: str
+    builder: Callable[..., LabeledIncident]
+    #: Default builder kwargs, stored immutably.
+    defaults: tuple[tuple[str, object], ...] = ()
+    #: Detector configuration the scorer uses for this family.
+    window: float = 60.0
+    slide: Optional[float] = 30.0
+    top_k: int = 3
+    #: False for incidents with no stem-shaped ground truth.
+    scored: bool = True
+
+    def build(self, seed: int = 0, **overrides: object) -> LabeledIncident:
+        kwargs = dict(self.defaults)
+        kwargs.update(overrides)
+        incident = self.builder(seed=seed, **kwargs)
+        if incident.seed is None:
+            incident = replace(incident, seed=seed)
+        return incident
+
+    def describe(self) -> str:
+        knobs = ", ".join(f"{k}={v!r}" for k, v in self.defaults)
+        lines = [
+            f"{self.name} [{self.incident_class.value}]",
+            f"  {self.summary}",
+            f"  reference: {self.reference}",
+            f"  defaults:  {knobs or '(none)'}",
+            f"  scoring:   window={self.window}s slide={self.slide}s"
+            f" top_k={self.top_k}"
+            f"{'' if self.scored else ' (not scored: no true stem)'}",
+        ]
+        return "\n".join(lines)
+
+
+# -- Paper-scenario adapters -------------------------------------------
+#
+# The Section IV injectors take a built site; the registry's contract
+# is ``builder(seed=..., **knobs)``. These wrappers construct the site,
+# forward the knobs, and stamp the seed (the simulations themselves are
+# deterministic — the seed is recorded for provenance and fingerprint
+# bookkeeping, not consumed).
+
+
+def _berkeley(seed: int, n_prefixes: int, scenario: str, **kwargs: object):
+    site = paper.BerkeleySite(n_prefixes=n_prefixes)
+    incident = getattr(paper, scenario)(site, **kwargs)
+    return replace(incident, seed=seed)
+
+
+def _paper_route_leak(
+    seed: int = 0, *, n_prefixes: int = 200, cycles: int = 2
+) -> LabeledIncident:
+    return _berkeley(seed, n_prefixes, "route_leak", cycles=cycles)
+
+
+def _paper_backdoor_routes(
+    seed: int = 0, *, n_prefixes: int = 200
+) -> LabeledIncident:
+    return _berkeley(seed, n_prefixes, "backdoor_routes")
+
+
+def _paper_session_reset(
+    seed: int = 0, *, n_prefixes: int = 200, down_for: float = 45.0
+) -> LabeledIncident:
+    return _berkeley(seed, n_prefixes, "session_reset", down_for=down_for)
+
+
+def _paper_community_mistag(
+    seed: int = 0, *, n_prefixes: int = 200
+) -> LabeledIncident:
+    site = paper.BerkeleySite(n_prefixes=n_prefixes)
+    return replace(paper.community_mistag(site), seed=seed)
+
+
+def _paper_max_prefix_leak(
+    seed: int = 0,
+    *,
+    n_prefixes: int = 200,
+    leaked_count: int = 250,
+    limit: int = 100,
+) -> LabeledIncident:
+    return _berkeley(
+        seed, n_prefixes, "max_prefix_leak",
+        leaked_count=leaked_count, limit=limit,
+    )
+
+
+def _paper_customer_flap(
+    seed: int = 0,
+    *,
+    n_reflectors: int = 4,
+    n_prefixes: int = 120,
+    customer_prefix_count: int = 4,
+    flap_count: int = 10,
+    period: float = 60.0,
+) -> LabeledIncident:
+    from repro.net.prefix import Prefix
+
+    isp = paper.IspAnonSite(
+        n_reflectors=n_reflectors, n_prefixes=n_prefixes
+    )
+    # A multi-prefix customer cone, so the stem pins the session rather
+    # than a single prefix.
+    prefixes = [
+        Prefix.parse(f"203.0.{112 + i}.0/24")
+        for i in range(customer_prefix_count)
+    ]
+    incident = paper.customer_flap(
+        isp, customer_prefixes=prefixes,
+        flap_count=flap_count, period=period,
+    )
+    return replace(incident, seed=seed)
+
+
+def _paper_full_table_hijack(
+    seed: int = 0,
+    *,
+    n_reflectors: int = 4,
+    n_prefixes: int = 120,
+    hold: float = 600.0,
+) -> LabeledIncident:
+    isp = paper.IspAnonSite(
+        n_reflectors=n_reflectors, n_prefixes=n_prefixes
+    )
+    return replace(paper.full_table_hijack(isp, hold=hold), seed=seed)
+
+
+def _paper_med_oscillation(
+    seed: int = 0, *, flap_count: int = 50, period: float = 0.02
+) -> LabeledIncident:
+    incident = paper.med_oscillation(
+        flap_count=flap_count, period=period
+    )
+    return replace(incident, seed=seed)
+
+
+_ENTRIES = (
+    # -- The catalog: families beyond the paper (ROADMAP item 2) -------
+    Scenario(
+        name="burst-announcements",
+        incident_class=IncidentClass.BURST,
+        summary=(
+            "Fresh-prefix announcement storms arriving in seeded"
+            " heavy-tailed bursts through one access router."
+        ),
+        reference="Moriano et al., arXiv:1905.05835",
+        builder=catalog.burst_announcements,
+        defaults=(("bursts", 4), ("prefixes_per_burst", 10)),
+        window=60.0,
+        slide=30.0,
+    ),
+    Scenario(
+        name="valley-route-leak",
+        incident_class=IncidentClass.ROUTE_LEAK,
+        summary=(
+            "A customer re-exports provider routes during upstream"
+            " failures: valley-violating paths appear and recede."
+        ),
+        reference="CAIR, arXiv:1605.00618",
+        builder=catalog.valley_route_leak,
+        defaults=(("cycles", 2), ("victim_origins", 3)),
+        window=60.0,
+        slide=30.0,
+    ),
+    Scenario(
+        name="interception-hijack",
+        incident_class=IncidentClass.INTERCEPTION,
+        summary=(
+            "A forged-origin interception path wins on AS-path length"
+            " and inserts a fabricated attacker-victim edge."
+        ),
+        reference="CAIR, arXiv:1605.00618",
+        builder=catalog.interception_hijack,
+        defaults=(("victim_families", 3), ("hold", 120.0)),
+        window=60.0,
+        slide=30.0,
+    ),
+    Scenario(
+        name="hyper-specific-flood",
+        incident_class=IncidentClass.HYPER_SPECIFIC,
+        summary=(
+            "A flood of /25-/32 more-specifics carved out of standing"
+            " /24s, each winning on longest-prefix match."
+        ),
+        reference="Sediqi et al., arXiv:2206.13876",
+        builder=catalog.hyper_specific_flood,
+        defaults=(("flood_count", 48),),
+        window=60.0,
+        slide=30.0,
+    ),
+    Scenario(
+        name="community-signal",
+        incident_class=IncidentClass.COMMUNITY_SIGNAL,
+        summary=(
+            "A blackhole-style signal community flips on and off across"
+            " one neighbor's routes; attribute churn, no prefix moves."
+        ),
+        reference="CommunityWatch, arXiv:1806.07476",
+        builder=catalog.community_signal,
+        defaults=(("cycles", 6), ("period", 30.0)),
+        window=60.0,
+        slide=30.0,
+    ),
+    # -- The paper's incidents, registered at gate-friendly sizes ------
+    Scenario(
+        name="route-leak",
+        incident_class=IncidentClass.ROUTE_LEAK,
+        summary=(
+            "Figure 7: CalREN leaks 6-AS-hop paths; Berkeley's"
+            " community filter silently drops the moved routes."
+        ),
+        reference="paper §IV (Figure 7)",
+        builder=_paper_route_leak,
+        defaults=(("n_prefixes", 200), ("cycles", 2)),
+        window=180.0,
+        slide=90.0,
+    ),
+    Scenario(
+        name="backdoor-routes",
+        incident_class=IncidentClass.MISCONFIGURATION,
+        summary=(
+            "Figure 5: two backdoor routes to AT&T appear on edge"
+            " 1.222, visible only under hierarchical pruning."
+        ),
+        reference="paper §IV (Figure 5)",
+        builder=_paper_backdoor_routes,
+        defaults=(("n_prefixes", 200),),
+        window=60.0,
+        slide=30.0,
+    ),
+    Scenario(
+        name="session-reset",
+        incident_class=IncidentClass.SESSION_RESET,
+        summary=(
+            "Section I anatomy of a peering reset: mass withdrawal,"
+            " re-establishment, full-table re-announcement."
+        ),
+        reference="paper §I/§IV",
+        builder=_paper_session_reset,
+        defaults=(("n_prefixes", 200), ("down_for", 45.0)),
+        window=60.0,
+        slide=30.0,
+    ),
+    Scenario(
+        name="community-mistag",
+        incident_class=IncidentClass.MISCONFIGURATION,
+        summary=(
+            "Figure 6: the CENIC LAAP community mis-tagged onto KDDI"
+            " routes — a subset view, no stem-shaped ground truth."
+        ),
+        reference="paper §IV (Figure 6)",
+        builder=_paper_community_mistag,
+        defaults=(("n_prefixes", 200),),
+        scored=False,
+    ),
+    Scenario(
+        name="customer-flap",
+        incident_class=IncidentClass.FLAP,
+        summary=(
+            "Figure 9: a customer session flaps ~once a minute; every"
+            " PoP fails over to 3-hop alternates via the NAP."
+        ),
+        reference="paper §IV (Figure 9)",
+        builder=_paper_customer_flap,
+        defaults=(("flap_count", 10), ("period", 60.0)),
+        window=120.0,
+        slide=60.0,
+    ),
+    Scenario(
+        name="full-table-hijack",
+        incident_class=IncidentClass.ORIGIN_HIJACK,
+        summary=(
+            "Section I catastrophe: one AS announces the full table"
+            " with 1-hop paths and becomes transit for everything."
+        ),
+        reference="paper §I",
+        builder=_paper_full_table_hijack,
+        defaults=(("hold", 600.0),),
+        window=120.0,
+        slide=60.0,
+    ),
+    Scenario(
+        name="max-prefix-leak",
+        incident_class=IncidentClass.ROUTE_LEAK,
+        summary=(
+            "Section I war story: a leak trips the peer's max-prefix"
+            " safeguard; the session closes and takes the legitimate"
+            " routes with it."
+        ),
+        reference="paper §I",
+        builder=_paper_max_prefix_leak,
+        defaults=(("leaked_count", 250), ("limit", 100)),
+        window=60.0,
+        slide=30.0,
+    ),
+    Scenario(
+        name="med-oscillation",
+        incident_class=IncidentClass.OSCILLATION,
+        summary=(
+            "Figure 3: persistent fast MED oscillation on 4.5.0.0/16"
+            " churning 95% of the core's IBGP traffic."
+        ),
+        reference="paper §II (Figure 3)",
+        builder=_paper_med_oscillation,
+        defaults=(("flap_count", 50), ("period", 0.02)),
+        window=0.5,
+        slide=0.25,
+    ),
+)
+
+SCENARIOS: dict[str, Scenario] = {entry.name: entry for entry in _ENTRIES}
+
+
+def names() -> list[str]:
+    """Registered scenario names, catalog first, registration order."""
+    return [entry.name for entry in _ENTRIES]
+
+
+def scored_names() -> list[str]:
+    return [entry.name for entry in _ENTRIES if entry.scored]
+
+
+def get(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(names())
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def generate(
+    name: str, seed: int = 0, **overrides: object
+) -> LabeledIncident:
+    """Build one scenario by name: same seed, same stream fingerprint."""
+    return get(name).build(seed=seed, **overrides)
+
+
+def iter_scenarios() -> Iterator[Scenario]:
+    return iter(_ENTRIES)

@@ -5,8 +5,9 @@ This package provides the testbed the paper had for real: networks of
 delay, observed by a passive :class:`repro.collector.RouteExplorer`. Two
 workload builders reproduce the paper's vantage points — U.C. Berkeley
 (four BGP edge routers behind CalREN) and "ISP-Anon" (a Tier-1 with a
-route-reflector core) — and :mod:`repro.simulator.scenarios` injects each
-of the paper's case-study anomalies into them.
+route-reflector core). The case-study anomaly injectors live in
+:mod:`repro.scenarios` (the labeled scenario library);
+:mod:`repro.simulator.scenarios` remains as a back-compat shim.
 """
 
 from repro.simulator.engine import Engine

@@ -1,0 +1,146 @@
+"""Tests for the anomaly catalog families and the scenario registry."""
+
+import pytest
+
+from repro.scenarios import catalog, registry
+from repro.scenarios.labels import IncidentClass, LabeledIncident
+
+#: The five related-work families the library adds beyond the paper.
+CATALOG_NAMES = (
+    "burst-announcements",
+    "valley-route-leak",
+    "interception-hijack",
+    "hyper-specific-flood",
+    "community-signal",
+)
+
+
+class TestRegistry:
+    def test_all_entries_registered_once(self):
+        names = registry.names()
+        assert len(names) == len(set(names))
+        assert len(names) >= 13
+
+    def test_catalog_families_present(self):
+        assert set(CATALOG_NAMES) <= set(registry.names())
+
+    def test_scored_names_excludes_unscored(self):
+        scored = registry.scored_names()
+        assert "community-mistag" not in scored
+        assert set(CATALOG_NAMES) <= set(scored)
+
+    def test_get_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="burst-announcements"):
+            registry.get("no-such-scenario")
+
+    def test_describe_mentions_reference_and_scoring(self):
+        text = registry.get("burst-announcements").describe()
+        assert "1905.05835" in text
+        assert "window=60.0s" in text
+
+    def test_overrides_reach_the_builder(self):
+        incident = registry.generate(
+            "burst-announcements", seed=1, bursts=2, prefixes_per_burst=5
+        )
+        assert incident.details["bursts"] == 2
+
+    def test_build_stamps_seed(self):
+        incident = registry.generate("route-leak", seed=9)
+        assert incident.seed == 9
+
+
+@pytest.fixture(scope="module", params=CATALOG_NAMES)
+def built(request):
+    incident = registry.generate(request.param, seed=0)
+    return request.param, incident
+
+
+class TestCatalogInvariants:
+    """Label invariants every catalog family must satisfy."""
+
+    def test_returns_labeled_incident(self, built):
+        name, incident = built
+        assert isinstance(incident, LabeledIncident)
+        assert incident.name == name
+
+    def test_stream_nonempty_and_sorted(self, built):
+        _, incident = built
+        times = [event.timestamp for event in incident.stream]
+        assert times
+        assert times == sorted(times)
+
+    def test_ground_truth_present(self, built):
+        _, incident = built
+        assert incident.true_stems
+        assert incident.affected_prefixes
+        assert incident.window.duration > 0
+
+    def test_window_within_stream_span(self, built):
+        _, incident = built
+        stream = incident.stream
+        assert incident.window.overlaps(
+            stream.start_time, stream.end_time + 1e-9
+        )
+
+    def test_seed_recorded(self, built):
+        _, incident = built
+        assert incident.seed == 0
+
+    def test_affected_prefixes_appear_in_stream(self, built):
+        _, incident = built
+        seen = {event.prefix for event in incident.stream}
+        assert incident.affected_prefixes <= seen
+
+
+class TestFamilySpecifics:
+    def test_burst_true_stem_is_burster_edge(self):
+        incident = catalog.burst_announcements(seed=0)
+        assert incident.true_stems == ((2914, catalog.AS_BURSTER),)
+        assert incident.incident_class is IncidentClass.BURST
+        assert sum(incident.details["burst_sizes"]) == len(
+            incident.affected_prefixes
+        )
+
+    def test_valley_leak_edge_bottoms_out_at_provider(self):
+        incident = catalog.valley_route_leak(seed=0)
+        assert incident.true_stems == ((catalog.AS_LEAKER, 3356),)
+        leaked_paths = [
+            event.attributes.as_path
+            for event in incident.stream
+            if catalog.AS_LEAKER in event.attributes.as_path
+        ]
+        assert leaked_paths
+        # The valley: provider routes re-exported through the customer.
+        for path in leaked_paths:
+            sequence = tuple(path)
+            position = sequence.index(catalog.AS_LEAKER)
+            assert sequence[position + 1] == 3356
+
+    def test_interception_forges_nonexistent_edge(self):
+        incident = catalog.interception_hijack(seed=0)
+        assert incident.true_stems == (
+            (catalog.AS_INTERCEPTOR, catalog.AS_VICTIM),
+        )
+
+    def test_hyper_specifics_are_slash25_to_32(self):
+        incident = catalog.hyper_specific_flood(seed=0)
+        assert all(
+            25 <= prefix.length <= 32
+            for prefix in incident.affected_prefixes
+        )
+        assert incident.details["flood_count"] == len(
+            incident.affected_prefixes
+        )
+
+    def test_community_signal_moves_no_prefixes(self):
+        incident = catalog.community_signal(seed=0)
+        tagged = [
+            event
+            for event in incident.stream
+            if catalog.SIGNAL_COMMUNITY in event.attributes.communities
+        ]
+        assert tagged
+        # Attribute churn only: every affected prefix stays announced.
+        assert incident.affected_prefixes <= {
+            event.prefix for event in incident.stream
+        }

@@ -1,0 +1,105 @@
+"""Chaos cross-tests: fault plans from the testkit over labeled streams.
+
+Two properties, in the spirit of the resume-chaos suite:
+
+* event-level faults (loss, reordering, stall-and-burst) degrade the
+  detection scores *gracefully* — the scorer never crashes, metrics
+  stay in range, and a damaged stream never scores better than the
+  clean one by more than the gate tolerance;
+* byte-level corruption of the MRT wire form is *accounted for* — the
+  non-strict ingest path skips the damaged records and the stream's
+  :class:`IngestReport` explains exactly how much was lost.
+"""
+
+import dataclasses
+import io
+
+import pytest
+
+from repro.mrt.loader import dump_updates, load_updates
+from repro.scenarios import registry
+from repro.scenarios.score import DEFAULT_TOLERANCE, score_incident
+from repro.testkit.faults import apply_plan_to_bytes, apply_plan_to_stream
+
+#: Event-level fault plans, name → plan steps.
+PLANS = {
+    "light-loss": [("drop-events", {"rate": 0.2})],
+    "heavy-loss": [("drop-events", {"rate": 0.8})],
+    "reorder": [("reorder-events", {"rate": 0.5, "max_shift": 5.0})],
+    "stall-burst": [
+        ("stall-burst", {"stall_start": 120.0, "stall_seconds": 60.0})
+    ],
+    "compound": [
+        ("drop-events", {"rate": 0.3}),
+        ("reorder-events", {"rate": 0.3, "max_shift": 2.0}),
+    ],
+}
+
+
+@pytest.fixture(scope="module", params=["burst-announcements", "interception-hijack"])
+def scored_clean(request):
+    entry = registry.get(request.param)
+    incident = entry.build(seed=0)
+    clean = score_incident(
+        incident, window=entry.window, slide=entry.slide, top_k=entry.top_k
+    )
+    return entry, incident, clean
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+def test_faulted_streams_degrade_gracefully(scored_clean, plan_name):
+    entry, incident, clean = scored_clean
+    faulted_stream = apply_plan_to_stream(
+        incident.stream, PLANS[plan_name], seed=7
+    )
+    faulted = dataclasses.replace(incident, stream=faulted_stream)
+    score = score_incident(
+        faulted, window=entry.window, slide=entry.slide, top_k=entry.top_k
+    )
+    for metric in ("precision", "recall", "f1", "top1_rate", "topk_rate"):
+        value = getattr(score, metric)
+        assert 0.0 <= value <= 1.0
+        # Damage never *improves* detection beyond the gate tolerance.
+        assert value <= getattr(clean, metric) + DEFAULT_TOLERANCE
+
+
+def test_total_loss_scores_zero_not_crash(scored_clean):
+    entry, incident, _ = scored_clean
+    emptied = apply_plan_to_stream(
+        incident.stream, [("drop-events", {"rate": 1.0})], seed=1
+    )
+    faulted = dataclasses.replace(incident, stream=emptied)
+    score = score_incident(faulted, window=entry.window, slide=entry.slide)
+    assert score.events == 0
+    assert score.f1 == 0.0
+    assert not score.detected
+
+
+def test_corrupted_wire_loss_is_accounted_for():
+    """MRT-level corruption: the ingest report explains the loss."""
+    incident = registry.generate("burst-announcements", seed=0)
+    buffer = io.BytesIO()
+    dump_updates(tuple(incident.stream), buffer)
+    corrupted = apply_plan_to_bytes(
+        buffer.getvalue(),
+        [("corrupt-payloads", {"rate": 0.4, "byte_rate": 0.3})],
+        seed=11,
+    )
+    with pytest.warns(UserWarning, match="skipped"):
+        loaded = load_updates(io.BytesIO(corrupted))
+    report = loaded.ingest_report
+    assert report is not None
+    assert report.records_skipped > 0
+    # Accounting closes: every record read is ignored, decoded or
+    # skipped, and the decoded ones produced the surviving events.
+    assert (
+        report.records_decoded
+        + report.records_skipped
+        + report.records_ignored
+        == report.records_read
+    )
+    # A dropped announce also silences its later withdrawal, so events
+    # never exceed what the surviving records could produce.
+    assert report.events_produced == len(loaded)
+    assert report.events_produced <= report.records_decoded
+    assert report.error_counts

@@ -1,0 +1,100 @@
+"""Tests for the ``repro scenarios`` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.collector.stream import EventStream
+from repro.scenarios import registry
+from repro.scenarios.score import Scorecard
+
+#: The cheapest scored scenario, for score-path tests.
+FAST = "burst-announcements"
+
+
+class TestListDescribe:
+    def test_list_prints_every_entry(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.names():
+            assert name in out
+        assert "(not scored)" in out  # community-mistag
+
+    def test_describe_one(self, capsys):
+        assert main(["scenarios", "describe", FAST]) == 0
+        out = capsys.readouterr().out
+        assert "1905.05835" in out
+        assert "window=" in out
+
+    def test_unknown_name_exits_2(self, capsys):
+        assert main(["scenarios", "describe", "bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_writes_events_and_labels(self, tmp_path, capsys):
+        code = main(
+            ["scenarios", "generate", FAST, "-o", str(tmp_path), "--seed", "5"]
+        )
+        assert code == 0
+        events_path = tmp_path / f"{FAST}.events.jsonl"
+        labels_path = tmp_path / f"{FAST}.labels.json"
+        assert events_path.exists() and labels_path.exists()
+        labels = json.loads(labels_path.read_text())
+        stream = EventStream.load(events_path)
+        assert labels["seed"] == 5
+        assert labels["events"] == len(stream)
+        assert labels["fingerprint"] == stream.fingerprint()
+        assert labels["true_stems"]
+        # The artifact reproduces from the registry at the same seed.
+        assert (
+            registry.generate(FAST, seed=5).stream.fingerprint()
+            == labels["fingerprint"]
+        )
+
+
+class TestScore:
+    def test_score_writes_card(self, tmp_path, capsys):
+        card_path = tmp_path / "card.json"
+        code = main(
+            ["scenarios", "score", FAST, "-o", str(card_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F1=" in out and FAST in out
+        card = Scorecard.load(card_path)
+        assert FAST in card.scores
+        assert card.scores[FAST].detected
+
+    def test_gate_passes_against_itself(self, tmp_path, capsys):
+        card_path = tmp_path / "base.json"
+        assert main(["scenarios", "score", FAST, "-o", str(card_path)]) == 0
+        code = main(
+            ["scenarios", "score", FAST, "--baseline", str(card_path)]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_degraded_detector_trips_gate(self, tmp_path, capsys):
+        card_path = tmp_path / "base.json"
+        assert main(["scenarios", "score", FAST, "-o", str(card_path)]) == 0
+        code = main(
+            [
+                "scenarios", "score", FAST,
+                "--baseline", str(card_path),
+                "--min-strength", "1000000000",
+            ]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "scenarios", "score", FAST,
+                "--baseline", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err

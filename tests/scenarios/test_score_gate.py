@@ -1,0 +1,81 @@
+"""The tier-1 detection-quality gate.
+
+Regenerates every scored scenario at seed 0 and compares against the
+checked-in baseline (``bench_results/baselines/SCORE_scenarios.json``),
+exactly as the CI ``scenario-score`` job does. A change that degrades
+Stemming's precision/recall on the labeled catalog fails here, in the
+same spirit as ``benchmarks/bench_guard.py`` for performance.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.score import (
+    Scorecard,
+    build_scorecard,
+    compare_scorecards,
+    format_comparison,
+)
+
+BASELINE = (
+    Path(__file__).resolve().parents[2]
+    / "bench_results"
+    / "baselines"
+    / "SCORE_scenarios.json"
+)
+
+
+@pytest.fixture(scope="module")
+def baseline() -> Scorecard:
+    assert BASELINE.exists(), (
+        f"missing detection-quality baseline {BASELINE}; regenerate with"
+        " `repro scenarios score -o bench_results/baselines/"
+        "SCORE_scenarios.json`"
+    )
+    return Scorecard.load(BASELINE)
+
+
+@pytest.fixture(scope="module")
+def fresh(baseline) -> Scorecard:
+    config = baseline.config
+    return build_scorecard(
+        seed=int(config.get("seed", 0)),
+        min_strength=int(config.get("min_strength", 2)),
+        max_components=int(config.get("max_components", 16)),
+    )
+
+
+def test_baseline_covers_every_scored_scenario(baseline):
+    from repro.scenarios import registry
+
+    assert set(baseline.scores) == set(registry.scored_names())
+
+
+def test_baseline_detects_everything(baseline):
+    undetected = [
+        name
+        for name, score in baseline.scores.items()
+        if not score.detected
+    ]
+    assert undetected == []
+
+
+def test_no_detection_regressions(fresh, baseline):
+    regressions, checks = compare_scorecards(fresh, baseline)
+    assert checks >= 7 * len(baseline.scores)
+    assert not regressions, "\n" + format_comparison(
+        fresh, baseline, regressions
+    )
+
+
+def test_fresh_scores_match_pinned_artifact(fresh):
+    """Seed-0 scores are bitwise-stable, not merely within tolerance.
+
+    The checked-in ``bench_results/SCORE_scenarios.json`` is the exact
+    artifact a fresh run produces; drift here means generation or
+    scoring became nondeterministic.
+    """
+    pinned_path = BASELINE.parents[1] / "SCORE_scenarios.json"
+    pinned = Scorecard.load(pinned_path)
+    assert fresh.to_dict()["scenarios"] == pinned.to_dict()["scenarios"]
