@@ -298,7 +298,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--components", type=int, default=16,
         help="maximum components per window (default 16)",
     )
+    monitor.add_argument(
+        "--resolve-after", type=float, default=600.0, metavar="SECONDS",
+        help="stream-seconds of quiet before an incident resolves"
+             " (default 600)",
+    )
+    monitor.add_argument(
+        "--correlation-window", type=float, default=600.0,
+        metavar="SECONDS",
+        help="max stream-time gap for merging a new stem into a live"
+             " incident by prefix overlap (default 600)",
+    )
+    monitor.add_argument(
+        "--reopen-window", type=float, default=900.0, metavar="SECONDS",
+        help="a stem recurring within this many seconds of resolution"
+             " reopens its incident instead of opening a new one"
+             " (default 900)",
+    )
     monitor.set_defaults(handler=cmd_monitor)
+
+    incidents = sub.add_parser(
+        "incidents",
+        help="inspect the sqlite incident store written by monitor",
+    )
+    incidents.add_argument(
+        "action",
+        choices=("list", "show", "export", "compact"),
+        help="list incidents; show one incident's full lifecycle;"
+             " export the store as JSONL; or compact resolved rows",
+    )
+    incidents.add_argument(
+        "store", type=Path,
+        help="incident store: a monitor --checkpoint-dir or the"
+             " incidents.sqlite file inside one",
+    )
+    incidents.add_argument(
+        "--id", type=int, default=None, metavar="N",
+        help="incident id (required for show)",
+    )
+    incidents.add_argument(
+        "--status", choices=("open", "investigating", "resolved"),
+        default=None, help="filter list output by lifecycle state",
+    )
+    incidents.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="JSONL destination for export (default stdout)",
+    )
+    incidents.add_argument(
+        "--keep-resolved", type=int, default=0, metavar="N",
+        help="resolved incidents to retain when compacting (default 0)",
+    )
+    incidents.set_defaults(handler=cmd_incidents)
 
     faults = sub.add_parser(
         "faults",
@@ -615,6 +665,9 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         workers=args.workers,
         pace=args.pace,
         checkpoint_every=args.checkpoint_every,
+        resolve_after=args.resolve_after,
+        correlation_window=args.correlation_window,
+        reopen_window=args.reopen_window,
         max_events=args.max_events,
     )
     registry = MetricsRegistry()
@@ -663,11 +716,21 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         f" {result.checkpoints_written} checkpoint(s),"
         f" offset {result.offset}"
     )
-    active = result.tracker.active()
-    if active:
-        print(f"{len(active)} active incident(s):")
-        for incident in active[:10]:
-            print(f"  {incident.describe()}")
+    manager = result.incidents
+    counts = manager.counts_by_status()
+    print(
+        f"incidents: {manager.created_total} created —"
+        f" {counts.get('open', 0)} open,"
+        f" {counts.get('investigating', 0)} investigating,"
+        f" {counts.get('resolved', 0)} resolved"
+    )
+    for record in manager.active()[:10]:
+        print(f"  {record.describe()}")
+    if args.checkpoint_dir is not None:
+        print(
+            f"incident store: {args.checkpoint_dir}/incidents.sqlite"
+            " (inspect with `repro incidents`)"
+        )
     if args.metrics_out is not None:
         args.metrics_out.write_text(
             json.dumps(registry.snapshot(), sort_keys=True, indent=1)
@@ -675,6 +738,66 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         )
         print(f"metrics snapshot written to {args.metrics_out}")
     return 0
+
+
+def cmd_incidents(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.incidents import INCIDENT_DB, IncidentStore
+
+    path = args.store
+    if path.is_dir():
+        path = path / INCIDENT_DB
+    if not path.exists():
+        print(f"no incident store at {path}", file=sys.stderr)
+        return 2
+
+    with IncidentStore(path) as store:
+        if args.action == "list":
+            records = store.rows()
+            if args.status is not None:
+                records = [
+                    r for r in records
+                    if r.status.value == args.status
+                ]
+            for record in records:
+                print(record.describe())
+            counts = store.counts_by_status()
+            summary = ", ".join(
+                f"{count} {status}"
+                for status, count in sorted(counts.items())
+            )
+            print(
+                f"{len(records)} shown ({summary or 'empty'};"
+                f" synced through report {store.reports_applied()})"
+            )
+            return 0
+        if args.action == "show":
+            if args.id is None:
+                print("show requires --id", file=sys.stderr)
+                return 2
+            record = store.row(args.id)
+            if record is None:
+                print(f"no incident with id {args.id}", file=sys.stderr)
+                return 2
+            print(record.describe())
+            print(json.dumps(record.to_dict(), indent=1, sort_keys=True))
+            return 0
+        if args.action == "export":
+            if args.output is not None:
+                count = store.export_jsonl(args.output)
+                print(f"{count} incident(s) exported to {args.output}")
+            else:
+                for record in store.rows():
+                    print(json.dumps(record.to_dict(), sort_keys=True))
+            return 0
+        # compact
+        removed = store.compact(keep_resolved=args.keep_resolved)
+        print(
+            f"compacted: {removed} resolved incident(s) removed,"
+            f" {store.count()} remain"
+        )
+        return 0
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -790,9 +913,20 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     for name in sorted(card.scores):
         row = card.scores[name]
         rank = "-" if row.best_rank is None else str(row.best_rank)
+        latency = (
+            "-"
+            if row.detection_latency is None
+            else f"{row.detection_latency:.0f}s"
+        )
+        ttr = (
+            "-"
+            if row.time_to_resolve is None
+            else f"{row.time_to_resolve:.0f}s"
+        )
         print(
             f"{name:<22} P={row.precision:.3f} R={row.recall:.3f}"
             f" F1={row.f1:.3f} rank={rank} top1={row.top1_rate:.2f}"
+            f" inc={row.incidents} latency={latency} ttr={ttr}"
             f" detected={row.detected}"
         )
     if args.output is not None:

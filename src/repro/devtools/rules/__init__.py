@@ -17,6 +17,9 @@ Rule families map to the invariants the repo actually depends on:
   derive all entropy from an explicit ``seed`` argument);
 * :mod:`repro.devtools.rules.pipeline` — PIPE001 (pipeline stages
   must not reference module-global mutable state);
+* :mod:`repro.devtools.rules.incidents` — INC001 (incident status
+  changes must go through the lifecycle state-machine API, never
+  direct field/column writes);
 * :mod:`repro.devtools.rules.interning` — INT001 (TAMP hot paths must
   keep edge stores on packed int ids, not object sets/token tuples),
   INT002 (no decode calls inside id-space hot functions);
@@ -33,6 +36,7 @@ from __future__ import annotations
 from repro.devtools.rules import (
     cache,
     determinism,
+    incidents,
     interning,
     mutation,
     pipeline,
@@ -44,6 +48,7 @@ from repro.devtools.rules import (
 __all__ = [
     "cache",
     "determinism",
+    "incidents",
     "interning",
     "mutation",
     "pipeline",

@@ -1,0 +1,118 @@
+"""INC001: incident status must change through the state machine.
+
+:func:`repro.incidents.lifecycle.transition` is the single sanctioned
+writer of an incident's ``status``: it validates the edge against
+``VALID_TRANSITIONS``, stamps stream time, and appends the auditable
+:class:`~repro.incidents.lifecycle.Transition` row. A direct write —
+``record.status = ...``, ``row["status"] = ...``, or a SQL ``UPDATE``
+that sets the ``status`` column — skips all three, producing lifecycles
+the operator cannot reconstruct and states the machine forbids
+(``investigating → open`` de-escalation, resolution without a
+``resolved_at``).
+
+Scope: modules inside ``repro.incidents`` and any module that imports
+from it (the importer holds :class:`IncidentRecord` objects, so it can
+commit the same sin). ``repro.incidents.lifecycle`` itself is exempt —
+it *is* the sanctioned writer.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.devtools.findings import Finding, Rule
+from repro.devtools.registry import Checker, ModuleContext, register
+
+#: The one module allowed to assign ``status`` directly.
+SANCTIONED_MODULE = "repro.incidents.lifecycle"
+
+#: SQL that sets a status column: ``UPDATE ... SET ... status =``.
+_SQL_STATUS_UPDATE = re.compile(
+    r"(?is)\bupdate\b.*\bset\b.*\bstatus\s*=",
+)
+
+_REMEDY = (
+    " — route the change through"
+    " repro.incidents.lifecycle.transition() so the edge is validated"
+    " and the audit trail appended"
+)
+
+
+def _module_uses_incidents(ctx: ModuleContext) -> bool:
+    if ctx.in_package(("repro.incidents",)):
+        return True
+    return any(
+        target == "repro.incidents"
+        or target.startswith("repro.incidents.")
+        for target in ctx.imports.aliases.values()
+    )
+
+
+@register
+class IncidentTransitionDiscipline(Checker):
+    """INC001 over status writes in incident-adjacent modules."""
+
+    rules = (
+        Rule(
+            "INC001",
+            "incident status written directly instead of through the"
+            " state-machine API",
+        ),
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module == SANCTIONED_MODULE:
+            return
+        if not _module_uses_incidents(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                if _SQL_STATUS_UPDATE.search(node.value):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "INC001",
+                        "SQL UPDATE sets the status column behind the"
+                        " state machine's back" + _REMEDY,
+                    )
+                continue
+            for target in targets:
+                yield from self._check_target(ctx, node, target)
+
+    def _check_target(
+        self, ctx: ModuleContext, node: ast.AST, target: ast.expr
+    ) -> Iterator[Finding]:
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "status"
+        ):
+            owner = ast.unparse(target.value)
+            yield self.finding(
+                ctx,
+                node,
+                "INC001",
+                f"direct write to {owner}.status bypasses the incident"
+                " state machine" + _REMEDY,
+            )
+        elif (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.slice, ast.Constant)
+            and target.slice.value == "status"
+        ):
+            owner = ast.unparse(target.value)
+            yield self.finding(
+                ctx,
+                node,
+                "INC001",
+                f'direct write to {owner}["status"] bypasses the'
+                " incident state machine" + _REMEDY,
+            )

@@ -1,0 +1,318 @@
+"""The incident state machine: the only sanctioned way to move status.
+
+An incident's lifecycle is ``open → investigating → resolved`` with a
+single legal loop back: ``resolved → open`` when the same problem
+location recurs inside the manager's reopen window. Every move is made
+through :func:`transition`, which validates the edge, stamps the
+stream-time instant, and appends an auditable :class:`Transition` to
+the record — the INC001 lint rule rejects any other write to a
+``status`` field or column, because a status that changed without a
+transition row is a lifecycle the operator cannot reconstruct.
+
+Everything here is stream-time and value-deterministic: records carry
+floats taken from window reports (never the wall clock), so the same
+report sequence always produces byte-identical lifecycles — the
+property the monitor's crash/resume contract extends to incidents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class IncidentStatus(enum.Enum):
+    """Lifecycle states, in escalation order."""
+
+    OPEN = "open"
+    INVESTIGATING = "investigating"
+    RESOLVED = "resolved"
+
+
+#: Legal state-machine edges. ``resolved → open`` is the reopen path;
+#: there is deliberately no way back from ``investigating`` to ``open``
+#: (de-escalation without resolution would erase the persistence
+#: signal severity scoring depends on).
+VALID_TRANSITIONS: dict[IncidentStatus, tuple[IncidentStatus, ...]] = {
+    IncidentStatus.OPEN: (
+        IncidentStatus.INVESTIGATING,
+        IncidentStatus.RESOLVED,
+    ),
+    IncidentStatus.INVESTIGATING: (IncidentStatus.RESOLVED,),
+    IncidentStatus.RESOLVED: (IncidentStatus.OPEN,),
+}
+
+#: Severity bands, keyed by the minimum score that earns them. The
+#: scorer below tops out at 9.0, so ``critical`` is reachable only by
+#: a top-ranked, wide, persistent incident.
+SEVERITY_BANDS: tuple[tuple[float, str], ...] = (
+    (7.0, "critical"),
+    (5.0, "high"),
+    (3.0, "medium"),
+    (0.0, "low"),
+)
+
+
+class TransitionError(ValueError):
+    """An illegal state-machine edge was requested."""
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One audited status change, stamped in stream time."""
+
+    at: float
+    from_status: Optional[str]
+    to_status: str
+    reason: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "at": self.at,
+            "from": self.from_status,
+            "to": self.to_status,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Transition":
+        return cls(
+            at=float(data["at"]),
+            from_status=data.get("from"),
+            to_status=str(data["to"]),
+            reason=str(data.get("reason", "")),
+        )
+
+
+#: A problem location as the manager keys it: the stem's bare values
+#: rendered to strings, so AS numbers, router names and prefix tokens
+#: all compare and serialize uniformly.
+StemKey = tuple[str, str]
+
+
+def stem_key(location: tuple[object, object]) -> StemKey:
+    """Normalize a :attr:`Component.location` value pair to a key."""
+    return (str(location[0]), str(location[1]))
+
+
+@dataclass(slots=True)
+class IncidentRecord:
+    """One managed incident: identity, lifecycle, evidence.
+
+    Mutable by design — the manager updates evidence fields every
+    window — but ``status`` is written only by :func:`transition`
+    (enforced statically by INC001). ``incident_id`` is assigned
+    sequentially at creation and survives merges, reopens, and
+    crash/resume, which is what makes the id citable in a ticket.
+    """
+
+    incident_id: int
+    stem: StemKey
+    #: Operator-readable rendering of the stem edge (``AS11423--AS209``);
+    #: the bare-value :attr:`stem` key stays the identity.
+    stem_label: str
+    status: IncidentStatus
+    incident_class: str
+    first_seen: float
+    last_seen: float
+    opened_at: float
+    resolved_at: Optional[float] = None
+    detected_window: int = 0
+    windows_observed: int = 1
+    peak_strength: int = 0
+    best_rank: int = 1
+    event_count: int = 0
+    severity: float = 0.0
+    severity_band: str = "low"
+    reopen_count: int = 0
+    prefixes: frozenset[str] = frozenset()
+    #: Distinct-but-correlated stems merged in via prefix overlap.
+    related_stems: tuple[StemKey, ...] = ()
+    transitions: list[Transition] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> bool:
+        return self.status is IncidentStatus.RESOLVED
+
+    def age(self, now: float) -> float:
+        """Seconds the incident has been live, as of stream time *now*."""
+        end = self.resolved_at if self.resolved else now
+        return max(0.0, (now if end is None else end) - self.opened_at)
+
+    @property
+    def time_to_resolve(self) -> Optional[float]:
+        """Seconds from first detection to resolution (None while live)."""
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.opened_at
+
+    def describe(self) -> str:
+        edge = self.stem_label or f"{self.stem[0]}--{self.stem[1]}"
+        extra = f" +{len(self.related_stems)} related" if self.related_stems else ""
+        reopened = f", reopened {self.reopen_count}x" if self.reopen_count else ""
+        return (
+            f"INC-{self.incident_id:04d} [{self.status.value:13}]"
+            f" {edge}{extra} — {self.severity_band}"
+            f" ({self.severity:.1f}), {self.windows_observed} window(s),"
+            f" {len(self.prefixes)} prefix(es){reopened}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "id": self.incident_id,
+            "stem": list(self.stem),
+            "stem_label": self.stem_label,
+            "status": self.status.value,
+            "class": self.incident_class,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "opened_at": self.opened_at,
+            "resolved_at": self.resolved_at,
+            "detected_window": self.detected_window,
+            "windows_observed": self.windows_observed,
+            "peak_strength": self.peak_strength,
+            "best_rank": self.best_rank,
+            "event_count": self.event_count,
+            "severity": self.severity,
+            "severity_band": self.severity_band,
+            "reopen_count": self.reopen_count,
+            "prefixes": sorted(self.prefixes),
+            "related_stems": [list(edge) for edge in self.related_stems],
+            "transitions": [t.to_dict() for t in self.transitions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IncidentRecord":
+        resolved_at = data.get("resolved_at")
+        return cls(
+            incident_id=int(data["id"]),
+            stem=(str(data["stem"][0]), str(data["stem"][1])),
+            stem_label=str(data.get("stem_label", "")),
+            status=IncidentStatus(data["status"]),
+            incident_class=str(data.get("class", "correlation")),
+            first_seen=float(data["first_seen"]),
+            last_seen=float(data["last_seen"]),
+            opened_at=float(data["opened_at"]),
+            resolved_at=None if resolved_at is None else float(resolved_at),
+            detected_window=int(data.get("detected_window", 0)),
+            windows_observed=int(data.get("windows_observed", 1)),
+            peak_strength=int(data.get("peak_strength", 0)),
+            best_rank=int(data.get("best_rank", 1)),
+            event_count=int(data.get("event_count", 0)),
+            severity=float(data.get("severity", 0.0)),
+            severity_band=str(data.get("severity_band", "low")),
+            reopen_count=int(data.get("reopen_count", 0)),
+            prefixes=frozenset(
+                str(p) for p in data.get("prefixes", ())
+            ),
+            related_stems=tuple(
+                (str(edge[0]), str(edge[1]))
+                for edge in data.get("related_stems", ())
+            ),
+            transitions=[
+                Transition.from_dict(t)
+                for t in data.get("transitions", ())
+            ],
+        )
+
+
+def open_incident(
+    incident_id: int,
+    stem: StemKey,
+    at: float,
+    *,
+    incident_class: str,
+    detected_window: int,
+    stem_label: str = "",
+    reason: str = "first observation",
+) -> IncidentRecord:
+    """Create a fresh incident in OPEN with its birth transition."""
+    record = IncidentRecord(
+        incident_id=incident_id,
+        stem=stem,
+        stem_label=stem_label,
+        status=IncidentStatus.OPEN,
+        incident_class=incident_class,
+        first_seen=at,
+        last_seen=at,
+        opened_at=at,
+        detected_window=detected_window,
+    )
+    record.transitions.append(
+        Transition(
+            at=at,
+            from_status=None,
+            to_status=IncidentStatus.OPEN.value,
+            reason=reason,
+        )
+    )
+    return record
+
+
+def transition(
+    record: IncidentRecord,
+    to_status: IncidentStatus,
+    at: float,
+    reason: str,
+) -> IncidentRecord:
+    """Move *record* along a legal state-machine edge.
+
+    The single sanctioned writer of ``IncidentRecord.status``. Raises
+    :class:`TransitionError` on an illegal edge; a resolved→open move
+    clears ``resolved_at`` and counts the reopen.
+    """
+    if to_status not in VALID_TRANSITIONS[record.status]:
+        raise TransitionError(
+            f"illegal transition {record.status.value!r} ->"
+            f" {to_status.value!r} for INC-{record.incident_id:04d}"
+        )
+    record.transitions.append(
+        Transition(
+            at=at,
+            from_status=record.status.value,
+            to_status=to_status.value,
+            reason=reason,
+        )
+    )
+    if to_status is IncidentStatus.RESOLVED:
+        record.resolved_at = at
+    elif record.status is IncidentStatus.RESOLVED:
+        # Reopen: the lifecycle restarts but identity and history stay.
+        record.resolved_at = None
+        record.reopen_count += 1
+    record.status = to_status
+    return record
+
+
+def severity_score(
+    best_rank: int,
+    prefix_count: int,
+    windows_observed: int,
+) -> float:
+    """Deterministic severity in [0, 9] from the ISSUE's three signals.
+
+    Stem rank (how dominant the correlation is), prefix-set size (blast
+    radius), and persistence across windows each contribute up to 3
+    points; the sum is banded by :func:`severity_band`. Pure integer
+    arithmetic so severity is bit-stable across platforms.
+    """
+    rank_score = max(0, 4 - best_rank) if best_rank >= 1 else 0
+    if prefix_count >= 64:
+        prefix_score = 3
+    elif prefix_count >= 16:
+        prefix_score = 2
+    elif prefix_count >= 4:
+        prefix_score = 1
+    else:
+        prefix_score = 0
+    persistence_score = min(3, max(0, windows_observed - 1))
+    return float(rank_score + prefix_score + persistence_score)
+
+
+def severity_band(score: float) -> str:
+    """Band label for a severity score (``low`` … ``critical``)."""
+    for threshold, band in SEVERITY_BANDS:
+        if score >= threshold:
+            return band
+    return "low"

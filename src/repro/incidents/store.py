@@ -1,0 +1,248 @@
+"""Persistent sqlite-backed incident store.
+
+The store is the durable face of the :class:`IncidentManager`: one
+``incidents.sqlite`` file next to the monitor's checkpoints, written in
+WAL mode so a reader (the ``repro incidents`` CLI, the CI smoke job)
+can inspect incidents while the monitor is live.
+
+Consistency model — the store is a *follower* of the checkpoint cycle,
+never an independent source of truth. Every checkpoint write is paired
+with one :meth:`IncidentStore.sync` call that replaces the full
+incident table in a single transaction and stamps ``reports_applied``
+with the checkpoint's ``reports_emitted``. On resume the monitor
+re-syncs the store from the restored manager state, which atomically
+reconciles away any rows a dead run wrote past its last checkpoint —
+the same truncate-and-replay contract the report log already follows.
+A full rewrite per checkpoint sounds heavy but the live incident set
+is small by construction (resolved incidents compact away), and it
+buys exact crash atomicity with zero diffing logic.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Optional
+
+from repro.incidents.lifecycle import IncidentRecord
+from repro.incidents.manager import IncidentManager
+
+#: Bump on any change to the table shapes below; the store refuses to
+#: open a file from a different schema generation.
+SCHEMA_VERSION = 1
+
+#: Canonical store filename inside a monitor checkpoint directory.
+INCIDENT_DB = "incidents.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS incidents (
+    id INTEGER PRIMARY KEY,
+    stem_left TEXT NOT NULL,
+    stem_right TEXT NOT NULL,
+    stem_label TEXT NOT NULL,
+    status TEXT NOT NULL,
+    incident_class TEXT NOT NULL,
+    first_seen REAL NOT NULL,
+    last_seen REAL NOT NULL,
+    opened_at REAL NOT NULL,
+    resolved_at REAL,
+    detected_window INTEGER NOT NULL,
+    windows_observed INTEGER NOT NULL,
+    peak_strength INTEGER NOT NULL,
+    best_rank INTEGER NOT NULL,
+    event_count INTEGER NOT NULL,
+    severity REAL NOT NULL,
+    severity_band TEXT NOT NULL,
+    reopen_count INTEGER NOT NULL,
+    prefixes TEXT NOT NULL,
+    related_stems TEXT NOT NULL,
+    transitions TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_incidents_status ON incidents (status);
+"""
+
+
+class IncidentStoreError(RuntimeError):
+    """The store file is unusable (schema mismatch, corruption)."""
+
+
+class IncidentStore:
+    """Durable mirror of an :class:`IncidentManager`'s state."""
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._check_schema()
+
+    def _check_schema(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise IncidentStoreError(
+                f"incident store {self.path} has schema v{row[0]},"
+                f" this build expects v{SCHEMA_VERSION}"
+            )
+
+    # -- write path -----------------------------------------------------
+
+    def sync(self, manager: IncidentManager, reports_applied: int) -> None:
+        """Atomically replace the table with *manager*'s current state.
+
+        Paired 1:1 with checkpoint writes; ``reports_applied`` records
+        which report-log position this snapshot corresponds to, so a
+        resume can detect (and re-sync away) rows from a dead run.
+        """
+        records = manager.all_incidents()
+        with self._conn:
+            self._conn.execute("DELETE FROM incidents")
+            self._conn.executemany(
+                "INSERT INTO incidents VALUES"
+                " (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                [_record_row(r) for r in records],
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("reports_applied", str(int(reports_applied))),
+            )
+
+    def compact(self, *, keep_resolved: int = 0) -> int:
+        """Drop all but the newest *keep_resolved* resolved incidents.
+
+        Returns the number of rows removed. Retention order is
+        deterministic: resolved incidents are dropped oldest
+        ``(resolved_at, id)`` first. Runs VACUUM so the file shrinks.
+        """
+        resolved = self._conn.execute(
+            "SELECT id FROM incidents WHERE status = 'resolved'"
+            " ORDER BY resolved_at DESC, id DESC"
+        ).fetchall()
+        victims = [row[0] for row in resolved[keep_resolved:]]
+        if victims:
+            with self._conn:
+                self._conn.executemany(
+                    "DELETE FROM incidents WHERE id = ?",
+                    [(v,) for v in victims],
+                )
+        self._conn.execute("VACUUM")
+        return len(victims)
+
+    # -- read path ------------------------------------------------------
+
+    def reports_applied(self) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'reports_applied'"
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def count(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM incidents"
+        ).fetchone()[0]
+
+    def counts_by_status(self) -> dict[str, int]:
+        return dict(
+            self._conn.execute(
+                "SELECT status, COUNT(*) FROM incidents"
+                " GROUP BY status ORDER BY status"
+            ).fetchall()
+        )
+
+    def rows(self) -> list[IncidentRecord]:
+        """All stored incidents as records, id order."""
+        rows = self._conn.execute(
+            "SELECT * FROM incidents ORDER BY id"
+        ).fetchall()
+        return [_row_record(row) for row in rows]
+
+    def row(self, incident_id: int) -> Optional[IncidentRecord]:
+        row = self._conn.execute(
+            "SELECT * FROM incidents WHERE id = ?", (incident_id,)
+        ).fetchone()
+        return None if row is None else _row_record(row)
+
+    def export_jsonl(self, path: Path | str) -> int:
+        """Write the store as the legacy JSONL export format."""
+        records = self.rows()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(record.to_dict(), sort_keys=True) + "\n"
+                )
+        return len(records)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "IncidentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _record_row(record: IncidentRecord) -> tuple:
+    return (
+        record.incident_id,
+        record.stem[0],
+        record.stem[1],
+        record.stem_label,
+        record.status.value,
+        record.incident_class,
+        record.first_seen,
+        record.last_seen,
+        record.opened_at,
+        record.resolved_at,
+        record.detected_window,
+        record.windows_observed,
+        record.peak_strength,
+        record.best_rank,
+        record.event_count,
+        record.severity,
+        record.severity_band,
+        record.reopen_count,
+        json.dumps(sorted(record.prefixes)),
+        json.dumps([list(edge) for edge in record.related_stems]),
+        json.dumps([t.to_dict() for t in record.transitions]),
+    )
+
+
+def _row_record(row: tuple) -> IncidentRecord:
+    return IncidentRecord.from_dict(
+        {
+            "id": row[0],
+            "stem": [row[1], row[2]],
+            "stem_label": row[3],
+            "status": row[4],
+            "class": row[5],
+            "first_seen": row[6],
+            "last_seen": row[7],
+            "opened_at": row[8],
+            "resolved_at": row[9],
+            "detected_window": row[10],
+            "windows_observed": row[11],
+            "peak_strength": row[12],
+            "best_rank": row[13],
+            "event_count": row[14],
+            "severity": row[15],
+            "severity_band": row[16],
+            "reopen_count": row[17],
+            "prefixes": json.loads(row[18]),
+            "related_stems": json.loads(row[19]),
+            "transitions": json.loads(row[20]),
+        }
+    )

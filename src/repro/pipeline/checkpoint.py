@@ -28,7 +28,8 @@ from pathlib import Path
 from typing import Optional
 
 #: Format version; bump on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: v2 added the ``incidents`` manager snapshot.
+CHECKPOINT_VERSION = 2
 
 CHECKPOINT_PREFIX = "checkpoint-"
 INCIDENT_LOG = "incidents.jsonl"
@@ -53,6 +54,8 @@ class CheckpointState:
     tamp: dict[str, object] = field(default_factory=dict)
     stats: dict[str, dict[str, int]] = field(default_factory=dict)
     ingest: Optional[dict[str, object]] = None
+    #: Incident manager snapshot (``IncidentManager.export_state``).
+    incidents: Optional[dict[str, object]] = None
     version: int = CHECKPOINT_VERSION
 
     def to_json(self) -> str:
@@ -66,6 +69,7 @@ class CheckpointState:
             "tamp": self.tamp,
             "stats": self.stats,
             "ingest": self.ingest,
+            "incidents": self.incidents,
         }
         return json.dumps(payload, sort_keys=True, indent=1)
 
@@ -93,6 +97,7 @@ class CheckpointState:
                 for name, counters in data.get("stats", {}).items()
             },
             ingest=data.get("ingest"),
+            incidents=data.get("incidents"),
             version=int(version),
         )
 

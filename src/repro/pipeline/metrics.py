@@ -178,7 +178,26 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
+        self._collectors: list[object] = []
         self._lock = threading.Lock()
+
+    def register_collector(self, collector: object) -> None:
+        """Attach a live collector rendered fresh at every scrape.
+
+        A collector computes its metrics from owned state at render
+        time (e.g. the incident exporter derives ages from the current
+        incident set) instead of pushing updates into the registry. It
+        must provide ``render_text() -> str`` and
+        ``to_snapshot() -> dict``; its output is appended to both
+        exposition surfaces.
+        """
+        for method in ("render_text", "to_snapshot"):
+            if not callable(getattr(collector, method, None)):
+                raise TypeError(
+                    f"collector {collector!r} lacks {method}()"
+                )
+        with self._lock:
+            self._collectors.append(collector)
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
@@ -224,18 +243,25 @@ class MetricsRegistry:
         """JSON-serializable view of every metric, sorted by name."""
         with self._lock:
             metrics = sorted(self._metrics.items())
-        return {name: metric.to_value() for name, metric in metrics}
+            collectors = list(self._collectors)
+        result = {name: metric.to_value() for name, metric in metrics}
+        for collector in collectors:
+            result.update(collector.to_snapshot())
+        return result
 
     def render_text(self) -> str:
         """Prometheus-style plain-text exposition."""
         with self._lock:
             metrics = sorted(self._metrics.items())
+            collectors = list(self._collectors)
         lines: list[str] = []
         for name, metric in metrics:
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")
             lines.extend(metric.render())
+        for collector in collectors:
+            lines.append(collector.render_text().rstrip("\n"))
         return "\n".join(lines) + "\n"
 
 

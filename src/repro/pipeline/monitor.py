@@ -8,11 +8,16 @@ the metrics registry current, and checkpoints at quiescent points.
 
 Determinism boundary — what resume restores bit-identically:
 everything that reaches the incident log (window fingerprints, ranked
-stems, TAMP annotations) and the pipeline/window/TAMP state behind it.
-What it deliberately does not restore: the incident *tracker* (its
-lifecycle state is an operator-facing live view, rebuilt from the
-reports that replay after resume) and the metrics registry (a resumed
-process is a new process; its counters say so).
+stems, TAMP annotations), the pipeline/window/TAMP state behind it,
+and the managed incident lifecycle (the
+:class:`~repro.incidents.manager.IncidentManager` snapshot rides in
+every checkpoint, and the sqlite store is re-synced from it on resume
+so a crash/resume run ends with byte-identical incident ids, states
+and timestamps). What it deliberately does not restore: the legacy
+incident *tracker* (its lifecycle state is an operator-facing live
+view, rebuilt from the reports that replay after resume) and the
+metrics registry (a resumed process is a new process; its counters
+say so).
 
 Crash semantics, used by the chaos tests: a
 :class:`~repro.testkit.crash.CrashPlan` fires *after* a batch is
@@ -29,6 +34,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional
 
+from repro.incidents.exporter import IncidentExporter
+from repro.incidents.manager import IncidentManager, IncidentPolicy
+from repro.incidents.store import INCIDENT_DB, IncidentStore
 from repro.mrt.ingest import IngestReport
 from repro.pipeline.checkpoint import (
     CheckpointError,
@@ -73,7 +81,21 @@ class MonitorConfig:
     checkpoint_every: int = 1
     keep_checkpoints: int = 3
     resolve_after: float = 600.0
+    correlation_window: float = 600.0
+    reopen_window: float = 900.0
+    investigate_after: int = 2
+    prefix_overlap: float = 0.5
     max_events: Optional[int] = None
+
+    def incident_policy(self) -> IncidentPolicy:
+        return IncidentPolicy(
+            resolve_after=self.resolve_after,
+            correlation_window=self.correlation_window,
+            reopen_window=self.reopen_window,
+            investigate_after=self.investigate_after,
+            prefix_overlap=self.prefix_overlap,
+            min_strength=self.min_strength,
+        )
 
     def describe(self) -> dict[str, object]:
         return {
@@ -84,6 +106,10 @@ class MonitorConfig:
             "policy": self.policy,
             "min_strength": self.min_strength,
             "max_components": self.max_components,
+            # Incident-lifecycle knobs are output-shaping too: the
+            # manager's state is checkpointed, so resuming under a
+            # different policy would grow different incidents.
+            "incidents": self.incident_policy().describe(),
         }
 
 
@@ -103,6 +129,8 @@ class MonitorResult:
     #: "end" (source exhausted, flushed) or "max_events" (hard stop).
     stopped: str
     tracker: IncidentTracker = field(default_factory=IncidentTracker)
+    #: The managed incident lifecycle built (or resumed) by this run.
+    incidents: IncidentManager = field(default_factory=IncidentManager)
 
     @property
     def report_dicts(self) -> list[dict[str, object]]:
@@ -122,10 +150,12 @@ def run_monitor(
     """Run the monitor until the source ends (or a stop/crash fires)."""
     registry = registry if registry is not None else MetricsRegistry()
     store: Optional[CheckpointStore] = None
+    incident_store: Optional[IncidentStore] = None
     if checkpoint_dir is not None:
         store = CheckpointStore(
             checkpoint_dir, keep=config.keep_checkpoints
         )
+        incident_store = IncidentStore(store.directory / INCIDENT_DB)
 
     window_stage = WindowedStemmer(
         config.window,
@@ -141,6 +171,8 @@ def run_monitor(
         policy=config.policy,
     )
     tracker = IncidentTracker(resolve_after=config.resolve_after)
+    manager = IncidentManager(policy=config.incident_policy())
+    registry.register_collector(IncidentExporter(manager))
 
     start_offset = 0
     reports_emitted = 0
@@ -155,6 +187,8 @@ def run_monitor(
             # so replay from the top — but wipe any incident-log lines
             # the dead run wrote, or the replay would duplicate them.
             store.truncate_reports(0)
+            if incident_store is not None:
+                incident_store.sync(manager, 0)
         else:
             state.matches(source.describe(), config.describe())
             window_stage.restore_state(
@@ -165,6 +199,13 @@ def run_monitor(
             start_offset = state.offset
             reports_emitted = state.reports_emitted
             store.truncate_reports(reports_emitted)
+            if state.incidents is not None:
+                manager.import_state(state.incidents)
+            if incident_store is not None:
+                # Reconcile: a dead run may have synced rows past this
+                # checkpoint; resetting to the snapshot mirrors the
+                # report-log truncation above.
+                incident_store.sync(manager, reports_emitted)
             if (
                 state.ingest is not None
                 and source.ingest_report is None
@@ -251,6 +292,7 @@ def run_monitor(
                     by_window={config.window: item.result},
                 )
             )
+            manager.ingest(item)
             if store is not None:
                 store.append_report(item.to_dict())
             if on_report is not None:
@@ -270,8 +312,11 @@ def run_monitor(
                 tamp=tamp_stage.export_state(),
                 stats=pipeline.stats(),
                 ingest=None if ingest is None else ingest.to_dict(),
+                incidents=manager.export_state(),
             )
         )
+        if incident_store is not None:
+            incident_store.sync(manager, reports_emitted)
         checkpoints_written += 1
         checkpoints_total.inc()
         last_checkpoint_clock = clock()
@@ -292,47 +337,55 @@ def run_monitor(
         batch_size=config.batch_size,
         start_offset=start_offset,
     )
-    for batch in batches:
-        pacer.wait_for(batch.events[-1].timestamp)
-        pumped_at = clock()
-        pipeline.feed(batch)
-        elapsed = clock() - pumped_at
-        offset = batch.end_offset
-        events_done += len(batch)
-        events_total.inc(len(batch))
-        batches_total.inc()
-        if crash_plan is not None:
-            # After the pump, before persisting outputs or
-            # checkpointing: the least convenient legal instant.
-            crash_plan.fire(events_done)
-        handle_outputs(elapsed)
-        dropped_now = sum(
-            s["dropped"] for s in pipeline.stats().values()
-        )
-        if dropped_now > prior_dropped:
-            dropped_total.inc(dropped_now - prior_dropped)
-            prior_dropped = dropped_now
-        if (
-            store is not None
-            and window_stage.window_index - last_checkpoint_window
-            >= config.checkpoint_every
-        ):
-            write_checkpoint()
-            last_checkpoint_window = window_stage.window_index
-        refresh_gauges()
-        if (
-            config.max_events is not None
-            and events_done >= config.max_events
-        ):
-            stopped = "max_events"
-            break
-    else:
-        flush_at = clock()
-        pipeline.flush()
-        handle_outputs(clock() - flush_at)
-        if store is not None:
-            write_checkpoint()
-        refresh_gauges()
+    try:
+        for batch in batches:
+            pacer.wait_for(batch.events[-1].timestamp)
+            pumped_at = clock()
+            pipeline.feed(batch)
+            elapsed = clock() - pumped_at
+            offset = batch.end_offset
+            events_done += len(batch)
+            events_total.inc(len(batch))
+            batches_total.inc()
+            if crash_plan is not None:
+                # After the pump, before persisting outputs or
+                # checkpointing: the least convenient legal instant.
+                crash_plan.fire(events_done)
+            handle_outputs(elapsed)
+            dropped_now = sum(
+                s["dropped"] for s in pipeline.stats().values()
+            )
+            if dropped_now > prior_dropped:
+                dropped_total.inc(dropped_now - prior_dropped)
+                prior_dropped = dropped_now
+            if (
+                store is not None
+                and window_stage.window_index - last_checkpoint_window
+                >= config.checkpoint_every
+            ):
+                write_checkpoint()
+                last_checkpoint_window = window_stage.window_index
+            refresh_gauges()
+            if (
+                config.max_events is not None
+                and events_done >= config.max_events
+            ):
+                stopped = "max_events"
+                break
+        else:
+            flush_at = clock()
+            pipeline.flush()
+            handle_outputs(clock() - flush_at)
+            # End of stream: every live incident is over by definition.
+            # Never done on a hard stop — a killed run leaves incidents
+            # live so the resume keeps growing them identically.
+            manager.finalize()
+            if store is not None:
+                write_checkpoint()
+            refresh_gauges()
+    finally:
+        if incident_store is not None:
+            incident_store.close()
 
     return MonitorResult(
         reports=run_reports,
@@ -342,4 +395,5 @@ def run_monitor(
         checkpoints_written=checkpoints_written,
         stopped=stopped,
         tracker=tracker,
+        incidents=manager,
     )

@@ -15,6 +15,15 @@ locations against the incident's ground-truth edges (DESIGN.md §12):
   (lowest) rank any true stem ever achieved and the fraction of
   windows where a true stem was ranked first / in the top *k*.
 
+Since the incident subsystem landed, the scorer also scores the
+*streaming* lifecycle (Moriano et al., arXiv:1905.05835, evaluate
+detection *delay* against labeled onsets, not just hit rates): the
+same window reports are folded through an
+:class:`~repro.incidents.manager.IncidentManager` and each scenario
+reports how many managed incidents matched the ground-truth stems
+(the merge rules should produce exactly one), the detection latency
+from labeled onset to the incident opening, and its time-to-resolve.
+
 :class:`Scorecard` aggregates incident scores into the JSON artifact
 (``bench_results/SCORE_scenarios.json``), and
 :func:`compare_scorecards` diffs a fresh scorecard against the
@@ -29,6 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.incidents.lifecycle import IncidentRecord, stem_key
+from repro.incidents.manager import IncidentManager, IncidentPolicy
 from repro.pipeline.runtime import Batch
 from repro.pipeline.windows import WindowedStemmer, WindowReport
 from repro.scenarios.labels import LabeledIncident, StemEdge
@@ -45,6 +56,13 @@ GATE_METRICS = (
     "topk_rate",
     "prefix_recall",
 )
+
+#: Lifecycle timings may drift this much (relative) plus a one-second
+#: absolute floor before the gate calls it a regression — they are
+#: stream-time quantities, so any real movement means the merge rules
+#: or window geometry changed, not the hardware.
+TIMING_RELATIVE_SLACK = 0.25
+TIMING_ABSOLUTE_SLACK = 1.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,6 +148,14 @@ class IncidentScore:
     #: components across scored windows.
     prefix_recall: float
     detected: bool
+    #: Managed incidents whose stem (or a merged related stem) matched
+    #: a true stem — the merge rules should yield exactly one.
+    incidents: int = 0
+    #: Stream-seconds from the labeled onset to the matched incident
+    #: opening (None when no incident matched).
+    detection_latency: Optional[float] = None
+    #: Stream-seconds the matched incident stayed open.
+    time_to_resolve: Optional[float] = None
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -147,6 +173,17 @@ class IncidentScore:
             "topk_rate": round(self.topk_rate, 6),
             "prefix_recall": round(self.prefix_recall, 6),
             "detected": self.detected,
+            "incidents": self.incidents,
+            "detection_latency": (
+                None
+                if self.detection_latency is None
+                else round(self.detection_latency, 6)
+            ),
+            "time_to_resolve": (
+                None
+                if self.time_to_resolve is None
+                else round(self.time_to_resolve, 6)
+            ),
         }
 
     @classmethod
@@ -167,7 +204,14 @@ class IncidentScore:
             topk_rate=float(data.get("topk_rate", 0.0)),
             prefix_recall=float(data.get("prefix_recall", 0.0)),
             detected=bool(data.get("detected", False)),
+            incidents=int(data.get("incidents", 0)),
+            detection_latency=_opt_float(data.get("detection_latency")),
+            time_to_resolve=_opt_float(data.get("time_to_resolve")),
         )
+
+
+def _opt_float(value: object) -> Optional[float]:
+    return None if value is None else float(value)
 
 
 def _zero_score(
@@ -189,6 +233,56 @@ def _zero_score(
         prefix_recall=0.0,
         detected=False,
     )
+
+
+def lifecycle_policy(window: float, min_strength: int = 2) -> IncidentPolicy:
+    """The scorer's incident policy, scaled to the window geometry.
+
+    ``resolve_after`` of two windows lets an incident survive one quiet
+    window without closing; the effectively unbounded reopen window
+    means a true stem recurring late in the scenario reopens its
+    original incident instead of fragmenting into a second one — which
+    is what "exactly one merged incident per scenario" requires.
+    """
+    return IncidentPolicy(
+        resolve_after=2.0 * window,
+        correlation_window=2.0 * window,
+        reopen_window=1e12,
+        investigate_after=2,
+        prefix_overlap=0.5,
+        min_strength=min_strength,
+    )
+
+
+def _score_lifecycle(
+    reports: Sequence[WindowReport],
+    incident: LabeledIncident,
+    policy: IncidentPolicy,
+) -> tuple[int, Optional[float], Optional[float]]:
+    """Fold reports through the incident manager, match ground truth.
+
+    Returns ``(matched incidents, detection latency, time to
+    resolve)``: an incident matches when its stem — or any stem merged
+    into it — equals a true stem; latency and time-to-resolve come
+    from the earliest-opened match.
+    """
+    manager = IncidentManager(policy=policy)
+    for report in reports:
+        manager.ingest(report)
+    manager.finalize()
+    truth = {stem_key(edge) for edge in incident.true_stems}
+
+    def matches(record: IncidentRecord) -> bool:
+        return record.stem in truth or any(
+            related in truth for related in record.related_stems
+        )
+
+    matched = [r for r in manager.all_incidents() if matches(r)]
+    if not matched:
+        return 0, None, None
+    first = min(matched, key=lambda r: (r.opened_at, r.incident_id))
+    latency = first.opened_at - incident.window.start
+    return len(matched), latency, first.time_to_resolve
 
 
 def score_incident(
@@ -256,6 +350,9 @@ def score_incident(
         if incident.affected_prefixes
         else 0.0
     )
+    matched_incidents, latency, time_to_resolve = _score_lifecycle(
+        reports, incident, lifecycle_policy(window, min_strength)
+    )
     return IncidentScore(
         scenario=incident.name,
         incident_class=incident.incident_class.value,
@@ -271,6 +368,9 @@ def score_incident(
         topk_rate=sum(1 for s in per_window if s.topk_hit) / count,
         prefix_recall=prefix_recall,
         detected=any(s.topk_hit for s in per_window),
+        incidents=matched_incidents,
+        detection_latency=latency,
+        time_to_resolve=time_to_resolve,
     )
 
 
@@ -280,7 +380,9 @@ class Scorecard:
 
     scores: dict[str, IncidentScore] = field(default_factory=dict)
     config: dict[str, object] = field(default_factory=dict)
-    schema: int = 1
+    #: v2 added the streaming-lifecycle columns (incidents,
+    #: detection_latency, time_to_resolve).
+    schema: int = 2
 
     def add(self, score: IncidentScore) -> None:
         self.scores[score.scenario] = score
@@ -397,7 +499,12 @@ def compare_scorecards(
     Returns ``(regressions, checks)`` in the ``bench_guard`` style: a
     [0, 1] metric regresses when it drops more than *tolerance* below
     baseline; ``best_rank`` regresses when the true stem's best rank
-    worsens by more than *rank_slack* (or vanishes). Scenarios present
+    worsens by more than *rank_slack* (or vanishes). The lifecycle
+    columns are gated too: the matched-incident count must equal the
+    baseline exactly (fragmenting one event into two incidents — or
+    merging two into one — is a merge-rule change, not noise), and
+    detection latency / time-to-resolve regress when they grow beyond
+    the relative+absolute timing slack or disappear. Scenarios present
     only in the fresh card are new coverage, never failures; scenarios
     missing from the fresh card fail outright.
     """
@@ -432,6 +539,30 @@ def compare_scorecards(
                     float(base.best_rank),
                 )
             )
+        checks += 1
+        if current.incidents != base.incidents:
+            regressions.append(
+                Regression(
+                    name,
+                    "incidents",
+                    float(current.incidents),
+                    float(base.incidents),
+                )
+            )
+        for metric in ("detection_latency", "time_to_resolve"):
+            checks += 1
+            base_value = getattr(base, metric)
+            if base_value is None:
+                continue
+            fresh_value = getattr(current, metric)
+            limit = (
+                base_value * (1.0 + TIMING_RELATIVE_SLACK)
+                + TIMING_ABSOLUTE_SLACK
+            )
+            if fresh_value is None or fresh_value > limit:
+                regressions.append(
+                    Regression(name, metric, fresh_value, base_value)
+                )
     return regressions, checks
 
 
@@ -451,9 +582,21 @@ def format_comparison(
             continue
         status = "REGRESSED" if name in bad_scenarios else "ok"
         rank = "-" if current.best_rank is None else str(current.best_rank)
+        latency = (
+            "-"
+            if current.detection_latency is None
+            else f"{current.detection_latency:.0f}s"
+        )
+        ttr = (
+            "-"
+            if current.time_to_resolve is None
+            else f"{current.time_to_resolve:.0f}s"
+        )
         lines.append(
             f"  {name:<24} f1={current.f1:.3f} (base {base.f1:.3f})"
-            f" recall={current.recall:.3f} rank={rank} {status}"
+            f" recall={current.recall:.3f} rank={rank}"
+            f" inc={current.incidents} latency={latency}"
+            f" ttr={ttr} {status}"
         )
         for scenario, metric in sorted(failed):
             if scenario != name or metric == "present":

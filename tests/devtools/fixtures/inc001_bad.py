@@ -1,0 +1,21 @@
+"""INC001 violations: status written behind the state machine's back."""
+
+import sqlite3
+
+from repro.incidents.lifecycle import IncidentRecord
+
+
+def force_resolve(record: IncidentRecord, at: float) -> None:
+    record.status = "resolved"
+    record.resolved_at = at
+
+
+def patch_row(row: dict) -> None:
+    row["status"] = "open"
+
+
+def close_in_db(conn: sqlite3.Connection, incident_id: int) -> None:
+    conn.execute(
+        "UPDATE incidents SET status = 'resolved' WHERE id = ?",
+        (incident_id,),
+    )

@@ -1,0 +1,23 @@
+"""INC001-clean: every status change rides the state-machine API."""
+
+from repro.incidents.lifecycle import (
+    IncidentRecord,
+    IncidentStatus,
+    transition,
+)
+
+
+def force_resolve(record: IncidentRecord, at: float) -> None:
+    transition(record, IncidentStatus.RESOLVED, at, "operator close")
+
+
+def describe(record: IncidentRecord) -> str:
+    # Reading status is fine; only writes need the API.
+    if record.status is IncidentStatus.RESOLVED:
+        return "done"
+    return record.status.value
+
+
+def count_resolved(rows: list[dict]) -> int:
+    # Reads of a status column/key are equally fine.
+    return sum(1 for row in rows if row["status"] == "resolved")

@@ -1,0 +1,12 @@
+"""INC001 violations carrying justified suppressions."""
+
+from repro.incidents.lifecycle import IncidentRecord
+
+
+def repair_corrupt_record(record: IncidentRecord) -> None:
+    # repro: allow[INC001] disaster-recovery script rebuilding a store
+    record.status = "open"
+
+
+def backfill(row: dict) -> None:
+    row["status"] = "resolved"  # repro: allow[INC001] fixture justification

@@ -151,6 +151,55 @@ class TestPipe001:
             assert findings == [], mod.__name__
 
 
+class TestInc001:
+    def test_bad_flags_attribute_subscript_and_sql_writes(self):
+        findings = analyze_fixture("inc001_bad.py")
+        assert rule_ids(findings) == ["INC001"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "record.status" in messages
+        assert 'row["status"]' in messages
+        assert "SQL UPDATE" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("inc001_ok.py") == []
+
+    def test_suppressions(self):
+        assert analyze_fixture("inc001_suppressed.py") == []
+
+    def test_rule_needs_an_incident_import_or_package(self):
+        # The same writes in a module that never touches
+        # repro.incidents are someone else's status field.
+        source = (
+            "def close(ticket):\n"
+            '    ticket.status = "resolved"\n'
+        )
+        assert analyze_source(source, path="x.py", module="fixture") == []
+        findings = analyze_source(
+            source, path="x.py", module="repro.incidents.tools"
+        )
+        assert rule_ids(findings) == ["INC001"]
+
+    def test_the_sanctioned_writer_is_exempt(self):
+        import repro.incidents.lifecycle as lifecycle
+
+        source = Path(lifecycle.__file__).read_text()
+        findings = analyze_source(
+            source, path=lifecycle.__file__, module=lifecycle.__name__
+        )
+        assert findings == []
+
+    def test_the_real_incident_modules_are_clean(self):
+        import repro.incidents.manager
+        import repro.incidents.store
+
+        for mod in (repro.incidents.manager, repro.incidents.store):
+            source = Path(mod.__file__).read_text()
+            findings = analyze_source(
+                source, path=mod.__file__, module=mod.__name__
+            )
+            assert findings == [], mod.__name__
+
+
 class TestMut001:
     def test_bad_flags_every_mutable_default(self):
         findings = analyze_fixture("mut001_bad.py")

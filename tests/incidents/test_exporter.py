@@ -1,0 +1,124 @@
+"""Exporter tests: scrape-time derivation and registry integration."""
+
+import pytest
+
+from repro.incidents import (
+    IncidentExporter,
+    IncidentManager,
+    IncidentPolicy,
+)
+from repro.pipeline import MetricsRegistry
+from tests.incidents.conftest import make_component, make_report
+
+
+def lived_in_manager() -> IncidentManager:
+    """One live (2 windows), one resolved, one reopened incident."""
+    m = IncidentManager(
+        policy=IncidentPolicy(resolve_after=300.0, reopen_window=900.0)
+    )
+    m.ingest(
+        make_report(
+            0, 120.0,
+            [
+                make_component(1, 65001, 65002, prefixes=("10.0.0.0/24",)),
+                make_component(2, 65003, 65004, prefixes=("10.1.0.0/24",)),
+            ],
+        )
+    )
+    # 65001 persists; 65003 goes quiet and resolves at 480.
+    m.ingest(make_report(6, 480.0, [make_component(1, 65001, 65002, prefixes=("10.0.0.0/24",))]))
+    # 65003 recurs inside the reopen window: resolved -> open again.
+    m.ingest(make_report(9, 660.0, [make_component(1, 65003, 65004, prefixes=("10.1.0.0/24",))]))
+    return m
+
+
+class TestSnapshot:
+    def test_counts_come_from_the_live_manager(self):
+        manager = lived_in_manager()
+        snapshot = IncidentExporter(manager).to_snapshot()
+        assert snapshot["repro_incidents_total"] == manager.counts_by_status()
+        assert snapshot["repro_incidents_created_total"] == 2
+        assert snapshot["repro_incidents_reopened_total"] == 1
+        # One resolve transition happened (later reopened) — lifetime
+        # counters count transitions, not current states.
+        assert snapshot["repro_incidents_resolved_total"] == 1
+        assert snapshot["repro_incidents_stream_time"] == 660.0
+
+    def test_age_histogram_covers_exactly_the_live_incidents(self):
+        manager = lived_in_manager()
+        snapshot = IncidentExporter(manager).to_snapshot()
+        live = [r for r in manager.all_incidents() if not r.resolved]
+        ages = snapshot["repro_incident_age_seconds"]
+        assert ages["count"] == len(live) == 2
+        # Ages measure against stream time (660), never the wall clock.
+        assert ages["sum"] == pytest.approx(
+            sum(660.0 - r.opened_at for r in live)
+        )
+
+    def test_ttr_histogram_covers_resolved_incidents(self):
+        manager = lived_in_manager()
+        manager.finalize()
+        snapshot = IncidentExporter(manager).to_snapshot()
+        ttr = snapshot["repro_incident_time_to_resolve_seconds"]
+        assert ttr["count"] == 2
+        assert snapshot["repro_incident_age_seconds"]["count"] == 0
+
+    def test_class_breakdown_matches_the_manager(self):
+        manager = lived_in_manager()
+        snapshot = IncidentExporter(manager).to_snapshot()
+        assert (
+            snapshot["repro_incidents_by_class"]
+            == manager.counts_by_class()
+        )
+
+    def test_an_empty_manager_exports_zeroes(self):
+        snapshot = IncidentExporter(IncidentManager()).to_snapshot()
+        assert snapshot["repro_incidents_created_total"] == 0
+        assert sum(snapshot["repro_incidents_total"].values()) == 0
+        assert snapshot["repro_incident_age_seconds"]["count"] == 0
+
+
+class TestExposition:
+    def test_render_text_is_prometheus_shaped(self):
+        text = IncidentExporter(lived_in_manager()).render_text()
+        assert '# TYPE repro_incidents_total gauge' in text
+        assert 'repro_incidents_total{status="open"}' in text
+        assert 'repro_incidents_total{status="investigating"}' in text
+        assert 'repro_incidents_total{status="resolved"}' in text
+        assert "repro_incidents_created_total 2" in text
+        assert "repro_incidents_reopened_total 1" in text
+        assert "# TYPE repro_incident_age_seconds histogram" in text
+        assert (
+            "# TYPE repro_incident_time_to_resolve_seconds histogram"
+            in text
+        )
+        assert "repro_incidents_stream_time 660" in text
+
+    def test_every_scrape_rederives_from_current_state(self):
+        manager = lived_in_manager()
+        exporter = IncidentExporter(manager)
+        before = exporter.render_text()
+        manager.finalize()
+        after = exporter.render_text()
+        assert before != after
+        assert 'repro_incidents_total{status="resolved"} 2' in after
+
+
+class TestRegistryIntegration:
+    def test_collector_rides_both_exposition_surfaces(self):
+        registry = MetricsRegistry()
+        events = registry.counter("repro_pipeline_events_total")
+        events.inc(5)
+        registry.register_collector(IncidentExporter(lived_in_manager()))
+        snapshot = registry.snapshot()
+        assert snapshot["repro_incidents_created_total"] == 2
+        text = registry.render_text()
+        assert "repro_incidents_total" in text
+        # Registered metrics keep rendering alongside the collector.
+        assert "repro_pipeline_events_total 5" in text
+        assert snapshot["repro_pipeline_events_total"] == 5
+
+    def test_collectors_must_quack(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TypeError):
+            registry.register_collector(object())

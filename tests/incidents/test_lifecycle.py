@@ -1,0 +1,176 @@
+"""State-machine unit tests: legality, reopen semantics, severity."""
+
+import pytest
+
+from repro.incidents.lifecycle import (
+    IncidentRecord,
+    IncidentStatus,
+    Transition,
+    TransitionError,
+    open_incident,
+    severity_band,
+    severity_score,
+    stem_key,
+    transition,
+)
+
+
+def fresh(incident_id: int = 1) -> IncidentRecord:
+    return open_incident(
+        incident_id,
+        ("65001", "65002"),
+        100.0,
+        incident_class="path-change",
+        detected_window=3,
+        stem_label="AS65001--AS65002",
+    )
+
+
+class TestTransitions:
+    def test_birth_is_open_with_an_audit_row(self):
+        record = fresh()
+        assert record.status is IncidentStatus.OPEN
+        assert record.opened_at == 100.0
+        assert len(record.transitions) == 1
+        birth = record.transitions[0]
+        assert birth.from_status is None
+        assert birth.to_status == "open"
+        assert birth.reason == "first observation"
+
+    def test_the_escalation_path(self):
+        record = fresh()
+        transition(record, IncidentStatus.INVESTIGATING, 160.0, "persisted")
+        assert record.status is IncidentStatus.INVESTIGATING
+        transition(record, IncidentStatus.RESOLVED, 700.0, "quiet")
+        assert record.resolved
+        assert record.resolved_at == 700.0
+        assert [t.to_status for t in record.transitions] == [
+            "open", "investigating", "resolved",
+        ]
+
+    def test_open_can_resolve_directly(self):
+        record = fresh()
+        transition(record, IncidentStatus.RESOLVED, 700.0, "quiet")
+        assert record.resolved
+
+    @pytest.mark.parametrize(
+        "path, bad",
+        [
+            ((), IncidentStatus.OPEN),  # open -> open
+            ((IncidentStatus.INVESTIGATING,), IncidentStatus.OPEN),
+            (
+                (IncidentStatus.INVESTIGATING,),
+                IncidentStatus.INVESTIGATING,
+            ),
+            (
+                (IncidentStatus.RESOLVED,),
+                IncidentStatus.INVESTIGATING,
+            ),
+            ((IncidentStatus.RESOLVED,), IncidentStatus.RESOLVED),
+        ],
+    )
+    def test_illegal_edges_raise(self, path, bad):
+        record = fresh()
+        for step in path:
+            transition(record, step, 200.0, "setup")
+        before = len(record.transitions)
+        with pytest.raises(TransitionError, match="illegal transition"):
+            transition(record, bad, 300.0, "nope")
+        # A refused edge must not leave a partial audit row behind.
+        assert len(record.transitions) == before
+
+    def test_reopen_clears_resolution_and_counts(self):
+        record = fresh()
+        transition(record, IncidentStatus.RESOLVED, 700.0, "quiet")
+        transition(record, IncidentStatus.OPEN, 900.0, "recurred")
+        assert record.status is IncidentStatus.OPEN
+        assert record.resolved_at is None
+        assert record.reopen_count == 1
+        assert record.time_to_resolve is None
+        transition(record, IncidentStatus.RESOLVED, 1000.0, "quiet")
+        transition(record, IncidentStatus.OPEN, 1100.0, "recurred")
+        assert record.reopen_count == 2
+
+
+class TestDerivedFields:
+    def test_age_tracks_stream_time_while_live(self):
+        record = fresh()
+        assert record.age(160.0) == 60.0
+        transition(record, IncidentStatus.RESOLVED, 400.0, "quiet")
+        # Frozen at resolution, whatever "now" the caller passes.
+        assert record.age(9999.0) == 300.0
+
+    def test_time_to_resolve(self):
+        record = fresh()
+        assert record.time_to_resolve is None
+        transition(record, IncidentStatus.RESOLVED, 850.0, "quiet")
+        assert record.time_to_resolve == 750.0
+
+    def test_describe_is_operator_readable(self):
+        record = fresh()
+        text = record.describe()
+        assert "INC-0001" in text
+        assert "AS65001--AS65002" in text
+        assert "open" in text
+
+    def test_describe_falls_back_to_bare_stem(self):
+        record = fresh()
+        record.stem_label = ""
+        assert "65001--65002" in record.describe()
+
+
+class TestSeverity:
+    def test_score_components_cap_at_three_each(self):
+        assert severity_score(1, 64, 4) == 9.0
+        assert severity_score(1, 1000, 100) == 9.0
+        assert severity_score(4, 1, 1) == 0.0
+
+    @pytest.mark.parametrize(
+        "rank, expected", [(1, 3), (2, 2), (3, 1), (4, 0), (9, 0), (0, 0)]
+    )
+    def test_rank_signal(self, rank, expected):
+        assert severity_score(rank, 1, 1) == expected
+
+    @pytest.mark.parametrize(
+        "prefixes, expected",
+        [(0, 0), (3, 0), (4, 1), (15, 1), (16, 2), (63, 2), (64, 3)],
+    )
+    def test_blast_radius_signal(self, prefixes, expected):
+        assert severity_score(4, prefixes, 1) == expected
+
+    @pytest.mark.parametrize(
+        "score, band",
+        [
+            (0.0, "low"), (2.9, "low"), (3.0, "medium"), (4.9, "medium"),
+            (5.0, "high"), (6.9, "high"), (7.0, "critical"),
+            (9.0, "critical"),
+        ],
+    )
+    def test_bands(self, score, band):
+        assert severity_band(score) == band
+
+
+class TestSerialization:
+    def test_record_round_trips_with_full_history(self):
+        record = fresh()
+        transition(record, IncidentStatus.INVESTIGATING, 160.0, "persisted")
+        transition(record, IncidentStatus.RESOLVED, 700.0, "quiet")
+        transition(record, IncidentStatus.OPEN, 800.0, "recurred")
+        record.prefixes = frozenset({"10.0.0.0/24", "10.0.1.0/24"})
+        record.related_stems = (("65003", "65004"),)
+        record.windows_observed = 5
+        record.severity = 6.0
+        record.severity_band = "high"
+        restored = IncidentRecord.from_dict(record.to_dict())
+        assert restored == record
+        assert restored.to_dict() == record.to_dict()
+
+    def test_transition_round_trip(self):
+        event = Transition(
+            at=5.0, from_status="open", to_status="resolved", reason="x"
+        )
+        assert Transition.from_dict(event.to_dict()) == event
+
+    def test_stem_key_normalizes_to_strings(self):
+        assert stem_key((65001, 65002)) == ("65001", "65002")
+        assert stem_key(("a", "b")) == ("a", "b")

@@ -126,6 +126,114 @@ class TestResumeAcceptance:
         assert log == baseline.report_dicts
 
 
+class TestIncidentResumeAcceptance:
+    """The incident-store extension of the bit-identity contract.
+
+    With the store enabled, crash/resume must rebuild the exact same
+    managed incidents — ids, lifecycle states, every timestamp — as an
+    uninterrupted run, and the sqlite mirror must reconcile to the
+    same rows however many times the monitor dies.
+    """
+
+    def store_rows(self, checkpoint_dir):
+        from repro.incidents import INCIDENT_DB, IncidentStore
+
+        with IncidentStore(checkpoint_dir / INCIDENT_DB) as store:
+            return (
+                [r.to_dict() for r in store.rows()],
+                store.reports_applied(),
+            )
+
+    def test_crash_resume_is_bit_identical_for_incidents(
+        self, sliding_config, tmp_path
+    ):
+        clean_dir = tmp_path / "clean"
+        crash_dir = tmp_path / "crash"
+        clean_dir.mkdir()
+        crash_dir.mkdir()
+
+        baseline = run_monitor(
+            small_source(), sliding_config, checkpoint_dir=clean_dir
+        )
+        resumed, _ = crash_and_resume(
+            sliding_config, crash_dir, after_events=800
+        )
+
+        base_state = baseline.incidents.export_state()
+        resumed_state = resumed.incidents.export_state()
+        assert resumed_state == base_state  # ids, states, timestamps
+        assert base_state["incidents"]  # the feed must produce some
+
+        base_rows, base_applied = self.store_rows(clean_dir)
+        crash_rows, crash_applied = self.store_rows(crash_dir)
+        assert crash_rows == base_rows
+        assert crash_applied == base_applied
+
+    def test_incidents_resolve_at_end_of_stream(self, sliding_config):
+        result = run_monitor(small_source(), sliding_config)
+        records = result.incidents.all_incidents()
+        assert records
+        assert all(r.resolved for r in records)
+        assert any(
+            r.transitions[-1].reason == "end of stream" for r in records
+        )
+
+    def test_max_events_stop_leaves_incidents_live(
+        self, sliding_config, tmp_path
+    ):
+        # A hard stop is not end-of-stream: finalize() must not run,
+        # or the resumed run would diverge from the uninterrupted one.
+        partial = run_monitor(
+            small_source(),
+            dataclasses.replace(sliding_config, max_events=800),
+            checkpoint_dir=tmp_path,
+        )
+        assert partial.stopped == "max_events"
+        assert any(
+            not r.resolved for r in partial.incidents.all_incidents()
+        )
+
+    def test_double_crash_reconciles_the_store(
+        self, sliding_config, tmp_path
+    ):
+        # Regression: rows written between the last checkpoint and a
+        # crash must be reconciled away on *every* resume, including a
+        # resume that itself crashes before the next checkpoint.
+        clean_dir = tmp_path / "clean"
+        crash_dir = tmp_path / "crash"
+        clean_dir.mkdir()
+        crash_dir.mkdir()
+
+        baseline = run_monitor(
+            small_source(), sliding_config, checkpoint_dir=clean_dir
+        )
+
+        with pytest.raises(InjectedCrash):
+            run_monitor(
+                small_source(), sliding_config, checkpoint_dir=crash_dir,
+                crash_plan=CrashPlan(after_events=500),
+            )
+        with pytest.raises(InjectedCrash):
+            run_monitor(
+                small_source(), sliding_config, checkpoint_dir=crash_dir,
+                resume=True, crash_plan=CrashPlan(after_events=400),
+            )
+        result = run_monitor(
+            small_source(), sliding_config, checkpoint_dir=crash_dir,
+            resume=True,
+        )
+
+        base_rows, base_applied = self.store_rows(clean_dir)
+        crash_rows, crash_applied = self.store_rows(crash_dir)
+        assert len(crash_rows) == len(base_rows)  # no ghost rows
+        assert crash_rows == base_rows
+        assert crash_applied == base_applied
+        assert (
+            result.incidents.export_state()
+            == baseline.incidents.export_state()
+        )
+
+
 class TestResumeRefusals:
     def test_resume_needs_a_checkpoint_dir(self, sliding_config):
         with pytest.raises(CheckpointError, match="checkpoint directory"):

@@ -61,9 +61,27 @@ def test_baseline_detects_everything(baseline):
     assert undetected == []
 
 
+def test_baseline_has_one_merged_incident_per_scenario(baseline):
+    """The lifecycle acceptance bar: every labeled scenario coalesces
+    into exactly one managed incident, with its timing recorded."""
+    for name, score in sorted(baseline.scores.items()):
+        assert score.incidents == 1, (
+            f"{name}: expected exactly one merged incident,"
+            f" baseline has {score.incidents}"
+        )
+        assert score.detection_latency is not None, (
+            f"{name}: baseline lacks a detection latency"
+        )
+        assert score.time_to_resolve is not None, (
+            f"{name}: baseline lacks a time-to-resolve"
+        )
+
+
 def test_no_detection_regressions(fresh, baseline):
     regressions, checks = compare_scorecards(fresh, baseline)
-    assert checks >= 7 * len(baseline.scores)
+    # 6 [0,1] metrics + best_rank + incidents + 2 lifecycle timings
+    # per baseline scenario.
+    assert checks >= 10 * len(baseline.scores)
     assert not regressions, "\n" + format_comparison(
         fresh, baseline, regressions
     )
