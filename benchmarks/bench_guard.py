@@ -42,6 +42,11 @@ MEASUREMENT_KEYS = frozenset(
         "naive_seconds",
         "object_seconds",
         "per_event_seconds",
+        "requests_per_s",
+        "events_per_s",
+        "requests_served",
+        "renders",
+        "bit_identical",
     }
 )
 

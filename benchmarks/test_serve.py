@@ -1,0 +1,252 @@
+"""Serve-path benchmarks: the ≥10k req/s cached read path.
+
+Three rows land in ``bench_results/BENCH_serve.json``:
+
+* cached-picture read throughput — pipelined keep-alive clients
+  hammering ``/picture.svg`` with ``If-None-Match``; every response
+  after the warm-up is a precomputed 304 and the renderer never runs
+  again (the tentpole target: ≥10k requests/s on one core at full
+  scale);
+* feed-while-serving — the cooperative loop pumping a sharded
+  pipeline at full speed while a client polls the picture, showing
+  event throughput holds (≥2,450 events/s at full scale, the
+  BENCH_pipeline bar) with the read path attached;
+* fan-in bit-identity — the 2-shard merged picture byte-equals the
+  unsharded run (recorded as a flag, not a timing).
+"""
+
+import asyncio
+import time
+
+from benchmarks.conftest import SCALE, record_row, scaled
+from repro.pipeline import MonitorConfig, SyntheticSource
+from repro.serve import ServeApp, ShardSet, SnapshotHub, TransitionFeed
+
+#: Concurrent keep-alive client connections for the read benchmark.
+CLIENTS = 4
+
+#: Conditional GETs written per burst before reading responses back.
+PIPELINE_DEPTH = 100
+
+
+def serve_config() -> MonitorConfig:
+    return MonitorConfig(window=120.0, slide=60.0, batch_size=256)
+
+
+def fed_shard_set(n_events: int, seed: int, shards: int) -> ShardSet:
+    source = SyntheticSource(n_events, 1200.0, seed=seed)
+    shard_set = ShardSet(
+        SyntheticSource(n_events, 1200.0, seed=seed),
+        serve_config(),
+        shards=shards,
+    )
+    for event in source.events():
+        shard_set.offer(event)
+    shard_set.finish()
+    return shard_set
+
+
+async def pipelined_reads(
+    port: int, etag: str, total: int
+) -> int:
+    """One connection issuing conditional GETs in pipelined bursts."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    request = (
+        "GET /picture.svg HTTP/1.1\r\nHost: bench\r\n"
+        f"If-None-Match: {etag}\r\n\r\n"
+    ).encode("latin-1")
+    done = 0
+    hits = 0
+    while done < total:
+        burst = min(PIPELINE_DEPTH, total - done)
+        writer.write(request * burst)
+        await writer.drain()
+        for _ in range(burst):
+            head = await reader.readuntil(b"\r\n\r\n")
+            if head.startswith(b"HTTP/1.1 304"):
+                hits += 1
+        done += burst
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except OSError:
+        pass
+    return hits
+
+
+def test_cached_picture_read_throughput(benchmark):
+    """The tentpole number: cached 304s at wire speed, renderer idle."""
+    n_requests = scaled(40_000)
+    shard_set = fed_shard_set(scaled(8_000), seed=11, shards=2)
+    hub = SnapshotHub(shard_set)
+    app = ServeApp(hub, TransitionFeed())
+    measured: dict[str, float] = {}
+
+    async def drive() -> None:
+        port = await app.start()
+        snap = await hub.snapshot()  # warm: the one and only render
+        per_client = n_requests // CLIENTS
+        t0 = time.perf_counter()
+        hits = await asyncio.gather(
+            *(
+                pipelined_reads(port, snap.etag, per_client)
+                for _ in range(CLIENTS)
+            )
+        )
+        measured["elapsed"] = time.perf_counter() - t0
+        measured["requests"] = CLIENTS * per_client
+        measured["hits"] = sum(hits)
+        await app.close()
+
+    benchmark.pedantic(lambda: asyncio.run(drive()), rounds=1, iterations=1)
+    requests_per_s = measured["requests"] / measured["elapsed"]
+    assert measured["hits"] == measured["requests"]  # all served 304
+    assert hub.renders == 1  # render-once/serve-many held
+    if SCALE >= 1.0:
+        assert requests_per_s >= 10_000
+    shard_set.close()
+    record_row(
+        "serve",
+        f"cached reads: requests={int(measured['requests']):>7}"
+        f"  clients={CLIENTS}  elapsed={measured['elapsed']:>6.2f}s"
+        f"  req/s={requests_per_s:>9.0f}  renders={hub.renders}",
+        data={
+            "bench": "cached_reads",
+            "requests": int(measured["requests"]),
+            "clients": CLIENTS,
+            "shards": 2,
+            "measured_seconds": measured["elapsed"],
+            "requests_per_s": requests_per_s,
+            "renders": hub.renders,
+        },
+    )
+
+
+def test_feed_while_serving(benchmark):
+    """Event throughput with the read path attached and polling."""
+    n_events = scaled(40_000)
+    config = serve_config()
+    measured: dict[str, float] = {}
+
+    async def drive() -> None:
+        source = SyntheticSource(n_events, 3600.0, seed=12)
+        shard_set = ShardSet(
+            SyntheticSource(n_events, 3600.0, seed=12),
+            config,
+            shards=2,
+        )
+        hub = SnapshotHub(shard_set)
+        feed = TransitionFeed()
+        app = ServeApp(hub, feed)
+        port = await app.start()
+        stop = False
+        served = 0
+
+        async def poll() -> None:
+            nonlocal served
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            etag = '""'
+            while not stop:
+                writer.write(
+                    (
+                        "GET /picture.svg HTTP/1.1\r\nHost: bench\r\n"
+                        f"If-None-Match: {etag}\r\n\r\n"
+                    ).encode("latin-1")
+                )
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                if not head.startswith(b"HTTP/1.1 304"):
+                    headers = dict(
+                        line.split(": ", 1)
+                        for line in head.decode("latin-1").split(
+                            "\r\n"
+                        )[1:]
+                        if ": " in line
+                    )
+                    await reader.readexactly(
+                        int(headers["Content-Length"])
+                    )
+                    etag = headers["ETag"]
+                served += 1
+                await asyncio.sleep(0.002)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+        poller = asyncio.create_task(poll())
+        t0 = time.perf_counter()
+        since_yield = 0
+        for event in source.events():
+            entries = shard_set.offer(event)
+            if entries:
+                feed.publish_all(entries)
+            since_yield += 1
+            if since_yield >= config.batch_size:
+                since_yield = 0
+                await asyncio.sleep(0)
+        feed.publish_all(shard_set.finish())
+        measured["elapsed"] = time.perf_counter() - t0
+        stop = True
+        await poller
+        measured["served"] = served
+        measured["renders"] = hub.renders
+        measured["published"] = feed.published
+        feed.close()
+        await app.close()
+        shard_set.close()
+
+    benchmark.pedantic(lambda: asyncio.run(drive()), rounds=1, iterations=1)
+    events_per_s = n_events / measured["elapsed"]
+    assert measured["served"] > 0  # requests really interleaved
+    if SCALE >= 1.0:
+        assert events_per_s >= 2_450
+    record_row(
+        "serve",
+        f"feed+serve: events={n_events:>7}"
+        f"  elapsed={measured['elapsed']:>6.2f}s"
+        f"  events/s={events_per_s:>8.0f}"
+        f"  polls={int(measured['served']):>6}"
+        f"  renders={int(measured['renders']):>3}"
+        f"  sse={int(measured['published']):>5}",
+        data={
+            "bench": "feed_while_serving",
+            "events": n_events,
+            "shards": 2,
+            "measured_seconds": measured["elapsed"],
+            "events_per_s": events_per_s,
+            "requests_served": measured["served"],
+            "renders": measured["renders"],
+            "sse_published": measured["published"],
+        },
+    )
+
+
+def test_sharded_read_path_bit_identity(benchmark):
+    """The fan-in acceptance bar, recorded next to the timings."""
+    n_events = scaled(6_000)
+    bodies = {}
+
+    def build() -> None:
+        for shards in (1, 2):
+            shard_set = fed_shard_set(n_events, seed=13, shards=shards)
+            bodies[shards] = SnapshotHub(shard_set).render().body
+            shard_set.close()
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    identical = bodies[1] == bodies[2]
+    assert identical
+    record_row(
+        "serve",
+        f"bit-identity: events={n_events:>7}  shards 2 vs 1: "
+        + ("byte-identical" if identical else "MISMATCH"),
+        data={
+            "bench": "bit_identity",
+            "events": n_events,
+            "bit_identical": identical,
+            "svg_bytes": len(bodies[1]),
+        },
+    )

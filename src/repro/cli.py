@@ -20,6 +20,12 @@ The operator subcommands cover the workflows the paper describes:
   (``--synthetic N``) or quarantine file (``--from-quarantine``),
   with checkpoints (``--checkpoint-dir``/``--resume``), wall-clock
   pacing (``--pace``) and live metrics (``--metrics-port``).
+* ``repro serve [EVENTS]`` — the multi-tenant read path
+  (:mod:`repro.serve`): the same pipeline sharded by peer
+  (``--shards N``) behind an asyncio HTTP port serving the cached
+  TAMP picture (``/picture.svg``, ETag/304), incident feeds
+  (``/incidents`` JSON, ``/events`` SSE), and the metrics exposition
+  — render once per window, serve thousands of times.
 
 Two developer subcommands guard the codebase itself:
 
@@ -104,6 +110,105 @@ def _run_profiled(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return status
+
+
+def _add_stream_options(parser: argparse.ArgumentParser) -> None:
+    """The source/window/checkpoint flags `monitor` and `serve` share.
+
+    Both subcommands drive the same pipeline over the same sources;
+    keeping one flag set means a monitor invocation can be replayed
+    under `serve` (and resumed from the same checkpoints) verbatim.
+    """
+    parser.add_argument(
+        "events", type=Path, nargs="?", default=None,
+        help="event archive to replay (JSONL or MRT by extension);"
+             " omit when using --synthetic or --from-quarantine",
+    )
+    parser.add_argument(
+        "--synthetic", type=int, default=None, metavar="N",
+        help="monitor a deterministic synthetic feed of N events",
+    )
+    parser.add_argument(
+        "--synthetic-timerange", type=float, default=3600.0,
+        metavar="SECONDS",
+        help="archive timespan of the synthetic feed (default 3600)",
+    )
+    parser.add_argument(
+        "--synthetic-seed", type=int, default=31,
+        help="seed for the synthetic feed (default 31)",
+    )
+    parser.add_argument(
+        "--from-quarantine", action="store_true",
+        help="treat EVENTS as a quarantine JSONL written by a previous"
+             " ingest and replay the records that now decode",
+    )
+    parser.add_argument(
+        "--window", type=float, default=300.0, metavar="SECONDS",
+        help="analysis window length (default 300)",
+    )
+    parser.add_argument(
+        "--slide", type=float, default=None, metavar="SECONDS",
+        help="window slide; defaults to the window length (tumbling)",
+    )
+    parser.add_argument(
+        "--pace", type=float, default=0.0, metavar="FACTOR",
+        help="replay speed-up vs archive time: 1 = real time, 60 ="
+             " a minute per second, 0 = as fast as possible (default)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", type=Path, default=None, metavar="DIR",
+        help="write periodic checkpoints and the incident log here",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="WINDOWS",
+        help="windows between checkpoints (default 1)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=64,
+        help="bounded queue capacity per pipeline stage (default 64)",
+    )
+    parser.add_argument(
+        "--queue-policy", choices=("block", "drop"), default="block",
+        help="backpressure policy when a queue fills (default block)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=256,
+        help="events per pipeline batch (default 256)",
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=None,
+        help="hard-stop after this many events without flushing or"
+             " checkpointing (simulates a kill; resume later)",
+    )
+    parser.add_argument(
+        "--min-strength", type=int, default=2,
+        help="minimum correlation strength for a component (default 2)",
+    )
+    parser.add_argument(
+        "--components", type=int, default=16,
+        help="maximum components per window (default 16)",
+    )
+    parser.add_argument(
+        "--resolve-after", type=float, default=600.0, metavar="SECONDS",
+        help="stream-seconds of quiet before an incident resolves"
+             " (default 600)",
+    )
+    parser.add_argument(
+        "--correlation-window", type=float, default=600.0,
+        metavar="SECONDS",
+        help="max stream-time gap for merging a new stem into a live"
+             " incident by prefix overlap (default 600)",
+    )
+    parser.add_argument(
+        "--reopen-window", type=float, default=900.0, metavar="SECONDS",
+        help="a stem recurring within this many seconds of resolution"
+             " reopens its incident instead of opening a new one"
+             " (default 900)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,54 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
         "monitor", parents=[workers_opt, profile_opt, ingest_opt],
         help="run the streaming pipeline as a long-lived monitor",
     )
-    monitor.add_argument(
-        "events", type=Path, nargs="?", default=None,
-        help="event archive to replay (JSONL or MRT by extension);"
-             " omit when using --synthetic or --from-quarantine",
-    )
-    monitor.add_argument(
-        "--synthetic", type=int, default=None, metavar="N",
-        help="monitor a deterministic synthetic feed of N events",
-    )
-    monitor.add_argument(
-        "--synthetic-timerange", type=float, default=3600.0,
-        metavar="SECONDS",
-        help="archive timespan of the synthetic feed (default 3600)",
-    )
-    monitor.add_argument(
-        "--synthetic-seed", type=int, default=31,
-        help="seed for the synthetic feed (default 31)",
-    )
-    monitor.add_argument(
-        "--from-quarantine", action="store_true",
-        help="treat EVENTS as a quarantine JSONL written by a previous"
-             " ingest and replay the records that now decode",
-    )
-    monitor.add_argument(
-        "--window", type=float, default=300.0, metavar="SECONDS",
-        help="analysis window length (default 300)",
-    )
-    monitor.add_argument(
-        "--slide", type=float, default=None, metavar="SECONDS",
-        help="window slide; defaults to the window length (tumbling)",
-    )
-    monitor.add_argument(
-        "--pace", type=float, default=0.0, metavar="FACTOR",
-        help="replay speed-up vs archive time: 1 = real time, 60 ="
-             " a minute per second, 0 = as fast as possible (default)",
-    )
-    monitor.add_argument(
-        "--checkpoint-dir", type=Path, default=None, metavar="DIR",
-        help="write periodic checkpoints and the incident log here",
-    )
-    monitor.add_argument(
-        "--checkpoint-every", type=int, default=1, metavar="WINDOWS",
-        help="windows between checkpoints (default 1)",
-    )
-    monitor.add_argument(
-        "--resume", action="store_true",
-        help="resume from the latest checkpoint in --checkpoint-dir",
-    )
+    _add_stream_options(monitor)
     monitor.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
         help="serve /metrics (text) and /metrics.json on this port"
@@ -273,49 +331,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", type=Path, default=None, metavar="FILE",
         help="write the final metrics snapshot as JSON",
     )
-    monitor.add_argument(
-        "--max-queue", type=int, default=64,
-        help="bounded queue capacity per pipeline stage (default 64)",
-    )
-    monitor.add_argument(
-        "--queue-policy", choices=("block", "drop"), default="block",
-        help="backpressure policy when a queue fills (default block)",
-    )
-    monitor.add_argument(
-        "--batch-size", type=int, default=256,
-        help="events per pipeline batch (default 256)",
-    )
-    monitor.add_argument(
-        "--max-events", type=int, default=None,
-        help="hard-stop after this many events without flushing or"
-             " checkpointing (simulates a kill; resume later)",
-    )
-    monitor.add_argument(
-        "--min-strength", type=int, default=2,
-        help="minimum correlation strength for a component (default 2)",
-    )
-    monitor.add_argument(
-        "--components", type=int, default=16,
-        help="maximum components per window (default 16)",
-    )
-    monitor.add_argument(
-        "--resolve-after", type=float, default=600.0, metavar="SECONDS",
-        help="stream-seconds of quiet before an incident resolves"
-             " (default 600)",
-    )
-    monitor.add_argument(
-        "--correlation-window", type=float, default=600.0,
-        metavar="SECONDS",
-        help="max stream-time gap for merging a new stem into a live"
-             " incident by prefix overlap (default 600)",
-    )
-    monitor.add_argument(
-        "--reopen-window", type=float, default=900.0, metavar="SECONDS",
-        help="a stem recurring within this many seconds of resolution"
-             " reopens its incident instead of opening a new one"
-             " (default 900)",
-    )
     monitor.set_defaults(handler=cmd_monitor)
+
+    serve = sub.add_parser(
+        "serve", parents=[workers_opt, profile_opt, ingest_opt],
+        help="run sharded monitor pipelines behind an HTTP read path:"
+             " cached TAMP picture, incident feeds (JSON + SSE), and"
+             " metrics on one port",
+    )
+    _add_stream_options(serve)
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="pipeline shards, partitioned by peer (default 1); the"
+             " merged picture is bit-identical to an unsharded run",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="HTTP port (default 8080; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--threshold", type=float, default=0.05, metavar="FRACTION",
+        help="picture prune threshold (default 0.05)",
+    )
+    serve.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep serving this long after the stream ends (default 0)",
+    )
+    serve.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write the final metrics snapshot as JSON",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     incidents = sub.add_parser(
         "incidents",
@@ -648,28 +698,12 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     from repro.pipeline import (
         MetricsRegistry,
         MetricsServer,
-        MonitorConfig,
         run_monitor,
     )
     from repro.pipeline.windows import WindowReport
 
     source = _monitor_source(args)
-    config = MonitorConfig(
-        window=args.window,
-        slide=args.slide,
-        batch_size=args.batch_size,
-        max_queue=args.max_queue,
-        policy=args.queue_policy,
-        min_strength=args.min_strength,
-        max_components=args.components,
-        workers=args.workers,
-        pace=args.pace,
-        checkpoint_every=args.checkpoint_every,
-        resolve_after=args.resolve_after,
-        correlation_window=args.correlation_window,
-        reopen_window=args.reopen_window,
-        max_events=args.max_events,
-    )
+    config = _monitor_config(args)
     registry = MetricsRegistry()
     server = None
     if args.metrics_port is not None:
@@ -731,6 +765,77 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             f"incident store: {args.checkpoint_dir}/incidents.sqlite"
             " (inspect with `repro incidents`)"
         )
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(
+            json.dumps(registry.snapshot(), sort_keys=True, indent=1)
+            + "\n"
+        )
+        print(f"metrics snapshot written to {args.metrics_out}")
+    return 0
+
+
+def _monitor_config(args: argparse.Namespace):
+    from repro.pipeline import MonitorConfig
+
+    return MonitorConfig(
+        window=args.window,
+        slide=args.slide,
+        batch_size=args.batch_size,
+        max_queue=args.max_queue,
+        policy=args.queue_policy,
+        min_strength=args.min_strength,
+        max_components=args.components,
+        workers=args.workers,
+        pace=args.pace,
+        checkpoint_every=args.checkpoint_every,
+        resolve_after=args.resolve_after,
+        correlation_window=args.correlation_window,
+        reopen_window=args.reopen_window,
+        max_events=args.max_events,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.pipeline import MetricsRegistry
+    from repro.serve import ServeApp, run_serve
+
+    if args.shards < 1:
+        raise ValueError("--shards must be at least 1")
+    source = _monitor_source(args)
+    config = _monitor_config(args)
+    registry = MetricsRegistry()
+
+    def started(app: ServeApp) -> None:
+        print(
+            f"serving on http://{args.host}:{app.server.port}/ —"
+            " picture.svg, incidents, events (SSE), metrics, status",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    result = asyncio.run(
+        run_serve(
+            source,
+            config,
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            checkpoint_root=args.checkpoint_dir,
+            resume=args.resume,
+            threshold=args.threshold,
+            registry=registry,
+            linger=args.linger,
+            on_started=started,
+        )
+    )
+    print(
+        f"serve stopped ({result.stopped}): {result.events} events,"
+        f" {result.renders} render(s),"
+        f" {result.published} transition event(s) published"
+    )
     if args.metrics_out is not None:
         args.metrics_out.write_text(
             json.dumps(registry.snapshot(), sort_keys=True, indent=1)

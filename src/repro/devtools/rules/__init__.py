@@ -20,6 +20,9 @@ Rule families map to the invariants the repo actually depends on:
 * :mod:`repro.devtools.rules.incidents` — INC001 (incident status
   changes must go through the lifecycle state-machine API, never
   direct field/column writes);
+* :mod:`repro.devtools.rules.serve` — SRV001 (serve-layer HTTP
+  handlers must read through the snapshot surface, never the
+  ``live_``-prefixed pipeline state the sharding layer owns);
 * :mod:`repro.devtools.rules.interning` — INT001 (TAMP hot paths must
   keep edge stores on packed int ids, not object sets/token tuples),
   INT002 (no decode calls inside id-space hot functions);
@@ -41,6 +44,7 @@ from repro.devtools.rules import (
     mutation,
     pipeline,
     pool,
+    serve,
     taint,
     testkit,
 )
@@ -53,6 +57,7 @@ __all__ = [
     "mutation",
     "pipeline",
     "pool",
+    "serve",
     "taint",
     "testkit",
 ]

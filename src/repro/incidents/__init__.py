@@ -11,6 +11,7 @@ per window; ``repro incidents`` reads the store offline.
 """
 
 from repro.incidents.exporter import IncidentExporter
+from repro.incidents.feed import TransitionWatcher, load_incident_rows
 from repro.incidents.lifecycle import (
     IncidentRecord,
     IncidentStatus,
@@ -39,6 +40,8 @@ __all__ = [
     "IncidentStoreError",
     "Transition",
     "TransitionError",
+    "TransitionWatcher",
+    "load_incident_rows",
     "severity_band",
     "severity_score",
     "stem_key",

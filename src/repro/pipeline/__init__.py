@@ -45,9 +45,11 @@ from repro.pipeline.sources import (
     FileSource,
     Pacer,
     QuarantineSource,
+    ShardView,
     Source,
     StreamSource,
     SyntheticSource,
+    shard_for_peer,
 )
 from repro.pipeline.windows import (
     TampAnnotator,
@@ -69,6 +71,7 @@ __all__ = [
     "Pacer",
     "Pipeline",
     "QuarantineSource",
+    "ShardView",
     "Source",
     "Stage",
     "StreamSource",
@@ -78,4 +81,5 @@ __all__ = [
     "WindowedStemmer",
     "iter_batches",
     "run_monitor",
+    "shard_for_peer",
 ]

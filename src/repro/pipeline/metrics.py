@@ -272,6 +272,39 @@ def _format_number(value: float) -> str:
     return repr(value)
 
 
+class _BoundedThreadingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a hard cap on handler threads.
+
+    The stock server spawns one unbounded daemon thread per
+    connection — a scrape storm (or the serve layer proxying a burst)
+    could pile up thousands. A semaphore taken *before* accept-side
+    dispatch and released when the handler thread finishes bounds the
+    live handler count; excess connections queue in the listen backlog
+    instead of as threads.
+    """
+
+    max_threads = 8
+
+    def process_request(self, request, client_address) -> None:
+        gate = getattr(self, "_thread_gate", None)
+        if gate is None:
+            gate = self._thread_gate = threading.BoundedSemaphore(
+                self.max_threads
+            )
+        gate.acquire()
+        try:
+            super().process_request(request, client_address)
+        except BaseException:
+            gate.release()
+            raise
+
+    def process_request_thread(self, request, client_address) -> None:
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            self._thread_gate.release()
+
+
 class MetricsServer:
     """Serves a registry over HTTP on a background thread.
 
@@ -279,10 +312,17 @@ class MetricsServer:
     the JSON snapshot. Port 0 binds an ephemeral port (tests); the
     bound port is on :attr:`port`. The server thread is a daemon and
     :meth:`close` is idempotent, so a monitor killed mid-run never
-    hangs on it.
+    hangs on it. At most *max_threads* requests are handled
+    concurrently; the rest wait in the accept queue.
     """
 
-    def __init__(self, registry: MetricsRegistry, port: int = 0) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        *,
+        max_threads: int = 8,
+    ) -> None:
         server = self  # close over the outer object, not the handler
 
         class Handler(BaseHTTPRequestHandler):
@@ -308,7 +348,10 @@ class MetricsServer:
                 pass  # scrapes must not spam the monitor's stdout
 
         self.registry = registry
-        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+        self._httpd = _BoundedThreadingHTTPServer(
+            ("127.0.0.1", port), Handler
+        )
+        self._httpd.max_threads = max(1, int(max_threads))
         self.port = int(self._httpd.server_address[1])
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

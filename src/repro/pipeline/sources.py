@@ -238,6 +238,56 @@ class QuarantineSource(Source):
         return {"type": "quarantine", "path": str(self.path)}
 
 
+def shard_for_peer(peer: int, shards: int) -> int:
+    """The shard index owning *peer*'s routes.
+
+    Pure modulo on the packed peer address: stable across runs and
+    processes, which is what makes the fan-in merge bit-identical —
+    every (peer, prefix) route lives on exactly one shard, so the
+    merged per-edge refcounts equal an unsharded run's.
+    """
+    return peer % shards
+
+
+class ShardView(Source):
+    """One shard's slice of a parent source, partitioned by peer.
+
+    Wraps any deterministic :class:`Source` and yields only the events
+    whose peer hashes to this shard (:func:`shard_for_peer`). Offsets
+    are *shard-local*: ``events(start_offset)`` skips the first
+    *start_offset* events **of the filtered stream**, so each shard
+    checkpoints and resumes independently with its own offset space.
+    """
+
+    def __init__(self, parent: Source, shard: int, shards: int) -> None:
+        if not 0 <= shard < shards:
+            raise ValueError(
+                f"shard {shard} out of range for {shards} shard(s)"
+            )
+        self.parent = parent
+        self.shard = shard
+        self.shards = shards
+
+    def events(self, start_offset: int = 0) -> Iterator[BGPEvent]:
+        skipped = 0
+        shard, shards = self.shard, self.shards
+        for event in self.parent.events():
+            if event.peer % shards != shard:
+                continue
+            if skipped < start_offset:
+                skipped += 1
+                continue
+            yield event
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "type": "shard",
+            "shard": self.shard,
+            "of": self.shards,
+            "parent": self.parent.describe(),
+        }
+
+
 class Pacer:
     """Map event timestamps onto wall-clock replay delays.
 

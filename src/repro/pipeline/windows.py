@@ -298,6 +298,16 @@ class TampAnnotator(Stage):
     def __init__(self, tamp: Optional[IncrementalTamp] = None) -> None:
         super().__init__()
         self.tamp = tamp if tamp is not None else IncrementalTamp()
+        #: pulse_total as of the last annotated window boundary; the
+        #: serve layer's cache key — it only moves when a window
+        #: advances, so a picture rendered against it stays valid for
+        #: every request until the next boundary.
+        self._boundary_pulse = 0
+
+    @property
+    def boundary_pulse(self) -> int:
+        """The graph's pulse count at the last window boundary."""
+        return self._boundary_pulse
 
     def process(self, item: object) -> Optional[Iterable[object]]:
         if isinstance(item, Batch):
@@ -305,6 +315,7 @@ class TampAnnotator(Stage):
             return None
         if isinstance(item, WindowReport):
             adds, removes = self.tamp.consume_changes()
+            self._boundary_pulse = self.tamp.pulse_total
             item.tamp = {
                 "routes": self.tamp.route_count(),
                 "nodes": len(self.tamp.graph.nodes()),
@@ -312,6 +323,7 @@ class TampAnnotator(Stage):
                 "prefixes": self.tamp.graph.total_prefixes(),
                 "pulse_adds": sum(adds.values()),
                 "pulse_removes": sum(removes.values()),
+                "pulse_version": self._boundary_pulse,
             }
             return (item,)
         raise TypeError(
@@ -325,8 +337,18 @@ class TampAnnotator(Stage):
         return {
             "routes": self.tamp.export_route_events(),
             "pulses": self.tamp.export_pulses(),
+            "pulse_total": self.tamp.pulse_total,
+            "boundary_pulse": self._boundary_pulse,
         }
 
     def restore_state(self, state: dict) -> None:
         self.tamp.import_route_events(state.get("routes", []))
         self.tamp.import_pulses(dict(state.get("pulses", {})))
+        # Rebuilding the route table above recorded one pulse per
+        # restored route; overwrite with the checkpointed counter so
+        # resume is bit-identical (old checkpoints lack the keys and
+        # restart the counter from the rebuild count, which is still
+        # monotonic per process).
+        if "pulse_total" in state:
+            self.tamp.pulse_total = int(state["pulse_total"])
+        self._boundary_pulse = int(state.get("boundary_pulse", 0))

@@ -1,0 +1,54 @@
+"""The multi-tenant read path: serve the picture, don't rebuild it.
+
+``repro serve`` (DESIGN.md §14) layers an asyncio HTTP service over
+N sharded monitor pipelines:
+
+* :mod:`repro.serve.sharding` — per-peer shard pipelines and the
+  fan-in :class:`ShardSet` whose merged picture is bit-identical to
+  an unsharded run (the SRV001-sanctioned live-state layer).
+* :mod:`repro.serve.snapshot` — render-once/serve-many picture cache
+  keyed on pulse-counter versions, with single-flight rendering and
+  precomputed wire responses.
+* :mod:`repro.serve.events` — the SSE transition feed with
+  ``Last-Event-ID`` replay.
+* :mod:`repro.serve.http` — the dependency-free asyncio HTTP/1.1
+  server the ≥10k req/s benchmark drives.
+* :mod:`repro.serve.app` — the route table; every handler reads
+  through the snapshot surface only.
+* :mod:`repro.serve.driver` — :func:`run_serve`, the cooperative
+  feed-and-serve loop behind the CLI.
+"""
+
+from repro.serve.app import ServeApp, ServeCollector
+from repro.serve.driver import ServeResult, run_serve
+from repro.serve.events import TransitionFeed, format_sse
+from repro.serve.http import (
+    Handler,
+    HandlerResult,
+    HttpServer,
+    Request,
+    Response,
+    StreamingResponse,
+)
+from repro.serve.sharding import PipelineShard, ShardSet, shard_dir
+from repro.serve.snapshot import PictureSnapshot, SnapshotHub
+
+__all__ = [
+    "Handler",
+    "HandlerResult",
+    "HttpServer",
+    "PictureSnapshot",
+    "PipelineShard",
+    "Request",
+    "Response",
+    "ServeApp",
+    "ServeCollector",
+    "ServeResult",
+    "ShardSet",
+    "SnapshotHub",
+    "StreamingResponse",
+    "TransitionFeed",
+    "format_sse",
+    "run_serve",
+    "shard_dir",
+]

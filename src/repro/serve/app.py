@@ -1,0 +1,262 @@
+"""The route table: what ``repro serve`` answers on its one port.
+
+==================  ==================================================
+``/picture.svg``    Cached TAMP picture; strong ETag, 304 on match.
+``/incidents``      Merged shard-tagged incident rows (``?status=``).
+``/incidents/<id>`` One incident (``?shard=`` to disambiguate).
+``/events``         SSE transition feed (``Last-Event-ID`` replay).
+``/metrics``        Prometheus-style text exposition (same registry
+``/metrics.json``   the pipeline writes — one port, one registry).
+``/healthz``        Liveness probe.
+``/status``         Shard/version/cache introspection JSON.
+==================  ==================================================
+
+Every handler reads exclusively through the snapshot surface —
+:class:`~repro.serve.snapshot.SnapshotHub`,
+:meth:`~repro.serve.sharding.ShardSet.incident_rows` and friends, the
+:class:`~repro.serve.events.TransitionFeed` ring — never the live
+pipeline objects (rule SRV001: ``live_``-prefixed state is for the
+sharding/snapshot layer only).
+
+Per-route request counters and latency histograms live on the shared
+:class:`~repro.pipeline.metrics.MetricsRegistry`; serve-level live
+values (render count, feed position, shard liveness) ride the same
+exposition through a registered collector, so one ``/metrics`` scrape
+covers pipeline and serving health.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Optional
+
+from repro.pipeline.metrics import MetricsRegistry
+from repro.serve.events import TransitionFeed
+from repro.serve.http import (
+    Handler,
+    HandlerResult,
+    HttpServer,
+    Request,
+    Response,
+    StreamingResponse,
+)
+from repro.serve.sharding import ShardSet
+from repro.serve.snapshot import SnapshotHub
+
+_ROUTES = (
+    "picture",
+    "incidents",
+    "incident",
+    "events",
+    "metrics",
+    "healthz",
+    "status",
+)
+
+
+class ServeCollector:
+    """Serve-level live values for the shared metrics exposition."""
+
+    def __init__(self, app: "ServeApp") -> None:
+        self._app = app
+
+    def _values(self) -> dict[str, object]:
+        app = self._app
+        return {
+            "repro_serve_picture_renders_total": app.hub.renders,
+            "repro_serve_sse_events_total": app.feed.published,
+            "repro_serve_shards_alive": sum(app.shards.alive()),
+            "repro_serve_events_offered_total": (
+                app.shards.events_offered
+            ),
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        for name, value in sorted(self._values().items()):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {value}")
+        return "\n".join(lines) + "\n"
+
+    def to_snapshot(self) -> dict[str, object]:
+        return self._values()
+
+
+class ServeApp:
+    """Wires the snapshot surfaces into an :class:`HttpServer`."""
+
+    def __init__(
+        self,
+        hub: SnapshotHub,
+        feed: TransitionFeed,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.hub = hub
+        self.shards: ShardSet = hub.shards
+        self.feed = feed
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self.registry.register_collector(ServeCollector(self))
+        self._counters = {
+            name: self.registry.counter(
+                f"repro_serve_requests_total_{name}",
+                f"requests served on the {name} route",
+            )
+            for name in _ROUTES
+        }
+        self._latency = {
+            name: self.registry.histogram(
+                f"repro_serve_request_seconds_{name}",
+                f"request latency on the {name} route",
+            )
+            for name in _ROUTES
+        }
+        self.server = HttpServer()
+        self.server.route(
+            "/picture.svg", self._timed("picture", self.picture)
+        )
+        self.server.route(
+            "/incidents", self._timed("incidents", self.incidents)
+        )
+        self.server.route_prefix(
+            "/incidents/", self._timed("incident", self.incident)
+        )
+        self.server.route("/events", self._timed("events", self.events))
+        self.server.route(
+            "/metrics", self._timed("metrics", self.metrics_text)
+        )
+        self.server.route(
+            "/metrics.json", self._timed("metrics", self.metrics_json)
+        )
+        self.server.route(
+            "/healthz", self._timed("healthz", self.healthz)
+        )
+        self.server.route("/status", self._timed("status", self.status))
+
+    def _timed(self, name: str, handler: Handler) -> Handler:
+        counter = self._counters[name]
+        latency = self._latency[name]
+        clock = time.perf_counter
+
+        async def timed(request: Request) -> HandlerResult:
+            started = clock()
+            result = await handler(request)
+            counter.inc()
+            latency.observe(clock() - started)
+            return result
+
+        return timed
+
+    # -- Handlers (snapshot reads only: SRV001) ------------------------
+
+    async def picture(self, request: Request) -> HandlerResult:
+        snapshot = await self.hub.snapshot()
+        if request.header("if-none-match") == snapshot.etag:
+            return snapshot.response_304
+        return snapshot.response_200
+
+    async def incidents(self, request: Request) -> HandlerResult:
+        params = request.query_params()
+        rows = self.shards.incident_rows()
+        status = params.get("status")
+        if status:
+            rows = [row for row in rows if row["status"] == status]
+        return Response(
+            200,
+            json.dumps({"incidents": rows}, sort_keys=True),
+            "application/json",
+        )
+
+    async def incident(self, request: Request) -> HandlerResult:
+        tail = request.path.rsplit("/", 1)[-1]
+        try:
+            incident_id = int(tail)
+        except ValueError:
+            return Response(404, b"no such incident")
+        params = request.query_params()
+        shard: Optional[int] = None
+        if "shard" in params:
+            try:
+                shard = int(params["shard"])
+            except ValueError:
+                return Response(404, b"bad shard")
+        row = self.shards.incident_row(incident_id, shard=shard)
+        if row is None:
+            return Response(404, b"no such incident")
+        return Response(
+            200, json.dumps(row, sort_keys=True), "application/json"
+        )
+
+    async def events(self, request: Request) -> HandlerResult:
+        raw = request.header("last-event-id")
+        try:
+            last_id = int(raw) if raw else 0
+        except ValueError:
+            last_id = 0
+        replay = b"".join(self.feed.replay_since(last_id))
+        head = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+            b"retry: 2000\n\n" + replay
+        )
+        feed = self.feed
+
+        async def pump(writer: asyncio.StreamWriter) -> None:
+            queue = feed.subscribe()
+            try:
+                while True:
+                    frame = await queue.get()
+                    if frame is None:  # feed closed: end the stream
+                        break
+                    writer.write(frame)
+                    await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            finally:
+                feed.unsubscribe(queue)
+
+        return StreamingResponse(head, pump)
+
+    async def metrics_text(self, request: Request) -> HandlerResult:
+        return Response(
+            200,
+            self.registry.render_text(),
+            "text/plain; charset=utf-8",
+        )
+
+    async def metrics_json(self, request: Request) -> HandlerResult:
+        return Response(
+            200,
+            json.dumps(self.registry.snapshot(), sort_keys=True),
+            "application/json",
+        )
+
+    async def healthz(self, request: Request) -> HandlerResult:
+        return Response(200, b"ok")
+
+    async def status(self, request: Request) -> HandlerResult:
+        snapshot = self.hub.current()
+        body = {
+            "version": [list(part) for part in self.shards.version()],
+            "etag": None if snapshot is None else snapshot.etag,
+            "renders": self.hub.renders,
+            "sse_last_id": self.feed.last_id,
+            **self.shards.status(),
+        }
+        return Response(
+            200, json.dumps(body, sort_keys=True), "application/json"
+        )
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> int:
+        return await self.server.start(host, port)
+
+    async def close(self) -> None:
+        await self.server.close()

@@ -1,0 +1,239 @@
+"""A minimal asyncio HTTP/1.1 server tuned for the cached read path.
+
+Dependency-free by project rule, and deliberately small: the serve
+layer's traffic is thousands of identical GETs against a handful of
+routes, so the server optimizes exactly that — keep-alive by
+default, pipelining-friendly (every request already buffered is
+answered before the next drain), and handlers may return *wire-ready
+bytes* (a whole precomputed response, see
+:class:`~repro.serve.snapshot.PictureSnapshot`) which are written
+without any per-request header assembly. The benchmark drives this
+path past 10k requests/s on one core.
+
+Not a general web server: no request bodies, no chunked decoding, no
+TLS, 1 MiB header cap. Anything malformed gets a 400 and the
+connection closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Optional, Union
+
+_MAX_HEADER = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    204: "No Content",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+class Request:
+    """One parsed request. Headers are lower-cased at parse time."""
+
+    __slots__ = ("method", "path", "query", "headers")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        headers: dict[str, str],
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name, default)
+
+    def query_params(self) -> dict[str, str]:
+        params: dict[str, str] = {}
+        if not self.query:
+            return params
+        for pair in self.query.split("&"):
+            key, _, value = pair.partition("=")
+            if key:
+                params[key] = value
+        return params
+
+
+class Response:
+    """A conventional response; rendered to wire bytes once."""
+
+    __slots__ = ("status", "body", "content_type", "headers")
+
+    def __init__(
+        self,
+        status: int = 200,
+        body: bytes | str = b"",
+        content_type: str = "text/plain; charset=utf-8",
+        headers: Optional[list[tuple[str, str]]] = None,
+    ) -> None:
+        self.status = status
+        self.body = body.encode("utf-8") if isinstance(body, str) else body
+        self.content_type = content_type
+        self.headers = headers or []
+
+    def encode(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+        ]
+        for name, value in self.headers:
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+class StreamingResponse:
+    """A long-lived response the handler keeps writing (SSE).
+
+    The dispatcher sends *head*, then hands the writer to *pump*,
+    which owns the connection until the client goes away. The
+    connection never returns to keep-alive.
+    """
+
+    __slots__ = ("head", "pump")
+
+    def __init__(
+        self,
+        head: bytes,
+        pump: Callable[[asyncio.StreamWriter], Awaitable[None]],
+    ) -> None:
+        self.head = head
+        self.pump = pump
+
+
+#: What a route handler may return: wire-ready bytes (fast path), a
+#: Response, or a StreamingResponse that takes over the connection.
+HandlerResult = Union[bytes, Response, StreamingResponse]
+Handler = Callable[[Request], Awaitable[HandlerResult]]
+
+
+def _parse(head: str) -> Optional[Request]:
+    request_line, _, rest = head.partition("\r\n")
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        return None
+    method, target = parts[0], parts[1]
+    path, _, query = target.partition("?")
+    headers: dict[str, str] = {}
+    for line in rest.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            return None
+        headers[name.strip().lower()] = value.strip()
+    return Request(method, path, query, headers)
+
+
+class HttpServer:
+    """Route table + connection loop over ``asyncio.start_server``."""
+
+    def __init__(self) -> None:
+        self._routes: dict[str, Handler] = {}
+        self._prefix_routes: list[tuple[str, Handler]] = []
+        self._server: Optional[asyncio.Server] = None
+        self.port = 0
+
+    def route(self, path: str, handler: Handler) -> None:
+        """Register an exact-path GET handler."""
+        self._routes[path] = handler
+
+    def route_prefix(self, prefix: str, handler: Handler) -> None:
+        """Register a handler for every path under *prefix*."""
+        self._prefix_routes.append((prefix, handler))
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _resolve(self, path: str) -> Optional[Handler]:
+        handler = self._routes.get(path)
+        if handler is not None:
+            return handler
+        for prefix, prefix_handler in self._prefix_routes:
+            if path.startswith(prefix):
+                return prefix_handler
+        return None
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    break
+                except asyncio.LimitOverrunError:
+                    writer.write(Response(400, b"header too large").encode())
+                    break
+                if len(head) > _MAX_HEADER:
+                    writer.write(Response(400, b"header too large").encode())
+                    break
+                request = _parse(head.decode("latin-1"))
+                if request is None:
+                    writer.write(Response(400, b"malformed request").encode())
+                    break
+                close_after = (
+                    request.header("connection").lower() == "close"
+                )
+                if request.method not in ("GET", "HEAD"):
+                    writer.write(
+                        Response(405, b"method not allowed").encode()
+                    )
+                else:
+                    handler = self._resolve(request.path)
+                    if handler is None:
+                        writer.write(Response(404, b"not found").encode())
+                    else:
+                        result = await handler(request)
+                        if isinstance(result, bytes):
+                            writer.write(result)
+                        elif isinstance(result, StreamingResponse):
+                            writer.write(result.head)
+                            await writer.drain()
+                            await result.pump(writer)
+                            break
+                        else:
+                            writer.write(result.encode())
+                # Answer everything already buffered (pipelining)
+                # before paying for a drain.
+                if reader._buffer:  # type: ignore[attr-defined]
+                    continue
+                await writer.drain()
+                if close_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass

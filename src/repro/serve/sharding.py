@@ -1,0 +1,500 @@
+"""Shard runner and fan-in: N monitor pipelines behind one picture.
+
+Horizontal scaling for the serve layer (DESIGN.md §14): the event
+stream partitions by peer (:func:`repro.pipeline.sources
+.shard_for_peer`), each shard runs the same two-stage analysis
+pipeline the monitor does — windowed Stemming, TAMP annotation, the
+incident lifecycle — over its slice, and :class:`ShardSet` sums the
+per-shard TAMP graphs into one picture with
+:meth:`~repro.tamp.graph.TampGraph.merge_graph`. Because every
+(peer, prefix) route lives on exactly one shard, the merged per-edge
+refcounts equal an unsharded run's and the merged picture renders
+byte-identical to it.
+
+This module is the **sanctioned side of the SRV001 boundary**: every
+piece of live pipeline state is held under a ``live_``-prefixed
+attribute, and only this module (and the snapshot layer) may touch
+those. HTTP handlers read through :class:`ShardSet`'s snapshot
+accessors — ``version()``, ``merged_graph()``, ``incident_rows()``,
+``status()`` — which are safe at any await point because shard
+pipelines only advance inside explicit ``feed()`` calls on the same
+event loop.
+
+Checkpoints are byte-compatible with ``repro monitor``'s: a shard
+writes the same :class:`~repro.pipeline.checkpoint.CheckpointState`
+(source = its :class:`~repro.pipeline.sources.ShardView` description)
+into ``<root>/shard-<k>/``, so a shard killed hard — even one run by
+``run_monitor`` in another process, as the chaos test does — resumes
+here bit-identically, and vice versa.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.collector.events import BGPEvent
+from repro.incidents.feed import TransitionWatcher, load_incident_rows
+from repro.incidents.manager import IncidentManager
+from repro.incidents.store import INCIDENT_DB, IncidentStore
+from repro.pipeline.checkpoint import CheckpointState, CheckpointStore
+from repro.pipeline.monitor import MonitorConfig
+from repro.pipeline.runtime import Batch, Pipeline
+from repro.pipeline.sources import ShardView, Source
+from repro.pipeline.windows import (
+    TampAnnotator,
+    WindowedStemmer,
+    WindowReport,
+    WindowState,
+)
+from repro.tamp.graph import TampGraph
+
+#: A shard's cache-relevant position: (window index, pulse count at
+#: the last window boundary). Monotonic in both components.
+ShardVersion = tuple[int, int]
+
+
+def shard_dir(root: Path | str, shard: int) -> Path:
+    """The checkpoint directory for shard *shard* under *root*."""
+    return Path(root) / f"shard-{shard}"
+
+
+class PipelineShard:
+    """One shard's monitor pipeline, pumped batch-by-batch.
+
+    A restructured :func:`~repro.pipeline.monitor.run_monitor`: same
+    stages, same checkpoint format, but instead of owning the loop it
+    exposes :meth:`feed` so the serve driver can interleave event
+    processing with request handling on one asyncio loop.
+    """
+
+    def __init__(
+        self,
+        source: Source,
+        config: MonitorConfig,
+        *,
+        shard: int = 0,
+        checkpoint_dir: Optional[Path | str] = None,
+        resume: bool = False,
+    ) -> None:
+        self.shard = shard
+        self.source = source
+        self.config = config
+        self.store: Optional[CheckpointStore] = None
+        self.incident_store: Optional[IncidentStore] = None
+        if checkpoint_dir is not None:
+            self.store = CheckpointStore(
+                checkpoint_dir, keep=config.keep_checkpoints
+            )
+            self.incident_store = IncidentStore(
+                self.store.directory / INCIDENT_DB
+            )
+        self.live_window = WindowedStemmer(
+            config.window,
+            config.slide,
+            min_strength=config.min_strength,
+            max_components=config.max_components,
+            workers=config.workers,
+        )
+        self.live_tamp = TampAnnotator()
+        self.live_pipeline = Pipeline(
+            [self.live_window, self.live_tamp],
+            max_queue=config.max_queue,
+            policy=config.policy,
+        )
+        self.live_manager = IncidentManager(
+            policy=config.incident_policy()
+        )
+        self.offset = 0
+        self.reports_emitted = 0
+        self.events_done = 0
+        self.latest_window_end = 0.0
+        self.finished = False
+
+        if resume:
+            self._restore()
+        elif self.store is not None:
+            # Fresh run over a dirty directory: wipe any report-log
+            # rows a previous run left, or replay would duplicate.
+            self.store.truncate_reports(0)
+            if self.incident_store is not None:
+                self.incident_store.sync(self.live_manager, 0)
+        self._last_checkpoint_window = self.live_window.window_index
+
+    def _restore(self) -> None:
+        assert self.store is not None
+        state = self.store.latest()
+        if state is None:
+            self.store.truncate_reports(0)
+            if self.incident_store is not None:
+                self.incident_store.sync(self.live_manager, 0)
+            return
+        state.matches(self.source.describe(), self.config.describe())
+        self.live_window.restore_state(WindowState.from_dict(state.window))
+        self.live_tamp.restore_state(state.tamp)
+        self.live_pipeline.restore_stats(state.stats)
+        self.offset = state.offset
+        self.reports_emitted = state.reports_emitted
+        self.store.truncate_reports(self.reports_emitted)
+        if state.incidents is not None:
+            self.live_manager.import_state(state.incidents)
+        if self.incident_store is not None:
+            self.incident_store.sync(
+                self.live_manager, self.reports_emitted
+            )
+
+    # -- Feeding -------------------------------------------------------
+
+    def feed(self, events: list[BGPEvent]) -> list:
+        """Pump a batch of this shard's events; return changed records.
+
+        The return value is what :meth:`IncidentManager.ingest`
+        reported changed across any window reports the batch closed —
+        the transition feed's input.
+        """
+        if not events:
+            return []
+        batch = Batch(
+            tuple(events), self.offset, self.offset + len(events)
+        )
+        self.live_pipeline.feed(batch)
+        self.offset += len(events)
+        self.events_done += len(events)
+        changed = self._drain()
+        if (
+            self.store is not None
+            and self.live_window.window_index
+            - self._last_checkpoint_window
+            >= self.config.checkpoint_every
+        ):
+            self.checkpoint()
+            self._last_checkpoint_window = self.live_window.window_index
+        return changed
+
+    def _drain(self) -> list:
+        changed: list = []
+        for item in self.live_pipeline.take():
+            assert isinstance(item, WindowReport)
+            self.reports_emitted += 1
+            self.latest_window_end = item.end
+            changed.extend(self.live_manager.ingest(item))
+            if self.store is not None:
+                self.store.append_report(item.to_dict())
+        return changed
+
+    def finish(self) -> list:
+        """End of stream: flush, finalize incidents, checkpoint."""
+        if self.finished:
+            return []
+        self.live_pipeline.flush()
+        changed = self._drain()
+        final = self.live_manager.finalize()
+        for record in final:
+            if record not in changed:
+                changed.append(record)
+        if self.store is not None:
+            self.checkpoint()
+        self.finished = True
+        return changed
+
+    def checkpoint(self) -> None:
+        assert self.store is not None
+        ingest = self.source.ingest_report
+        self.store.save(
+            CheckpointState(
+                source=self.source.describe(),
+                config=self.config.describe(),
+                offset=self.offset,
+                reports_emitted=self.reports_emitted,
+                window=self.live_window.export_state().to_dict(),
+                tamp=self.live_tamp.export_state(),
+                stats=self.live_pipeline.stats(),
+                ingest=None if ingest is None else ingest.to_dict(),
+                incidents=self.live_manager.export_state(),
+            )
+        )
+
+    # -- Snapshot accessors (safe between feeds) -----------------------
+
+    def version(self) -> ShardVersion:
+        return (
+            self.live_window.window_index,
+            self.live_tamp.boundary_pulse,
+        )
+
+    def graph(self) -> TampGraph:
+        """The live TAMP graph; read-only between feeds."""
+        return self.live_tamp.tamp.graph
+
+    def incident_rows(self) -> list[dict[str, object]]:
+        return [
+            record.to_dict()
+            for record in self.live_manager.all_incidents()
+        ]
+
+    def close(self) -> None:
+        if self.incident_store is not None:
+            self.incident_store.close()
+            self.incident_store = None
+
+
+class ShardSet:
+    """N pipeline shards behind one snapshot surface.
+
+    Partitions offered events by peer, pumps each shard in
+    ``batch_size`` chunks, and exposes the merged read surface the
+    HTTP layer serves from. A shard can die (:meth:`kill` — or a
+    crashed external process that owns its checkpoint directory) and
+    later :meth:`resume`: while dead, its slot serves last-checkpoint
+    incidents from sqlite and the merged picture degrades to the
+    survivors; on resume the shard restores from its checkpoint and
+    replays its slice of the stream up to the set's current position,
+    converging back to the bit-identical merged picture.
+    """
+
+    def __init__(
+        self,
+        parent: Source,
+        config: MonitorConfig,
+        *,
+        shards: int = 1,
+        checkpoint_root: Optional[Path | str] = None,
+        resume: bool = False,
+        start_dead: tuple[int, ...] = (),
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.config = config
+        self.n = shards
+        self.checkpoint_root = (
+            None if checkpoint_root is None else Path(checkpoint_root)
+        )
+        self.watcher = TransitionWatcher()
+        self._sources: list[Source] = [
+            parent
+            if shards == 1
+            else ShardView(parent, k, shards)
+            for k in range(shards)
+        ]
+        self._shards: list[Optional[PipelineShard]] = []
+        for k in range(shards):
+            if k in start_dead:
+                self._shards.append(None)
+                continue
+            self._shards.append(
+                PipelineShard(
+                    self._sources[k],
+                    config,
+                    shard=k,
+                    checkpoint_dir=self._dir(k),
+                    resume=resume,
+                )
+            )
+        self._buffers: list[list[BGPEvent]] = [
+            [] for _ in range(shards)
+        ]
+        #: Filtered events offered per shard, counted even while the
+        #: shard is dead — the resume catch-up target.
+        self._offered = [0] * shards
+        self.events_offered = 0
+
+    def _dir(self, shard: int) -> Optional[Path]:
+        if self.checkpoint_root is None:
+            return None
+        return shard_dir(self.checkpoint_root, shard)
+
+    # -- Feeding -------------------------------------------------------
+
+    def offer(self, event: BGPEvent) -> list[dict[str, object]]:
+        """Route one event; returns transition feed entries, if any."""
+        k = event.peer % self.n if self.n > 1 else 0
+        self._offered[k] += 1
+        self.events_offered += 1
+        if self._shards[k] is None:
+            return []  # dead shard: replayed from its source on resume
+        buffer = self._buffers[k]
+        buffer.append(event)
+        if len(buffer) >= self.config.batch_size:
+            return self._flush_shard(k)
+        return []
+
+    def _flush_shard(self, k: int) -> list[dict[str, object]]:
+        events, self._buffers[k] = self._buffers[k], []
+        shard = self._shards[k]
+        if shard is None or not events:
+            return []
+        return self.watcher.observe(shard.feed(events), shard=k)
+
+    def flush(self) -> list[dict[str, object]]:
+        """Feed every partial buffer through its shard."""
+        entries: list[dict[str, object]] = []
+        for k in range(self.n):
+            entries.extend(self._flush_shard(k))
+        return entries
+
+    def finish(self) -> list[dict[str, object]]:
+        """End of stream: flush buffers, finalize every live shard."""
+        entries = self.flush()
+        for k, shard in enumerate(self._shards):
+            if shard is not None:
+                entries.extend(
+                    self.watcher.observe(shard.finish(), shard=k)
+                )
+        return entries
+
+    # -- Chaos ---------------------------------------------------------
+
+    def kill(self, k: int) -> None:
+        """Drop shard *k*'s live pipeline (simulating a dead process).
+
+        Buffered events for the shard are discarded — exactly what a
+        crash does to in-flight work — and replay on resume recovers
+        them from the shard's deterministic source.
+        """
+        shard = self._shards[k]
+        if shard is None:
+            return
+        shard.close()
+        self._shards[k] = None
+        self._buffers[k] = []
+
+    def resume(self, k: int) -> list[dict[str, object]]:
+        """Restore shard *k* from its checkpoint and catch it up.
+
+        Replays the shard's slice from its checkpointed offset to the
+        set's current stream position. The checkpoint may have been
+        written by this process (before :meth:`kill`) or by an
+        external ``run_monitor`` over the same
+        :class:`~repro.pipeline.sources.ShardView` — the formats are
+        identical.
+        """
+        if self._shards[k] is not None:
+            raise ValueError(f"shard {k} is alive")
+        shard = PipelineShard(
+            self._sources[k],
+            self.config,
+            shard=k,
+            checkpoint_dir=self._dir(k),
+            resume=True,
+        )
+        entries: list[dict[str, object]] = []
+        target = self._offered[k]
+        pending: list[BGPEvent] = []
+        replayed = shard.offset
+        if replayed < target:
+            for event in self._sources[k].events(shard.offset):
+                pending.append(event)
+                replayed += 1
+                if len(pending) >= self.config.batch_size:
+                    entries.extend(
+                        self.watcher.observe(
+                            shard.feed(pending), shard=k
+                        )
+                    )
+                    pending = []
+                if replayed >= target:
+                    break
+            if pending:
+                entries.extend(
+                    self.watcher.observe(shard.feed(pending), shard=k)
+                )
+        self._shards[k] = shard
+        return entries
+
+    # -- Snapshot surface (what handlers read) -------------------------
+
+    def alive(self) -> tuple[bool, ...]:
+        return tuple(shard is not None for shard in self._shards)
+
+    def version(self) -> tuple:
+        """The set-wide cache key: per-shard version plus liveness.
+
+        Changes exactly when any shard's window advances, a shard
+        dies, or a shard comes back — the moments the picture (or its
+        degradation) can change. A dead shard contributes a sentinel
+        so a degraded picture never shares an ETag with a full one.
+        """
+        return tuple(
+            ("dead", k)
+            if shard is None
+            else (k,) + shard.version()
+            for k, shard in enumerate(self._shards)
+        )
+
+    def merged_graph(self) -> TampGraph:
+        """Sum the live shards' graphs into a fresh merged graph."""
+        merged = TampGraph()
+        for shard in self._shards:
+            if shard is not None:
+                merged.merge_graph(shard.graph())
+        return merged
+
+    def latest_window_end(self) -> float:
+        return max(
+            (
+                shard.latest_window_end
+                for shard in self._shards
+                if shard is not None
+            ),
+            default=0.0,
+        )
+
+    def incident_rows(self) -> list[dict[str, object]]:
+        """Merged incident rows, shard-tagged, dead shards included.
+
+        Live shards read from their managers; dead shards fall back to
+        the sqlite store their last checkpoint cycle synced — the
+        degraded-serve path.
+        """
+        rows: list[dict[str, object]] = []
+        for k, shard in enumerate(self._shards):
+            if shard is not None:
+                shard_rows = shard.incident_rows()
+            else:
+                directory = self._dir(k)
+                if directory is None:
+                    continue
+                shard_rows = [
+                    record.to_dict()
+                    for record in load_incident_rows(directory)
+                ]
+            for row in shard_rows:
+                row["shard"] = k
+                rows.append(row)
+        rows.sort(key=lambda row: (row["shard"], row["id"]))
+        return rows
+
+    def incident_row(
+        self, incident_id: int, *, shard: Optional[int] = None
+    ) -> Optional[dict[str, object]]:
+        for row in self.incident_rows():
+            if row["id"] != incident_id:
+                continue
+            if shard is not None and row["shard"] != shard:
+                continue
+            return row
+        return None
+
+    def status(self) -> dict[str, object]:
+        return {
+            "shards": self.n,
+            "alive": list(self.alive()),
+            "events_offered": self.events_offered,
+            "per_shard": [
+                None
+                if shard is None
+                else {
+                    "events": shard.events_done,
+                    "offset": shard.offset,
+                    "windows": shard.version()[0],
+                    "boundary_pulse": shard.version()[1],
+                    "reports": shard.reports_emitted,
+                }
+                for shard in self._shards
+            ],
+        }
+
+    def close(self) -> None:
+        for shard in self._shards:
+            if shard is not None:
+                shard.close()

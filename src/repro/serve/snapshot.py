@@ -1,0 +1,144 @@
+"""Render-once / serve-many: the picture cache behind ``/picture.svg``.
+
+The cache key is :meth:`ShardSet.version` — the vector of per-shard
+(window index, boundary pulse count) plus liveness. Pulse counters
+only move when the TAMP graph's edge membership changes, and the
+boundary value only moves when a window advances, so a snapshot keyed
+on the vector is valid for *every* request until the next window
+boundary (or a shard death/resume): the renderer runs at most once
+per window advance, everything else is a dict compare.
+
+Single-flight: concurrent first requests after an invalidation all
+await one :class:`asyncio.Lock`; the winner renders, the rest
+re-check the cache under the lock and reuse the fresh snapshot.
+:attr:`SnapshotHub.renders` counts actual renders — the test for
+"one render per pulse under pileup" reads it directly.
+
+ETags are strong and *content-derived* (sha256 of the SVG bytes): two
+versions that happen to render identical bytes legitimately share an
+ETag — a 304 against either is byte-correct — while any membership
+change that alters the picture forces a new one, so a stale ETag can
+never validate against a newer pulse count's differing picture.
+
+Wire bytes for the 200 and 304 responses are precomputed per
+snapshot; the serve hot path writes them without re-rendering
+headers. This module is sanctioned by SRV001 alongside the sharding
+layer — everything above it reads snapshots only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.sharding import ShardSet
+from repro.tamp.prune import DEFAULT_THRESHOLD, prune_flat
+from repro.tamp.render import render_svg
+
+
+def _etag(body: bytes) -> str:
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+@dataclass(frozen=True)
+class PictureSnapshot:
+    """One rendered picture, frozen with its wire-ready responses."""
+
+    version: tuple
+    etag: str
+    svg: str
+    body: bytes
+    response_200: bytes
+    response_304: bytes
+
+    @classmethod
+    def build(cls, version: tuple, svg: str) -> "PictureSnapshot":
+        body = svg.encode("utf-8")
+        etag = _etag(body)
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: image/svg+xml\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"ETag: {etag}\r\n"
+            "Cache-Control: no-cache\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        not_modified = (
+            "HTTP/1.1 304 Not Modified\r\n"
+            f"ETag: {etag}\r\n"
+            "Cache-Control: no-cache\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        return cls(
+            version=version,
+            etag=etag,
+            svg=svg,
+            body=body,
+            response_200=head + body,
+            response_304=not_modified,
+        )
+
+
+class SnapshotHub:
+    """Version-keyed picture cache with single-flight rendering."""
+
+    def __init__(
+        self,
+        shards: ShardSet,
+        *,
+        threshold: float = DEFAULT_THRESHOLD,
+        title: str = "TAMP",
+    ) -> None:
+        self.shards = shards
+        self.threshold = threshold
+        self.title = title
+        self.renders = 0
+        self._current: Optional[PictureSnapshot] = None
+        self._lock = asyncio.Lock()
+
+    def current(self) -> Optional[PictureSnapshot]:
+        """The cached snapshot, fresh or not (no render)."""
+        return self._current
+
+    async def snapshot(self) -> PictureSnapshot:
+        """The picture for the shard set's current version.
+
+        Cache hit: two attribute reads and a tuple compare. Miss: one
+        render, shared by every request that piled up on the miss.
+        """
+        version = self.shards.version()
+        current = self._current
+        if current is not None and current.version == version:
+            return current
+        async with self._lock:
+            # Double-check: the render that beat us to the lock may
+            # already cover the version we need — and the version may
+            # have advanced again while we waited.
+            version = self.shards.version()
+            current = self._current
+            if current is not None and current.version == version:
+                return current
+            snapshot = self.render(version)
+            self._current = snapshot
+            return snapshot
+
+    def render(self, version: Optional[tuple] = None) -> PictureSnapshot:
+        """Synchronous render for *version* (current if omitted).
+
+        Exposed for non-async callers (tests, the driver's final
+        refresh); :meth:`snapshot` is the single-flight entry point.
+        """
+        if version is None:
+            version = self.shards.version()
+        graph = self.shards.merged_graph()
+        pruned = prune_flat(graph, self.threshold)
+        clock = self.shards.latest_window_end()
+        svg = render_svg(
+            pruned,
+            title=self.title,
+            clock_text=f"t={clock:.0f}s",
+        )
+        self.renders += 1
+        return PictureSnapshot.build(version, svg)

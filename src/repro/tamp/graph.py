@@ -574,6 +574,51 @@ class TampGraph:
         if seen is not None:
             self._total = len(seen)
 
+    def merge_graph(self, other: "TampGraph") -> None:
+        """Fold *other*'s refcount stores into this graph.
+
+        The serve layer's fan-in join (DESIGN.md §14): each monitor
+        shard maintains a live :class:`TampGraph` over its slice of the
+        peers, and the snapshot layer sums them into one picture. Token
+        ids cross the id-space boundary via
+        :meth:`~repro.interning.SymbolTable.remap_tokens`; prefix ids
+        are value-derived and install untranslated.
+
+        Refcounts *sum* (unlike :meth:`merge_view_shards`'s wholesale
+        install): shards partition routes by peer, so a single-shard
+        run's per-(edge, prefix) refcount equals the sum of the shard
+        counts — which is what makes the merged picture bit-identical
+        to an unsharded one.
+        """
+        self._invalidate_cache()
+        self._adj_dirty = True
+        self._has_site_edge = False  # pessimistic; roots() rebuilds
+        token_map = self._symbols.remap_tokens(other._symbols)
+        edges = self._edges
+        for eid, store in other._edges.items():
+            merged_eid = (
+                token_map[eid >> EDGE_SHIFT] << EDGE_SHIFT
+            ) | token_map[eid & EDGE_MASK]
+            target = edges.get(merged_eid)
+            if target is None:
+                edges[merged_eid] = dict(store)
+            else:
+                get = target.get
+                for pid, count in store.items():
+                    target[pid] = get(pid, 0) + count
+        fringe = self._fringe
+        for tail, store in other._fringe.items():
+            merged_tail = token_map[tail]
+            target = fringe.get(merged_tail)
+            if target is None:
+                fringe[merged_tail] = dict(store)
+            else:
+                get = target.get
+                for pid, count in store.items():
+                    target[pid] = get(pid, 0) + count
+        if self.site_root is None:
+            self.site_root = other.site_root
+
     # ------------------------------------------------------------------
     # Mutation (used by pruning and incremental animation)
     # ------------------------------------------------------------------

@@ -57,6 +57,13 @@ class IncrementalTamp:
         #: to color edges per frame.
         self._adds: dict[int, int] = {}
         self._removes: dict[int, int] = {}
+        #: Monotonic count of every pulse ever recorded (adds plus
+        #: removes, never reset by a consume). This is the serve
+        #: layer's delta-invalidation version: a picture snapshot keyed
+        #: on it stays valid exactly until the graph's edge membership
+        #: next changes. Checkpoint restore sets it explicitly so the
+        #: counter is bit-identical across crash/resume.
+        self.pulse_total = 0
         #: peer -> chain key -> the packed edge ids the route threads.
         #: A flapping route announces and withdraws the same chain
         #: thousands of times; memoizing turns each apply into two dict
@@ -268,6 +275,7 @@ class IncrementalTamp:
         for eid in self._ids_for(peer, prefix, attrs):
             if add_prefix(eid, pid):
                 adds[eid] = adds.get(eid, 0) + 1
+                self.pulse_total += 1
 
     def _withdraw(self, peer: int, prefix: Prefix) -> None:
         old = self._routes.pop((peer, prefix), None)
@@ -284,3 +292,4 @@ class IncrementalTamp:
         for eid in self._ids_for(peer, prefix, attrs):
             if discard_prefix(eid, pid):
                 removes[eid] = removes.get(eid, 0) + 1
+                self.pulse_total += 1

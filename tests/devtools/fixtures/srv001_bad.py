@@ -1,0 +1,15 @@
+"""SRV001 violations: handlers reaching into live pipeline state."""
+
+
+def picture_handler(request, shard):
+    # Torn read: the graph mutates between batches.
+    return shard.live_tamp.tamp.graph
+
+
+def status_handler(request, shard_set):
+    shard = shard_set._shards[0]
+    return {"window": shard.live_window.window_index}
+
+
+def incidents_handler(request, shard):
+    return [r.to_dict() for r in shard.live_manager.all_incidents()]

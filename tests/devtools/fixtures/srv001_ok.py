@@ -1,0 +1,18 @@
+"""SRV001-clean: every read rides the snapshot surface."""
+
+
+async def picture_handler(request, hub):
+    snapshot = await hub.snapshot()
+    return snapshot.response_200
+
+
+def status_handler(request, shard_set, hub):
+    return {
+        "version": list(shard_set.version()),
+        "etag": hub.current().etag if hub.current() else None,
+        "shards": shard_set.status(),
+    }
+
+
+def incidents_handler(request, shard_set):
+    return shard_set.incident_rows()

@@ -1,0 +1,10 @@
+"""SRV001 violations carrying justified suppressions."""
+
+
+def debug_handler(request, shard):
+    # repro: allow[SRV001] debug endpoint gated off in production
+    depths = shard.live_pipeline.depths()
+    return {
+        "depths": depths,
+        "buffered": shard.live_window.buffered,  # repro: allow[SRV001] fixture justification
+    }

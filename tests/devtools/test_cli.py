@@ -22,13 +22,13 @@ class TestExitCodes:
         assert "4 finding(s)" in out
 
     def test_every_known_bad_fixture_gates(self):
-        # DET001, TK001, INT001 and INT002 are package-scoped and can't
-        # fire on a bare fixture path, so the CLI gate is asserted for
-        # every other rule's bad fixture (the project rules INT003,
-        # POOL003 and PIPE002 fire anywhere).
+        # DET001, TK001, INT001, INT002 and SRV001 are package-scoped
+        # and can't fire on a bare fixture path, so the CLI gate is
+        # asserted for every other rule's bad fixture (the project
+        # rules INT003, POOL003 and PIPE002 fire anywhere).
         for fixture in sorted(FIXTURES.glob("*_bad.py")):
             if fixture.name.startswith(
-                ("det001", "tk001", "int001", "int002")
+                ("det001", "tk001", "int001", "int002", "srv001")
             ):
                 continue
             assert main(["lint", str(fixture)]) == 1, fixture.name

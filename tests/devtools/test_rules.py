@@ -22,6 +22,9 @@ TESTKIT_MODULE = "repro.testkit.fixture"
 #: Module name placing a fixture inside the TAMP package (INT001).
 TAMP_MODULE = "repro.tamp.fixture"
 
+#: Module name placing a fixture inside the serve package (SRV001).
+SERVE_MODULE = "repro.serve.fixture"
+
 
 def analyze_fixture(name: str, module: str = ALGO_MODULE):
     source = (FIXTURES / name).read_text()
@@ -38,6 +41,8 @@ def fixture_module(name: str) -> str:
         return TAMP_MODULE
     if name.startswith("int002"):
         return ALGO_MODULE
+    if name.startswith("srv001"):
+        return SERVE_MODULE
     return "fixture"
 
 
@@ -396,6 +401,56 @@ class TestPool003:
         assert (
             analyze_fixture("pool003_suppressed.py", module="fixture") == []
         )
+
+
+class TestSrv001:
+    def test_bad_flags_every_live_state_read(self):
+        findings = analyze_fixture("srv001_bad.py", module=SERVE_MODULE)
+        assert rule_ids(findings) == ["SRV001"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "shard.live_tamp" in messages
+        assert "shard.live_window" in messages
+        assert "shard.live_manager" in messages
+        assert "snapshot surface" in messages
+
+    def test_ok_is_clean(self):
+        assert analyze_fixture("srv001_ok.py", module=SERVE_MODULE) == []
+
+    def test_suppressions(self):
+        findings = analyze_fixture(
+            "srv001_suppressed.py", module=SERVE_MODULE
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_the_serve_package(self):
+        findings = analyze_fixture(
+            "srv001_bad.py", module="repro.pipeline.fixture"
+        )
+        assert findings == []
+
+    def test_the_sanctioned_owners_are_exempt(self):
+        findings = analyze_fixture(
+            "srv001_bad.py", module="repro.serve.sharding"
+        )
+        assert findings == []
+
+    def test_the_real_serve_handlers_are_clean(self):
+        import repro.serve.app
+        import repro.serve.driver
+        import repro.serve.events
+        import repro.serve.http
+
+        for mod in (
+            repro.serve.app,
+            repro.serve.driver,
+            repro.serve.events,
+            repro.serve.http,
+        ):
+            source = Path(mod.__file__).read_text()
+            findings = analyze_source(
+                source, path=mod.__file__, module=mod.__name__
+            )
+            assert findings == [], mod.__name__
 
 
 class TestPipe002:

@@ -1,6 +1,7 @@
 """Tests for the monitor's metrics core and its HTTP surface."""
 
 import json
+import threading
 import urllib.error
 import urllib.request
 
@@ -130,3 +131,29 @@ class TestServer:
         server = MetricsServer(MetricsRegistry(), port=0)
         server.close()
         server.close()
+
+    def test_thread_cap_bounds_concurrency_but_serves_everyone(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc(3)
+        with MetricsServer(registry, port=0, max_threads=2) as server:
+            assert server._httpd.max_threads == 2
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            results: list[int] = []
+
+            def fetch() -> None:
+                with urllib.request.urlopen(url) as resp:
+                    resp.read()
+                    results.append(resp.status)
+
+            threads = [
+                threading.Thread(target=fetch) for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            # Far more requests than threads: all are answered, just
+            # never more than max_threads at once.
+            assert results == [200] * 8
+            gate = server._httpd._thread_gate
+            assert gate._value == 2  # every slot returned

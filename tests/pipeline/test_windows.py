@@ -231,8 +231,10 @@ class TestTampAnnotator:
         assert report.tamp["pulse_adds"] > 0
         assert set(report.tamp) == {
             "routes", "nodes", "edges", "prefixes",
-            "pulse_adds", "pulse_removes",
+            "pulse_adds", "pulse_removes", "pulse_version",
         }
+        assert report.tamp["pulse_version"] == stage.boundary_pulse
+        assert report.tamp["pulse_version"] >= report.tamp["pulse_adds"]
 
     def test_other_items_rejected(self):
         with pytest.raises(TypeError, match="Batch or WindowReport"):
